@@ -1,0 +1,100 @@
+// E10 — The §5.4 future-work extension implemented: "grouping jobs of a
+// single service, thus finding a trade-off between data parallelism and the
+// system's overhead". We sweep the per-service batch size on the Bronze
+// Standard and report the makespan: small batches waste overhead, huge
+// batches destroy data parallelism; the optimum sits in between and moves
+// with the overhead magnitude.
+#include <cstdio>
+
+#include "app/bronze_standard.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+double run_with_policy(enactor::EnactmentPolicy policy, double overhead_median_scale,
+                       std::size_t n_pairs) {
+  double total = 0.0;
+  const int replicas = 3;
+  for (int r = 0; r < replicas; ++r) {
+    sim::Simulator simulator;
+    grid::GridConfig config =
+        grid::GridConfig::egee2006(20060619 + 1000 * static_cast<std::uint64_t>(r));
+    config.submission_latency.median *= overhead_median_scale;
+    config.scheduling_latency.median *= overhead_median_scale;
+    config.queueing_latency.median *= overhead_median_scale;
+    grid::Grid grid(simulator, config);
+    enactor::SimGridBackend backend(grid);
+    services::ServiceRegistry registry;
+    app::register_simulated_services(registry);
+    enactor::Enactor moteur(backend, registry, policy);
+    total += moteur
+                 .run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
+                 .makespan();
+  }
+  return total / replicas;
+}
+
+double run_with_batch(std::size_t batch, double overhead_median_scale,
+                      std::size_t n_pairs) {
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.batch_size = batch;
+  return run_with_policy(policy, overhead_median_scale, n_pairs);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E10: §5.4 extension — batching data sets of one service into a");
+  std::puts("     single job (granularity vs overhead trade-off)");
+  std::puts("     Bronze Standard, 48 pairs, SP+DP, EGEE-like grid");
+  std::puts("=============================================================");
+
+  const std::size_t n_pairs = 48;
+  std::printf("  %10s |", "batch size");
+  for (const char* label : {"0.5x ovh", "1x ovh", "2x ovh"}) {
+    std::printf(" %12s", label);
+  }
+  std::puts("");
+
+  const std::size_t batches[] = {1, 2, 4, 8, 16, 48};
+  const double scales[] = {0.5, 1.0, 2.0};
+  double best[3] = {1e300, 1e300, 1e300};
+  std::size_t best_batch[3] = {0, 0, 0};
+  for (const std::size_t batch : batches) {
+    std::printf("  %10zu |", batch);
+    for (int s = 0; s < 3; ++s) {
+      const double t = run_with_batch(batch, scales[s], n_pairs);
+      if (t < best[s]) {
+        best[s] = t;
+        best_batch[s] = batch;
+      }
+      std::printf(" %10.0f s", t);
+    }
+    std::puts("");
+  }
+  std::printf("\n  best batch size: %zu (0.5x overhead), %zu (1x), %zu (2x)\n",
+              best_batch[0], best_batch[1], best_batch[2]);
+  std::puts("  Heavier middleware overhead pushes the optimum toward larger");
+  std::puts("  batches — the adaptive-granularity strategy the paper sketches.");
+
+  std::puts("\n  Adaptive granularity (implemented): the enactor observes the");
+  std::puts("  overhead of completed jobs and sizes batches online:");
+  enactor::EnactmentPolicy adaptive = enactor::EnactmentPolicy::sp_dp();
+  adaptive.adaptive_batching = true;
+  adaptive.overhead_fraction_target = 0.6;
+  adaptive.max_batch = 8;
+  std::printf("  %10s |", "adaptive");
+  for (int s = 0; s < 3; ++s) {
+    std::printf(" %10.0f s", run_with_policy(adaptive, scales[s], n_pairs));
+  }
+  std::puts("");
+  std::puts("  One policy tracks the moving optimum across overhead regimes");
+  std::puts("  without per-regime tuning.");
+  return 0;
+}

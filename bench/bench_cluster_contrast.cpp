@@ -1,0 +1,116 @@
+// E12 (supporting §2.4/§5.1/§5.2 claims) — the dedicated-cluster contrast:
+// on a low-latency infrastructure the y-intercept metric degenerates ("would
+// be close to 0"), job grouping brings almost nothing, and service
+// parallelism adds little on top of data parallelism; the same application
+// on the EGEE-like grid shows all three effects strongly. One enactor, two
+// platforms — the service approach's platform transparency (§2.4).
+#include <cstdio>
+
+#include "app/bronze_standard.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+double run_once(const grid::GridConfig& config, enactor::EnactmentPolicy policy,
+                std::size_t n_pairs) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, config);
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  app::register_simulated_services(registry);
+  enactor::Enactor moteur(backend, registry, policy);
+  return moteur
+      .run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
+      .makespan();
+}
+
+double run_mean(grid::GridConfig (*preset)(std::uint64_t),
+                enactor::EnactmentPolicy policy, std::size_t n_pairs) {
+  double total = 0.0;
+  const int replicas = 5;
+  for (int r = 0; r < replicas; ++r) {
+    total += run_once(preset(20060619 + 1000 * static_cast<std::uint64_t>(r)), policy,
+                      n_pairs);
+  }
+  return total / replicas;
+}
+
+model::Series sweep(const char* label, grid::GridConfig (*preset)(std::uint64_t),
+                    enactor::EnactmentPolicy policy) {
+  model::Series series;
+  series.label = label;
+  for (const std::size_t n : {8u, 16u, 24u, 32u, 48u}) {
+    series.sizes.push_back(static_cast<double>(n));
+    series.times.push_back(run_mean(preset, policy, n));
+  }
+  return series;
+}
+
+grid::GridConfig cluster_preset(std::uint64_t seed) {
+  return grid::GridConfig::dedicated_cluster(256, seed);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E12: dedicated cluster vs EGEE-like grid — where each");
+  std::puts("     optimization matters (Bronze Standard, 8-48 pairs)");
+  std::puts("=============================================================");
+
+  struct Row {
+    const char* config;
+    enactor::EnactmentPolicy policy;
+  };
+  const Row rows[] = {
+      {"DP", enactor::EnactmentPolicy::dp()},
+      {"SP+DP", enactor::EnactmentPolicy::sp_dp()},
+      {"SP+DP+JG", enactor::EnactmentPolicy::sp_dp_jg()},
+  };
+
+  for (const auto* platform : {"cluster", "egee"}) {
+    const bool is_cluster = std::string(platform) == "cluster";
+    std::printf("\n--- %s ---\n", is_cluster ? "dedicated cluster (256 nodes)"
+                                             : "EGEE-like production grid");
+    std::printf("  %-10s | %10s %10s | %12s %10s\n", "config", "t(8) s", "t(48) s",
+                "y-intercept", "slope");
+    for (const auto& row : rows) {
+      const model::Series series =
+          is_cluster ? sweep(row.config, &cluster_preset, row.policy)
+                     : sweep(row.config, &grid::GridConfig::egee2006, row.policy);
+      const auto fit = series.fit();
+      std::printf("  %-10s | %10.0f %10.0f | %12.0f %10.1f\n", row.config,
+                  series.times.front(), series.times.back(), fit.intercept, fit.slope);
+    }
+  }
+
+  // Quantify the two §5 claims.
+  const double cluster_dp = run_mean(&cluster_preset, enactor::EnactmentPolicy::dp(), 24);
+  const double cluster_dsp =
+      run_mean(&cluster_preset, enactor::EnactmentPolicy::sp_dp(), 24);
+  const double cluster_jg =
+      run_mean(&cluster_preset, enactor::EnactmentPolicy::sp_dp_jg(), 24);
+  const double egee_dp =
+      run_mean(&grid::GridConfig::egee2006, enactor::EnactmentPolicy::dp(), 24);
+  const double egee_dsp =
+      run_mean(&grid::GridConfig::egee2006, enactor::EnactmentPolicy::sp_dp(), 24);
+  const double egee_jg =
+      run_mean(&grid::GridConfig::egee2006, enactor::EnactmentPolicy::sp_dp_jg(), 24);
+
+  std::puts("\nGains at 24 pairs:");
+  std::printf("  SP on top of DP:   cluster %.2fx   vs   grid %.2fx\n",
+              cluster_dp / cluster_dsp, egee_dp / egee_dsp);
+  std::printf("  JG on top of both: cluster %.2fx   vs   grid %.2fx\n",
+              cluster_dsp / cluster_jg, egee_dsp / egee_jg);
+  std::puts("\n  \"On a traditional cluster infrastructure, service parallelism");
+  std::puts("  would be of minor importance whereas it is a very important");
+  std::puts("  optimization on the production infrastructure\" (§5.2) — and the");
+  std::puts("  y-intercept is orders of magnitude smaller on the cluster (§5.1).");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E4 — Reproduces the execution diagrams of Figures 4, 5 and 6: the
+// 3-service chain of Figure 1 run over data sets D0, D1, D2 under data
+// parallelism only (Fig. 4), service parallelism only (Fig. 5), and the
+// variable-time scenario with and without service parallelism (Fig. 6).
+#include <cstdio>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "enactor/diagram.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+/// src -> P1 -> P2 -> P3 -> sink.
+workflow::Workflow figure1_chain() {
+  workflow::Workflow wf("figure1");
+  wf.add_source("src");
+  wf.add_processor("P1", {"in"}, {"out"});
+  wf.add_processor("P2", {"in"}, {"out"});
+  wf.add_processor("P3", {"in"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("src", "out", "P1", "in");
+  wf.link("P1", "out", "P2", "in");
+  wf.link("P2", "out", "P3", "in");
+  wf.link("P3", "out", "sink", "in");
+  return wf;
+}
+
+/// Durations per (service, data): row i = Pi+1, column j = Dj.
+using Times = std::vector<std::vector<double>>;
+
+enactor::Timeline run(const Times& times, enactor::EnactmentPolicy policy) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto row = times[i];
+    registry.add(std::make_shared<services::FunctionalService>(
+        "P" + std::to_string(i + 1), std::vector<std::string>{"in"},
+        std::vector<std::string>{"out"}, services::FunctionalService::InvokeFn{},
+        [row, i](const services::Inputs& inputs) {
+          grid::JobRequest request;
+          request.name = "P" + std::to_string(i + 1);
+          request.compute_seconds = row.at(inputs.at("in").indices().at(0));
+          return request;
+        }));
+  }
+  data::InputDataSet ds;
+  for (int j = 0; j < 3; ++j) ds.add_item("src", "D" + std::to_string(j));
+  enactor::Enactor moteur(backend, registry, policy);
+  return moteur.run(figure1_chain(), ds).timeline;
+}
+
+void show(const char* title, const Times& times, enactor::EnactmentPolicy policy) {
+  std::printf("\n%s\n", title);
+  const enactor::Timeline timeline = run(times, policy);
+  enactor::DiagramOptions options;
+  options.seconds_per_column = 1.0;
+  std::fputs(
+      enactor::render_execution_diagram(timeline, {"P3", "P2", "P1"}, options).c_str(),
+      stdout);
+  std::printf("  makespan: %.0f time units\n", timeline.makespan());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E4: execution diagrams (Figures 4, 5, 6) — 3 services x 3 data");
+  std::puts("    'X' marks idle cycles, as in the paper");
+  std::puts("=============================================================");
+
+  const Times constant{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}};
+  show("Figure 4 — data parallelism only (DP): stages sweep all data at once",
+       constant, enactor::EnactmentPolicy::dp());
+  show("Figure 5 — service parallelism only (SP): the pipeline",
+       constant, enactor::EnactmentPolicy::sp());
+
+  // Figure 6: D0 takes twice as long on P1 (submitted twice after an error)
+  // and D1 three times as long on P2 (blocked in a queue).
+  const Times variable{{2, 1, 1}, {1, 3, 1}, {1, 1, 1}};
+  show("Figure 6 (left) — variable times, DP without SP: stage barriers",
+       variable, enactor::EnactmentPolicy::dp());
+  show("Figure 6 (right) — variable times, DP with SP: computations overlap",
+       variable, enactor::EnactmentPolicy::sp_dp());
+
+  std::puts("\nAs in the paper, the right diagram finishes earlier than the");
+  std::puts("left one: service parallelism improves performance beyond data");
+  std::puts("parallelism once execution times are not constant.");
+  return 0;
+}

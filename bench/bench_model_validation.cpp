@@ -1,0 +1,156 @@
+// E5 — Validates the §3.5.3 analytic makespan models (equations (1)-(4))
+// against the full enactor + grid-simulator stack on a deterministic grid:
+// for every policy and a sweep of (nW, nD), the simulated makespan must
+// equal the closed-form value exactly.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "app/bronze_standard.hpp"
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/dag.hpp"
+#include "model/makespan.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+workflow::Workflow chain(std::size_t n_services) {
+  workflow::Workflow wf("chain");
+  wf.add_source("src");
+  std::string previous = "src";
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const std::string name = "P" + std::to_string(i);
+    wf.add_processor(name, {"in"}, {"out"});
+    wf.link(previous, "out", name, "in");
+    previous = name;
+  }
+  wf.add_sink("sink");
+  wf.link(previous, "out", "sink", "in");
+  return wf;
+}
+
+double simulate(const model::TimeMatrix& times, enactor::EnactmentPolicy policy) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto row = times[i];
+    registry.add(std::make_shared<services::FunctionalService>(
+        "P" + std::to_string(i), std::vector<std::string>{"in"},
+        std::vector<std::string>{"out"}, services::FunctionalService::InvokeFn{},
+        [row, i](const services::Inputs& inputs) {
+          grid::JobRequest request;
+          request.name = "P" + std::to_string(i);
+          request.compute_seconds = row.at(inputs.at("in").indices().at(0));
+          return request;
+        }));
+  }
+  data::InputDataSet ds;
+  for (std::size_t j = 0; j < times.front().size(); ++j) {
+    ds.add_item("src", "D" + std::to_string(j));
+  }
+  enactor::Enactor moteur(backend, registry, policy);
+  return moteur.run(chain(times.size()), ds).makespan();
+}
+
+/// Bronze-Standard run with explicit per-service times on the ideal grid.
+double simulate_bronze(const std::map<std::string, double>& times,
+                       enactor::EnactmentPolicy policy, std::size_t n_d) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  const auto wf = app::bronze_standard_workflow();
+  for (const auto* proc : wf.services()) {
+    registry.add(services::make_simulated_service(
+        proc->name, proc->input_ports, proc->output_ports,
+        services::JobProfile{times.at(proc->name)}));
+  }
+  enactor::Enactor moteur(backend, registry, policy);
+  return moteur.run(wf, app::bronze_standard_dataset(n_d)).makespan();
+}
+
+int g_checks = 0;
+int g_failures = 0;
+
+void check(const char* policy, std::size_t n_w, std::size_t n_d, double simulated,
+           double theory) {
+  ++g_checks;
+  const bool ok = std::fabs(simulated - theory) < 1e-9;
+  if (!ok) ++g_failures;
+  std::printf("  nW=%2zu nD=%3zu  %-5s  simulated=%10.1f  theory=%10.1f  [%s]\n",
+              n_w, n_d, policy, simulated, theory, ok ? "OK" : "FAIL");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E5: §3.5.3 model validation — simulated makespan vs equations");
+  std::puts("    (1) Sigma, (2) Sigma_DP, (3) Sigma_SP, (4) Sigma_DSP");
+  std::puts("    deterministic grid, T = 100 s per (service, data)");
+  std::puts("=============================================================");
+
+  const std::size_t n_ws[] = {1, 2, 5, 8};
+  const std::size_t n_ds[] = {1, 4, 12, 40};
+  for (const std::size_t n_w : n_ws) {
+    for (const std::size_t n_d : n_ds) {
+      const model::TimeMatrix times = model::constant_times(n_w, n_d, 100.0);
+      check("NOP", n_w, n_d, simulate(times, enactor::EnactmentPolicy::nop()),
+            model::sigma_sequential(times));
+      check("DP", n_w, n_d, simulate(times, enactor::EnactmentPolicy::dp()),
+            model::sigma_dp(times));
+      check("SP", n_w, n_d, simulate(times, enactor::EnactmentPolicy::sp()),
+            model::sigma_sp(times));
+      check("DSP", n_w, n_d, simulate(times, enactor::EnactmentPolicy::sp_dp()),
+            model::sigma_dsp(times));
+    }
+  }
+
+  std::puts("\nDAG generalization (beyond the paper's critical-path chain):");
+  std::puts("the Bronze-Standard Figure-9 topology, branches and barrier");
+  std::puts("included, predicted by model::predict_dag_makespan:");
+  {
+    const auto wf = app::bronze_standard_workflow();
+    const app::BronzeProfiles p;
+    const std::map<std::string, double> times{
+        {"crestLines", p.crest_lines_seconds},  {"crestMatch", p.crest_match_seconds},
+        {"PFMatchICP", p.pf_match_icp_seconds}, {"PFRegister", p.pf_register_seconds},
+        {"Yasmina", p.yasmina_seconds},         {"Baladin", p.baladin_seconds},
+        {"MultiTransfoTest", p.multi_transfo_seconds}};
+    for (const std::size_t n_d : {4u, 12u}) {
+      const auto predicted = model::predict_dag_makespan(wf, times, n_d);
+      check("NOP", 5, n_d, simulate_bronze(times, enactor::EnactmentPolicy::nop(), n_d),
+            predicted.sequential);
+      check("DP", 5, n_d, simulate_bronze(times, enactor::EnactmentPolicy::dp(), n_d),
+            predicted.dp);
+      check("SP", 5, n_d, simulate_bronze(times, enactor::EnactmentPolicy::sp(), n_d),
+            predicted.sp);
+      check("DSP", 5, n_d,
+            simulate_bronze(times, enactor::EnactmentPolicy::sp_dp(), n_d),
+            predicted.dsp);
+    }
+  }
+
+  std::puts("\nFigure-6 matrix (variable times):");
+  model::TimeMatrix fig6 = model::constant_times(3, 3, 100.0);
+  fig6[0][0] = 200.0;
+  fig6[1][1] = 300.0;
+  check("DP", 3, 3, simulate(fig6, enactor::EnactmentPolicy::dp()),
+        model::sigma_dp(fig6));
+  check("SP", 3, 3, simulate(fig6, enactor::EnactmentPolicy::sp()),
+        model::sigma_sp(fig6));
+  check("DSP", 3, 3, simulate(fig6, enactor::EnactmentPolicy::sp_dp()),
+        model::sigma_dsp(fig6));
+
+  std::printf("\n%d/%d checks passed.\n", g_checks - g_failures, g_checks);
+  return g_failures == 0 ? 0 : 1;
+}

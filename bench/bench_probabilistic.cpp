@@ -1,0 +1,128 @@
+// E11 — The second §5.4 future-work item: a probabilistic model of the
+// ever-changing grid. Per-(service, data) durations are Lognormal(mu,
+// sigma); we compare (i) Monte-Carlo expectations of the §3.5 formulas,
+// (ii) closed-form extreme-value approximations, and (iii) the full
+// enactor+grid simulation, for the DP and DSP policies.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/probabilistic.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace moteur;
+
+workflow::Workflow chain(std::size_t n_services) {
+  workflow::Workflow wf("chain");
+  wf.add_source("src");
+  std::string previous = "src";
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const std::string name = "P" + std::to_string(i);
+    wf.add_processor(name, {"in"}, {"out"});
+    wf.link(previous, "out", name, "in");
+    previous = name;
+  }
+  wf.add_sink("sink");
+  wf.link(previous, "out", "sink", "in");
+  return wf;
+}
+
+/// Mean makespan of the full stack over `replicas` seeds, with per-job
+/// durations drawn lognormally inside the services.
+double simulated_mean(std::size_t n_w, std::size_t n_d, double mu, double sigma,
+                      enactor::EnactmentPolicy policy, std::size_t replicas) {
+  double total = 0.0;
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+    enactor::SimGridBackend backend(grid);
+    services::ServiceRegistry registry;
+    auto rng = std::make_shared<Rng>(1000 + replica);
+    for (std::size_t i = 0; i < n_w; ++i) {
+      registry.add(std::make_shared<services::FunctionalService>(
+          "P" + std::to_string(i), std::vector<std::string>{"in"},
+          std::vector<std::string>{"out"}, services::FunctionalService::InvokeFn{},
+          [rng, mu, sigma, i](const services::Inputs&) {
+            grid::JobRequest request;
+            request.name = "P" + std::to_string(i);
+            request.compute_seconds = rng->lognormal(mu, sigma);
+            return request;
+          }));
+    }
+    data::InputDataSet ds;
+    for (std::size_t j = 0; j < n_d; ++j) ds.add_item("src", "D" + std::to_string(j));
+    enactor::Enactor moteur(backend, registry, policy);
+    total += moteur.run(chain(n_w), ds).makespan();
+  }
+  return total / static_cast<double>(replicas);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E11: §5.4 extension — probabilistic makespan model");
+  std::puts("     T_ij ~ Lognormal(median 600 s, sigma), nW = 5 services");
+  std::puts("=============================================================");
+
+  const std::size_t n_w = 5;
+  const double mu = std::log(600.0);
+
+  std::printf("  %5s %6s | %12s %12s %12s | %12s %12s\n", "sigma", "nD",
+              "MC E[S_DP]", "approx S_DP", "sim S_DP", "MC E[S_DSP]", "sim S_DSP");
+  for (const double sigma : {0.25, 0.5}) {
+    for (const std::size_t n_d : {12u, 66u}) {
+      Rng rng(7);
+      const auto sampler = [&rng, mu, sigma](std::size_t, std::size_t) {
+        return rng.lognormal(mu, sigma);
+      };
+      const auto mc_dp = model::expected_sigma_dp(n_w, n_d, sampler, 300);
+      Rng rng2(7);
+      const auto sampler2 = [&rng2, mu, sigma](std::size_t, std::size_t) {
+        return rng2.lognormal(mu, sigma);
+      };
+      const auto mc_dsp = model::expected_sigma_dsp(n_w, n_d, sampler2, 300);
+      const double approx = model::approx_sigma_dp_lognormal(n_w, n_d, mu, sigma);
+      const double sim_dp =
+          simulated_mean(n_w, n_d, mu, sigma, enactor::EnactmentPolicy::dp(), 8);
+      const double sim_dsp =
+          simulated_mean(n_w, n_d, mu, sigma, enactor::EnactmentPolicy::sp_dp(), 8);
+      std::printf("  %5.2f %6zu | %12.0f %12.0f %12.0f | %12.0f %12.0f\n", sigma, n_d,
+                  mc_dp.mean, approx, sim_dp, mc_dsp.mean, sim_dsp);
+    }
+  }
+
+  std::puts("\n  Expected S_SDP = E[Sigma_DP] / E[Sigma_DSP] as variability grows:");
+  std::printf("  %5s |", "nD");
+  for (const double sigma : {0.0, 0.25, 0.5, 0.75}) std::printf(" sigma=%.2f", sigma);
+  std::puts("");
+  for (const std::size_t n_d : {12u, 66u, 126u}) {
+    std::printf("  %5zu |", n_d);
+    for (const double sigma : {0.0, 0.25, 0.5, 0.75}) {
+      Rng rng(11);
+      const auto sampler = [&rng, mu, sigma](std::size_t, std::size_t) {
+        return sigma == 0.0 ? 600.0 : rng.lognormal(mu, sigma);
+      };
+      const auto dp = model::expected_sigma_dp(n_w, n_d, sampler, 300);
+      Rng rngb(11);
+      const auto samplerb = [&rngb, mu, sigma](std::size_t, std::size_t) {
+        return sigma == 0.0 ? 600.0 : rngb.lognormal(mu, sigma);
+      };
+      const auto dsp = model::expected_sigma_dsp(n_w, n_d, samplerb, 300);
+      std::printf("  %8.2f", dp.mean / dsp.mean);
+    }
+    std::puts("");
+  }
+  std::puts("\n  S_SDP rises from 1 (deterministic) toward the ~2x the paper");
+  std::puts("  measured on EGEE — the probabilistic model quantifies how much");
+  std::puts("  service parallelism is worth for a given grid variability.");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E1 — Reproduces Table 1 and Figure 10 of the paper: Bronze-Standard
+// execution time for every optimization configuration (NOP, JG, SP, DP,
+// SP+DP, SP+DP+JG) over 12 / 66 / 126 image pairs, on the simulated
+// EGEE-like infrastructure. Figure 10 additionally sweeps intermediate
+// sizes to expose the straight-line behaviour the paper reports.
+#include <cstdio>
+#include <string>
+
+#include "app/experiment.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+// Paper values for side-by-side comparison (Table 1, seconds).
+struct PaperRow {
+  const char* configuration;
+  double t12, t66, t126;
+};
+constexpr PaperRow kPaperTable1[] = {
+    {"NOP", 32855, 76354, 133493},   {"JG", 22990, 68427, 125503},
+    {"SP", 18302, 63360, 120407},    {"DP", 17690, 26437, 34027},
+    {"SP+DP", 7825, 12143, 17823},   {"SP+DP+JG", 5524, 9053, 14547},
+};
+
+}  // namespace
+
+int main() {
+  using namespace moteur;
+
+  std::puts("=============================================================");
+  std::puts("E1: Table 1 — execution time (s) per configuration and size");
+  std::puts("    (Bronze Standard on the simulated EGEE infrastructure)");
+  std::puts("=============================================================");
+
+  app::ExperimentOptions options;  // defaults: 12/66/126, all six configs
+  const app::ExperimentTable table = app::run_bronze_experiment(options);
+
+  std::puts(table.render_table1().c_str());
+
+  std::puts("Paper Table 1 (measured on EGEE, 2006) for comparison:");
+  std::printf("%-14s%14s%14s%14s\n", "Configuration", "12 images", "66 images",
+              "126 images");
+  for (const auto& row : kPaperTable1) {
+    std::printf("%-14s%14.0f%14.0f%14.0f\n", row.configuration, row.t12, row.t66,
+                row.t126);
+  }
+
+  std::puts("\nShape checks (paper vs simulation):");
+  for (const std::size_t n : options.sizes) {
+    std::string order = "  ordering at " + std::to_string(n) + " pairs: ";
+    bool ok = true;
+    double previous = 1e300;
+    for (const char* config : {"NOP", "JG", "SP", "DP", "SP+DP", "SP+DP+JG"}) {
+      const double t = table.cell(config, n).makespan_seconds;
+      if (t > previous) ok = false;
+      previous = t;
+    }
+    order += ok ? "NOP > JG > SP > DP > SP+DP > SP+DP+JG  [OK]"
+                : "VIOLATED";
+    std::puts(order.c_str());
+  }
+  {
+    const double speedup =
+        table.cell("NOP", 126).makespan_seconds /
+        table.cell("SP+DP+JG", 126).makespan_seconds;
+    std::printf("  overall speed-up at 126 pairs: %.2fx (paper: ~9.2x)\n\n", speedup);
+  }
+
+  std::puts("=============================================================");
+  std::puts("E1: Figure 10 — execution time (hours) vs input size");
+  std::puts("=============================================================");
+  app::ExperimentOptions sweep = options;
+  sweep.sizes = {12, 30, 48, 66, 90, 108, 126};
+  const app::ExperimentTable curves = app::run_bronze_experiment(sweep);
+  std::puts(curves.render_figure10().c_str());
+
+  std::puts("(Columns are close to straight lines, as the paper observes:");
+  std::puts(" \"the infrastructure is large enough to support the increasing");
+  std::puts(" load\"; R^2 of the linear fits is reported by bench_table2_fits.)");
+  return 0;
+}

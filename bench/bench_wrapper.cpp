@@ -1,0 +1,128 @@
+// E9 — Microbenchmarks of the hot enactor-side paths: descriptor parsing,
+// dynamic command-line composition, iteration-buffer matching, provenance
+// construction, the grouping optimizer and the discrete-event kernel.
+#include <benchmark/benchmark.h>
+
+#include "app/bronze_standard.hpp"
+#include "data/token.hpp"
+#include "services/descriptor.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/grouping.hpp"
+#include "workflow/iteration.hpp"
+#include "workflow/scufl.hpp"
+
+namespace {
+
+using namespace moteur;
+
+const char* kFigure8Xml = R"(<description>
+  <executable name="CrestLines.pl">
+    <access type="URL"><path value="http://colors.unice.fr"/></access>
+    <value value="CrestLines.pl"/>
+    <input name="floating_image" option="-im1"><access type="GFN"/></input>
+    <input name="reference_image" option="-im2"><access type="GFN"/></input>
+    <input name="scale" option="-s"/>
+    <output name="crest_reference" option="-c1"><access type="GFN"/></output>
+    <output name="crest_floating" option="-c2"><access type="GFN"/></output>
+    <sandbox name="convert8bits">
+      <access type="URL"><path value="http://colors.unice.fr"/></access>
+      <value value="Convert8bits.pl"/>
+    </sandbox>
+  </executable>
+</description>)";
+
+void BM_DescriptorParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(services::Descriptor::from_xml(kFigure8Xml));
+  }
+}
+BENCHMARK(BM_DescriptorParse);
+
+void BM_CommandLineComposition(benchmark::State& state) {
+  const auto descriptor = services::Descriptor::from_xml(kFigure8Xml);
+  const std::map<std::string, std::string> values{
+      {"floating_image", "gfn://images/p0_flo.mhd"},
+      {"reference_image", "gfn://images/p0_ref.mhd"},
+      {"scale", "1"},
+      {"crest_reference", "gfn://crests/p0_c1"},
+      {"crest_floating", "gfn://crests/p0_c2"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(descriptor.compose_command_line(values));
+  }
+}
+BENCHMARK(BM_CommandLineComposition);
+
+void BM_ScuflRoundTrip(benchmark::State& state) {
+  const auto wf = app::bronze_standard_workflow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workflow::from_scufl(workflow::to_scufl(wf)));
+  }
+}
+BENCHMARK(BM_ScuflRoundTrip);
+
+void BM_DotProductMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    workflow::IterationBuffer buffer(workflow::IterationStrategy::kDot, {"a", "b"});
+    for (std::size_t j = 0; j < n; ++j) {
+      buffer.push("a", data::Token::from_source("A", j, j, "a"));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      buffer.push("b", data::Token::from_source("B", j, j, "b"));
+    }
+    benchmark::DoNotOptimize(buffer.drain_ready());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DotProductMatching)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_CrossProductMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    workflow::IterationBuffer buffer(workflow::IterationStrategy::kCross, {"a", "b"});
+    for (std::size_t j = 0; j < n; ++j) {
+      buffer.push("a", data::Token::from_source("A", j, j, "a"));
+      buffer.push("b", data::Token::from_source("B", j, j, "b"));
+    }
+    benchmark::DoNotOptimize(buffer.drain_ready());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_CrossProductMatching)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ProvenanceChain(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    data::Token token = data::Token::from_source("src", 0, 0, "0");
+    for (std::size_t d = 0; d < depth; ++d) {
+      token = data::Token::derived("P" + std::to_string(d), "out", {token},
+                                   token.indices(), 0, "0");
+    }
+    benchmark::DoNotOptimize(token.id());
+  }
+}
+BENCHMARK(BM_ProvenanceChain)->Arg(5)->Arg(20);
+
+void BM_GroupingOptimizer(benchmark::State& state) {
+  const auto wf = app::bronze_standard_workflow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workflow::group_sequential_processors(wf));
+  }
+}
+BENCHMARK(BM_GroupingOptimizer);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (std::size_t e = 0; e < events; ++e) {
+      simulator.schedule(static_cast<double>(e % 97), [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(1000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// The paper's application end to end, with REAL computation: a synthetic
+// multi-patient MRI database, crest-point extraction, four rigid
+// registration algorithms and the Bronze-Standard statistical evaluation —
+// the Figure-9 workflow enacted on worker threads.
+//
+//   $ ./bronze_standard [n_pairs]     (default 4)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/bronze_standard.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "registration/bronze.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moteur;
+
+  const std::size_t n_pairs =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  std::printf("Bronze Standard over %zu image pairs (real computation)\n\n", n_pairs);
+
+  // Synthetic stand-in for the clinical database: per-patient phantoms with
+  // tumor-like lesions, re-acquired under hidden rigid motions.
+  registration::PhantomOptions phantom;
+  phantom.size = 32;
+  phantom.max_rotation_radians = 0.12;
+  phantom.max_translation = 2.5;
+  const auto database = app::make_bronze_database(2006, n_pairs, phantom);
+
+  // Services that really run the algorithms of src/registration.
+  services::ServiceRegistry registry;
+  app::register_real_services(registry, database);
+
+  // Asynchronous calls via enactor-level threads (§3.1), all optimizations.
+  enactor::ThreadedBackend backend;
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp_jg());
+  moteur.set_payload_resolver(app::bronze_payload_resolver(database));
+
+  const auto result = moteur.run(app::bronze_standard_workflow(),
+                                 app::bronze_standard_dataset(n_pairs));
+
+  std::printf("wall time:    %.2f s, %zu logical invocations, %zu submissions, "
+              "%zu failures\n",
+              result.makespan(), result.invocations, result.submissions,
+              result.failures);
+  std::printf("grouping:     ");
+  for (const auto& group : result.grouping.groups) {
+    std::printf("[%s] ", join(group, "+").c_str());
+  }
+  std::puts("");
+
+  const auto bronze = result.sink_outputs.at("accuracy_rotation")
+                          .at(0)
+                          .as<registration::BronzeResult>();
+
+  std::puts("\nper-algorithm accuracy vs the mean of the others (MultiTransfoTest):");
+  std::printf("  %-12s %14s %14s\n", "algorithm", "rotation (deg)", "translation");
+  for (const auto& accuracy : bronze.accuracies) {
+    std::printf("  %-12s %8.3f +- %4.3f %7.3f +- %4.3f\n", accuracy.algorithm.c_str(),
+                accuracy.rotation_mean_degrees, accuracy.rotation_stddev_degrees,
+                accuracy.translation_mean, accuracy.translation_stddev);
+  }
+
+  std::puts("\nbronze standard vs hidden ground truth (only knowable with"
+            " synthetic data):");
+  for (std::size_t p = 0; p < bronze.bronze_standard.size(); ++p) {
+    const auto err = registration::transform_error(bronze.bronze_standard[p],
+                                                   (*database)[p].truth);
+    std::printf("  %-14s rotation %6.3f deg, translation %6.3f mm\n",
+                (*database)[p].name.c_str(), err.rotation_radians * 180.0 / M_PI,
+                err.translation);
+  }
+  return result.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// The Figure-2 pattern: an optimization loop that converges after a number
+// of iterations determined at execution time. Impossible to declare in a
+// task-based DAG (DAGMan), natural in a service-based workflow: the loop
+// service routes its result to its "loop" or "exit" output port depending on
+// a computed criterion, and a feedback link closes the cycle.
+//
+// The example runs a tiny gradient descent (per data set) inside the loop:
+// x_{k+1} = x_k - 0.4 * f'(x_k) for f(x) = (x - target)^2, looping until
+// |f'(x)| < 0.05.
+//
+//   $ ./optimization_loop
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "services/functional_service.hpp"
+
+namespace {
+
+using namespace moteur;
+
+struct LoopState {
+  double x = 0.0;
+  double target = 0.0;
+  int iterations = 0;
+};
+
+}  // namespace
+
+int main() {
+  using services::FunctionalService;
+  using services::Inputs;
+  using services::OutputValue;
+  using services::Result;
+
+  // P1 parses "start:target" and produces the initial optimizer state.
+  services::ServiceRegistry registry;
+  registry.add(std::make_shared<FunctionalService>(
+      "P1", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const Inputs& in) {
+        const std::string& spec = in.at("in").as<std::string>();
+        LoopState state;
+        std::sscanf(spec.c_str(), "%lf:%lf", &state.x, &state.target);
+        Result r;
+        r.outputs["out"] = OutputValue{state, spec};
+        return r;
+      }));
+
+  // P2: one gradient-descent step.
+  registry.add(std::make_shared<FunctionalService>(
+      "P2", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const Inputs& in) {
+        LoopState state = in.at("in").as<LoopState>();
+        const double gradient = 2.0 * (state.x - state.target);
+        state.x -= 0.4 * gradient;
+        ++state.iterations;
+        Result r;
+        r.outputs["out"] = OutputValue{state, "x=" + std::to_string(state.x)};
+        return r;
+      }));
+
+  // P3: the convergence test — produce on "exit" when done, else on "loop".
+  registry.add(std::make_shared<FunctionalService>(
+      "P3", std::vector<std::string>{"in"}, std::vector<std::string>{"loop", "exit"},
+      [](const Inputs& in) {
+        const LoopState state = in.at("in").as<LoopState>();
+        const double gradient = 2.0 * (state.x - state.target);
+        Result r;
+        const char* port = std::fabs(gradient) < 0.05 ? "exit" : "loop";
+        r.outputs[port] = OutputValue{
+            state, "x=" + std::to_string(state.x) + " after " +
+                       std::to_string(state.iterations) + " iterations"};
+        return r;
+      }));
+
+  // The Figure-2 graph: Source -> P1 -> P2 -> P3, P3 --loop--> P2 (feedback),
+  // P3 --exit--> Sink.
+  workflow::Workflow wf("figure2");
+  wf.add_source("Source");
+  wf.add_processor("P1", {"in"}, {"out"});
+  wf.add_processor("P2", {"in"}, {"out"});
+  wf.add_processor("P3", {"in"}, {"loop", "exit"});
+  wf.add_sink("Sink");
+  wf.link("Source", "out", "P1", "in");
+  wf.link("P1", "out", "P2", "in");
+  wf.link("P2", "out", "P3", "in");
+  wf.link("P3", "loop", "P2", "in", /*feedback=*/true);
+  wf.link("P3", "exit", "Sink", "in");
+
+  // Several data sets iterate the loop concurrently — each converges after
+  // its own number of iterations.
+  data::InputDataSet inputs;
+  inputs.add_item("Source", "0:1");      // close: few iterations
+  inputs.add_item("Source", "10:-3");    // far: many iterations
+  inputs.add_item("Source", "100:42");   // very far
+
+  enactor::ThreadedBackend backend;
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(wf, inputs);
+
+  std::puts("converged results (note the per-data iteration counts, known only");
+  std::puts("at execution time — the reason loops cannot be task-based):");
+  for (const auto& token : result.sink_outputs.at("Sink")) {
+    const LoopState state = token.as<LoopState>();
+    std::printf("  start item %s -> x = %8.4f (target %6.1f) after %d iterations\n",
+                data::to_string(token.indices()).c_str(), state.x, state.target,
+                state.iterations);
+  }
+  std::printf("total loop-body invocations of P2: %zu\n",
+              result.timeline.for_processor("P2").size());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Task-based vs service-based composition, side by side (paper §1-2):
+// the same two-step application is (a) statically expanded into a DAGMan
+// task graph and executed, and (b) enacted as a service workflow — then a
+// cross-product variant shows where the static approach stops scaling.
+//
+//   $ ./task_vs_service
+#include <cstdio>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "task/dagman.hpp"
+#include "task/expansion.hpp"
+
+int main() {
+  using namespace moteur;
+
+  // The application: smooth then segment each image.
+  workflow::Workflow wf("two-step");
+  wf.add_source("images");
+  wf.add_processor("smooth", {"img"}, {"out"});
+  wf.add_processor("segment", {"img"}, {"mask"});
+  wf.add_sink("masks");
+  wf.link("images", "out", "smooth", "img");
+  wf.link("smooth", "out", "segment", "img");
+  wf.link("segment", "mask", "masks", "in");
+
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("smooth", {"img"}, {"out"},
+                                                services::JobProfile{60.0, 7.8, 7.8}));
+  registry.add(services::make_simulated_service("segment", {"img"}, {"mask"},
+                                                services::JobProfile{180.0, 7.8, 0.5}));
+
+  data::InputDataSet inputs;
+  for (int j = 0; j < 12; ++j) {
+    inputs.add_item("images", "gfn://img" + std::to_string(j));
+  }
+
+  std::puts("--- task-based (static declaration, DAGMan executor) ---");
+  {
+    const task::TaskGraph graph = task::expand(wf, inputs, registry);
+    std::printf("static task graph: %zu tasks (the graph is replicated per"
+                " input image)\n",
+                graph.size());
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::egee2006());
+    const task::DagRunResult run = task::run_dag(graph, grid);
+    std::printf("DAGMan makespan: %.0f s (%zu done, %zu failed)\n\n", run.makespan,
+                run.tasks_done, run.tasks_failed);
+  }
+
+  std::puts("--- service-based (dynamic data, MOTEUR enactor, SP+DP) ---");
+  {
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::egee2006());
+    enactor::SimGridBackend backend(grid);
+    enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+    const auto result = moteur.run(wf, inputs);
+    std::printf("workflow stays 2 processors; %zu dynamic invocations\n",
+                result.invocations);
+    std::printf("MOTEUR makespan: %.0f s (%zu results)\n\n", result.makespan(),
+                result.sink_outputs.at("masks").size());
+  }
+
+  std::puts("--- where the static approach stops scaling (§2.2) ---");
+  {
+    // All-pairs registration: a cross product of the image set with itself.
+    workflow::Workflow cross("all-pairs");
+    cross.add_source("refs");
+    cross.add_source("flos");
+    cross.add_processor("register", {"ref", "flo"}, {"t"},
+                        workflow::IterationStrategy::kCross);
+    cross.add_sink("transforms");
+    cross.link("refs", "out", "register", "ref");
+    cross.link("flos", "out", "register", "flo");
+    cross.link("register", "t", "transforms", "in");
+
+    for (const std::size_t n : {10u, 100u, 1000u}) {
+      data::InputDataSet ds;
+      for (std::size_t j = 0; j < n; ++j) {
+        ds.add_item("refs", "r" + std::to_string(j));
+        ds.add_item("flos", "f" + std::to_string(j));
+      }
+      std::printf("  %4zu images -> %8zu static tasks; the service workflow is"
+                  " still 1 processor\n",
+                  n, task::expansion_size(cross, ds));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,318 @@
+#include "app/bronze_standard.hpp"
+
+#include <memory>
+#include <string>
+
+#include "registration/algorithms.hpp"
+#include "registration/bronze.hpp"
+#include "registration/crest.hpp"
+#include "services/functional_service.hpp"
+#include "util/error.hpp"
+
+namespace moteur::app {
+
+using registration::CrestPoints;
+using registration::Image3D;
+using registration::ImagePair;
+using registration::RigidTransform;
+using services::FunctionalService;
+using services::Inputs;
+using services::JobProfile;
+using services::Result;
+
+workflow::Workflow bronze_standard_workflow() {
+  workflow::Workflow wf("bronzeStandard");
+
+  wf.add_source("referenceImage");
+  wf.add_source("floatingImage");
+  wf.add_source("scale");
+  wf.add_source("methodToTest");
+
+  wf.add_processor("crestLines", {"im1", "im2", "s"}, {"c1", "c2"});
+  wf.add_processor("crestMatch", {"c1", "c2"}, {"t"});
+  wf.add_processor("PFMatchICP", {"c1", "c2", "init"}, {"t"});
+  wf.add_processor("PFRegister", {"c1", "c2", "init"}, {"t"});
+  wf.add_processor("Yasmina", {"ref", "flo", "init"}, {"t"});
+  wf.add_processor("Baladin", {"ref", "flo", "init"}, {"t"});
+  auto& test = wf.add_processor(
+      "MultiTransfoTest", {"method", "tCrestMatch", "tPFRegister", "tYasmina", "tBaladin"},
+      {"accuracy_rotation", "accuracy_translation"});
+  test.synchronization = true;  // the double-square processor of Figure 9
+
+  wf.add_sink("accuracy_rotation");
+  wf.add_sink("accuracy_translation");
+
+  wf.link("referenceImage", "out", "crestLines", "im1");
+  wf.link("floatingImage", "out", "crestLines", "im2");
+  wf.link("scale", "out", "crestLines", "s");
+
+  wf.link("crestLines", "c1", "crestMatch", "c1");
+  wf.link("crestLines", "c2", "crestMatch", "c2");
+
+  wf.link("crestLines", "c1", "PFMatchICP", "c1");
+  wf.link("crestLines", "c2", "PFMatchICP", "c2");
+  wf.link("crestMatch", "t", "PFMatchICP", "init");
+
+  wf.link("crestLines", "c1", "PFRegister", "c1");
+  wf.link("crestLines", "c2", "PFRegister", "c2");
+  wf.link("PFMatchICP", "t", "PFRegister", "init");
+
+  wf.link("referenceImage", "out", "Yasmina", "ref");
+  wf.link("floatingImage", "out", "Yasmina", "flo");
+  wf.link("crestMatch", "t", "Yasmina", "init");
+
+  wf.link("referenceImage", "out", "Baladin", "ref");
+  wf.link("floatingImage", "out", "Baladin", "flo");
+  wf.link("crestMatch", "t", "Baladin", "init");
+
+  wf.link("methodToTest", "out", "MultiTransfoTest", "method");
+  wf.link("crestMatch", "t", "MultiTransfoTest", "tCrestMatch");
+  wf.link("PFRegister", "t", "MultiTransfoTest", "tPFRegister");
+  wf.link("Yasmina", "t", "MultiTransfoTest", "tYasmina");
+  wf.link("Baladin", "t", "MultiTransfoTest", "tBaladin");
+
+  wf.link("MultiTransfoTest", "accuracy_rotation", "accuracy_rotation", "in");
+  wf.link("MultiTransfoTest", "accuracy_translation", "accuracy_translation", "in");
+
+  wf.validate();
+  return wf;
+}
+
+data::InputDataSet bronze_standard_dataset(std::size_t n_pairs) {
+  MOTEUR_REQUIRE(n_pairs > 0, ParseError, "bronze_standard_dataset: n_pairs must be > 0");
+  data::InputDataSet dataset;
+  for (std::size_t j = 0; j < n_pairs; ++j) {
+    const std::string pair = "pair" + std::to_string(j);
+    dataset.add_item("referenceImage", pair);
+    dataset.add_item("floatingImage", pair);
+    // One scale value per pair keeps the dot product aligned.
+    dataset.add_item("scale", "1");
+  }
+  dataset.add_item("methodToTest", "all");
+  return dataset;
+}
+
+namespace {
+
+JobProfile profile(double seconds, double in_mb, double out_mb) {
+  return JobProfile{seconds, in_mb, out_mb};
+}
+
+}  // namespace
+
+std::vector<services::CatalogEntry> bronze_catalog(const BronzeProfiles& p) {
+  using services::CatalogEntry;
+  std::vector<CatalogEntry> catalog;
+  catalog.push_back(CatalogEntry{
+      "crestLines", {"im1", "im2", "s"}, {"c1", "c2"},
+      profile(p.crest_lines_seconds, 2.0 * p.image_megabytes,
+              2.0 * p.image_megabytes / 4.0)});
+  catalog.push_back(CatalogEntry{
+      "crestMatch", {"c1", "c2"}, {"t"},
+      profile(p.crest_match_seconds, 2.0 * p.image_megabytes / 4.0,
+              p.transform_megabytes)});
+  catalog.push_back(CatalogEntry{
+      "PFMatchICP", {"c1", "c2", "init"}, {"t"},
+      profile(p.pf_match_icp_seconds, 2.0 * p.image_megabytes / 4.0,
+              p.transform_megabytes)});
+  catalog.push_back(CatalogEntry{
+      "PFRegister", {"c1", "c2", "init"}, {"t"},
+      profile(p.pf_register_seconds, 2.0 * p.image_megabytes / 4.0,
+              p.transform_megabytes)});
+  catalog.push_back(CatalogEntry{
+      "Yasmina", {"ref", "flo", "init"}, {"t"},
+      profile(p.yasmina_seconds, 2.0 * p.image_megabytes, p.transform_megabytes)});
+  catalog.push_back(CatalogEntry{
+      "Baladin", {"ref", "flo", "init"}, {"t"},
+      profile(p.baladin_seconds, 2.0 * p.image_megabytes, p.transform_megabytes)});
+  catalog.push_back(CatalogEntry{
+      "MultiTransfoTest",
+      {"method", "tCrestMatch", "tPFRegister", "tYasmina", "tBaladin"},
+      {"accuracy_rotation", "accuracy_translation"},
+      profile(p.multi_transfo_seconds, 0.1, 0.01)});
+  return catalog;
+}
+
+void register_simulated_services(services::ServiceRegistry& registry,
+                                 const BronzeProfiles& p) {
+  for (const auto& entry : bronze_catalog(p)) {
+    registry.add(services::make_simulated_service(entry.id, entry.input_ports,
+                                                  entry.output_ports, entry.profile));
+  }
+}
+
+namespace {
+
+/// Payload types flowing between the real services.
+struct PairImages {
+  std::shared_ptr<const Image3D> image;
+  std::size_t pair_index = 0;
+};
+
+Result transform_result(const std::string& port, const RigidTransform& transform,
+                        double residual) {
+  Result result;
+  services::OutputValue value;
+  value.payload = transform;
+  value.repr = "transform(res=" + std::to_string(residual) + ")";
+  result.outputs.emplace(port, std::move(value));
+  return result;
+}
+
+}  // namespace
+
+enactor::Enactor::PayloadResolver bronze_payload_resolver(
+    std::shared_ptr<const std::vector<ImagePair>> database) {
+  return [database](const std::string& source, std::size_t index,
+                    const std::string& item) -> std::any {
+    if (source == "referenceImage" || source == "floatingImage") {
+      MOTEUR_REQUIRE(index < database->size(), EnactmentError,
+                     "data set references pair " + std::to_string(index) +
+                         " beyond the database size");
+      const ImagePair& pair = (*database)[index];
+      auto image = std::make_shared<const Image3D>(
+          source == "referenceImage" ? pair.reference : pair.floating);
+      return PairImages{std::move(image), index};
+    }
+    return item;  // scale / methodToTest stay strings
+  };
+}
+
+void register_real_services(services::ServiceRegistry& registry,
+                            std::shared_ptr<const std::vector<ImagePair>> database,
+                            const BronzeProfiles& p) {
+  (void)database;  // images arrive via token payloads; kept for symmetry
+
+  registry.add(std::make_shared<FunctionalService>(
+      "crestLines", std::vector<std::string>{"im1", "im2", "s"},
+      std::vector<std::string>{"c1", "c2"},
+      [](const Inputs& in) {
+        const auto& ref = in.at("im1").as<PairImages>();
+        const auto& flo = in.at("im2").as<PairImages>();
+        registration::CrestOptions options;
+        options.scale = static_cast<std::size_t>(
+            std::max(1.0, std::stod(in.at("s").as<std::string>())));
+        Result result;
+        services::OutputValue c1;
+        c1.payload = registration::extract_crest_points(*ref.image, options);
+        c1.repr = "crest(ref pair" + std::to_string(ref.pair_index) + ")";
+        services::OutputValue c2;
+        c2.payload = registration::extract_crest_points(*flo.image, options);
+        c2.repr = "crest(flo pair" + std::to_string(flo.pair_index) + ")";
+        result.outputs.emplace("c1", std::move(c1));
+        result.outputs.emplace("c2", std::move(c2));
+        return result;
+      },
+      profile(p.crest_lines_seconds, 2.0 * p.image_megabytes, p.image_megabytes / 2.0)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "crestMatch", std::vector<std::string>{"c1", "c2"}, std::vector<std::string>{"t"},
+      [](const Inputs& in) {
+        const auto result = registration::crest_match(in.at("c1").as<CrestPoints>(),
+                                                      in.at("c2").as<CrestPoints>());
+        return transform_result("t", result.transform, result.residual);
+      },
+      profile(p.crest_match_seconds, p.image_megabytes / 2.0, p.transform_megabytes)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "PFMatchICP", std::vector<std::string>{"c1", "c2", "init"},
+      std::vector<std::string>{"t"},
+      [](const Inputs& in) {
+        const auto result = registration::icp(
+            registration::positions(in.at("c1").as<CrestPoints>()),
+            registration::positions(in.at("c2").as<CrestPoints>()),
+            in.at("init").as<RigidTransform>());
+        return transform_result("t", result.transform, result.residual);
+      },
+      profile(p.pf_match_icp_seconds, p.image_megabytes / 2.0, p.transform_megabytes)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "PFRegister", std::vector<std::string>{"c1", "c2", "init"},
+      std::vector<std::string>{"t"},
+      [](const Inputs& in) {
+        const auto result = registration::pf_register(
+            registration::positions(in.at("c1").as<CrestPoints>()),
+            registration::positions(in.at("c2").as<CrestPoints>()),
+            in.at("init").as<RigidTransform>());
+        return transform_result("t", result.transform, result.residual);
+      },
+      profile(p.pf_register_seconds, p.image_megabytes / 2.0, p.transform_megabytes)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "Yasmina", std::vector<std::string>{"ref", "flo", "init"},
+      std::vector<std::string>{"t"},
+      [](const Inputs& in) {
+        const auto result = registration::yasmina(*in.at("ref").as<PairImages>().image,
+                                                  *in.at("flo").as<PairImages>().image,
+                                                  in.at("init").as<RigidTransform>());
+        return transform_result("t", result.transform, result.residual);
+      },
+      profile(p.yasmina_seconds, 2.0 * p.image_megabytes, p.transform_megabytes)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "Baladin", std::vector<std::string>{"ref", "flo", "init"},
+      std::vector<std::string>{"t"},
+      [](const Inputs& in) {
+        const auto result = registration::baladin(*in.at("ref").as<PairImages>().image,
+                                                  *in.at("flo").as<PairImages>().image,
+                                                  in.at("init").as<RigidTransform>());
+        return transform_result("t", result.transform, result.residual);
+      },
+      profile(p.baladin_seconds, 2.0 * p.image_megabytes, p.transform_megabytes)));
+
+  registry.add(std::make_shared<FunctionalService>(
+      "MultiTransfoTest",
+      std::vector<std::string>{"method", "tCrestMatch", "tPFRegister", "tYasmina",
+                               "tBaladin"},
+      std::vector<std::string>{"accuracy_rotation", "accuracy_translation"},
+      [](const Inputs& in) {
+        // Each input arrives as the whole stream (synchronization barrier):
+        // a vector of transform tokens sorted by iteration index.
+        const auto transforms_of = [&](const std::string& port) {
+          std::vector<RigidTransform> out;
+          for (const auto& token : in.at(port).as<std::vector<data::Token>>()) {
+            out.push_back(token.as<RigidTransform>());
+          }
+          return out;
+        };
+        std::vector<registration::AlgorithmEstimates> estimates;
+        estimates.push_back({"crestMatch", transforms_of("tCrestMatch")});
+        estimates.push_back({"PFRegister", transforms_of("tPFRegister")});
+        estimates.push_back({"Yasmina", transforms_of("tYasmina")});
+        estimates.push_back({"Baladin", transforms_of("tBaladin")});
+        const registration::BronzeResult bronze =
+            registration::evaluate_bronze_standard(estimates);
+
+        Result result;
+        std::string rotation_repr, translation_repr;
+        for (const auto& acc : bronze.accuracies) {
+          rotation_repr += acc.algorithm + "=" +
+                           std::to_string(acc.rotation_mean_degrees) + "deg ";
+          translation_repr += acc.algorithm + "=" +
+                              std::to_string(acc.translation_mean) + "mm ";
+        }
+        services::OutputValue rotation;
+        rotation.payload = bronze;
+        rotation.repr = rotation_repr;
+        services::OutputValue translation;
+        translation.payload = bronze;
+        translation.repr = translation_repr;
+        result.outputs.emplace("accuracy_rotation", std::move(rotation));
+        result.outputs.emplace("accuracy_translation", std::move(translation));
+        return result;
+      },
+      profile(p.multi_transfo_seconds, 0.1, 0.01)));
+}
+
+std::shared_ptr<const std::vector<ImagePair>> make_bronze_database(
+    std::uint64_t seed, std::size_t n_pairs, const registration::PhantomOptions& options) {
+  // ~5 pairs per patient, like the paper's 12/66/126 pairs from 1/7/25
+  // patients followed over several time points.
+  const std::size_t patients = std::max<std::size_t>(1, (n_pairs + 4) / 5);
+  const std::size_t per_patient = (n_pairs + patients - 1) / patients;
+  auto pairs = registration::make_database(seed, patients, per_patient, options);
+  pairs.resize(n_pairs, pairs.back());
+  return std::make_shared<const std::vector<ImagePair>>(std::move(pairs));
+}
+
+}  // namespace moteur::app

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "registration/phantom.hpp"
+#include "services/catalog.hpp"
+#include "services/registry.hpp"
+#include "workflow/graph.hpp"
+
+namespace moteur::app {
+
+/// The Bronze-Standard medical-image registration application of the
+/// paper's evaluation (§4.2, Figure 9): two image sources feed a
+/// pre-processing step (crestLines) and four registration algorithms
+/// (crestMatch; Baladin; Yasmina; PFMatchICP/PFRegister), whose transforms
+/// are evaluated by the synchronized MultiTransfoTest service against the
+/// mean of the other algorithms.
+///
+/// Critical path: crestLines -> crestMatch -> PFMatchICP -> PFRegister ->
+/// MultiTransfoTest, i.e. nW = 5; each image pair triggers 6 job
+/// submissions (matching the paper's 72/396/756 totals for 12/66/126
+/// pairs).
+workflow::Workflow bronze_standard_workflow();
+
+/// Input data set naming `n_pairs` image pairs (items "pair0".."pairN-1" on
+/// both image sources plus the crest-extraction scale and the method list).
+data::InputDataSet bronze_standard_dataset(std::size_t n_pairs);
+
+/// Per-service grid-job profiles calibrated to the paper's EGEE runs
+/// (compute times in the minutes range against a ~10-minute overhead;
+/// 7.8 MB images, small transform files).
+struct BronzeProfiles {
+  double crest_lines_seconds = 90.0;
+  double crest_match_seconds = 35.0;
+  double pf_match_icp_seconds = 65.0;
+  double pf_register_seconds = 45.0;
+  double yasmina_seconds = 150.0;
+  double baladin_seconds = 120.0;
+  double multi_transfo_seconds = 60.0;
+  double image_megabytes = 7.8;
+  double transform_megabytes = 0.01;
+};
+
+/// Register pure-simulation services (job profiles only) for every
+/// processor of the Bronze-Standard workflow.
+void register_simulated_services(services::ServiceRegistry& registry,
+                                 const BronzeProfiles& profiles = {});
+
+/// The same service profiles as an XML-exportable catalog (see
+/// services/catalog.hpp), so document-driven runs (moteur_cli) can enact the
+/// Bronze Standard without code.
+std::vector<services::CatalogEntry> bronze_catalog(const BronzeProfiles& profiles = {});
+
+/// Register services that REALLY compute, against a synthetic image
+/// database: crest extraction, descriptor matching, ICP, block matching and
+/// similarity optimization from src/registration, with the bronze-standard
+/// statistics in MultiTransfoTest. Token payloads carry the images and
+/// transforms; pair names index into `database`.
+void register_real_services(services::ServiceRegistry& registry,
+                            std::shared_ptr<const std::vector<registration::ImagePair>>
+                                database,
+                            const BronzeProfiles& profiles = {});
+
+/// Payload resolver for real runs: source items "pairK" resolve to the
+/// corresponding image of `database` (reference or floating depending on
+/// the source), "scale" items to their numeric value.
+enactor::Enactor::PayloadResolver bronze_payload_resolver(
+    std::shared_ptr<const std::vector<registration::ImagePair>> database);
+
+/// Synthetic database sized like the paper's experiment sets (1 patient for
+/// 12 pairs, 7 for 66, 25 for 126 — ~5 pairs per patient).
+std::shared_ptr<const std::vector<registration::ImagePair>> make_bronze_database(
+    std::uint64_t seed, std::size_t n_pairs,
+    const registration::PhantomOptions& options = {});
+
+}  // namespace moteur::app

@@ -1,0 +1,154 @@
+#include "app/experiment.hpp"
+
+#include <sstream>
+
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace moteur::app {
+
+namespace {
+
+RunOutcome run_replica(const enactor::EnactmentPolicy& policy, std::size_t n_pairs,
+                       const ExperimentOptions& options, std::uint64_t seed) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, options.grid_preset(seed));
+  enactor::SimGridBackend backend(grid);
+
+  services::ServiceRegistry registry;
+  register_simulated_services(registry, options.profiles);
+
+  enactor::Enactor enactor(backend, registry, policy);
+  const enactor::EnactmentResult result =
+      enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+
+  RunOutcome outcome;
+  outcome.configuration = policy.name();
+  outcome.n_pairs = n_pairs;
+  outcome.makespan_seconds = result.makespan();
+  outcome.jobs_submitted = result.submissions;
+  outcome.invocations = result.invocations;
+  outcome.failures = result.failures;
+  outcome.mean_job_overhead = grid.stats().overhead_seconds.mean();
+  return outcome;
+}
+
+}  // namespace
+
+RunOutcome run_bronze_once(const enactor::EnactmentPolicy& policy, std::size_t n_pairs,
+                           const ExperimentOptions& options) {
+  const std::size_t replicas = std::max<std::size_t>(1, options.replicas);
+  RunOutcome mean = run_replica(policy, n_pairs, options, options.seed);
+  for (std::size_t r = 1; r < replicas; ++r) {
+    const RunOutcome next =
+        run_replica(policy, n_pairs, options, options.seed + 1000 * r);
+    mean.makespan_seconds += next.makespan_seconds;
+    mean.mean_job_overhead += next.mean_job_overhead;
+    mean.failures += next.failures;
+  }
+  mean.makespan_seconds /= static_cast<double>(replicas);
+  mean.mean_job_overhead /= static_cast<double>(replicas);
+  return mean;
+}
+
+const RunOutcome& ExperimentTable::cell(const std::string& configuration,
+                                        std::size_t n_pairs) const {
+  for (const auto& row : rows) {
+    if (row.configuration == configuration && row.n_pairs == n_pairs) return row;
+  }
+  throw InternalError("no experiment cell for " + configuration + " x " +
+                      std::to_string(n_pairs));
+}
+
+model::Series ExperimentTable::series(const std::string& configuration) const {
+  model::Series out;
+  out.label = configuration;
+  for (const auto& row : rows) {
+    if (row.configuration == configuration) {
+      out.sizes.push_back(static_cast<double>(row.n_pairs));
+      out.times.push_back(row.makespan_seconds);
+    }
+  }
+  MOTEUR_REQUIRE(!out.sizes.empty(), InternalError,
+                 "no runs recorded for configuration '" + configuration + "'");
+  return out;
+}
+
+namespace {
+
+std::vector<std::size_t> sizes_of(const std::vector<RunOutcome>& rows) {
+  std::vector<std::size_t> sizes;
+  for (const auto& row : rows) {
+    if (std::find(sizes.begin(), sizes.end(), row.n_pairs) == sizes.end()) {
+      sizes.push_back(row.n_pairs);
+    }
+  }
+  return sizes;
+}
+
+std::vector<std::string> configurations_of(const std::vector<RunOutcome>& rows) {
+  std::vector<std::string> configs;
+  for (const auto& row : rows) {
+    if (std::find(configs.begin(), configs.end(), row.configuration) == configs.end()) {
+      configs.push_back(row.configuration);
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+std::string ExperimentTable::render_table1() const {
+  const auto sizes = sizes_of(rows);
+  const auto configs = configurations_of(rows);
+  std::ostringstream os;
+  os << pad_right("Configuration", 14) << "  Computation time (s)\n";
+  os << pad_right("", 14);
+  for (const auto size : sizes) {
+    os << pad_left(std::to_string(size) + " images", 14);
+  }
+  os << '\n';
+  for (const auto& config : configs) {
+    os << pad_right(config, 14);
+    for (const auto size : sizes) {
+      os << pad_left(format_fixed(cell(config, size).makespan_seconds, 0), 14);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ExperimentTable::render_figure10() const {
+  const auto sizes = sizes_of(rows);
+  const auto configs = configurations_of(rows);
+  std::ostringstream os;
+  os << "# Execution time (hours) vs number of input image pairs\n";
+  os << pad_right("pairs", 8);
+  for (const auto& config : configs) os << pad_left(config, 12);
+  os << '\n';
+  for (const auto size : sizes) {
+    os << pad_right(std::to_string(size), 8);
+    for (const auto& config : configs) {
+      os << pad_left(format_fixed(cell(config, size).makespan_seconds / 3600.0, 2), 12);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ExperimentTable run_bronze_experiment(const ExperimentOptions& options) {
+  ExperimentTable table;
+  for (const auto& config : options.configurations) {
+    const enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::parse(config);
+    for (const auto size : options.sizes) {
+      table.rows.push_back(run_bronze_once(policy, size, options));
+    }
+  }
+  return table;
+}
+
+}  // namespace moteur::app

@@ -1,0 +1,85 @@
+#include "data/dataset.hpp"
+
+#include "util/error.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur::data {
+
+InputDataSet::Input* InputDataSet::find(const std::string& name) {
+  for (auto& input : inputs_) {
+    if (input.name == name) return &input;
+  }
+  return nullptr;
+}
+
+const InputDataSet::Input* InputDataSet::find(const std::string& name) const {
+  for (const auto& input : inputs_) {
+    if (input.name == name) return &input;
+  }
+  return nullptr;
+}
+
+void InputDataSet::add_item(const std::string& input_name, std::string value) {
+  declare_input(input_name);
+  find(input_name)->items.push_back(std::move(value));
+}
+
+void InputDataSet::declare_input(const std::string& input_name) {
+  if (find(input_name) == nullptr) {
+    inputs_.push_back(Input{input_name, {}});
+  }
+}
+
+std::vector<std::string> InputDataSet::input_names() const {
+  std::vector<std::string> names;
+  names.reserve(inputs_.size());
+  for (const auto& input : inputs_) names.push_back(input.name);
+  return names;
+}
+
+bool InputDataSet::has_input(const std::string& input_name) const {
+  return find(input_name) != nullptr;
+}
+
+const std::vector<std::string>& InputDataSet::items(const std::string& input_name) const {
+  const Input* input = find(input_name);
+  MOTEUR_REQUIRE(input != nullptr, ParseError,
+                 "data set has no input named '" + input_name + "'");
+  return input->items;
+}
+
+std::size_t InputDataSet::item_count(const std::string& input_name) const {
+  const Input* input = find(input_name);
+  return input == nullptr ? 0 : input->items.size();
+}
+
+std::string InputDataSet::to_xml() const {
+  auto root = std::make_unique<xml::Node>("dataset");
+  for (const auto& input : inputs_) {
+    auto& input_node = root->add_child("input");
+    input_node.set_attribute("name", input.name);
+    for (const auto& item : input.items) {
+      input_node.add_child("item").set_attribute("value", item);
+    }
+  }
+  return xml::Document(std::move(root)).to_string();
+}
+
+InputDataSet InputDataSet::from_xml(const std::string& text) {
+  const xml::Document doc = xml::parse(text);
+  MOTEUR_REQUIRE(doc.root().name() == "dataset", ParseError,
+                 "expected <dataset> root, got <" + doc.root().name() + ">");
+  InputDataSet out;
+  for (const xml::Node* input_node : doc.root().children_named("input")) {
+    const std::string name = input_node->required_attribute("name");
+    MOTEUR_REQUIRE(!out.has_input(name), ParseError,
+                   "duplicate <input name=\"" + name + "\"> in data set");
+    out.inputs_.push_back(Input{name, {}});
+    for (const xml::Node* item : input_node->children_named("item")) {
+      out.inputs_.back().items.push_back(item->required_attribute("value"));
+    }
+  }
+  return out;
+}
+
+}  // namespace moteur::data

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moteur::data {
+
+/// Description of the input data a workflow run iterates over — the paper's
+/// "XML-based language to describe input data sets", which exists so a run
+/// can be saved and re-executed on the same data (§4.1).
+///
+/// Each workflow input (data source) maps to an ordered list of items; an
+/// item is the string a service receives (a Grid File Name, URL or literal
+/// parameter value).
+class InputDataSet {
+ public:
+  /// Append an item to the named input (created on first use).
+  void add_item(const std::string& input_name, std::string value);
+
+  /// Declare an input that may stay empty (a source with zero items).
+  void declare_input(const std::string& input_name);
+
+  /// All input names, in first-use order.
+  std::vector<std::string> input_names() const;
+
+  bool has_input(const std::string& input_name) const;
+
+  /// Items of an input; throws ParseError if the input is unknown.
+  const std::vector<std::string>& items(const std::string& input_name) const;
+
+  std::size_t item_count(const std::string& input_name) const;
+
+  /// Number of inputs.
+  std::size_t input_count() const { return inputs_.size(); }
+
+  /// Serialize to the <dataset> XML format.
+  std::string to_xml() const;
+
+  /// Parse from the <dataset> XML format.
+  static InputDataSet from_xml(const std::string& text);
+
+ private:
+  struct Input {
+    std::string name;
+    std::vector<std::string> items;
+  };
+  std::vector<Input> inputs_;
+
+  Input* find(const std::string& name);
+  const Input* find(const std::string& name) const;
+};
+
+}  // namespace moteur::data

@@ -1,0 +1,73 @@
+#include "data/provenance.hpp"
+
+#include <functional>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace moteur::data {
+
+Provenance::Ptr Provenance::source(const std::string& source_name, std::size_t index) {
+  auto node = std::shared_ptr<Provenance>(new Provenance());
+  node->producer_ = source_name;
+  node->source_index_ = index;
+  node->key_ = source_name + "[" + std::to_string(index) + "]";
+  return node;
+}
+
+Provenance::Ptr Provenance::derived(const std::string& processor,
+                                    const std::string& port,
+                                    std::vector<Ptr> inputs) {
+  MOTEUR_REQUIRE(!inputs.empty(), InternalError,
+                 "derived provenance requires at least one input");
+  for (const auto& input : inputs) {
+    MOTEUR_REQUIRE(input != nullptr, InternalError, "null provenance input");
+  }
+  auto node = std::shared_ptr<Provenance>(new Provenance());
+  node->producer_ = processor;
+  node->port_ = port;
+  node->inputs_ = std::move(inputs);
+  std::string key = processor;
+  if (!port.empty()) key += "." + port;
+  key += "(";
+  for (std::size_t i = 0; i < node->inputs_.size(); ++i) {
+    if (i != 0) key += ",";
+    key += node->inputs_[i]->key();
+  }
+  key += ")";
+  node->key_ = std::move(key);
+  return node;
+}
+
+std::map<std::string, std::set<std::size_t>> Provenance::source_indices() const {
+  std::map<std::string, std::set<std::size_t>> out;
+  std::function<void(const Provenance&)> walk = [&](const Provenance& node) {
+    if (node.is_source()) {
+      out[node.producer()].insert(node.source_index());
+      return;
+    }
+    for (const auto& input : node.inputs()) walk(*input);
+  };
+  walk(*this);
+  return out;
+}
+
+std::size_t Provenance::node_count() const {
+  std::unordered_set<const Provenance*> seen;
+  std::function<void(const Provenance&)> walk = [&](const Provenance& node) {
+    if (!seen.insert(&node).second) return;
+    for (const auto& input : node.inputs()) walk(*input);
+  };
+  walk(*this);
+  return seen.size();
+}
+
+std::size_t Provenance::depth() const {
+  std::size_t best = 0;
+  for (const auto& input : inputs_) best = std::max(best, input->depth() + 1);
+  return best;
+}
+
+bool operator==(const Provenance& a, const Provenance& b) { return a.key() == b.key(); }
+
+}  // namespace moteur::data

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace moteur::data {
+
+/// Immutable history tree attached to every data segment (paper §4.1): the
+/// leaves are workflow-input items, the internal nodes the processings that
+/// produced each intermediate result. The tree "unambiguously identifies the
+/// data": two tokens are the same logical result iff their trees are equal.
+///
+/// Trees are shared (shared_ptr DAG) and hash-consed into a canonical string
+/// key, so equality checks and map lookups are O(1) string compares.
+class Provenance {
+ public:
+  using Ptr = std::shared_ptr<const Provenance>;
+
+  /// Leaf: the `index`-th item produced by workflow source `source_name`.
+  static Ptr source(const std::string& source_name, std::size_t index);
+
+  /// Internal node: output `port` of `processor` computed from `inputs`.
+  static Ptr derived(const std::string& processor, const std::string& port,
+                     std::vector<Ptr> inputs);
+
+  bool is_source() const { return inputs_.empty(); }
+  const std::string& producer() const { return producer_; }
+  const std::string& port() const { return port_; }
+  std::size_t source_index() const { return source_index_; }
+  const std::vector<Ptr>& inputs() const { return inputs_; }
+
+  /// Canonical key, e.g. "crestMatch.out(ref[0],flo[0])". Built once.
+  const std::string& key() const { return key_; }
+
+  /// Every (source name -> set of item indices) reachable from this node.
+  /// Dot-product causality checks use this to detect incompatible lineage.
+  std::map<std::string, std::set<std::size_t>> source_indices() const;
+
+  /// Total number of nodes in the tree (shared subtrees counted once).
+  std::size_t node_count() const;
+
+  /// Longest path from this node down to a leaf (leaf depth = 0).
+  std::size_t depth() const;
+
+ private:
+  Provenance() = default;
+
+  std::string producer_;       // processor or source name
+  std::string port_;           // empty for leaves
+  std::size_t source_index_ = 0;
+  std::vector<Ptr> inputs_;
+  std::string key_;
+};
+
+bool operator==(const Provenance& a, const Provenance& b);
+
+}  // namespace moteur::data

@@ -1,0 +1,57 @@
+#include "data/provenance_xml.hpp"
+
+#include <memory>
+
+#include "xml/xml.hpp"
+
+namespace moteur::data {
+
+namespace {
+
+void write_tree(xml::Node& parent, const Provenance& node) {
+  if (node.is_source()) {
+    auto& leaf = parent.add_child("item");
+    leaf.set_attribute("source", node.producer());
+    leaf.set_attribute("index", std::to_string(node.source_index()));
+    return;
+  }
+  auto& derivation = parent.add_child("derivation");
+  derivation.set_attribute("producer", node.producer());
+  if (!node.port().empty()) derivation.set_attribute("port", node.port());
+  for (const auto& input : node.inputs()) write_tree(derivation, *input);
+}
+
+}  // namespace
+
+std::string provenance_to_xml(const Provenance& node) {
+  auto root = std::make_unique<xml::Node>("provenance");
+  write_tree(*root, node);
+  return xml::Document(std::move(root)).to_string();
+}
+
+std::string export_provenance(
+    const std::map<std::string, std::vector<Token>>& sink_outputs) {
+  auto root = std::make_unique<xml::Node>("provenance");
+  for (const auto& [sink, tokens] : sink_outputs) {
+    for (const Token& token : tokens) {
+      auto& result = root->add_child("result");
+      result.set_attribute("sink", sink);
+      result.set_attribute("index", to_string(token.indices()));
+      result.set_attribute("repr", token.repr());
+      write_tree(result, *token.provenance());
+    }
+  }
+  return xml::Document(std::move(root)).to_string();
+}
+
+ProvenanceStats summarize(const Provenance& node) {
+  ProvenanceStats stats;
+  stats.nodes = node.node_count();
+  stats.depth = node.depth();
+  for (const auto& [source, indices] : node.source_indices()) {
+    stats.source_items += indices.size();
+  }
+  return stats;
+}
+
+}  // namespace moteur::data

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/token.hpp"
+
+namespace moteur::data {
+
+/// Provenance documents (paper §4.1 / ref [32]): the history trees of the
+/// data a run produced, serialized so results can be traced back to the
+/// exact input items and processings that made them.
+///
+///   <provenance>
+///     <result sink="accuracy_rotation" index="[]" repr="...">
+///       <derivation producer="MultiTransfoTest" port="accuracy_rotation">
+///         <derivation producer="crestMatch" port="t"> ... </derivation>
+///         ...
+///         <item source="referenceImage" index="0"/>
+///       </derivation>
+///     </result>
+///   </provenance>
+
+/// Serialize one history tree rooted at `node`.
+std::string provenance_to_xml(const Provenance& node);
+
+/// Serialize the complete provenance of a run's sink outputs.
+std::string export_provenance(
+    const std::map<std::string, std::vector<Token>>& sink_outputs);
+
+/// Summary statistics of a history tree (for reports and tests).
+struct ProvenanceStats {
+  std::size_t nodes = 0;
+  std::size_t depth = 0;
+  std::size_t source_items = 0;  // distinct (source, index) leaves
+};
+ProvenanceStats summarize(const Provenance& node);
+
+}  // namespace moteur::data

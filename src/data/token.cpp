@@ -1,0 +1,54 @@
+#include "data/token.hpp"
+
+#include "util/error.hpp"
+
+namespace moteur::data {
+
+std::string to_string(const IndexVector& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Token::Token(std::any payload, std::string repr, IndexVector indices,
+             Provenance::Ptr provenance)
+    : payload_(std::move(payload)),
+      repr_(std::move(repr)),
+      indices_(std::move(indices)),
+      provenance_(std::move(provenance)) {
+  MOTEUR_REQUIRE(provenance_ != nullptr, InternalError, "token without provenance");
+}
+
+Token Token::from_source(const std::string& source_name, std::size_t index,
+                         std::any payload, std::string repr) {
+  return Token(std::move(payload), std::move(repr), IndexVector{index},
+               Provenance::source(source_name, index));
+}
+
+Token Token::derived(const std::string& processor, const std::string& port,
+                     const std::vector<Token>& inputs, IndexVector indices,
+                     std::any payload, std::string repr) {
+  std::vector<Provenance::Ptr> input_histories;
+  input_histories.reserve(inputs.size());
+  for (const auto& input : inputs) input_histories.push_back(input.provenance());
+  return Token(std::move(payload), std::move(repr), std::move(indices),
+               Provenance::derived(processor, port, std::move(input_histories)));
+}
+
+const std::string& Token::id() const {
+  MOTEUR_REQUIRE(provenance_ != nullptr, InternalError, "token without provenance");
+  return provenance_->key();
+}
+
+const std::any& Token::require_payload() const {
+  MOTEUR_REQUIRE(payload_.has_value(), EnactmentError,
+                 "token '" + (provenance_ ? provenance_->key() : std::string("?")) +
+                     "' carries no payload");
+  return payload_;
+}
+
+}  // namespace moteur::data

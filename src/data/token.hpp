@@ -1,0 +1,68 @@
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/provenance.hpp"
+
+namespace moteur::data {
+
+/// Composite iteration index of a data token: source items carry {rank};
+/// a dot product preserves the common index; a cross product concatenates
+/// the operand indices. Equal index vectors identify "the k-th result" no
+/// matter the completion order — the mechanism that keeps dot products
+/// causally correct under data/service parallelism (paper §4.1).
+using IndexVector = std::vector<std::size_t>;
+
+std::string to_string(const IndexVector& v);
+
+/// One piece of data flowing through the workflow. Tokens are cheap to copy:
+/// payloads are shared, provenance trees are shared.
+class Token {
+ public:
+  Token() = default;
+  Token(std::any payload, std::string repr, IndexVector indices, Provenance::Ptr provenance);
+
+  /// Token for the `index`-th item emitted by workflow source `source_name`.
+  static Token from_source(const std::string& source_name, std::size_t index,
+                           std::any payload, std::string repr);
+
+  /// Token produced on `port` of `processor` from the given input tokens.
+  static Token derived(const std::string& processor, const std::string& port,
+                       const std::vector<Token>& inputs, IndexVector indices,
+                       std::any payload, std::string repr);
+
+  const std::any& payload() const { return payload_; }
+  /// Typed access; throws std::bad_any_cast on mismatch.
+  template <typename T>
+  const T& as() const {
+    return *std::any_cast<T>(&require_payload());
+  }
+  template <typename T>
+  bool holds() const {
+    return std::any_cast<T>(&payload_) != nullptr;
+  }
+
+  /// Short human-readable rendition (file name, value, ...).
+  const std::string& repr() const { return repr_; }
+
+  const IndexVector& indices() const { return indices_; }
+  const Provenance::Ptr& provenance() const { return provenance_; }
+
+  /// Unique identity (the provenance key).
+  const std::string& id() const;
+
+  bool has_payload() const { return payload_.has_value(); }
+
+ private:
+  const std::any& require_payload() const;
+
+  std::any payload_;
+  std::string repr_;
+  IndexVector indices_;
+  Provenance::Ptr provenance_;
+};
+
+}  // namespace moteur::data

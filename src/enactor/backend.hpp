@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/job.hpp"
+#include "services/service.hpp"
+
+namespace moteur::enactor {
+
+/// Outcome of one backend execution (possibly covering several batched
+/// input bindings submitted as a single unit of work).
+struct Completion {
+  bool success = true;
+  std::string error;
+  /// One result per submitted binding, aligned with the submission order.
+  std::vector<services::Result> results;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::optional<grid::JobRecord> job;
+};
+
+/// Where service invocations actually run. The enactor core is event-driven
+/// and single-threaded; backends deliver completions by invoking the
+/// callback from within drive().
+class ExecutionBackend {
+ public:
+  using Callback = std::function<void(Completion)>;
+
+  virtual ~ExecutionBackend() = default;
+
+  /// Execute `bindings.size()` invocations of `service` as one unit of work
+  /// (one grid job / one worker-thread task). `bindings` must not be empty.
+  /// The callback fires exactly once, from within drive().
+  virtual void execute(std::shared_ptr<services::Service> service,
+                       std::vector<services::Inputs> bindings, Callback on_complete) = 0;
+
+  /// Current backend time in seconds.
+  virtual double now() const = 0;
+
+  /// Dispatch completions until `done()` returns true. Returns false if the
+  /// backend ran out of work (no pending executions) before done() held —
+  /// the enactor treats that as a stall and attempts feedback closure.
+  virtual bool drive(const std::function<bool()>& done) = 0;
+};
+
+}  // namespace moteur::enactor

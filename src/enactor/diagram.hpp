@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enactor/timeline.hpp"
+
+namespace moteur::enactor {
+
+/// ASCII rendition of the paper's execution diagrams (Figures 4, 5 and 6):
+/// one row per processor, the abscissa is time, and a data set Dj appears in
+/// a cell while that processor works on it. Idle periods render as 'X',
+/// matching the paper's crosses.
+struct DiagramOptions {
+  /// Time per column. 0 derives it from the shortest invocation span.
+  double seconds_per_column = 0.0;
+  /// Hard cap on rendered columns (long tails are truncated with "...").
+  std::size_t max_columns = 120;
+};
+
+/// `row_order` lists the processors to draw, top to bottom. Processors with
+/// no trace are drawn as fully idle.
+std::string render_execution_diagram(const Timeline& timeline,
+                                     const std::vector<std::string>& row_order,
+                                     const DiagramOptions& options = {});
+
+/// One-line-per-invocation chronology (submit/start/end, data, grid site).
+std::string render_trace_table(const Timeline& timeline);
+
+}  // namespace moteur::enactor

@@ -1,0 +1,604 @@
+#include "enactor/enactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/iteration.hpp"
+#include "workflow/iteration_tree.hpp"
+
+namespace moteur::enactor {
+
+namespace {
+
+using workflow::CompositeIterationBuffer;
+using workflow::IterationBuffer;
+using workflow::IterationNode;
+using workflow::Link;
+using workflow::Processor;
+using workflow::ProcessorKind;
+using workflow::Workflow;
+
+/// One full enactment. Single-threaded: every method runs on the thread
+/// driving the backend; backends funnel completions through drive().
+class Engine {
+ public:
+  Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
+         const EnactmentPolicy& policy, const Enactor::PayloadResolver& resolver,
+         const Enactor::ProgressListener& listener, Workflow workflow,
+         const data::InputDataSet& inputs)
+      : backend_(backend),
+        registry_(registry),
+        policy_(policy),
+        resolver_(resolver),
+        listener_(listener),
+        workflow_(std::move(workflow)),
+        inputs_(inputs) {}
+
+  EnactmentResult execute();
+
+ private:
+  struct PState {
+    const Processor* proc = nullptr;
+    std::shared_ptr<services::Service> service;       // null for sources/sinks
+    std::unique_ptr<CompositeIterationBuffer> buffer;  // plain services only
+    std::map<std::string, std::vector<data::Token>> collected;  // sync + sinks
+    std::set<std::string> collected_closed;           // closed ports (sync/sink)
+    std::deque<IterationBuffer::Tuple> ready;
+    std::size_t in_flight = 0;
+    std::size_t fired = 0;
+    bool finished = false;
+    bool sync_fired = false;
+  };
+
+  void build_states();
+  void emit_sources();
+  void deliver(const Link& link, const data::Token& token);
+  /// Dispatch everything firable, then run the closure fixpoint; repeat
+  /// until a full pass makes no progress.
+  void pump();
+  bool dispatch_pass();
+  bool closure_pass();
+  bool can_fire(const PState& state) const;
+  /// Data sets batched into the next submission of this service (§5.4
+  /// adaptive granularity when enabled, else the static policy value).
+  std::size_t target_batch(const PState& state) const;
+  void fire(PState& state, std::vector<IterationBuffer::Tuple> tuples);
+  void fire_barrier(PState& state);
+  void on_complete(PState& state, const std::vector<IterationBuffer::Tuple>& tuples,
+                   Completion completion);
+  bool try_feedback_closure();
+  bool all_finished() const;
+  void check_binding(const PState& state) const;
+
+  PState& state_of(const std::string& name) { return states_.at(name); }
+
+  void notify(ProgressEvent::Kind kind, const std::string& processor,
+              std::size_t tuples) const {
+    if (!listener_) return;
+    ProgressEvent event;
+    event.kind = kind;
+    event.processor = processor;
+    event.tuples = tuples;
+    event.time = backend_.now();
+    event.total_invocations = result_.invocations;
+    event.total_submissions = result_.submissions;
+    listener_(event);
+  }
+
+  ExecutionBackend& backend_;
+  services::ServiceRegistry& registry_;
+  const EnactmentPolicy& policy_;
+  const Enactor::PayloadResolver& resolver_;
+  const Enactor::ProgressListener& listener_;
+  Workflow workflow_;
+  const data::InputDataSet& inputs_;
+
+  std::map<std::string, PState> states_;
+  std::vector<std::string> topo_order_;
+  /// Iteration counters per feedback link (index extension, see deliver()).
+  std::map<const Link*, std::size_t> feedback_counters_;
+  /// SP-off stage barrier: per processor, the data predecessors it must see
+  /// finished before firing. Members of the same loop are exempt (a cycle
+  /// cannot stage-synchronize on itself).
+  std::map<std::string, std::set<std::string>> stage_predecessors_;
+  /// Online estimate of the per-job middleware overhead (adaptive batching).
+  RunningStats observed_overhead_;
+  EnactmentResult result_;
+};
+
+void Engine::build_states() {
+  topo_order_ = workflow::topological_order(workflow_);
+
+  // Reachability INCLUDING feedback links, to detect loop partners.
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& proc : workflow_.processors()) reach[proc.name];
+  bool changed = true;
+  for (const auto& link : workflow_.links()) {
+    reach[link.from_processor].insert(link.to_processor);
+  }
+  while (changed) {
+    changed = false;
+    for (auto& [name, set] : reach) {
+      const auto snapshot = set;
+      for (const auto& next : snapshot) {
+        for (const auto& transitive : reach[next]) {
+          if (set.insert(transitive).second) changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& proc : workflow_.processors()) {
+    auto& waits = stage_predecessors_[proc.name];
+    for (const Link* link : workflow_.links_into(proc.name)) {
+      if (link->feedback) continue;
+      const std::string& pred = link->from_processor;
+      // Same loop: pred reachable from proc and proc reachable from pred.
+      if (reach[proc.name].count(pred) != 0 && reach[pred].count(proc.name) != 0) {
+        continue;
+      }
+      waits.insert(pred);
+    }
+  }
+  for (const auto& proc : workflow_.processors()) {
+    PState state;
+    state.proc = &proc;
+    if (proc.kind == ProcessorKind::kService) {
+      state.service = registry_.resolve(proc);
+      if (proc.synchronization) {
+        for (const auto& port : proc.input_ports) state.collected[port];
+      } else if (proc.iteration_tree != nullptr) {
+        state.buffer = std::make_unique<CompositeIterationBuffer>(*proc.iteration_tree);
+      } else {
+        // Flat dot/cross over all ports: a one-combinator tree.
+        std::vector<IterationNode> leaves;
+        for (const auto& port : proc.input_ports) {
+          leaves.push_back(IterationNode::leaf(port));
+        }
+        state.buffer = std::make_unique<CompositeIterationBuffer>(
+            proc.iteration == workflow::IterationStrategy::kDot
+                ? IterationNode::dot(std::move(leaves))
+                : IterationNode::cross(std::move(leaves)));
+      }
+      check_binding(state);
+    } else if (proc.kind == ProcessorKind::kSink) {
+      state.collected["in"];
+    }
+    states_.emplace(proc.name, std::move(state));
+  }
+}
+
+void Engine::check_binding(const PState& state) const {
+  const std::set<std::string> service_inputs = [&] {
+    const auto ports = state.service->input_ports();
+    return std::set<std::string>(ports.begin(), ports.end());
+  }();
+  const std::set<std::string> proc_inputs(state.proc->input_ports.begin(),
+                                          state.proc->input_ports.end());
+  MOTEUR_REQUIRE(service_inputs == proc_inputs, EnactmentError,
+                 "service '" + state.service->id() + "' input ports do not match processor '" +
+                     state.proc->name + "'");
+  const auto service_outputs = state.service->output_ports();
+  const std::set<std::string> available(service_outputs.begin(), service_outputs.end());
+  for (const auto& port : state.proc->output_ports) {
+    MOTEUR_REQUIRE(available.count(port) != 0, EnactmentError,
+                   "service '" + state.service->id() + "' does not produce output port '" +
+                       port + "' required by processor '" + state.proc->name + "'");
+  }
+}
+
+void Engine::emit_sources() {
+  for (const Processor* source : workflow_.sources()) {
+    MOTEUR_REQUIRE(inputs_.has_input(source->name), EnactmentError,
+                   "input data set provides no items for source '" + source->name + "'");
+    const auto& items = inputs_.items(source->name);
+    const auto outlets = workflow_.links_out_of(source->name);
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      std::any payload =
+          resolver_ ? resolver_(source->name, j, items[j]) : std::any(items[j]);
+      const data::Token token =
+          data::Token::from_source(source->name, j, std::move(payload), items[j]);
+      for (const Link* link : outlets) deliver(*link, token);
+    }
+    state_of(source->name).finished = true;
+    MOTEUR_LOG(kDebug, "enactor") << "source '" << source->name << "' emitted "
+                                  << items.size() << " items";
+  }
+}
+
+void Engine::deliver(const Link& link, const data::Token& token) {
+  PState& consumer = state_of(link.to_processor);
+  data::Token delivered = token;
+  if (link.feedback) {
+    // A token crossing a feedback link opens a new loop iteration: extend
+    // its index with the per-link iteration counter so it cannot collide
+    // with the index it carried on the previous pass (dot buffers reject
+    // duplicate indices).
+    data::IndexVector extended = token.indices();
+    extended.push_back(++feedback_counters_[&link]);
+    delivered = data::Token(token.payload(), token.repr(), std::move(extended),
+                            token.provenance());
+  }
+  if (consumer.proc->kind == ProcessorKind::kSink ||
+      (consumer.proc->kind == ProcessorKind::kService && consumer.proc->synchronization)) {
+    consumer.collected[link.to_port].push_back(std::move(delivered));
+    return;
+  }
+  consumer.buffer->push(link.to_port, std::move(delivered));
+  for (auto& tuple : consumer.buffer->drain_ready()) {
+    consumer.ready.push_back(std::move(tuple));
+  }
+}
+
+bool Engine::can_fire(const PState& state) const {
+  std::size_t capacity = policy_.service_capacity();
+  // A service may advertise a single-host concurrency limit (§3.3).
+  const std::size_t service_limit = state.service->max_concurrent_invocations();
+  if (service_limit != 0) capacity = std::min(capacity, service_limit);
+  if (state.in_flight >= capacity) return false;
+  if (!policy_.service_parallelism) {
+    // Stage synchronization: every data predecessor (outside this
+    // processor's own loop) must be entirely done before it may process
+    // anything.
+    for (const auto& pred : stage_predecessors_.at(state.proc->name)) {
+      if (!states_.at(pred).finished) return false;
+    }
+  }
+  for (const auto& constraint : workflow_.coordination_constraints()) {
+    if (constraint.after == state.proc->name &&
+        !states_.at(constraint.before).finished) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Engine::target_batch(const PState& state) const {
+  if (!policy_.adaptive_batching) return policy_.batch_size;
+  MOTEUR_REQUIRE(policy_.overhead_fraction_target > 0.0 &&
+                     policy_.overhead_fraction_target <= 1.0,
+                 EnactmentError, "overhead_fraction_target must lie in (0, 1]");
+  const double overhead = observed_overhead_.count() >= 3
+                              ? observed_overhead_.mean()
+                              : policy_.overhead_hint_seconds;
+  // Estimate the per-item payload from the front tuple's profile.
+  double compute = 1.0;
+  if (!state.ready.empty()) {
+    services::Inputs binding;
+    const auto& tuple = state.ready.front();
+    const std::vector<std::string>& port_order = state.buffer->ports();
+    for (std::size_t i = 0; i < port_order.size(); ++i) {
+      binding.emplace(port_order[i], tuple.tokens[i]);
+    }
+    compute = std::max(1.0, state.service->job_profile(binding).compute_seconds);
+  }
+  const double f = policy_.overhead_fraction_target;
+  const double needed = overhead * (1.0 - f) / (f * compute);
+  const auto batch = static_cast<std::size_t>(std::ceil(needed));
+  return std::clamp<std::size_t>(batch, 1, policy_.max_batch);
+}
+
+bool Engine::dispatch_pass() {
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.proc->kind != ProcessorKind::kService || state.proc->synchronization ||
+        state.finished) {
+      continue;
+    }
+    while (!state.ready.empty() && can_fire(state)) {
+      const std::size_t batch = target_batch(state);
+      const bool flush = state.buffer->all_closed();
+      if (state.ready.size() < batch && !flush) break;
+      const std::size_t take = std::min<std::size_t>(batch, state.ready.size());
+      std::vector<IterationBuffer::Tuple> tuples;
+      tuples.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        tuples.push_back(std::move(state.ready.front()));
+        state.ready.pop_front();
+      }
+      fire(state, std::move(tuples));
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+void Engine::fire(PState& state, std::vector<IterationBuffer::Tuple> tuples) {
+  // Tuple tokens are aligned with the iteration tree's leaf order (equal to
+  // the processor port order for flat strategies).
+  const std::vector<std::string>& port_order = state.buffer->ports();
+  std::vector<services::Inputs> bindings;
+  bindings.reserve(tuples.size());
+  for (const auto& tuple : tuples) {
+    services::Inputs binding;
+    for (std::size_t i = 0; i < port_order.size(); ++i) {
+      binding.emplace(port_order[i], tuple.tokens[i]);
+    }
+    bindings.push_back(std::move(binding));
+  }
+
+  ++state.in_flight;
+  state.fired += tuples.size();
+  ++result_.submissions;
+  MOTEUR_LOG(kDebug, "enactor") << "fire '" << state.proc->name << "' on "
+                                << tuples.size() << " tuple(s)";
+  notify(ProgressEvent::Kind::kSubmitted, state.proc->name, tuples.size());
+  auto tuples_shared =
+      std::make_shared<std::vector<IterationBuffer::Tuple>>(std::move(tuples));
+  backend_.execute(state.service, std::move(bindings),
+                   [this, &state, tuples_shared](Completion completion) {
+                     on_complete(state, *tuples_shared, std::move(completion));
+                   });
+}
+
+void Engine::fire_barrier(PState& state) {
+  // Build one aggregate token per input port: the whole (index-sorted)
+  // stream as a std::vector<data::Token> payload.
+  services::Inputs binding;
+  IterationBuffer::Tuple pseudo_tuple;  // provenance carrier for the outputs
+  for (const auto& port : state.proc->input_ports) {
+    auto tokens = state.collected[port];
+    std::sort(tokens.begin(), tokens.end(),
+              [](const data::Token& a, const data::Token& b) {
+                return a.indices() < b.indices();
+              });
+    data::Token aggregate =
+        tokens.empty()
+            ? data::Token(std::vector<data::Token>{}, "[0 items]", data::IndexVector{},
+                          data::Provenance::source(state.proc->name + "." + port + ".empty", 0))
+            : data::Token::derived(state.proc->name, port + ".all", tokens,
+                                   data::IndexVector{}, tokens, "[" +
+                                       std::to_string(tokens.size()) + " items]");
+    pseudo_tuple.tokens.push_back(aggregate);
+    binding.emplace(port, std::move(aggregate));
+  }
+
+  state.sync_fired = true;
+  ++state.in_flight;
+  ++state.fired;
+  ++result_.submissions;
+  MOTEUR_LOG(kDebug, "enactor") << "fire barrier '" << state.proc->name << "'";
+  notify(ProgressEvent::Kind::kSubmitted, state.proc->name, 1);
+  auto tuples_shared = std::make_shared<std::vector<IterationBuffer::Tuple>>(
+      std::vector<IterationBuffer::Tuple>{std::move(pseudo_tuple)});
+  backend_.execute(state.service, {std::move(binding)},
+                   [this, &state, tuples_shared](Completion completion) {
+                     on_complete(state, *tuples_shared, std::move(completion));
+                   });
+}
+
+void Engine::on_complete(PState& state, const std::vector<IterationBuffer::Tuple>& tuples,
+                         Completion completion) {
+  --state.in_flight;
+
+  InvocationTrace trace;
+  trace.processor = state.proc->name;
+  for (const auto& tuple : tuples) trace.indices.push_back(tuple.index);
+  trace.submit_time = completion.submit_time;
+  trace.start_time = completion.start_time;
+  trace.end_time = completion.end_time;
+  trace.failed = !completion.success;
+  trace.job = completion.job;
+  if (completion.job && completion.success) {
+    observed_overhead_.add(completion.job->overhead_seconds());
+  }
+  result_.timeline.add(std::move(trace));
+
+  if (!completion.success) {
+    result_.failures += tuples.size();
+    MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << state.proc->name
+                                 << "' failed definitively: " << completion.error;
+    notify(ProgressEvent::Kind::kFailed, state.proc->name, tuples.size());
+  } else {
+    MOTEUR_REQUIRE(completion.results.size() == tuples.size(), InternalError,
+                   "backend returned " + std::to_string(completion.results.size()) +
+                       " results for " + std::to_string(tuples.size()) + " bindings");
+    // A grouped invocation runs every member code: count logical
+    // invocations, so JG changes `submissions` but never `invocations`.
+    const std::size_t codes_per_tuple =
+        state.proc->is_grouped() ? state.proc->group_members.size() : 1;
+    result_.invocations += tuples.size() * codes_per_tuple;
+    notify(ProgressEvent::Kind::kCompleted, state.proc->name, tuples.size());
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+      const auto& tuple = tuples[i];
+      for (const auto& [port, value] : completion.results[i].outputs) {
+        if (!state.proc->has_output_port(port)) continue;  // undeclared extra
+        const data::Token token = data::Token::derived(
+            state.proc->name, port, tuple.tokens, tuple.index, value.payload, value.repr);
+        for (const Link* link : workflow_.links_out_of(state.proc->name)) {
+          if (link->from_port == port) deliver(*link, token);
+        }
+      }
+    }
+  }
+  pump();
+}
+
+bool Engine::closure_pass() {
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.finished) continue;
+    const Processor& proc = *state.proc;
+    if (proc.kind == ProcessorKind::kSource) continue;  // finished at emit
+
+    const bool is_collector =
+        proc.kind == ProcessorKind::kSink || (proc.kind == ProcessorKind::kService &&
+                                              proc.synchronization);
+
+    // Close input ports whose feeders are all done. Ports with feedback
+    // inlets are only closed by try_feedback_closure().
+    const auto& ports = proc.kind == ProcessorKind::kSink
+                            ? std::vector<std::string>{"in"}
+                            : proc.input_ports;
+    for (const auto& port : ports) {
+      const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
+                                               : state.buffer->is_closed(port);
+      if (already_closed) continue;
+      bool closable = true;
+      for (const Link* link : workflow_.links_into_port(proc.name, port)) {
+        if (link->feedback || !states_.at(link->from_processor).finished) {
+          closable = false;
+          break;
+        }
+      }
+      if (!closable) continue;
+      if (is_collector) {
+        state.collected_closed.insert(port);
+      } else {
+        state.buffer->close(port);
+      }
+      progress = true;
+    }
+
+    // Fire a synchronization barrier once its whole input is in.
+    if (proc.kind == ProcessorKind::kService && proc.synchronization &&
+        !state.sync_fired && state.collected_closed.size() == proc.input_ports.size() &&
+        can_fire(state)) {
+      fire_barrier(state);
+      progress = true;
+    }
+
+    // Promote to finished.
+    bool done = false;
+    if (proc.kind == ProcessorKind::kSink) {
+      done = state.collected_closed.size() == 1;
+    } else if (proc.synchronization) {
+      done = state.sync_fired && state.in_flight == 0;
+    } else {
+      done = state.buffer->all_closed() && state.ready.empty() && state.in_flight == 0;
+    }
+    if (done) {
+      state.finished = true;
+      progress = true;
+      MOTEUR_LOG(kDebug, "enactor") << "processor '" << proc.name << "' finished after "
+                                    << state.fired << " invocation(s)";
+      if (proc.kind == ProcessorKind::kService) {
+        notify(ProgressEvent::Kind::kProcessorFinished, proc.name, state.fired);
+      }
+    }
+  }
+  return progress;
+}
+
+void Engine::pump() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (dispatch_pass()) progress = true;
+    if (closure_pass()) progress = true;
+  }
+}
+
+bool Engine::try_feedback_closure() {
+  // Only sound when the workflow has fully quiesced: nothing in flight and
+  // nothing ready anywhere, so no further token can cross a feedback link.
+  for (const auto& [name, state] : states_) {
+    if (state.in_flight != 0 || !state.ready.empty()) return false;
+  }
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.finished || state.proc->kind != ProcessorKind::kService) continue;
+    for (const auto& port : state.proc->input_ports) {
+      const bool is_collector = state.proc->synchronization;
+      const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
+                                               : state.buffer->is_closed(port);
+      if (already_closed) continue;
+      bool has_feedback = false;
+      bool rest_closed = true;
+      for (const Link* link : workflow_.links_into_port(state.proc->name, port)) {
+        if (link->feedback) {
+          has_feedback = true;
+        } else if (!states_.at(link->from_processor).finished) {
+          rest_closed = false;
+        }
+      }
+      if (!has_feedback || !rest_closed) continue;
+      if (is_collector) {
+        state.collected_closed.insert(port);
+      } else {
+        state.buffer->close(port);
+      }
+      progress = true;
+    }
+  }
+  if (progress) pump();
+  return progress;
+}
+
+bool Engine::all_finished() const {
+  return std::all_of(states_.begin(), states_.end(),
+                     [](const auto& entry) { return entry.second.finished; });
+}
+
+EnactmentResult Engine::execute() {
+  build_states();
+  result_.started_at = backend_.now();
+
+  emit_sources();
+  pump();
+
+  while (!all_finished()) {
+    const bool reached = backend_.drive([this] { return all_finished(); });
+    if (reached) break;
+    if (!try_feedback_closure() && !all_finished()) {
+      std::string stuck;
+      for (const auto& [name, state] : states_) {
+        if (!state.finished) stuck += (stuck.empty() ? "" : ", ") + name;
+      }
+      throw EnactmentError("workflow deadlocked; unfinished processors: " + stuck);
+    }
+  }
+
+  result_.finished_at =
+      result_.timeline.invocation_count() == 0 ? backend_.now()
+                                               : result_.timeline.makespan();
+
+  // Collect sinks, sorted by iteration index.
+  for (const Processor* sink : workflow_.sinks()) {
+    auto tokens = state_of(sink->name).collected["in"];
+    std::sort(tokens.begin(), tokens.end(),
+              [](const data::Token& a, const data::Token& b) {
+                return a.indices() < b.indices();
+              });
+    result_.sink_outputs.emplace(sink->name, std::move(tokens));
+  }
+  result_.executed_workflow = workflow_;
+  return result_;
+}
+
+}  // namespace
+
+Enactor::Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
+                 EnactmentPolicy policy)
+    : backend_(backend), registry_(registry), policy_(policy) {}
+
+EnactmentResult Enactor::run(const workflow::Workflow& input_workflow,
+                             const data::InputDataSet& inputs) {
+  input_workflow.validate();
+
+  workflow::GroupingReport grouping;
+  workflow::Workflow workflow =
+      policy_.job_grouping ? workflow::group_sequential_processors(input_workflow, &grouping)
+                           : input_workflow;
+
+  Engine engine(backend_, registry_, policy_, resolver_, listener_, std::move(workflow),
+                inputs);
+  EnactmentResult result = engine.execute();
+  result.grouping = std::move(grouping);
+  MOTEUR_LOG(kInfo, "enactor") << "run '" << input_workflow.name() << "' policy="
+                               << policy_.name() << " makespan=" << result.makespan()
+                               << "s invocations=" << result.invocations
+                               << " submissions=" << result.submissions;
+  return result;
+}
+
+}  // namespace moteur::enactor

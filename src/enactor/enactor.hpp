@@ -1,0 +1,101 @@
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/token.hpp"
+#include "enactor/backend.hpp"
+#include "enactor/policy.hpp"
+#include "enactor/timeline.hpp"
+#include "services/registry.hpp"
+#include "workflow/graph.hpp"
+#include "workflow/grouping.hpp"
+
+namespace moteur::enactor {
+
+/// Everything a run produces: the sink data, the full invocation timeline
+/// and the counters the paper's metrics are computed from.
+struct EnactmentResult {
+  Timeline timeline;
+  double started_at = 0.0;   // backend time when the run began
+  double finished_at = 0.0;  // backend time when the last result settled
+  /// Total execution time Sigma of the run (paper §3.5.1).
+  double makespan() const { return finished_at - started_at; }
+
+  /// Tokens collected by each data sink, sorted by iteration index.
+  std::map<std::string, std::vector<data::Token>> sink_outputs;
+
+  std::size_t invocations = 0;  // service invocations (one per data tuple)
+  std::size_t submissions = 0;  // backend executions (grid jobs)
+  std::size_t failures = 0;     // tuples lost to definitive job failures
+
+  /// The workflow actually enacted (after the grouping rewrite, if any).
+  workflow::Workflow executed_workflow{"empty"};
+  workflow::GroupingReport grouping;
+};
+
+/// Live notification of enactment progress (monitoring hooks: progress
+/// bars, dashboards, logs). Events fire on the enactment thread.
+struct ProgressEvent {
+  enum class Kind {
+    kSubmitted,          // a (possibly batched) invocation went to the backend
+    kCompleted,          // an invocation returned successfully
+    kFailed,             // an invocation failed definitively
+    kProcessorFinished,  // a processor will produce nothing further
+  };
+  Kind kind = Kind::kSubmitted;
+  std::string processor;
+  std::size_t tuples = 0;         // data tuples carried by the invocation
+  double time = 0.0;              // backend time of the event
+  std::size_t total_invocations = 0;  // logical invocations completed so far
+  std::size_t total_submissions = 0;  // backend executions so far
+};
+
+/// MOTEUR: the optimized service-workflow enactor (paper §4.1). Drives a
+/// workflow over an input data set against an execution backend, applying
+/// the configured combination of workflow parallelism (always), data
+/// parallelism, service parallelism and job grouping.
+///
+/// The engine is data-driven: sources emit their items, iteration buffers
+/// assemble firing tuples per the processors' iteration strategies, and the
+/// policy gates when tuples may be handed to the backend. Provenance history
+/// trees ride along with every token, keeping dot products causally correct
+/// no matter the completion order (§4.1).
+class Enactor {
+ public:
+  /// Maps a source item string to the payload carried by its token (e.g.
+  /// loading the image behind a GFN). Defaults to the string itself.
+  using PayloadResolver = std::function<std::any(
+      const std::string& source, std::size_t index, const std::string& item)>;
+
+  Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
+          EnactmentPolicy policy);
+
+  const EnactmentPolicy& policy() const { return policy_; }
+  void set_policy(EnactmentPolicy policy) { policy_ = policy; }
+
+  void set_payload_resolver(PayloadResolver resolver) { resolver_ = std::move(resolver); }
+
+  using ProgressListener = std::function<void(const ProgressEvent&)>;
+  void set_progress_listener(ProgressListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Enact `workflow` over `inputs`. The workflow is validated, optionally
+  /// rewritten by the grouping optimizer, and run to completion. Throws
+  /// EnactmentError on deadlock or missing bindings.
+  EnactmentResult run(const workflow::Workflow& workflow, const data::InputDataSet& inputs);
+
+ private:
+  ExecutionBackend& backend_;
+  services::ServiceRegistry& registry_;
+  EnactmentPolicy policy_;
+  PayloadResolver resolver_;
+  ProgressListener listener_;
+};
+
+}  // namespace moteur::enactor

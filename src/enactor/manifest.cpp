@@ -1,0 +1,110 @@
+#include "enactor/manifest.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+#include "workflow/scufl.hpp"
+
+namespace moteur::enactor {
+
+grid::GridConfig RunManifest::make_grid_config() const {
+  if (grid_preset == "egee2006") return grid::GridConfig::egee2006(seed);
+  if (grid_preset == "cluster") {
+    return grid::GridConfig::dedicated_cluster(cluster_nodes, seed);
+  }
+  if (grid_preset == "constant") {
+    return grid::GridConfig::constant(constant_overhead_seconds, 4096, seed);
+  }
+  throw ParseError("unknown grid preset '" + grid_preset +
+                   "' (expected egee2006 | cluster | constant)");
+}
+
+void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
+  node.set_attribute("config", policy.name());
+  if (policy.data_parallelism_cap != 0) {
+    node.set_attribute("cap", std::to_string(policy.data_parallelism_cap));
+  }
+  if (policy.batch_size != 1) {
+    node.set_attribute("batch", std::to_string(policy.batch_size));
+  }
+  if (policy.adaptive_batching) {
+    node.set_attribute("adaptiveBatching", "true");
+    node.set_attribute("overheadFractionTarget",
+                       std::to_string(policy.overhead_fraction_target));
+    node.set_attribute("maxBatch", std::to_string(policy.max_batch));
+  }
+}
+
+EnactmentPolicy read_policy(const xml::Node& node) {
+  EnactmentPolicy policy = EnactmentPolicy::parse(node.attribute("config").value_or("NOP"));
+  if (const auto cap = node.attribute("cap")) {
+    policy.data_parallelism_cap = static_cast<std::size_t>(std::stoul(*cap));
+  }
+  if (const auto batch = node.attribute("batch")) {
+    policy.batch_size = static_cast<std::size_t>(std::stoul(*batch));
+    MOTEUR_REQUIRE(policy.batch_size >= 1, ParseError, "batch must be >= 1");
+  }
+  if (const auto adaptive = node.attribute("adaptiveBatching")) {
+    policy.adaptive_batching = *adaptive == "true" || *adaptive == "1";
+  }
+  if (const auto fraction = node.attribute("overheadFractionTarget")) {
+    policy.overhead_fraction_target = std::stod(*fraction);
+  }
+  if (const auto max_batch = node.attribute("maxBatch")) {
+    policy.max_batch = static_cast<std::size_t>(std::stoul(*max_batch));
+  }
+  return policy;
+}
+
+std::string RunManifest::to_xml() const {
+  auto root = std::make_unique<xml::Node>("run");
+
+  auto& policy_node = root->add_child("policy");
+  write_policy(policy_node, policy);
+
+  auto& grid_node = root->add_child("grid");
+  grid_node.set_attribute("preset", grid_preset);
+  grid_node.set_attribute("seed", std::to_string(seed));
+  if (grid_preset == "constant") {
+    grid_node.set_attribute("overhead", std::to_string(constant_overhead_seconds));
+  }
+  if (grid_preset == "cluster") {
+    grid_node.set_attribute("nodes", std::to_string(cluster_nodes));
+  }
+
+  // Embed the workflow and data-set documents (their roots become children).
+  root->adopt(xml::parse(workflow::to_scufl(workflow)).take_root());
+  root->adopt(xml::parse(inputs.to_xml()).take_root());
+  return xml::Document(std::move(root)).to_string();
+}
+
+RunManifest RunManifest::from_xml(const std::string& text) {
+  const xml::Document doc = xml::parse(text);
+  MOTEUR_REQUIRE(doc.root().name() == "run", ParseError,
+                 "expected <run> root, got <" + doc.root().name() + ">");
+  RunManifest manifest;
+  if (const xml::Node* policy_node = doc.root().child("policy")) {
+    manifest.policy = read_policy(*policy_node);
+  }
+  if (const xml::Node* grid_node = doc.root().child("grid")) {
+    manifest.grid_preset = grid_node->attribute("preset").value_or("egee2006");
+    if (const auto seed = grid_node->attribute("seed")) {
+      manifest.seed = std::stoull(*seed);
+    }
+    if (const auto overhead = grid_node->attribute("overhead")) {
+      manifest.constant_overhead_seconds = std::stod(*overhead);
+    }
+    if (const auto nodes = grid_node->attribute("nodes")) {
+      manifest.cluster_nodes = static_cast<std::size_t>(std::stoul(*nodes));
+    }
+  }
+  const xml::Node& wf_node = doc.root().required_child("workflow");
+  manifest.workflow = workflow::from_scufl(wf_node.to_string());
+  const xml::Node& ds_node = doc.root().required_child("dataset");
+  manifest.inputs = data::InputDataSet::from_xml(ds_node.to_string());
+  // Validate the preset eagerly so malformed manifests fail at load time.
+  manifest.make_grid_config();
+  return manifest;
+}
+
+}  // namespace moteur::enactor

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "enactor/policy.hpp"
+#include "grid/config.hpp"
+#include "workflow/graph.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur::enactor {
+
+/// A complete, re-executable description of one enactment: workflow,
+/// input data set, policy and grid preset — the paper's motivation for its
+/// data-set format ("to be able to re-execute workflows on the same data
+/// set", §4.1) extended to the whole run. Serializes to a single XML
+/// document consumed by moteur_cli.
+struct RunManifest {
+  workflow::Workflow workflow{"empty"};
+  data::InputDataSet inputs;
+  EnactmentPolicy policy;
+
+  /// One of "egee2006", "cluster", "constant".
+  std::string grid_preset = "egee2006";
+  /// Parameters of the presets.
+  std::uint64_t seed = 20060619;
+  double constant_overhead_seconds = 600.0;  // preset "constant"
+  std::size_t cluster_nodes = 64;            // preset "cluster"
+
+  /// Build the configured grid.
+  grid::GridConfig make_grid_config() const;
+
+  std::string to_xml() const;
+  static RunManifest from_xml(const std::string& text);
+};
+
+/// Policy <-> XML element, e.g.
+/// <policy config="SP+DP" batch="1" adaptiveBatching="false" cap="0"/>.
+void write_policy(xml::Node& node, const EnactmentPolicy& policy);
+EnactmentPolicy read_policy(const xml::Node& node);
+
+}  // namespace moteur::enactor

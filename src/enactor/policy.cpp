@@ -1,0 +1,76 @@
+#include "enactor/policy.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace moteur::enactor {
+
+std::size_t EnactmentPolicy::service_capacity() const {
+  if (!data_parallelism) return 1;
+  return data_parallelism_cap == 0 ? std::numeric_limits<std::size_t>::max()
+                                   : data_parallelism_cap;
+}
+
+std::string EnactmentPolicy::name() const {
+  std::string out;
+  const auto append = [&](const char* token) {
+    if (!out.empty()) out += "+";
+    out += token;
+  };
+  if (service_parallelism) append("SP");
+  if (data_parallelism) append("DP");
+  if (job_grouping) append("JG");
+  return out.empty() ? "NOP" : out;
+}
+
+EnactmentPolicy EnactmentPolicy::nop() {
+  return EnactmentPolicy{.data_parallelism = false, .service_parallelism = false,
+                         .job_grouping = false};
+}
+
+EnactmentPolicy EnactmentPolicy::jg() {
+  return EnactmentPolicy{.data_parallelism = false, .service_parallelism = false,
+                         .job_grouping = true};
+}
+
+EnactmentPolicy EnactmentPolicy::sp() {
+  return EnactmentPolicy{.data_parallelism = false, .service_parallelism = true,
+                         .job_grouping = false};
+}
+
+EnactmentPolicy EnactmentPolicy::dp() {
+  return EnactmentPolicy{.data_parallelism = true, .service_parallelism = false,
+                         .job_grouping = false};
+}
+
+EnactmentPolicy EnactmentPolicy::sp_dp() {
+  return EnactmentPolicy{.data_parallelism = true, .service_parallelism = true,
+                         .job_grouping = false};
+}
+
+EnactmentPolicy EnactmentPolicy::sp_dp_jg() {
+  return EnactmentPolicy{.data_parallelism = true, .service_parallelism = true,
+                         .job_grouping = true};
+}
+
+EnactmentPolicy EnactmentPolicy::parse(const std::string& text) {
+  EnactmentPolicy policy = nop();
+  if (trim(text) == "NOP" || trim(text).empty()) return policy;
+  for (const auto& raw : split(text, '+')) {
+    const std::string token = trim(raw);
+    if (token == "DP") {
+      policy.data_parallelism = true;
+    } else if (token == "SP") {
+      policy.service_parallelism = true;
+    } else if (token == "JG") {
+      policy.job_grouping = true;
+    } else {
+      throw ParseError("unknown enactment policy token '" + token + "'");
+    }
+  }
+  return policy;
+}
+
+}  // namespace moteur::enactor

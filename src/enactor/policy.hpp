@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace moteur::enactor {
+
+/// Which optimizations the enactor applies to a run (paper §3). Workflow
+/// parallelism — concurrent execution of independent graph branches — is
+/// always on; it is "trivial and implemented in all the workflow managers"
+/// (§3.2). The three switchable levels match the experimental
+/// configurations of §4.4: DP, SP and JG.
+struct EnactmentPolicy {
+  /// Data parallelism (§3.3): one service processes several data sets
+  /// concurrently. Off = at most one in-flight invocation per service.
+  bool data_parallelism = true;
+
+  /// Service parallelism / pipelining (§3.4): different services process
+  /// different data sets concurrently. Off = stage synchronization: no data
+  /// set enters a service until every data set has left its predecessors.
+  bool service_parallelism = true;
+
+  /// Job grouping (§3.6): rewrite the workflow so sequential services merge
+  /// into virtual grouped services submitting a single job.
+  bool job_grouping = false;
+
+  /// Optional cap on per-service concurrent invocations when
+  /// data_parallelism is on (0 = unbounded). Models finite service
+  /// capacity; also used by the §5.4 granularity studies.
+  std::size_t data_parallelism_cap = 0;
+
+  /// Extension (§5.4 future work, "grouping jobs of a single service"):
+  /// number of ready data sets batched into one submission. 1 = off.
+  std::size_t batch_size = 1;
+
+  /// Extension (§5.4 future work, "an optimal strategy to adapt the jobs'
+  /// granularity to the grid load"): when set, `batch_size` is ignored and
+  /// the enactor picks a per-submission batch so the observed middleware
+  /// overhead stays below `overhead_fraction_target` of the job duration:
+  ///   batch >= overhead * (1 - f) / (f * compute_per_item).
+  /// The overhead estimate starts at `overhead_hint_seconds` and is updated
+  /// online from completed jobs.
+  bool adaptive_batching = false;
+  double overhead_fraction_target = 0.5;
+  double overhead_hint_seconds = 300.0;
+  std::size_t max_batch = 16;
+
+  /// Effective concurrent-invocation bound per service.
+  std::size_t service_capacity() const;
+
+  /// Canonical configuration name, e.g. "NOP", "DP", "SP+DP+JG".
+  std::string name() const;
+
+  // Named configurations of Table 1.
+  static EnactmentPolicy nop();
+  static EnactmentPolicy jg();
+  static EnactmentPolicy sp();
+  static EnactmentPolicy dp();
+  static EnactmentPolicy sp_dp();
+  static EnactmentPolicy sp_dp_jg();
+
+  /// Parse "NOP" / "DP" / "SP" / "JG" / "SP+DP" / "SP+DP+JG" (any order of
+  /// '+'-separated tokens). Throws ParseError on unknown tokens.
+  static EnactmentPolicy parse(const std::string& text);
+};
+
+}  // namespace moteur::enactor

@@ -1,0 +1,61 @@
+#include "enactor/sim_backend.hpp"
+
+#include "util/error.hpp"
+
+namespace moteur::enactor {
+
+void SimGridBackend::execute(std::shared_ptr<services::Service> service,
+                             std::vector<services::Inputs> bindings,
+                             Callback on_complete) {
+  MOTEUR_REQUIRE(!bindings.empty(), InternalError, "execute with no bindings");
+
+  // One grid job for the whole batch: compute accumulates, transfers
+  // accumulate, the middleware overhead is paid once.
+  grid::JobRequest request;
+  request.name = service->id();
+  for (const auto& binding : bindings) {
+    const grid::JobRequest profile = service->job_profile(binding);
+    request.compute_seconds += profile.compute_seconds;
+    request.input_megabytes += profile.input_megabytes;
+    request.output_megabytes += profile.output_megabytes;
+  }
+  if (bindings.size() > 1) {
+    request.name += "[x" + std::to_string(bindings.size()) + "]";
+  }
+
+  ++jobs_submitted_;
+  ++in_flight_;
+  const double submit_time = grid_.simulator().now();
+  grid_.submit(request, [this, service = std::move(service),
+                         bindings = std::move(bindings), on_complete = std::move(on_complete),
+                         submit_time](const grid::JobRecord& record) {
+    --in_flight_;
+    Completion completion;
+    completion.submit_time = submit_time;
+    completion.start_time = record.run_start_time;
+    completion.end_time = record.completion_time;
+    completion.job = record;
+    if (record.state == grid::JobState::kDone) {
+      completion.results.reserve(bindings.size());
+      for (const auto& binding : bindings) {
+        completion.results.push_back(service->synthesize_outputs(binding));
+      }
+    } else {
+      completion.success = false;
+      completion.error = "grid job '" + record.name + "' ended in state " +
+                         std::string(grid::to_string(record.state)) + " after " +
+                         std::to_string(record.attempts) + " attempts";
+    }
+    on_complete(std::move(completion));
+  });
+}
+
+bool SimGridBackend::drive(const std::function<bool()>& done) {
+  while (!done()) {
+    if (in_flight_ == 0) return false;  // only background events remain
+    if (!grid_.simulator().step()) return false;
+  }
+  return true;
+}
+
+}  // namespace moteur::enactor

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "enactor/backend.hpp"
+#include "grid/grid.hpp"
+
+namespace moteur::enactor {
+
+/// Runs invocations as jobs on the simulated EGEE infrastructure: each
+/// execution submits the job described by the service's profile (batched
+/// bindings sum their compute and transfer costs into one job, paying one
+/// middleware overhead — the essence of grouping and batching), and the
+/// service's synthesize_outputs() stands in for the payload results.
+class SimGridBackend : public ExecutionBackend {
+ public:
+  explicit SimGridBackend(grid::Grid& grid) : grid_(grid) {}
+
+  void execute(std::shared_ptr<services::Service> service,
+               std::vector<services::Inputs> bindings, Callback on_complete) override;
+
+  double now() const override { return grid_.simulator().now(); }
+
+  bool drive(const std::function<bool()>& done) override;
+
+  std::size_t jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  grid::Grid& grid_;
+  std::size_t jobs_submitted_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace moteur::enactor

@@ -1,0 +1,67 @@
+#include "enactor/threaded_backend.hpp"
+
+#include "util/error.hpp"
+
+namespace moteur::enactor {
+
+ThreadedBackend::ThreadedBackend(std::size_t threads)
+    : pool_(threads), epoch_(std::chrono::steady_clock::now()) {}
+
+double ThreadedBackend::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+void ThreadedBackend::execute(std::shared_ptr<services::Service> service,
+                              std::vector<services::Inputs> bindings,
+                              Callback on_complete) {
+  MOTEUR_REQUIRE(!bindings.empty(), InternalError, "execute with no bindings");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++in_flight_;
+  }
+  const double submit_time = now();
+  pool_.submit([this, service = std::move(service), bindings = std::move(bindings),
+                on_complete = std::move(on_complete), submit_time]() mutable {
+    Completion completion;
+    completion.submit_time = submit_time;
+    completion.start_time = now();
+    try {
+      completion.results.reserve(bindings.size());
+      // Batched bindings run sequentially on this worker, like the grouped
+      // command lines of one grid job.
+      for (const auto& binding : bindings) {
+        completion.results.push_back(service->invoke(binding));
+      }
+    } catch (const std::exception& e) {
+      completion.success = false;
+      completion.error = e.what();
+      completion.results.clear();
+    }
+    completion.end_time = now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      completed_.push_back(Done{std::move(completion), std::move(on_complete)});
+      --in_flight_;
+      ++tasks_executed_;
+    }
+    cv_.notify_all();
+  });
+}
+
+bool ThreadedBackend::drive(const std::function<bool()>& done) {
+  while (!done()) {
+    Done next;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return !completed_.empty() || in_flight_ == 0; });
+      if (completed_.empty()) return false;  // idle and nothing queued: stall
+      next = std::move(completed_.front());
+      completed_.pop_front();
+    }
+    next.callback(std::move(next.completion));
+  }
+  return true;
+}
+
+}  // namespace moteur::enactor

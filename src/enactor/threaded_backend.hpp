@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "enactor/backend.hpp"
+#include "util/thread_pool.hpp"
+
+namespace moteur::enactor {
+
+/// Runs invocations for real, on worker threads — the paper's §3.1 answer to
+/// SOAP stacks without asynchronous calls: "asynchronous calls to web
+/// services need to be implemented at the workflow enactor level, by
+/// spawning independent system threads for each processor being executed".
+///
+/// Services compute in workers; completions are queued and delivered to the
+/// single-threaded enactor core from drive(), so enactor state needs no
+/// locking.
+class ThreadedBackend : public ExecutionBackend {
+ public:
+  /// `threads` = 0 picks the hardware concurrency.
+  explicit ThreadedBackend(std::size_t threads = 0);
+
+  void execute(std::shared_ptr<services::Service> service,
+               std::vector<services::Inputs> bindings, Callback on_complete) override;
+
+  /// Wall-clock seconds since construction.
+  double now() const override;
+
+  bool drive(const std::function<bool()>& done) override;
+
+  std::size_t tasks_executed() const { return tasks_executed_; }
+
+ private:
+  struct Done {
+    Completion completion;
+    Callback callback;
+  };
+
+  ThreadPool pool_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Done> completed_;
+  std::size_t in_flight_ = 0;
+  std::size_t tasks_executed_ = 0;
+};
+
+}  // namespace moteur::enactor

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/token.hpp"
+#include "grid/job.hpp"
+
+namespace moteur::enactor {
+
+/// One service invocation as observed by the enactor. Times are backend
+/// times (virtual seconds on the simulated grid, wall seconds threaded).
+struct InvocationTrace {
+  std::string processor;
+  /// Iteration indices of the data sets processed (one entry per binding;
+  /// batched submissions carry several).
+  std::vector<data::IndexVector> indices;
+  double submit_time = 0.0;  // enactor handed the call to the backend
+  double start_time = 0.0;   // payload began (queue exit on the grid)
+  double end_time = 0.0;     // results available
+  bool failed = false;
+  /// Grid-level record when the simulated backend executed the call.
+  std::optional<grid::JobRecord> job;
+
+  double span_seconds() const { return end_time - submit_time; }
+  /// Short label of the data processed, e.g. "D0" or "D0,D1".
+  std::string data_label() const;
+};
+
+/// Chronology of a whole enactment.
+class Timeline {
+ public:
+  void add(InvocationTrace trace);
+
+  const std::vector<InvocationTrace>& traces() const { return traces_; }
+  std::size_t invocation_count() const { return traces_.size(); }
+
+  /// Last completion time over all traces (0 if empty).
+  double makespan() const;
+
+  /// Traces of one processor, by submit time.
+  std::vector<const InvocationTrace*> for_processor(const std::string& processor) const;
+
+  /// Total grid overhead across traces carrying a job record.
+  double total_overhead_seconds() const;
+
+ private:
+  std::vector<InvocationTrace> traces_;
+};
+
+}  // namespace moteur::enactor

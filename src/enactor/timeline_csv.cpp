@@ -1,0 +1,45 @@
+#include "enactor/timeline_csv.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace moteur::enactor {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string timeline_to_csv(const Timeline& timeline) {
+  std::ostringstream os;
+  os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed\n";
+  auto traces = timeline.traces();
+  std::sort(traces.begin(), traces.end(),
+            [](const InvocationTrace& a, const InvocationTrace& b) {
+              return a.submit_time < b.submit_time;
+            });
+  for (const auto& trace : traces) {
+    os << csv_escape(trace.processor) << ',' << csv_escape(trace.data_label()) << ','
+       << format_fixed(trace.submit_time, 3) << ',' << format_fixed(trace.start_time, 3)
+       << ',' << format_fixed(trace.end_time, 3) << ','
+       << format_fixed(trace.span_seconds(), 3) << ','
+       << (trace.job ? format_fixed(trace.job->overhead_seconds(), 3) : std::string())
+       << ',' << csv_escape(trace.job ? trace.job->computing_element : std::string())
+       << ',' << (trace.failed ? "1" : "0") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moteur::enactor

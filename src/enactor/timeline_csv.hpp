@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+#include "enactor/timeline.hpp"
+
+namespace moteur::enactor {
+
+/// CSV export of a run's timeline for external plotting tools (one row per
+/// invocation): processor, data label, submit/start/end times, span,
+/// overhead, computing element, failed flag. Fields containing commas or
+/// quotes are quoted per RFC 4180.
+std::string timeline_to_csv(const Timeline& timeline);
+
+}  // namespace moteur::enactor

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moteur::grid {
+
+/// Distribution spec for one latency component. `kLognormalMixture` is the
+/// workhorse: a lognormal body plus a straggler tail, which matches the
+/// paper's observation of ~10 min overhead with ±5 min variability and
+/// occasional jobs "blocked on a waiting queue" for much longer.
+struct LatencyModel {
+  enum class Kind { kConstant, kUniform, kLognormal, kLognormalMixture };
+
+  Kind kind = Kind::kConstant;
+  double constant = 0.0;        // kConstant: the value; also the floor for others
+  double lo = 0.0, hi = 0.0;    // kUniform
+  double median = 0.0;          // kLognormal*: exp(mu)
+  double sigma = 0.0;           // kLognormal*: log-space sigma
+  double straggler_probability = 0.0;  // kLognormalMixture
+  double straggler_factor = 1.0;       // multiplier applied to straggler draws
+
+  static LatencyModel constant_of(double seconds);
+  static LatencyModel uniform(double lo, double hi);
+  static LatencyModel lognormal(double median, double sigma);
+  static LatencyModel lognormal_mixture(double median, double sigma,
+                                        double straggler_probability,
+                                        double straggler_factor);
+
+  /// Mean of the distribution (exact for constant/uniform/lognormal; the
+  /// mixture mean composes the two branches).
+  double mean() const;
+};
+
+/// One computing-element site.
+struct ComputingElementConfig {
+  std::string name;
+  std::size_t worker_slots = 1;
+  double speed_factor = 1.0;  // payload duration divides by this
+  /// Extra local batch-system latency before a matched job reaches the queue.
+  LatencyModel local_latency = LatencyModel::constant_of(0.0);
+  /// Site outages (maintenance / downtime): mean seconds between outage
+  /// starts (exponential), 0 disables. During an outage the site stops
+  /// taking new payloads (running jobs drain); queued jobs wait it out.
+  double outage_mean_interval = 0.0;
+  double outage_mean_duration = 3600.0;
+  /// Outages stop occurring after this horizon (bounds the event queue).
+  double outage_horizon = 10.0 * 86400.0;
+};
+
+/// Full description of a simulated infrastructure.
+struct GridConfig {
+  std::uint64_t seed = 20060619;  // HPDC'06 opening day
+
+  std::vector<ComputingElementConfig> computing_elements;
+
+  /// Per-job cost of the submission command on the user interface host
+  /// (edg-job-submit style). Strictly serialized: the enactor machine
+  /// submits one job at a time, so large parallel bursts pay
+  /// n * ui_submission_latency — the dominant slope term of the paper's
+  /// parallel configurations (Table 2: ~80-140 s per data set = jobs/pair
+  /// x ~20 s).
+  LatencyModel ui_submission_latency = LatencyModel::constant_of(0.0);
+
+  /// UI -> RB submission latency per job (pipelined through the broker).
+  LatencyModel submission_latency = LatencyModel::constant_of(0.0);
+  /// RB matchmaking + CE handoff latency per job.
+  LatencyModel scheduling_latency = LatencyModel::constant_of(0.0);
+  /// Residual queueing latency not explained by slot contention (middleware
+  /// queues, information-system staleness).
+  LatencyModel queueing_latency = LatencyModel::constant_of(0.0);
+  /// Multiplicative payload-duration noise: duration *= max(0.05, 1+N(0,x)).
+  double compute_noise_stddev = 0.0;
+
+  /// How many jobs the broker pipeline can process concurrently (matchmaking
+  /// throughput); drives load-dependent overhead growth.
+  std::size_t broker_concurrency = 8;
+  /// Fraction of the sampled submission latency during which the job
+  /// occupies a broker pipeline slot (the rest is pure latency). Higher
+  /// values make overhead grow faster with submission bursts.
+  double broker_occupancy_fraction = 0.15;
+
+  /// Wide-area transfer model: seconds = latency + megabytes / bandwidth.
+  double transfer_latency_seconds = 0.0;
+  double transfer_bandwidth_mb_per_s = 1e12;  // effectively instant by default
+
+  /// Speculative resubmission against the heavy latency tail (the dynamic
+  /// optimization direction of the paper's ref [12]): if a job has not
+  /// completed this many seconds after submission, a clone is submitted and
+  /// the first finisher wins. 0 disables. Clones count toward max_attempts.
+  double speculative_timeout_seconds = 0.0;
+  /// At most this many concurrently racing clones per job (1 = the original
+  /// plus one speculative copy).
+  int speculative_max_clones = 1;
+
+  /// Probability that an attempt fails (resubmitted up to max_attempts).
+  double failure_probability = 0.0;
+  /// Fraction of the sampled payload duration consumed before the failure is
+  /// detected (failures waste time, as in the paper's D0 example).
+  double failure_detection_fraction = 0.5;
+  int max_attempts = 3;
+
+  /// Background (other-user) jobs per hour across the whole grid; 0 disables.
+  double background_jobs_per_hour = 0.0;
+  double background_mean_duration = 3600.0;
+  /// Arrivals stop after this horizon (bounds the event queue; runs longer
+  /// than this see an unloaded grid afterwards).
+  double background_horizon_seconds = 10.0 * 86400.0;
+
+  /// Total worker slots across all CEs.
+  std::size_t total_slots() const;
+
+  // --- presets ---------------------------------------------------------
+
+  /// EGEE-like 2006 production infrastructure: many sites, large stochastic
+  /// overhead (median ~9 min, heavy tail), shared WAN, occasional failures.
+  static GridConfig egee2006(std::uint64_t seed = 20060619);
+
+  /// A dedicated local cluster: negligible overhead, no variability. The
+  /// paper's contrast case where SP brings little on top of DP and the
+  /// y-intercept metric degenerates.
+  static GridConfig dedicated_cluster(std::size_t nodes = 64,
+                                      std::uint64_t seed = 20060619);
+
+  /// Fully deterministic grid: every job pays exactly `overhead_seconds`
+  /// of latency and its nominal compute time. Used to validate the §3.5
+  /// analytic models to exact equality.
+  static GridConfig constant(double overhead_seconds, std::size_t slots = 4096,
+                             std::uint64_t seed = 20060619);
+};
+
+}  // namespace moteur::grid

@@ -1,0 +1,191 @@
+#include "grid/grid.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace moteur::grid {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kSubmitted: return "Submitted";
+    case JobState::kScheduled: return "Scheduled";
+    case JobState::kTransferringIn: return "TransferringIn";
+    case JobState::kRunning: return "Running";
+    case JobState::kTransferringOut: return "TransferringOut";
+    case JobState::kDone: return "Done";
+    case JobState::kFailed: return "Failed";
+    case JobState::kCancelled: return "Cancelled";
+  }
+  return "?";
+}
+
+Grid::Grid(sim::Simulator& simulator, GridConfig config)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      overhead_(config_, rng_),
+      ui_(simulator, 1),
+      ui_rng_(rng_.fork("ui")),
+      broker_(simulator, overhead_, config_.broker_concurrency,
+              config_.broker_occupancy_fraction, rng_),
+      storage_(simulator, "se0", config_.transfer_latency_seconds,
+               config_.transfer_bandwidth_mb_per_s) {
+  MOTEUR_REQUIRE(!config_.computing_elements.empty(), ExecutionError,
+                 "grid config has no computing elements");
+  for (const auto& ce_config : config_.computing_elements) {
+    broker_.add_computing_element(
+        std::make_unique<ComputingElement>(simulator, ce_config, rng_));
+  }
+  if (config_.background_jobs_per_hour > 0.0) {
+    background_ = std::make_unique<BackgroundLoad>(
+        simulator, broker_, config_.background_jobs_per_hour,
+        config_.background_mean_duration, config_.background_horizon_seconds, rng_);
+  }
+}
+
+JobId Grid::submit(const JobRequest& request, CompletionCallback on_complete) {
+  auto job = std::make_shared<PendingJob>();
+  job->record.id = next_job_id_++;
+  job->record.name = request.name;
+  job->record.submit_time = simulator_.now();
+  job->request = request;
+  job->on_complete = std::move(on_complete);
+  ++stats_.submitted;
+  MOTEUR_LOG(kDebug, "grid") << "submit job " << job->record.id << " '" << request.name
+                             << "' compute=" << request.compute_seconds << "s";
+  start_attempt(job);
+  if (config_.speculative_timeout_seconds > 0.0) arm_speculative_watchdog(job);
+  return job->record.id;
+}
+
+void Grid::arm_speculative_watchdog(const std::shared_ptr<PendingJob>& job) {
+  simulator_.schedule(config_.speculative_timeout_seconds, [this, job] {
+    if (job->completed) return;
+    if (job->clones_launched >= config_.speculative_max_clones) return;
+    if (job->record.attempts >= config_.max_attempts) return;
+    ++job->clones_launched;
+    MOTEUR_LOG(kDebug, "grid") << "job " << job->record.id
+                               << " exceeded the speculative timeout; racing a clone";
+    start_attempt(job);
+    arm_speculative_watchdog(job);  // a later clone may still be allowed
+  });
+}
+
+void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
+  ++job->record.attempts;
+  ++job->in_flight_attempts;
+  job->record.state = JobState::kSubmitted;
+  // The submission command serializes on the UI host before the request
+  // reaches the broker (resubmissions pay it again).
+  ui_.acquire([this, job] {
+    const double ui_seconds =
+        OverheadModel::sample(config_.ui_submission_latency, ui_rng_);
+    simulator_.schedule(ui_seconds, [this, job] {
+      ui_.release();
+      broker_.submit([this, job](ComputingElement& ce) {
+        job->record.match_time = simulator_.now();
+        job->record.state = JobState::kScheduled;
+        job->record.computing_element = ce.name();
+        enter_site(job, ce);
+      });
+    });
+  });
+}
+
+void Grid::enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce) {
+  // Residual middleware queueing latency, then the site batch system.
+  const double queueing = overhead_.sample_queueing();
+  simulator_.schedule(queueing, [this, job, &ce] {
+    ce.acquire_slot([this, job, &ce] {
+      job->record.queue_exit_time = simulator_.now();
+      run_in_slot(job, ce);
+    });
+  });
+}
+
+void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement& ce) {
+  const double payload_seconds =
+      job->request.compute_seconds * overhead_.sample_compute_factor() / ce.speed_factor();
+
+  if (overhead_.sample_failure()) {
+    // The attempt dies partway through: it wastes worker time, then either
+    // resubmits (fresh overhead draw — the paper's "D0 was submitted twice"
+    // scenario) or gives up.
+    const double wasted =
+        config_.failure_detection_fraction *
+        (storage_.nominal_seconds(job->request.input_megabytes) + payload_seconds);
+    simulator_.schedule(wasted, [this, job, &ce] {
+      ce.release_slot();
+      --job->in_flight_attempts;
+      if (job->completed) return;  // a racing clone already finished the job
+      ++stats_.failed_attempts;
+      MOTEUR_LOG(kDebug, "grid") << "job " << job->record.id << " attempt "
+                                 << job->record.attempts << " failed on " << ce.name();
+      if (job->record.attempts >= config_.max_attempts) {
+        // Definitive only once no racing attempt can still succeed.
+        if (job->in_flight_attempts == 0) finish(job, JobState::kFailed);
+      } else {
+        start_attempt(job);
+      }
+    });
+    return;
+  }
+
+  // A losing clone may still be in the pipeline after a racer finished:
+  // guard every stage so it neither touches the record nor finishes twice,
+  // and releases its worker slot as soon as it notices.
+  if (job->completed) {
+    ce.release_slot();
+    --job->in_flight_attempts;
+    return;
+  }
+  job->record.state = JobState::kTransferringIn;
+  storage_.transfer(job->request.input_megabytes, [this, job, &ce,
+                                                   payload_seconds](double in_seconds) {
+    if (job->completed) {
+      ce.release_slot();
+      --job->in_flight_attempts;
+      return;
+    }
+    job->record.input_transfer_seconds += in_seconds;
+    job->record.state = JobState::kRunning;
+    job->record.run_start_time = simulator_.now();
+    simulator_.schedule(payload_seconds, [this, job, &ce] {
+      if (job->completed) {
+        ce.release_slot();
+        --job->in_flight_attempts;
+        return;
+      }
+      job->record.run_end_time = simulator_.now();
+      job->record.state = JobState::kTransferringOut;
+      storage_.transfer(job->request.output_megabytes, [this, job, &ce](double out_seconds) {
+        ce.release_slot();
+        --job->in_flight_attempts;
+        if (job->completed) return;  // a racing clone won; discard this result
+        job->record.output_transfer_seconds += out_seconds;
+        finish(job, JobState::kDone);
+      });
+    });
+  });
+}
+
+void Grid::finish(const std::shared_ptr<PendingJob>& job, JobState final_state) {
+  MOTEUR_REQUIRE(!job->completed, InternalError, "job finished twice");
+  job->completed = true;
+  job->record.state = final_state;
+  job->record.completion_time = simulator_.now();
+  if (final_state == JobState::kDone) {
+    ++stats_.done;
+    stats_.overhead_seconds.add(job->record.overhead_seconds());
+    stats_.total_seconds.add(job->record.total_seconds());
+  } else {
+    ++stats_.failed;
+  }
+  completed_.push_back(job->record);
+  MOTEUR_LOG(kDebug, "grid") << "job " << job->record.id << " "
+                             << to_string(final_state) << " total="
+                             << job->record.total_seconds() << "s";
+  if (job->on_complete) job->on_complete(job->record);
+}
+
+}  // namespace moteur::grid

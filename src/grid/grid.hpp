@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "grid/background_load.hpp"
+#include "grid/config.hpp"
+#include "grid/job.hpp"
+#include "grid/overhead_model.hpp"
+#include "grid/resource_broker.hpp"
+#include "grid/storage_element.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace moteur::grid {
+
+/// Facade over the simulated EGEE-like infrastructure. Callers (the service
+/// layer) submit JobRequests and get a completion callback with the full
+/// JobRecord; everything in between — broker pipeline, matchmaking, batch
+/// queues, staging, payload, failures and resubmission — happens inside.
+class Grid {
+ public:
+  using CompletionCallback = std::function<void(const JobRecord&)>;
+
+  Grid(sim::Simulator& simulator, GridConfig config);
+
+  /// Submit a job. The callback fires exactly once, with state kDone or
+  /// (after exhausting retries) kFailed.
+  JobId submit(const JobRequest& request, CompletionCallback on_complete);
+
+  sim::Simulator& simulator() { return simulator_; }
+  const GridConfig& config() const { return config_; }
+  const ResourceBroker& broker() const { return broker_; }
+
+  /// Records of all completed (done or failed) jobs, completion order.
+  const std::vector<JobRecord>& completed_jobs() const { return completed_; }
+
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t failed_attempts = 0;
+    RunningStats overhead_seconds;
+    RunningStats total_seconds;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingJob {
+    JobRecord record;
+    JobRequest request;
+    CompletionCallback on_complete;
+    bool completed = false;      // a racing attempt already finished the job
+    int in_flight_attempts = 0;  // attempts currently racing
+    int clones_launched = 0;     // speculative copies started so far
+  };
+
+  void start_attempt(const std::shared_ptr<PendingJob>& job);
+  void arm_speculative_watchdog(const std::shared_ptr<PendingJob>& job);
+  void enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce);
+  void run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement& ce);
+  void finish(const std::shared_ptr<PendingJob>& job, JobState final_state);
+
+  sim::Simulator& simulator_;
+  GridConfig config_;
+  Rng rng_;
+  OverheadModel overhead_;
+  /// The user-interface host: submission commands run one at a time.
+  sim::Resource ui_;
+  Rng ui_rng_;
+  ResourceBroker broker_;
+  StorageElement storage_;
+  std::unique_ptr<BackgroundLoad> background_;
+  JobId next_job_id_ = 1;
+  std::vector<JobRecord> completed_;
+  Stats stats_;
+};
+
+}  // namespace moteur::grid

@@ -1,0 +1,61 @@
+#include "grid/resource_broker.hpp"
+
+#include "grid/overhead_model.hpp"
+#include "util/error.hpp"
+
+namespace moteur::grid {
+
+ResourceBroker::ResourceBroker(sim::Simulator& simulator, OverheadModel& overhead,
+                               std::size_t concurrency, double occupancy_fraction,
+                               const Rng& base)
+    : simulator_(simulator),
+      overhead_(overhead),
+      occupancy_fraction_(occupancy_fraction),
+      pipeline_(simulator, concurrency),
+      tie_rng_(base.fork("broker.ties")) {}
+
+void ResourceBroker::add_computing_element(std::unique_ptr<ComputingElement> ce) {
+  ces_.push_back(std::move(ce));
+}
+
+ComputingElement& ResourceBroker::match() {
+  MOTEUR_REQUIRE(!ces_.empty(), ExecutionError, "resource broker has no computing elements");
+  double best_rank = 0.0;
+  std::vector<ComputingElement*> best;
+  for (const auto& ce : ces_) {
+    const double rank = ce->rank_estimate();
+    if (best.empty() || rank < best_rank) {
+      best_rank = rank;
+      best = {ce.get()};
+    } else if (rank == best_rank) {
+      best.push_back(ce.get());
+    }
+  }
+  if (best.size() == 1) return *best.front();
+  const auto pick = static_cast<std::size_t>(
+      tie_rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
+  return *best[pick];
+}
+
+void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched) {
+  // The submission occupies a pipeline slot for a fraction of the UI->RB
+  // latency (the broker's actual processing); the rest of the latency and
+  // the matchmaking delay do not hold the slot. Submission bursts beyond
+  // the pipeline concurrency therefore queue — the "increasing load of the
+  // middleware services" the paper observes — without the full latency
+  // serializing.
+  pipeline_.acquire([this, on_matched = std::move(on_matched)]() mutable {
+    const double submission = overhead_.sample_submission();
+    const double occupancy = occupancy_fraction_ * submission;
+    simulator_.schedule(occupancy, [this, submission, occupancy,
+                                    on_matched = std::move(on_matched)]() mutable {
+      pipeline_.release();
+      const double remaining = submission - occupancy + overhead_.sample_scheduling();
+      simulator_.schedule(remaining, [this, on_matched = std::move(on_matched)] {
+        on_matched(match());
+      });
+    });
+  });
+}
+
+}  // namespace moteur::grid

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "grid/computing_element.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace moteur::grid {
+
+class OverheadModel;
+
+/// The LCG2-style central Resource Broker: all submissions funnel through it.
+/// It serializes matchmaking through a bounded pipeline (so middleware load
+/// grows overhead, as observed in the paper) and ranks computing elements by
+/// estimated response time at match instant.
+class ResourceBroker {
+ public:
+  ResourceBroker(sim::Simulator& simulator, OverheadModel& overhead,
+                 std::size_t concurrency, double occupancy_fraction, const Rng& base);
+
+  void add_computing_element(std::unique_ptr<ComputingElement> ce);
+
+  /// Accept a submission; `on_matched(ce)` fires once matchmaking finishes
+  /// and a destination CE is chosen.
+  void submit(std::function<void(ComputingElement&)> on_matched);
+
+  const std::vector<std::unique_ptr<ComputingElement>>& computing_elements() const {
+    return ces_;
+  }
+
+  /// Pick the best-ranked CE right now (ties broken uniformly at random).
+  ComputingElement& match();
+
+ private:
+  sim::Simulator& simulator_;
+  OverheadModel& overhead_;
+  double occupancy_fraction_;
+  sim::Resource pipeline_;
+  Rng tie_rng_;
+  std::vector<std::unique_ptr<ComputingElement>> ces_;
+};
+
+}  // namespace moteur::grid

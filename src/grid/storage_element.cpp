@@ -1,0 +1,33 @@
+#include "grid/storage_element.hpp"
+
+namespace moteur::grid {
+
+StorageElement::StorageElement(sim::Simulator& simulator, std::string name,
+                               double latency_seconds, double bandwidth_mb_per_s,
+                               std::size_t channels)
+    : simulator_(simulator),
+      name_(std::move(name)),
+      latency_seconds_(latency_seconds),
+      bandwidth_mb_per_s_(bandwidth_mb_per_s),
+      channels_(simulator, channels) {}
+
+double StorageElement::nominal_seconds(double megabytes) const {
+  if (megabytes <= 0.0) return 0.0;
+  return latency_seconds_ + megabytes / bandwidth_mb_per_s_;
+}
+
+void StorageElement::transfer(double megabytes, std::function<void(double)> on_done) {
+  const double seconds = nominal_seconds(megabytes);
+  if (seconds <= 0.0) {
+    simulator_.schedule(0.0, [on_done = std::move(on_done)] { on_done(0.0); });
+    return;
+  }
+  channels_.acquire([this, seconds, on_done = std::move(on_done)]() mutable {
+    simulator_.schedule(seconds, [this, seconds, on_done = std::move(on_done)] {
+      channels_.release();
+      on_done(seconds);
+    });
+  });
+}
+
+}  // namespace moteur::grid

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace moteur::grid {
+
+/// A storage element plus the wide-area path to it. Transfers share a fixed
+/// number of channels; beyond that they queue FCFS, so heavy staging load
+/// degrades gracefully instead of being free.
+class StorageElement {
+ public:
+  StorageElement(sim::Simulator& simulator, std::string name,
+                 double latency_seconds, double bandwidth_mb_per_s,
+                 std::size_t channels = 64);
+
+  const std::string& name() const { return name_; }
+
+  /// Move `megabytes` through the link; `on_done(elapsed)` fires with the
+  /// actual transfer duration (excluding channel queueing) on completion.
+  /// Zero-size transfers complete via the simulator at the current time.
+  void transfer(double megabytes, std::function<void(double)> on_done);
+
+  double nominal_seconds(double megabytes) const;
+
+  std::size_t active_transfers() const { return channels_.in_use(); }
+  std::size_t queued_transfers() const { return channels_.queue_length(); }
+
+ private:
+  sim::Simulator& simulator_;
+  std::string name_;
+  double latency_seconds_;
+  double bandwidth_mb_per_s_;
+  sim::Resource channels_;
+};
+
+}  // namespace moteur::grid

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "workflow/graph.hpp"
+
+namespace moteur::model {
+
+/// Generalization of the §3.5 makespan model from the critical-path chain to
+/// arbitrary (dot-iteration) workflow DAGs, including synchronization
+/// barriers. Assumes, like the paper: per-(service, data) duration constant
+/// in j (T_P per service, overhead included), unlimited grid capacity, no
+/// loops, dot products only (every plain service processes exactly n_d
+/// items; everything downstream of a barrier processes 1).
+///
+/// Recurrences (completion time of service P on data j):
+///  - DSP:  c(P, j) = max over preds c(pred, j) + T_P
+///  - DP:   stage barriers make all data leave P together:
+///          f(P) = max over preds f(pred) + T_P   (independent of n_d)
+///  - SP:   unit-capacity pipeline:
+///          c(P, j) = max(max preds c(pred, j), c(P, j-1)) + T_P
+///  - NOP:  stage barriers + unit capacity:
+///          f(P) = max over preds f(pred) + n_d * T_P
+/// A synchronization barrier B fires once everything upstream delivered:
+/// start(B) = max over preds of their LAST completion; downstream of B the
+/// effective data count is 1.
+struct DagPolicyPredictions {
+  double sequential = 0.0;  // NOP
+  double dp = 0.0;
+  double sp = 0.0;
+  double dsp = 0.0;
+};
+
+/// `service_seconds` maps every service-processor name to its T_P. Throws
+/// GraphError on feedback links or cross-iteration processors, InternalError
+/// on missing service times.
+DagPolicyPredictions predict_dag_makespan(
+    const workflow::Workflow& workflow,
+    const std::map<std::string, double>& service_seconds, std::size_t n_d);
+
+}  // namespace moteur::model

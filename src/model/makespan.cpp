@@ -1,0 +1,86 @@
+#include "model/makespan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace moteur::model {
+
+TimeMatrix constant_times(std::size_t n_w, std::size_t n_d, double t) {
+  return TimeMatrix(n_w, std::vector<double>(n_d, t));
+}
+
+void validate(const TimeMatrix& times) {
+  MOTEUR_REQUIRE(!times.empty(), InternalError, "TimeMatrix: no services");
+  const std::size_t n_d = times.front().size();
+  MOTEUR_REQUIRE(n_d > 0, InternalError, "TimeMatrix: no data sets");
+  for (const auto& row : times) {
+    MOTEUR_REQUIRE(row.size() == n_d, InternalError, "TimeMatrix: ragged rows");
+    for (double t : row) {
+      MOTEUR_REQUIRE(t >= 0.0, InternalError, "TimeMatrix: negative duration");
+    }
+  }
+}
+
+double sigma_sequential(const TimeMatrix& times) {
+  validate(times);
+  double total = 0.0;
+  for (const auto& row : times) {
+    for (double t : row) total += t;
+  }
+  return total;
+}
+
+double sigma_dp(const TimeMatrix& times) {
+  validate(times);
+  double total = 0.0;
+  for (const auto& row : times) {
+    total += *std::max_element(row.begin(), row.end());
+  }
+  return total;
+}
+
+double sigma_sp(const TimeMatrix& times) {
+  validate(times);
+  const std::size_t n_w = times.size();
+  const std::size_t n_d = times.front().size();
+
+  // m_ij = instant at which service i may begin data set j.
+  TimeMatrix m(n_w, std::vector<double>(n_d, 0.0));
+  for (std::size_t j = 1; j < n_d; ++j) m[0][j] = m[0][j - 1] + times[0][j - 1];
+  for (std::size_t i = 1; i < n_w; ++i) m[i][0] = m[i - 1][0] + times[i - 1][0];
+  for (std::size_t i = 1; i < n_w; ++i) {
+    for (std::size_t j = 1; j < n_d; ++j) {
+      m[i][j] = std::max(times[i - 1][j] + m[i - 1][j], times[i][j - 1] + m[i][j - 1]);
+    }
+  }
+  return times[n_w - 1][n_d - 1] + m[n_w - 1][n_d - 1];
+}
+
+double sigma_dsp(const TimeMatrix& times) {
+  validate(times);
+  const std::size_t n_d = times.front().size();
+  double best = 0.0;
+  for (std::size_t j = 0; j < n_d; ++j) {
+    double column = 0.0;
+    for (const auto& row : times) column += row[j];
+    best = std::max(best, column);
+  }
+  return best;
+}
+
+double speedup_dp(std::size_t /*n_w*/, std::size_t n_d) {
+  return static_cast<double>(n_d);
+}
+
+double speedup_dsp(std::size_t n_w, std::size_t n_d) {
+  MOTEUR_REQUIRE(n_w > 0, InternalError, "speedup_dsp: nW must be > 0");
+  return static_cast<double>(n_d + n_w - 1) / static_cast<double>(n_w);
+}
+
+double speedup_sp(std::size_t n_w, std::size_t n_d) {
+  MOTEUR_REQUIRE(n_w + n_d > 1, InternalError, "speedup_sp: degenerate sizes");
+  return static_cast<double>(n_d * n_w) / static_cast<double>(n_d + n_w - 1);
+}
+
+}  // namespace moteur::model

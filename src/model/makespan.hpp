@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moteur::model {
+
+/// T[i][j]: duration (seconds, grid overhead included) of the treatment of
+/// data set j by the i-th service of the critical path (paper §3.5.1).
+/// Rows are services (i < nW), columns data sets (j < nD).
+using TimeMatrix = std::vector<std::vector<double>>;
+
+TimeMatrix constant_times(std::size_t n_w, std::size_t n_d, double t);
+
+/// Validate shape (non-empty, rectangular, non-negative); throws
+/// InternalError otherwise.
+void validate(const TimeMatrix& times);
+
+/// Equation (1): sequential case (workflow parallelism only on the critical
+/// path): Sigma = sum_i sum_j T_ij.
+double sigma_sequential(const TimeMatrix& times);
+
+/// Equation (2): data parallelism only: Sigma_DP = sum_i max_j T_ij.
+double sigma_dp(const TimeMatrix& times);
+
+/// Equation (3): service parallelism only (unit-capacity pipeline):
+///   Sigma_SP = T_{nW-1,nD-1} + m_{nW-1,nD-1}
+///   m_ij = max(T_{i-1,j} + m_{i-1,j}, T_{i,j-1} + m_{i,j-1})
+///   m_0j = sum_{k<j} T_0k ;  m_i0 = sum_{k<i} T_k0.
+double sigma_sp(const TimeMatrix& times);
+
+/// Equation (4): data + service parallelism:
+///   Sigma_DSP = max_j sum_i T_ij.
+double sigma_dsp(const TimeMatrix& times);
+
+// --- asymptotic speed-ups under constant execution times (§3.5.4) --------
+
+/// S_DP = Sigma / Sigma_DP = nD (service parallelism disabled).
+double speedup_dp(std::size_t n_w, std::size_t n_d);
+
+/// S_DSP = Sigma_SP / Sigma_DSP = (nD + nW - 1) / nW
+/// (data parallelism's gain when service parallelism is already enabled).
+double speedup_dsp(std::size_t n_w, std::size_t n_d);
+
+/// S_SP = Sigma / Sigma_SP = nD * nW / (nD + nW - 1)
+/// (service parallelism's gain when data parallelism is disabled).
+double speedup_sp(std::size_t n_w, std::size_t n_d);
+
+}  // namespace moteur::model

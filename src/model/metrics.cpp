@@ -1,0 +1,56 @@
+#include "model/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace moteur::model {
+
+LinearFit Series::fit() const {
+  MOTEUR_REQUIRE(sizes.size() == times.size(), InternalError,
+                 "series '" + label + "': size/time length mismatch");
+  return linear_fit(sizes, times);
+}
+
+std::vector<double> speedups(const Series& reference, const Series& optimized) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < reference.sizes.size(); ++i) {
+    for (std::size_t j = 0; j < optimized.sizes.size(); ++j) {
+      if (reference.sizes[i] == optimized.sizes[j] && optimized.times[j] > 0.0) {
+        out.push_back(reference.times[i] / optimized.times[j]);
+      }
+    }
+  }
+  return out;
+}
+
+double y_intercept_ratio(const Series& reference, const Series& optimized) {
+  const double opt = optimized.fit().intercept;
+  MOTEUR_REQUIRE(std::fabs(opt) > 1e-12, InternalError,
+                 "y_intercept_ratio: optimized intercept is zero");
+  return reference.fit().intercept / opt;
+}
+
+double slope_ratio(const Series& reference, const Series& optimized) {
+  const double opt = optimized.fit().slope;
+  MOTEUR_REQUIRE(std::fabs(opt) > 1e-12, InternalError,
+                 "slope_ratio: optimized slope is zero");
+  return reference.fit().slope / opt;
+}
+
+std::string render_fit_table(const std::vector<Series>& series) {
+  std::ostringstream os;
+  os << pad_right("configuration", 14) << pad_left("y-intercept (s)", 18)
+     << pad_left("slope (s/data set)", 20) << pad_left("R^2", 8) << '\n';
+  for (const auto& s : series) {
+    const LinearFit fit = s.fit();
+    os << pad_right(s.label, 14) << pad_left(format_fixed(fit.intercept, 0), 18)
+       << pad_left(format_fixed(fit.slope, 0), 20)
+       << pad_left(format_fixed(fit.r_squared, 3), 8) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace moteur::model

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace moteur::model {
+
+/// The paper's §5.1 analysis kit. Execution-time-vs-input-size curves on a
+/// production grid are close to straight lines; their linear fits separate
+/// two effects:
+///  - the y-intercept measures the *system overhead* — "the incompressible
+///    amount of time required to access the infrastructure";
+///  - the slope measures *data scalability* — the marginal cost of one more
+///    input data set.
+/// Job grouping is expected to move the y-intercept; data parallelism the
+/// slope; speed-up compares whole curves pointwise.
+
+/// One measured series: execution time per input-set size.
+struct Series {
+  std::string label;               // e.g. "SP+DP+JG"
+  std::vector<double> sizes;       // nD values
+  std::vector<double> times;       // seconds
+
+  LinearFit fit() const;           // least-squares line through the series
+};
+
+/// Speed-up of `optimized` w.r.t. `reference` at matching sizes
+/// (reference_time / optimized_time), one value per shared size.
+std::vector<double> speedups(const Series& reference, const Series& optimized);
+
+/// y-intercept ratio: intercept(reference) / intercept(optimized) — how much
+/// the optimization reduced the system overhead (>1 = improvement).
+double y_intercept_ratio(const Series& reference, const Series& optimized);
+
+/// Slope ratio: slope(reference) / slope(optimized) — how much the
+/// optimization improved data scalability (>1 = improvement).
+double slope_ratio(const Series& reference, const Series& optimized);
+
+/// Pretty-print a table of series fits (label, y-intercept, slope, R^2).
+std::string render_fit_table(const std::vector<Series>& series);
+
+}  // namespace moteur::model

@@ -1,0 +1,471 @@
+#include "registration/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace moteur::registration {
+
+RigidTransform absolute_orientation(const std::vector<Vec3>& from,
+                                    const std::vector<Vec3>& to) {
+  MOTEUR_REQUIRE(from.size() == to.size(), InternalError,
+                 "absolute_orientation: size mismatch");
+  MOTEUR_REQUIRE(from.size() >= 3, InternalError,
+                 "absolute_orientation: need at least 3 correspondences");
+  const auto n = static_cast<double>(from.size());
+
+  Vec3 centroid_from, centroid_to;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    centroid_from += from[i];
+    centroid_to += to[i];
+  }
+  centroid_from = centroid_from / n;
+  centroid_to = centroid_to / n;
+
+  // Cross-covariance of the centered clouds.
+  double sxx = 0, sxy = 0, sxz = 0, syx = 0, syy = 0, syz = 0, szx = 0, szy = 0, szz = 0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const Vec3 a = from[i] - centroid_from;
+    const Vec3 b = to[i] - centroid_to;
+    sxx += a.x * b.x; sxy += a.x * b.y; sxz += a.x * b.z;
+    syx += a.y * b.x; syy += a.y * b.y; syz += a.y * b.z;
+    szx += a.z * b.x; szy += a.z * b.y; szz += a.z * b.z;
+  }
+
+  // Horn's symmetric 4x4 matrix; its dominant eigenvector is the optimal
+  // rotation quaternion.
+  const std::array<double, 16> m = {
+      sxx + syy + szz, syz - szy,        szx - sxz,        sxy - syx,
+      syz - szy,       sxx - syy - szz,  sxy + syx,        szx + sxz,
+      szx - sxz,       sxy + syx,        -sxx + syy - szz, syz + szy,
+      sxy - syx,       szx + sxz,        syz + szy,        -sxx - syy + szz};
+  const auto q = dominant_eigenvector_sym4(m);
+  const Quaternion rotation = Quaternion{q[0], q[1], q[2], q[3]}.normalized();
+
+  return RigidTransform{rotation, centroid_to - rotation.rotate(centroid_from)};
+}
+
+double rms_error(const RigidTransform& transform, const std::vector<Vec3>& from,
+                 const std::vector<Vec3>& to) {
+  MOTEUR_REQUIRE(from.size() == to.size() && !from.empty(), InternalError,
+                 "rms_error: bad inputs");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    sum += (transform.apply(from[i]) - to[i]).norm_squared();
+  }
+  return std::sqrt(sum / static_cast<double>(from.size()));
+}
+
+RegistrationResult crest_match(const CrestPoints& reference, const CrestPoints& floating,
+                               const CrestMatchOptions& options) {
+  // Mutual nearest neighbours in descriptor space.
+  struct Match {
+    std::size_t ref, flo;
+    double cost;
+  };
+  std::vector<std::size_t> best_for_ref(reference.size());
+  std::vector<std::size_t> best_for_flo(floating.size());
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t f = 0; f < floating.size(); ++f) {
+      const double d = descriptor_distance(reference[r], floating[f]);
+      if (d < best) {
+        best = d;
+        best_for_ref[r] = f;
+      }
+    }
+  }
+  for (std::size_t f = 0; f < floating.size(); ++f) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      const double d = descriptor_distance(reference[r], floating[f]);
+      if (d < best) {
+        best = d;
+        best_for_flo[f] = r;
+      }
+    }
+  }
+  std::vector<Match> matches;
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    const std::size_t f = best_for_ref[r];
+    if (f < floating.size() && best_for_flo[f] == r) {
+      matches.push_back(Match{r, f, descriptor_distance(reference[r], floating[f])});
+    }
+  }
+  MOTEUR_REQUIRE(matches.size() >= options.min_matches, ExecutionError,
+                 "crest_match: only " + std::to_string(matches.size()) +
+                     " mutual matches, need " + std::to_string(options.min_matches));
+
+  std::vector<Vec3> from, to;
+  from.reserve(matches.size());
+  to.reserve(matches.size());
+  for (const auto& match : matches) {
+    from.push_back(reference[match.ref].position);
+    to.push_back(floating[match.flo].position);
+  }
+
+  // Descriptor matches contain outliers (smooth anatomy is locally
+  // ambiguous); a RANSAC consensus over 3-match rigid hypotheses screens
+  // them geometrically before the final fit.
+  Rng rng(options.seed);
+  const double threshold2 = options.inlier_threshold * options.inlier_threshold;
+  std::vector<std::size_t> best_inliers;
+  for (std::size_t it = 0; it < options.ransac_iterations; ++it) {
+    std::size_t a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(matches.size()) - 1));
+    std::size_t b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(matches.size()) - 1));
+    std::size_t c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(matches.size()) - 1));
+    if (a == b || b == c || a == c) continue;
+    RigidTransform hypothesis;
+    try {
+      hypothesis = absolute_orientation({from[a], from[b], from[c]},
+                                        {to[a], to[b], to[c]});
+    } catch (const Error&) {
+      continue;  // degenerate (collinear) sample
+    }
+    std::vector<std::size_t> inliers;
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      if ((hypothesis.apply(from[m]) - to[m]).norm_squared() < threshold2) {
+        inliers.push_back(m);
+      }
+    }
+    if (inliers.size() > best_inliers.size()) best_inliers = std::move(inliers);
+  }
+  MOTEUR_REQUIRE(best_inliers.size() >= options.min_matches, ExecutionError,
+                 "crest_match: RANSAC consensus too small (" +
+                     std::to_string(best_inliers.size()) + " inliers)");
+
+  std::vector<Vec3> in_from, in_to;
+  in_from.reserve(best_inliers.size());
+  in_to.reserve(best_inliers.size());
+  for (std::size_t m : best_inliers) {
+    in_from.push_back(from[m]);
+    in_to.push_back(to[m]);
+  }
+  RegistrationResult result;
+  result.transform = absolute_orientation(in_from, in_to);
+  result.residual = rms_error(result.transform, in_from, in_to);
+  result.iterations = options.ransac_iterations;
+  result.converged = true;
+  return result;
+}
+
+namespace {
+
+std::size_t nearest(const std::vector<Vec3>& cloud, const Vec3& p) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const double d = (cloud[i] - p).norm_squared();
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double transform_delta(const RigidTransform& a, const RigidTransform& b) {
+  const TransformError err = transform_error(a, b);
+  return err.rotation_radians + err.translation;
+}
+
+}  // namespace
+
+RegistrationResult icp(const std::vector<Vec3>& reference, const std::vector<Vec3>& floating,
+                       const RigidTransform& initial, const IcpOptions& options) {
+  MOTEUR_REQUIRE(reference.size() >= 4 && floating.size() >= 4, ExecutionError,
+                 "icp: point clouds too small");
+  RegistrationResult result;
+  result.transform = initial;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Pair every (transformed) reference point with its nearest floating
+    // point; trim the worst pairs.
+    struct Pair {
+      Vec3 from, to;
+      double d2;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(reference.size());
+    for (const Vec3& p : reference) {
+      const Vec3 moved = result.transform.apply(p);
+      const std::size_t j = nearest(floating, moved);
+      pairs.push_back(Pair{p, floating[j], (floating[j] - moved).norm_squared()});
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.d2 < b.d2; });
+    const std::size_t keep = std::max<std::size_t>(
+        4, static_cast<std::size_t>(options.trim_fraction * static_cast<double>(pairs.size())));
+    pairs.resize(std::min(keep, pairs.size()));
+
+    std::vector<Vec3> from, to;
+    from.reserve(pairs.size());
+    to.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      from.push_back(pair.from);
+      to.push_back(pair.to);
+    }
+    const RigidTransform next = absolute_orientation(from, to);
+    const double delta = transform_delta(result.transform, next);
+    result.transform = next;
+    result.residual = rms_error(next, from, to);
+    result.iterations = it + 1;
+    if (delta < options.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+RegistrationResult pf_register(const std::vector<Vec3>& reference,
+                               const std::vector<Vec3>& floating,
+                               const RigidTransform& initial) {
+  IcpOptions options;
+  options.max_iterations = 60;
+  options.convergence_threshold = 1e-6;
+  options.trim_fraction = 0.95;
+  return icp(reference, floating, initial, options);
+}
+
+namespace {
+
+/// NCC between a reference block and the floating image sampled at the
+/// block displaced by `shift` (in voxels) after `transform`.
+double block_ncc(const Image3D& reference, const Image3D& floating,
+                 const RigidTransform& transform, std::size_t bi, std::size_t bj,
+                 std::size_t bk, std::size_t block, const Vec3& shift) {
+  double sum_a = 0, sum_b = 0, sum_ab = 0, sum_aa = 0, sum_bb = 0;
+  double count = 0;
+  for (std::size_t k = bk; k < bk + block; ++k) {
+    for (std::size_t j = bj; j < bj + block; ++j) {
+      for (std::size_t i = bi; i < bi + block; ++i) {
+        const double a = static_cast<double>(reference.at(i, j, k));
+        const Vec3 p = transform.apply(reference.position(i, j, k)) + shift;
+        const double b = floating.sample(p);
+        sum_a += a;
+        sum_b += b;
+        sum_ab += a * b;
+        sum_aa += a * a;
+        sum_bb += b * b;
+        count += 1.0;
+      }
+    }
+  }
+  const double var_a = sum_aa - sum_a * sum_a / count;
+  const double var_b = sum_bb - sum_b * sum_b / count;
+  if (var_a <= 1e-12 || var_b <= 1e-12) return -2.0;
+  return (sum_ab - sum_a * sum_b / count) / std::sqrt(var_a * var_b);
+}
+
+double block_stddev(const Image3D& image, std::size_t bi, std::size_t bj, std::size_t bk,
+                    std::size_t block) {
+  double sum = 0, sum2 = 0, count = 0;
+  for (std::size_t k = bk; k < bk + block; ++k) {
+    for (std::size_t j = bj; j < bj + block; ++j) {
+      for (std::size_t i = bi; i < bi + block; ++i) {
+        const double v = static_cast<double>(image.at(i, j, k));
+        sum += v;
+        sum2 += v * v;
+        count += 1.0;
+      }
+    }
+  }
+  return std::sqrt(std::max(0.0, sum2 / count - (sum / count) * (sum / count)));
+}
+
+}  // namespace
+
+RegistrationResult baladin(const Image3D& reference, const Image3D& floating,
+                           const RigidTransform& initial, const BaladinOptions& options) {
+  RegistrationResult result;
+  result.transform = initial;
+  const std::size_t block = options.block_size;
+  const double spacing = reference.spacing();
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    struct BlockMatch {
+      Vec3 from, to;
+      double score;
+    };
+    std::vector<BlockMatch> matches;
+
+    for (std::size_t bk = 0; bk + block <= reference.nz(); bk += options.block_stride) {
+      for (std::size_t bj = 0; bj + block <= reference.ny(); bj += options.block_stride) {
+        for (std::size_t bi = 0; bi + block <= reference.nx(); bi += options.block_stride) {
+          if (block_stddev(reference, bi, bj, bk, block) < options.min_block_stddev) {
+            continue;  // flat block: no signal to match
+          }
+          Vec3 best_shift;
+          double best_score = -2.0;
+          for (long dk = -options.search_radius; dk <= options.search_radius; ++dk) {
+            for (long dj = -options.search_radius; dj <= options.search_radius; ++dj) {
+              for (long di = -options.search_radius; di <= options.search_radius; ++di) {
+                const Vec3 shift{static_cast<double>(di) * spacing,
+                                 static_cast<double>(dj) * spacing,
+                                 static_cast<double>(dk) * spacing};
+                const double score = block_ncc(reference, floating, result.transform,
+                                               bi, bj, bk, block, shift);
+                if (score > best_score) {
+                  best_score = score;
+                  best_shift = shift;
+                }
+              }
+            }
+          }
+          if (best_score <= -1.5) continue;
+          const Vec3 center = reference.position(bi + block / 2, bj + block / 2,
+                                                 bk + block / 2);
+          matches.push_back(BlockMatch{center, result.transform.apply(center) + best_shift,
+                                       best_score});
+        }
+      }
+    }
+    if (matches.size() < 6) break;
+
+    // Robust fit: keep the best-scoring fraction of blocks.
+    std::sort(matches.begin(), matches.end(),
+              [](const BlockMatch& a, const BlockMatch& b) { return a.score > b.score; });
+    const std::size_t keep = std::max<std::size_t>(
+        6,
+        static_cast<std::size_t>(options.keep_fraction * static_cast<double>(matches.size())));
+    matches.resize(std::min(keep, matches.size()));
+
+    std::vector<Vec3> from, to;
+    from.reserve(matches.size());
+    to.reserve(matches.size());
+    for (const auto& m : matches) {
+      from.push_back(m.from);
+      to.push_back(m.to);
+    }
+    const RigidTransform next = absolute_orientation(from, to);
+    const double delta = transform_delta(result.transform, next);
+    result.transform = next;
+    result.residual = rms_error(next, from, to);
+    result.iterations = it + 1;
+    if (delta < 1e-4) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Similarity of `reference` resampled under `transform` against `floating`,
+/// on a subsampled grid.
+double similarity(const Image3D& reference, const Image3D& floating,
+                  const RigidTransform& transform, std::size_t stride) {
+  double sum_a = 0, sum_b = 0, sum_ab = 0, sum_aa = 0, sum_bb = 0, count = 0;
+  for (std::size_t k = 0; k < reference.nz(); k += stride) {
+    for (std::size_t j = 0; j < reference.ny(); j += stride) {
+      for (std::size_t i = 0; i < reference.nx(); i += stride) {
+        const double a = static_cast<double>(reference.at(i, j, k));
+        const double b = floating.sample(transform.apply(reference.position(i, j, k)));
+        sum_a += a;
+        sum_b += b;
+        sum_ab += a * b;
+        sum_aa += a * a;
+        sum_bb += b * b;
+        count += 1.0;
+      }
+    }
+  }
+  const double var_a = sum_aa - sum_a * sum_a / count;
+  const double var_b = sum_bb - sum_b * sum_b / count;
+  if (var_a <= 1e-12 || var_b <= 1e-12) return -1.0;
+  return (sum_ab - sum_a * sum_b / count) / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+RegistrationResult yasmina(const Image3D& reference, const Image3D& floating,
+                           const RigidTransform& initial, const YasminaOptions& options) {
+  RegistrationResult result;
+  result.transform = initial;
+  double best = similarity(reference, floating, result.transform, options.sample_stride);
+
+  const Vec3 center = reference.extent() * 0.5;
+  double step_t = options.initial_step_translation;
+  double step_r = options.initial_step_rotation;
+
+  // Coordinate descent over the 6 rigid parameters: try +/- step on each,
+  // halve the steps when no axis improves.
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    bool improved = false;
+    for (int axis = 0; axis < 6; ++axis) {
+      for (const double sign : {+1.0, -1.0}) {
+        RigidTransform candidate = result.transform;
+        if (axis < 3) {
+          Vec3 delta;
+          (axis == 0 ? delta.x : axis == 1 ? delta.y : delta.z) = sign * step_t;
+          candidate.translation += delta;
+        } else {
+          Vec3 axis_vec{axis == 3 ? 1.0 : 0.0, axis == 4 ? 1.0 : 0.0,
+                        axis == 5 ? 1.0 : 0.0};
+          const Quaternion spin = Quaternion::from_axis_angle(axis_vec, sign * step_r);
+          // Rotate about the volume center, not the origin.
+          const RigidTransform pivot{spin, center - spin.rotate(center)};
+          candidate = pivot * candidate;
+        }
+        const double score =
+            similarity(reference, floating, candidate, options.sample_stride);
+        if (score > best) {
+          best = score;
+          result.transform = candidate;
+          improved = true;
+        }
+      }
+    }
+    result.iterations = it + 1;
+    if (!improved) {
+      step_t *= 0.5;
+      step_r *= 0.5;
+      if (step_t < options.min_step && step_r < options.min_step) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.residual = 1.0 - best;
+  return result;
+}
+
+RegistrationResult yasmina_pyramid(const Image3D& reference, const Image3D& floating,
+                                   const RigidTransform& initial,
+                                   const PyramidOptions& options) {
+  // Build matched pyramids (level 0 = full resolution).
+  std::vector<Image3D> ref_pyramid{reference};
+  std::vector<Image3D> flo_pyramid{floating};
+  for (std::size_t level = 0; level < options.levels; ++level) {
+    ref_pyramid.push_back(ref_pyramid.back().downsampled());
+    flo_pyramid.push_back(flo_pyramid.back().downsampled());
+  }
+
+  RegistrationResult result;
+  result.transform = initial;
+  std::size_t total_iterations = 0;
+  for (std::size_t level = ref_pyramid.size(); level-- > 0;) {
+    YasminaOptions opts = options.per_level;
+    // Coarser levels take bigger steps (world units scale with spacing) and
+    // need no subsampling (the volume is already small).
+    const double scale = std::pow(2.0, static_cast<double>(level));
+    opts.initial_step_translation *= scale;
+    opts.initial_step_rotation *= scale;
+    opts.sample_stride = level > 0 ? 1 : options.per_level.sample_stride;
+    result = yasmina(ref_pyramid[level], flo_pyramid[level], result.transform, opts);
+    total_iterations += result.iterations;
+  }
+  result.iterations = total_iterations;
+  return result;
+}
+
+}  // namespace moteur::registration

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "registration/crest.hpp"
+#include "registration/geometry.hpp"
+#include "registration/image3d.hpp"
+
+namespace moteur::registration {
+
+/// Common result shape of all the registration algorithms bound to the
+/// workflow services (crestMatch, PFMatchICP/PFRegister, Baladin, Yasmina).
+struct RegistrationResult {
+  RigidTransform transform;  // maps reference space to floating space
+  double residual = 0.0;     // algorithm-specific final cost
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Horn's closed-form absolute orientation: the least-squares rigid
+/// transform mapping `from[i]` onto `to[i]`. Requires >= 3 corresponded,
+/// non-collinear points.
+RigidTransform absolute_orientation(const std::vector<Vec3>& from,
+                                    const std::vector<Vec3>& to);
+
+/// RMS distance between T(from[i]) and to[i].
+double rms_error(const RigidTransform& transform, const std::vector<Vec3>& from,
+                 const std::vector<Vec3>& to);
+
+// --- crestMatch: descriptor matching + trimmed absolute orientation --------
+
+struct CrestMatchOptions {
+  std::size_t min_matches = 6;
+  /// RANSAC: number of 3-match hypotheses evaluated.
+  std::size_t ransac_iterations = 400;
+  /// Inlier residual threshold (world units).
+  double inlier_threshold = 2.5;
+  /// Deterministic RANSAC seed.
+  std::uint64_t seed = 20060619;
+};
+
+/// The paper's first registration step: matches crest points between the
+/// two images by mutual-nearest descriptor similarity, screens the matches
+/// by RANSAC geometric consensus, and fits the rigid transform on the
+/// inliers. Its output initializes all the other algorithms (Figure 9).
+RegistrationResult crest_match(const CrestPoints& reference, const CrestPoints& floating,
+                               const CrestMatchOptions& options = {});
+
+// --- PFMatchICP / PFRegister: iterative closest point + refinement ---------
+
+struct IcpOptions {
+  std::size_t max_iterations = 40;
+  double convergence_threshold = 1e-4;  // transform-change norm
+  /// Keep this fraction of the closest pairs each iteration (trimmed ICP).
+  double trim_fraction = 0.9;
+};
+
+/// Iterative closest point between uncorresponded point clouds, starting
+/// from `initial` (PFMatchICP in the workflow).
+RegistrationResult icp(const std::vector<Vec3>& reference, const std::vector<Vec3>& floating,
+                       const RigidTransform& initial, const IcpOptions& options = {});
+
+/// Final refinement pass (PFRegister): a stricter, lightly-trimmed ICP
+/// polish of an already-good transform.
+RegistrationResult pf_register(const std::vector<Vec3>& reference,
+                               const std::vector<Vec3>& floating,
+                               const RigidTransform& initial);
+
+// --- Baladin: block matching -----------------------------------------------
+
+struct BaladinOptions {
+  std::size_t block_size = 6;      // voxels per block side
+  std::size_t block_stride = 6;
+  long search_radius = 2;          // voxels, per axis
+  std::size_t max_iterations = 4;
+  double keep_fraction = 0.7;      // robust trimming of block matches
+  double min_block_stddev = 1e-3;  // skip flat blocks
+};
+
+/// Intensity block matching (the Baladin service): each block of the
+/// reference image searches its best NCC displacement in the floating
+/// image; a trimmed absolute-orientation fit turns the displacement field
+/// into a rigid transform; iterate.
+RegistrationResult baladin(const Image3D& reference, const Image3D& floating,
+                           const RigidTransform& initial, const BaladinOptions& options = {});
+
+// --- Yasmina: intensity-measure optimization -------------------------------
+
+struct YasminaOptions {
+  std::size_t max_iterations = 60;
+  double initial_step_translation = 1.0;  // mm
+  double initial_step_rotation = 0.02;    // radians
+  double min_step = 1e-3;
+  std::size_t sample_stride = 2;  // voxel subsampling of the similarity
+};
+
+/// Iterative similarity optimization (the Yasmina service): coordinate
+/// descent over the 6 rigid parameters maximizing the normalized cross
+/// correlation between the resampled reference and the floating image.
+RegistrationResult yasmina(const Image3D& reference, const Image3D& floating,
+                           const RigidTransform& initial, const YasminaOptions& options = {});
+
+// --- multiresolution (coarse-to-fine) --------------------------------------
+
+struct PyramidOptions {
+  /// Downsampling levels above full resolution (1 = one half-res pass).
+  std::size_t levels = 1;
+  YasminaOptions per_level = {};
+};
+
+/// Coarse-to-fine Yasmina: optimize on 2x-downsampled pyramids first (wide
+/// capture range, cheap evaluations), then refine at full resolution with
+/// progressively smaller steps. Standard practice in intensity registration;
+/// extends the flat Yasmina service.
+RegistrationResult yasmina_pyramid(const Image3D& reference, const Image3D& floating,
+                                   const RigidTransform& initial,
+                                   const PyramidOptions& options = {});
+
+}  // namespace moteur::registration

@@ -1,0 +1,87 @@
+#include "registration/bronze.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace moteur::registration {
+
+namespace {
+
+constexpr double kRadiansToDegrees = 180.0 / M_PI;
+
+AlgorithmAccuracy accuracy_of(const std::string& algorithm,
+                              const std::vector<RigidTransform>& estimates,
+                              const std::vector<RigidTransform>& references) {
+  RunningStats rotation, translation;
+  for (std::size_t pair = 0; pair < estimates.size(); ++pair) {
+    const TransformError err = transform_error(estimates[pair], references[pair]);
+    rotation.add(err.rotation_radians * kRadiansToDegrees);
+    translation.add(err.translation);
+  }
+  AlgorithmAccuracy out;
+  out.algorithm = algorithm;
+  out.rotation_mean_degrees = rotation.mean();
+  out.rotation_stddev_degrees = rotation.stddev();
+  out.translation_mean = translation.mean();
+  out.translation_stddev = translation.stddev();
+  return out;
+}
+
+}  // namespace
+
+BronzeResult evaluate_bronze_standard(const std::vector<AlgorithmEstimates>& estimates) {
+  MOTEUR_REQUIRE(estimates.size() >= 2, InternalError,
+                 "bronze standard needs at least two algorithms");
+  const std::size_t pairs = estimates.front().per_pair.size();
+  MOTEUR_REQUIRE(pairs > 0, InternalError, "bronze standard: no image pairs");
+  for (const auto& algorithm : estimates) {
+    MOTEUR_REQUIRE(algorithm.per_pair.size() == pairs, InternalError,
+                   "bronze standard: algorithm '" + algorithm.algorithm +
+                       "' has a different pair count");
+  }
+
+  BronzeResult result;
+  result.bronze_standard.reserve(pairs);
+  for (std::size_t pair = 0; pair < pairs; ++pair) {
+    std::vector<RigidTransform> all;
+    all.reserve(estimates.size());
+    for (const auto& algorithm : estimates) all.push_back(algorithm.per_pair[pair]);
+    result.bronze_standard.push_back(average(all));
+  }
+
+  // Each algorithm is scored against the mean of all the OTHERS, so its own
+  // errors do not contaminate its reference.
+  for (std::size_t a = 0; a < estimates.size(); ++a) {
+    std::vector<RigidTransform> reference_of_others;
+    reference_of_others.reserve(pairs);
+    for (std::size_t pair = 0; pair < pairs; ++pair) {
+      std::vector<RigidTransform> others;
+      others.reserve(estimates.size() - 1);
+      for (std::size_t b = 0; b < estimates.size(); ++b) {
+        if (b != a) others.push_back(estimates[b].per_pair[pair]);
+      }
+      reference_of_others.push_back(average(others));
+    }
+    result.accuracies.push_back(accuracy_of(estimates[a].algorithm,
+                                            estimates[a].per_pair, reference_of_others));
+  }
+  return result;
+}
+
+std::vector<AlgorithmAccuracy> evaluate_against_truth(
+    const std::vector<AlgorithmEstimates>& estimates,
+    const std::vector<RigidTransform>& truths) {
+  std::vector<AlgorithmAccuracy> out;
+  out.reserve(estimates.size());
+  for (const auto& algorithm : estimates) {
+    MOTEUR_REQUIRE(algorithm.per_pair.size() == truths.size(), InternalError,
+                   "evaluate_against_truth: pair count mismatch for '" +
+                       algorithm.algorithm + "'");
+    out.push_back(accuracy_of(algorithm.algorithm, algorithm.per_pair, truths));
+  }
+  return out;
+}
+
+}  // namespace moteur::registration

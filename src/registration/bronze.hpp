@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "registration/geometry.hpp"
+
+namespace moteur::registration {
+
+/// Per-algorithm registration estimates over a set of image pairs.
+struct AlgorithmEstimates {
+  std::string algorithm;
+  std::vector<RigidTransform> per_pair;  // one transform per image pair
+};
+
+/// The Bronze-Standard statistical evaluation (paper §4.2, ref [22]):
+/// registering "a maximum of image pairs with a maximum number of
+/// registration algorithms" yields a largely overestimated system relating
+/// all the geometries; the per-pair mean is more precise than any single
+/// algorithm and serves as the reference (the bronze standard). Each
+/// algorithm's accuracy is then its distance to the mean of all the OTHER
+/// algorithms — the computation performed by the MultiTransfoTest
+/// synchronization service.
+struct AlgorithmAccuracy {
+  std::string algorithm;
+  double rotation_mean_degrees = 0.0;
+  double rotation_stddev_degrees = 0.0;
+  double translation_mean = 0.0;
+  double translation_stddev = 0.0;
+};
+
+struct BronzeResult {
+  /// Per-pair mean over all algorithms — the bronze standard itself.
+  std::vector<RigidTransform> bronze_standard;
+  std::vector<AlgorithmAccuracy> accuracies;
+};
+
+/// Requires >= 2 algorithms, all with the same number of per-pair estimates.
+BronzeResult evaluate_bronze_standard(const std::vector<AlgorithmEstimates>& estimates);
+
+/// Accuracy of each algorithm against a known ground truth (only possible
+/// with synthetic data; used to validate that the bronze standard ranks
+/// algorithms consistently with the truth).
+std::vector<AlgorithmAccuracy> evaluate_against_truth(
+    const std::vector<AlgorithmEstimates>& estimates,
+    const std::vector<RigidTransform>& truths);
+
+}  // namespace moteur::registration

@@ -1,0 +1,159 @@
+#include "registration/crest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moteur::registration {
+
+void smooth(Image3D& image, std::size_t iterations) {
+  const std::size_t nx = image.nx(), ny = image.ny(), nz = image.nz();
+  Image3D scratch(nx, ny, nz, image.spacing());
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Separable (1,2,1)/4 along each axis, clamped at the borders.
+    const auto pass = [&](Image3D& src, Image3D& dst, int axis) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        for (std::size_t j = 0; j < ny; ++j) {
+          for (std::size_t i = 0; i < nx; ++i) {
+            const auto clamped = [&](long di, long dj, long dk) {
+              const auto cx = std::clamp<long>(static_cast<long>(i) + di, 0,
+                                               static_cast<long>(nx) - 1);
+              const auto cy = std::clamp<long>(static_cast<long>(j) + dj, 0,
+                                               static_cast<long>(ny) - 1);
+              const auto cz = std::clamp<long>(static_cast<long>(k) + dk, 0,
+                                               static_cast<long>(nz) - 1);
+              return static_cast<double>(src.at(static_cast<std::size_t>(cx),
+                                                static_cast<std::size_t>(cy),
+                                                static_cast<std::size_t>(cz)));
+            };
+            double lo, hi;
+            if (axis == 0) {
+              lo = clamped(-1, 0, 0);
+              hi = clamped(1, 0, 0);
+            } else if (axis == 1) {
+              lo = clamped(0, -1, 0);
+              hi = clamped(0, 1, 0);
+            } else {
+              lo = clamped(0, 0, -1);
+              hi = clamped(0, 0, 1);
+            }
+            dst.at(i, j, k) =
+                static_cast<float>(0.25 * lo + 0.5 * clamped(0, 0, 0) + 0.25 * hi);
+          }
+        }
+      }
+    };
+    pass(image, scratch, 0);
+    pass(scratch, image, 1);
+    pass(image, scratch, 2);
+    image.voxels() = scratch.voxels();
+  }
+}
+
+namespace {
+
+double laplacian(const Image3D& image, std::size_t i, std::size_t j, std::size_t k) {
+  const double c = static_cast<double>(image.at(i, j, k));
+  double sum = 0.0;
+  sum += static_cast<double>(image.at(i - 1, j, k)) + static_cast<double>(image.at(i + 1, j, k));
+  sum += static_cast<double>(image.at(i, j - 1, k)) + static_cast<double>(image.at(i, j + 1, k));
+  sum += static_cast<double>(image.at(i, j, k - 1)) + static_cast<double>(image.at(i, j, k + 1));
+  const double s2 = image.spacing() * image.spacing();
+  return (sum - 6.0 * c) / s2;
+}
+
+}  // namespace
+
+CrestPoints extract_crest_points(const Image3D& input, const CrestOptions& options) {
+  Image3D image = input;
+  smooth(image, options.scale);
+
+  const std::size_t nx = image.nx(), ny = image.ny(), nz = image.nz();
+
+  // Saliency field on the interior.
+  Image3D saliency(nx, ny, nz, image.spacing());
+  double max_saliency = 0.0;
+  for (std::size_t k = 1; k + 1 < nz; ++k) {
+    for (std::size_t j = 1; j + 1 < ny; ++j) {
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        const double g = image.gradient(i, j, k).norm();
+        const double l = std::fabs(laplacian(image, i, j, k));
+        const double s = g * l;
+        saliency.at(i, j, k) = static_cast<float>(s);
+        max_saliency = std::max(max_saliency, s);
+      }
+    }
+  }
+  if (max_saliency <= 0.0) return {};
+  const double threshold = options.threshold_fraction * max_saliency;
+
+  // Candidates above the threshold, strongest first.
+  struct Candidate {
+    std::size_t i, j, k;
+    double saliency;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t k = 1; k + 1 < nz; ++k) {
+    for (std::size_t j = 1; j + 1 < ny; ++j) {
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        const double s = static_cast<double>(saliency.at(i, j, k));
+        if (s >= threshold) candidates.push_back(Candidate{i, j, k, s});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.saliency > b.saliency; });
+
+  // Greedy non-maximum suppression: keep the strongest candidates that stay
+  // min_distance apart, so the landmarks spread over the whole anatomy.
+  const double min_d2 = options.min_distance * options.min_distance;
+  CrestPoints points;
+  for (const Candidate& c : candidates) {
+    if (points.size() >= options.max_points) break;
+    const Vec3 position = image.position(c.i, c.j, c.k);
+    bool suppressed = false;
+    for (const CrestPoint& kept : points) {
+      if ((kept.position - position).norm_squared() < min_d2) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) continue;
+
+    CrestPoint point;
+    point.position = position;
+    point.saliency = c.saliency;
+    // Rigid-invariant descriptor: intensity, gradient magnitude, Laplacian,
+    // and a 1-shell intensity contrast.
+    const double intensity = static_cast<double>(image.at(c.i, c.j, c.k));
+    const double grad = image.gradient(c.i, c.j, c.k).norm();
+    const double lap = laplacian(image, c.i, c.j, c.k);
+    double shell = 0.0;
+    shell += static_cast<double>(image.at(c.i - 1, c.j, c.k)) +
+             static_cast<double>(image.at(c.i + 1, c.j, c.k)) +
+             static_cast<double>(image.at(c.i, c.j - 1, c.k)) +
+             static_cast<double>(image.at(c.i, c.j + 1, c.k)) +
+             static_cast<double>(image.at(c.i, c.j, c.k - 1)) +
+             static_cast<double>(image.at(c.i, c.j, c.k + 1));
+    point.descriptor = {intensity, grad, lap, shell / 6.0 - intensity};
+    points.push_back(point);
+  }
+  return points;
+}
+
+double descriptor_distance(const CrestPoint& a, const CrestPoint& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.descriptor.size(); ++i) {
+    const double d = a.descriptor[i] - b.descriptor[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<Vec3> positions(const CrestPoints& points) {
+  std::vector<Vec3> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.position);
+  return out;
+}
+
+}  // namespace moteur::registration

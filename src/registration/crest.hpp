@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "registration/image3d.hpp"
+
+namespace moteur::registration {
+
+/// A salient anatomical landmark extracted from an image — our equivalent of
+/// the crest-line points the paper's crestLines pre-processing step feeds to
+/// the feature-based registration algorithms.
+struct CrestPoint {
+  Vec3 position;                      // world coordinates
+  std::array<double, 4> descriptor;   // rigid-invariant local signature
+  double saliency = 0.0;
+};
+
+using CrestPoints = std::vector<CrestPoint>;
+
+struct CrestOptions {
+  /// Pre-smoothing iterations (the "-s scale" option of CrestLines.pl in the
+  /// paper's descriptor example).
+  std::size_t scale = 1;
+  std::size_t max_points = 160;
+  /// Keep only candidates whose saliency exceeds this fraction of the
+  /// global maximum.
+  double threshold_fraction = 0.02;
+  /// Non-maximum-suppression radius (world units): selected points keep at
+  /// least this distance from one another.
+  double min_distance = 2.5;
+};
+
+/// Ridge-like landmark extraction: saliency = gradient magnitude x |Laplacian|
+/// after smoothing; candidates above the threshold are selected greedily by
+/// decreasing saliency under a minimum-distance constraint (non-maximum
+/// suppression), each with a descriptor of rigid-invariant local
+/// measurements.
+CrestPoints extract_crest_points(const Image3D& image, const CrestOptions& options = {});
+
+/// Euclidean distance between descriptors.
+double descriptor_distance(const CrestPoint& a, const CrestPoint& b);
+
+/// Positions only.
+std::vector<Vec3> positions(const CrestPoints& points);
+
+/// In-place separable 3-tap (1,2,1)/4 smoothing, `iterations` times.
+void smooth(Image3D& image, std::size_t iterations);
+
+}  // namespace moteur::registration

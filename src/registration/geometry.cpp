@@ -1,0 +1,162 @@
+#include "registration/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace moteur::registration {
+
+double Vec3::norm() const { return std::sqrt(norm_squared()); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  MOTEUR_REQUIRE(n > 0.0, InternalError, "normalizing a zero vector");
+  return *this / n;
+}
+
+double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+Quaternion Quaternion::from_axis_angle(const Vec3& axis, double radians) {
+  const Vec3 u = axis.normalized();
+  const double half = 0.5 * radians;
+  const double s = std::sin(half);
+  return Quaternion{std::cos(half), u.x * s, u.y * s, u.z * s};
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return Quaternion{
+      w * o.w - x * o.x - y * o.y - z * o.z,
+      w * o.x + x * o.w + y * o.z - z * o.y,
+      w * o.y - x * o.z + y * o.w + z * o.x,
+      w * o.z + x * o.y - y * o.x + z * o.w,
+  };
+}
+
+double Quaternion::norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  MOTEUR_REQUIRE(n > 0.0, InternalError, "normalizing a zero quaternion");
+  return Quaternion{w / n, x / n, y / n, z / n};
+}
+
+Vec3 Quaternion::rotate(const Vec3& v) const {
+  // v' = v + 2 * r x (r x v + w v), r = (x, y, z): cheaper than q v q*.
+  const Vec3 r{x, y, z};
+  const Vec3 t = r.cross(Vec3{v.x, v.y, v.z}) * 2.0;
+  return v + t * w + r.cross(t);
+}
+
+double Quaternion::angle() const {
+  const double cw = std::clamp(std::fabs(w) / std::max(norm(), 1e-300), 0.0, 1.0);
+  return 2.0 * std::acos(cw);
+}
+
+std::array<double, 9> Quaternion::to_matrix() const {
+  const Quaternion q = normalized();
+  const double xx = q.x * q.x, yy = q.y * q.y, zz = q.z * q.z;
+  const double xy = q.x * q.y, xz = q.x * q.z, yz = q.y * q.z;
+  const double wx = q.w * q.x, wy = q.w * q.y, wz = q.w * q.z;
+  return {1 - 2 * (yy + zz), 2 * (xy - wz),     2 * (xz + wy),
+          2 * (xy + wz),     1 - 2 * (xx + zz), 2 * (yz - wx),
+          2 * (xz - wy),     2 * (yz + wx),     1 - 2 * (xx + yy)};
+}
+
+double rotation_distance(const Quaternion& a, const Quaternion& b) {
+  return (a.conjugate() * b).angle();
+}
+
+Quaternion average(const std::vector<Quaternion>& rotations) {
+  MOTEUR_REQUIRE(!rotations.empty(), InternalError, "averaging zero rotations");
+  // Align signs to the first element (q and -q encode the same rotation).
+  const Quaternion& ref = rotations.front();
+  Quaternion sum{0, 0, 0, 0};
+  for (const auto& q : rotations) {
+    const double sign =
+        (q.w * ref.w + q.x * ref.x + q.y * ref.y + q.z * ref.z) < 0.0 ? -1.0 : 1.0;
+    sum.w += sign * q.w;
+    sum.x += sign * q.x;
+    sum.y += sign * q.y;
+    sum.z += sign * q.z;
+  }
+  return sum.normalized();
+}
+
+RigidTransform RigidTransform::operator*(const RigidTransform& o) const {
+  // a.apply(b.apply(p)) = Ra (Rb p + tb) + ta = (Ra Rb) p + (Ra tb + ta).
+  return RigidTransform{(rotation * o.rotation).normalized(),
+                        rotation.rotate(o.translation) + translation};
+}
+
+RigidTransform RigidTransform::inverse() const {
+  const Quaternion inv = rotation.conjugate().normalized();
+  return RigidTransform{inv, inv.rotate(translation * -1.0)};
+}
+
+TransformError transform_error(const RigidTransform& a, const RigidTransform& b) {
+  return TransformError{rotation_distance(a.rotation, b.rotation),
+                        distance(a.translation, b.translation)};
+}
+
+RigidTransform average(const std::vector<RigidTransform>& transforms) {
+  MOTEUR_REQUIRE(!transforms.empty(), InternalError, "averaging zero transforms");
+  std::vector<Quaternion> rotations;
+  rotations.reserve(transforms.size());
+  Vec3 translation;
+  for (const auto& t : transforms) {
+    rotations.push_back(t.rotation);
+    translation += t.translation;
+  }
+  return RigidTransform{average(rotations),
+                        translation / static_cast<double>(transforms.size())};
+}
+
+std::array<double, 4> dominant_eigenvector_sym4(const std::array<double, 16>& input) {
+  // Cyclic Jacobi: rotate away off-diagonal entries; accumulate eigenvectors.
+  std::array<double, 16> a = input;
+  std::array<double, 16> v = {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+  const auto at = [](std::array<double, 16>& m, int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r * 4 + c)];
+  };
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) off += at(a, p, q) * at(a, p, q);
+    }
+    if (off < 1e-24) break;
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        const double apq = at(a, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < 4; ++k) {
+          const double akp = at(a, k, p), akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < 4; ++k) {
+          const double apk = at(a, p, k), aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < 4; ++k) {
+          const double vkp = at(v, k, p), vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  int best = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (at(a, i, i) > at(a, best, best)) best = i;
+  }
+  return {at(v, 0, best), at(v, 1, best), at(v, 2, best), at(v, 3, best)};
+}
+
+}  // namespace moteur::registration

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace moteur::registration {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const;
+  double norm_squared() const { return dot(*this); }
+  Vec3 normalized() const;
+};
+
+double distance(const Vec3& a, const Vec3& b);
+
+/// Unit quaternion representing a 3-D rotation.
+struct Quaternion {
+  double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+  static Quaternion identity() { return {}; }
+  static Quaternion from_axis_angle(const Vec3& axis, double radians);
+
+  Quaternion operator*(const Quaternion& o) const;
+  Quaternion conjugate() const { return {w, -x, -y, -z}; }
+  double norm() const;
+  Quaternion normalized() const;
+
+  Vec3 rotate(const Vec3& v) const;
+
+  /// Rotation angle in radians, in [0, pi].
+  double angle() const;
+
+  /// 3x3 rotation matrix, row-major.
+  std::array<double, 9> to_matrix() const;
+};
+
+/// Geodesic distance between two rotations, in radians.
+double rotation_distance(const Quaternion& a, const Quaternion& b);
+
+/// Average of unit quaternions (sign-aligned normalized sum — adequate for
+/// tightly-clustered rotations, which is the bronze-standard situation).
+Quaternion average(const std::vector<Quaternion>& rotations);
+
+/// The rigid transformation the paper's application estimates: "6 parameters
+/// in the rigid case — 3 rotation angles and 3 translation parameters"
+/// (§4.2). Applies as rotate-then-translate.
+struct RigidTransform {
+  Quaternion rotation;
+  Vec3 translation;
+
+  static RigidTransform identity() { return {}; }
+
+  Vec3 apply(const Vec3& p) const { return rotation.rotate(p) + translation; }
+
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  RigidTransform operator*(const RigidTransform& o) const;
+
+  RigidTransform inverse() const;
+};
+
+/// Rotation part distance (radians) and translation part distance between
+/// two rigid transforms — the accuracy_rotation / accuracy_translation
+/// outputs of the paper's workflow.
+struct TransformError {
+  double rotation_radians = 0.0;
+  double translation = 0.0;
+};
+TransformError transform_error(const RigidTransform& a, const RigidTransform& b);
+
+/// Average of rigid transforms (component-wise: quaternion average +
+/// translation mean).
+RigidTransform average(const std::vector<RigidTransform>& transforms);
+
+/// Eigenvector of the largest eigenvalue of a symmetric 4x4 matrix
+/// (row-major), via cyclic Jacobi iteration. Used by Horn's closed-form
+/// absolute-orientation method.
+std::array<double, 4> dominant_eigenvector_sym4(const std::array<double, 16>& m);
+
+}  // namespace moteur::registration

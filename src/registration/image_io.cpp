@@ -1,0 +1,57 @@
+#include "registration/image_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace moteur::registration {
+
+void save_image(const Image3D& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  MOTEUR_REQUIRE(out.good(), Error, "cannot write image file '" + path + "'");
+  out << "MOTEURIMG 1\n";
+  out << "dims " << image.nx() << ' ' << image.ny() << ' ' << image.nz() << '\n';
+  out << "spacing " << image.spacing() << '\n';
+  out << "data\n";
+  out.write(reinterpret_cast<const char*>(image.voxels().data()),
+            static_cast<std::streamsize>(image.voxel_count() * sizeof(float)));
+  MOTEUR_REQUIRE(out.good(), Error, "short write to image file '" + path + "'");
+}
+
+Image3D load_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MOTEUR_REQUIRE(in.good(), Error, "cannot read image file '" + path + "'");
+
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  MOTEUR_REQUIRE(magic == "MOTEURIMG" && version == 1, ParseError,
+                 "'" + path + "' is not a MOTEURIMG v1 file");
+
+  std::string key;
+  std::size_t nx = 0, ny = 0, nz = 0;
+  double spacing = 1.0;
+  in >> key;
+  MOTEUR_REQUIRE(key == "dims", ParseError, "expected 'dims' in '" + path + "'");
+  in >> nx >> ny >> nz;
+  in >> key;
+  MOTEUR_REQUIRE(key == "spacing", ParseError, "expected 'spacing' in '" + path + "'");
+  in >> spacing;
+  in >> key;
+  MOTEUR_REQUIRE(key == "data" && in.good(), ParseError,
+                 "expected 'data' in '" + path + "'");
+  in.get();  // the newline after "data"
+
+  MOTEUR_REQUIRE(nx >= 2 && ny >= 2 && nz >= 2 && spacing > 0.0, ParseError,
+                 "invalid dimensions in '" + path + "'");
+  Image3D image(nx, ny, nz, spacing);
+  in.read(reinterpret_cast<char*>(image.voxels().data()),
+          static_cast<std::streamsize>(image.voxel_count() * sizeof(float)));
+  MOTEUR_REQUIRE(in.gcount() ==
+                     static_cast<std::streamsize>(image.voxel_count() * sizeof(float)),
+                 ParseError, "truncated payload in '" + path + "'");
+  return image;
+}
+
+}  // namespace moteur::registration

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "registration/image3d.hpp"
+
+namespace moteur::registration {
+
+/// Minimal volume file format, in the spirit of the MetaImage (.mhd/.raw)
+/// pairs the paper's application shipped around EGEE: a small text header
+/// and a raw little-endian float payload, in ONE file:
+///
+///   MOTEURIMG 1
+///   dims <nx> <ny> <nz>
+///   spacing <s>
+///   data
+///   <nx*ny*nz little-endian float32>
+///
+/// Lets wrapped command-line tools and examples exchange real images.
+void save_image(const Image3D& image, const std::string& path);
+
+/// Throws Error on missing files, ParseError on malformed headers or
+/// truncated payloads.
+Image3D load_image(const std::string& path);
+
+}  // namespace moteur::registration

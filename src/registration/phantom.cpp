@@ -1,0 +1,113 @@
+#include "registration/phantom.hpp"
+
+#include <cmath>
+
+namespace moteur::registration {
+
+Image3D make_phantom(Rng& rng, const PhantomOptions& options) {
+  Image3D image(options.size, options.size, options.size, options.spacing);
+  const Vec3 extent = image.extent();
+  const Vec3 center = extent * 0.5;
+  const double radius = 0.38 * extent.x;
+
+  struct Blob {
+    Vec3 center;
+    double sigma;
+    double amplitude;
+  };
+  std::vector<Blob> blobs;
+
+  // A head-like envelope...
+  blobs.push_back(Blob{center, radius * 0.9, 0.6});
+  // ...internal structures at random offsets within the envelope...
+  for (std::size_t b = 0; b < options.blob_count; ++b) {
+    const double r = radius * 0.75 * std::cbrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const double phi = std::acos(rng.uniform(-1.0, 1.0));
+    const Vec3 offset{r * std::sin(phi) * std::cos(theta),
+                      r * std::sin(phi) * std::sin(theta), r * std::cos(phi)};
+    blobs.push_back(Blob{center + offset, radius * rng.uniform(0.10, 0.28),
+                         rng.uniform(0.25, 0.9) * (rng.bernoulli(0.3) ? -1.0 : 1.0)});
+  }
+  // ...and one bright, compact, tumor-like lesion (the application monitors
+  // brain tumor growth).
+  {
+    const Vec3 offset{radius * rng.uniform(-0.4, 0.4), radius * rng.uniform(-0.4, 0.4),
+                      radius * rng.uniform(-0.4, 0.4)};
+    blobs.push_back(Blob{center + offset, radius * 0.08, 1.5});
+  }
+
+  for (std::size_t k = 0; k < image.nz(); ++k) {
+    for (std::size_t j = 0; j < image.ny(); ++j) {
+      for (std::size_t i = 0; i < image.nx(); ++i) {
+        const Vec3 p = image.position(i, j, k);
+        double value = 0.0;
+        for (const auto& blob : blobs) {
+          const double d2 = (p - blob.center).norm_squared();
+          value += blob.amplitude * std::exp(-d2 / (2.0 * blob.sigma * blob.sigma));
+        }
+        image.at(i, j, k) = static_cast<float>(value);
+      }
+    }
+  }
+  return image;
+}
+
+RigidTransform random_motion(Rng& rng, const PhantomOptions& options) {
+  const Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+  const double angle = rng.uniform(-options.max_rotation_radians,
+                                   options.max_rotation_radians);
+  const Vec3 translation{rng.uniform(-options.max_translation, options.max_translation),
+                         rng.uniform(-options.max_translation, options.max_translation),
+                         rng.uniform(-options.max_translation, options.max_translation)};
+  const Vec3 safe_axis = axis.norm() > 1e-9 ? axis : Vec3{0.0, 0.0, 1.0};
+  return RigidTransform{Quaternion::from_axis_angle(safe_axis, angle), translation};
+}
+
+namespace {
+
+void add_noise(Image3D& image, Rng& rng, double stddev) {
+  if (stddev <= 0.0) return;
+  for (float& v : image.voxels()) {
+    v += static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+/// Rotating around the origin would swing the anatomy out of the volume;
+/// conjugate the motion so it pivots around the volume center instead.
+RigidTransform about_center(const RigidTransform& motion, const Vec3& center) {
+  const RigidTransform to_origin{Quaternion::identity(), center * -1.0};
+  const RigidTransform back{Quaternion::identity(), center};
+  return back * motion * to_origin;
+}
+
+}  // namespace
+
+ImagePair make_pair(const Image3D& anatomy, Rng& rng, std::string name,
+                    const PhantomOptions& options) {
+  ImagePair pair{std::move(name), anatomy, anatomy, RigidTransform::identity()};
+  pair.truth = about_center(random_motion(rng, options), anatomy.extent() * 0.5);
+  pair.floating = anatomy.resampled(pair.truth);
+  add_noise(pair.reference, rng, options.noise_stddev);
+  add_noise(pair.floating, rng, options.noise_stddev);
+  return pair;
+}
+
+std::vector<ImagePair> make_database(std::uint64_t seed, std::size_t patients,
+                                     std::size_t pairs_per_patient,
+                                     const PhantomOptions& options) {
+  std::vector<ImagePair> pairs;
+  pairs.reserve(patients * pairs_per_patient);
+  for (std::size_t p = 0; p < patients; ++p) {
+    Rng patient_rng(seed, "patient" + std::to_string(p));
+    const Image3D anatomy = make_phantom(patient_rng, options);
+    for (std::size_t t = 0; t < pairs_per_patient; ++t) {
+      pairs.push_back(make_pair(anatomy, patient_rng,
+                                "patient" + std::to_string(p) + "_t" + std::to_string(t),
+                                options));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace moteur::registration

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "registration/geometry.hpp"
+#include "registration/image3d.hpp"
+#include "util/rng.hpp"
+
+namespace moteur::registration {
+
+/// Synthetic stand-in for the paper's clinical database (injected T1 brain
+/// MRIs from the Centre Antoine Lacassagne): per-patient "brain" phantoms
+/// made of smooth blobs plus a bright tumor-like lesion, re-acquired at
+/// several time points under random rigid motions with acquisition noise.
+/// Ground-truth transforms are kept so the registration algorithms (and the
+/// bronze-standard statistics built on them) can be validated exactly.
+struct PhantomOptions {
+  std::size_t size = 40;           // cubic volume side, voxels
+  double spacing = 1.0;            // mm per voxel
+  std::size_t blob_count = 14;     // anatomical structures
+  double noise_stddev = 0.015;     // acquisition noise (intensity units)
+  double max_rotation_radians = 0.25;
+  double max_translation = 4.0;    // mm
+};
+
+/// One patient's baseline anatomy.
+Image3D make_phantom(Rng& rng, const PhantomOptions& options = {});
+
+/// A reference/floating acquisition pair related by a hidden ground-truth
+/// rigid transform: floating = resample(reference, truth) + noise.
+struct ImagePair {
+  std::string name;       // e.g. "patient3_t2"
+  Image3D reference;
+  Image3D floating;
+  RigidTransform truth;   // maps reference space to floating space
+};
+
+/// Generate a random rigid motion within the option bounds.
+RigidTransform random_motion(Rng& rng, const PhantomOptions& options = {});
+
+/// Build one pair from a baseline anatomy.
+ImagePair make_pair(const Image3D& anatomy, Rng& rng, std::string name,
+                    const PhantomOptions& options = {});
+
+/// A reproducible multi-patient database: `pairs_per_patient` follow-up
+/// acquisitions of `patients` baselines — mirroring the paper's 12/66/126
+/// pair experiment sets drawn from 1/7/25 patients.
+std::vector<ImagePair> make_database(std::uint64_t seed, std::size_t patients,
+                                     std::size_t pairs_per_patient,
+                                     const PhantomOptions& options = {});
+
+}  // namespace moteur::registration

@@ -1,0 +1,92 @@
+#include "services/catalog.hpp"
+
+#include <memory>
+#include <set>
+
+#include "util/error.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur::services {
+
+namespace {
+
+double parse_number(const std::string& text, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    MOTEUR_REQUIRE(consumed == text.size() && value >= 0.0, ParseError,
+                   "invalid number '" + text + "' for " + context);
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError("invalid number '" + text + "' for " + context);
+  }
+}
+
+}  // namespace
+
+std::string to_catalog_xml(const std::vector<CatalogEntry>& entries) {
+  auto root = std::make_unique<xml::Node>("services");
+  for (const auto& entry : entries) {
+    auto& node = root->add_child("service");
+    node.set_attribute("id", entry.id);
+    node.set_attribute("compute", std::to_string(entry.profile.compute_seconds));
+    if (entry.profile.input_megabytes > 0.0) {
+      node.set_attribute("inputMB", std::to_string(entry.profile.input_megabytes));
+    }
+    if (entry.profile.output_megabytes > 0.0) {
+      node.set_attribute("outputMB", std::to_string(entry.profile.output_megabytes));
+    }
+    for (const auto& port : entry.input_ports) {
+      node.add_child("input").set_attribute("name", port);
+    }
+    for (const auto& port : entry.output_ports) {
+      node.add_child("output").set_attribute("name", port);
+    }
+  }
+  return xml::Document(std::move(root)).to_string();
+}
+
+std::vector<CatalogEntry> parse_catalog(const std::string& xml_text) {
+  const xml::Document doc = xml::parse(xml_text);
+  MOTEUR_REQUIRE(doc.root().name() == "services", ParseError,
+                 "expected <services> root, got <" + doc.root().name() + ">");
+  std::vector<CatalogEntry> entries;
+  std::set<std::string> seen;
+  for (const xml::Node* node : doc.root().children_named("service")) {
+    CatalogEntry entry;
+    entry.id = node->required_attribute("id");
+    MOTEUR_REQUIRE(seen.insert(entry.id).second, ParseError,
+                   "duplicate service id '" + entry.id + "' in catalog");
+    entry.profile.compute_seconds =
+        parse_number(node->required_attribute("compute"), "compute of '" + entry.id + "'");
+    if (const auto mb = node->attribute("inputMB")) {
+      entry.profile.input_megabytes = parse_number(*mb, "inputMB of '" + entry.id + "'");
+    }
+    if (const auto mb = node->attribute("outputMB")) {
+      entry.profile.output_megabytes = parse_number(*mb, "outputMB of '" + entry.id + "'");
+    }
+    for (const xml::Node* port : node->children_named("input")) {
+      entry.input_ports.push_back(port->required_attribute("name"));
+    }
+    for (const xml::Node* port : node->children_named("output")) {
+      entry.output_ports.push_back(port->required_attribute("name"));
+    }
+    MOTEUR_REQUIRE(!entry.input_ports.empty(), ParseError,
+                   "service '" + entry.id + "' declares no input ports");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::size_t load_catalog(const std::string& xml_text, ServiceRegistry& registry) {
+  const auto entries = parse_catalog(xml_text);
+  for (const auto& entry : entries) {
+    registry.add(make_simulated_service(entry.id, entry.input_ports, entry.output_ports,
+                                        entry.profile));
+  }
+  return entries.size();
+}
+
+}  // namespace moteur::services

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "services/functional_service.hpp"
+#include "services/registry.hpp"
+
+namespace moteur::services {
+
+/// One entry of a simulated-service catalog.
+struct CatalogEntry {
+  std::string id;
+  std::vector<std::string> input_ports;
+  std::vector<std::string> output_ports;
+  JobProfile profile;
+};
+
+/// XML catalog of simulated services, so that whole simulation studies can
+/// be described in documents (workflow + data set + service catalog) with no
+/// code — the moteur_cli tool consumes all three.
+///
+///   <services>
+///     <service id="crestLines" compute="90" inputMB="15.6" outputMB="3.9">
+///       <input name="im1"/> <input name="im2"/> <input name="s"/>
+///       <output name="c1"/> <output name="c2"/>
+///     </service>
+///     ...
+///   </services>
+///
+/// `compute` is seconds of payload on a reference node; `inputMB`/`outputMB`
+/// default to 0.
+std::string to_catalog_xml(const std::vector<CatalogEntry>& entries);
+
+/// Parse a catalog document. Throws ParseError on malformed input
+/// (duplicate ids, missing attributes, non-numeric costs).
+std::vector<CatalogEntry> parse_catalog(const std::string& xml_text);
+
+/// Parse a catalog and register one simulated service per entry (replacing
+/// same-id registrations). Returns the number of services registered.
+std::size_t load_catalog(const std::string& xml_text, ServiceRegistry& registry);
+
+}  // namespace moteur::services

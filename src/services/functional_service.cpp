@@ -1,0 +1,64 @@
+#include "services/functional_service.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace moteur::services {
+
+namespace {
+
+FunctionalService::ProfileFn fixed_profile(std::string id, JobProfile profile) {
+  return [id = std::move(id), profile](const Inputs&) {
+    grid::JobRequest request;
+    request.name = id;
+    request.compute_seconds = profile.compute_seconds;
+    request.input_megabytes = profile.input_megabytes;
+    request.output_megabytes = profile.output_megabytes;
+    return request;
+  };
+}
+
+}  // namespace
+
+FunctionalService::FunctionalService(std::string id, std::vector<std::string> input_ports,
+                                     std::vector<std::string> output_ports,
+                                     InvokeFn invoke, JobProfile profile)
+    : Service(std::move(id)),
+      input_ports_(std::move(input_ports)),
+      output_ports_(std::move(output_ports)),
+      invoke_(std::move(invoke)),
+      profile_(fixed_profile(this->id(), profile)) {}
+
+FunctionalService::FunctionalService(std::string id, std::vector<std::string> input_ports,
+                                     std::vector<std::string> output_ports,
+                                     InvokeFn invoke, ProfileFn profile)
+    : Service(std::move(id)),
+      input_ports_(std::move(input_ports)),
+      output_ports_(std::move(output_ports)),
+      invoke_(std::move(invoke)),
+      profile_(std::move(profile)) {}
+
+Result FunctionalService::invoke(const Inputs& inputs) {
+  // Pure-simulation services (no callable bound) degrade to symbolic
+  // outputs so the threaded backend can still enact them.
+  if (invoke_ == nullptr) return synthesize_outputs(inputs);
+  return invoke_(inputs);
+}
+
+grid::JobRequest FunctionalService::job_profile(const Inputs& inputs) const {
+  return profile_(inputs);
+}
+
+std::shared_ptr<FunctionalService> make_simulated_service(
+    std::string id, std::vector<std::string> input_ports,
+    std::vector<std::string> output_ports, JobProfile profile) {
+  // The invoke path of a pure-simulation service mirrors synthesize_outputs
+  // so the threaded backend can still run it (producing symbolic results).
+  auto service = std::make_shared<FunctionalService>(
+      std::move(id), std::move(input_ports), std::move(output_ports),
+      FunctionalService::InvokeFn{}, profile);
+  return service;
+}
+
+}  // namespace moteur::services

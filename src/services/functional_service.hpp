@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "services/service.hpp"
+
+namespace moteur::services {
+
+/// Fixed description of the grid job a service submits per invocation; used
+/// when the cost does not depend on the concrete input values (the common
+/// case for the paper's application, whose images all have the same size).
+struct JobProfile {
+  double compute_seconds = 0.0;
+  double input_megabytes = 0.0;
+  double output_megabytes = 0.0;
+};
+
+/// Adapter turning a C++ callable into a Service — the quickest way to make
+/// native code service-aware, used by the Bronze-Standard application
+/// services and throughout the tests.
+class FunctionalService : public Service {
+ public:
+  using InvokeFn = std::function<Result(const Inputs&)>;
+  using ProfileFn = std::function<grid::JobRequest(const Inputs&)>;
+
+  /// Service with a real computation and a fixed job profile.
+  FunctionalService(std::string id, std::vector<std::string> input_ports,
+                    std::vector<std::string> output_ports, InvokeFn invoke,
+                    JobProfile profile = {});
+
+  /// Full control: custom per-invocation profile.
+  FunctionalService(std::string id, std::vector<std::string> input_ports,
+                    std::vector<std::string> output_ports, InvokeFn invoke,
+                    ProfileFn profile);
+
+  std::vector<std::string> input_ports() const override { return input_ports_; }
+  std::vector<std::string> output_ports() const override { return output_ports_; }
+
+  Result invoke(const Inputs& inputs) override;
+  grid::JobRequest job_profile(const Inputs& inputs) const override;
+
+  std::size_t max_concurrent_invocations() const override { return max_concurrent_; }
+  /// Declare a single-host capacity limit (0 = unlimited).
+  void set_max_concurrent_invocations(std::size_t limit) { max_concurrent_ = limit; }
+
+ private:
+  std::vector<std::string> input_ports_;
+  std::vector<std::string> output_ports_;
+  InvokeFn invoke_;
+  ProfileFn profile_;
+  std::size_t max_concurrent_ = 0;
+};
+
+/// Convenience: a service that produces synthesized outputs and only exists
+/// for its job profile (pure simulation studies).
+std::shared_ptr<FunctionalService> make_simulated_service(
+    std::string id, std::vector<std::string> input_ports,
+    std::vector<std::string> output_ports, JobProfile profile);
+
+}  // namespace moteur::services

@@ -1,0 +1,47 @@
+#include "services/registry.hpp"
+
+#include "services/grouped_service.hpp"
+#include "util/error.hpp"
+
+namespace moteur::services {
+
+void ServiceRegistry::add(std::shared_ptr<Service> service) {
+  MOTEUR_REQUIRE(service != nullptr, InternalError, "registering null service");
+  services_[service->id()] = std::move(service);
+}
+
+bool ServiceRegistry::has(const std::string& id) const {
+  return services_.count(id) != 0;
+}
+
+std::shared_ptr<Service> ServiceRegistry::get(const std::string& id) const {
+  const auto it = services_.find(id);
+  MOTEUR_REQUIRE(it != services_.end(), EnactmentError,
+                 "no service registered under id '" + id + "'");
+  return it->second;
+}
+
+std::shared_ptr<Service> ServiceRegistry::resolve(const workflow::Processor& processor) {
+  if (!processor.is_grouped()) {
+    return get(processor.service_id.empty() ? processor.name : processor.service_id);
+  }
+  const auto cached = grouped_cache_.find(processor.name);
+  if (cached != grouped_cache_.end()) return cached->second;
+
+  MOTEUR_REQUIRE(processor.member_service_ids.size() == processor.group_members.size(),
+                 EnactmentError,
+                 "grouped processor '" + processor.name +
+                     "' has mismatched member/service lists");
+  std::vector<GroupedService::Member> members;
+  members.reserve(processor.group_members.size());
+  for (std::size_t i = 0; i < processor.group_members.size(); ++i) {
+    members.push_back(GroupedService::Member{processor.group_members[i],
+                                             get(processor.member_service_ids[i])});
+  }
+  auto grouped = std::make_shared<GroupedService>(processor.name, std::move(members),
+                                                  processor.internal_links);
+  grouped_cache_.emplace(processor.name, grouped);
+  return grouped;
+}
+
+}  // namespace moteur::services

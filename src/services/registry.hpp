@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "services/service.hpp"
+#include "workflow/graph.hpp"
+
+namespace moteur::services {
+
+/// Name-to-implementation directory the enactor uses to bind workflow
+/// processors to services. Grouped processors (from the §3.6 rewrite)
+/// resolve to dynamically-built GroupedService instances, cached per
+/// processor name.
+class ServiceRegistry {
+ public:
+  /// Register under the service's own id; replaces an existing binding.
+  void add(std::shared_ptr<Service> service);
+
+  bool has(const std::string& id) const;
+
+  /// Lookup by id; throws EnactmentError if unknown.
+  std::shared_ptr<Service> get(const std::string& id) const;
+
+  /// Implementation bound to a processor:
+  ///  - plain processor: its service_id, defaulting to the processor name;
+  ///  - grouped processor: a GroupedService composed from the members'
+  ///    bindings and the internal links (built once, then cached).
+  std::shared_ptr<Service> resolve(const workflow::Processor& processor);
+
+  std::size_t size() const { return services_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Service>> services_;
+  std::map<std::string, std::shared_ptr<Service>> grouped_cache_;
+};
+
+}  // namespace moteur::services

@@ -1,0 +1,23 @@
+#include "services/service.hpp"
+
+namespace moteur::services {
+
+Result Service::synthesize_outputs(const Inputs& inputs) const {
+  // Build a stable pseudo-GFN from the lineage of the inputs so repeated
+  // simulation runs name results identically.
+  std::string lineage;
+  for (const auto& [port, token] : inputs) {
+    if (!lineage.empty()) lineage += ",";
+    lineage += token.id();
+  }
+  Result result;
+  for (const auto& port : output_ports()) {
+    OutputValue value;
+    value.repr = "gfn://" + id() + "/" + port + "(" + lineage + ")";
+    value.payload = value.repr;
+    result.outputs.emplace(port, std::move(value));
+  }
+  return result;
+}
+
+}  // namespace moteur::services

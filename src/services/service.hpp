@@ -1,0 +1,78 @@
+#pragma once
+
+#include <any>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/token.hpp"
+#include "grid/job.hpp"
+
+namespace moteur::services {
+
+/// Values bound to one service invocation: input port name -> token.
+using Inputs = std::map<std::string, data::Token>;
+
+/// One produced output value (payload plus a short human-readable form).
+struct OutputValue {
+  std::any payload;
+  std::string repr;
+};
+
+/// Result of one invocation. Only the ports actually produced appear — a
+/// service may emit on a subset of its output ports, which is how
+/// optimization loops terminate (paper §2.1, Figure 2: "P3 produces its
+/// result on one of its two output ports, whether the computation has to be
+/// iterated one more time or not").
+struct Result {
+  std::map<std::string, OutputValue> outputs;
+};
+
+/// The black-box application component of the service-based approach
+/// (§1, strategy 2): the enactor knows only the invocation interface.
+///
+/// Each service supports two execution paths:
+///  - invoke(): synchronous real computation, used by the threaded backend
+///    (the enactor provides the asynchrony by calling it from worker
+///    threads, as the paper does for 2006-era SOAP stacks);
+///  - job_profile(): the grid job this invocation submits, used by the
+///    simulated-EGEE backend, with synthesize_outputs() standing in for the
+///    payload's results.
+class Service {
+ public:
+  explicit Service(std::string id) : id_(std::move(id)) {}
+  virtual ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  virtual std::vector<std::string> input_ports() const = 0;
+  virtual std::vector<std::string> output_ports() const = 0;
+
+  /// How many invocations this service can process concurrently — §3.3:
+  /// data parallelism "implies that the services are able to process many
+  /// parallel connections", which legacy deployments on a single host may
+  /// not be (§2: they "can easily overwhelm the computing capabilities of a
+  /// single host"). 0 = unlimited (the default, a grid-submitting service).
+  /// The enactor caps in-flight invocations at
+  /// min(policy capacity, service capacity).
+  virtual std::size_t max_concurrent_invocations() const { return 0; }
+
+  /// Perform the computation now, in the calling thread. Must be
+  /// thread-safe: data parallelism invokes the same service concurrently.
+  virtual Result invoke(const Inputs& inputs) = 0;
+
+  /// Profile of the grid job this invocation submits.
+  virtual grid::JobRequest job_profile(const Inputs& inputs) const = 0;
+
+  /// Outputs for a simulated run (no real payload executed). The default
+  /// emits a GFN-like string on every output port.
+  virtual Result synthesize_outputs(const Inputs& inputs) const;
+
+ private:
+  std::string id_;
+};
+
+}  // namespace moteur::services

@@ -1,0 +1,98 @@
+#include "services/wrapper_service.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace moteur::services {
+
+namespace {
+// Invocation logs are mutated from enactor worker threads.
+std::mutex g_log_mutex;
+}  // namespace
+
+WrapperService::WrapperService(std::string id, Descriptor descriptor, Options options)
+    : Service(std::move(id)),
+      descriptor_(std::move(descriptor)),
+      options_(std::move(options)) {}
+
+std::vector<std::string> WrapperService::input_ports() const {
+  return descriptor_.input_names();
+}
+
+std::vector<std::string> WrapperService::output_ports() const {
+  return descriptor_.output_names();
+}
+
+std::map<std::string, std::string> WrapperService::bind_values(const Inputs& inputs) const {
+  std::map<std::string, std::string> values;
+  for (const auto& in : descriptor_.inputs) {
+    const auto it = inputs.find(in.name);
+    MOTEUR_REQUIRE(it != inputs.end(), EnactmentError,
+                   "wrapper '" + id() + "': missing input '" + in.name + "'");
+    values[in.name] = it->second.repr();
+  }
+  for (const auto& out : descriptor_.outputs) {
+    if (options_.output_namer) {
+      values[out.name] = options_.output_namer(id(), out, inputs);
+    } else {
+      // Stable destination derived from the input lineage.
+      std::string lineage;
+      for (const auto& [port, token] : inputs) {
+        if (!lineage.empty()) lineage += ",";
+        lineage += token.id();
+      }
+      values[out.name] = out.access.resolve(id() + "." + out.name + "(" + lineage + ")");
+    }
+  }
+  return values;
+}
+
+std::vector<std::string> WrapperService::compose_command_line(const Inputs& inputs) const {
+  return descriptor_.compose_command_line(bind_values(inputs));
+}
+
+Result WrapperService::invoke(const Inputs& inputs) {
+  const auto values = bind_values(inputs);
+  const auto argv = descriptor_.compose_command_line(values);
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    invocation_log_.push_back(argv);
+  }
+
+  if (options_.executor) {
+    std::string captured;
+    const int status = options_.executor(argv, captured);
+    MOTEUR_REQUIRE(status == 0, ExecutionError,
+                   "wrapper '" + id() + "': executable exited with status " +
+                       std::to_string(status));
+    MOTEUR_LOG(kDebug, "wrapper") << id() << " ran: " << argv.front()
+                                  << " -> " << captured.size() << " bytes captured";
+  }
+
+  Result result;
+  for (const auto& out : descriptor_.outputs) {
+    OutputValue value;
+    value.repr = values.at(out.name);
+    value.payload = value.repr;
+    result.outputs.emplace(out.name, std::move(value));
+  }
+  return result;
+}
+
+grid::JobRequest WrapperService::job_profile(const Inputs&) const {
+  grid::JobRequest request;
+  request.name = id();
+  request.compute_seconds = options_.compute_seconds;
+  double input_files = 0.0;
+  for (const auto& in : descriptor_.inputs) {
+    if (in.is_file()) input_files += 1.0;
+  }
+  request.input_megabytes = input_files * options_.megabytes_per_input_file;
+  request.output_megabytes =
+      static_cast<double>(descriptor_.outputs.size()) * options_.megabytes_per_output_file;
+  return request;
+}
+
+}  // namespace moteur::services

@@ -1,0 +1,34 @@
+#include "sim/resource.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace moteur::sim {
+
+Resource::Resource(Simulator& simulator, std::size_t capacity)
+    : simulator_(simulator), capacity_(capacity) {
+  MOTEUR_REQUIRE(capacity >= 1, InternalError, "Resource: capacity must be >= 1");
+}
+
+void Resource::acquire(std::function<void()> on_granted) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    on_granted();
+  } else {
+    waiting_.push_back(std::move(on_granted));
+  }
+}
+
+void Resource::release() {
+  MOTEUR_REQUIRE(in_use_ > 0, InternalError, "Resource::release without acquire");
+  if (waiting_.empty()) {
+    --in_use_;
+    return;
+  }
+  // Hand the slot directly to the oldest waiter; in_use_ stays constant.
+  std::function<void()> next = std::move(waiting_.front());
+  waiting_.pop_front();
+  simulator_.schedule(0.0, std::move(next));
+}
+
+}  // namespace moteur::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+namespace moteur::sim {
+
+class Simulator;
+
+/// Capacity-limited FCFS resource: the generic building block for batch
+/// queues (worker-node slots), broker submission pipelines and network links.
+///
+/// Callers request a slot with acquire(); the callback fires — synchronously
+/// if a slot is free, otherwise later in FCFS order — once the slot is
+/// granted. The holder must call release() exactly once when done.
+class Resource {
+ public:
+  Resource(Simulator& simulator, std::size_t capacity);
+
+  /// Request one slot. `on_granted` runs when the slot is assigned.
+  void acquire(std::function<void()> on_granted);
+
+  /// Return one slot; grants it to the oldest waiter, if any. The waiter's
+  /// callback is dispatched through the simulator at the current time (not
+  /// inline) so release() never re-enters caller code.
+  void release();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiting_.size(); }
+
+ private:
+  Simulator& simulator_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<std::function<void()>> waiting_;
+};
+
+}  // namespace moteur::sim

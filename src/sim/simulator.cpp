@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace moteur::sim {
+
+EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+  MOTEUR_REQUIRE(delay >= 0.0, InternalError, "Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  MOTEUR_REQUIRE(at >= now_, InternalError, "Simulator::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  // The queue entry stays behind as a tombstone and is skipped in step().
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    now_ = entry.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time horizon) {
+  while (!queue_.empty()) {
+    // Peek past tombstones.
+    const Entry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > horizon) break;
+    step();
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+}  // namespace moteur::sim

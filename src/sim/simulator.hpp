@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace moteur::sim {
+
+/// Simulated time, in seconds since the start of the run.
+using Time = double;
+
+/// Opaque identifier of a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Discrete-event simulation kernel.
+///
+/// Events are (time, callback) pairs kept in a priority queue. Ties on time
+/// are broken by insertion order, which makes runs fully deterministic: the
+/// same schedule of calls always replays the same execution. All grid
+/// components (broker, computing elements, transfers) and the simulated
+/// enactment backend are driven from this single clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `at` (at >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= horizon; the clock ends at min(horizon, last
+  /// event time) and is advanced to `horizon` if events remain beyond it.
+  void run_until(Time horizon);
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t sequence;  // insertion order; tie-breaker
+    EventId id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  // id -> callback; erased on run or cancel. Queue entries whose id is absent
+  // here are tombstones and get skipped.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace moteur::sim

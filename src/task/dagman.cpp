@@ -1,0 +1,57 @@
+#include "task/dagman.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace moteur::task {
+
+DagRunResult run_dag(const TaskGraph& graph, grid::Grid& grid) {
+  graph.validate();
+
+  DagRunResult result;
+  std::map<std::string, std::size_t> waiting_on;  // unmet parent count
+  std::set<std::string> submitted;
+  std::set<std::string> done;
+  std::size_t terminal = 0;
+
+  for (const Task& task : graph.tasks()) {
+    waiting_on[task.name] = task.dependencies.size();
+  }
+
+  // Recursive lambda via std::function to allow submission from callbacks.
+  std::function<void(const Task&)> submit = [&](const Task& task) {
+    submitted.insert(task.name);
+    grid.submit(task.job, [&, name = task.name](const grid::JobRecord& record) {
+      ++terminal;
+      if (record.state == grid::JobState::kDone) {
+        ++result.tasks_done;
+        done.insert(name);
+        result.completion_times[name] = record.completion_time;
+        result.makespan = std::max(result.makespan, record.completion_time);
+        for (const Task* child : graph.children(name)) {
+          if (--waiting_on[child->name] == 0) submit(*child);
+        }
+      } else {
+        ++result.tasks_failed;
+        MOTEUR_LOG(kWarn, "dagman") << "task '" << name << "' failed definitively;"
+                                    << " descendants will not run";
+      }
+    });
+  };
+
+  for (const Task& task : graph.tasks()) {
+    if (task.dependencies.empty()) submit(task);
+  }
+
+  // Drive the simulation until every submitted task reached a terminal
+  // state and no new submissions are possible.
+  while (terminal < submitted.size()) {
+    MOTEUR_REQUIRE(grid.simulator().step(), ExecutionError,
+                   "simulation drained with tasks still pending");
+  }
+  return result;
+}
+
+}  // namespace moteur::task

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "grid/grid.hpp"
+#include "task/task_graph.hpp"
+
+namespace moteur::task {
+
+/// Condor-DAGMan-style executor (the emblematic task-based workflow manager,
+/// paper §2.1): submits every task whose parents are done, with no other
+/// throttling — in the task-based approach data and service parallelism are
+/// both subsumed by plain workflow parallelism over the expanded DAG (§3.3,
+/// §3.4).
+struct DagRunResult {
+  double makespan = 0.0;
+  std::size_t tasks_done = 0;
+  std::size_t tasks_failed = 0;
+  /// Completion time of each task.
+  std::map<std::string, double> completion_times;
+};
+
+/// Runs the whole DAG on the simulated grid; returns when every task is
+/// terminal. Tasks downstream of a definitively-failed task are not run.
+DagRunResult run_dag(const TaskGraph& graph, grid::Grid& grid);
+
+}  // namespace moteur::task

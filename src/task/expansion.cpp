@@ -1,0 +1,220 @@
+#include "task/expansion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "workflow/analysis.hpp"
+
+namespace moteur::task {
+
+namespace {
+
+using data::IndexVector;
+using workflow::IterationStrategy;
+using workflow::Link;
+using workflow::Processor;
+using workflow::ProcessorKind;
+
+/// A symbolically-propagated data item: its iteration index plus the tasks
+/// that must complete before it exists.
+struct SymbolicItem {
+  IndexVector index;
+  std::vector<std::string> producers;
+};
+
+using Stream = std::vector<SymbolicItem>;
+
+std::string task_name(const std::string& processor, const IndexVector& index) {
+  std::string name = processor;
+  name += "(";
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    if (i != 0) name += ",";
+    name += std::to_string(index[i]);
+  }
+  name += ")";
+  return name;
+}
+
+void check_no_feedback(const workflow::Workflow& workflow) {
+  for (const Link& link : workflow.links()) {
+    MOTEUR_REQUIRE(!link.feedback, GraphError,
+                   "task-based expansion cannot express the loop through '" +
+                       link.from_processor +
+                       "' -> '" + link.to_processor +
+                       "': the number of iterations is only known at execution time");
+  }
+}
+
+/// Tuples produced by the iteration strategy over per-port streams.
+std::vector<SymbolicItem> iterate(IterationStrategy strategy,
+                                  const std::vector<Stream>& port_streams) {
+  std::vector<SymbolicItem> tuples;
+  if (port_streams.empty()) return tuples;
+
+  if (strategy == IterationStrategy::kDot) {
+    // Group by equal index across every port.
+    std::map<IndexVector, std::pair<std::size_t, std::vector<std::string>>> partial;
+    for (const auto& stream : port_streams) {
+      for (const auto& item : stream) {
+        auto& entry = partial[item.index];
+        ++entry.first;
+        entry.second.insert(entry.second.end(), item.producers.begin(),
+                            item.producers.end());
+      }
+    }
+    for (auto& [index, entry] : partial) {
+      if (entry.first == port_streams.size()) {
+        tuples.push_back(SymbolicItem{index, std::move(entry.second)});
+      }
+    }
+    return tuples;
+  }
+
+  // Cross: Cartesian product, indices concatenated in port order.
+  tuples.push_back(SymbolicItem{{}, {}});
+  for (const auto& stream : port_streams) {
+    std::vector<SymbolicItem> next;
+    next.reserve(tuples.size() * stream.size());
+    for (const auto& tuple : tuples) {
+      for (const auto& item : stream) {
+        SymbolicItem combined = tuple;
+        combined.index.insert(combined.index.end(), item.index.begin(), item.index.end());
+        combined.producers.insert(combined.producers.end(), item.producers.begin(),
+                                  item.producers.end());
+        next.push_back(std::move(combined));
+      }
+    }
+    tuples = std::move(next);
+  }
+  return tuples;
+}
+
+std::vector<std::string> dedupe(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace
+
+TaskGraph expand(const workflow::Workflow& workflow, const data::InputDataSet& inputs,
+                 services::ServiceRegistry& registry) {
+  workflow.validate();
+  check_no_feedback(workflow);
+
+  TaskGraph graph;
+  std::map<std::string, Stream> output_streams;  // per processor
+
+  for (const auto& name : workflow::topological_order(workflow)) {
+    const Processor& proc = workflow.processor(name);
+    switch (proc.kind) {
+      case ProcessorKind::kSource: {
+        MOTEUR_REQUIRE(inputs.has_input(name), GraphError,
+                       "data set provides no items for source '" + name + "'");
+        Stream stream;
+        const std::size_t count = inputs.items(name).size();
+        for (std::size_t j = 0; j < count; ++j) {
+          stream.push_back(SymbolicItem{IndexVector{j}, {}});
+        }
+        output_streams.emplace(name, std::move(stream));
+        break;
+      }
+      case ProcessorKind::kSink:
+        break;
+      case ProcessorKind::kService: {
+        // Assemble per-port streams (union over inlets).
+        std::vector<Stream> port_streams;
+        for (const auto& port : proc.input_ports) {
+          Stream merged;
+          for (const Link* link : workflow.links_into_port(proc.name, port)) {
+            const auto& upstream = output_streams.at(link->from_processor);
+            merged.insert(merged.end(), upstream.begin(), upstream.end());
+          }
+          port_streams.push_back(std::move(merged));
+        }
+
+        const grid::JobRequest profile =
+            registry.resolve(proc)->job_profile(services::Inputs{});
+
+        Stream produced;
+        if (proc.synchronization) {
+          // One task gated on every producing task of every input stream.
+          std::vector<std::string> deps;
+          for (const auto& stream : port_streams) {
+            for (const auto& item : stream) {
+              deps.insert(deps.end(), item.producers.begin(), item.producers.end());
+            }
+          }
+          Task task;
+          task.name = task_name(proc.name, {});
+          task.job = profile;
+          task.job.name = task.name;
+          task.dependencies = dedupe(std::move(deps));
+          graph.add_task(std::move(task));
+          produced.push_back(SymbolicItem{{}, {task_name(proc.name, {})}});
+        } else {
+          for (auto& tuple : iterate(proc.iteration, port_streams)) {
+            Task task;
+            task.name = task_name(proc.name, tuple.index);
+            task.job = profile;
+            task.job.name = task.name;
+            task.dependencies = dedupe(std::move(tuple.producers));
+            graph.add_task(std::move(task));
+            produced.push_back(SymbolicItem{tuple.index, {task_name(proc.name, tuple.index)}});
+          }
+        }
+        output_streams.emplace(proc.name, std::move(produced));
+        break;
+      }
+    }
+  }
+  graph.validate();
+  return graph;
+}
+
+std::size_t expansion_size(const workflow::Workflow& workflow,
+                           const data::InputDataSet& inputs) {
+  workflow.validate();
+  check_no_feedback(workflow);
+
+  // Cardinality-only propagation: dot = min over ports, cross = product.
+  std::map<std::string, double> cardinality;
+  double total = 0.0;
+  for (const auto& name : workflow::topological_order(workflow)) {
+    const Processor& proc = workflow.processor(name);
+    if (proc.kind == ProcessorKind::kSource) {
+      cardinality[name] =
+          inputs.has_input(name) ? static_cast<double>(inputs.items(name).size()) : 0.0;
+      continue;
+    }
+    if (proc.kind == ProcessorKind::kSink) continue;
+
+    double count;
+    if (proc.synchronization) {
+      count = 1.0;
+    } else {
+      count = proc.iteration == IterationStrategy::kCross ? 1.0 : -1.0;
+      for (const auto& port : proc.input_ports) {
+        double port_count = 0.0;
+        for (const Link* link : workflow.links_into_port(proc.name, port)) {
+          port_count += cardinality.at(link->from_processor);
+        }
+        if (proc.iteration == IterationStrategy::kCross) {
+          count *= port_count;
+        } else {
+          count = count < 0.0 ? port_count : std::min(count, port_count);
+        }
+      }
+      if (count < 0.0) count = 0.0;
+    }
+    cardinality[name] = count;
+    total += count;
+  }
+  constexpr double kMax = 1e18;
+  return total >= kMax ? static_cast<std::size_t>(kMax)
+                       : static_cast<std::size_t>(total);
+}
+
+}  // namespace moteur::task

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "services/registry.hpp"
+#include "task/task_graph.hpp"
+#include "workflow/graph.hpp"
+
+namespace moteur::task {
+
+/// Statically expand a service workflow over an input data set into a
+/// task-based DAG: "this approach enforces the replication of the execution
+/// graph for every input data to be processed" (paper §2.2). One task is
+/// declared per (service processor, iteration tuple); cross products
+/// multiply tasks combinatorially, which is exactly the blow-up the paper
+/// argues makes task-based composition intractable for data-intensive
+/// applications.
+///
+/// Preconditions: the workflow has no feedback links (loops cannot be
+/// statically described — the number of iterations is known only at
+/// execution time, §2.1); every source must be present in the data set.
+/// Job profiles come from the bound services (invoked with empty inputs).
+TaskGraph expand(const workflow::Workflow& workflow, const data::InputDataSet& inputs,
+                 services::ServiceRegistry& registry);
+
+/// Only count the tasks the expansion would declare — cheap even where the
+/// full expansion would not fit in memory. Useful to demonstrate the
+/// combinatorial explosion of chained cross products.
+std::size_t expansion_size(const workflow::Workflow& workflow,
+                           const data::InputDataSet& inputs);
+
+}  // namespace moteur::task

@@ -1,0 +1,72 @@
+#include "task/task_graph.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace moteur::task {
+
+Task& TaskGraph::add_task(Task task) {
+  MOTEUR_REQUIRE(!has_task(task.name), GraphError,
+                 "duplicate task name '" + task.name + "'");
+  index_.emplace(task.name, tasks_.size());
+  tasks_.push_back(std::move(task));
+  return tasks_.back();
+}
+
+bool TaskGraph::has_task(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const Task& TaskGraph::task(const std::string& name) const {
+  const auto it = index_.find(name);
+  MOTEUR_REQUIRE(it != index_.end(), GraphError, "unknown task '" + name + "'");
+  return tasks_[it->second];
+}
+
+std::vector<const Task*> TaskGraph::children(const std::string& name) const {
+  std::vector<const Task*> out;
+  for (const auto& t : tasks_) {
+    for (const auto& dep : t.dependencies) {
+      if (dep == name) {
+        out.push_back(&t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void TaskGraph::validate() const {
+  for (const auto& t : tasks_) {
+    for (const auto& dep : t.dependencies) {
+      MOTEUR_REQUIRE(has_task(dep), GraphError,
+                     "task '" + t.name + "' depends on unknown task '" + dep + "'");
+    }
+  }
+  topological_order();  // throws on cycles
+}
+
+std::vector<std::string> TaskGraph::topological_order() const {
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& t : tasks_) in_degree[t.name] = t.dependencies.size();
+
+  std::deque<std::string> frontier;
+  for (const auto& [name, degree] : in_degree) {
+    if (degree == 0) frontier.push_back(name);
+  }
+  std::vector<std::string> order;
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    order.push_back(current);
+    for (const Task* child : children(current)) {
+      if (--in_degree[child->name] == 0) frontier.push_back(child->name);
+    }
+  }
+  MOTEUR_REQUIRE(order.size() == tasks_.size(), GraphError,
+                 "task graph contains a cycle (task-based workflows are DAGs only)");
+  return order;
+}
+
+}  // namespace moteur::task

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/job.hpp"
+
+namespace moteur::task {
+
+/// One statically-declared computing task (paper §1, strategy 1): the
+/// processing AND the data are fixed at description time — the defining
+/// trait (and limitation) of the task-based approach.
+struct Task {
+  std::string name;
+  grid::JobRequest job;
+  std::vector<std::string> dependencies;  // parent task names
+};
+
+/// A DAGMan-style static task graph. There "cannot be a loop in the graph of
+/// a task based workflow" (§2.1), so validation rejects cycles outright —
+/// there is no feedback-link escape hatch here.
+class TaskGraph {
+ public:
+  Task& add_task(Task task);
+
+  bool has_task(const std::string& name) const;
+  const Task& task(const std::string& name) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Children of a task (tasks depending on it).
+  std::vector<const Task*> children(const std::string& name) const;
+
+  /// Unique names, resolvable dependencies, acyclic. Throws GraphError.
+  void validate() const;
+
+  /// Names in a topological order (parents first).
+  std::vector<std::string> topological_order() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace moteur::task

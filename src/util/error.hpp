@@ -1,0 +1,55 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace moteur {
+
+/// Root of the library's exception hierarchy. All errors thrown by MOTEUR
+/// modules derive from this type so callers can catch a single base.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input: bad XML, bad descriptor, bad workflow document.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Structural violation in a workflow graph (dangling link, port mismatch,
+/// illegal cycle in a task graph, ...).
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error("graph error: " + what) {}
+};
+
+/// Violation of an enactment-time invariant (firing a processor whose inputs
+/// are not ready, duplicate data identity, ...).
+class EnactmentError : public Error {
+ public:
+  explicit EnactmentError(const std::string& what)
+      : Error("enactment error: " + what) {}
+};
+
+/// Failure reported by the (simulated or real) execution infrastructure.
+class ExecutionError : public Error {
+ public:
+  explicit ExecutionError(const std::string& what)
+      : Error("execution error: " + what) {}
+};
+
+/// Internal consistency check. Indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+#define MOTEUR_REQUIRE(cond, exc_type, msg)     \
+  do {                                          \
+    if (!(cond)) throw exc_type(msg);           \
+  } while (0)
+
+}  // namespace moteur

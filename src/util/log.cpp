@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <iostream>
+
+namespace moteur::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+}  // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+bool set_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") { set_level(Level::kTrace); return true; }
+  if (lower == "debug") { set_level(Level::kDebug); return true; }
+  if (lower == "info")  { set_level(Level::kInfo);  return true; }
+  if (lower == "warn")  { set_level(Level::kWarn);  return true; }
+  if (lower == "error") { set_level(Level::kError); return true; }
+  if (lower == "off")   { set_level(Level::kOff);   return true; }
+  return false;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO";
+    case Level::kWarn:  return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void write(Level lvl, const std::string& component, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << '[' << level_name(lvl) << ' ' << component << "] " << message << '\n';
+}
+
+}  // namespace moteur::log

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace moteur::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn so
+/// tests and benches stay quiet unless they opt in.
+Level level();
+void set_level(Level lvl);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings leave the level unchanged and return false.
+bool set_level(const std::string& name);
+
+const char* level_name(Level lvl);
+
+/// Emit one line to stderr: "[LEVEL component] message". Thread-safe.
+void write(Level lvl, const std::string& component, const std::string& message);
+
+/// Stream-style log statement builder used by the MOTEUR_LOG macro.
+class Line {
+ public:
+  Line(Level lvl, std::string component) : lvl_(lvl), component_(std::move(component)) {}
+  ~Line() { write(lvl_, component_, stream_.str()); }
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+
+  template <typename T>
+  Line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace moteur::log
+
+/// Usage: MOTEUR_LOG(kInfo, "enactor") << "fired " << n << " invocations";
+#define MOTEUR_LOG(lvl, component)                                  \
+  if (::moteur::log::Level::lvl < ::moteur::log::level()) {         \
+  } else                                                            \
+    ::moteur::log::Line(::moteur::log::Level::lvl, (component))

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moteur {
+
+/// Deterministic pseudo-random stream (xoshiro256**). Every stochastic
+/// component of the simulator draws from its own named substream so that
+/// results are reproducible and independent of scheduling order: adding a
+/// consumer never perturbs the draws seen by existing consumers.
+class Rng {
+ public:
+  /// Seed the stream directly.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent substream from a parent seed and a label.
+  /// Identical (seed, label) pairs always yield identical streams.
+  Rng(std::uint64_t parent_seed, const std::string& label);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Lognormal with given log-space parameters: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with given mean (mean = 1/lambda). Requires mean > 0.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Derive a child substream; deterministic in (this stream's seed, label).
+  Rng fork(const std::string& label) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  void init(std::uint64_t seed);
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t state_[4] = {0, 0, 0, 0};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; used to derive substream seeds.
+std::uint64_t stable_hash64(const std::string& s);
+
+}  // namespace moteur

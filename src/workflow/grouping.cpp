@@ -1,0 +1,226 @@
+#include "workflow/grouping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "workflow/analysis.hpp"
+
+namespace moteur::workflow {
+
+std::string qualify_port(const Processor& processor, const std::string& port) {
+  // Ports of an already-grouped processor are qualified once and stay put.
+  if (processor.is_grouped()) return port;
+  MOTEUR_REQUIRE(processor.name.find('/') == std::string::npos, GraphError,
+                 "processor name '" + processor.name + "' must not contain '/'");
+  return processor.name + "/" + port;
+}
+
+std::pair<std::string, std::string> split_grouped_port(const std::string& qualified) {
+  const auto pos = qualified.find('/');
+  MOTEUR_REQUIRE(pos != std::string::npos, GraphError,
+                 "'" + qualified + "' is not a qualified grouped port");
+  return {qualified.substr(0, pos), qualified.substr(pos + 1)};
+}
+
+namespace {
+
+bool touched_by_feedback(const Workflow& workflow, const std::string& processor) {
+  return std::any_of(workflow.links().begin(), workflow.links().end(),
+                     [&](const Link& l) {
+                       return l.feedback && (l.from_processor == processor ||
+                                             l.to_processor == processor);
+                     });
+}
+
+std::vector<std::string> members_of(const Processor& p) {
+  return p.is_grouped() ? p.group_members : std::vector<std::string>{p.name};
+}
+
+std::vector<std::string> member_services_of(const Processor& p) {
+  if (p.is_grouped()) return p.member_service_ids;
+  return {p.service_id.empty() ? p.name : p.service_id};
+}
+
+}  // namespace
+
+bool can_group(const Workflow& workflow, const std::string& from, const std::string& to) {
+  if (!workflow.has_processor(from) || !workflow.has_processor(to)) return false;
+  if (from == to) return false;
+  const Processor& a = workflow.processor(from);
+  const Processor& b = workflow.processor(to);
+
+  if (a.kind != ProcessorKind::kService || b.kind != ProcessorKind::kService) return false;
+  if (a.synchronization || b.synchronization) return false;
+  if (a.iteration != IterationStrategy::kDot || b.iteration != IterationStrategy::kDot) {
+    return false;
+  }
+  // Composed strategies are conservatively excluded from grouping.
+  if (a.iteration_tree != nullptr || b.iteration_tree != nullptr) return false;
+  if (touched_by_feedback(workflow, from) || touched_by_feedback(workflow, to)) return false;
+
+  // A data link A -> B must exist.
+  const auto outgoing = workflow.links_out_of(from);
+  const bool linked = std::any_of(outgoing.begin(), outgoing.end(), [&](const Link* l) {
+    return !l->feedback && l->to_processor == to;
+  });
+  if (!linked) return false;
+
+  // Every other input of B must come from A or a strict ancestor of A.
+  const auto up = ancestors(workflow, from);
+  for (const Link* l : workflow.links_into(to)) {
+    if (l->from_processor == from) continue;
+    if (up.count(l->from_processor) == 0) return false;
+  }
+
+  // Grouping must not delay third parties: a grouped job registers its
+  // outputs only when the whole chain completes, so every consumer of A
+  // other than B must already be waiting on B's subtree anyway. This is
+  // what keeps the Bronze-Standard groups at {crestLines, crestMatch} and
+  // {PFMatchICP, PFRegister} instead of swallowing the entire critical path
+  // (crestMatch's output initializes Yasmina and Baladin, which are NOT
+  // descendants of PFMatchICP).
+  const auto down_of_b = descendants(workflow, to);
+  for (const Link* l : workflow.links_out_of(from)) {
+    if (l->feedback || l->to_processor == to) continue;
+    if (down_of_b.count(l->to_processor) == 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Merge processors `from` and `to` of `workflow` into one grouped node.
+void merge_pair(Workflow& workflow, const std::string& from, const std::string& to) {
+  const Processor a = workflow.processor(from);  // copies: we mutate the graph
+  const Processor b = workflow.processor(to);
+
+  Processor grouped;
+  grouped.name = a.name + "+" + b.name;
+  grouped.kind = ProcessorKind::kService;
+  grouped.iteration = IterationStrategy::kDot;
+  const auto a_members = members_of(a);
+  const auto b_members = members_of(b);
+  grouped.group_members = a_members;
+  grouped.group_members.insert(grouped.group_members.end(), b_members.begin(),
+                               b_members.end());
+  grouped.member_service_ids = member_services_of(a);
+  const auto b_services = member_services_of(b);
+  grouped.member_service_ids.insert(grouped.member_service_ids.end(),
+                                    b_services.begin(), b_services.end());
+  grouped.internal_links = a.internal_links;
+  grouped.internal_links.insert(grouped.internal_links.end(), b.internal_links.begin(),
+                                b.internal_links.end());
+
+  // Ports: all of A's, plus B's externally-fed inputs and all B outputs.
+  for (const auto& port : a.input_ports) {
+    grouped.input_ports.push_back(qualify_port(a, port));
+  }
+  for (const auto& port : a.output_ports) {
+    grouped.output_ports.push_back(qualify_port(a, port));
+  }
+  for (const auto& port : b.input_ports) {
+    const auto inlets = workflow.links_into_port(b.name, port);
+    // Keep the port externally visible unless A is its only feeder.
+    const bool fed_only_by_a = std::all_of(inlets.begin(), inlets.end(), [&](const Link* l) {
+      return l->from_processor == a.name;
+    });
+    if (!fed_only_by_a) grouped.input_ports.push_back(qualify_port(b, port));
+  }
+  for (const auto& port : b.output_ports) {
+    grouped.output_ports.push_back(qualify_port(b, port));
+  }
+
+  // Rewire: collect replacements for the links that touch A or B (links
+  // touching neither stay in the graph untouched).
+  std::vector<Link> rewired;
+  std::vector<InternalLink> internal = std::move(grouped.internal_links);
+  for (const Link& l : workflow.links()) {
+    Link copy = l;
+    const bool from_member = l.from_processor == a.name || l.from_processor == b.name;
+    const bool to_member = l.to_processor == a.name || l.to_processor == b.name;
+    if (!from_member && !to_member) continue;
+    if (from_member && to_member) {
+      // A -> B becomes internal wiring between original members.
+      const Processor& src = l.from_processor == a.name ? a : b;
+      const Processor& dst = l.to_processor == a.name ? a : b;
+      const std::string from_q = qualify_port(src, l.from_port);
+      const std::string to_q = qualify_port(dst, l.to_port);
+      const auto [fm, fp] = split_grouped_port(from_q);
+      const auto [tm, tp] = split_grouped_port(to_q);
+      internal.push_back(InternalLink{fm, fp, tm, tp});
+      continue;
+    }
+    if (from_member) {
+      const Processor& src = l.from_processor == a.name ? a : b;
+      copy.from_processor = grouped.name;
+      copy.from_port = qualify_port(src, l.from_port);
+    }
+    if (to_member) {
+      const Processor& dst = l.to_processor == a.name ? a : b;
+      copy.to_processor = grouped.name;
+      copy.to_port = qualify_port(dst, l.to_port);
+    }
+    rewired.push_back(copy);
+  }
+  grouped.internal_links = std::move(internal);
+
+  std::vector<CoordinationConstraint> constraints;
+  for (const CoordinationConstraint& c : workflow.coordination_constraints()) {
+    const bool touches = c.before == a.name || c.before == b.name || c.after == a.name ||
+                         c.after == b.name;
+    if (!touches) continue;  // stays in the graph untouched
+    CoordinationConstraint copy = c;
+    if (copy.before == a.name || copy.before == b.name) copy.before = grouped.name;
+    if (copy.after == a.name || copy.after == b.name) copy.after = grouped.name;
+    if (copy.before != copy.after) constraints.push_back(copy);
+  }
+
+  // Rebuild the graph.
+  workflow.remove_processor(a.name);
+  workflow.remove_processor(b.name);
+  workflow.add_processor(std::move(grouped));
+  for (const Link& l : rewired) {
+    workflow.link(l.from_processor, l.from_port, l.to_processor, l.to_port, l.feedback);
+  }
+  for (const CoordinationConstraint& c : constraints) {
+    workflow.add_coordination_constraint(c.before, c.after);
+  }
+}
+
+}  // namespace
+
+Workflow group_sequential_processors(const Workflow& input, GroupingReport* report) {
+  Workflow workflow = input;  // value semantics: rewrite a copy
+  bool merged = true;
+  std::size_t merges = 0;
+  while (merged) {
+    merged = false;
+    // Scan pairs in topological order for determinism.
+    const auto order = topological_order(workflow);
+    for (const auto& name : order) {
+      if (!workflow.has_processor(name)) continue;
+      for (const Link* l : workflow.links_out_of(name)) {
+        if (l->feedback) continue;
+        const std::string to = l->to_processor;
+        if (can_group(workflow, name, to)) {
+          merge_pair(workflow, name, to);
+          ++merges;
+          merged = true;
+          break;
+        }
+      }
+      if (merged) break;
+    }
+  }
+  workflow.validate();
+  if (report != nullptr) {
+    report->merges = merges;
+    report->groups.clear();
+    for (const auto& p : workflow.processors()) {
+      if (p.is_grouped()) report->groups.push_back(p.group_members);
+    }
+  }
+  return workflow;
+}
+
+}  // namespace moteur::workflow

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workflow/graph.hpp"
+
+namespace moteur::workflow {
+
+/// The job-grouping rewrite (paper §3.6): merges sequential service
+/// processors into virtual grouped processors so the enactor can submit one
+/// grid job — paying one submission/scheduling/queuing overhead — for a whole
+/// chain of codes. Enabled by the generic wrapper service, which lets the
+/// enactor compose member command lines into a single submission.
+///
+/// Merge rule for a pair (A, B) joined by a data link A -> B:
+///  - both are plain dot-iteration service processors, neither synchronizing
+///    and neither touched by feedback links;
+///  - every OTHER input of B is produced by A itself or by a strict ancestor
+///    of A (so B has nothing left to wait for once A's inputs are chosen, and
+///    contracting {A, B} cannot create a cycle);
+///  - every OTHER consumer of A is a descendant of B (a grouped job only
+///    registers outputs when the whole chain completes, so merging must not
+///    delay a third party that was not already waiting on B's subtree).
+///
+/// This captures the paper's Bronze-Standard groups — crestLines+crestMatch
+/// (crestMatch's other inputs are the workflow sources feeding crestLines)
+/// and PFMatchICP+PFRegister — and generalizes to chains by repeated merging.
+///
+/// Rewrite shape: the merged processor's ports are qualified as
+/// "<original-processor>/<port>"; links between the members become
+/// `internal_links`; every external link is rewired to the qualified port.
+
+/// Qualified-port helpers. Original processor names must not contain '/'.
+std::string qualify_port(const Processor& processor, const std::string& port);
+std::pair<std::string, std::string> split_grouped_port(const std::string& qualified);
+
+struct GroupingReport {
+  /// Ordered member lists of every grouped processor formed.
+  std::vector<std::vector<std::string>> groups;
+  std::size_t merges = 0;
+};
+
+/// Whether the pair (from, to) is mergeable under the rule above.
+bool can_group(const Workflow& workflow, const std::string& from, const std::string& to);
+
+/// Apply the rewrite to a fixpoint and return the optimized workflow.
+/// The input workflow is not modified.
+Workflow group_sequential_processors(const Workflow& workflow,
+                                     GroupingReport* report = nullptr);
+
+}  // namespace moteur::workflow

@@ -1,0 +1,140 @@
+#include "workflow/iteration.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace moteur::workflow {
+
+IterationBuffer::IterationBuffer(IterationStrategy strategy, std::vector<std::string> ports)
+    : strategy_(strategy),
+      ports_(std::move(ports)),
+      closed_(ports_.size(), false),
+      retained_(ports_.size()) {
+  MOTEUR_REQUIRE(!ports_.empty(), InternalError, "IterationBuffer: no ports");
+}
+
+std::size_t IterationBuffer::port_index(const std::string& port) const {
+  const auto it = std::find(ports_.begin(), ports_.end(), port);
+  MOTEUR_REQUIRE(it != ports_.end(), EnactmentError,
+                 "IterationBuffer: unknown port '" + port + "'");
+  return static_cast<std::size_t>(it - ports_.begin());
+}
+
+void IterationBuffer::check_causality(const std::vector<data::Token>& tokens) {
+  // Two tokens matched into one tuple must agree on the lineage of every
+  // workflow source they share: matching result-of(D0) with result-of(D1)
+  // is exactly the wrong-dot-product failure of §4.1.
+  std::map<std::string, std::set<std::size_t>> combined;
+  for (const auto& token : tokens) {
+    for (const auto& [source, indices] : token.provenance()->source_indices()) {
+      const auto it = combined.find(source);
+      if (it == combined.end()) {
+        combined.emplace(source, indices);
+      } else {
+        MOTEUR_REQUIRE(it->second == indices, EnactmentError,
+                       "causality violation: tuple mixes items " +
+                           data::to_string(data::IndexVector(indices.begin(), indices.end())) +
+                           " and " +
+                           data::to_string(data::IndexVector(it->second.begin(),
+                                                             it->second.end())) +
+                           " of source '" + source + "'");
+      }
+    }
+  }
+}
+
+void IterationBuffer::push(const std::string& port, data::Token token) {
+  const std::size_t slot = port_index(port);
+  MOTEUR_REQUIRE(!closed_[slot], EnactmentError,
+                 "push on closed port '" + port + "'");
+  if (strategy_ == IterationStrategy::kDot) {
+    push_dot(slot, std::move(token));
+  } else {
+    push_cross(slot, std::move(token));
+  }
+}
+
+void IterationBuffer::push_dot(std::size_t slot, data::Token token) {
+  Partial& partial = partial_[token.indices()];
+  if (partial.tokens.empty()) {
+    partial.tokens.resize(ports_.size());
+    partial.present.resize(ports_.size(), false);
+  }
+  MOTEUR_REQUIRE(!partial.present[slot], EnactmentError,
+                 "duplicate token with index " + data::to_string(token.indices()) +
+                     " on port '" + ports_[slot] + "'");
+  const data::IndexVector index = token.indices();
+  partial.tokens[slot] = std::move(token);
+  partial.present[slot] = true;
+  ++partial.count;
+  if (partial.count == ports_.size()) {
+    check_causality(partial.tokens);
+    ready_.push_back(Tuple{std::move(partial.tokens), index});
+    partial_.erase(index);
+    ++emitted_;
+  }
+}
+
+void IterationBuffer::push_cross(std::size_t slot, data::Token token) {
+  // The new token combines with the Cartesian product of the tokens already
+  // retained on every *other* port; each combination is emitted exactly once
+  // over the stream's lifetime.
+  std::size_t combinations = 1;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p != slot) combinations *= retained_[p].size();
+  }
+  for (std::size_t combo = 0; combo < combinations; ++combo) {
+    Tuple tuple;
+    tuple.tokens.reserve(ports_.size());
+    std::size_t remainder = combo;
+    for (std::size_t p = 0; p < ports_.size(); ++p) {
+      const data::Token* chosen;
+      if (p == slot) {
+        chosen = &token;
+      } else {
+        chosen = &retained_[p][remainder % retained_[p].size()];
+        remainder /= retained_[p].size();
+      }
+      tuple.tokens.push_back(*chosen);
+      tuple.index.insert(tuple.index.end(), chosen->indices().begin(),
+                         chosen->indices().end());
+    }
+    // No causality check here: a cross product legitimately combines
+    // different items of the same source (e.g. registering every image
+    // against every other image).
+    ready_.push_back(std::move(tuple));
+    ++emitted_;
+  }
+  retained_[slot].push_back(std::move(token));
+}
+
+void IterationBuffer::close(const std::string& port) {
+  closed_[port_index(port)] = true;
+}
+
+bool IterationBuffer::is_closed(const std::string& port) const {
+  return closed_[port_index(port)];
+}
+
+bool IterationBuffer::all_closed() const {
+  return std::all_of(closed_.begin(), closed_.end(), [](bool c) { return c; });
+}
+
+std::vector<IterationBuffer::Tuple> IterationBuffer::drain_ready() {
+  std::vector<Tuple> out;
+  out.swap(ready_);
+  return out;
+}
+
+std::size_t IterationBuffer::pending_tokens() const {
+  std::size_t count = 0;
+  if (strategy_ == IterationStrategy::kDot) {
+    for (const auto& [index, partial] : partial_) count += partial.count;
+  } else {
+    for (const auto& port_tokens : retained_) count += port_tokens.size();
+  }
+  return count;
+}
+
+}  // namespace moteur::workflow

@@ -1,0 +1,241 @@
+#include "workflow/iteration_tree.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace moteur::workflow {
+
+// ---------------------------------------------------------------------------
+// IterationNode
+// ---------------------------------------------------------------------------
+
+IterationNode IterationNode::leaf(std::string port_name) {
+  IterationNode node;
+  node.kind = Kind::kPort;
+  node.port = std::move(port_name);
+  return node;
+}
+
+IterationNode IterationNode::dot(std::vector<IterationNode> children) {
+  IterationNode node;
+  node.kind = Kind::kDot;
+  node.children = std::move(children);
+  return node;
+}
+
+IterationNode IterationNode::cross(std::vector<IterationNode> children) {
+  IterationNode node;
+  node.kind = Kind::kCross;
+  node.children = std::move(children);
+  return node;
+}
+
+std::vector<std::string> IterationNode::ports() const {
+  if (kind == Kind::kPort) return {port};
+  std::vector<std::string> out;
+  for (const auto& child : children) {
+    const auto sub = child.ports();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void IterationNode::validate() const {
+  if (kind == Kind::kPort) {
+    MOTEUR_REQUIRE(!port.empty(), GraphError, "iteration tree leaf without a port name");
+    MOTEUR_REQUIRE(children.empty(), GraphError, "iteration tree leaf with children");
+  } else {
+    MOTEUR_REQUIRE(!children.empty(), GraphError,
+                   "iteration tree combinator without children");
+    for (const auto& child : children) child.validate();
+  }
+  const auto all = ports();
+  const std::set<std::string> unique(all.begin(), all.end());
+  MOTEUR_REQUIRE(unique.size() == all.size(), GraphError,
+                 "iteration tree references a port twice");
+}
+
+std::string IterationNode::to_string() const {
+  if (kind == Kind::kPort) return port;
+  std::string out = kind == Kind::kDot ? "dot(" : "cross(";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i != 0) out += ",";
+    out += children[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CompositeIterationBuffer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Internal payload of a combinator's intermediate token: the flattened
+/// member tokens in port order.
+struct CompositeGroup {
+  std::vector<data::Token> members;
+};
+
+std::vector<data::Token> flatten(const data::Token& token) {
+  if (token.holds<std::shared_ptr<const CompositeGroup>>()) {
+    return token.as<std::shared_ptr<const CompositeGroup>>()->members;
+  }
+  return {token};
+}
+
+}  // namespace
+
+struct CompositeIterationBuffer::Stage {
+  IterationNode::Kind kind;
+  std::vector<const IterationNode*> children;  // aligned with slot names
+  IterationBuffer buffer;
+  Stage* parent = nullptr;
+  std::string parent_slot;
+
+  Stage(IterationNode::Kind k, std::vector<const IterationNode*> kids,
+        std::vector<std::string> slots)
+      : kind(k),
+        children(std::move(kids)),
+        buffer(k == IterationNode::Kind::kDot ? IterationStrategy::kDot
+                                              : IterationStrategy::kCross,
+               std::move(slots)) {}
+};
+
+CompositeIterationBuffer::~CompositeIterationBuffer() = default;
+
+CompositeIterationBuffer::CompositeIterationBuffer(IterationNode tree)
+    : tree_(std::move(tree)) {
+  tree_.validate();
+  ports_ = tree_.ports();
+  for (const auto& port : ports_) closed_[port] = false;
+  MOTEUR_REQUIRE(tree_.kind != IterationNode::Kind::kPort, GraphError,
+                 "iteration tree root must be a combinator");
+  root_ = build(tree_);
+}
+
+CompositeIterationBuffer::Stage* CompositeIterationBuffer::build(
+    const IterationNode& node) {
+  std::vector<std::string> slots;
+  std::vector<const IterationNode*> kids;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    slots.push_back("c" + std::to_string(i));
+    kids.push_back(&node.children[i]);
+  }
+  // Children first, so stages_ is in bottom-up (pump) order.
+  std::vector<Stage*> child_stages(node.children.size(), nullptr);
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i].kind != IterationNode::Kind::kPort) {
+      child_stages[i] = build(node.children[i]);
+    }
+  }
+  stages_.push_back(std::make_unique<Stage>(node.kind, std::move(kids), slots));
+  Stage* stage = stages_.back().get();
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i].kind == IterationNode::Kind::kPort) {
+      leaf_routes_.emplace(node.children[i].port, std::make_pair(stage, slots[i]));
+    } else {
+      child_stages[i]->parent = stage;
+      child_stages[i]->parent_slot = slots[i];
+    }
+  }
+  return stage;
+}
+
+void CompositeIterationBuffer::push(const std::string& port, data::Token token) {
+  const auto route = leaf_routes_.find(port);
+  MOTEUR_REQUIRE(route != leaf_routes_.end(), EnactmentError,
+                 "iteration tree has no port '" + port + "'");
+  MOTEUR_REQUIRE(!closed_.at(port), EnactmentError, "push on closed port '" + port + "'");
+  route->second.first->buffer.push(route->second.second, std::move(token));
+  pump();
+}
+
+void CompositeIterationBuffer::pump() {
+  // Bottom-up: every stage's completed tuples become composite tokens on its
+  // parent slot; the root's tuples flatten into firing tuples.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& stage : stages_) {
+      for (auto& tuple : stage->buffer.drain_ready()) {
+        progress = true;
+        if (stage.get() == root_) {
+          Tuple flat;
+          flat.index = tuple.index;
+          for (const auto& member : tuple.tokens) {
+            const auto leaves = flatten(member);
+            flat.tokens.insert(flat.tokens.end(), leaves.begin(), leaves.end());
+          }
+          ready_.push_back(std::move(flat));
+          continue;
+        }
+        auto group = std::make_shared<const CompositeGroup>([&] {
+          CompositeGroup g;
+          for (const auto& member : tuple.tokens) {
+            const auto leaves = flatten(member);
+            g.members.insert(g.members.end(), leaves.begin(), leaves.end());
+          }
+          return g;
+        }());
+        const data::Token composite = data::Token::derived(
+            "iteration", "group", tuple.tokens, tuple.index,
+            std::shared_ptr<const CompositeGroup>(group),
+            "group" + data::to_string(tuple.index));
+        stage->parent->buffer.push(stage->parent_slot, composite);
+      }
+    }
+  }
+
+  // Closure propagation: a combinator's slot closes once its child stage is
+  // fully closed (all child slots closed) — after the drains above, nothing
+  // more can come out of it.
+  for (auto& stage : stages_) {
+    if (stage->parent == nullptr) continue;
+    if (stage->buffer.all_closed() &&
+        !stage->parent->buffer.is_closed(stage->parent_slot)) {
+      stage->parent->buffer.close(stage->parent_slot);
+    }
+  }
+}
+
+void CompositeIterationBuffer::close(const std::string& port) {
+  const auto route = leaf_routes_.find(port);
+  MOTEUR_REQUIRE(route != leaf_routes_.end(), EnactmentError,
+                 "iteration tree has no port '" + port + "'");
+  if (closed_.at(port)) return;
+  closed_[port] = true;
+  route->second.first->buffer.close(route->second.second);
+  pump();
+}
+
+bool CompositeIterationBuffer::is_closed(const std::string& port) const {
+  const auto it = closed_.find(port);
+  MOTEUR_REQUIRE(it != closed_.end(), EnactmentError,
+                 "iteration tree has no port '" + port + "'");
+  return it->second;
+}
+
+bool CompositeIterationBuffer::all_closed() const {
+  return std::all_of(closed_.begin(), closed_.end(),
+                     [](const auto& entry) { return entry.second; });
+}
+
+std::vector<CompositeIterationBuffer::Tuple> CompositeIterationBuffer::drain_ready() {
+  std::vector<Tuple> out;
+  out.swap(ready_);
+  return out;
+}
+
+bool CompositeIterationBuffer::has_ready() const { return !ready_.empty(); }
+
+std::size_t CompositeIterationBuffer::pending_tokens() const {
+  std::size_t total = 0;
+  for (const auto& stage : stages_) total += stage->buffer.pending_tokens();
+  return total;
+}
+
+}  // namespace moteur::workflow

@@ -1,0 +1,101 @@
+#include "workflow/patterns.hpp"
+
+namespace moteur::workflow {
+
+Workflow make_chain(std::size_t n_services, const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("src");
+  std::string previous = "src";
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const std::string processor = "P" + std::to_string(i);
+    wf.add_processor(processor, {"in"}, {"out"});
+    wf.link(previous, "out", processor, "in");
+    previous = processor;
+  }
+  wf.add_sink("sink");
+  wf.link(previous, "out", "sink", "in");
+  wf.validate();
+  return wf;
+}
+
+Workflow make_fan_out(std::size_t branches, const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("src");
+  wf.add_processor("P0", {"in"}, {"out"});
+  wf.link("src", "out", "P0", "in");
+  wf.add_sink("sink");
+  for (std::size_t b = 0; b < branches; ++b) {
+    const std::string processor = "P" + std::to_string(b + 1);
+    wf.add_processor(processor, {"in"}, {"out"});
+    wf.link("P0", "out", processor, "in");
+    wf.link(processor, "out", "sink", "in");
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow make_fan_in_barrier(std::size_t branches, const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("src");
+  std::vector<std::string> barrier_ports;
+  for (std::size_t b = 0; b < branches; ++b) {
+    const std::string processor = "P" + std::to_string(b);
+    wf.add_processor(processor, {"in"}, {"out"});
+    wf.link("src", "out", processor, "in");
+    barrier_ports.push_back("from" + std::to_string(b));
+  }
+  auto& barrier = wf.add_processor("barrier", barrier_ports, {"out"});
+  barrier.synchronization = true;
+  for (std::size_t b = 0; b < branches; ++b) {
+    wf.link("P" + std::to_string(b), "out", "barrier", barrier_ports[b]);
+  }
+  wf.add_sink("sink");
+  wf.link("barrier", "out", "sink", "in");
+  wf.validate();
+  return wf;
+}
+
+Workflow make_cross(const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("left");
+  wf.add_source("right");
+  wf.add_processor("P0", {"a", "b"}, {"out"}, IterationStrategy::kCross);
+  wf.add_sink("sink");
+  wf.link("left", "out", "P0", "a");
+  wf.link("right", "out", "P0", "b");
+  wf.link("P0", "out", "sink", "in");
+  wf.validate();
+  return wf;
+}
+
+Workflow make_optimization_loop(const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("Source");
+  wf.add_processor("P1", {"in"}, {"out"});
+  wf.add_processor("P2", {"in"}, {"out"});
+  wf.add_processor("P3", {"in"}, {"loop", "exit"});
+  wf.add_sink("Sink");
+  wf.link("Source", "out", "P1", "in");
+  wf.link("P1", "out", "P2", "in");
+  wf.link("P2", "out", "P3", "in");
+  wf.link("P3", "loop", "P2", "in", /*feedback=*/true);
+  wf.link("P3", "exit", "Sink", "in");
+  wf.validate();
+  return wf;
+}
+
+Workflow make_groupable_pair(const std::string& name) {
+  Workflow wf(name);
+  wf.add_source("src");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("B", {"in", "extra"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("src", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("src", "out", "B", "extra");
+  wf.link("B", "out", "sink", "in");
+  wf.validate();
+  return wf;
+}
+
+}  // namespace moteur::workflow

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workflow/graph.hpp"
+
+namespace moteur::workflow {
+
+/// Builders for the standard workflow topologies used across examples,
+/// tests and benches. All services use single ports named "in"/"out"
+/// unless noted, and names follow "P0", "P1", ....
+
+/// src -> P0 -> P1 -> ... -> P{n-1} -> sink (the Figure-1 chain shape).
+Workflow make_chain(std::size_t n_services, const std::string& name = "chain");
+
+/// src -> P0 -> {P1 ... Pn} -> sink: one producer fanning out to n
+/// independent branches collected by one sink (workflow parallelism).
+Workflow make_fan_out(std::size_t branches, const std::string& name = "fan-out");
+
+/// src -> {P0 ... Pn-1} -> barrier -> sink: n parallel branches joined by a
+/// synchronization processor with one input port per branch.
+Workflow make_fan_in_barrier(std::size_t branches, const std::string& name = "fan-in");
+
+/// Two sources crossed by one processor: the all-pairs pattern
+/// (iteration strategy kCross, ports "a" and "b").
+Workflow make_cross(const std::string& name = "cross");
+
+/// The Figure-2 optimization loop: Source -> P1 -> P2 -> P3 with
+/// P3.loop feeding back into P2 and P3.exit reaching the sink.
+Workflow make_optimization_loop(const std::string& name = "figure2");
+
+/// src -> A -> B -> sink where B additionally reads a second input from the
+/// source: the canonical groupable pair.
+Workflow make_groupable_pair(const std::string& name = "pair");
+
+}  // namespace moteur::workflow

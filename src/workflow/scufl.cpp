@@ -1,0 +1,192 @@
+#include "workflow/scufl.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+#include "workflow/iteration_tree.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur::workflow {
+
+namespace {
+
+void write_iteration_node(xml::Node& parent, const IterationNode& node) {
+  switch (node.kind) {
+    case IterationNode::Kind::kPort:
+      parent.add_child("port").set_attribute("name", node.port);
+      return;
+    case IterationNode::Kind::kDot:
+    case IterationNode::Kind::kCross: {
+      auto& element =
+          parent.add_child(node.kind == IterationNode::Kind::kDot ? "dot" : "cross");
+      for (const auto& child : node.children) write_iteration_node(element, child);
+      return;
+    }
+  }
+}
+
+IterationNode read_iteration_node(const xml::Node& element) {
+  if (element.name() == "port") {
+    return IterationNode::leaf(element.required_attribute("name"));
+  }
+  MOTEUR_REQUIRE(element.name() == "dot" || element.name() == "cross", ParseError,
+                 "unexpected element <" + element.name() + "> in iteration tree");
+  std::vector<IterationNode> children;
+  for (const auto& child : element.children()) {
+    children.push_back(read_iteration_node(*child));
+  }
+  return element.name() == "dot" ? IterationNode::dot(std::move(children))
+                                 : IterationNode::cross(std::move(children));
+}
+
+}  // namespace
+
+std::string to_scufl(const Workflow& workflow) {
+  auto root = std::make_unique<xml::Node>("workflow");
+  root->set_attribute("name", workflow.name());
+
+  for (const auto& p : workflow.processors()) {
+    switch (p.kind) {
+      case ProcessorKind::kSource:
+        root->add_child("source").set_attribute("name", p.name);
+        break;
+      case ProcessorKind::kSink:
+        root->add_child("sink").set_attribute("name", p.name);
+        break;
+      case ProcessorKind::kService: {
+        auto& node = root->add_child("processor");
+        node.set_attribute("name", p.name);
+        if (!p.service_id.empty()) node.set_attribute("service", p.service_id);
+        node.set_attribute("iteration", to_string(p.iteration));
+        if (p.iteration_tree != nullptr) {
+          write_iteration_node(node.add_child("iterationTree"), *p.iteration_tree);
+        }
+        if (p.synchronization) node.set_attribute("synchronization", "true");
+        for (const auto& port : p.input_ports) {
+          node.add_child("input").set_attribute("name", port);
+        }
+        for (const auto& port : p.output_ports) {
+          node.add_child("output").set_attribute("name", port);
+        }
+        for (std::size_t i = 0; i < p.group_members.size(); ++i) {
+          auto& member = node.add_child("member");
+          member.set_attribute("name", p.group_members[i]);
+          if (i < p.member_service_ids.size()) {
+            member.set_attribute("service", p.member_service_ids[i]);
+          }
+        }
+        for (const auto& il : p.internal_links) {
+          auto& link = node.add_child("internalLink");
+          link.set_attribute("fromMember", il.from_member);
+          link.set_attribute("fromPort", il.from_port);
+          link.set_attribute("toMember", il.to_member);
+          link.set_attribute("toPort", il.to_port);
+        }
+        break;
+      }
+    }
+  }
+
+  for (const auto& l : workflow.links()) {
+    auto& node = root->add_child("link");
+    node.set_attribute("from", l.from_processor);
+    node.set_attribute("fromPort", l.from_port);
+    node.set_attribute("to", l.to_processor);
+    node.set_attribute("toPort", l.to_port);
+    if (l.feedback) node.set_attribute("feedback", "true");
+  }
+
+  for (const auto& c : workflow.coordination_constraints()) {
+    auto& node = root->add_child("coordination");
+    node.set_attribute("before", c.before);
+    node.set_attribute("after", c.after);
+  }
+
+  return xml::Document(std::move(root)).to_string();
+}
+
+namespace {
+
+bool parse_bool(const std::string& value, const std::string& context) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  throw ParseError("expected boolean for " + context + ", got '" + value + "'");
+}
+
+IterationStrategy parse_iteration(const std::string& value) {
+  if (value == "dot") return IterationStrategy::kDot;
+  if (value == "cross") return IterationStrategy::kCross;
+  throw ParseError("unknown iteration strategy '" + value + "'");
+}
+
+}  // namespace
+
+Workflow from_scufl(const std::string& text) {
+  const xml::Document doc = xml::parse(text);
+  const xml::Node& root = doc.root();
+  MOTEUR_REQUIRE(root.name() == "workflow", ParseError,
+                 "expected <workflow> root, got <" + root.name() + ">");
+
+  Workflow workflow(root.attribute("name").value_or("workflow"));
+
+  for (const auto& child : root.children()) {
+    if (child->name() == "source") {
+      workflow.add_source(child->required_attribute("name"));
+    } else if (child->name() == "sink") {
+      workflow.add_sink(child->required_attribute("name"));
+    } else if (child->name() == "processor") {
+      Processor p;
+      p.name = child->required_attribute("name");
+      p.kind = ProcessorKind::kService;
+      p.service_id = child->attribute("service").value_or("");
+      if (const auto iteration = child->attribute("iteration")) {
+        p.iteration = parse_iteration(*iteration);
+      }
+      if (const auto sync = child->attribute("synchronization")) {
+        p.synchronization = parse_bool(*sync, "synchronization of '" + p.name + "'");
+      }
+      if (const xml::Node* tree = child->child("iterationTree")) {
+        MOTEUR_REQUIRE(tree->children().size() == 1, ParseError,
+                       "<iterationTree> must contain exactly one root combinator");
+        p.iteration_tree = std::make_shared<const IterationNode>(
+            read_iteration_node(*tree->children().front()));
+      }
+      for (const xml::Node* port : child->children_named("input")) {
+        p.input_ports.push_back(port->required_attribute("name"));
+      }
+      for (const xml::Node* port : child->children_named("output")) {
+        p.output_ports.push_back(port->required_attribute("name"));
+      }
+      for (const xml::Node* member : child->children_named("member")) {
+        p.group_members.push_back(member->required_attribute("name"));
+        p.member_service_ids.push_back(member->attribute("service").value_or(
+            member->required_attribute("name")));
+      }
+      for (const xml::Node* il : child->children_named("internalLink")) {
+        p.internal_links.push_back(InternalLink{
+            il->required_attribute("fromMember"), il->required_attribute("fromPort"),
+            il->required_attribute("toMember"), il->required_attribute("toPort")});
+      }
+      workflow.add_processor(std::move(p));
+    } else if (child->name() == "link") {
+      bool feedback = false;
+      if (const auto flag = child->attribute("feedback")) {
+        feedback = parse_bool(*flag, "feedback of a link");
+      }
+      workflow.link(child->required_attribute("from"),
+                    child->required_attribute("fromPort"),
+                    child->required_attribute("to"),
+                    child->required_attribute("toPort"), feedback);
+    } else if (child->name() == "coordination") {
+      workflow.add_coordination_constraint(child->required_attribute("before"),
+                                           child->required_attribute("after"));
+    } else {
+      throw ParseError("unexpected element <" + child->name() + "> in <workflow>");
+    }
+  }
+
+  workflow.validate();
+  return workflow;
+}
+
+}  // namespace moteur::workflow

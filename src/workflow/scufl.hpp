@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "workflow/graph.hpp"
+
+namespace moteur::workflow {
+
+/// Reader/writer for the Scufl-like XML workflow dialect (the paper adopts
+/// Taverna's Simple Concept Unified Flow Language, §4.1). The dialect covers
+/// everything the enactor consumes: sources, sinks, processors with ports,
+/// iteration strategies, synchronization flags, service bindings, data links
+/// (including feedback links) and coordination constraints.
+///
+///   <workflow name="bronzeStandard">
+///     <source name="referenceImage"/>
+///     <processor name="crestLines" service="crestLines"
+///                iteration="dot" synchronization="false">
+///       <input name="im1"/> <input name="im2"/> <input name="scale"/>
+///       <output name="c1"/> <output name="c2"/>
+///     </processor>
+///     <sink name="accuracy_translation"/>
+///     <link from="referenceImage" fromPort="out"
+///           to="crestLines" toPort="im1"/>
+///     <coordination before="crestMatch" after="MultiTransfoTest"/>
+///   </workflow>
+std::string to_scufl(const Workflow& workflow);
+
+/// Parse; validates the result before returning. Throws ParseError or
+/// GraphError.
+Workflow from_scufl(const std::string& text);
+
+}  // namespace moteur::workflow

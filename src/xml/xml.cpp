@@ -1,0 +1,365 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace moteur::xml {
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+void Node::set_attribute(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+bool Node::has_attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Node::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+const std::string& Node::required_attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  throw ParseError("element <" + name_ + "> is missing attribute '" + key + "'");
+}
+
+Node& Node::add_child(std::string name) {
+  children_.push_back(std::make_unique<Node>(std::move(name)));
+  return *children_.back();
+}
+
+Node& Node::adopt(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Node* Node::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+const Node& Node::required_child(std::string_view name) const {
+  const Node* c = child(name);
+  if (c == nullptr) {
+    throw ParseError("element <" + name_ + "> is missing child <" + std::string(name) + ">");
+  }
+  return *c;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::to_string(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << '<' << name_;
+  for (const auto& [k, v] : attributes_) {
+    os << ' ' << k << "=\"" << escape_attribute(v) << '"';
+  }
+  const std::string text = trim(text_);
+  if (children_.empty() && text.empty()) {
+    os << "/>\n";
+    return os.str();
+  }
+  os << '>';
+  if (!text.empty()) os << escape_text(text);
+  if (!children_.empty()) {
+    os << '\n';
+    for (const auto& c : children_) os << c->to_string(indent + 1);
+    os << pad;
+  }
+  os << "</" << name_ << ">\n";
+  return os.str();
+}
+
+std::string Document::to_string() const {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root_->to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Escaping
+// ---------------------------------------------------------------------------
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("content after document root element");
+    return Document(std::move(root));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= input_.size(); }
+
+  char peek() const { return at_end() ? '\0' : input_[pos_]; }
+
+  char peek_at(std::size_t offset) const {
+    return pos_ + offset >= input_.size() ? '\0' : input_[pos_ + offset];
+  }
+
+  char advance() {
+    if (at_end()) fail("unexpected end of input");
+    const char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    advance();
+  }
+
+  bool consume_if(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  void skip_until(std::string_view terminator) {
+    while (!at_end()) {
+      if (input_.substr(pos_).substr(0, terminator.size()) == terminator) {
+        for (std::size_t i = 0; i < terminator.size(); ++i) advance();
+        return;
+      }
+      advance();
+    }
+    fail("unterminated construct, expected '" + std::string(terminator) + "'");
+  }
+
+  /// XML declaration, DOCTYPE, comments and PIs before the root element.
+  void skip_prolog() { skip_misc(); }
+
+  void skip_misc() {
+    while (true) {
+      skip_whitespace();
+      if (consume_if("<?")) {
+        skip_until("?>");
+      } else if (consume_if("<!--")) {
+        skip_until("-->");
+      } else if (consume_if("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets with nested brackets are
+        // out of scope for the MOTEUR document formats).
+        skip_until(">");
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    name += advance();
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  std::string parse_entity() {
+    // '&' already consumed.
+    std::string entity;
+    while (peek() != ';') {
+      if (at_end() || entity.size() > 8) fail("malformed entity reference");
+      entity += advance();
+    }
+    advance();  // ';'
+    if (entity == "amp") return "&";
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "quot") return "\"";
+    if (entity == "apos") return "'";
+    if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      try {
+        code = entity[1] == 'x' || entity[1] == 'X'
+                   ? std::stol(entity.substr(2), nullptr, 16)
+                   : std::stol(entity.substr(1), nullptr, 10);
+      } catch (const std::exception&) {
+        fail("malformed numeric character reference '&" + entity + ";'");
+      }
+      if (code <= 0 || code > 127) {
+        fail("numeric character reference outside ASCII: '&" + entity + ";'");
+      }
+      return std::string(1, static_cast<char>(code));
+    }
+    fail("unknown entity '&" + entity + ";'");
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string value;
+    while (peek() != quote) {
+      if (at_end()) fail("unterminated attribute value");
+      if (peek() == '<') fail("'<' inside attribute value");
+      if (peek() == '&') {
+        advance();
+        value += parse_entity();
+      } else {
+        value += advance();
+      }
+    }
+    advance();  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<Node> parse_element() {
+    expect('<');
+    auto node = std::make_unique<Node>(parse_name());
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      if (peek() == '>' || peek() == '/') break;
+      const std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      if (node->has_attribute(key)) fail("duplicate attribute '" + key + "'");
+      node->set_attribute(key, parse_attribute_value());
+    }
+    if (consume_if("/>")) return node;
+    expect('>');
+    parse_content(*node);
+    return node;
+  }
+
+  void parse_content(Node& node) {
+    std::string text;
+    while (true) {
+      if (at_end()) fail("unterminated element <" + node.name() + ">");
+      if (peek() == '<') {
+        if (peek_at(1) == '/') {
+          advance();  // '<'
+          advance();  // '/'
+          const std::string closing = parse_name();
+          if (closing != node.name()) {
+            fail("mismatched closing tag </" + closing + "> for <" + node.name() + ">");
+          }
+          skip_whitespace();
+          expect('>');
+          node.append_text(text);
+          return;
+        }
+        if (consume_if("<!--")) {
+          skip_until("-->");
+          continue;
+        }
+        if (consume_if("<![CDATA[")) {
+          while (!consume_if("]]>")) {
+            if (at_end()) fail("unterminated CDATA section");
+            text += advance();
+          }
+          continue;
+        }
+        if (consume_if("<?")) {
+          skip_until("?>");
+          continue;
+        }
+        node.append_text(text);
+        text.clear();
+        node.adopt(parse_element());
+        continue;
+      }
+      if (peek() == '&') {
+        advance();
+        text += parse_entity();
+      } else {
+        text += advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) { return Parser(input).parse_document(); }
+
+}  // namespace moteur::xml

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace moteur::xml {
+
+/// One element of an XML document tree. Owns its children. Attribute order
+/// is preserved. Mixed content is supported in the limited form the MOTEUR
+/// document formats need: each element has one text payload (the
+/// concatenation of its character data) plus child elements.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view more) { text_.append(more); }
+
+  // --- attributes -----------------------------------------------------
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  /// Set (or overwrite) an attribute.
+  void set_attribute(const std::string& key, std::string value);
+  bool has_attribute(const std::string& key) const;
+  /// Value of an attribute, or std::nullopt if absent.
+  std::optional<std::string> attribute(const std::string& key) const;
+  /// Value of an attribute; throws ParseError naming the element if absent.
+  const std::string& required_attribute(const std::string& key) const;
+
+  // --- children -------------------------------------------------------
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+  Node& add_child(std::string name);
+  /// Take ownership of an already-built subtree.
+  Node& adopt(std::unique_ptr<Node> child);
+  /// First child with the given element name, or nullptr.
+  const Node* child(std::string_view name) const;
+  /// First child with the given element name; throws ParseError if absent.
+  const Node& required_child(std::string_view name) const;
+  /// All children with the given element name, in document order.
+  std::vector<const Node*> children_named(std::string_view name) const;
+
+  /// Serialize the subtree rooted here as indented XML (no declaration).
+  std::string to_string(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// An XML document: a declaration (ignored on parse) plus one root element.
+class Document {
+ public:
+  explicit Document(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  const Node& root() const { return *root_; }
+  Node& root() { return *root_; }
+
+  /// Transfer ownership of the root element (e.g. to graft it into another
+  /// document). The Document must not be used afterwards.
+  std::unique_ptr<Node> take_root() { return std::move(root_); }
+
+  /// Serialize with declaration.
+  std::string to_string() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+/// Parse an XML document. Supports: elements, attributes (single or double
+/// quoted), character data, comments, processing instructions / declarations
+/// (skipped), CDATA sections, and the five predefined entities plus numeric
+/// character references (ASCII range). Throws ParseError with a line number
+/// on malformed input.
+Document parse(std::string_view input);
+
+/// Escape the five predefined entities for use in character data.
+std::string escape_text(std::string_view s);
+
+/// Escape for use inside a double-quoted attribute value.
+std::string escape_attribute(std::string_view s);
+
+}  // namespace moteur::xml

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/bronze_standard.hpp"
+#include "app/experiment.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "registration/bronze.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/grouping.hpp"
+
+namespace moteur::app {
+namespace {
+
+TEST(BronzeWorkflow, StructureMatchesFigure9) {
+  const workflow::Workflow wf = bronze_standard_workflow();
+  EXPECT_EQ(wf.sources().size(), 4u);
+  EXPECT_EQ(wf.sinks().size(), 2u);
+  EXPECT_EQ(wf.services().size(), 7u);
+  EXPECT_TRUE(wf.processor("MultiTransfoTest").synchronization);
+  EXPECT_EQ(workflow::critical_path_length(wf), 5u);  // paper: nW = 5
+  const auto path = workflow::critical_path(wf).services;
+  EXPECT_EQ(path, (std::vector<std::string>{"crestLines", "crestMatch", "PFMatchICP",
+                                            "PFRegister", "MultiTransfoTest"}));
+}
+
+TEST(BronzeWorkflow, DatasetShapesFollowPairCount) {
+  const data::InputDataSet ds = bronze_standard_dataset(12);
+  EXPECT_EQ(ds.item_count("referenceImage"), 12u);
+  EXPECT_EQ(ds.item_count("floatingImage"), 12u);
+  EXPECT_EQ(ds.item_count("scale"), 12u);
+  EXPECT_EQ(ds.item_count("methodToTest"), 1u);
+}
+
+TEST(BronzeSimulated, JobCountsMatchThePaper) {
+  // "Each of the input image pair ... leads to 6 job submissions, thus
+  // producing a total number of 72, 396 and 756 job submissions" (§4.4)
+  // (+1 for the synchronized MultiTransfoTest).
+  ExperimentOptions options;
+  for (const std::size_t n : {3u, 5u}) {
+    const RunOutcome outcome =
+        run_bronze_once(enactor::EnactmentPolicy::sp_dp(), n, options);
+    EXPECT_EQ(outcome.invocations, 6 * n + 1);
+    EXPECT_EQ(outcome.jobs_submitted, 6 * n + 1);
+    EXPECT_EQ(outcome.failures, 0u);
+  }
+}
+
+TEST(BronzeSimulated, GroupingCutsJobsPerPairFrom6To4) {
+  ExperimentOptions options;
+  const RunOutcome grouped =
+      run_bronze_once(enactor::EnactmentPolicy::sp_dp_jg(), 5, options);
+  EXPECT_EQ(grouped.jobs_submitted, 4 * 5 + 1);
+  // Logical invocations are unchanged: 6 codes still run per pair.
+  EXPECT_EQ(grouped.invocations, 6 * 5 + 1);
+}
+
+TEST(BronzeSimulated, ConfigurationOrderingMatchesTable1) {
+  // On the EGEE-like grid the paper's ordering must hold at every size:
+  // NOP > JG > SP > DP > SP+DP > SP+DP+JG (Table 1).
+  ExperimentOptions options;
+  options.sizes = {8};
+  const auto table = run_bronze_experiment(options);
+  const double nop = table.cell("NOP", 8).makespan_seconds;
+  const double jg = table.cell("JG", 8).makespan_seconds;
+  const double sp = table.cell("SP", 8).makespan_seconds;
+  const double dp = table.cell("DP", 8).makespan_seconds;
+  const double sp_dp = table.cell("SP+DP", 8).makespan_seconds;
+  const double sp_dp_jg = table.cell("SP+DP+JG", 8).makespan_seconds;
+
+  EXPECT_GT(nop, jg);
+  EXPECT_GT(jg, sp);
+  EXPECT_GT(sp, dp);
+  EXPECT_GT(dp, sp_dp);
+  EXPECT_GT(sp_dp, sp_dp_jg);
+}
+
+TEST(BronzeSimulated, RunsAreDeterministic) {
+  ExperimentOptions options;
+  const RunOutcome a = run_bronze_once(enactor::EnactmentPolicy::sp_dp(), 6, options);
+  const RunOutcome b = run_bronze_once(enactor::EnactmentPolicy::sp_dp(), 6, options);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+}
+
+TEST(BronzeSimulated, TableRenderingContainsAllCells) {
+  ExperimentOptions options;
+  options.sizes = {2, 4};
+  options.configurations = {"NOP", "SP+DP"};
+  const auto table = run_bronze_experiment(options);
+  const std::string t1 = table.render_table1();
+  EXPECT_NE(t1.find("NOP"), std::string::npos);
+  EXPECT_NE(t1.find("SP+DP"), std::string::npos);
+  EXPECT_NE(t1.find("4 images"), std::string::npos);
+  const std::string f10 = table.render_figure10();
+  EXPECT_NE(f10.find("pairs"), std::string::npos);
+  EXPECT_NO_THROW(table.series("NOP").fit());
+}
+
+TEST(BronzeReal, EndToEndOnRealRegistrationServices) {
+  // Full Figure-9 run with REAL computation (crest extraction, descriptor
+  // matching, ICP, block matching, similarity optimization, bronze
+  // statistics) on a small synthetic database, through the threaded backend.
+  registration::PhantomOptions phantom;
+  phantom.size = 28;
+  phantom.max_rotation_radians = 0.10;
+  phantom.max_translation = 2.0;
+  const std::size_t n_pairs = 3;
+  const auto database = make_bronze_database(77, n_pairs, phantom);
+
+  services::ServiceRegistry registry;
+  register_real_services(registry, database);
+
+  enactor::ThreadedBackend backend(4);
+  enactor::Enactor enactor(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  enactor.set_payload_resolver(bronze_payload_resolver(database));
+
+  const auto result =
+      enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.invocations, 6 * n_pairs + 1);
+
+  // The sinks carry the bronze-standard evaluation.
+  const auto& rotation_tokens = result.sink_outputs.at("accuracy_rotation");
+  ASSERT_EQ(rotation_tokens.size(), 1u);
+  const auto bronze = rotation_tokens[0].as<registration::BronzeResult>();
+  ASSERT_EQ(bronze.accuracies.size(), 4u);
+  ASSERT_EQ(bronze.bronze_standard.size(), n_pairs);
+
+  // The bronze standard should sit close to the synthetic ground truth.
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    const auto err = registration::transform_error(bronze.bronze_standard[p],
+                                                   (*database)[p].truth);
+    EXPECT_LT(err.translation, 2.0) << "pair " << p;
+    EXPECT_LT(err.rotation_radians * 180.0 / M_PI, 6.0) << "pair " << p;
+  }
+}
+
+TEST(BronzeReal, GroupingProducesIdenticalScience) {
+  // JG must change performance, never results: the grouped run computes the
+  // same transforms as the ungrouped one.
+  registration::PhantomOptions phantom;
+  phantom.size = 24;
+  phantom.max_rotation_radians = 0.08;
+  phantom.max_translation = 1.5;
+  const std::size_t n_pairs = 2;
+  const auto database = make_bronze_database(33, n_pairs, phantom);
+
+  const auto run_with = [&](enactor::EnactmentPolicy policy) {
+    services::ServiceRegistry registry;
+    register_real_services(registry, database);
+    enactor::ThreadedBackend backend(4);
+    enactor::Enactor enactor(backend, registry, policy);
+    enactor.set_payload_resolver(bronze_payload_resolver(database));
+    const auto result =
+        enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+    return result.sink_outputs.at("accuracy_translation")
+        .at(0)
+        .as<registration::BronzeResult>();
+  };
+
+  const auto plain = run_with(enactor::EnactmentPolicy::sp_dp());
+  const auto grouped = run_with(enactor::EnactmentPolicy::sp_dp_jg());
+  ASSERT_EQ(plain.bronze_standard.size(), grouped.bronze_standard.size());
+  for (std::size_t p = 0; p < plain.bronze_standard.size(); ++p) {
+    const auto err = registration::transform_error(plain.bronze_standard[p],
+                                                   grouped.bronze_standard[p]);
+    EXPECT_LT(err.translation, 1e-9);
+    EXPECT_LT(err.rotation_radians, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace moteur::app

@@ -1,0 +1,262 @@
+// The DAG generalization of the §3.5 model: predicted makespans must match
+// the full enactor + deterministic grid EXACTLY on arbitrary dot-iteration
+// DAGs with barriers — including the real Bronze-Standard topology, which
+// the chain formulas cannot capture (its branches are not on the critical
+// path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "app/bronze_standard.hpp"
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/dag.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workflow/patterns.hpp"
+
+namespace moteur {
+namespace {
+
+double simulate(const workflow::Workflow& wf,
+                const std::map<std::string, double>& service_seconds, std::size_t n_d,
+                enactor::EnactmentPolicy policy, double overhead = 0.0) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(overhead));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  for (const auto* proc : wf.services()) {
+    registry.add(services::make_simulated_service(
+        proc->name, proc->input_ports, proc->output_ports,
+        services::JobProfile{service_seconds.at(proc->name)}));
+  }
+  data::InputDataSet ds;
+  for (const auto* source : wf.sources()) {
+    for (std::size_t j = 0; j < n_d; ++j) {
+      ds.add_item(source->name, "d" + std::to_string(j));
+    }
+  }
+  enactor::Enactor moteur(backend, registry, policy);
+  return moteur.run(wf, ds).makespan();
+}
+
+void expect_all_policies_match(const workflow::Workflow& wf,
+                               const std::map<std::string, double>& times,
+                               std::size_t n_d) {
+  const auto predicted = model::predict_dag_makespan(wf, times, n_d);
+  EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::nop()),
+                   predicted.sequential);
+  EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::dp()),
+                   predicted.dp);
+  EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::sp()),
+                   predicted.sp);
+  EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::sp_dp()),
+                   predicted.dsp);
+}
+
+TEST(DagModel, ChainReducesToPaperFormulas) {
+  const auto wf = workflow::make_chain(4);
+  const std::map<std::string, double> times{
+      {"P0", 10.0}, {"P1", 10.0}, {"P2", 10.0}, {"P3", 10.0}};
+  const auto predicted = model::predict_dag_makespan(wf, times, 6);
+  EXPECT_DOUBLE_EQ(predicted.sequential, 4 * 6 * 10.0);
+  EXPECT_DOUBLE_EQ(predicted.dp, 4 * 10.0);
+  EXPECT_DOUBLE_EQ(predicted.sp, (6 + 4 - 1) * 10.0);
+  EXPECT_DOUBLE_EQ(predicted.dsp, 4 * 10.0);
+  expect_all_policies_match(wf, times, 6);
+}
+
+TEST(DagModel, FanOutBranchesOverlap) {
+  const auto wf = workflow::make_fan_out(3);
+  const std::map<std::string, double> times{
+      {"P0", 10.0}, {"P1", 30.0}, {"P2", 20.0}, {"P3", 5.0}};
+  const auto predicted = model::predict_dag_makespan(wf, times, 4);
+  // DSP: longest path P0 -> P1.
+  EXPECT_DOUBLE_EQ(predicted.dsp, 40.0);
+  // NOP: P0 serial (4x10), then branches in parallel, each serial.
+  EXPECT_DOUBLE_EQ(predicted.sequential, 40.0 + 4 * 30.0);
+  expect_all_policies_match(wf, times, 4);
+}
+
+TEST(DagModel, BarrierCollapsesDownstreamCardinality) {
+  workflow::Workflow wf("two-layers");
+  wf.add_source("src");
+  wf.add_processor("work", {"in"}, {"out"});
+  auto& stats = wf.add_processor("stats", {"all"}, {"mean"});
+  stats.synchronization = true;
+  wf.add_processor("post", {"in"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("src", "out", "work", "in");
+  wf.link("work", "out", "stats", "all");
+  wf.link("stats", "mean", "post", "in");
+  wf.link("post", "out", "sink", "in");
+
+  const std::map<std::string, double> times{{"work", 10.0}, {"stats", 7.0},
+                                            {"post", 3.0}};
+  const auto predicted = model::predict_dag_makespan(wf, times, 5);
+  // DSP: all 5 work items in parallel (10), barrier (7), post once (3).
+  EXPECT_DOUBLE_EQ(predicted.dsp, 20.0);
+  // NOP: work serial (50), barrier (7), post (3).
+  EXPECT_DOUBLE_EQ(predicted.sequential, 60.0);
+  expect_all_policies_match(wf, times, 5);
+}
+
+TEST(DagModel, BronzeStandardTopologyExactly) {
+  // The Figure-9 graph with per-service times from the default profiles; the
+  // DAG model must reproduce the simulator exactly where the nW = 5 chain
+  // formulas only approximate (they ignore Yasmina/Baladin branches).
+  const auto wf = app::bronze_standard_workflow();
+  const app::BronzeProfiles p;
+  const std::map<std::string, double> times{
+      {"crestLines", p.crest_lines_seconds},   {"crestMatch", p.crest_match_seconds},
+      {"PFMatchICP", p.pf_match_icp_seconds},  {"PFRegister", p.pf_register_seconds},
+      {"Yasmina", p.yasmina_seconds},          {"Baladin", p.baladin_seconds},
+      {"MultiTransfoTest", p.multi_transfo_seconds}};
+
+  // Transfers must be zero for exactness: rebuild simulated services with
+  // compute only.
+  for (const std::size_t n_d : {1u, 4u, 12u}) {
+    const auto predicted = model::predict_dag_makespan(wf, times, n_d);
+    EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::nop()),
+                     predicted.sequential)
+        << "nD=" << n_d;
+    EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::dp()),
+                     predicted.dp)
+        << "nD=" << n_d;
+    EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::sp()),
+                     predicted.sp)
+        << "nD=" << n_d;
+    EXPECT_DOUBLE_EQ(simulate(wf, times, n_d, enactor::EnactmentPolicy::sp_dp()),
+                     predicted.dsp)
+        << "nD=" << n_d;
+  }
+}
+
+TEST(DagModel, OverheadFoldsIntoServiceTimes) {
+  // Constant grid overhead o shifts every T_P by o; predictions with the
+  // shifted times match the simulation with real overhead.
+  const auto wf = workflow::make_chain(3);
+  const double overhead = 200.0;
+  const std::map<std::string, double> compute{{"P0", 30.0}, {"P1", 60.0}, {"P2", 10.0}};
+  std::map<std::string, double> shifted;
+  for (const auto& [name, t] : compute) shifted[name] = t + overhead;
+
+  const auto predicted = model::predict_dag_makespan(wf, shifted, 5);
+  EXPECT_DOUBLE_EQ(
+      simulate(wf, compute, 5, enactor::EnactmentPolicy::sp(), overhead),
+      predicted.sp);
+  EXPECT_DOUBLE_EQ(
+      simulate(wf, compute, 5, enactor::EnactmentPolicy::sp_dp(), overhead),
+      predicted.dsp);
+}
+
+TEST(DagModel, RejectsUnsupportedShapes) {
+  const auto loop = workflow::make_optimization_loop();
+  std::map<std::string, double> times{{"P1", 1.0}, {"P2", 1.0}, {"P3", 1.0}};
+  EXPECT_THROW(model::predict_dag_makespan(loop, times, 2), GraphError);
+
+  const auto cross = workflow::make_cross();
+  EXPECT_THROW(model::predict_dag_makespan(cross, {{"P0", 1.0}}, 2), GraphError);
+
+  const auto chain = workflow::make_chain(2);
+  EXPECT_THROW(model::predict_dag_makespan(chain, {{"P0", 1.0}}, 2), InternalError);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized dot-DAGs: prediction == simulation for every policy.
+// ---------------------------------------------------------------------------
+
+struct RandomDag {
+  workflow::Workflow workflow{"random-dag"};
+  std::map<std::string, double> times;
+};
+
+RandomDag make_random_dag(Rng& rng, bool with_barrier) {
+  RandomDag dag;
+  dag.workflow.add_source("src");
+  struct Out {
+    std::string proc;
+    std::string port;
+    bool post_barrier;
+  };
+  std::vector<Out> available{{"src", "out", false}};
+  std::set<std::string> consumed;
+
+  const std::size_t services = 3 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  bool barrier_placed = false;
+  for (std::size_t i = 0; i < services; ++i) {
+    const std::string name = "P" + std::to_string(i);
+    const bool make_barrier = with_barrier && !barrier_placed &&
+                              i >= services / 2;  // one barrier, mid-graph
+    // Pick 1-2 feeds of homogeneous cardinality.
+    const Out& first = available[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(available.size()) - 1))];
+    std::vector<Out> feeds{first};
+    if (!make_barrier && rng.bernoulli(0.4)) {
+      // Second feed must share the cardinality class.
+      std::vector<const Out*> candidates;
+      for (const auto& out : available) {
+        if (out.post_barrier == first.post_barrier &&
+            !(out.proc == first.proc && out.port == first.port)) {
+          candidates.push_back(&out);
+        }
+      }
+      if (!candidates.empty()) {
+        feeds.push_back(*candidates[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(candidates.size()) - 1))]);
+      }
+    }
+    std::vector<std::string> ports;
+    for (std::size_t f = 0; f < feeds.size(); ++f) {
+      ports.push_back("in" + std::to_string(f));
+    }
+    auto& proc = dag.workflow.add_processor(name, ports, {"out"});
+    if (make_barrier) {
+      proc.synchronization = true;
+      barrier_placed = true;
+    }
+    for (std::size_t f = 0; f < feeds.size(); ++f) {
+      dag.workflow.link(feeds[f].proc, feeds[f].port, name, ports[f]);
+      consumed.insert(feeds[f].proc + "." + feeds[f].port);
+    }
+    available.push_back(Out{name, "out", make_barrier || first.post_barrier});
+    dag.times[name] = std::floor(rng.uniform(5.0, 60.0));
+  }
+
+  int sinks = 0;
+  for (const auto& out : available) {
+    if (consumed.count(out.proc + "." + out.port) == 0 && out.proc != "src") {
+      const std::string sink = "sink" + std::to_string(sinks++);
+      dag.workflow.add_sink(sink);
+      dag.workflow.link(out.proc, out.port, sink, "in");
+    }
+  }
+  if (sinks == 0) {
+    dag.workflow.add_sink("sink0");
+    dag.workflow.link(available.back().proc, "out", "sink0", "in");
+  }
+  dag.workflow.validate();
+  return dag;
+}
+
+class RandomDagModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagModel, PredictionMatchesSimulationExactly) {
+  Rng rng(GetParam());
+  const RandomDag dag = make_random_dag(rng, /*with_barrier=*/GetParam() % 2 == 0);
+  const std::size_t n_d = 1 + GetParam() % 7;
+  expect_all_policies_match(dag.workflow, dag.times, n_d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagModel,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                           14, 15, 16));
+
+}  // namespace
+}  // namespace moteur

@@ -1,0 +1,298 @@
+// Edge cases and less-traveled paths of the enactment engine: multi-branch
+// sinks, conditional outputs, cross->dot chains, barriers mid-workflow,
+// loops under every policy, partial failures upstream of barriers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/patterns.hpp"
+
+namespace moteur::enactor {
+namespace {
+
+using services::FunctionalService;
+using services::Inputs;
+using services::JobProfile;
+using services::Result;
+
+data::InputDataSet items(const std::string& source, std::size_t count) {
+  data::InputDataSet ds;
+  ds.declare_input(source);
+  for (std::size_t j = 0; j < count; ++j) {
+    ds.add_item(source, "item" + std::to_string(j));
+  }
+  return ds;
+}
+
+struct SimRig {
+  sim::Simulator simulator;
+  grid::Grid grid;
+  SimGridBackend backend;
+  services::ServiceRegistry registry;
+
+  explicit SimRig(double overhead = 0.0)
+      : grid(simulator, grid::GridConfig::constant(overhead)), backend(grid) {}
+
+  EnactmentResult run(const workflow::Workflow& wf, const data::InputDataSet& ds,
+                      EnactmentPolicy policy = EnactmentPolicy::sp_dp()) {
+    Enactor moteur(backend, registry, policy);
+    return moteur.run(wf, ds);
+  }
+};
+
+TEST(EnactorEdge, SinkCollectsFromMultipleBranches) {
+  SimRig rig;
+  for (const char* name : {"P0", "P1", "P2", "P3"}) {
+    rig.registry.add(services::make_simulated_service(name, {"in"}, {"out"},
+                                                      JobProfile{5.0}));
+  }
+  const auto wf = workflow::make_fan_out(3);
+  const auto result = rig.run(wf, items("src", 2));
+  // 2 items through 3 branches: 6 tokens on the shared sink.
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 6u);
+}
+
+TEST(EnactorEdge, ConditionalOutputsRouteAndShrinkStreams) {
+  // A filter service: even-index items go to "pass", odd to "reject".
+  SimRig rig;
+  rig.registry.add(std::make_shared<FunctionalService>(
+      "filter", std::vector<std::string>{"in"},
+      std::vector<std::string>{"pass", "reject"},
+      [](const Inputs& in) {
+        Result r;
+        const char* port = in.at("in").indices()[0] % 2 == 0 ? "pass" : "reject";
+        r.outputs[port] = services::OutputValue{1, "x"};
+        return r;
+      }));
+  rig.registry.add(services::make_simulated_service("after", {"in"}, {"out"},
+                                                    JobProfile{1.0}));
+
+  workflow::Workflow wf("filtering");
+  wf.add_source("src");
+  wf.add_processor("filter", {"in"}, {"pass", "reject"});
+  wf.add_processor("after", {"in"}, {"out"});
+  wf.add_sink("passed");
+  wf.add_sink("rejected");
+  wf.link("src", "out", "filter", "in");
+  wf.link("filter", "pass", "after", "in");
+  wf.link("after", "out", "passed", "in");
+  wf.link("filter", "reject", "rejected", "in");
+
+  ThreadedBackend backend;  // real conditional routing needs real invocation
+  Enactor moteur(backend, rig.registry, EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(wf, items("src", 7));
+  EXPECT_EQ(result.sink_outputs.at("passed").size(), 4u);    // 0,2,4,6
+  EXPECT_EQ(result.sink_outputs.at("rejected").size(), 3u);  // 1,3,5
+}
+
+TEST(EnactorEdge, CrossThenDotKeepsAlignment) {
+  // all-pairs cross (2x3=6) followed by two parallel dot services whose
+  // outputs re-join in a dot consumer: the composite indices must align.
+  SimRig rig;
+  for (const char* name : {"cross", "left", "right", "join"}) {
+    (void)name;
+  }
+  rig.registry.add(services::make_simulated_service("cross", {"a", "b"}, {"out"},
+                                                    JobProfile{1.0}));
+  rig.registry.add(services::make_simulated_service("left", {"in"}, {"out"},
+                                                    JobProfile{1.0}));
+  rig.registry.add(services::make_simulated_service("right", {"in"}, {"out"},
+                                                    JobProfile{2.0}));
+  rig.registry.add(services::make_simulated_service("join", {"l", "r"}, {"out"},
+                                                    JobProfile{1.0}));
+
+  workflow::Workflow wf("cross-dot");
+  wf.add_source("A");
+  wf.add_source("B");
+  wf.add_processor("cross", {"a", "b"}, {"out"}, workflow::IterationStrategy::kCross);
+  wf.add_processor("left", {"in"}, {"out"});
+  wf.add_processor("right", {"in"}, {"out"});
+  wf.add_processor("join", {"l", "r"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("A", "out", "cross", "a");
+  wf.link("B", "out", "cross", "b");
+  wf.link("cross", "out", "left", "in");
+  wf.link("cross", "out", "right", "in");
+  wf.link("left", "out", "join", "l");
+  wf.link("right", "out", "join", "r");
+  wf.link("join", "out", "sink", "in");
+
+  data::InputDataSet ds;
+  for (int j = 0; j < 2; ++j) ds.add_item("A", "a" + std::to_string(j));
+  for (int j = 0; j < 3; ++j) ds.add_item("B", "b" + std::to_string(j));
+
+  const auto result = rig.run(wf, ds);
+  const auto& tokens = result.sink_outputs.at("sink");
+  ASSERT_EQ(tokens.size(), 6u);
+  for (const auto& token : tokens) {
+    EXPECT_EQ(token.indices().size(), 2u);  // composite (a, b) index
+    // Both join inputs descend from the SAME cross combination.
+    const auto sources = token.provenance()->source_indices();
+    EXPECT_EQ(sources.at("A").size(), 1u);
+    EXPECT_EQ(sources.at("B").size(), 1u);
+  }
+}
+
+TEST(EnactorEdge, ServicesDownstreamOfBarrierRun) {
+  SimRig rig;
+  rig.registry.add(services::make_simulated_service("work", {"in"}, {"out"},
+                                                    JobProfile{10.0}));
+  rig.registry.add(services::make_simulated_service("stats", {"all"}, {"mean"},
+                                                    JobProfile{5.0}));
+  rig.registry.add(services::make_simulated_service("post", {"in"}, {"out"},
+                                                    JobProfile{3.0}));
+
+  workflow::Workflow wf("two-layers");
+  wf.add_source("src");
+  wf.add_processor("work", {"in"}, {"out"});
+  auto& stats = wf.add_processor("stats", {"all"}, {"mean"});
+  stats.synchronization = true;
+  wf.add_processor("post", {"in"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("src", "out", "work", "in");
+  wf.link("work", "out", "stats", "all");
+  wf.link("stats", "mean", "post", "in");
+  wf.link("post", "out", "sink", "in");
+
+  for (const auto policy : {EnactmentPolicy::nop(), EnactmentPolicy::sp_dp()}) {
+    const auto result = rig.run(wf, items("src", 4), policy);
+    EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);
+    EXPECT_EQ(result.timeline.for_processor("post").size(), 1u);
+    // The barrier's aggregate index is empty; post inherits it.
+    EXPECT_TRUE(result.sink_outputs.at("sink")[0].indices().empty());
+  }
+}
+
+TEST(EnactorEdge, LoopWorksUnderEveryPolicy) {
+  const auto wf = workflow::make_optimization_loop();
+  for (const auto& config : {"NOP", "SP", "DP", "SP+DP"}) {
+    services::ServiceRegistry registry;
+    registry.add(services::make_simulated_service("P1", {"in"}, {"out"},
+                                                  JobProfile{1.0}));
+    registry.add(std::make_shared<FunctionalService>(
+        "P2", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+        [](const Inputs& in) {
+          const int count = in.at("in").holds<int>() ? in.at("in").as<int>() : 0;
+          Result r;
+          r.outputs["out"] = services::OutputValue{count + 1, "n"};
+          return r;
+        }));
+    registry.add(std::make_shared<FunctionalService>(
+        "P3", std::vector<std::string>{"in"},
+        std::vector<std::string>{"loop", "exit"},
+        [](const Inputs& in) {
+          const int count = in.at("in").as<int>();
+          Result r;
+          r.outputs[count >= 2 ? "exit" : "loop"] = services::OutputValue{count, "n"};
+          return r;
+        }));
+    ThreadedBackend backend(2);
+    Enactor moteur(backend, registry, EnactmentPolicy::parse(config));
+    const auto result = moteur.run(wf, items("Source", 2));
+    ASSERT_EQ(result.sink_outputs.at("Sink").size(), 2u) << config;
+    for (const auto& token : result.sink_outputs.at("Sink")) {
+      EXPECT_EQ(token.as<int>(), 2) << config;
+    }
+  }
+}
+
+TEST(EnactorEdge, BarrierFiresOnPartiallyFailedStream) {
+  // One work invocation fails definitively; the barrier still fires, on the
+  // surviving results.
+  sim::Simulator simulator;
+  auto config = grid::GridConfig::egee2006(5);
+  config.background_jobs_per_hour = 0.0;
+  config.failure_probability = 0.25;
+  config.max_attempts = 1;  // definitive failures likely
+  grid::Grid grid(simulator, config);
+  SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("work", {"in"}, {"out"},
+                                                JobProfile{10.0}));
+  registry.add(services::make_simulated_service("stats", {"all"}, {"mean"},
+                                                JobProfile{5.0}));
+
+  workflow::Workflow wf("partial");
+  wf.add_source("src");
+  wf.add_processor("work", {"in"}, {"out"});
+  auto& stats = wf.add_processor("stats", {"all"}, {"mean"});
+  stats.synchronization = true;
+  wf.add_sink("sink");
+  wf.link("src", "out", "work", "in");
+  wf.link("work", "out", "stats", "all");
+  wf.link("stats", "mean", "sink", "in");
+
+  Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(wf, items("src", 20));
+  EXPECT_GT(result.failures, 0u);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);  // barrier still fired
+  EXPECT_EQ(result.timeline.for_processor("stats").size(), 1u);
+}
+
+TEST(EnactorEdge, DeterministicTimelineUnderFixedSeed) {
+  const auto run_once = [] {
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::egee2006(42));
+    SimGridBackend backend(grid);
+    services::ServiceRegistry registry;
+    for (int i = 0; i < 3; ++i) {
+      registry.add(services::make_simulated_service("P" + std::to_string(i), {"in"},
+                                                    {"out"}, JobProfile{60.0}));
+    }
+    Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
+    const auto result = moteur.run(workflow::make_chain(3), items("src", 6));
+    std::vector<double> ends;
+    for (const auto& trace : result.timeline.traces()) ends.push_back(trace.end_time);
+    return ends;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EnactorEdge, CapAndBatchCompose) {
+  SimRig rig(100.0);
+  rig.registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                    JobProfile{10.0}));
+  EnactmentPolicy policy = EnactmentPolicy::sp_dp();
+  policy.data_parallelism_cap = 2;
+  policy.batch_size = 3;
+  const auto result = rig.run(workflow::make_chain(1), items("src", 12), policy);
+  EXPECT_EQ(result.submissions, 4u);  // 12 items / batch 3
+  // Waves of at most 2 concurrent jobs of (100 + 30): 4 jobs, cap 2 -> 2 waves.
+  EXPECT_DOUBLE_EQ(result.makespan(), 2 * 130.0);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 12u);
+}
+
+TEST(EnactorEdge, UndeclaredServiceOutputsAreIgnored) {
+  // The service produces an extra port the processor does not declare: the
+  // enactor forwards only declared ports.
+  SimRig rig;
+  rig.registry.add(std::make_shared<FunctionalService>(
+      "P0", std::vector<std::string>{"in"}, std::vector<std::string>{"out", "debug"},
+      FunctionalService::InvokeFn{}, JobProfile{1.0}));
+  const auto result = rig.run(workflow::make_chain(1), items("src", 2));
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 2u);
+}
+
+TEST(EnactorEdge, RerunningEnactorReusesBackendCleanly) {
+  // One backend and registry, several runs back to back (clock keeps
+  // advancing; results independent).
+  SimRig rig(10.0);
+  rig.registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                    JobProfile{5.0}));
+  Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
+  const auto first = moteur.run(workflow::make_chain(1), items("src", 3));
+  const auto second = moteur.run(workflow::make_chain(1), items("src", 3));
+  EXPECT_DOUBLE_EQ(first.makespan(), 15.0);
+  EXPECT_DOUBLE_EQ(second.makespan(), 15.0);  // relative to its own start
+  EXPECT_EQ(second.sink_outputs.at("sink").size(), 3u);
+}
+
+}  // namespace
+}  // namespace moteur::enactor

@@ -1,0 +1,199 @@
+// E5: validate the enactor + simulated-grid stack against the paper's §3.5
+// analytic makespan models, to exact equality on a deterministic grid.
+//
+// Setup: a linear chain of nW services over nD data sets on the "constant"
+// grid preset (every latency 0, unlimited capacity). The per-(service, data)
+// duration T[i][j] is injected through the services' job profiles, so the
+// simulated makespan under each policy must reproduce equations (1)-(4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/makespan.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace moteur {
+namespace {
+
+using enactor::EnactmentPolicy;
+using model::TimeMatrix;
+using services::FunctionalService;
+using services::Inputs;
+
+workflow::Workflow chain_workflow(std::size_t n_services) {
+  workflow::Workflow wf("chain");
+  wf.add_source("src");
+  std::string previous = "src";
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const std::string name = "P" + std::to_string(i);
+    wf.add_processor(name, {"in"}, {"out"});
+    wf.link(previous, "out", name, "in");
+    previous = name;
+  }
+  wf.add_sink("sink");
+  wf.link(previous, "out", "sink", "in");
+  return wf;
+}
+
+/// Bind service Pi to duration row T[i][.]; the data index j is recovered
+/// from the input token's iteration index.
+void register_matrix_services(services::ServiceRegistry& registry,
+                              const TimeMatrix& times) {
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto& row = times[i];
+    registry.add(std::make_shared<FunctionalService>(
+        "P" + std::to_string(i), std::vector<std::string>{"in"},
+        std::vector<std::string>{"out"}, FunctionalService::InvokeFn{},
+        [row, i](const Inputs& inputs) {
+          const std::size_t j = inputs.at("in").indices().at(0);
+          grid::JobRequest request;
+          request.name = "P" + std::to_string(i);
+          request.compute_seconds = row.at(j);
+          return request;
+        }));
+  }
+}
+
+double simulate(const TimeMatrix& times, const EnactmentPolicy& policy) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  register_matrix_services(registry, times);
+
+  data::InputDataSet ds;
+  for (std::size_t j = 0; j < times.front().size(); ++j) {
+    ds.add_item("src", "D" + std::to_string(j));
+  }
+
+  enactor::Enactor enactor(backend, registry, policy);
+  return enactor.run(chain_workflow(times.size()), ds).makespan();
+}
+
+// ---------------------------------------------------------------------------
+// Constant times: every closed form of §3.5.4 must hold exactly.
+// ---------------------------------------------------------------------------
+
+class ConstantGridSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ConstantGridSweep, AllFourPoliciesMatchTheory) {
+  const auto [n_w, n_d] = GetParam();
+  const double t = 13.0;
+  const TimeMatrix times = model::constant_times(n_w, n_d, t);
+
+  EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::nop()), model::sigma_sequential(times));
+  EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::dp()), model::sigma_dp(times));
+  EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::sp()), model::sigma_sp(times));
+  EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::sp_dp()), model::sigma_dsp(times));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConstantGridSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 8},
+                      std::pair<std::size_t, std::size_t>{4, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{5, 12},
+                      std::pair<std::size_t, std::size_t>{5, 30}));
+
+// ---------------------------------------------------------------------------
+// Per-service (row-constant) times: arrival order stays monotone, so the
+// pipeline recurrence applies exactly.
+// ---------------------------------------------------------------------------
+
+TEST(RowConstantTimes, AllFourPoliciesMatchTheory) {
+  Rng rng(2006);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n_w = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t n_d = 2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    TimeMatrix times(n_w);
+    for (auto& row : times) {
+      row.assign(n_d, std::floor(rng.uniform(5.0, 50.0)));
+    }
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::nop()),
+                     model::sigma_sequential(times));
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::dp()), model::sigma_dp(times));
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::sp()), model::sigma_sp(times));
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::sp_dp()), model::sigma_dsp(times));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary times: NOP, DP and DSP are order-insensitive and must still
+// match exactly; SP is compared against the recurrence where arrival order
+// stays monotone (the Figure-6 matrix).
+// ---------------------------------------------------------------------------
+
+TEST(ArbitraryTimes, OrderInsensitivePoliciesMatchTheory) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n_w = 1 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const std::size_t n_d = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    TimeMatrix times(n_w, std::vector<double>(n_d));
+    for (auto& row : times) {
+      for (auto& value : row) value = std::floor(rng.uniform(1.0, 100.0));
+    }
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::nop()),
+                     model::sigma_sequential(times));
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::dp()), model::sigma_dp(times));
+    EXPECT_DOUBLE_EQ(simulate(times, EnactmentPolicy::sp_dp()), model::sigma_dsp(times));
+  }
+}
+
+TEST(Figure6Matrix, ServiceParallelismBeatsStageBarriersUnderVariability) {
+  // The exact Figure-6 scenario: T = 1 everywhere except D0 on P1 (2x) and
+  // D1 on P2 (3x).
+  TimeMatrix times = model::constant_times(3, 3, 1.0);
+  times[0][0] = 2.0;
+  times[1][1] = 3.0;
+
+  const double dp = simulate(times, EnactmentPolicy::dp());
+  const double dsp = simulate(times, EnactmentPolicy::sp_dp());
+  EXPECT_DOUBLE_EQ(dp, model::sigma_dp(times));    // 6
+  EXPECT_DOUBLE_EQ(dsp, model::sigma_dsp(times));  // 5
+  EXPECT_GT(dp, dsp);  // SP gains on top of DP once times vary (§3.5.4)
+
+  const double sp = simulate(times, EnactmentPolicy::sp());
+  EXPECT_DOUBLE_EQ(sp, model::sigma_sp(times));
+}
+
+// ---------------------------------------------------------------------------
+// Grid overhead folds into T: constant-overhead grid shifts every duration.
+// ---------------------------------------------------------------------------
+
+TEST(OverheadFolding, ConstantOverheadActsAsAdditiveT) {
+  // On the constant grid with overhead o, every T[i][j] becomes c + o; the
+  // closed forms then apply to the shifted matrix (the paper's T includes
+  // "the overhead introduced by the submission, scheduling and queuing").
+  const double overhead = 600.0, compute = 120.0;
+  const std::size_t n_w = 3, n_d = 6;
+
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(overhead));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  for (std::size_t i = 0; i < n_w; ++i) {
+    registry.add(services::make_simulated_service("P" + std::to_string(i), {"in"},
+                                                  {"out"},
+                                                  services::JobProfile{compute}));
+  }
+  data::InputDataSet ds;
+  for (std::size_t j = 0; j < n_d; ++j) ds.add_item("src", "D" + std::to_string(j));
+
+  enactor::Enactor enactor(backend, registry, EnactmentPolicy::sp());
+  const double makespan = enactor.run(chain_workflow(n_w), ds).makespan();
+  const TimeMatrix shifted = model::constant_times(n_w, n_d, compute + overhead);
+  EXPECT_DOUBLE_EQ(makespan, model::sigma_sp(shifted));
+}
+
+}  // namespace
+}  // namespace moteur

@@ -1,0 +1,174 @@
+// Grid-level record invariants and component behaviours: timestamp
+// monotonicity across hundreds of stochastic jobs, CE speed scaling,
+// storage-channel contention, broker spreading, background load accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/grid.hpp"
+#include "grid/storage_element.hpp"
+#include "sim/simulator.hpp"
+
+namespace moteur::grid {
+namespace {
+
+JobRequest job(const std::string& name, double compute, double in_mb = 0.0,
+               double out_mb = 0.0) {
+  return JobRequest{name, compute, in_mb, out_mb};
+}
+
+TEST(GridRecords, TimestampsAreMonotonePerJob) {
+  sim::Simulator sim;
+  auto config = GridConfig::egee2006(31);
+  config.failure_probability = 0.0;
+  Grid grid(sim, config);
+  int remaining = 200;
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule(i * 10.0, [&grid, &remaining, i] {
+      grid.submit(job("j" + std::to_string(i), 30.0 + i), [&](const JobRecord& r) {
+        EXPECT_EQ(r.state, JobState::kDone);
+        EXPECT_LE(r.submit_time, r.match_time);
+        EXPECT_LE(r.match_time, r.queue_exit_time);
+        EXPECT_LE(r.queue_exit_time, r.run_start_time);
+        EXPECT_LE(r.run_start_time, r.run_end_time);
+        EXPECT_LE(r.run_end_time, r.completion_time);
+        EXPECT_GE(r.overhead_seconds(), 0.0);
+        EXPECT_EQ(r.attempts, 1);
+        EXPECT_FALSE(r.computing_element.empty());
+        --remaining;
+      });
+    });
+  }
+  while (remaining > 0 && sim.step()) {
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(GridRecords, CompletedJobsLogMatchesStats) {
+  sim::Simulator sim;
+  auto config = GridConfig::egee2006(32);
+  config.failure_probability = 0.0;
+  config.background_jobs_per_hour = 0.0;
+  Grid grid(sim, config);
+  int remaining = 50;
+  for (int i = 0; i < 50; ++i) {
+    grid.submit(job("j", 60.0), [&](const JobRecord&) { --remaining; });
+  }
+  while (remaining > 0 && sim.step()) {
+  }
+  EXPECT_EQ(grid.completed_jobs().size(), 50u);
+  EXPECT_EQ(grid.stats().submitted, 50u);
+  EXPECT_EQ(grid.stats().done, 50u);
+  EXPECT_EQ(grid.stats().total_seconds.count(), 50u);
+}
+
+TEST(ComputingElementSpeed, FasterNodesShortenPayloads) {
+  // Two single-CE grids differing only in speed factor.
+  const auto run_on = [](double speed) {
+    sim::Simulator sim;
+    GridConfig config = GridConfig::constant(0.0, 4);
+    config.computing_elements[0].speed_factor = speed;
+    Grid grid(sim, config);
+    double duration = 0;
+    grid.submit(job("j", 100.0), [&](const JobRecord& r) {
+      duration = r.run_end_time - r.run_start_time;
+    });
+    sim.run();
+    return duration;
+  };
+  EXPECT_DOUBLE_EQ(run_on(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(run_on(2.0), 50.0);
+  EXPECT_DOUBLE_EQ(run_on(0.5), 200.0);
+}
+
+TEST(StorageElementTest, ChannelsLimitConcurrentTransfers) {
+  sim::Simulator sim;
+  // 2 channels, transfers of 10 s each: the third queues.
+  StorageElement se(sim, "se", 0.0, 1.0, /*channels=*/2);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    se.transfer(10.0, [&](double) { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 10.0);
+  EXPECT_DOUBLE_EQ(completions[1], 10.0);
+  EXPECT_DOUBLE_EQ(completions[2], 20.0);
+}
+
+TEST(StorageElementTest, ZeroSizeTransfersCompleteImmediately) {
+  sim::Simulator sim;
+  StorageElement se(sim, "se", 5.0, 1.0);
+  double elapsed = -1;
+  se.transfer(0.0, [&](double seconds) { elapsed = seconds; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(StorageElementTest, NominalSecondsFormula) {
+  sim::Simulator sim;
+  StorageElement se(sim, "se", 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(se.nominal_seconds(8.0), 9.0);
+  EXPECT_DOUBLE_EQ(se.nominal_seconds(0.0), 0.0);
+}
+
+TEST(BrokerSpreading, FreeSlotsFillBeforeQueueing) {
+  // A grid with 2 CEs of 2 slots each: 4 long jobs land on 4 distinct slots
+  // before any queueing happens.
+  sim::Simulator sim;
+  GridConfig config = GridConfig::constant(0.0, 2);
+  config.computing_elements.push_back(config.computing_elements[0]);
+  config.computing_elements[1].name = "ideal2";
+  Grid grid(sim, config);
+  std::map<std::string, int> per_site;
+  int remaining = 4;
+  for (int i = 0; i < 4; ++i) {
+    grid.submit(job("j", 1000.0), [&](const JobRecord& r) {
+      ++per_site[r.computing_element];
+      --remaining;
+    });
+  }
+  while (remaining > 0 && sim.step()) {
+  }
+  EXPECT_EQ(per_site.size(), 2u);
+  EXPECT_EQ(per_site["ideal"], 2);
+  EXPECT_EQ(per_site["ideal2"], 2);
+}
+
+TEST(BackgroundLoadTest, GeneratesArrivalsUntilHorizon) {
+  sim::Simulator sim;
+  auto config = GridConfig::egee2006(8);
+  config.background_jobs_per_hour = 600.0;
+  config.background_horizon_seconds = 3600.0;  // one hour
+  Grid grid(sim, config);
+  sim.run();  // drains once arrivals stop
+  // ~600 arrivals expected in the hour; allow generous slack.
+  const auto& ces = grid.broker().computing_elements();
+  ASSERT_FALSE(ces.empty());
+  // All background work eventually drains: no busy slots at the end.
+  for (const auto& ce : ces) {
+    EXPECT_EQ(ce->busy_slots(), 0u);
+  }
+}
+
+TEST(GridUi, SubmissionSerializationIsVisibleInBursts) {
+  // With ui latency L and a burst of n jobs, the k-th job's overhead grows
+  // by ~k*L: check the spread between first and last completions.
+  sim::Simulator sim;
+  GridConfig config = GridConfig::constant(0.0, 4096);
+  config.ui_submission_latency = LatencyModel::constant_of(10.0);
+  Grid grid(sim, config);
+  std::vector<double> completions;
+  for (int i = 0; i < 10; ++i) {
+    grid.submit(job("j", 100.0),
+                [&](const JobRecord& r) { completions.push_back(r.completion_time); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 10u);
+  EXPECT_DOUBLE_EQ(completions.front(), 110.0);   // 1 UI slot + payload
+  EXPECT_DOUBLE_EQ(completions.back(), 200.0);    // 10 serialized UI slots
+}
+
+}  // namespace
+}  // namespace moteur::grid

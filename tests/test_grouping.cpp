@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "app/bronze_standard.hpp"
+#include "util/error.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/grouping.hpp"
+
+namespace moteur::workflow {
+namespace {
+
+/// source -> A -> B -> sink, plus B taking a second input from the source.
+Workflow chain() {
+  Workflow wf("chain");
+  wf.add_source("s");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("B", {"in", "extra"}, {"out"});
+  wf.add_sink("k");
+  wf.link("s", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("s", "out", "B", "extra");  // from an ancestor of A: still groupable
+  wf.link("B", "out", "k", "in");
+  return wf;
+}
+
+TEST(Grouping, QualifyAndSplitPorts) {
+  Processor plain;
+  plain.name = "crestLines";
+  EXPECT_EQ(qualify_port(plain, "c1"), "crestLines/c1");
+  const auto [member, port] = split_grouped_port("crestLines/c1");
+  EXPECT_EQ(member, "crestLines");
+  EXPECT_EQ(port, "c1");
+  EXPECT_THROW(split_grouped_port("noslash"), GraphError);
+}
+
+TEST(Grouping, SequentialChainMerges) {
+  const Workflow wf = chain();
+  EXPECT_TRUE(can_group(wf, "A", "B"));
+
+  GroupingReport report;
+  const Workflow grouped = group_sequential_processors(wf, &report);
+  EXPECT_EQ(report.merges, 1u);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0], (std::vector<std::string>{"A", "B"}));
+
+  const Processor& g = grouped.processor("A+B");
+  EXPECT_TRUE(g.is_grouped());
+  // External ports: A/in (from source), B/extra (from source); B/in became
+  // internal.
+  EXPECT_EQ(g.input_ports, (std::vector<std::string>{"A/in", "B/extra"}));
+  EXPECT_EQ(g.output_ports, (std::vector<std::string>{"A/out", "B/out"}));
+  ASSERT_EQ(g.internal_links.size(), 1u);
+  EXPECT_EQ(g.internal_links[0].from_member, "A");
+  EXPECT_EQ(g.internal_links[0].to_member, "B");
+  EXPECT_NO_THROW(grouped.validate());
+}
+
+TEST(Grouping, InputWorkflowUntouched) {
+  const Workflow wf = chain();
+  group_sequential_processors(wf);
+  EXPECT_TRUE(wf.has_processor("A"));
+  EXPECT_TRUE(wf.has_processor("B"));
+}
+
+TEST(Grouping, RefusesWhenBHasForeignInputs) {
+  // B's second input comes from C, which is NOT an ancestor of A.
+  Workflow wf("w");
+  wf.add_source("s");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("C", {"in"}, {"out"});
+  wf.add_processor("B", {"in", "extra"}, {"out"});
+  wf.add_sink("k");
+  wf.link("s", "out", "A", "in");
+  wf.link("s", "out", "C", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("C", "out", "B", "extra");
+  wf.link("B", "out", "k", "in");
+  EXPECT_FALSE(can_group(wf, "A", "B"));
+  GroupingReport report;
+  group_sequential_processors(wf, &report);
+  EXPECT_EQ(report.merges, 0u);
+}
+
+TEST(Grouping, RefusesWhenADelaysThirdParties) {
+  // A also feeds C, and C is not a descendant of B: grouping would delay C.
+  Workflow wf("w");
+  wf.add_source("s");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("B", {"in"}, {"out"});
+  wf.add_processor("C", {"in"}, {"out"});
+  wf.add_sink("k");
+  wf.add_sink("k2");
+  wf.link("s", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("A", "out", "C", "in");
+  wf.link("B", "out", "k", "in");
+  wf.link("C", "out", "k2", "in");
+  EXPECT_FALSE(can_group(wf, "A", "B"));
+}
+
+TEST(Grouping, RefusesSynchronizationAndCrossAndFeedback) {
+  Workflow wf("w");
+  wf.add_source("s");
+  wf.add_processor("A", {"in"}, {"out"});
+  auto& b = wf.add_processor("B", {"in"}, {"out"});
+  wf.add_sink("k");
+  wf.link("s", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("B", "out", "k", "in");
+
+  b.synchronization = true;
+  EXPECT_FALSE(can_group(wf, "A", "B"));
+  b.synchronization = false;
+  EXPECT_TRUE(can_group(wf, "A", "B"));
+
+  b.iteration = IterationStrategy::kCross;
+  EXPECT_FALSE(can_group(wf, "A", "B"));
+  b.iteration = IterationStrategy::kDot;
+
+  // A feedback link touching B disables grouping.
+  wf.processor("B").output_ports.push_back("loop");
+  wf.processor("B").input_ports.push_back("back");
+  wf.link("B", "loop", "B", "back", /*feedback=*/true);
+  EXPECT_FALSE(can_group(wf, "A", "B"));
+}
+
+TEST(Grouping, BronzeStandardFormsThePaperGroups) {
+  // §3.6: "group the execution of the crestLines and the crestMatch jobs on
+  // the one hand and the PFMatchICP and the PFRegister ones on the other".
+  GroupingReport report;
+  const Workflow grouped =
+      group_sequential_processors(app::bronze_standard_workflow(), &report);
+
+  ASSERT_EQ(report.groups.size(), 2u);
+  std::vector<std::vector<std::string>> groups = report.groups;
+  std::sort(groups.begin(), groups.end());
+  EXPECT_EQ(groups[0], (std::vector<std::string>{"PFMatchICP", "PFRegister"}));
+  EXPECT_EQ(groups[1], (std::vector<std::string>{"crestLines", "crestMatch"}));
+
+  // 6 jobs per pair become 4: the two grouped chains + Yasmina + Baladin.
+  EXPECT_EQ(grouped.services().size(), 5u);  // 4 per-pair + MultiTransfoTest
+  EXPECT_NO_THROW(grouped.validate());
+
+  // Grouping preserves the nominal critical path (grouped nodes weigh their
+  // member count).
+  EXPECT_EQ(critical_path_length(grouped), 5u);
+}
+
+TEST(Grouping, ChainOfThreeCollapsesWhenLegal) {
+  Workflow wf("w");
+  wf.add_source("s");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("B", {"in"}, {"out"});
+  wf.add_processor("C", {"in"}, {"out"});
+  wf.add_sink("k");
+  wf.link("s", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("B", "out", "C", "in");
+  wf.link("C", "out", "k", "in");
+
+  GroupingReport report;
+  const Workflow grouped = group_sequential_processors(wf, &report);
+  EXPECT_EQ(report.merges, 2u);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0], (std::vector<std::string>{"A", "B", "C"}));
+  const Processor& g = grouped.processor("A+B+C");
+  EXPECT_EQ(g.internal_links.size(), 2u);
+  EXPECT_EQ(g.member_service_ids, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(Grouping, ServiceIdsPropagate) {
+  Workflow wf = chain();
+  wf.processor("A").service_id = "svcA";
+  wf.processor("B").service_id = "svcB";
+  const Workflow grouped = group_sequential_processors(wf);
+  EXPECT_EQ(grouped.processor("A+B").member_service_ids,
+            (std::vector<std::string>{"svcA", "svcB"}));
+}
+
+}  // namespace
+}  // namespace moteur::workflow

@@ -1,0 +1,212 @@
+// Cross-module integration: Scufl documents + descriptors + grouping +
+// enactment on the simulated grid, exercising the full public surface the
+// way a downstream application would.
+#include <gtest/gtest.h>
+
+#include "app/bronze_standard.hpp"
+#include "app/experiment.hpp"
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "model/metrics.hpp"
+#include "services/functional_service.hpp"
+#include "services/wrapper_service.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/grouping.hpp"
+#include "workflow/scufl.hpp"
+
+namespace moteur {
+namespace {
+
+TEST(Integration, ScuflDocumentEnactsDirectly) {
+  // A workflow authored as a Scufl document, bound to wrapper services built
+  // from Figure-8-style descriptors, enacted on the simulated grid.
+  const std::string scufl = R"(<workflow name="two-step">
+    <source name="images"/>
+    <processor name="prep" service="prep" iteration="dot">
+      <input name="img"/><output name="out"/>
+    </processor>
+    <processor name="analyze" service="analyze" iteration="dot">
+      <input name="in"/><output name="res"/>
+    </processor>
+    <sink name="results"/>
+    <link from="images" fromPort="out" to="prep" toPort="img"/>
+    <link from="prep" fromPort="out" to="analyze" toPort="in"/>
+    <link from="analyze" fromPort="res" to="results" toPort="in"/>
+  </workflow>)";
+  const workflow::Workflow wf = workflow::from_scufl(scufl);
+
+  const std::string prep_desc = R"(<description>
+    <executable name="prep.sh">
+      <access type="URL"><path value="http://example.org"/></access>
+      <input name="img" option="-i"><access type="GFN"/></input>
+      <output name="out" option="-o"><access type="GFN"/></output>
+    </executable></description>)";
+  const std::string analyze_desc = R"(<description>
+    <executable name="analyze.sh">
+      <access type="URL"><path value="http://example.org"/></access>
+      <input name="in" option="-i"><access type="GFN"/></input>
+      <output name="res" option="-r"><access type="GFN"/></output>
+    </executable></description>)";
+
+  services::ServiceRegistry registry;
+  services::WrapperService::Options options;
+  options.compute_seconds = 60.0;
+  registry.add(std::make_shared<services::WrapperService>(
+      "prep", services::Descriptor::from_xml(prep_desc), options));
+  registry.add(std::make_shared<services::WrapperService>(
+      "analyze", services::Descriptor::from_xml(analyze_desc), options));
+
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(30.0));
+  enactor::SimGridBackend backend(grid);
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+
+  data::InputDataSet ds = data::InputDataSet::from_xml(
+      "<dataset><input name=\"images\">"
+      "<item value=\"gfn://img/a\"/><item value=\"gfn://img/b\"/>"
+      "</input></dataset>");
+
+  const auto result = moteur.run(wf, ds);
+  EXPECT_EQ(result.sink_outputs.at("results").size(), 2u);
+  // nW = 2, nD = 2, T = 90 under DSP -> 180.
+  EXPECT_DOUBLE_EQ(result.makespan(), 180.0);
+}
+
+TEST(Integration, GroupedWrapperChainSubmitsOneJobPerData) {
+  // Two wrapped codes in sequence; with JG the enactor composes their
+  // command lines into a single submission (the Figure-7 mechanism).
+  workflow::Workflow wf("wrap-chain");
+  wf.add_source("data");
+  wf.add_processor("first", {"in"}, {"out"});
+  wf.add_processor("second", {"in"}, {"out"});
+  wf.add_sink("done");
+  wf.link("data", "out", "first", "in");
+  wf.link("first", "out", "second", "in");
+  wf.link("second", "out", "done", "in");
+
+  const auto make_descriptor = [](const std::string& exe) {
+    services::Descriptor d;
+    d.executable_name = exe;
+    d.executable_access = {services::AccessType::kUrl, "http://example.org"};
+    d.inputs.push_back({"in", "-i", services::Access{services::AccessType::kGfn, ""}});
+    d.outputs.push_back({"out", "-o", services::Access{services::AccessType::kGfn, ""}});
+    return d;
+  };
+  services::ServiceRegistry registry;
+  services::WrapperService::Options options;
+  options.compute_seconds = 40.0;
+  registry.add(std::make_shared<services::WrapperService>("first",
+                                                          make_descriptor("one.sh"),
+                                                          options));
+  registry.add(std::make_shared<services::WrapperService>("second",
+                                                          make_descriptor("two.sh"),
+                                                          options));
+
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(600.0));
+  enactor::SimGridBackend backend(grid);
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp_jg());
+
+  data::InputDataSet ds;
+  for (int j = 0; j < 3; ++j) ds.add_item("data", "gfn://d" + std::to_string(j));
+
+  const auto result = moteur.run(wf, ds);
+  EXPECT_EQ(result.grouping.merges, 1u);
+  EXPECT_EQ(result.submissions, 3u);   // one grouped job per data set
+  EXPECT_EQ(result.invocations, 6u);   // both codes still ran per data set
+  // One overhead (600) + both payloads (80) per data, fully parallel.
+  EXPECT_DOUBLE_EQ(result.makespan(), 680.0);
+  EXPECT_EQ(result.sink_outputs.at("done").size(), 3u);
+}
+
+TEST(Integration, JobGroupingHalvesOverheadOnTheChain) {
+  // The headline mechanism of §3.6 measured end to end: a 2-chain pays one
+  // overhead instead of two when grouped.
+  const auto run_chain = [](bool grouped) {
+    workflow::Workflow wf("chain");
+    wf.add_source("s");
+    wf.add_processor("A", {"in"}, {"out"});
+    wf.add_processor("B", {"in"}, {"out"});
+    wf.add_sink("k");
+    wf.link("s", "out", "A", "in");
+    wf.link("A", "out", "B", "in");
+    wf.link("B", "out", "k", "in");
+
+    services::ServiceRegistry registry;
+    registry.add(services::make_simulated_service("A", {"in"}, {"out"},
+                                                  services::JobProfile{50.0}));
+    registry.add(services::make_simulated_service("B", {"in"}, {"out"},
+                                                  services::JobProfile{50.0}));
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::constant(600.0));
+    enactor::SimGridBackend backend(grid);
+    auto policy = enactor::EnactmentPolicy::sp_dp();
+    policy.job_grouping = grouped;
+    enactor::Enactor moteur(backend, registry, policy);
+    data::InputDataSet ds;
+    ds.add_item("s", "d0");
+    return moteur.run(wf, ds).makespan();
+  };
+  EXPECT_DOUBLE_EQ(run_chain(false), 2 * 650.0);
+  EXPECT_DOUBLE_EQ(run_chain(true), 600.0 + 100.0);
+}
+
+TEST(Integration, MetricsPipelineOverExperimentTable) {
+  // Experiment table -> series -> fits -> paper metrics, end to end on a
+  // reduced sweep.
+  app::ExperimentOptions options;
+  options.sizes = {4, 8, 12};
+  options.configurations = {"NOP", "DP", "SP+DP", "SP+DP+JG"};
+  const auto table = app::run_bronze_experiment(options);
+
+  const auto nop = table.series("NOP");
+  const auto dp = table.series("DP");
+  const auto sp_dp = table.series("SP+DP");
+  const auto sp_dp_jg = table.series("SP+DP+JG");
+
+  // DP mainly improves the slope (data scalability)...
+  EXPECT_GT(model::slope_ratio(nop, dp), 1.5);
+  // ...JG mainly improves the y-intercept (system overhead) on top of SP+DP.
+  EXPECT_GT(model::y_intercept_ratio(sp_dp, sp_dp_jg), 1.05);
+  // Speed-ups of the fully optimized configuration are substantial.
+  const auto s = model::speedups(nop, sp_dp_jg);
+  ASSERT_FALSE(s.empty());
+  EXPECT_GT(s.back(), 3.0);
+}
+
+TEST(Integration, BatchingExtensionTradesParallelismForOverhead) {
+  // §5.4 future work: batching several data sets of one service into one
+  // job. With huge overhead and tiny compute, batching 4-into-1 wins.
+  const auto run_batched = [](std::size_t batch) {
+    workflow::Workflow wf("w");
+    wf.add_source("s");
+    wf.add_processor("P", {"in"}, {"out"});
+    wf.add_sink("k");
+    wf.link("s", "out", "P", "in");
+    wf.link("P", "out", "k", "in");
+    services::ServiceRegistry registry;
+    registry.add(services::make_simulated_service("P", {"in"}, {"out"},
+                                                  services::JobProfile{10.0}));
+    sim::Simulator simulator;
+    grid::Grid grid(simulator, grid::GridConfig::constant(600.0));
+    enactor::SimGridBackend backend(grid);
+    auto policy = enactor::EnactmentPolicy::nop();  // sequential baseline
+    policy.batch_size = batch;
+    enactor::Enactor moteur(backend, registry, policy);
+    data::InputDataSet ds;
+    for (int j = 0; j < 4; ++j) ds.add_item("s", "d" + std::to_string(j));
+    const auto result = moteur.run(wf, ds);
+    return std::pair<double, std::size_t>{result.makespan(), result.submissions};
+  };
+  const auto [t1, jobs1] = run_batched(1);
+  const auto [t4, jobs4] = run_batched(4);
+  EXPECT_EQ(jobs1, 4u);
+  EXPECT_EQ(jobs4, 1u);
+  EXPECT_DOUBLE_EQ(t1, 4 * 610.0);
+  EXPECT_DOUBLE_EQ(t4, 600.0 + 40.0);
+}
+
+}  // namespace
+}  // namespace moteur

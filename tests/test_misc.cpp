@@ -1,0 +1,146 @@
+// Remaining odds and ends: the logger, diagram options, timeline queries,
+// dot-rendering of grouped workflows, and the shipped example documents.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "enactor/diagram.hpp"
+#include "enactor/manifest.hpp"
+#include "enactor/timeline.hpp"
+#include "services/catalog.hpp"
+#include "util/log.hpp"
+#include "workflow/scufl.hpp"
+
+namespace moteur {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+TEST(Log, LevelParsingAndNames) {
+  const log::Level original = log::level();
+  EXPECT_TRUE(log::set_level("debug"));
+  EXPECT_EQ(log::level(), log::Level::kDebug);
+  EXPECT_TRUE(log::set_level("OFF"));
+  EXPECT_EQ(log::level(), log::Level::kOff);
+  EXPECT_FALSE(log::set_level("verbose"));
+  EXPECT_EQ(log::level(), log::Level::kOff);  // unchanged on failure
+  EXPECT_STREQ(log::level_name(log::Level::kWarn), "WARN");
+  log::set_level(original);
+}
+
+TEST(Log, MacroRespectsThreshold) {
+  const log::Level original = log::level();
+  log::set_level(log::Level::kOff);
+  // Below threshold: the stream expression must not be evaluated.
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  MOTEUR_LOG(kDebug, "test") << count();
+  EXPECT_EQ(evaluations, 0);
+  log::set_level(original);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline + diagram options
+// ---------------------------------------------------------------------------
+
+enactor::Timeline three_trace_timeline() {
+  enactor::Timeline timeline;
+  for (int i = 0; i < 3; ++i) {
+    enactor::InvocationTrace trace;
+    trace.processor = i == 1 ? "B" : "A";
+    trace.indices = {{static_cast<std::size_t>(i)}};
+    trace.submit_time = i * 10.0;
+    trace.start_time = i * 10.0 + 1.0;
+    trace.end_time = i * 10.0 + 5.0;
+    timeline.add(trace);
+  }
+  return timeline;
+}
+
+TEST(TimelineQueries, MakespanForProcessorOverhead) {
+  const enactor::Timeline timeline = three_trace_timeline();
+  EXPECT_DOUBLE_EQ(timeline.makespan(), 25.0);
+  EXPECT_EQ(timeline.for_processor("A").size(), 2u);
+  EXPECT_EQ(timeline.for_processor("B").size(), 1u);
+  EXPECT_EQ(timeline.for_processor("C").size(), 0u);
+  EXPECT_DOUBLE_EQ(timeline.total_overhead_seconds(), 0.0);  // no job records
+}
+
+TEST(Diagram, AutoColumnWidthFromShortestSpan) {
+  const std::string out = enactor::render_execution_diagram(
+      three_trace_timeline(), {"A", "B"});  // seconds_per_column = 0: derived
+  EXPECT_NE(out.find("D0"), std::string::npos);
+  EXPECT_NE(out.find("(1 column ="), std::string::npos);
+}
+
+TEST(Diagram, TruncationMarksLongTails) {
+  enactor::Timeline timeline;
+  enactor::InvocationTrace trace;
+  trace.processor = "A";
+  trace.submit_time = 0;
+  trace.start_time = 0;
+  trace.end_time = 1.0;
+  timeline.add(trace);
+  trace.submit_time = 1000.0;
+  trace.start_time = 1000.0;
+  trace.end_time = 1001.0;
+  timeline.add(trace);
+  enactor::DiagramOptions options;
+  options.seconds_per_column = 1.0;
+  options.max_columns = 10;
+  const std::string out = enactor::render_execution_diagram(timeline, {"A"}, options);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST(Diagram, EmptyTimeline) {
+  EXPECT_EQ(enactor::render_execution_diagram(enactor::Timeline{}, {"A"}),
+            "(empty timeline)\n");
+}
+
+// ---------------------------------------------------------------------------
+// Shipped example documents stay valid
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The test binary runs from build/tests; documents live in the source tree.
+const char* kDataDir = MOTEUR_EXAMPLES_DATA_DIR;
+
+TEST(ExampleDocuments, QuickstartSetParses) {
+  const auto wf = workflow::from_scufl(
+      read_file(std::string(kDataDir) + "/quickstart_workflow.xml"));
+  EXPECT_EQ(wf.services().size(), 2u);
+  const auto ds = data::InputDataSet::from_xml(
+      read_file(std::string(kDataDir) + "/quickstart_dataset.xml"));
+  EXPECT_EQ(ds.item_count("images"), 4u);
+  services::ServiceRegistry registry;
+  EXPECT_EQ(services::load_catalog(
+                read_file(std::string(kDataDir) + "/quickstart_services.xml"), registry),
+            2u);
+}
+
+TEST(ExampleDocuments, BronzeSetParsesAndMatchesTheBuiltin) {
+  const auto wf = workflow::from_scufl(
+      read_file(std::string(kDataDir) + "/bronze_workflow.xml"));
+  EXPECT_EQ(wf.services().size(), 7u);
+  EXPECT_TRUE(wf.processor("MultiTransfoTest").synchronization);
+  const auto manifest = enactor::RunManifest::from_xml(
+      read_file(std::string(kDataDir) + "/bronze_run.xml"));
+  EXPECT_EQ(manifest.policy.name(), "SP+DP+JG");
+  EXPECT_EQ(manifest.inputs.item_count("referenceImage"), 12u);
+}
+
+}  // namespace
+}  // namespace moteur

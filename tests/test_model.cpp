@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/makespan.hpp"
+#include "model/metrics.hpp"
+#include "model/probabilistic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace moteur::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Equations (1)-(4) under constant times (§3.5.4 closed forms)
+// ---------------------------------------------------------------------------
+
+class ConstantTimes : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ConstantTimes, ClosedFormsHold) {
+  const auto [n_w, n_d] = GetParam();
+  const double t = 7.0;
+  const TimeMatrix times = constant_times(n_w, n_d, t);
+  const double nw = static_cast<double>(n_w), nd = static_cast<double>(n_d);
+
+  EXPECT_DOUBLE_EQ(sigma_sequential(times), nd * nw * t);
+  EXPECT_DOUBLE_EQ(sigma_dp(times), nw * t);
+  EXPECT_DOUBLE_EQ(sigma_sp(times), (nd + nw - 1.0) * t);
+  EXPECT_DOUBLE_EQ(sigma_dsp(times), nw * t);
+}
+
+TEST_P(ConstantTimes, SpeedupsMatchFormulas) {
+  const auto [n_w, n_d] = GetParam();
+  const TimeMatrix times = constant_times(n_w, n_d, 3.0);
+
+  EXPECT_NEAR(sigma_sequential(times) / sigma_dp(times), speedup_dp(n_w, n_d), 1e-12);
+  EXPECT_NEAR(sigma_sp(times) / sigma_dsp(times), speedup_dsp(n_w, n_d), 1e-12);
+  EXPECT_NEAR(sigma_sequential(times) / sigma_sp(times), speedup_sp(n_w, n_d), 1e-12);
+  // S_SDP = Sigma_DP / Sigma_DSP = 1: "service parallelism does not lead to
+  // any speed-up if it is coupled with data parallelism" under constant T.
+  EXPECT_DOUBLE_EQ(sigma_dp(times) / sigma_dsp(times), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConstantTimes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 50},
+                      std::pair<std::size_t, std::size_t>{5, 1},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{5, 12},
+                      std::pair<std::size_t, std::size_t>{5, 126},
+                      std::pair<std::size_t, std::size_t>{10, 10}));
+
+// ---------------------------------------------------------------------------
+// Asymptotic cases of §3.5.4
+// ---------------------------------------------------------------------------
+
+TEST(Asymptotic, MassivelyDataParallel) {
+  // nW = 1: Sigma_DP = Sigma_DSP = max_j, Sigma = Sigma_SP = sum_j.
+  TimeMatrix times{{4.0, 9.0, 2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(sigma_dp(times), 9.0);
+  EXPECT_DOUBLE_EQ(sigma_dsp(times), 9.0);
+  EXPECT_DOUBLE_EQ(sigma_sequential(times), 20.0);
+  EXPECT_DOUBLE_EQ(sigma_sp(times), 20.0);
+}
+
+TEST(Asymptotic, NonDataIntensive) {
+  // nD = 1: every policy collapses to sum_i T_i0.
+  TimeMatrix times{{4.0}, {9.0}, {2.0}};
+  const double expected = 15.0;
+  EXPECT_DOUBLE_EQ(sigma_sequential(times), expected);
+  EXPECT_DOUBLE_EQ(sigma_dp(times), expected);
+  EXPECT_DOUBLE_EQ(sigma_sp(times), expected);
+  EXPECT_DOUBLE_EQ(sigma_dsp(times), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Variable times: the Figure-6 scenario
+// ---------------------------------------------------------------------------
+
+TEST(VariableTimes, ServiceParallelismGainsOnTopOfDataParallelism) {
+  // Figure 6: 3 services x 3 data sets, T = 1 except T[0][0] = 2 (D0
+  // submitted twice) and T[1][1] = 3 (D1 stuck in a queue).
+  TimeMatrix times = constant_times(3, 3, 1.0);
+  times[0][0] = 2.0;
+  times[1][1] = 3.0;
+
+  // Without service parallelism (stage barriers), each stage costs its max.
+  EXPECT_DOUBLE_EQ(sigma_dp(times), 2.0 + 3.0 + 1.0);
+  // With both, pipelines overlap: longest column is D1's 1+3+1 = 5.
+  EXPECT_DOUBLE_EQ(sigma_dsp(times), 5.0);
+  // S_SDP > 1 under variable times — the §3.5.4/§5.2 argument for SP on
+  // production grids.
+  EXPECT_GT(sigma_dp(times) / sigma_dsp(times), 1.0);
+}
+
+TEST(VariableTimes, SpRecurrenceAgainstBruteForce) {
+  // Cross-check the m_ij recurrence against an explicit pipeline schedule:
+  // start(i,j) = max(end(i-1,j), end(i,j-1)).
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n_w = 1 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const std::size_t n_d = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    TimeMatrix times(n_w, std::vector<double>(n_d));
+    for (auto& row : times) {
+      for (auto& t : row) t = rng.uniform(0.5, 10.0);
+    }
+    TimeMatrix end(n_w, std::vector<double>(n_d, 0.0));
+    for (std::size_t i = 0; i < n_w; ++i) {
+      for (std::size_t j = 0; j < n_d; ++j) {
+        const double above = i > 0 ? end[i - 1][j] : 0.0;
+        const double left = j > 0 ? end[i][j - 1] : 0.0;
+        end[i][j] = std::max(above, left) + times[i][j];
+      }
+    }
+    EXPECT_NEAR(sigma_sp(times), end[n_w - 1][n_d - 1], 1e-9);
+  }
+}
+
+TEST(Makespan, ValidationRejectsBadMatrices) {
+  EXPECT_THROW(sigma_dp(TimeMatrix{}), InternalError);
+  EXPECT_THROW(sigma_dp(TimeMatrix{{}}), InternalError);
+  EXPECT_THROW(sigma_dp(TimeMatrix{{1.0}, {1.0, 2.0}}), InternalError);
+  EXPECT_THROW(sigma_dp(TimeMatrix{{-1.0}}), InternalError);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (§5.1)
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, FitAndRatios) {
+  // Paper Table 2 values: NOP y-intercept 20784, slope 884; DP 16328 / 143.
+  Series nop{"NOP", {12, 66, 126}, {}};
+  Series dp{"DP", {12, 66, 126}, {}};
+  for (double n : nop.sizes) nop.times.push_back(20784.0 + 884.0 * n);
+  for (double n : dp.sizes) dp.times.push_back(16328.0 + 143.0 * n);
+
+  EXPECT_NEAR(nop.fit().intercept, 20784.0, 1e-6);
+  EXPECT_NEAR(nop.fit().slope, 884.0, 1e-9);
+  EXPECT_NEAR(slope_ratio(nop, dp), 884.0 / 143.0, 1e-9);     // paper: 6.18
+  EXPECT_NEAR(y_intercept_ratio(nop, dp), 20784.0 / 16328.0, 1e-9);  // paper: 1.27
+
+  const auto s = speedups(nop, dp);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_GT(s[2], s[0]);  // speed-up grows with the input size
+}
+
+TEST(Metrics, RenderFitTableContainsLabels) {
+  Series a{"NOP", {1, 2, 3}, {10, 20, 30}};
+  const std::string table = render_fit_table({a});
+  EXPECT_NE(table.find("NOP"), std::string::npos);
+  EXPECT_NE(table.find("y-intercept"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic extension (§5.4 future work)
+// ---------------------------------------------------------------------------
+
+TEST(Probabilistic, InverseNormalCdf) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+  EXPECT_THROW(inverse_normal_cdf(0.0), InternalError);
+  EXPECT_THROW(inverse_normal_cdf(1.0), InternalError);
+}
+
+TEST(Probabilistic, MonteCarloMatchesConstantCase) {
+  const auto sampler = [](std::size_t, std::size_t) { return 5.0; };
+  const auto est = expected_sigma_dsp(4, 10, sampler, 10);
+  EXPECT_DOUBLE_EQ(est.mean, 20.0);
+  EXPECT_DOUBLE_EQ(est.stddev, 0.0);
+}
+
+TEST(Probabilistic, ClosedFormTracksMonteCarloForDp) {
+  const double mu = std::log(600.0), sigma = 0.5;
+  Rng rng(99);
+  const auto sampler = [&](std::size_t, std::size_t) { return rng.lognormal(mu, sigma); };
+  const auto mc = expected_sigma_dp(5, 30, sampler, 400);
+  const double approx = approx_sigma_dp_lognormal(5, 30, mu, sigma);
+  EXPECT_NEAR(approx / mc.mean, 1.0, 0.12);  // heuristic within ~12%
+}
+
+TEST(Probabilistic, VariabilityMakesSpWorthwhileEvenWithDp) {
+  // E[Sigma_DP] > E[Sigma_DSP] under variable times; equality only at
+  // sigma = 0. This quantifies §5.2's observed S_SDP in [1.9, 2.26].
+  const double mu = std::log(600.0);
+  for (double sigma : {0.0, 0.3, 0.6}) {
+    Rng rng(7);
+    const auto sampler = [&](std::size_t, std::size_t) {
+      return sigma == 0.0 ? 600.0 : rng.lognormal(mu, sigma);
+    };
+    const auto dp = expected_sigma_dp(5, 20, sampler, 300);
+    Rng rng2(7);
+    const auto sampler2 = [&](std::size_t, std::size_t) {
+      return sigma == 0.0 ? 600.0 : rng2.lognormal(mu, sigma);
+    };
+    const auto dsp = expected_sigma_dsp(5, 20, sampler2, 300);
+    if (sigma == 0.0) {
+      EXPECT_NEAR(dp.mean / dsp.mean, 1.0, 1e-12);
+    } else {
+      EXPECT_GT(dp.mean / dsp.mean, 1.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moteur::model

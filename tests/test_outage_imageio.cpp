@@ -1,0 +1,133 @@
+// Site-outage model of the grid and the MOTEURIMG volume file format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "grid/grid.hpp"
+#include "registration/image_io.hpp"
+#include "registration/phantom.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace moteur {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Outages
+// ---------------------------------------------------------------------------
+
+grid::GridConfig one_site_with_outages(double interval, double duration) {
+  grid::GridConfig config = grid::GridConfig::constant(0.0, /*slots=*/2);
+  config.computing_elements[0].outage_mean_interval = interval;
+  config.computing_elements[0].outage_mean_duration = duration;
+  config.computing_elements[0].outage_horizon = 50000.0;
+  return config;
+}
+
+TEST(Outages, DelayQueuedJobs) {
+  // With frequent long outages the same workload takes longer than on a
+  // healthy site.
+  const auto makespan_with = [](double interval) {
+    sim::Simulator sim;
+    grid::Grid grid(sim, interval > 0.0 ? one_site_with_outages(interval, 2000.0)
+                                        : grid::GridConfig::constant(0.0, 2));
+    double last = 0.0;
+    int remaining = 20;
+    for (int i = 0; i < 20; ++i) {
+      sim.schedule(i * 100.0, [&grid, &last, &remaining] {
+        grid.submit(grid::JobRequest{"j", 300.0, 0.0, 0.0},
+                    [&](const grid::JobRecord& r) {
+                      last = std::max(last, r.completion_time);
+                      --remaining;
+                    });
+      });
+    }
+    while (remaining > 0 && sim.step()) {
+    }
+    EXPECT_EQ(remaining, 0);
+    return last;
+  };
+  EXPECT_GT(makespan_with(1500.0), makespan_with(0.0));
+}
+
+TEST(Outages, StopAfterHorizon) {
+  sim::Simulator sim;
+  auto config = one_site_with_outages(500.0, 100.0);
+  config.computing_elements[0].outage_horizon = 2000.0;
+  grid::Grid grid(sim, config);
+  sim.run();  // only outage events are pending; they must terminate
+  EXPECT_LE(sim.now(), 2000.0 + 10 * 100.0 + 1e4);  // horizon + tail drain
+}
+
+TEST(Outages, DisabledByDefault) {
+  sim::Simulator sim;
+  grid::Grid grid(sim, grid::GridConfig::constant(0.0));
+  EXPECT_TRUE(sim.empty());  // no outage events scheduled
+}
+
+// ---------------------------------------------------------------------------
+// Image I/O
+// ---------------------------------------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ImageIo, RoundTripIsLossless) {
+  Rng rng(5);
+  registration::PhantomOptions options;
+  options.size = 12;
+  options.spacing = 1.5;
+  const registration::Image3D image = registration::make_phantom(rng, options);
+
+  const std::string path = temp_path("roundtrip.mimg");
+  registration::save_image(image, path);
+  const registration::Image3D loaded = registration::load_image(path);
+
+  EXPECT_EQ(loaded.nx(), image.nx());
+  EXPECT_EQ(loaded.ny(), image.ny());
+  EXPECT_EQ(loaded.nz(), image.nz());
+  EXPECT_DOUBLE_EQ(loaded.spacing(), image.spacing());
+  EXPECT_EQ(loaded.voxels(), image.voxels());  // bit-exact payload
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, MissingFileThrows) {
+  EXPECT_THROW(registration::load_image("/nonexistent/path.mimg"), Error);
+}
+
+TEST(ImageIo, MalformedHeaderThrows) {
+  const std::string path = temp_path("garbage.mimg");
+  {
+    std::ofstream out(path);
+    out << "NOTANIMAGE 1\n";
+  }
+  EXPECT_THROW(registration::load_image(path), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, TruncatedPayloadThrows) {
+  Rng rng(6);
+  registration::PhantomOptions options;
+  options.size = 8;
+  const registration::Image3D image = registration::make_phantom(rng, options);
+  const std::string path = temp_path("truncated.mimg");
+  registration::save_image(image, path);
+  // Chop the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    contents.resize(contents.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  EXPECT_THROW(registration::load_image(path), ParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace moteur

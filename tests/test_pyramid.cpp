@@ -1,0 +1,103 @@
+// Multiresolution extension: downsampling and coarse-to-fine Yasmina.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "registration/algorithms.hpp"
+#include "registration/phantom.hpp"
+#include "util/rng.hpp"
+
+namespace moteur::registration {
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+
+TEST(Downsample, HalvesDimensionsDoublesSpacing) {
+  Rng rng(3);
+  PhantomOptions options;
+  options.size = 24;
+  options.spacing = 1.0;
+  const Image3D image = make_phantom(rng, options);
+  const Image3D half = image.downsampled();
+  EXPECT_EQ(half.nx(), 12u);
+  EXPECT_EQ(half.ny(), 12u);
+  EXPECT_EQ(half.nz(), 12u);
+  EXPECT_DOUBLE_EQ(half.spacing(), 2.0);
+  // World extent is (approximately) preserved.
+  EXPECT_NEAR(half.extent().x, image.extent().x, 2.0 * image.spacing());
+}
+
+TEST(Downsample, BlockAveragePreservesMeanApproximately) {
+  Rng rng(4);
+  PhantomOptions options;
+  options.size = 16;
+  const Image3D image = make_phantom(rng, options);
+  const Image3D half = image.downsampled();
+  EXPECT_NEAR(half.mean_value(), image.mean_value(), 0.05 * std::fabs(image.mean_value()) + 0.01);
+}
+
+TEST(Downsample, WorldSamplingStaysConsistent) {
+  Rng rng(5);
+  PhantomOptions options;
+  options.size = 32;
+  options.noise_stddev = 0.0;
+  const Image3D image = make_phantom(rng, options);
+  const Image3D half = image.downsampled();
+  // Smooth phantom: interior samples agree between levels.
+  const Vec3 p = image.extent() * 0.5;
+  EXPECT_NEAR(half.sample(p), image.sample(p), 0.1 * std::fabs(image.sample(p)) + 0.02);
+}
+
+TEST(Pyramid, RecoversLargerMotionsThanFlatYasmina) {
+  // A motion outside flat Yasmina's capture range (steps start at 1 mm /
+  // 0.02 rad): the pyramid's coarse level brings it back.
+  Rng rng(6);
+  PhantomOptions options;
+  options.size = 32;
+  options.noise_stddev = 0.005;
+  options.max_rotation_radians = 0.22;   // ~12.6 deg
+  options.max_translation = 6.0;         // mm
+  const Image3D anatomy = make_phantom(rng, options);
+  const ImagePair pair = make_pair(anatomy, rng, "big-motion", options);
+
+  PyramidOptions pyramid;
+  pyramid.levels = 2;
+  pyramid.per_level.max_iterations = 60;
+  const RegistrationResult coarse_to_fine =
+      yasmina_pyramid(pair.reference, pair.floating, RigidTransform::identity(), pyramid);
+  const TransformError pyramid_error =
+      transform_error(coarse_to_fine.transform, pair.truth);
+
+  EXPECT_LT(pyramid_error.translation, 3.0);
+  EXPECT_LT(pyramid_error.rotation_radians / kDeg, 6.5);
+
+  YasminaOptions flat;
+  flat.max_iterations = 40;
+  const RegistrationResult direct =
+      yasmina(pair.reference, pair.floating, RigidTransform::identity(), flat);
+  const TransformError flat_error = transform_error(direct.transform, pair.truth);
+  // The pyramid should do at least as well as (usually much better than)
+  // the flat optimizer on large motions.
+  EXPECT_LE(pyramid_error.translation, flat_error.translation + 0.25);
+}
+
+TEST(Pyramid, ZeroLevelsEqualsFlatYasmina) {
+  Rng rng(7);
+  PhantomOptions options;
+  options.size = 24;
+  const Image3D anatomy = make_phantom(rng, options);
+  const ImagePair pair = make_pair(anatomy, rng, "p", options);
+
+  PyramidOptions pyramid;
+  pyramid.levels = 0;
+  const auto via_pyramid =
+      yasmina_pyramid(pair.reference, pair.floating, RigidTransform::identity(), pyramid);
+  const auto direct = yasmina(pair.reference, pair.floating, RigidTransform::identity(),
+                              pyramid.per_level);
+  const TransformError diff = transform_error(via_pyramid.transform, direct.transform);
+  EXPECT_NEAR(diff.translation, 0.0, 1e-12);
+  EXPECT_NEAR(diff.rotation_radians, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace moteur::registration

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "registration/algorithms.hpp"
+#include "registration/bronze.hpp"
+#include "registration/crest.hpp"
+#include "registration/geometry.hpp"
+#include "registration/image3d.hpp"
+#include "registration/phantom.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace moteur::registration {
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+TEST(Geometry, QuaternionRotatesLikeItsMatrix) {
+  const Quaternion q = Quaternion::from_axis_angle({1, 2, 3}, 0.7);
+  const auto m = q.to_matrix();
+  const Vec3 v{0.3, -1.2, 2.5};
+  const Vec3 by_q = q.rotate(v);
+  const Vec3 by_m{m[0] * v.x + m[1] * v.y + m[2] * v.z,
+                  m[3] * v.x + m[4] * v.y + m[5] * v.z,
+                  m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  EXPECT_NEAR(distance(by_q, by_m), 0.0, 1e-12);
+}
+
+TEST(Geometry, RotationPreservesNorms) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Quaternion q =
+        Quaternion::from_axis_angle({rng.normal(), rng.normal(), rng.normal() + 2.0},
+                                    rng.uniform(-3.0, 3.0));
+    const Vec3 v{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(q.rotate(v).norm(), v.norm(), 1e-9);
+  }
+}
+
+TEST(Geometry, AxisAngleRoundTrip) {
+  const double angle = 0.42;
+  const Quaternion q = Quaternion::from_axis_angle({0, 0, 1}, angle);
+  EXPECT_NEAR(q.angle(), angle, 1e-12);
+  EXPECT_NEAR(rotation_distance(q, Quaternion::identity()), angle, 1e-12);
+}
+
+TEST(Geometry, ComposeAndInverse) {
+  const RigidTransform a{Quaternion::from_axis_angle({0, 1, 0}, 0.3), {1, 2, 3}};
+  const RigidTransform b{Quaternion::from_axis_angle({1, 0, 0}, -0.2), {-4, 0, 2}};
+  const Vec3 p{0.5, -1.0, 2.0};
+  EXPECT_NEAR(distance((a * b).apply(p), a.apply(b.apply(p))), 0.0, 1e-12);
+
+  const RigidTransform identity_like = a * a.inverse();
+  const TransformError err = transform_error(identity_like, RigidTransform::identity());
+  EXPECT_NEAR(err.rotation_radians, 0.0, 1e-9);
+  EXPECT_NEAR(err.translation, 0.0, 1e-9);
+}
+
+TEST(Geometry, QuaternionAverageHandlesSignFlips) {
+  const Quaternion q = Quaternion::from_axis_angle({0, 0, 1}, 0.2);
+  const Quaternion negated{-q.w, -q.x, -q.y, -q.z};  // same rotation
+  const Quaternion mean = average(std::vector<Quaternion>{q, negated, q});
+  EXPECT_NEAR(rotation_distance(mean, q), 0.0, 1e-9);
+}
+
+TEST(Geometry, TransformAverageIsCentroid) {
+  std::vector<RigidTransform> ts;
+  for (double d : {-1.0, 0.0, 1.0}) {
+    ts.push_back({Quaternion::from_axis_angle({0, 0, 1}, 0.1 * d), {d, 2 * d, 0}});
+  }
+  const RigidTransform mean = average(ts);
+  EXPECT_NEAR(mean.translation.norm(), 0.0, 1e-9);
+  EXPECT_NEAR(mean.rotation.angle(), 0.0, 1e-9);
+}
+
+TEST(Geometry, DominantEigenvectorOfDiagonal) {
+  const auto v = dominant_eigenvector_sym4({1, 0, 0, 0,
+                                            0, 5, 0, 0,
+                                            0, 0, 2, 0,
+                                            0, 0, 0, 3});
+  EXPECT_NEAR(std::fabs(v[1]), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Absolute orientation
+// ---------------------------------------------------------------------------
+
+TEST(AbsoluteOrientation, RecoversExactTransform) {
+  Rng rng(7);
+  const RigidTransform truth{Quaternion::from_axis_angle({1, 1, 0}, 12 * kDeg),
+                             {3.0, -2.0, 1.5}};
+  std::vector<Vec3> from, to;
+  for (int i = 0; i < 20; ++i) {
+    const Vec3 p{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    from.push_back(p);
+    to.push_back(truth.apply(p));
+  }
+  const RigidTransform estimated = absolute_orientation(from, to);
+  const TransformError err = transform_error(estimated, truth);
+  EXPECT_LT(err.rotation_radians, 1e-9);
+  EXPECT_LT(err.translation, 1e-9);
+  EXPECT_LT(rms_error(estimated, from, to), 1e-9);
+}
+
+TEST(AbsoluteOrientation, RobustToModerateNoise) {
+  Rng rng(8);
+  const RigidTransform truth{Quaternion::from_axis_angle({0, 1, 0}, 8 * kDeg),
+                             {1.0, 0.5, -2.0}};
+  std::vector<Vec3> from, to;
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    from.push_back(p);
+    to.push_back(truth.apply(p) + Vec3{rng.normal(0, 0.1), rng.normal(0, 0.1),
+                                       rng.normal(0, 0.1)});
+  }
+  const TransformError err = transform_error(absolute_orientation(from, to), truth);
+  EXPECT_LT(err.rotation_radians / kDeg, 0.5);
+  EXPECT_LT(err.translation, 0.1);
+}
+
+TEST(AbsoluteOrientation, RejectsTooFewPoints) {
+  EXPECT_THROW(absolute_orientation({{0, 0, 0}}, {{1, 0, 0}}), InternalError);
+}
+
+// ---------------------------------------------------------------------------
+// Image3D + phantom
+// ---------------------------------------------------------------------------
+
+TEST(Image3DTest, SampleInterpolatesTrilinearly) {
+  Image3D img(4, 4, 4, 1.0);
+  img.at(1, 1, 1) = 10.0f;
+  img.at(2, 1, 1) = 20.0f;
+  EXPECT_NEAR(img.sample({1.5, 1.0, 1.0}), 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(img.sample({-1.0, 0.0, 0.0}), 0.0);  // outside
+}
+
+TEST(Image3DTest, GradientOfLinearRamp) {
+  Image3D img(8, 8, 8, 2.0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        img.at(i, j, k) = static_cast<float>(3.0 * static_cast<double>(i) * 2.0);
+      }
+    }
+  }
+  const Vec3 g = img.gradient(4, 4, 4);
+  EXPECT_NEAR(g.x, 3.0, 1e-6);
+  EXPECT_NEAR(g.y, 0.0, 1e-6);
+}
+
+TEST(Image3DTest, ResampleUnderIdentityIsNearLossless) {
+  Rng rng(3);
+  PhantomOptions opt;
+  opt.size = 24;
+  opt.noise_stddev = 0.0;
+  const Image3D img = make_phantom(rng, opt);
+  const Image3D same = img.resampled(RigidTransform::identity());
+  EXPECT_GT(normalized_cross_correlation(img, same), 0.999);
+}
+
+TEST(Phantom, PairFloatingMatchesResampledTruth) {
+  Rng rng(4);
+  PhantomOptions opt;
+  opt.size = 24;
+  opt.noise_stddev = 0.0;
+  const Image3D anatomy = make_phantom(rng, opt);
+  const ImagePair pair = make_pair(anatomy, rng, "p", opt);
+  // floating == anatomy resampled by truth (no noise configured).
+  const Image3D expected = anatomy.resampled(pair.truth);
+  EXPECT_GT(normalized_cross_correlation(pair.floating, expected), 0.999);
+}
+
+TEST(Phantom, DatabaseIsDeterministicPerSeed) {
+  PhantomOptions opt;
+  opt.size = 16;
+  const auto a = make_database(5, 2, 2, opt);
+  const auto b = make_database(5, 2, 2, opt);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[3].truth.translation.x, b[3].truth.translation.x);
+  EXPECT_EQ(a[1].reference.voxels(), b[1].reference.voxels());
+}
+
+// ---------------------------------------------------------------------------
+// Crest extraction + full registration algorithms
+// ---------------------------------------------------------------------------
+
+class RegistrationPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(11);
+    PhantomOptions opt;
+    opt.size = 32;
+    opt.noise_stddev = 0.01;
+    opt.max_rotation_radians = 0.12;
+    opt.max_translation = 2.5;
+    anatomy_ = new Image3D(make_phantom(rng, opt));
+    pair_ = new ImagePair(make_pair(*anatomy_, rng, "test", opt));
+  }
+  static void TearDownTestSuite() {
+    delete anatomy_;
+    delete pair_;
+    anatomy_ = nullptr;
+    pair_ = nullptr;
+  }
+
+  static Image3D* anatomy_;
+  static ImagePair* pair_;
+};
+
+Image3D* RegistrationPipeline::anatomy_ = nullptr;
+ImagePair* RegistrationPipeline::pair_ = nullptr;
+
+TEST_F(RegistrationPipeline, CrestPointsAreSalientAndBounded) {
+  CrestOptions options;
+  options.max_points = 120;
+  const CrestPoints points = extract_crest_points(pair_->reference, options);
+  EXPECT_GE(points.size(), 20u);
+  EXPECT_LE(points.size(), 120u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i - 1].saliency, points[i].saliency);  // sorted
+  }
+}
+
+TEST_F(RegistrationPipeline, CrestMatchRecoversCoarseTransform) {
+  const CrestPoints ref = extract_crest_points(pair_->reference);
+  const CrestPoints flo = extract_crest_points(pair_->floating);
+  const RegistrationResult result = crest_match(ref, flo);
+  const TransformError err = transform_error(result.transform, pair_->truth);
+  EXPECT_LT(err.rotation_radians / kDeg, 6.0);
+  EXPECT_LT(err.translation, 3.0);
+}
+
+TEST_F(RegistrationPipeline, IcpRefinesCrestMatch) {
+  const CrestPoints ref = extract_crest_points(pair_->reference);
+  const CrestPoints flo = extract_crest_points(pair_->floating);
+  const RegistrationResult init = crest_match(ref, flo);
+  const RegistrationResult refined =
+      icp(positions(ref), positions(flo), init.transform);
+  const TransformError before = transform_error(init.transform, pair_->truth);
+  const TransformError after = transform_error(refined.transform, pair_->truth);
+  EXPECT_LE(after.translation, before.translation + 0.5);
+  EXPECT_LT(after.rotation_radians / kDeg, 5.0);
+}
+
+TEST_F(RegistrationPipeline, BaladinConvergesFromCoarseInit) {
+  const RegistrationResult result =
+      baladin(pair_->reference, pair_->floating, RigidTransform::identity());
+  const TransformError err = transform_error(result.transform, pair_->truth);
+  EXPECT_LT(err.rotation_radians / kDeg, 4.0);
+  EXPECT_LT(err.translation, 2.0);
+}
+
+TEST_F(RegistrationPipeline, YasminaImprovesSimilarity) {
+  YasminaOptions options;
+  options.max_iterations = 40;
+  const RegistrationResult result =
+      yasmina(pair_->reference, pair_->floating, RigidTransform::identity(), options);
+  const TransformError err = transform_error(result.transform, pair_->truth);
+  EXPECT_LT(err.translation, 2.5);
+  EXPECT_LT(result.residual, 0.2);  // final 1 - NCC is small
+}
+
+// ---------------------------------------------------------------------------
+// Bronze standard statistics
+// ---------------------------------------------------------------------------
+
+TEST(BronzeStandard, MeanIsMorePreciseThanAnyAlgorithm) {
+  // Synthetic check of the §4.2 claim: four noisy estimators around a known
+  // truth; the bronze standard (mean) lands closer than the estimators.
+  Rng rng(21);
+  const std::size_t pairs = 40;
+  std::vector<RigidTransform> truths;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    truths.push_back({Quaternion::from_axis_angle(
+                          {rng.normal(), rng.normal(), rng.normal() + 1.5},
+                          rng.uniform(-0.2, 0.2)),
+                      {rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)}});
+  }
+  std::vector<AlgorithmEstimates> estimates;
+  for (int a = 0; a < 4; ++a) {
+    AlgorithmEstimates alg;
+    alg.algorithm = "alg" + std::to_string(a);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const RigidTransform noise{
+          Quaternion::from_axis_angle({rng.normal(), rng.normal(), rng.normal() + 1.0},
+                                      rng.normal(0.0, 1.5 * kDeg)),
+          {rng.normal(0, 0.4), rng.normal(0, 0.4), rng.normal(0, 0.4)}};
+      alg.per_pair.push_back(noise * truths[p]);
+    }
+    estimates.push_back(std::move(alg));
+  }
+
+  const BronzeResult bronze = evaluate_bronze_standard(estimates);
+  ASSERT_EQ(bronze.bronze_standard.size(), pairs);
+  ASSERT_EQ(bronze.accuracies.size(), 4u);
+
+  RunningStats bronze_err;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    bronze_err.add(transform_error(bronze.bronze_standard[p], truths[p]).translation);
+  }
+  const auto truth_acc = evaluate_against_truth(estimates, truths);
+  for (const auto& acc : truth_acc) {
+    EXPECT_LT(bronze_err.mean(), acc.translation_mean);
+  }
+}
+
+TEST(BronzeStandard, DetectsTheWorstAlgorithm) {
+  Rng rng(22);
+  const std::size_t pairs = 30;
+  std::vector<AlgorithmEstimates> estimates(4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    estimates[a].algorithm = "alg" + std::to_string(a);
+    const double sigma = a == 2 ? 2.0 : 0.3;  // alg2 is much noisier
+    for (std::size_t p = 0; p < pairs; ++p) {
+      estimates[a].per_pair.push_back(
+          {Quaternion::from_axis_angle({0, 0, 1}, rng.normal(0, sigma * kDeg)),
+           {rng.normal(0, sigma), rng.normal(0, sigma), rng.normal(0, sigma)}});
+    }
+  }
+  const BronzeResult bronze = evaluate_bronze_standard(estimates);
+  EXPECT_GT(bronze.accuracies[2].translation_mean,
+            2.0 * bronze.accuracies[0].translation_mean);
+  EXPECT_GT(bronze.accuracies[2].rotation_mean_degrees,
+            bronze.accuracies[0].rotation_mean_degrees);
+}
+
+TEST(BronzeStandard, RejectsDegenerateInputs) {
+  EXPECT_THROW(evaluate_bronze_standard({}), InternalError);
+  AlgorithmEstimates a{"a", {RigidTransform::identity()}};
+  AlgorithmEstimates b{"b", {}};
+  EXPECT_THROW(evaluate_bronze_standard({a, b}), InternalError);
+}
+
+}  // namespace
+}  // namespace moteur::registration

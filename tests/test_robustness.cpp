@@ -1,0 +1,193 @@
+// Robustness: XML mutation fuzzing (never crashes, always parses or throws
+// ParseError), threaded-backend stress (no lost or duplicated results under
+// heavy concurrency), and single-host service concurrency limits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/scufl.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XML fuzzing
+// ---------------------------------------------------------------------------
+
+const char* kSeedDocument = R"(<workflow name="bronzeStandard">
+  <source name="referenceImage"/>
+  <processor name="crestLines" service="crestLines" iteration="dot">
+    <input name="im1"/><input name="im2"/><output name="c1"/>
+  </processor>
+  <sink name="out"/>
+  <link from="referenceImage" fromPort="out" to="crestLines" toPort="im1"/>
+</workflow>)";
+
+std::string mutate(const std::string& input, Rng& rng) {
+  std::string out = input;
+  const int mutations = 1 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int m = 0; m < mutations; ++m) {
+    if (out.empty()) break;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip a character
+        out[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a span
+        out.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+        break;
+      case 2: {  // duplicate a span
+        const auto len = std::min<std::size_t>(
+            static_cast<std::size_t>(rng.uniform_int(1, 12)), out.size() - pos);
+        out.insert(pos, out.substr(pos, len));
+        break;
+      }
+      default:  // inject a hostile token
+        out.insert(pos, rng.bernoulli(0.5) ? "<" : "&#x41;&bogus;");
+        break;
+    }
+  }
+  return out;
+}
+
+class XmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzz, MutatedDocumentsParseOrThrowCleanly) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = mutate(kSeedDocument, rng);
+    try {
+      const xml::Document doc = xml::parse(mutated);
+      // If it parsed, serialization must re-parse (idempotent surface).
+      EXPECT_NO_THROW(xml::parse(doc.to_string()));
+    } catch (const ParseError&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST_P(XmlFuzz, MutatedWorkflowsNeverCrashTheScuflReader) {
+  Rng rng(GetParam() * 977 + 5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = mutate(kSeedDocument, rng);
+    try {
+      workflow::from_scufl(mutated);
+    } catch (const Error&) {
+      // ParseError or GraphError: both acceptable, crashes are not.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Threaded backend stress
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedStress, HundredsOfTuplesThroughPipelines) {
+  // 3-service chain, 300 items, 8 worker threads: every result must arrive
+  // exactly once with the right value.
+  services::ServiceRegistry registry;
+  for (int s = 0; s < 3; ++s) {
+    registry.add(std::make_shared<services::FunctionalService>(
+        "P" + std::to_string(s), std::vector<std::string>{"in"},
+        std::vector<std::string>{"out"},
+        [](const services::Inputs& in) {
+          const int v = in.at("in").holds<int>()
+                            ? in.at("in").as<int>()
+                            : std::stoi(in.at("in").as<std::string>());
+          services::Result r;
+          r.outputs["out"] = services::OutputValue{v + 1, std::to_string(v + 1)};
+          return r;
+        }));
+  }
+  data::InputDataSet ds;
+  constexpr int kItems = 300;
+  for (int j = 0; j < kItems; ++j) ds.add_item("src", std::to_string(j));
+
+  enactor::ThreadedBackend backend(8);
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(workflow::make_chain(3), ds);
+
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.invocations, 3u * kItems);
+  const auto& tokens = result.sink_outputs.at("sink");
+  ASSERT_EQ(tokens.size(), static_cast<std::size_t>(kItems));
+  for (int j = 0; j < kItems; ++j) {
+    EXPECT_EQ(tokens[static_cast<std::size_t>(j)].as<int>(), j + 3);
+  }
+}
+
+TEST(ThreadedStress, ConcurrentInvocationsOfOneServiceAreThreadSafe) {
+  // A service mutating shared state under its own lock: invocation count
+  // must be exact under DP.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  services::ServiceRegistry registry;
+  registry.add(std::make_shared<services::FunctionalService>(
+      "P0", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [counter](const services::Inputs&) {
+        counter->fetch_add(1);
+        services::Result r;
+        r.outputs["out"] = services::OutputValue{1, "1"};
+        return r;
+      }));
+  data::InputDataSet ds;
+  for (int j = 0; j < 200; ++j) ds.add_item("src", std::to_string(j));
+  enactor::ThreadedBackend backend(8);
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(workflow::make_chain(1), ds);
+  EXPECT_EQ(counter->load(), 200);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-host service concurrency limits (§3.3)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceCapacity, LimitsDataParallelismPerService) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  auto service = services::make_simulated_service("P0", {"in"}, {"out"},
+                                                  services::JobProfile{100.0});
+  service->set_max_concurrent_invocations(2);  // a 2-connection legacy host
+  registry.add(service);
+
+  data::InputDataSet ds;
+  for (int j = 0; j < 6; ++j) ds.add_item("src", "d" + std::to_string(j));
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  const auto result = moteur.run(workflow::make_chain(1), ds);
+  // 6 jobs of 100 s with per-service concurrency 2: three waves.
+  EXPECT_DOUBLE_EQ(result.makespan(), 300.0);
+}
+
+TEST(ServiceCapacity, UnlimitedByDefault) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(0.0));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                services::JobProfile{100.0}));
+  data::InputDataSet ds;
+  for (int j = 0; j < 6; ++j) ds.add_item("src", "d" + std::to_string(j));
+  enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
+  EXPECT_DOUBLE_EQ(moteur.run(workflow::make_chain(1), ds).makespan(), 100.0);
+}
+
+}  // namespace
+}  // namespace moteur

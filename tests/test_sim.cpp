@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace moteur::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  double inner_time = -1;
+  sim.schedule(1.0, [&] {
+    sim.schedule(2.0, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_time, 3.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&] { ++count; });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), InternalError);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), InternalError);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(Resource, GrantsUpToCapacityImmediately) {
+  Simulator sim;
+  Resource res(sim, 2);
+  int granted = 0;
+  res.acquire([&] { ++granted; });
+  res.acquire([&] { ++granted; });
+  res.acquire([&] { ++granted; });  // queued
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(res.in_use(), 2u);
+  EXPECT_EQ(res.queue_length(), 1u);
+}
+
+TEST(Resource, ReleaseHandsSlotToOldestWaiterFifo) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  res.acquire([&] { order.push_back(0); });
+  res.acquire([&] { order.push_back(1); });
+  res.acquire([&] { order.push_back(2); });
+  res.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  res.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  res.release();
+  EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(Resource, ReleaseWithoutAcquireThrows) {
+  Simulator sim;
+  Resource res(sim, 1);
+  EXPECT_THROW(res.release(), InternalError);
+}
+
+TEST(Resource, SimulatesQueueingDelay) {
+  // Two 10-second holders on a 1-slot resource: second starts at t=10.
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<double> start_times;
+  for (int i = 0; i < 2; ++i) {
+    res.acquire([&] {
+      start_times.push_back(sim.now());
+      sim.schedule(10.0, [&] { res.release(); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(start_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(start_times[1], 10.0);
+}
+
+}  // namespace
+}  // namespace moteur::sim

@@ -1,0 +1,110 @@
+// Speculative resubmission against the heavy latency tail: a clone races
+// the original after a timeout, the first finisher wins, results are
+// delivered exactly once.
+#include <gtest/gtest.h>
+
+#include "grid/grid.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace moteur::grid {
+namespace {
+
+GridConfig tail_heavy_grid(std::uint64_t seed = 17) {
+  auto config = GridConfig::egee2006(seed);
+  config.failure_probability = 0.0;
+  config.background_jobs_per_hour = 0.0;
+  // Exaggerate the tail so stragglers dominate.
+  config.queueing_latency = LatencyModel::lognormal_mixture(120.0, 0.3, 0.15, 30.0);
+  return config;
+}
+
+TEST(Speculative, DisabledByDefaultNoExtraAttempts) {
+  sim::Simulator sim;
+  Grid grid(sim, tail_heavy_grid());
+  int completions = 0;
+  int attempts = -1;
+  for (int i = 0; i < 40; ++i) {
+    grid.submit(JobRequest{"j", 60.0, 0.0, 0.0}, [&](const JobRecord& r) {
+      ++completions;
+      attempts = std::max(attempts, r.attempts);
+    });
+  }
+  while (completions < 40 && sim.step()) {
+  }
+  EXPECT_EQ(completions, 40);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(Speculative, CallbackFiresExactlyOncePerJob) {
+  sim::Simulator sim;
+  auto config = tail_heavy_grid();
+  config.speculative_timeout_seconds = 400.0;
+  config.speculative_max_clones = 2;
+  config.max_attempts = 5;
+  Grid grid(sim, config);
+  std::vector<int> fired(60, 0);
+  int completions = 0;
+  for (int i = 0; i < 60; ++i) {
+    grid.submit(JobRequest{"j" + std::to_string(i), 60.0, 0.0, 0.0},
+                [&fired, &completions, i](const JobRecord& r) {
+                  EXPECT_EQ(r.state, JobState::kDone);
+                  ++fired[static_cast<std::size_t>(i)];
+                  ++completions;
+                });
+  }
+  while (completions < 60 && sim.step()) {
+  }
+  sim.run();  // drain losing clones; they must not re-fire callbacks
+  for (int count : fired) EXPECT_EQ(count, 1);
+  EXPECT_EQ(grid.stats().done, 60u);
+}
+
+TEST(Speculative, CutsTheTailOfTheCompletionDistribution) {
+  const auto percentile95 = [](double timeout) {
+    sim::Simulator sim;
+    auto config = tail_heavy_grid(23);
+    config.speculative_timeout_seconds = timeout;
+    config.speculative_max_clones = 1;
+    Grid grid(sim, config);
+    std::vector<double> totals;
+    int remaining = 150;
+    for (int i = 0; i < 150; ++i) {
+      sim.schedule(60.0 * i, [&grid, &totals, &remaining] {
+        grid.submit(JobRequest{"j", 60.0, 0.0, 0.0}, [&](const JobRecord& r) {
+          totals.push_back(r.total_seconds());
+          --remaining;
+        });
+      });
+    }
+    while (remaining > 0 && sim.step()) {
+    }
+    return percentile(totals, 95.0);
+  };
+  const double without = percentile95(0.0);
+  const double with = percentile95(600.0);
+  // The straggler tail (factor-30 queueing) collapses toward ~timeout + body.
+  EXPECT_LT(with, 0.6 * without);
+}
+
+TEST(Speculative, RespectsMaxAttemptsBudget) {
+  sim::Simulator sim;
+  auto config = tail_heavy_grid();
+  config.speculative_timeout_seconds = 10.0;  // aggressive
+  config.speculative_max_clones = 10;
+  config.max_attempts = 3;  // but only 3 attempts allowed in total
+  Grid grid(sim, config);
+  JobRecord record;
+  bool done = false;
+  grid.submit(JobRequest{"j", 60.0, 0.0, 0.0}, [&](const JobRecord& r) {
+    record = r;
+    done = true;
+  });
+  while (!done && sim.step()) {
+  }
+  sim.run();
+  EXPECT_LE(record.attempts, 3);
+}
+
+}  // namespace
+}  // namespace moteur::grid

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "app/bronze_standard.hpp"
+#include "grid/grid.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "task/dagman.hpp"
+#include "task/expansion.hpp"
+#include "task/task_graph.hpp"
+#include "util/error.hpp"
+
+namespace moteur::task {
+namespace {
+
+TEST(TaskGraph, BuildAndValidate) {
+  TaskGraph graph;
+  graph.add_task({"a", {"a", 10.0, 0, 0}, {}});
+  graph.add_task({"b", {"b", 10.0, 0, 0}, {"a"}});
+  graph.add_task({"c", {"c", 10.0, 0, 0}, {"a"}});
+  graph.add_task({"d", {"d", 10.0, 0, 0}, {"b", "c"}});
+  EXPECT_NO_THROW(graph.validate());
+  EXPECT_EQ(graph.size(), 4u);
+  EXPECT_EQ(graph.children("a").size(), 2u);
+  const auto order = graph.topological_order();
+  EXPECT_EQ(order.front(), "a");
+  EXPECT_EQ(order.back(), "d");
+}
+
+TEST(TaskGraph, RejectsDuplicatesUnknownDepsAndCycles) {
+  TaskGraph graph;
+  graph.add_task({"a", {}, {}});
+  EXPECT_THROW(graph.add_task({"a", {}, {}}), GraphError);
+  graph.add_task({"b", {}, {"ghost"}});
+  EXPECT_THROW(graph.validate(), GraphError);
+
+  TaskGraph cyclic;
+  cyclic.add_task({"x", {}, {"y"}});
+  cyclic.add_task({"y", {}, {"x"}});
+  EXPECT_THROW(cyclic.validate(), GraphError);
+}
+
+// ---------------------------------------------------------------------------
+// Static expansion of service workflows (§2.2)
+// ---------------------------------------------------------------------------
+
+workflow::Workflow dot_chain() {
+  workflow::Workflow wf("w");
+  wf.add_source("src");
+  wf.add_processor("A", {"in"}, {"out"});
+  wf.add_processor("B", {"in"}, {"out"});
+  wf.add_sink("k");
+  wf.link("src", "out", "A", "in");
+  wf.link("A", "out", "B", "in");
+  wf.link("B", "out", "k", "in");
+  return wf;
+}
+
+data::InputDataSet items(const std::string& name, std::size_t n) {
+  data::InputDataSet ds;
+  for (std::size_t j = 0; j < n; ++j) ds.add_item(name, "i" + std::to_string(j));
+  return ds;
+}
+
+void register_unit_services(services::ServiceRegistry& registry,
+                            std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    registry.add(services::make_simulated_service(name, {"in"}, {"out"},
+                                                  services::JobProfile{10.0}));
+  }
+}
+
+TEST(Expansion, ReplicatesGraphPerInputData) {
+  services::ServiceRegistry registry;
+  register_unit_services(registry, {"A", "B"});
+  const TaskGraph graph = expand(dot_chain(), items("src", 5), registry);
+  EXPECT_EQ(graph.size(), 10u);  // 2 services x 5 data
+  EXPECT_TRUE(graph.has_task("A(3)"));
+  EXPECT_TRUE(graph.has_task("B(3)"));
+  EXPECT_EQ(graph.task("B(3)").dependencies, (std::vector<std::string>{"A(3)"}));
+}
+
+TEST(Expansion, CrossProductMultipliesTasks) {
+  workflow::Workflow wf("cross");
+  wf.add_source("a");
+  wf.add_source("b");
+  wf.add_processor("X", {"p", "q"}, {"out"}, workflow::IterationStrategy::kCross);
+  wf.add_sink("k");
+  wf.link("a", "out", "X", "p");
+  wf.link("b", "out", "X", "q");
+  wf.link("X", "out", "k", "in");
+
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("X", {"p", "q"}, {"out"},
+                                                services::JobProfile{10.0}));
+  data::InputDataSet ds;
+  for (std::size_t j = 0; j < 4; ++j) ds.add_item("a", "a" + std::to_string(j));
+  for (std::size_t j = 0; j < 6; ++j) ds.add_item("b", "b" + std::to_string(j));
+
+  const TaskGraph graph = expand(wf, ds, registry);
+  EXPECT_EQ(graph.size(), 24u);  // 4 x 6 combinations
+  EXPECT_EQ(expansion_size(wf, ds), 24u);
+}
+
+TEST(Expansion, ChainedCrossProductsExplodeCombinatorially) {
+  // "chaining cross products just makes the application workflow
+  // representation intractable even for a limited number (tens) of input
+  // data" (§2.2): three chained cross stages over 30-item sources.
+  workflow::Workflow wf("explode");
+  wf.add_source("s0");
+  wf.add_source("s1");
+  wf.add_source("s2");
+  wf.add_source("s3");
+  wf.add_processor("X1", {"p", "q"}, {"out"}, workflow::IterationStrategy::kCross);
+  wf.add_processor("X2", {"p", "q"}, {"out"}, workflow::IterationStrategy::kCross);
+  wf.add_processor("X3", {"p", "q"}, {"out"}, workflow::IterationStrategy::kCross);
+  wf.add_sink("k");
+  wf.link("s0", "out", "X1", "p");
+  wf.link("s1", "out", "X1", "q");
+  wf.link("X1", "out", "X2", "p");
+  wf.link("s2", "out", "X2", "q");
+  wf.link("X2", "out", "X3", "p");
+  wf.link("s3", "out", "X3", "q");
+  wf.link("X3", "out", "k", "in");
+
+  data::InputDataSet ds;
+  for (const char* s : {"s0", "s1", "s2", "s3"}) {
+    for (std::size_t j = 0; j < 30; ++j) ds.add_item(s, std::to_string(j));
+  }
+  // 900 + 27000 + 810000 static tasks from thirty input items.
+  EXPECT_EQ(expansion_size(wf, ds), 900u + 27000u + 810000u);
+}
+
+TEST(Expansion, SynchronizationBecomesSingleGatedTask) {
+  workflow::Workflow wf = dot_chain();
+  wf.processor("B").synchronization = true;
+  services::ServiceRegistry registry;
+  register_unit_services(registry, {"A", "B"});
+  const TaskGraph graph = expand(wf, items("src", 4), registry);
+  EXPECT_EQ(graph.size(), 5u);  // 4 A tasks + 1 barrier task
+  EXPECT_EQ(graph.task("B()").dependencies.size(), 4u);
+}
+
+TEST(Expansion, RefusesLoops) {
+  // "Composing such optimization loop would not be possible" (§2.1).
+  workflow::Workflow wf("loop");
+  wf.add_source("s");
+  wf.add_processor("P", {"in"}, {"out", "back"});
+  wf.add_sink("k");
+  wf.link("s", "out", "P", "in");
+  wf.link("P", "back", "P", "in", /*feedback=*/true);
+  wf.link("P", "out", "k", "in");
+
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("P", {"in"}, {"out", "back"},
+                                                services::JobProfile{1.0}));
+  EXPECT_THROW(expand(wf, items("s", 1), registry), GraphError);
+  EXPECT_THROW(expansion_size(wf, items("s", 1)), GraphError);
+}
+
+TEST(Expansion, BronzeStandardTaskCountsMatchPaper) {
+  services::ServiceRegistry registry;
+  app::register_simulated_services(registry);
+  for (const std::size_t n : {12u, 66u, 126u}) {
+    const auto ds = app::bronze_standard_dataset(n);
+    const auto wf = app::bronze_standard_workflow();
+    EXPECT_EQ(expansion_size(wf, ds), 6 * n + 1);  // paper: 72/396/756 jobs
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DAGMan executor
+// ---------------------------------------------------------------------------
+
+TEST(Dagman, RunsWholeDagRespectingDependencies) {
+  sim::Simulator sim;
+  grid::Grid grid(sim, grid::GridConfig::constant(5.0));
+  services::ServiceRegistry registry;
+  register_unit_services(registry, {"A", "B"});
+  const TaskGraph graph = expand(dot_chain(), items("src", 3), registry);
+
+  const DagRunResult result = run_dag(graph, grid);
+  EXPECT_EQ(result.tasks_done, 6u);
+  EXPECT_EQ(result.tasks_failed, 0u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const std::string a = "A(" + std::to_string(j) + ")";
+    const std::string b = "B(" + std::to_string(j) + ")";
+    EXPECT_LT(result.completion_times.at(a), result.completion_times.at(b));
+  }
+  // Full parallelism across data: makespan = 2 stages x (5 + 10).
+  EXPECT_DOUBLE_EQ(result.makespan, 30.0);
+}
+
+TEST(Dagman, EquivalentToServiceDspOnSimpleFlows) {
+  // On a loop-free dot workflow the task-based run equals the service-based
+  // run under DP+SP: both expose exactly the same parallelism (§3.3-3.4).
+  sim::Simulator sim;
+  grid::Grid grid(sim, grid::GridConfig::constant(100.0));
+  services::ServiceRegistry registry;
+  register_unit_services(registry, {"A", "B"});
+  const DagRunResult dag = run_dag(expand(dot_chain(), items("src", 8), registry), grid);
+  // Service run: nW = 2, nD = 8, T = 110 -> Sigma_DSP = 220.
+  EXPECT_DOUBLE_EQ(dag.makespan, 220.0);
+}
+
+TEST(Dagman, SkipsDescendantsOfFailedTasks) {
+  sim::Simulator sim;
+  auto config = grid::GridConfig::egee2006(1);
+  config.failure_probability = 1.0;
+  config.max_attempts = 1;
+  config.background_jobs_per_hour = 0.0;
+  grid::Grid grid(sim, config);
+
+  TaskGraph graph;
+  graph.add_task({"root", {"root", 10.0, 0, 0}, {}});
+  graph.add_task({"child", {"child", 10.0, 0, 0}, {"root"}});
+  const DagRunResult result = run_dag(graph, grid);
+  EXPECT_EQ(result.tasks_done, 0u);
+  EXPECT_EQ(result.tasks_failed, 1u);  // child never submitted
+}
+
+}  // namespace
+}  // namespace moteur::task

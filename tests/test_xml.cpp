@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xml/xml.hpp"
+
+namespace moteur::xml {
+namespace {
+
+TEST(XmlParse, SimpleElement) {
+  const Document doc = parse("<root/>");
+  EXPECT_EQ(doc.root().name(), "root");
+  EXPECT_TRUE(doc.root().children().empty());
+}
+
+TEST(XmlParse, AttributesBothQuoteStyles) {
+  const Document doc = parse(R"(<a x="1" y='two'/>)");
+  EXPECT_EQ(doc.root().attribute("x"), "1");
+  EXPECT_EQ(doc.root().attribute("y"), "two");
+  EXPECT_FALSE(doc.root().attribute("z").has_value());
+}
+
+TEST(XmlParse, NestedChildrenAndText) {
+  const Document doc = parse("<a><b>hello</b><b>world</b><c/></a>");
+  EXPECT_EQ(doc.root().children().size(), 3u);
+  const auto bs = doc.root().children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->text(), "hello");
+  EXPECT_EQ(bs[1]->text(), "world");
+  EXPECT_NE(doc.root().child("c"), nullptr);
+}
+
+TEST(XmlParse, DeclarationCommentsAndDoctypeSkipped) {
+  const Document doc = parse(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE x>\n<!-- comment -->\n"
+      "<root><!-- inner --><child/></root>");
+  EXPECT_EQ(doc.root().name(), "root");
+  EXPECT_EQ(doc.root().children().size(), 1u);
+}
+
+TEST(XmlParse, Entities) {
+  const Document doc = parse("<a attr=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;</a>");
+  EXPECT_EQ(doc.root().attribute("attr"), "<&>");
+  EXPECT_EQ(doc.root().text(), "\"x' A");
+}
+
+TEST(XmlParse, Cdata) {
+  const Document doc = parse("<a><![CDATA[<not-parsed/> & raw]]></a>");
+  EXPECT_EQ(doc.root().text(), "<not-parsed/> & raw");
+}
+
+TEST(XmlParse, RejectsMalformed) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);      // mismatched tags
+  EXPECT_THROW(parse("<a"), ParseError);                  // truncated
+  EXPECT_THROW(parse("<a x=1/>"), ParseError);            // unquoted attribute
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), ParseError);  // duplicate attribute
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);            // two roots
+  EXPECT_THROW(parse("<a>&unknown;</a>"), ParseError);    // bad entity
+  EXPECT_THROW(parse(""), ParseError);                    // empty
+}
+
+TEST(XmlParse, ErrorsCarryLineNumbers) {
+  try {
+    parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(XmlRoundTrip, PreservesStructure) {
+  const std::string input =
+      "<description><executable name=\"CrestLines.pl\">"
+      "<access type=\"URL\"><path value=\"http://colors.unice.fr\"/></access>"
+      "<input name=\"floating_image\" option=\"-im1\"><access type=\"GFN\"/></input>"
+      "</executable></description>";
+  const Document doc = parse(input);
+  const Document again = parse(doc.to_string());
+  const Node& exe = again.root().required_child("executable");
+  EXPECT_EQ(exe.attribute("name"), "CrestLines.pl");
+  EXPECT_EQ(exe.required_child("access").attribute("type"), "URL");
+  EXPECT_EQ(exe.required_child("input").attribute("option"), "-im1");
+}
+
+TEST(XmlRoundTrip, EscapingSurvives) {
+  auto root = std::make_unique<Node>("r");
+  root->set_attribute("a", "x<y>&\"'z");
+  root->set_text("body <>&");
+  const Document doc(std::move(root));
+  const Document again = parse(doc.to_string());
+  EXPECT_EQ(again.root().attribute("a"), "x<y>&\"'z");
+  EXPECT_EQ(again.root().text(), "body <>&");
+}
+
+TEST(XmlNode, RequiredAccessorsThrow) {
+  const Document doc = parse("<a><b/></a>");
+  EXPECT_THROW(doc.root().required_attribute("missing"), ParseError);
+  EXPECT_THROW(doc.root().required_child("missing"), ParseError);
+  EXPECT_NO_THROW(doc.root().required_child("b"));
+}
+
+TEST(XmlNode, SetAttributeOverwrites) {
+  Node node("n");
+  node.set_attribute("k", "1");
+  node.set_attribute("k", "2");
+  EXPECT_EQ(node.attribute("k"), "2");
+  EXPECT_EQ(node.attributes().size(), 1u);
+}
+
+TEST(XmlParse, Figure8DescriptorParses) {
+  // The paper's Figure 8 example, abridged.
+  const std::string fig8 = R"(<description>
+    <executable name="CrestLines.pl">
+      <access type="URL"><path value="http://colors.unice.fr"/></access>
+      <value value="CrestLines.pl"/>
+      <input name="floating_image" option="-im1"><access type="GFN"/></input>
+      <input name="reference_image" option="-im2"><access type="GFN"/></input>
+      <input name="scale" option="-s"/>
+      <output name="crest_reference" option="-c1"><access type="GFN"/></output>
+      <output name="crest_floating" option="-c2"><access type="GFN"/></output>
+      <sandbox name="convert8bits">
+        <access type="URL"><path value="http://colors.unice.fr"/></access>
+        <value value="Convert8bits.pl"/>
+      </sandbox>
+    </executable>
+  </description>)";
+  const Document doc = parse(fig8);
+  const Node& exe = doc.root().required_child("executable");
+  EXPECT_EQ(exe.children_named("input").size(), 3u);
+  EXPECT_EQ(exe.children_named("output").size(), 2u);
+  EXPECT_EQ(exe.children_named("sandbox").size(), 1u);
+}
+
+}  // namespace
+}  // namespace moteur::xml

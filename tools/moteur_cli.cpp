@@ -1,0 +1,310 @@
+// moteur_cli — drive the MOTEUR enactor from XML documents, no code needed.
+//
+//   moteur_cli run --workflow wf.xml --data ds.xml --services catalog.xml
+//              [--policy SP+DP] [--grid egee2006|cluster|constant]
+//              [--seed N] [--overhead SECONDS] [--batch K] [--adaptive]
+//              [--provenance out.xml] [--trace] [--diagram SECONDS_PER_COL]
+//   moteur_cli run --manifest run.xml [--services catalog.xml] [...]
+//   moteur_cli save-manifest --workflow wf.xml --data ds.xml [--policy ...]
+//              --out run.xml
+//   moteur_cli validate --workflow wf.xml        structural + static analysis
+//   moteur_cli model --nw N --nd M [--t SECONDS]  §3.5 predictions
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on run failures.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/bronze_standard.hpp"
+#include "data/provenance_xml.hpp"
+#include "enactor/diagram.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/manifest.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/timeline_csv.hpp"
+#include "grid/grid.hpp"
+#include "model/dag.hpp"
+#include "model/makespan.hpp"
+#include "services/catalog.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/grouping.hpp"
+#include "workflow/scufl.hpp"
+
+namespace {
+
+using namespace moteur;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  std::fputs(
+      "usage:\n"
+      "  moteur_cli run --workflow WF.xml --data DS.xml --services CAT.xml\n"
+      "             [--policy NOP|JG|SP|DP|SP+DP|SP+DP+JG] [--grid PRESET]\n"
+      "             [--seed N] [--overhead S] [--batch K] [--adaptive]\n"
+      "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n             [--diagram COLSECONDS]\n"
+      "  moteur_cli run --manifest RUN.xml [--services CAT.xml] [...]\n"
+      "  moteur_cli save-manifest --workflow WF.xml --data DS.xml --out RUN.xml\n"
+      "             [--policy P] [--grid PRESET] [--seed N] [--overhead S]\n"
+      "  moteur_cli validate --workflow WF.xml\n"
+      "  moteur_cli model --nw N --nd M [--t SECONDS]\n"
+      "  moteur_cli export-bronze --dir DIR [--pairs N]\n",
+      stderr);
+  std::exit(1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw Error("cannot read file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream output(path);
+  if (!output) throw Error("cannot write file '" + path + "'");
+  output << content;
+}
+
+/// Minimal flag parser: --key value (or boolean --key).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value || value->empty()) usage("missing --" + key);
+    return *value;
+  }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+enactor::RunManifest manifest_from_args(const Args& args) {
+  enactor::RunManifest manifest;
+  if (const auto path = args.get("manifest")) {
+    manifest = enactor::RunManifest::from_xml(read_file(*path));
+  } else {
+    manifest.workflow = workflow::from_scufl(read_file(args.require("workflow")));
+    manifest.inputs = data::InputDataSet::from_xml(read_file(args.require("data")));
+  }
+  if (const auto policy = args.get("policy")) {
+    manifest.policy = enactor::EnactmentPolicy::parse(*policy);
+  }
+  if (const auto preset = args.get("grid")) manifest.grid_preset = *preset;
+  if (const auto seed = args.get("seed")) manifest.seed = std::stoull(*seed);
+  if (const auto overhead = args.get("overhead")) {
+    manifest.constant_overhead_seconds = std::stod(*overhead);
+  }
+  if (const auto batch = args.get("batch")) {
+    manifest.policy.batch_size = static_cast<std::size_t>(std::stoul(*batch));
+  }
+  if (args.has("adaptive")) manifest.policy.adaptive_batching = true;
+  return manifest;
+}
+
+int cmd_run(const Args& args) {
+  const enactor::RunManifest manifest = manifest_from_args(args);
+
+  services::ServiceRegistry registry;
+  if (const auto catalog = args.get("services")) {
+    const std::size_t count = services::load_catalog(read_file(*catalog), registry);
+    std::printf("loaded %zu services from %s\n", count, catalog->c_str());
+  }
+
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, manifest.make_grid_config());
+  enactor::SimGridBackend backend(grid);
+  enactor::Enactor moteur(backend, registry, manifest.policy);
+
+  const enactor::EnactmentResult result = moteur.run(manifest.workflow, manifest.inputs);
+
+  std::printf("workflow:     %s  (policy %s, grid %s, seed %llu)\n",
+              manifest.workflow.name().c_str(), manifest.policy.name().c_str(),
+              manifest.grid_preset.c_str(),
+              static_cast<unsigned long long>(manifest.seed));
+  std::printf("makespan:     %s (%.0f s)\n", format_duration(result.makespan()).c_str(),
+              result.makespan());
+  std::printf("invocations:  %zu logical, %zu submissions, %zu failures\n",
+              result.invocations, result.submissions, result.failures);
+  for (const auto& [sink, tokens] : result.sink_outputs) {
+    std::printf("sink %-20s %zu results\n", (sink + ":").c_str(), tokens.size());
+  }
+
+  if (args.has("trace")) {
+    std::fputs(enactor::render_trace_table(result.timeline).c_str(), stdout);
+  }
+  if (const auto per_column = args.get("diagram")) {
+    enactor::DiagramOptions options;
+    options.seconds_per_column = per_column->empty() ? 0.0 : std::stod(*per_column);
+    std::vector<std::string> rows;
+    for (const auto& proc : result.executed_workflow.processors()) {
+      if (proc.kind == workflow::ProcessorKind::kService) rows.push_back(proc.name);
+    }
+    std::fputs(enactor::render_execution_diagram(result.timeline, rows, options).c_str(),
+               stdout);
+  }
+  if (const auto out = args.get("provenance")) {
+    write_file(*out, data::export_provenance(result.sink_outputs));
+    std::printf("provenance written to %s\n", out->c_str());
+  }
+  if (const auto out = args.get("csv")) {
+    write_file(*out, enactor::timeline_to_csv(result.timeline));
+    std::printf("timeline written to %s\n", out->c_str());
+  }
+  return result.failures == 0 ? 0 : 2;
+}
+
+int cmd_save_manifest(const Args& args) {
+  const enactor::RunManifest manifest = manifest_from_args(args);
+  const std::string out = args.require("out");
+  write_file(out, manifest.to_xml());
+  std::printf("manifest written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  const workflow::Workflow wf = workflow::from_scufl(read_file(args.require("workflow")));
+  std::printf("workflow '%s': OK\n", wf.name().c_str());
+  std::printf("  processors: %zu (%zu sources, %zu services, %zu sinks)\n",
+              wf.processors().size(), wf.sources().size(), wf.services().size(),
+              wf.sinks().size());
+  std::printf("  links: %zu, coordination constraints: %zu\n", wf.links().size(),
+              wf.coordination_constraints().size());
+  const auto path = workflow::critical_path(wf);
+  std::printf("  critical path (nW = %zu): %s\n", workflow::critical_path_length(wf),
+              join(path.services, " -> ").c_str());
+  const auto layers = workflow::synchronization_layers(wf);
+  std::printf("  synchronization layers: %zu\n", layers.size());
+
+  workflow::GroupingReport report;
+  workflow::group_sequential_processors(wf, &report);
+  if (report.groups.empty()) {
+    std::puts("  job grouping: no groupable chains");
+  } else {
+    std::printf("  job grouping would form %zu group(s):\n", report.groups.size());
+    for (const auto& group : report.groups) {
+      std::printf("    %s\n", join(group, " + ").c_str());
+    }
+  }
+
+  if (const auto dot = args.get("dot")) {
+    write_file(*dot, workflow::to_dot(wf));
+    std::printf("  GraphViz rendering written to %s\n", dot->c_str());
+  }
+
+  // With a catalog and a data-set size, predict makespans per policy.
+  if (args.get("services") && args.get("nd")) {
+    services::ServiceRegistry registry;
+    services::load_catalog(read_file(args.require("services")), registry);
+    std::map<std::string, double> times;
+    for (const auto* proc : wf.services()) {
+      times[proc->name] =
+          registry.resolve(*proc)->job_profile(services::Inputs{}).compute_seconds;
+    }
+    const auto n_d = static_cast<std::size_t>(std::stoul(args.require("nd")));
+    try {
+      const auto predicted = model::predict_dag_makespan(wf, times, n_d);
+      std::printf("  DAG-model predictions for nD = %zu (compute only, no grid"
+                  " overhead):\n", n_d);
+      std::printf("    NOP   %10.0f s\n", predicted.sequential);
+      std::printf("    DP    %10.0f s\n", predicted.dp);
+      std::printf("    SP    %10.0f s\n", predicted.sp);
+      std::printf("    SP+DP %10.0f s\n", predicted.dsp);
+    } catch (const Error& e) {
+      std::printf("  DAG-model predictions unavailable: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  const auto n_w = static_cast<std::size_t>(std::stoul(args.require("nw")));
+  const auto n_d = static_cast<std::size_t>(std::stoul(args.require("nd")));
+  const double t = args.get("t") ? std::stod(*args.get("t")) : 1.0;
+  const model::TimeMatrix times = model::constant_times(n_w, n_d, t);
+  std::printf("§3.5 predictions for nW=%zu, nD=%zu, T=%.1f s:\n", n_w, n_d, t);
+  std::printf("  Sigma     (sequential) = %.1f s\n", model::sigma_sequential(times));
+  std::printf("  Sigma_DP               = %.1f s   (S_DP  = %.2f)\n",
+              model::sigma_dp(times), model::speedup_dp(n_w, n_d));
+  std::printf("  Sigma_SP               = %.1f s   (S_SP  = %.2f)\n",
+              model::sigma_sp(times), model::speedup_sp(n_w, n_d));
+  std::printf("  Sigma_DSP              = %.1f s   (S_DSP = %.2f, S_SDP = 1)\n",
+              model::sigma_dsp(times), model::speedup_dsp(n_w, n_d));
+  return 0;
+}
+
+int cmd_export_bronze(const Args& args) {
+  const std::string dir = args.require("dir");
+  const std::size_t pairs =
+      args.get("pairs") ? static_cast<std::size_t>(std::stoul(*args.get("pairs"))) : 12;
+
+  write_file(dir + "/bronze_workflow.xml",
+             workflow::to_scufl(app::bronze_standard_workflow()));
+  write_file(dir + "/bronze_dataset.xml",
+             app::bronze_standard_dataset(pairs).to_xml());
+  write_file(dir + "/bronze_services.xml",
+             services::to_catalog_xml(app::bronze_catalog()));
+
+  enactor::RunManifest manifest;
+  manifest.workflow = app::bronze_standard_workflow();
+  manifest.inputs = app::bronze_standard_dataset(pairs);
+  manifest.policy = enactor::EnactmentPolicy::sp_dp_jg();
+  manifest.grid_preset = "egee2006";
+  write_file(dir + "/bronze_run.xml", manifest.to_xml());
+
+  std::printf("wrote bronze_workflow.xml, bronze_dataset.xml (%zu pairs),\n"
+              "bronze_services.xml and bronze_run.xml to %s\n"
+              "run it with:\n"
+              "  moteur_cli run --manifest %s/bronze_run.xml \\\n"
+              "             --services %s/bronze_services.xml\n",
+              pairs, dir.c_str(), dir.c_str(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "run") return cmd_run(args);
+    if (command == "save-manifest") return cmd_save_manifest(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "model") return cmd_model(args);
+    if (command == "export-bronze") return cmd_export_bronze(args);
+    usage("unknown command '" + command + "'");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
