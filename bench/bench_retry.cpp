@@ -1,0 +1,70 @@
+// E14 (fault-tolerance extension) — enactor-level resubmission against
+// injected transient job failures: the grid's own retry is disabled and a
+// per-attempt failure probability is swept against the enactor RetryPolicy.
+// Without retries every failed attempt loses its data sets (the seed
+// behaviour); with resubmission the run converges to zero lost tuples at the
+// cost of extra submissions. Bronze Standard, 12 pairs, SP+DP.
+#include <cstdio>
+
+#include "app/bronze_standard.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+struct Row {
+  double makespan = 0.0;
+  std::size_t lost = 0;
+  std::size_t retries = 0;
+  std::size_t submissions = 0;
+};
+
+Row run_once(double failure_probability, std::size_t max_attempts, std::size_t n_pairs,
+             std::uint64_t seed) {
+  sim::Simulator simulator;
+  auto config = grid::GridConfig::egee2006(seed);
+  config.failure_probability = failure_probability;
+  config.max_attempts = 1;  // failures surface to the enactor
+  grid::Grid grid(simulator, config);
+  enactor::SimGridBackend backend(grid);
+
+  services::ServiceRegistry registry;
+  app::register_simulated_services(registry);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry.max_attempts = max_attempts;
+  enactor::Enactor moteur(backend, registry, policy);
+
+  const auto result =
+      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  return Row{result.makespan(), result.failures(), result.retries(),
+             result.submissions()};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=============================================================");
+  std::puts("E14: enactor-level resubmission vs injected transient faults");
+  std::puts("     Bronze Standard, 12 pairs, SP+DP, grid retry disabled");
+  std::puts("=============================================================");
+  std::printf("  %8s %9s | %12s %6s %8s %12s\n", "p(fail)", "attempts", "makespan (s)",
+              "lost", "retries", "submissions");
+
+  const std::size_t n_pairs = 12;
+  for (const double p : {0.0, 0.05, 0.10, 0.20}) {
+    for (const std::size_t attempts : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+      const Row row = run_once(p, attempts, n_pairs, 20060619);
+      std::printf("  %8.2f %9zu | %12.0f %6zu %8zu %12zu\n", p, attempts, row.makespan,
+                  row.lost, row.retries, row.submissions);
+    }
+    std::puts("");
+  }
+  std::puts("attempts=1 reproduces the lossy seed behaviour; attempts>=3 converges"
+            "\nto zero lost data sets while the submission count absorbs the faults.");
+  return 0;
+}

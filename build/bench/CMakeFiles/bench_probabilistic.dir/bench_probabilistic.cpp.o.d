@@ -240,14 +240,14 @@ bench/CMakeFiles/bench_probabilistic.dir/bench_probabilistic.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/enactor/backend.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/grid/job.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/services/service.hpp \
  /root/repo/src/enactor/policy.hpp /root/repo/src/enactor/timeline.hpp \
  /root/repo/src/services/registry.hpp /root/repo/src/workflow/graph.hpp \
- /root/repo/src/workflow/grouping.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/workflow/grouping.hpp \
  /root/repo/src/enactor/sim_backend.hpp /root/repo/src/grid/grid.hpp \
  /root/repo/src/grid/background_load.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/grid/config.hpp /root/repo/src/grid/overhead_model.hpp \

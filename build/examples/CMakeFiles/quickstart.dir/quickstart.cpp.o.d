@@ -222,10 +222,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/enactor/enactor.hpp /root/repo/src/enactor/backend.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/services/service.hpp /root/repo/src/enactor/policy.hpp \
  /root/repo/src/services/registry.hpp /root/repo/src/workflow/graph.hpp \
- /root/repo/src/workflow/grouping.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/workflow/grouping.hpp \
  /root/repo/src/enactor/sim_backend.hpp /root/repo/src/grid/grid.hpp \
  /root/repo/src/grid/background_load.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/grid/config.hpp /root/repo/src/grid/overhead_model.hpp \

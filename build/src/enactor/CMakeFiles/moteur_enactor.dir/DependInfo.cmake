@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enactor/backend.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/backend.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/backend.cpp.o.d"
   "/root/repo/src/enactor/diagram.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/diagram.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/diagram.cpp.o.d"
   "/root/repo/src/enactor/enactor.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/enactor.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/enactor.cpp.o.d"
   "/root/repo/src/enactor/manifest.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/manifest.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/manifest.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/moteur_enactor.dir/backend.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/backend.cpp.o.d"
   "CMakeFiles/moteur_enactor.dir/diagram.cpp.o"
   "CMakeFiles/moteur_enactor.dir/diagram.cpp.o.d"
   "CMakeFiles/moteur_enactor.dir/enactor.cpp.o"

@@ -219,14 +219,14 @@ src/enactor/CMakeFiles/moteur_enactor.dir/enactor.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/enactor/backend.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/grid/job.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/services/service.hpp \
  /root/repo/src/enactor/policy.hpp /root/repo/src/enactor/timeline.hpp \
  /root/repo/src/services/registry.hpp /root/repo/src/workflow/graph.hpp \
- /root/repo/src/workflow/grouping.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/algorithm \
+ /root/repo/src/workflow/grouping.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

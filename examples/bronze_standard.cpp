@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
 
   std::printf("wall time:    %.2f s, %zu logical invocations, %zu submissions, "
               "%zu failures\n",
-              result.makespan(), result.invocations, result.submissions,
-              result.failures);
+              result.makespan(), result.invocations(), result.submissions(),
+              result.failures());
   std::printf("grouping:     ");
   for (const auto& group : result.grouping.groups) {
     std::printf("[%s] ", join(group, "+").c_str());
@@ -72,5 +72,5 @@ int main(int argc, char** argv) {
                 (*database)[p].name.c_str(), err.rotation_radians * 180.0 / M_PI,
                 err.translation);
   }
-  return result.failures == 0 ? 0 : 1;
+  return result.failures() == 0 ? 0 : 1;
 }

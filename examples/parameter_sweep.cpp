@@ -132,5 +132,5 @@ int main() {
                  .c_str(),
              stdout);
   std::puts("");
-  return result.failures == 0 ? 0 : 1;
+  return result.failures() == 0 ? 0 : 1;
 }

@@ -66,7 +66,7 @@ int main() {
   std::printf("makespan:     %s (%.0f s)\n", format_duration(result.makespan()).c_str(),
               result.makespan());
   std::printf("invocations:  %zu logical, %zu grid jobs (grouping fused %zu chains)\n",
-              result.invocations, result.submissions, result.grouping.groups.size());
+              result.invocations(), result.submissions(), result.grouping.groups.size());
   std::printf("results:      %zu tokens on sink 'reports'\n",
               result.sink_outputs.at("reports").size());
   for (const auto& token : result.sink_outputs.at("reports")) {

@@ -60,7 +60,7 @@ int main() {
     enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
     const auto result = moteur.run(wf, inputs);
     std::printf("workflow stays 2 processors; %zu dynamic invocations\n",
-                result.invocations);
+                result.invocations());
     std::printf("MOTEUR makespan: %.0f s (%zu results)\n\n", result.makespan(),
                 result.sink_outputs.at("masks").size());
   }

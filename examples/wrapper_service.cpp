@@ -102,7 +102,7 @@ int main() {
   enactor::Enactor grouped(backend2, registry, enactor::EnactmentPolicy::sp_dp_jg());
   const auto grouped_result = grouped.run(wf, inputs);
   std::printf("submissions: %zu (vs %zu ungrouped) for %zu logical invocations\n",
-              grouped_result.submissions, result.submissions,
-              grouped_result.invocations);
+              grouped_result.submissions(), result.submissions(),
+              grouped_result.invocations());
   return 0;
 }

@@ -30,9 +30,9 @@ RunOutcome run_replica(const enactor::EnactmentPolicy& policy, std::size_t n_pai
   outcome.configuration = policy.name();
   outcome.n_pairs = n_pairs;
   outcome.makespan_seconds = result.makespan();
-  outcome.jobs_submitted = result.submissions;
-  outcome.invocations = result.invocations;
-  outcome.failures = result.failures;
+  outcome.jobs_submitted = result.submissions();
+  outcome.invocations = result.invocations();
+  outcome.failures = result.failures();
   outcome.mean_job_overhead = grid.stats().overhead_seconds.mean();
   return outcome;
 }

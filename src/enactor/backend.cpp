@@ -1,0 +1,15 @@
+#include "enactor/backend.hpp"
+
+namespace moteur::enactor {
+
+const char* to_string(OutcomeStatus s) {
+  switch (s) {
+    case OutcomeStatus::kOk: return "Ok";
+    case OutcomeStatus::kTransient: return "Transient";
+    case OutcomeStatus::kDefinitive: return "Definitive";
+    case OutcomeStatus::kTimedOut: return "TimedOut";
+  }
+  return "?";
+}
+
+}  // namespace moteur::enactor

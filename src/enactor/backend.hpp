@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "grid/job.hpp"
@@ -11,17 +13,50 @@
 
 namespace moteur::enactor {
 
+/// How one backend execution ended, from the enactor's point of view. The
+/// taxonomy follows the standard grid fault-tolerance classification
+/// (task-level retry/resubmission): transient faults are worth resubmitting,
+/// definitive ones are not, and timeouts are synthesized by the enactor's
+/// resubmission watchdog rather than reported by a backend.
+enum class OutcomeStatus {
+  kOk,          // all bindings produced results
+  kTransient,   // middleware/site fault; a resubmission may succeed
+  kDefinitive,  // semantic failure; retrying cannot help
+  kTimedOut,    // no completion before the resubmission deadline
+};
+
+const char* to_string(OutcomeStatus s);
+
 /// Outcome of one backend execution (possibly covering several batched
 /// input bindings submitted as a single unit of work).
-struct Completion {
-  bool success = true;
+struct Outcome {
+  OutcomeStatus status = OutcomeStatus::kOk;
   std::string error;
   /// One result per submitted binding, aligned with the submission order.
+  /// Empty unless status == kOk.
   std::vector<services::Result> results;
   double submit_time = 0.0;
   double start_time = 0.0;
   double end_time = 0.0;
   std::optional<grid::JobRecord> job;
+
+  bool ok() const { return status == OutcomeStatus::kOk; }
+  /// Whether the enactor's retry policy may resubmit after this outcome.
+  bool retryable() const {
+    return status == OutcomeStatus::kTransient || status == OutcomeStatus::kTimedOut;
+  }
+
+  static Outcome success(std::vector<services::Result> results) {
+    Outcome o;
+    o.results = std::move(results);
+    return o;
+  }
+  static Outcome failure(OutcomeStatus status, std::string error) {
+    Outcome o;
+    o.status = status;
+    o.error = std::move(error);
+    return o;
+  }
 };
 
 /// Where service invocations actually run. The enactor core is event-driven
@@ -29,7 +64,9 @@ struct Completion {
 /// callback from within drive().
 class ExecutionBackend {
  public:
-  using Callback = std::function<void(Completion)>;
+  using Callback = std::function<void(Outcome)>;
+  /// Handle of a timer armed with schedule(); usable to cancel it.
+  using TimerId = std::uint64_t;
 
   virtual ~ExecutionBackend() = default;
 
@@ -42,9 +79,20 @@ class ExecutionBackend {
   /// Current backend time in seconds.
   virtual double now() const = 0;
 
-  /// Dispatch completions until `done()` returns true. Returns false if the
-  /// backend ran out of work (no pending executions) before done() held —
-  /// the enactor treats that as a stall and attempts feedback closure.
+  /// Arm a timer: `fn` runs `delay_seconds` of backend time from now, from
+  /// within drive() — the enactor's resubmission watchdogs and backoff
+  /// delays. Live (un-cancelled, un-fired) timers count as pending work for
+  /// drive()'s stall detection.
+  virtual TimerId schedule(double delay_seconds, std::function<void()> fn) = 0;
+
+  /// Cancel a timer armed with schedule(). Cancelling an already-fired or
+  /// unknown timer is a no-op.
+  virtual void cancel(TimerId id) = 0;
+
+  /// Dispatch completions and timers until `done()` returns true. Returns
+  /// false if the backend ran out of work (no pending executions or live
+  /// timers) before done() held — the enactor treats that as a stall and
+  /// attempts feedback closure.
   virtual bool drive(const std::function<bool()>& done) = 0;
 };
 

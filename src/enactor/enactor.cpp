@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "util/error.hpp"
@@ -26,7 +27,8 @@ using workflow::ProcessorKind;
 using workflow::Workflow;
 
 /// One full enactment. Single-threaded: every method runs on the thread
-/// driving the backend; backends funnel completions through drive().
+/// driving the backend; backends funnel completions and timers through
+/// drive().
 class Engine {
  public:
   Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
@@ -51,10 +53,26 @@ class Engine {
     std::map<std::string, std::vector<data::Token>> collected;  // sync + sinks
     std::set<std::string> collected_closed;           // closed ports (sync/sink)
     std::deque<IterationBuffer::Tuple> ready;
-    std::size_t in_flight = 0;
+    std::size_t in_flight = 0;  // unresolved logical submissions
     std::size_t fired = 0;
     bool finished = false;
     bool sync_fired = false;
+  };
+
+  /// One logical unit of work handed to the backend: a (possibly batched)
+  /// set of tuples plus their bindings. A submission stays unresolved while
+  /// attempts — the original, transient-failure resubmissions, timeout
+  /// clones — race; the first success wins, late completions are discarded.
+  struct Submission {
+    PState* state = nullptr;
+    std::vector<IterationBuffer::Tuple> tuples;
+    std::vector<services::Inputs> bindings;
+    std::size_t attempts_started = 0;
+    std::size_t attempts_in_flight = 0;
+    std::size_t pending_resubmits = 0;  // backoff timers not yet fired
+    bool resolved = false;
+    double attempt_started_at = 0.0;  // backend time of the latest attempt
+    std::optional<ExecutionBackend::TimerId> watchdog;
   };
 
   void build_states();
@@ -71,8 +89,22 @@ class Engine {
   std::size_t target_batch(const PState& state) const;
   void fire(PState& state, std::vector<IterationBuffer::Tuple> tuples);
   void fire_barrier(PState& state);
-  void on_complete(PState& state, const std::vector<IterationBuffer::Tuple>& tuples,
-                   Completion completion);
+  void start_attempt(const std::shared_ptr<Submission>& sub);
+  void arm_watchdog(const std::shared_ptr<Submission>& sub);
+  /// Arm watchdogs on outstanding submissions that predate the median (a DP
+  /// burst submits everything before any sample exists).
+  void arm_pending_watchdogs();
+  void on_watchdog(const std::shared_ptr<Submission>& sub);
+  void on_attempt_complete(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                           Outcome outcome);
+  /// Mark the submission settled: no further attempt may deliver or fail it.
+  void resolve(const std::shared_ptr<Submission>& sub);
+  void resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                       const std::string& error);
+  /// Whether another attempt may still be launched for this submission.
+  bool attempts_left(const Submission& sub) const;
+  /// Median backend latency of successful submissions so far (0 if none).
+  double median_latency() const;
   bool try_feedback_closure();
   bool all_finished() const;
   void check_binding(const PState& state) const;
@@ -80,15 +112,16 @@ class Engine {
   PState& state_of(const std::string& name) { return states_.at(name); }
 
   void notify(ProgressEvent::Kind kind, const std::string& processor,
-              std::size_t tuples) const {
+              std::size_t tuples, std::size_t attempt = 1) const {
     if (!listener_) return;
     ProgressEvent event;
     event.kind = kind;
     event.processor = processor;
     event.tuples = tuples;
     event.time = backend_.now();
-    event.total_invocations = result_.invocations;
-    event.total_submissions = result_.submissions;
+    event.attempt = attempt;
+    event.total_invocations = result_.stats.invocations;
+    event.total_submissions = result_.stats.submissions;
     listener_(event);
   }
 
@@ -110,6 +143,11 @@ class Engine {
   std::map<std::string, std::set<std::string>> stage_predecessors_;
   /// Online estimate of the per-job middleware overhead (adaptive batching).
   RunningStats observed_overhead_;
+  /// Latencies of successful submissions — the running-median base of the
+  /// timeout-resubmission watchdog.
+  std::vector<double> latency_samples_;
+  /// Unresolved submissions, for late watchdog arming (pruned lazily).
+  std::vector<std::weak_ptr<Submission>> outstanding_;
   EnactmentResult result_;
 };
 
@@ -314,28 +352,24 @@ void Engine::fire(PState& state, std::vector<IterationBuffer::Tuple> tuples) {
   // Tuple tokens are aligned with the iteration tree's leaf order (equal to
   // the processor port order for flat strategies).
   const std::vector<std::string>& port_order = state.buffer->ports();
-  std::vector<services::Inputs> bindings;
-  bindings.reserve(tuples.size());
+  auto sub = std::make_shared<Submission>();
+  sub->state = &state;
+  sub->bindings.reserve(tuples.size());
   for (const auto& tuple : tuples) {
     services::Inputs binding;
     for (std::size_t i = 0; i < port_order.size(); ++i) {
       binding.emplace(port_order[i], tuple.tokens[i]);
     }
-    bindings.push_back(std::move(binding));
+    sub->bindings.push_back(std::move(binding));
   }
+  sub->tuples = std::move(tuples);
 
   ++state.in_flight;
-  state.fired += tuples.size();
-  ++result_.submissions;
+  state.fired += sub->tuples.size();
+  outstanding_.push_back(sub);
   MOTEUR_LOG(kDebug, "enactor") << "fire '" << state.proc->name << "' on "
-                                << tuples.size() << " tuple(s)";
-  notify(ProgressEvent::Kind::kSubmitted, state.proc->name, tuples.size());
-  auto tuples_shared =
-      std::make_shared<std::vector<IterationBuffer::Tuple>>(std::move(tuples));
-  backend_.execute(state.service, std::move(bindings),
-                   [this, &state, tuples_shared](Completion completion) {
-                     on_complete(state, *tuples_shared, std::move(completion));
-                   });
+                                << sub->tuples.size() << " tuple(s)";
+  start_attempt(sub);
 }
 
 void Engine::fire_barrier(PState& state) {
@@ -360,55 +394,151 @@ void Engine::fire_barrier(PState& state) {
     binding.emplace(port, std::move(aggregate));
   }
 
+  auto sub = std::make_shared<Submission>();
+  sub->state = &state;
+  sub->tuples.push_back(std::move(pseudo_tuple));
+  sub->bindings.push_back(std::move(binding));
+
   state.sync_fired = true;
   ++state.in_flight;
   ++state.fired;
-  ++result_.submissions;
+  outstanding_.push_back(sub);
   MOTEUR_LOG(kDebug, "enactor") << "fire barrier '" << state.proc->name << "'";
-  notify(ProgressEvent::Kind::kSubmitted, state.proc->name, 1);
-  auto tuples_shared = std::make_shared<std::vector<IterationBuffer::Tuple>>(
-      std::vector<IterationBuffer::Tuple>{std::move(pseudo_tuple)});
-  backend_.execute(state.service, {std::move(binding)},
-                   [this, &state, tuples_shared](Completion completion) {
-                     on_complete(state, *tuples_shared, std::move(completion));
+  start_attempt(sub);
+}
+
+void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
+  const std::size_t attempt = ++sub->attempts_started;
+  ++sub->attempts_in_flight;
+  sub->attempt_started_at = backend_.now();
+  ++result_.stats.submissions;
+  notify(ProgressEvent::Kind::kSubmitted, sub->state->proc->name, sub->tuples.size(),
+         attempt);
+  arm_watchdog(sub);
+  auto bindings = sub->bindings;  // each attempt submits a fresh copy
+  backend_.execute(sub->state->service, std::move(bindings),
+                   [this, sub, attempt](Outcome outcome) {
+                     on_attempt_complete(sub, attempt, std::move(outcome));
                    });
 }
 
-void Engine::on_complete(PState& state, const std::vector<IterationBuffer::Tuple>& tuples,
-                         Completion completion) {
-  --state.in_flight;
+bool Engine::attempts_left(const Submission& sub) const {
+  return sub.attempts_started + sub.pending_resubmits < policy_.retry.max_attempts;
+}
+
+double Engine::median_latency() const {
+  if (latency_samples_.empty()) return 0.0;
+  std::vector<double> samples = latency_samples_;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  return samples[mid];
+}
+
+void Engine::arm_watchdog(const std::shared_ptr<Submission>& sub) {
+  const RetryPolicy& retry = policy_.retry;
+  if (!retry.timeout_enabled() || !attempts_left(*sub)) return;
+  if (latency_samples_.size() < retry.timeout_min_samples) return;
+  if (sub->watchdog) backend_.cancel(*sub->watchdog);
+  // Deadline counts from the attempt's submission, so a late-armed watchdog
+  // (the median did not exist yet at submit time) fires as soon as due.
+  const double deadline = sub->attempt_started_at + retry.timeout_multiplier * median_latency();
+  const double remaining = std::max(0.0, deadline - backend_.now());
+  sub->watchdog = backend_.schedule(remaining, [this, sub] { on_watchdog(sub); });
+}
+
+void Engine::arm_pending_watchdogs() {
+  if (!policy_.retry.timeout_enabled() ||
+      latency_samples_.size() < policy_.retry.timeout_min_samples) {
+    return;
+  }
+  std::vector<std::weak_ptr<Submission>> live;
+  live.reserve(outstanding_.size());
+  for (auto& weak : outstanding_) {
+    auto sub = weak.lock();
+    if (!sub || sub->resolved) continue;
+    if (!sub->watchdog) arm_watchdog(sub);
+    live.push_back(std::move(weak));
+  }
+  outstanding_ = std::move(live);
+}
+
+void Engine::on_watchdog(const std::shared_ptr<Submission>& sub) {
+  sub->watchdog.reset();
+  if (sub->resolved || !attempts_left(*sub)) return;
+  ++result_.stats.timeouts;
+  MOTEUR_LOG(kInfo, "enactor")
+      << "submission of '" << sub->state->proc->name << "' attempt "
+      << sub->attempts_started << " exceeded the resubmission deadline; racing a clone";
+  notify(ProgressEvent::Kind::kTimedOut, sub->state->proc->name, sub->tuples.size(),
+         sub->attempts_started);
+  start_attempt(sub);  // re-arms the watchdog for the clone
+  pump();
+}
+
+void Engine::resolve(const std::shared_ptr<Submission>& sub) {
+  if (sub->watchdog) {
+    backend_.cancel(*sub->watchdog);
+    sub->watchdog.reset();
+  }
+  sub->resolved = true;
+  --sub->state->in_flight;
+}
+
+void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                             const std::string& error) {
+  resolve(sub);
+  result_.stats.failures += sub->tuples.size();
+  MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << sub->state->proc->name
+                               << "' failed definitively after " << sub->attempts_started
+                               << " attempt(s): " << error;
+  notify(ProgressEvent::Kind::kFailed, sub->state->proc->name, sub->tuples.size(), attempt);
+}
+
+void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
+                                 std::size_t attempt, Outcome outcome) {
+  PState& state = *sub->state;
+  --sub->attempts_in_flight;
 
   InvocationTrace trace;
   trace.processor = state.proc->name;
-  for (const auto& tuple : tuples) trace.indices.push_back(tuple.index);
-  trace.submit_time = completion.submit_time;
-  trace.start_time = completion.start_time;
-  trace.end_time = completion.end_time;
-  trace.failed = !completion.success;
-  trace.job = completion.job;
-  if (completion.job && completion.success) {
-    observed_overhead_.add(completion.job->overhead_seconds());
-  }
+  for (const auto& tuple : sub->tuples) trace.indices.push_back(tuple.index);
+  trace.submit_time = outcome.submit_time;
+  trace.start_time = outcome.start_time;
+  trace.end_time = outcome.end_time;
+  trace.failed = !outcome.ok();
+  trace.attempt = attempt;
+  trace.superseded = sub->resolved;
+  trace.job = outcome.job;
   result_.timeline.add(std::move(trace));
 
-  if (!completion.success) {
-    result_.failures += tuples.size();
-    MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << state.proc->name
-                                 << "' failed definitively: " << completion.error;
-    notify(ProgressEvent::Kind::kFailed, state.proc->name, tuples.size());
-  } else {
-    MOTEUR_REQUIRE(completion.results.size() == tuples.size(), InternalError,
-                   "backend returned " + std::to_string(completion.results.size()) +
-                       " results for " + std::to_string(tuples.size()) + " bindings");
+  if (sub->resolved) {
+    // A straggler outlived the clone (or the definitive loss) that settled
+    // its submission: nothing to deliver.
+    MOTEUR_LOG(kDebug, "enactor") << "late completion of '" << state.proc->name
+                                  << "' attempt " << attempt << " discarded ("
+                                  << to_string(outcome.status) << ")";
+    pump();
+    return;
+  }
+
+  if (outcome.ok()) {
+    if (outcome.job) observed_overhead_.add(outcome.job->overhead_seconds());
+    latency_samples_.push_back(outcome.end_time - outcome.submit_time);
+    resolve(sub);
+    arm_pending_watchdogs();
+    MOTEUR_REQUIRE(outcome.results.size() == sub->tuples.size(), InternalError,
+                   "backend returned " + std::to_string(outcome.results.size()) +
+                       " results for " + std::to_string(sub->tuples.size()) + " bindings");
     // A grouped invocation runs every member code: count logical
     // invocations, so JG changes `submissions` but never `invocations`.
     const std::size_t codes_per_tuple =
         state.proc->is_grouped() ? state.proc->group_members.size() : 1;
-    result_.invocations += tuples.size() * codes_per_tuple;
-    notify(ProgressEvent::Kind::kCompleted, state.proc->name, tuples.size());
-    for (std::size_t i = 0; i < tuples.size(); ++i) {
-      const auto& tuple = tuples[i];
-      for (const auto& [port, value] : completion.results[i].outputs) {
+    result_.stats.invocations += sub->tuples.size() * codes_per_tuple;
+    notify(ProgressEvent::Kind::kCompleted, state.proc->name, sub->tuples.size(), attempt);
+    for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
+      const auto& tuple = sub->tuples[i];
+      for (const auto& [port, value] : outcome.results[i].outputs) {
         if (!state.proc->has_output_port(port)) continue;  // undeclared extra
         const data::Token token = data::Token::derived(
             state.proc->name, port, tuple.tokens, tuple.index, value.payload, value.repr);
@@ -417,6 +547,33 @@ void Engine::on_complete(PState& state, const std::vector<IterationBuffer::Tuple
         }
       }
     }
+  } else if (outcome.status == OutcomeStatus::kDefinitive) {
+    // Semantic failure: retrying cannot help, racing clones are moot.
+    resolve_failure(sub, attempt, outcome.error);
+  } else if (attempts_left(*sub)) {
+    ++result_.stats.retries;
+    MOTEUR_LOG(kInfo, "enactor") << "invocation of '" << state.proc->name << "' attempt "
+                                 << attempt << " failed transiently (" << outcome.error
+                                 << "); resubmitting";
+    notify(ProgressEvent::Kind::kRetried, state.proc->name, sub->tuples.size(), attempt);
+    const double delay =
+        policy_.retry.backoff_seconds(sub->attempts_started + sub->pending_resubmits + 1);
+    if (delay <= 0.0) {
+      start_attempt(sub);
+    } else {
+      ++sub->pending_resubmits;
+      backend_.schedule(delay, [this, sub] {
+        --sub->pending_resubmits;
+        if (sub->resolved) return;
+        start_attempt(sub);
+        pump();
+      });
+    }
+  } else if (sub->attempts_in_flight > 0 || sub->pending_resubmits > 0) {
+    // Attempts exhausted, but a racing clone or a scheduled resubmission may
+    // still deliver; stay unresolved until the last one reports.
+  } else {
+    resolve_failure(sub, attempt, outcome.error);
   }
   pump();
 }
@@ -500,6 +657,8 @@ void Engine::pump() {
 bool Engine::try_feedback_closure() {
   // Only sound when the workflow has fully quiesced: nothing in flight and
   // nothing ready anywhere, so no further token can cross a feedback link.
+  // (Unresolved submissions — including pending backoff resubmissions —
+  // keep in_flight nonzero, so retries block closure as real work does.)
   for (const auto& [name, state] : states_) {
     if (state.in_flight != 0 || !state.ready.empty()) return false;
   }
@@ -596,8 +755,11 @@ EnactmentResult Enactor::run(const workflow::Workflow& input_workflow,
   result.grouping = std::move(grouping);
   MOTEUR_LOG(kInfo, "enactor") << "run '" << input_workflow.name() << "' policy="
                                << policy_.name() << " makespan=" << result.makespan()
-                               << "s invocations=" << result.invocations
-                               << " submissions=" << result.submissions;
+                               << "s invocations=" << result.invocations()
+                               << " submissions=" << result.submissions()
+                               << " retries=" << result.retries()
+                               << " timeouts=" << result.timeouts()
+                               << " failures=" << result.failures();
   return result;
 }
 

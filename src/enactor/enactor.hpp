@@ -17,6 +17,16 @@
 
 namespace moteur::enactor {
 
+/// The run's counters, grouped: what the paper's metrics are computed from
+/// plus the fault-tolerance tallies.
+struct EnactmentStats {
+  std::size_t invocations = 0;  // service invocations (one per data tuple)
+  std::size_t submissions = 0;  // backend executions, retry attempts included
+  std::size_t failures = 0;     // tuples lost to definitive job failures
+  std::size_t retries = 0;      // resubmissions after a transient failure
+  std::size_t timeouts = 0;     // watchdog-triggered clone submissions
+};
+
 /// Everything a run produces: the sink data, the full invocation timeline
 /// and the counters the paper's metrics are computed from.
 struct EnactmentResult {
@@ -29,9 +39,12 @@ struct EnactmentResult {
   /// Tokens collected by each data sink, sorted by iteration index.
   std::map<std::string, std::vector<data::Token>> sink_outputs;
 
-  std::size_t invocations = 0;  // service invocations (one per data tuple)
-  std::size_t submissions = 0;  // backend executions (grid jobs)
-  std::size_t failures = 0;     // tuples lost to definitive job failures
+  EnactmentStats stats;
+  std::size_t invocations() const { return stats.invocations; }
+  std::size_t submissions() const { return stats.submissions; }
+  std::size_t failures() const { return stats.failures; }
+  std::size_t retries() const { return stats.retries; }
+  std::size_t timeouts() const { return stats.timeouts; }
 
   /// The workflow actually enacted (after the grouping rewrite, if any).
   workflow::Workflow executed_workflow{"empty"};
@@ -39,18 +52,28 @@ struct EnactmentResult {
 };
 
 /// Live notification of enactment progress (monitoring hooks: progress
-/// bars, dashboards, logs). Events fire on the enactment thread.
+/// bars, dashboards, logs).
+///
+/// Threading guarantees: events fire synchronously on the thread that called
+/// Enactor::run — backends deliver completions and timers only from within
+/// drive(), so listener invocations are strictly serialized and never
+/// concurrent, whatever the backend. Event times and counters are monotone.
+/// A listener that shares data with other threads must do its own locking;
+/// it must not call back into the Enactor.
 struct ProgressEvent {
   enum class Kind {
     kSubmitted,          // a (possibly batched) invocation went to the backend
     kCompleted,          // an invocation returned successfully
-    kFailed,             // an invocation failed definitively
+    kFailed,             // an invocation failed definitively (tuples lost)
+    kRetried,            // a transient failure is being resubmitted
+    kTimedOut,           // the watchdog raced a clone against a straggler
     kProcessorFinished,  // a processor will produce nothing further
   };
   Kind kind = Kind::kSubmitted;
   std::string processor;
   std::size_t tuples = 0;         // data tuples carried by the invocation
   double time = 0.0;              // backend time of the event
+  std::size_t attempt = 1;        // resubmission attempt number (1 = first)
   std::size_t total_invocations = 0;  // logical invocations completed so far
   std::size_t total_submissions = 0;  // backend executions so far
 };

@@ -33,6 +33,21 @@ void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
                        std::to_string(policy.overhead_fraction_target));
     node.set_attribute("maxBatch", std::to_string(policy.max_batch));
   }
+  if (policy.retry.retries_enabled()) {
+    node.set_attribute("retryAttempts", std::to_string(policy.retry.max_attempts));
+    if (policy.retry.timeout_multiplier > 0.0) {
+      node.set_attribute("retryTimeoutMultiplier",
+                         std::to_string(policy.retry.timeout_multiplier));
+      node.set_attribute("retryTimeoutMinSamples",
+                         std::to_string(policy.retry.timeout_min_samples));
+    }
+    if (policy.retry.backoff_initial_seconds > 0.0) {
+      node.set_attribute("retryBackoffInitial",
+                         std::to_string(policy.retry.backoff_initial_seconds));
+      node.set_attribute("retryBackoffFactor",
+                         std::to_string(policy.retry.backoff_factor));
+    }
+  }
 }
 
 EnactmentPolicy read_policy(const xml::Node& node) {
@@ -52,6 +67,23 @@ EnactmentPolicy read_policy(const xml::Node& node) {
   }
   if (const auto max_batch = node.attribute("maxBatch")) {
     policy.max_batch = static_cast<std::size_t>(std::stoul(*max_batch));
+  }
+  if (const auto attempts = node.attribute("retryAttempts")) {
+    policy.retry.max_attempts = static_cast<std::size_t>(std::stoul(*attempts));
+    MOTEUR_REQUIRE(policy.retry.max_attempts >= 1, ParseError,
+                   "retryAttempts must be >= 1");
+  }
+  if (const auto multiplier = node.attribute("retryTimeoutMultiplier")) {
+    policy.retry.timeout_multiplier = std::stod(*multiplier);
+  }
+  if (const auto samples = node.attribute("retryTimeoutMinSamples")) {
+    policy.retry.timeout_min_samples = static_cast<std::size_t>(std::stoul(*samples));
+  }
+  if (const auto initial = node.attribute("retryBackoffInitial")) {
+    policy.retry.backoff_initial_seconds = std::stod(*initial);
+  }
+  if (const auto factor = node.attribute("retryBackoffFactor")) {
+    policy.retry.backoff_factor = std::stod(*factor);
   }
   return policy;
 }

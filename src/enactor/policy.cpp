@@ -7,6 +7,19 @@
 
 namespace moteur::enactor {
 
+double RetryPolicy::backoff_seconds(std::size_t next_attempt) const {
+  if (backoff_initial_seconds <= 0.0 || next_attempt < 2) return 0.0;
+  double delay = backoff_initial_seconds;
+  for (std::size_t a = 2; a < next_attempt; ++a) delay *= backoff_factor;
+  return delay;
+}
+
+RetryPolicy RetryPolicy::resubmit(std::size_t attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  return policy;
+}
+
 std::size_t EnactmentPolicy::service_capacity() const {
   if (!data_parallelism) return 1;
   return data_parallelism_cap == 0 ? std::numeric_limits<std::size_t>::max()

@@ -5,6 +5,40 @@
 
 namespace moteur::enactor {
 
+/// Task-level fault tolerance: how the enactor reacts to transient backend
+/// failures and to the EGEE latency tail (§4.2: job latencies "ranging from
+/// 5 minutes to hours"). Defaults keep retries off — every failure is
+/// definitive, the seed behaviour.
+struct RetryPolicy {
+  /// Total executions allowed per submission, timeout clones included.
+  /// 1 = no resubmission.
+  std::size_t max_attempts = 1;
+
+  /// Timeout-based resubmission, the classic EGEE workaround for stragglers:
+  /// when a submission has been out longer than `timeout_multiplier` times
+  /// the running median latency of completed submissions, race a clone and
+  /// keep the first finisher. 0 disables. The median needs at least
+  /// `timeout_min_samples` completions before the watchdog arms.
+  double timeout_multiplier = 0.0;
+  std::size_t timeout_min_samples = 3;
+
+  /// Delay, in backend seconds, before resubmitting after the first
+  /// transient failure; each further retry multiplies it by
+  /// `backoff_factor`. 0 = resubmit immediately.
+  double backoff_initial_seconds = 0.0;
+  double backoff_factor = 2.0;
+
+  bool retries_enabled() const { return max_attempts > 1; }
+  bool timeout_enabled() const { return timeout_multiplier > 0.0 && max_attempts > 1; }
+
+  /// Backoff delay before attempt `next_attempt` (2 = first retry).
+  double backoff_seconds(std::size_t next_attempt) const;
+
+  static RetryPolicy none() { return RetryPolicy{}; }
+  /// Resubmit transient failures up to `attempts` executions, no timeout.
+  static RetryPolicy resubmit(std::size_t attempts);
+};
+
 /// Which optimizations the enactor applies to a run (paper §3). Workflow
 /// parallelism — concurrent execution of independent graph branches — is
 /// always on; it is "trivial and implemented in all the workflow managers"
@@ -44,6 +78,9 @@ struct EnactmentPolicy {
   double overhead_fraction_target = 0.5;
   double overhead_hint_seconds = 300.0;
   std::size_t max_batch = 16;
+
+  /// Fault-tolerance settings (retry/resubmission). Defaults to off.
+  RetryPolicy retry;
 
   /// Effective concurrent-invocation bound per service.
   std::size_t service_capacity() const;

@@ -30,29 +30,57 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
                          bindings = std::move(bindings), on_complete = std::move(on_complete),
                          submit_time](const grid::JobRecord& record) {
     --in_flight_;
-    Completion completion;
-    completion.submit_time = submit_time;
-    completion.start_time = record.run_start_time;
-    completion.end_time = record.completion_time;
-    completion.job = record;
+    Outcome outcome;
+    outcome.submit_time = submit_time;
+    outcome.start_time = record.run_start_time;
+    outcome.end_time = record.completion_time;
+    outcome.job = record;
     if (record.state == grid::JobState::kDone) {
-      completion.results.reserve(bindings.size());
+      outcome.results.reserve(bindings.size());
       for (const auto& binding : bindings) {
-        completion.results.push_back(service->synthesize_outputs(binding));
+        outcome.results.push_back(service->synthesize_outputs(binding));
       }
     } else {
-      completion.success = false;
-      completion.error = "grid job '" + record.name + "' ended in state " +
-                         std::string(grid::to_string(record.state)) + " after " +
-                         std::to_string(record.attempts) + " attempts";
+      // Middleware/site faults are transient by nature: a resubmission draws
+      // a fresh broker match. Only cancellation is final.
+      outcome.status = record.state == grid::JobState::kCancelled
+                           ? OutcomeStatus::kDefinitive
+                           : OutcomeStatus::kTransient;
+      outcome.error = "grid job '" + record.name + "' ended in state " +
+                      std::string(grid::to_string(record.state)) + " after " +
+                      std::to_string(record.attempts) + " attempts";
     }
-    on_complete(std::move(completion));
+    on_complete(std::move(outcome));
   });
+}
+
+ExecutionBackend::TimerId SimGridBackend::schedule(double delay_seconds,
+                                                   std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  ++live_timers_;
+  const sim::EventId event = grid_.simulator().schedule(
+      delay_seconds, [this, id, fn = std::move(fn)] {
+        timers_.erase(id);
+        --live_timers_;
+        fn();
+      });
+  timers_.emplace(id, event);
+  return id;
+}
+
+void SimGridBackend::cancel(TimerId id) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  grid_.simulator().cancel(it->second);
+  timers_.erase(it);
+  --live_timers_;
 }
 
 bool SimGridBackend::drive(const std::function<bool()>& done) {
   while (!done()) {
-    if (in_flight_ == 0) return false;  // only background events remain
+    // Live timers (resubmission watchdogs, backoff delays) are pending work
+    // even when no job is in flight.
+    if (in_flight_ == 0 && live_timers_ == 0) return false;
     if (!grid_.simulator().step()) return false;
   }
   return true;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <unordered_map>
+
 #include "enactor/backend.hpp"
 #include "grid/grid.hpp"
 
@@ -10,6 +12,10 @@ namespace moteur::enactor {
 /// bindings sum their compute and transfer costs into one job, paying one
 /// middleware overhead — the essence of grouping and batching), and the
 /// service's synthesize_outputs() stands in for the payload results.
+///
+/// Grid failures surface as kTransient outcomes: an EGEE job lost to
+/// middleware or site faults may well succeed when resubmitted elsewhere,
+/// which is exactly what the enactor's RetryPolicy exploits.
 class SimGridBackend : public ExecutionBackend {
  public:
   explicit SimGridBackend(grid::Grid& grid) : grid_(grid) {}
@@ -19,6 +25,9 @@ class SimGridBackend : public ExecutionBackend {
 
   double now() const override { return grid_.simulator().now(); }
 
+  TimerId schedule(double delay_seconds, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
   bool drive(const std::function<bool()>& done) override;
 
   std::size_t jobs_submitted() const { return jobs_submitted_; }
@@ -27,6 +36,10 @@ class SimGridBackend : public ExecutionBackend {
   grid::Grid& grid_;
   std::size_t jobs_submitted_ = 0;
   std::size_t in_flight_ = 0;
+  std::size_t live_timers_ = 0;
+  TimerId next_timer_ = 1;
+  /// Backend timer -> simulator event, so cancel() can reach the kernel.
+  std::unordered_map<TimerId, sim::EventId> timers_;
 };
 
 }  // namespace moteur::enactor

@@ -1,5 +1,7 @@
 #include "enactor/threaded_backend.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace moteur::enactor {
@@ -23,25 +25,25 @@ void ThreadedBackend::execute(std::shared_ptr<services::Service> service,
   const double submit_time = now();
   pool_.submit([this, service = std::move(service), bindings = std::move(bindings),
                 on_complete = std::move(on_complete), submit_time]() mutable {
-    Completion completion;
-    completion.submit_time = submit_time;
-    completion.start_time = now();
+    Outcome outcome;
+    outcome.submit_time = submit_time;
+    outcome.start_time = now();
     try {
-      completion.results.reserve(bindings.size());
+      outcome.results.reserve(bindings.size());
       // Batched bindings run sequentially on this worker, like the grouped
       // command lines of one grid job.
       for (const auto& binding : bindings) {
-        completion.results.push_back(service->invoke(binding));
+        outcome.results.push_back(service->invoke(binding));
       }
     } catch (const std::exception& e) {
-      completion.success = false;
-      completion.error = e.what();
-      completion.results.clear();
+      outcome.status = OutcomeStatus::kTransient;
+      outcome.error = e.what();
+      outcome.results.clear();
     }
-    completion.end_time = now();
+    outcome.end_time = now();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      completed_.push_back(Done{std::move(completion), std::move(on_complete)});
+      completed_.push_back(Done{std::move(outcome), std::move(on_complete)});
       --in_flight_;
       ++tasks_executed_;
     }
@@ -49,17 +51,65 @@ void ThreadedBackend::execute(std::shared_ptr<services::Service> service,
   });
 }
 
+ExecutionBackend::TimerId ThreadedBackend::schedule(double delay_seconds,
+                                                    std::function<void()> fn) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(std::max(0.0, delay_seconds)));
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_timer_++;
+    timers_.emplace(id, Timer{deadline, std::move(fn)});
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void ThreadedBackend::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timers_.erase(id);
+}
+
 bool ThreadedBackend::drive(const std::function<bool()>& done) {
   while (!done()) {
     Done next;
+    std::function<void()> due_timer;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return !completed_.empty() || in_flight_ == 0; });
-      if (completed_.empty()) return false;  // idle and nothing queued: stall
-      next = std::move(completed_.front());
-      completed_.pop_front();
+      for (;;) {
+        if (!completed_.empty()) break;
+        // Earliest timer deadline bounds the wait; a due timer fires here,
+        // on the drive thread, like a completion.
+        auto earliest = timers_.end();
+        for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+          if (earliest == timers_.end() || it->second.deadline < earliest->second.deadline) {
+            earliest = it;
+          }
+        }
+        if (earliest != timers_.end() &&
+            earliest->second.deadline <= std::chrono::steady_clock::now()) {
+          due_timer = std::move(earliest->second.fn);
+          timers_.erase(earliest);
+          break;
+        }
+        if (in_flight_ == 0 && earliest == timers_.end()) return false;  // stall
+        if (earliest != timers_.end()) {
+          cv_.wait_until(lock, earliest->second.deadline);
+        } else {
+          cv_.wait(lock, [this] { return !completed_.empty() || in_flight_ == 0; });
+        }
+      }
+      if (!due_timer && !completed_.empty()) {
+        next = std::move(completed_.front());
+        completed_.pop_front();
+      }
     }
-    next.callback(std::move(next.completion));
+    if (due_timer) {
+      due_timer();
+    } else {
+      next.callback(std::move(next.outcome));
+    }
   }
   return true;
 }

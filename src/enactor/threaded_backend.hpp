@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 
 #include "enactor/backend.hpp"
@@ -17,7 +18,12 @@ namespace moteur::enactor {
 ///
 /// Services compute in workers; completions are queued and delivered to the
 /// single-threaded enactor core from drive(), so enactor state needs no
-/// locking.
+/// locking. Timers (retry watchdogs, backoff delays) are kept in a deadline
+/// queue and also fire on the drive() thread.
+///
+/// A service exception is reported as a kTransient outcome: the enactor's
+/// RetryPolicy decides whether to re-invoke (default: no retries, so the
+/// historical one-exception-one-failure behaviour is preserved).
 class ThreadedBackend : public ExecutionBackend {
  public:
   /// `threads` = 0 picks the hardware concurrency.
@@ -29,14 +35,21 @@ class ThreadedBackend : public ExecutionBackend {
   /// Wall-clock seconds since construction.
   double now() const override;
 
+  TimerId schedule(double delay_seconds, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
   bool drive(const std::function<bool()>& done) override;
 
   std::size_t tasks_executed() const { return tasks_executed_; }
 
  private:
   struct Done {
-    Completion completion;
+    Outcome outcome;
     Callback callback;
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void()> fn;
   };
 
   ThreadPool pool_;
@@ -44,6 +57,8 @@ class ThreadedBackend : public ExecutionBackend {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Done> completed_;
+  std::map<TimerId, Timer> timers_;  // few enough that a flat scan is fine
+  TimerId next_timer_ = 1;
   std::size_t in_flight_ = 0;
   std::size_t tasks_executed_ = 0;
 };

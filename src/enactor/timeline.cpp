@@ -25,7 +25,9 @@ void Timeline::add(InvocationTrace trace) { traces_.push_back(std::move(trace));
 
 double Timeline::makespan() const {
   double last = 0.0;
-  for (const auto& trace : traces_) last = std::max(last, trace.end_time);
+  for (const auto& trace : traces_) {
+    if (!trace.superseded) last = std::max(last, trace.end_time);
+  }
   return last;
 }
 

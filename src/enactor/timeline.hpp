@@ -20,6 +20,11 @@ struct InvocationTrace {
   double start_time = 0.0;   // payload began (queue exit on the grid)
   double end_time = 0.0;     // results available
   bool failed = false;
+  /// Which resubmission attempt this execution was (1 = first try).
+  std::size_t attempt = 1;
+  /// The submission was already resolved (by a racing clone or a definitive
+  /// loss) when this execution completed; its result was discarded.
+  bool superseded = false;
   /// Grid-level record when the simulated backend executed the call.
   std::optional<grid::JobRecord> job;
 
@@ -36,7 +41,8 @@ class Timeline {
   const std::vector<InvocationTrace>& traces() const { return traces_; }
   std::size_t invocation_count() const { return traces_.size(); }
 
-  /// Last completion time over all traces (0 if empty).
+  /// Last completion time over all non-superseded traces (0 if empty) —
+  /// a straggler whose clone already delivered does not stretch the run.
   double makespan() const;
 
   /// Traces of one processor, by submit time.

@@ -24,7 +24,8 @@ std::string csv_escape(const std::string& field) {
 
 std::string timeline_to_csv(const Timeline& timeline) {
   std::ostringstream os;
-  os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed\n";
+  os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
+        "superseded\n";
   auto traces = timeline.traces();
   std::sort(traces.begin(), traces.end(),
             [](const InvocationTrace& a, const InvocationTrace& b) {
@@ -37,7 +38,8 @@ std::string timeline_to_csv(const Timeline& timeline) {
        << format_fixed(trace.span_seconds(), 3) << ','
        << (trace.job ? format_fixed(trace.job->overhead_seconds(), 3) : std::string())
        << ',' << csv_escape(trace.job ? trace.job->computing_element : std::string())
-       << ',' << (trace.failed ? "1" : "0") << '\n';
+       << ',' << (trace.failed ? "1" : "0") << ',' << trace.attempt << ','
+       << (trace.superseded ? "1" : "0") << '\n';
   }
   return os.str();
 }

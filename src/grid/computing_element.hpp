@@ -21,6 +21,9 @@ class ComputingElement {
 
   const std::string& name() const { return config_.name; }
   double speed_factor() const { return config_.speed_factor; }
+  /// Transient-failure probability for attempts running on this site
+  /// (negative inherits the grid-wide configuration).
+  double failure_probability() const { return config_.failure_probability; }
 
   /// Enter the batch system: local latency, then wait for a worker slot.
   /// `on_granted` fires when the job holds a slot.

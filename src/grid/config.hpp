@@ -48,6 +48,10 @@ struct ComputingElementConfig {
   double outage_mean_duration = 3600.0;
   /// Outages stop occurring after this horizon (bounds the event queue).
   double outage_horizon = 10.0 * 86400.0;
+  /// Per-site transient-failure probability for attempts running here
+  /// (flaky sites); negative inherits the grid-wide
+  /// GridConfig::failure_probability.
+  double failure_probability = -1.0;
 };
 
 /// Full description of a simulated infrastructure.
@@ -96,11 +100,20 @@ struct GridConfig {
   int speculative_max_clones = 1;
 
   /// Probability that an attempt fails (resubmitted up to max_attempts).
+  /// Sites may override it per CE (ComputingElementConfig).
   double failure_probability = 0.0;
   /// Fraction of the sampled payload duration consumed before the failure is
   /// detected (failures waste time, as in the paper's D0 example).
   double failure_detection_fraction = 0.5;
   int max_attempts = 3;
+
+  /// Stuck-job injection: with this probability an attempt's payload runs
+  /// `stuck_job_factor` times longer than sampled (a job "blocked on a
+  /// waiting queue", §4.2). Finite — the simulation always terminates — but
+  /// long enough for a timeout watchdog to win by racing a clone. Drawn from
+  /// a dedicated RNG substream, so enabling it never perturbs other draws.
+  double stuck_job_probability = 0.0;
+  double stuck_job_factor = 25.0;
 
   /// Background (other-user) jobs per hour across the whole grid; 0 disables.
   double background_jobs_per_hour = 0.0;

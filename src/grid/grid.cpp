@@ -104,10 +104,16 @@ void Grid::enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& 
 }
 
 void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement& ce) {
-  const double payload_seconds =
+  double payload_seconds =
       job->request.compute_seconds * overhead_.sample_compute_factor() / ce.speed_factor();
+  if (overhead_.sample_stuck()) {
+    payload_seconds *= config_.stuck_job_factor;
+    MOTEUR_LOG(kDebug, "grid") << "job " << job->record.id << " attempt "
+                               << job->record.attempts << " is stuck on " << ce.name()
+                               << " (payload x" << config_.stuck_job_factor << ")";
+  }
 
-  if (overhead_.sample_failure()) {
+  if (overhead_.sample_failure(ce.failure_probability())) {
     // The attempt dies partway through: it wastes worker time, then either
     // resubmits (fresh overhead draw — the paper's "D0 was submitted twice"
     // scenario) or gives up.

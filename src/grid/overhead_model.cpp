@@ -11,7 +11,8 @@ OverheadModel::OverheadModel(const GridConfig& config, const Rng& base)
       scheduling_rng_(base.fork("overhead.scheduling")),
       queueing_rng_(base.fork("overhead.queueing")),
       compute_rng_(base.fork("overhead.compute")),
-      failure_rng_(base.fork("overhead.failure")) {}
+      failure_rng_(base.fork("overhead.failure")),
+      stuck_rng_(base.fork("overhead.stuck")) {}
 
 double OverheadModel::sample(const LatencyModel& model, Rng& rng) {
   switch (model.kind) {

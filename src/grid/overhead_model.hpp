@@ -23,7 +23,15 @@ class OverheadModel {
   /// Wide-area transfer duration for a payload of the given size.
   double transfer_seconds(double megabytes) const;
 
-  bool sample_failure() { return failure_rng_.bernoulli(config_.failure_probability); }
+  bool sample_failure() { return sample_failure(config_.failure_probability); }
+  /// Per-site override: a negative probability inherits the grid-wide value.
+  bool sample_failure(double probability) {
+    if (probability < 0.0) probability = config_.failure_probability;
+    return failure_rng_.bernoulli(probability);
+  }
+
+  /// Whether this attempt gets stuck (payload stretched by stuck_job_factor).
+  bool sample_stuck() { return stuck_rng_.bernoulli(config_.stuck_job_probability); }
 
   /// Draw from an arbitrary latency model with a caller-provided stream
   /// (used by computing elements for their local latency).
@@ -36,6 +44,7 @@ class OverheadModel {
   Rng queueing_rng_;
   Rng compute_rng_;
   Rng failure_rng_;
+  Rng stuck_rng_;
 };
 
 }  // namespace moteur::grid

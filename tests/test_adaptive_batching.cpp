@@ -44,8 +44,8 @@ TEST(AdaptiveBatching, PicksBatchFromOverheadComputeRatio) {
   policy.overhead_hint_seconds = 600.0;
   policy.max_batch = 64;
   const auto result = run(600.0, 100.0, 24, policy);
-  EXPECT_EQ(result.invocations, 24u);
-  EXPECT_EQ(result.submissions, 4u);  // 24 items / batch 6
+  EXPECT_EQ(result.invocations(), 24u);
+  EXPECT_EQ(result.submissions(), 4u);  // 24 items / batch 6
   EXPECT_EQ(result.sink_outputs.at("k").size(), 24u);
 }
 
@@ -56,7 +56,7 @@ TEST(AdaptiveBatching, MaxBatchCaps) {
   policy.overhead_hint_seconds = 600.0;
   policy.max_batch = 4;
   const auto result = run(600.0, 10.0, 16, policy);  // would want batch 60
-  EXPECT_EQ(result.submissions, 4u);
+  EXPECT_EQ(result.submissions(), 4u);
 }
 
 TEST(AdaptiveBatching, CheapOverheadMeansNoBatching) {
@@ -65,7 +65,7 @@ TEST(AdaptiveBatching, CheapOverheadMeansNoBatching) {
   policy.overhead_fraction_target = 0.5;
   policy.overhead_hint_seconds = 1.0;
   const auto result = run(1.0, 500.0, 10, policy);  // overhead negligible
-  EXPECT_EQ(result.submissions, 10u);               // batch 1
+  EXPECT_EQ(result.submissions(), 10u);               // batch 1
 }
 
 TEST(AdaptiveBatching, BeatsUnbatchedUnderSequentialHighOverhead) {
@@ -92,7 +92,7 @@ TEST(AdaptiveBatching, FlushesRemainderOnClosure) {
   policy.max_batch = 64;
   // 10 items with target batch 6: one batch of 6 plus a flushed 4.
   const auto result = run(600.0, 100.0, 10, policy);
-  EXPECT_EQ(result.submissions, 2u);
+  EXPECT_EQ(result.submissions(), 2u);
   EXPECT_EQ(result.sink_outputs.at("k").size(), 10u);
 }
 

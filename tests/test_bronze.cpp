@@ -120,8 +120,8 @@ TEST(BronzeReal, EndToEndOnRealRegistrationServices) {
 
   const auto result =
       enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
-  EXPECT_EQ(result.failures, 0u);
-  EXPECT_EQ(result.invocations, 6 * n_pairs + 1);
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.invocations(), 6 * n_pairs + 1);
 
   // The sinks carry the bronze-standard evaluation.
   const auto& rotation_tokens = result.sink_outputs.at("accuracy_rotation");

@@ -117,9 +117,9 @@ TEST(Enactor, ChainProducesOneSinkTokenPerInput) {
   const auto result = rig.run(chain_workflow(3), items("src", 4),
                               EnactmentPolicy::sp_dp());
   ASSERT_EQ(result.sink_outputs.at("sink").size(), 4u);
-  EXPECT_EQ(result.invocations, 12u);
-  EXPECT_EQ(result.submissions, 12u);
-  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.invocations(), 12u);
+  EXPECT_EQ(result.submissions(), 12u);
+  EXPECT_EQ(result.failures(), 0u);
 }
 
 TEST(Enactor, SinkTokensSortedByIndexWithFullProvenance) {
@@ -252,8 +252,8 @@ TEST(Enactor, FailedJobsAreCountedAndStreamsShrink) {
 
   Enactor enactor(backend, registry, EnactmentPolicy::sp_dp());
   const auto result = enactor.run(chain_workflow(2), items("src", 3));
-  EXPECT_EQ(result.failures, 3u);       // every P0 invocation dies
-  EXPECT_EQ(result.invocations, 0u);    // nothing succeeded
+  EXPECT_EQ(result.failures(), 3u);       // every P0 invocation dies
+  EXPECT_EQ(result.invocations(), 0u);    // nothing succeeded
   EXPECT_TRUE(result.sink_outputs.at("sink").empty());
 }
 
@@ -283,7 +283,7 @@ TEST(Enactor, EmptyInputProducesEmptyRun) {
   register_chain_services(rig.registry, 2, 1.0);
   const auto result = rig.run(chain_workflow(2), items("src", 0),
                               EnactmentPolicy::sp_dp());
-  EXPECT_EQ(result.invocations, 0u);
+  EXPECT_EQ(result.invocations(), 0u);
   EXPECT_TRUE(result.sink_outputs.at("sink").empty());
   EXPECT_DOUBLE_EQ(result.makespan(), 0.0);
 }
@@ -394,7 +394,7 @@ TEST(ThreadedBackendTest, ServiceExceptionBecomesCountedFailure) {
   ThreadedBackend backend(2);
   Enactor enactor(backend, registry, EnactmentPolicy::sp_dp());
   const auto result = enactor.run(chain_workflow(1), items("src", 3));
-  EXPECT_EQ(result.failures, 1u);
+  EXPECT_EQ(result.failures(), 1u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 2u);
 }
 

@@ -231,7 +231,7 @@ TEST(EnactorEdge, BarrierFiresOnPartiallyFailedStream) {
 
   Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
   const auto result = moteur.run(wf, items("src", 20));
-  EXPECT_GT(result.failures, 0u);
+  EXPECT_GT(result.failures(), 0u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);  // barrier still fired
   EXPECT_EQ(result.timeline.for_processor("stats").size(), 1u);
 }
@@ -263,7 +263,7 @@ TEST(EnactorEdge, CapAndBatchCompose) {
   policy.data_parallelism_cap = 2;
   policy.batch_size = 3;
   const auto result = rig.run(workflow::make_chain(1), items("src", 12), policy);
-  EXPECT_EQ(result.submissions, 4u);  // 12 items / batch 3
+  EXPECT_EQ(result.submissions(), 4u);  // 12 items / batch 3
   // Waves of at most 2 concurrent jobs of (100 + 30): 4 jobs, cap 2 -> 2 waves.
   EXPECT_DOUBLE_EQ(result.makespan(), 2 * 130.0);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 12u);

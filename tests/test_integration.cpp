@@ -114,8 +114,8 @@ TEST(Integration, GroupedWrapperChainSubmitsOneJobPerData) {
 
   const auto result = moteur.run(wf, ds);
   EXPECT_EQ(result.grouping.merges, 1u);
-  EXPECT_EQ(result.submissions, 3u);   // one grouped job per data set
-  EXPECT_EQ(result.invocations, 6u);   // both codes still ran per data set
+  EXPECT_EQ(result.submissions(), 3u);   // one grouped job per data set
+  EXPECT_EQ(result.invocations(), 6u);   // both codes still ran per data set
   // One overhead (600) + both payloads (80) per data, fully parallel.
   EXPECT_DOUBLE_EQ(result.makespan(), 680.0);
   EXPECT_EQ(result.sink_outputs.at("done").size(), 3u);
@@ -198,7 +198,7 @@ TEST(Integration, BatchingExtensionTradesParallelismForOverhead) {
     data::InputDataSet ds;
     for (int j = 0; j < 4; ++j) ds.add_item("s", "d" + std::to_string(j));
     const auto result = moteur.run(wf, ds);
-    return std::pair<double, std::size_t>{result.makespan(), result.submissions};
+    return std::pair<double, std::size_t>{result.makespan(), result.submissions()};
   };
   const auto [t1, jobs1] = run_batched(1);
   const auto [t4, jobs4] = run_batched(4);

@@ -216,7 +216,7 @@ TEST(IterationTreeEnactment, EndToEndCounts) {
 
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
   const auto result = moteur.run(wf, ds);
-  EXPECT_EQ(result.invocations, 6u);
+  EXPECT_EQ(result.invocations(), 6u);
   const auto& tokens = result.sink_outputs.at("out");
   ASSERT_EQ(tokens.size(), 6u);
   for (const auto& token : tokens) {

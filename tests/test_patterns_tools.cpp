@@ -78,7 +78,7 @@ TEST(Patterns, FanInBarrierEnactsEndToEnd) {
   for (int j = 0; j < 4; ++j) ds.add_item("src", "d" + std::to_string(j));
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
   const auto result = moteur.run(wf, ds);
-  EXPECT_EQ(result.invocations, 3u * 4u + 1u);
+  EXPECT_EQ(result.invocations(), 3u * 4u + 1u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);
 }
 
@@ -106,7 +106,9 @@ TEST(TimelineCsv, HeaderRowsAndEscaping) {
   const std::string csv = enactor::timeline_to_csv(timeline);
   const auto lines = split(csv, '\n');
   ASSERT_GE(lines.size(), 2u);
-  EXPECT_EQ(lines[0], "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed");
+  EXPECT_EQ(lines[0],
+            "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
+            "superseded");
   EXPECT_NE(lines[1].find("\"crest,Lines\"\"x\"\"\""), std::string::npos);
   EXPECT_NE(lines[1].find("ce3"), std::string::npos);
   EXPECT_NE(lines[1].find(",0"), std::string::npos);  // failed flag

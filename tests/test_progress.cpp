@@ -51,8 +51,8 @@ TEST(Progress, EventsCoverTheWholeRun) {
     EXPECT_GE(e.total_invocations, last_invocations);  // counters are monotone
     last_invocations = e.total_invocations;
   }
-  EXPECT_EQ(counts[ProgressEvent::Kind::kSubmitted], result.submissions);
-  EXPECT_EQ(counts[ProgressEvent::Kind::kCompleted], result.submissions);
+  EXPECT_EQ(counts[ProgressEvent::Kind::kSubmitted], result.submissions());
+  EXPECT_EQ(counts[ProgressEvent::Kind::kCompleted], result.submissions());
   EXPECT_EQ(counts[ProgressEvent::Kind::kFailed], 0u);
   EXPECT_EQ(counts[ProgressEvent::Kind::kProcessorFinished], 2u);
   EXPECT_EQ(tuples_submitted, 8u);
@@ -76,7 +76,7 @@ TEST(Progress, FailureEventsFire) {
     if (e.kind == ProgressEvent::Kind::kFailed) ++failed_events;
   });
   const auto result = moteur.run(workflow::make_chain(1), items(3));
-  EXPECT_EQ(result.failures, 3u);
+  EXPECT_EQ(result.failures(), 3u);
   EXPECT_EQ(failed_events, 3u);
 }
 

@@ -134,12 +134,12 @@ TEST_P(RandomWorkflows, AllPoliciesProduceTheSameScience) {
 
   const auto reference = enact(app, enactor::EnactmentPolicy::sp_dp());
   const auto reference_science = science_of(reference);
-  EXPECT_EQ(reference.failures, 0u);
+  EXPECT_EQ(reference.failures(), 0u);
 
   for (const auto* config : {"NOP", "JG", "SP", "DP", "SP+DP+JG"}) {
     const auto result = enact(app, enactor::EnactmentPolicy::parse(config));
     EXPECT_EQ(science_of(result), reference_science) << "policy " << config;
-    EXPECT_EQ(result.invocations, reference.invocations) << "policy " << config;
+    EXPECT_EQ(result.invocations(), reference.invocations()) << "policy " << config;
   }
 }
 

@@ -123,8 +123,8 @@ TEST(ThreadedStress, HundredsOfTuplesThroughPipelines) {
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
   const auto result = moteur.run(workflow::make_chain(3), ds);
 
-  EXPECT_EQ(result.failures, 0u);
-  EXPECT_EQ(result.invocations, 3u * kItems);
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.invocations(), 3u * kItems);
   const auto& tokens = result.sink_outputs.at("sink");
   ASSERT_EQ(tokens.size(), static_cast<std::size_t>(kItems));
   for (int j = 0; j < kItems; ++j) {

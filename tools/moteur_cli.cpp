@@ -49,6 +49,8 @@ using namespace moteur;
       "  moteur_cli run --workflow WF.xml --data DS.xml --services CAT.xml\n"
       "             [--policy NOP|JG|SP|DP|SP+DP|SP+DP+JG] [--grid PRESET]\n"
       "             [--seed N] [--overhead S] [--batch K] [--adaptive]\n"
+      "             [--retries N] [--retry-timeout MULT] [--retry-backoff S]\n"
+      "             [--inject-failures P] [--inject-stuck P] [--grid-attempts N]\n"
       "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n             [--diagram COLSECONDS]\n"
       "  moteur_cli run --manifest RUN.xml [--services CAT.xml] [...]\n"
       "  moteur_cli save-manifest --workflow WF.xml --data DS.xml --out RUN.xml\n"
@@ -125,6 +127,15 @@ enactor::RunManifest manifest_from_args(const Args& args) {
     manifest.policy.batch_size = static_cast<std::size_t>(std::stoul(*batch));
   }
   if (args.has("adaptive")) manifest.policy.adaptive_batching = true;
+  if (const auto retries = args.get("retries")) {
+    manifest.policy.retry.max_attempts = static_cast<std::size_t>(std::stoul(*retries));
+  }
+  if (const auto multiplier = args.get("retry-timeout")) {
+    manifest.policy.retry.timeout_multiplier = std::stod(*multiplier);
+  }
+  if (const auto backoff = args.get("retry-backoff")) {
+    manifest.policy.retry.backoff_initial_seconds = std::stod(*backoff);
+  }
   return manifest;
 }
 
@@ -138,7 +149,12 @@ int cmd_run(const Args& args) {
   }
 
   sim::Simulator simulator;
-  grid::Grid grid(simulator, manifest.make_grid_config());
+  grid::GridConfig grid_config = manifest.make_grid_config();
+  // Fault-injection knobs: surface failures to the enactor's retry policy.
+  if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
+  if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
+  if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
+  grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
   enactor::Enactor moteur(backend, registry, manifest.policy);
 
@@ -151,7 +167,11 @@ int cmd_run(const Args& args) {
   std::printf("makespan:     %s (%.0f s)\n", format_duration(result.makespan()).c_str(),
               result.makespan());
   std::printf("invocations:  %zu logical, %zu submissions, %zu failures\n",
-              result.invocations, result.submissions, result.failures);
+              result.invocations(), result.submissions(), result.failures());
+  if (result.retries() != 0 || result.timeouts() != 0) {
+    std::printf("resubmission: %zu retries, %zu timeout clones\n", result.retries(),
+                result.timeouts());
+  }
   for (const auto& [sink, tokens] : result.sink_outputs) {
     std::printf("sink %-20s %zu results\n", (sink + ":").c_str(), tokens.size());
   }
@@ -177,7 +197,7 @@ int cmd_run(const Args& args) {
     write_file(*out, enactor::timeline_to_csv(result.timeline));
     std::printf("timeline written to %s\n", out->c_str());
   }
-  return result.failures == 0 ? 0 : 2;
+  return result.failures() == 0 ? 0 : 2;
 }
 
 int cmd_save_manifest(const Args& args) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   tools/tier1.sh          build + ctest (the ROADMAP tier-1 command)
+#   tools/tier1.sh --tsan   additionally rebuild the enactor-labelled tests
+#                           under -fsanitize=thread and run them
+#                           (ThreadedBackend races surface here)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "${1:-}" = "--tsan" ]; then
+  echo "== TSan stage: enactor/retry tests under -fsanitize=thread =="
+  cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
+  cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress test_retry
+  (cd build-tsan && ctest --output-on-failure -L enactor)
+fi
