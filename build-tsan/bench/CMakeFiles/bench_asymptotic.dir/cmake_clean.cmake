@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asymptotic.dir/bench_asymptotic.cpp.o"
+  "CMakeFiles/bench_asymptotic.dir/bench_asymptotic.cpp.o.d"
+  "bench_asymptotic"
+  "bench_asymptotic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asymptotic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_contrast.dir/bench_cluster_contrast.cpp.o"
+  "CMakeFiles/bench_cluster_contrast.dir/bench_cluster_contrast.cpp.o.d"
+  "bench_cluster_contrast"
+  "bench_cluster_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

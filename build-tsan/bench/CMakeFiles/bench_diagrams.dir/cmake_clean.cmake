@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagrams.dir/bench_diagrams.cpp.o"
+  "CMakeFiles/bench_diagrams.dir/bench_diagrams.cpp.o.d"
+  "bench_diagrams"
+  "bench_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retry.dir/bench_retry.cpp.o"
+  "CMakeFiles/bench_retry.dir/bench_retry.cpp.o.d"
+  "bench_retry"
+  "bench_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speculative.dir/bench_speculative.cpp.o"
+  "CMakeFiles/bench_speculative.dir/bench_speculative.cpp.o.d"
+  "bench_speculative"
+  "bench_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

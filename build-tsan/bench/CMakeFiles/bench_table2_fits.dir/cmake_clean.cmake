@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fits.dir/bench_table2_fits.cpp.o"
+  "CMakeFiles/bench_table2_fits.dir/bench_table2_fits.cpp.o.d"
+  "bench_table2_fits"
+  "bench_table2_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskbased.dir/bench_taskbased.cpp.o"
+  "CMakeFiles/bench_taskbased.dir/bench_taskbased.cpp.o.d"
+  "bench_taskbased"
+  "bench_taskbased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskbased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrapper.dir/bench_wrapper.cpp.o"
+  "CMakeFiles/bench_wrapper.dir/bench_wrapper.cpp.o.d"
+  "bench_wrapper"
+  "bench_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bronze_standard.dir/bronze_standard.cpp.o"
+  "CMakeFiles/bronze_standard.dir/bronze_standard.cpp.o.d"
+  "bronze_standard"
+  "bronze_standard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bronze_standard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

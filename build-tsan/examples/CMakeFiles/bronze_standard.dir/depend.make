@@ -1,0 +1,2 @@
+# Empty dependencies file for bronze_standard.
+# This may be replaced when dependencies are built.

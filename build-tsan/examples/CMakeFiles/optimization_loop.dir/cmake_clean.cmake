@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_loop.dir/optimization_loop.cpp.o"
+  "CMakeFiles/optimization_loop.dir/optimization_loop.cpp.o.d"
+  "optimization_loop"
+  "optimization_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_vs_service.dir/task_vs_service.cpp.o"
+  "CMakeFiles/task_vs_service.dir/task_vs_service.cpp.o.d"
+  "task_vs_service"
+  "task_vs_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_vs_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

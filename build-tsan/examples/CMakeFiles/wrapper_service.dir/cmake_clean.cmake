@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_service.dir/wrapper_service.cpp.o"
+  "CMakeFiles/wrapper_service.dir/wrapper_service.cpp.o.d"
+  "wrapper_service"
+  "wrapper_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("sim")
+subdirs("grid")
+subdirs("data")
+subdirs("workflow")
+subdirs("services")
+subdirs("enactor")
+subdirs("model")
+subdirs("registration")
+subdirs("task")
+subdirs("app")

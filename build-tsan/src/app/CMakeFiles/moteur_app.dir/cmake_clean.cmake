@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_app.dir/bronze_standard.cpp.o"
+  "CMakeFiles/moteur_app.dir/bronze_standard.cpp.o.d"
+  "CMakeFiles/moteur_app.dir/experiment.cpp.o"
+  "CMakeFiles/moteur_app.dir/experiment.cpp.o.d"
+  "libmoteur_app.a"
+  "libmoteur_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_data.dir/dataset.cpp.o"
+  "CMakeFiles/moteur_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/moteur_data.dir/provenance.cpp.o"
+  "CMakeFiles/moteur_data.dir/provenance.cpp.o.d"
+  "CMakeFiles/moteur_data.dir/provenance_xml.cpp.o"
+  "CMakeFiles/moteur_data.dir/provenance_xml.cpp.o.d"
+  "CMakeFiles/moteur_data.dir/token.cpp.o"
+  "CMakeFiles/moteur_data.dir/token.cpp.o.d"
+  "libmoteur_data.a"
+  "libmoteur_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

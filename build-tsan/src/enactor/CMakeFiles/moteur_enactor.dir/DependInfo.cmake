@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enactor/backend.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/backend.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/backend.cpp.o.d"
+  "/root/repo/src/enactor/diagram.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/diagram.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/diagram.cpp.o.d"
+  "/root/repo/src/enactor/enactor.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/enactor.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/enactor.cpp.o.d"
+  "/root/repo/src/enactor/manifest.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/manifest.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/manifest.cpp.o.d"
+  "/root/repo/src/enactor/policy.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/policy.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/policy.cpp.o.d"
+  "/root/repo/src/enactor/sim_backend.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/sim_backend.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/sim_backend.cpp.o.d"
+  "/root/repo/src/enactor/threaded_backend.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/threaded_backend.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/threaded_backend.cpp.o.d"
+  "/root/repo/src/enactor/timeline.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/timeline.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/timeline.cpp.o.d"
+  "/root/repo/src/enactor/timeline_csv.cpp" "src/enactor/CMakeFiles/moteur_enactor.dir/timeline_csv.cpp.o" "gcc" "src/enactor/CMakeFiles/moteur_enactor.dir/timeline_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/moteur_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/grid/CMakeFiles/moteur_grid.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workflow/CMakeFiles/moteur_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/services/CMakeFiles/moteur_services.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/moteur_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/moteur_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

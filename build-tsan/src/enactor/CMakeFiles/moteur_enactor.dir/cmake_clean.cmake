@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_enactor.dir/backend.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/backend.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/diagram.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/diagram.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/enactor.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/enactor.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/manifest.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/manifest.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/policy.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/policy.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/sim_backend.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/threaded_backend.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/threaded_backend.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/timeline.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/timeline.cpp.o.d"
+  "CMakeFiles/moteur_enactor.dir/timeline_csv.cpp.o"
+  "CMakeFiles/moteur_enactor.dir/timeline_csv.cpp.o.d"
+  "libmoteur_enactor.a"
+  "libmoteur_enactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_enactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

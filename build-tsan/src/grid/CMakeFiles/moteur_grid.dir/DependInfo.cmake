@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/background_load.cpp" "src/grid/CMakeFiles/moteur_grid.dir/background_load.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/background_load.cpp.o.d"
+  "/root/repo/src/grid/computing_element.cpp" "src/grid/CMakeFiles/moteur_grid.dir/computing_element.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/computing_element.cpp.o.d"
+  "/root/repo/src/grid/config.cpp" "src/grid/CMakeFiles/moteur_grid.dir/config.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/config.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/moteur_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/overhead_model.cpp" "src/grid/CMakeFiles/moteur_grid.dir/overhead_model.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/overhead_model.cpp.o.d"
+  "/root/repo/src/grid/resource_broker.cpp" "src/grid/CMakeFiles/moteur_grid.dir/resource_broker.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/resource_broker.cpp.o.d"
+  "/root/repo/src/grid/storage_element.cpp" "src/grid/CMakeFiles/moteur_grid.dir/storage_element.cpp.o" "gcc" "src/grid/CMakeFiles/moteur_grid.dir/storage_element.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/moteur_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_grid.dir/background_load.cpp.o"
+  "CMakeFiles/moteur_grid.dir/background_load.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/computing_element.cpp.o"
+  "CMakeFiles/moteur_grid.dir/computing_element.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/config.cpp.o"
+  "CMakeFiles/moteur_grid.dir/config.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/grid.cpp.o"
+  "CMakeFiles/moteur_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/overhead_model.cpp.o"
+  "CMakeFiles/moteur_grid.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/resource_broker.cpp.o"
+  "CMakeFiles/moteur_grid.dir/resource_broker.cpp.o.d"
+  "CMakeFiles/moteur_grid.dir/storage_element.cpp.o"
+  "CMakeFiles/moteur_grid.dir/storage_element.cpp.o.d"
+  "libmoteur_grid.a"
+  "libmoteur_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dag.cpp" "src/model/CMakeFiles/moteur_model.dir/dag.cpp.o" "gcc" "src/model/CMakeFiles/moteur_model.dir/dag.cpp.o.d"
+  "/root/repo/src/model/makespan.cpp" "src/model/CMakeFiles/moteur_model.dir/makespan.cpp.o" "gcc" "src/model/CMakeFiles/moteur_model.dir/makespan.cpp.o.d"
+  "/root/repo/src/model/metrics.cpp" "src/model/CMakeFiles/moteur_model.dir/metrics.cpp.o" "gcc" "src/model/CMakeFiles/moteur_model.dir/metrics.cpp.o.d"
+  "/root/repo/src/model/probabilistic.cpp" "src/model/CMakeFiles/moteur_model.dir/probabilistic.cpp.o" "gcc" "src/model/CMakeFiles/moteur_model.dir/probabilistic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workflow/CMakeFiles/moteur_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/moteur_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/moteur_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_model.dir/dag.cpp.o"
+  "CMakeFiles/moteur_model.dir/dag.cpp.o.d"
+  "CMakeFiles/moteur_model.dir/makespan.cpp.o"
+  "CMakeFiles/moteur_model.dir/makespan.cpp.o.d"
+  "CMakeFiles/moteur_model.dir/metrics.cpp.o"
+  "CMakeFiles/moteur_model.dir/metrics.cpp.o.d"
+  "CMakeFiles/moteur_model.dir/probabilistic.cpp.o"
+  "CMakeFiles/moteur_model.dir/probabilistic.cpp.o.d"
+  "libmoteur_model.a"
+  "libmoteur_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

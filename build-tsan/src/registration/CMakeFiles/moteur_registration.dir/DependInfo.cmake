@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registration/algorithms.cpp" "src/registration/CMakeFiles/moteur_registration.dir/algorithms.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/algorithms.cpp.o.d"
+  "/root/repo/src/registration/bronze.cpp" "src/registration/CMakeFiles/moteur_registration.dir/bronze.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/bronze.cpp.o.d"
+  "/root/repo/src/registration/crest.cpp" "src/registration/CMakeFiles/moteur_registration.dir/crest.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/crest.cpp.o.d"
+  "/root/repo/src/registration/geometry.cpp" "src/registration/CMakeFiles/moteur_registration.dir/geometry.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/geometry.cpp.o.d"
+  "/root/repo/src/registration/image3d.cpp" "src/registration/CMakeFiles/moteur_registration.dir/image3d.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/image3d.cpp.o.d"
+  "/root/repo/src/registration/image_io.cpp" "src/registration/CMakeFiles/moteur_registration.dir/image_io.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/image_io.cpp.o.d"
+  "/root/repo/src/registration/phantom.cpp" "src/registration/CMakeFiles/moteur_registration.dir/phantom.cpp.o" "gcc" "src/registration/CMakeFiles/moteur_registration.dir/phantom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

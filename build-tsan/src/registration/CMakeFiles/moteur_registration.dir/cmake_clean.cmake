@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_registration.dir/algorithms.cpp.o"
+  "CMakeFiles/moteur_registration.dir/algorithms.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/bronze.cpp.o"
+  "CMakeFiles/moteur_registration.dir/bronze.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/crest.cpp.o"
+  "CMakeFiles/moteur_registration.dir/crest.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/geometry.cpp.o"
+  "CMakeFiles/moteur_registration.dir/geometry.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/image3d.cpp.o"
+  "CMakeFiles/moteur_registration.dir/image3d.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/image_io.cpp.o"
+  "CMakeFiles/moteur_registration.dir/image_io.cpp.o.d"
+  "CMakeFiles/moteur_registration.dir/phantom.cpp.o"
+  "CMakeFiles/moteur_registration.dir/phantom.cpp.o.d"
+  "libmoteur_registration.a"
+  "libmoteur_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/catalog.cpp" "src/services/CMakeFiles/moteur_services.dir/catalog.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/catalog.cpp.o.d"
+  "/root/repo/src/services/descriptor.cpp" "src/services/CMakeFiles/moteur_services.dir/descriptor.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/descriptor.cpp.o.d"
+  "/root/repo/src/services/functional_service.cpp" "src/services/CMakeFiles/moteur_services.dir/functional_service.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/functional_service.cpp.o.d"
+  "/root/repo/src/services/grouped_service.cpp" "src/services/CMakeFiles/moteur_services.dir/grouped_service.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/grouped_service.cpp.o.d"
+  "/root/repo/src/services/registry.cpp" "src/services/CMakeFiles/moteur_services.dir/registry.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/registry.cpp.o.d"
+  "/root/repo/src/services/service.cpp" "src/services/CMakeFiles/moteur_services.dir/service.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/service.cpp.o.d"
+  "/root/repo/src/services/wrapper_service.cpp" "src/services/CMakeFiles/moteur_services.dir/wrapper_service.cpp.o" "gcc" "src/services/CMakeFiles/moteur_services.dir/wrapper_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/moteur_xml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/moteur_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/grid/CMakeFiles/moteur_grid.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workflow/CMakeFiles/moteur_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/moteur_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_services.dir/catalog.cpp.o"
+  "CMakeFiles/moteur_services.dir/catalog.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/descriptor.cpp.o"
+  "CMakeFiles/moteur_services.dir/descriptor.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/functional_service.cpp.o"
+  "CMakeFiles/moteur_services.dir/functional_service.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/grouped_service.cpp.o"
+  "CMakeFiles/moteur_services.dir/grouped_service.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/registry.cpp.o"
+  "CMakeFiles/moteur_services.dir/registry.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/service.cpp.o"
+  "CMakeFiles/moteur_services.dir/service.cpp.o.d"
+  "CMakeFiles/moteur_services.dir/wrapper_service.cpp.o"
+  "CMakeFiles/moteur_services.dir/wrapper_service.cpp.o.d"
+  "libmoteur_services.a"
+  "libmoteur_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_sim.dir/resource.cpp.o"
+  "CMakeFiles/moteur_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/moteur_sim.dir/simulator.cpp.o"
+  "CMakeFiles/moteur_sim.dir/simulator.cpp.o.d"
+  "libmoteur_sim.a"
+  "libmoteur_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_task.dir/dagman.cpp.o"
+  "CMakeFiles/moteur_task.dir/dagman.cpp.o.d"
+  "CMakeFiles/moteur_task.dir/expansion.cpp.o"
+  "CMakeFiles/moteur_task.dir/expansion.cpp.o.d"
+  "CMakeFiles/moteur_task.dir/task_graph.cpp.o"
+  "CMakeFiles/moteur_task.dir/task_graph.cpp.o.d"
+  "libmoteur_task.a"
+  "libmoteur_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_util.dir/log.cpp.o"
+  "CMakeFiles/moteur_util.dir/log.cpp.o.d"
+  "CMakeFiles/moteur_util.dir/rng.cpp.o"
+  "CMakeFiles/moteur_util.dir/rng.cpp.o.d"
+  "CMakeFiles/moteur_util.dir/stats.cpp.o"
+  "CMakeFiles/moteur_util.dir/stats.cpp.o.d"
+  "CMakeFiles/moteur_util.dir/strings.cpp.o"
+  "CMakeFiles/moteur_util.dir/strings.cpp.o.d"
+  "CMakeFiles/moteur_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/moteur_util.dir/thread_pool.cpp.o.d"
+  "libmoteur_util.a"
+  "libmoteur_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

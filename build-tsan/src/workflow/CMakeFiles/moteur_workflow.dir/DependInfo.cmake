@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/analysis.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/analysis.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/analysis.cpp.o.d"
+  "/root/repo/src/workflow/graph.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/graph.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/graph.cpp.o.d"
+  "/root/repo/src/workflow/grouping.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/grouping.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/grouping.cpp.o.d"
+  "/root/repo/src/workflow/iteration.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/iteration.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/iteration.cpp.o.d"
+  "/root/repo/src/workflow/iteration_tree.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/iteration_tree.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/iteration_tree.cpp.o.d"
+  "/root/repo/src/workflow/patterns.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/patterns.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/patterns.cpp.o.d"
+  "/root/repo/src/workflow/scufl.cpp" "src/workflow/CMakeFiles/moteur_workflow.dir/scufl.cpp.o" "gcc" "src/workflow/CMakeFiles/moteur_workflow.dir/scufl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/moteur_xml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/moteur_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

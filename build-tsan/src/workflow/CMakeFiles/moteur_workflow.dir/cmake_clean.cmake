@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_workflow.dir/analysis.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/analysis.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/graph.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/graph.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/grouping.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/grouping.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/iteration.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/iteration.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/iteration_tree.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/iteration_tree.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/patterns.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/patterns.cpp.o.d"
+  "CMakeFiles/moteur_workflow.dir/scufl.cpp.o"
+  "CMakeFiles/moteur_workflow.dir/scufl.cpp.o.d"
+  "libmoteur_workflow.a"
+  "libmoteur_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

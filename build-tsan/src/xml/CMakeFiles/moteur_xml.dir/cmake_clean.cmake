@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_xml.dir/xml.cpp.o"
+  "CMakeFiles/moteur_xml.dir/xml.cpp.o.d"
+  "libmoteur_xml.a"
+  "libmoteur_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoteur_xml.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_batching.dir/test_adaptive_batching.cpp.o"
+  "CMakeFiles/test_adaptive_batching.dir/test_adaptive_batching.cpp.o.d"
+  "test_adaptive_batching"
+  "test_adaptive_batching.pdb"
+  "test_adaptive_batching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

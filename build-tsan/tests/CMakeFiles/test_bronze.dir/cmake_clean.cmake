@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bronze.dir/test_bronze.cpp.o"
+  "CMakeFiles/test_bronze.dir/test_bronze.cpp.o.d"
+  "test_bronze"
+  "test_bronze.pdb"
+  "test_bronze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bronze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

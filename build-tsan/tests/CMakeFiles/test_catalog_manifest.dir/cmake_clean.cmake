@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_manifest.dir/test_catalog_manifest.cpp.o"
+  "CMakeFiles/test_catalog_manifest.dir/test_catalog_manifest.cpp.o.d"
+  "test_catalog_manifest"
+  "test_catalog_manifest.pdb"
+  "test_catalog_manifest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

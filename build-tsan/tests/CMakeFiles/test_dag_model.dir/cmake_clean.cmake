@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_model.dir/test_dag_model.cpp.o"
+  "CMakeFiles/test_dag_model.dir/test_dag_model.cpp.o.d"
+  "test_dag_model"
+  "test_dag_model.pdb"
+  "test_dag_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enactor.dir/test_enactor.cpp.o"
+  "CMakeFiles/test_enactor.dir/test_enactor.cpp.o.d"
+  "test_enactor"
+  "test_enactor.pdb"
+  "test_enactor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

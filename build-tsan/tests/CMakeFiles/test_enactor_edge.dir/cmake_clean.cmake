@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enactor_edge.dir/test_enactor_edge.cpp.o"
+  "CMakeFiles/test_enactor_edge.dir/test_enactor_edge.cpp.o.d"
+  "test_enactor_edge"
+  "test_enactor_edge.pdb"
+  "test_enactor_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enactor_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enactor_model_validation.dir/test_enactor_model_validation.cpp.o"
+  "CMakeFiles/test_enactor_model_validation.dir/test_enactor_model_validation.cpp.o.d"
+  "test_enactor_model_validation"
+  "test_enactor_model_validation.pdb"
+  "test_enactor_model_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enactor_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_enactor_model_validation.
+# This may be replaced when dependencies are built.

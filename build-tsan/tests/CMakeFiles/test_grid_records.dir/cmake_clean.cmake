@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_records.dir/test_grid_records.cpp.o"
+  "CMakeFiles/test_grid_records.dir/test_grid_records.cpp.o.d"
+  "test_grid_records"
+  "test_grid_records.pdb"
+  "test_grid_records[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iteration.dir/test_iteration.cpp.o"
+  "CMakeFiles/test_iteration.dir/test_iteration.cpp.o.d"
+  "test_iteration"
+  "test_iteration.pdb"
+  "test_iteration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iteration_tree.dir/test_iteration_tree.cpp.o"
+  "CMakeFiles/test_iteration_tree.dir/test_iteration_tree.cpp.o.d"
+  "test_iteration_tree"
+  "test_iteration_tree.pdb"
+  "test_iteration_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iteration_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/test_model.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/task/CMakeFiles/moteur_task.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/app/CMakeFiles/moteur_app.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/enactor/CMakeFiles/moteur_enactor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/services/CMakeFiles/moteur_services.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/grid/CMakeFiles/moteur_grid.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/moteur_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/moteur_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workflow/CMakeFiles/moteur_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/moteur_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/moteur_xml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/registration/CMakeFiles/moteur_registration.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/moteur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

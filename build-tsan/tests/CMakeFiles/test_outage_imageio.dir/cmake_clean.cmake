@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outage_imageio.dir/test_outage_imageio.cpp.o"
+  "CMakeFiles/test_outage_imageio.dir/test_outage_imageio.cpp.o.d"
+  "test_outage_imageio"
+  "test_outage_imageio.pdb"
+  "test_outage_imageio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outage_imageio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patterns_tools.dir/test_patterns_tools.cpp.o"
+  "CMakeFiles/test_patterns_tools.dir/test_patterns_tools.cpp.o.d"
+  "test_patterns_tools"
+  "test_patterns_tools.pdb"
+  "test_patterns_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patterns_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pyramid.dir/test_pyramid.cpp.o"
+  "CMakeFiles/test_pyramid.dir/test_pyramid.cpp.o.d"
+  "test_pyramid"
+  "test_pyramid.pdb"
+  "test_pyramid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

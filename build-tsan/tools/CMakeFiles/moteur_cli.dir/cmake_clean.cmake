@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moteur_cli.dir/moteur_cli.cpp.o"
+  "CMakeFiles/moteur_cli.dir/moteur_cli.cpp.o.d"
+  "moteur_cli"
+  "moteur_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moteur_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

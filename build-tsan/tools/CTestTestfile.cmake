@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_validate "/root/repo/build-tsan/tools/moteur_cli" "validate" "--workflow" "/root/repo/examples/data/bronze_workflow.xml" "--services" "/root/repo/examples/data/bronze_services.xml" "--nd" "12")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_manifest "/root/repo/build-tsan/tools/moteur_cli" "run" "--manifest" "/root/repo/examples/data/bronze_run.xml" "--services" "/root/repo/examples/data/bronze_services.xml")
+set_tests_properties(cli_run_manifest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_documents "/root/repo/build-tsan/tools/moteur_cli" "run" "--workflow" "/root/repo/examples/data/quickstart_workflow.xml" "--data" "/root/repo/examples/data/quickstart_dataset.xml" "--services" "/root/repo/examples/data/quickstart_services.xml" "--policy" "SP+DP+JG" "--grid" "constant" "--overhead" "120")
+set_tests_properties(cli_run_documents PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_model "/root/repo/build-tsan/tools/moteur_cli" "model" "--nw" "5" "--nd" "126" "--t" "600")
+set_tests_properties(cli_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build-tsan/tools/moteur_cli" "frobnicate")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
