@@ -11,6 +11,10 @@
 #include "grid/job.hpp"
 #include "services/service.hpp"
 
+namespace moteur::obs {
+class MetricsRegistry;
+}  // namespace moteur::obs
+
 namespace moteur::enactor {
 
 /// How one backend execution ended, from the enactor's point of view. The
@@ -94,6 +98,12 @@ class ExecutionBackend {
   /// timers) before done() held — the enactor treats that as a stall and
   /// attempts feedback closure.
   virtual bool drive(const std::function<bool()>& done) = 0;
+
+  /// Optional sink for backend-level metrics (job/task tallies, backend
+  /// queue waits). Set it before enacting; the backend records only from
+  /// within drive(), so the registry needs no locking. Default: record
+  /// nothing.
+  virtual void set_metrics(obs::MetricsRegistry* metrics) { (void)metrics; }
 };
 
 }  // namespace moteur::enactor

@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 
+#include "obs/recorder.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -33,13 +34,13 @@ class Engine {
  public:
   Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
          const EnactmentPolicy& policy, const Enactor::PayloadResolver& resolver,
-         const Enactor::ProgressListener& listener, Workflow workflow,
+         const std::vector<Enactor::EventSubscriber>& subscribers, Workflow workflow,
          const data::InputDataSet& inputs)
       : backend_(backend),
         registry_(registry),
         policy_(policy),
         resolver_(resolver),
-        listener_(listener),
+        subscribers_(subscribers),
         workflow_(std::move(workflow)),
         inputs_(inputs) {}
 
@@ -65,6 +66,7 @@ class Engine {
   /// clones — race; the first success wins, late completions are discarded.
   struct Submission {
     PState* state = nullptr;
+    std::uint64_t id = 0;  // run-unique invocation id (observability)
     std::vector<IterationBuffer::Tuple> tuples;
     std::vector<services::Inputs> bindings;
     std::size_t attempts_started = 0;
@@ -111,25 +113,41 @@ class Engine {
 
   PState& state_of(const std::string& name) { return states_.at(name); }
 
-  void notify(ProgressEvent::Kind kind, const std::string& processor,
-              std::size_t tuples, std::size_t attempt = 1) const {
-    if (!listener_) return;
-    ProgressEvent event;
+  // --- Observability: the structured event stream every consumer (span
+  // recorder, metrics, the legacy ProgressEvent adapter) subscribes to.
+  // Events carry the running totals at emission time, so emission points sit
+  // strictly after the corresponding stats_ updates.
+  bool observing() const { return !subscribers_.empty(); }
+
+  obs::RunEvent make_event(obs::RunEvent::Kind kind) const {
+    obs::RunEvent event;
     event.kind = kind;
-    event.processor = processor;
-    event.tuples = tuples;
     event.time = backend_.now();
-    event.attempt = attempt;
     event.total_invocations = result_.stats.invocations;
     event.total_submissions = result_.stats.submissions;
-    listener_(event);
+    event.tuples_in_flight = tuples_in_flight_;
+    return event;
+  }
+
+  obs::RunEvent make_event(obs::RunEvent::Kind kind, const Submission& sub,
+                           std::size_t attempt) const {
+    obs::RunEvent event = make_event(kind);
+    event.processor = sub.state->proc->name;
+    event.invocation = sub.id;
+    event.attempt = attempt;
+    event.tuples = sub.tuples.size();
+    return event;
+  }
+
+  void emit(const obs::RunEvent& event) const {
+    for (const auto& subscriber : subscribers_) subscriber(event);
   }
 
   ExecutionBackend& backend_;
   services::ServiceRegistry& registry_;
   const EnactmentPolicy& policy_;
   const Enactor::PayloadResolver& resolver_;
-  const Enactor::ProgressListener& listener_;
+  const std::vector<Enactor::EventSubscriber>& subscribers_;
   Workflow workflow_;
   const data::InputDataSet& inputs_;
 
@@ -148,6 +166,8 @@ class Engine {
   std::vector<double> latency_samples_;
   /// Unresolved submissions, for late watchdog arming (pruned lazily).
   std::vector<std::weak_ptr<Submission>> outstanding_;
+  std::uint64_t next_submission_id_ = 1;
+  std::size_t tuples_in_flight_ = 0;  // across all unresolved submissions
   EnactmentResult result_;
 };
 
@@ -363,12 +383,15 @@ void Engine::fire(PState& state, std::vector<IterationBuffer::Tuple> tuples) {
     sub->bindings.push_back(std::move(binding));
   }
   sub->tuples = std::move(tuples);
+  sub->id = next_submission_id_++;
 
   ++state.in_flight;
   state.fired += sub->tuples.size();
+  tuples_in_flight_ += sub->tuples.size();
   outstanding_.push_back(sub);
   MOTEUR_LOG(kDebug, "enactor") << "fire '" << state.proc->name << "' on "
                                 << sub->tuples.size() << " tuple(s)";
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kInvocationStarted, *sub, 0));
   start_attempt(sub);
 }
 
@@ -398,12 +421,15 @@ void Engine::fire_barrier(PState& state) {
   sub->state = &state;
   sub->tuples.push_back(std::move(pseudo_tuple));
   sub->bindings.push_back(std::move(binding));
+  sub->id = next_submission_id_++;
 
   state.sync_fired = true;
   ++state.in_flight;
   ++state.fired;
+  ++tuples_in_flight_;
   outstanding_.push_back(sub);
   MOTEUR_LOG(kDebug, "enactor") << "fire barrier '" << state.proc->name << "'";
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kInvocationStarted, *sub, 0));
   start_attempt(sub);
 }
 
@@ -412,8 +438,7 @@ void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
   ++sub->attempts_in_flight;
   sub->attempt_started_at = backend_.now();
   ++result_.stats.submissions;
-  notify(ProgressEvent::Kind::kSubmitted, sub->state->proc->name, sub->tuples.size(),
-         attempt);
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kAttemptStarted, *sub, attempt));
   arm_watchdog(sub);
   auto bindings = sub->bindings;  // each attempt submits a fresh copy
   backend_.execute(sub->state->service, std::move(bindings),
@@ -470,8 +495,9 @@ void Engine::on_watchdog(const std::shared_ptr<Submission>& sub) {
   MOTEUR_LOG(kInfo, "enactor")
       << "submission of '" << sub->state->proc->name << "' attempt "
       << sub->attempts_started << " exceeded the resubmission deadline; racing a clone";
-  notify(ProgressEvent::Kind::kTimedOut, sub->state->proc->name, sub->tuples.size(),
-         sub->attempts_started);
+  if (observing()) {
+    emit(make_event(obs::RunEvent::Kind::kWatchdogFired, *sub, sub->attempts_started));
+  }
   start_attempt(sub);  // re-arms the watchdog for the clone
   pump();
 }
@@ -483,6 +509,7 @@ void Engine::resolve(const std::shared_ptr<Submission>& sub) {
   }
   sub->resolved = true;
   --sub->state->in_flight;
+  tuples_in_flight_ -= sub->tuples.size();
 }
 
 void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
@@ -492,7 +519,11 @@ void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t
   MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << sub->state->proc->name
                                << "' failed definitively after " << sub->attempts_started
                                << " attempt(s): " << error;
-  notify(ProgressEvent::Kind::kFailed, sub->state->proc->name, sub->tuples.size(), attempt);
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kInvocationFailed, *sub, attempt);
+    event.error = error;
+    emit(event);
+  }
 }
 
 void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
@@ -511,6 +542,21 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
   trace.superseded = sub->resolved;
   trace.job = outcome.job;
   result_.timeline.add(std::move(trace));
+
+  if (observing()) {
+    // Every attempt reports, stragglers included: span consumers need the
+    // real timings even when a racing clone already settled the submission.
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kAttemptEnded, *sub, attempt);
+    event.ok = outcome.ok();
+    event.superseded = sub->resolved;
+    event.status = to_string(outcome.status);
+    event.error = outcome.error;
+    if (outcome.job) event.computing_element = outcome.job->computing_element;
+    event.submit_time = outcome.submit_time;
+    event.start_time = outcome.start_time;
+    event.end_time = outcome.end_time;
+    emit(event);
+  }
 
   if (sub->resolved) {
     // A straggler outlived the clone (or the definitive loss) that settled
@@ -535,7 +581,9 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     const std::size_t codes_per_tuple =
         state.proc->is_grouped() ? state.proc->group_members.size() : 1;
     result_.stats.invocations += sub->tuples.size() * codes_per_tuple;
-    notify(ProgressEvent::Kind::kCompleted, state.proc->name, sub->tuples.size(), attempt);
+    if (observing()) {
+      emit(make_event(obs::RunEvent::Kind::kInvocationCompleted, *sub, attempt));
+    }
     for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
       const auto& tuple = sub->tuples[i];
       for (const auto& [port, value] : outcome.results[i].outputs) {
@@ -555,7 +603,11 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     MOTEUR_LOG(kInfo, "enactor") << "invocation of '" << state.proc->name << "' attempt "
                                  << attempt << " failed transiently (" << outcome.error
                                  << "); resubmitting";
-    notify(ProgressEvent::Kind::kRetried, state.proc->name, sub->tuples.size(), attempt);
+    if (observing()) {
+      obs::RunEvent event = make_event(obs::RunEvent::Kind::kRetryScheduled, *sub, attempt);
+      event.error = outcome.error;
+      emit(event);
+    }
     const double delay =
         policy_.retry.backoff_seconds(sub->attempts_started + sub->pending_resubmits + 1);
     if (delay <= 0.0) {
@@ -637,8 +689,11 @@ bool Engine::closure_pass() {
       progress = true;
       MOTEUR_LOG(kDebug, "enactor") << "processor '" << proc.name << "' finished after "
                                     << state.fired << " invocation(s)";
-      if (proc.kind == ProcessorKind::kService) {
-        notify(ProgressEvent::Kind::kProcessorFinished, proc.name, state.fired);
+      if (proc.kind == ProcessorKind::kService && observing()) {
+        obs::RunEvent event = make_event(obs::RunEvent::Kind::kProcessorFinished);
+        event.processor = proc.name;
+        event.tuples = state.fired;
+        emit(event);
       }
     }
   }
@@ -701,6 +756,11 @@ bool Engine::all_finished() const {
 EnactmentResult Engine::execute() {
   build_states();
   result_.started_at = backend_.now();
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kRunStarted);
+    event.run = workflow_.name();
+    emit(event);
+  }
 
   emit_sources();
   pump();
@@ -731,10 +791,65 @@ EnactmentResult Engine::execute() {
     result_.sink_outputs.emplace(sink->name, std::move(tokens));
   }
   result_.executed_workflow = workflow_;
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kRunFinished);
+    event.run = workflow_.name();
+    emit(event);
+  }
   return result_;
 }
 
+/// Folds the structured event stream down to the historical ProgressEvent
+/// vocabulary: one Submitted per attempt, one Completed/Failed per resolved
+/// invocation, Retried/TimedOut for the fault-tolerance path.
+Enactor::EventSubscriber progress_adapter(const Enactor::ProgressListener& listener) {
+  return [&listener](const obs::RunEvent& e) {
+    ProgressEvent p;
+    switch (e.kind) {
+      case obs::RunEvent::Kind::kAttemptStarted:
+        p.kind = ProgressEvent::Kind::kSubmitted;
+        break;
+      case obs::RunEvent::Kind::kInvocationCompleted:
+        p.kind = ProgressEvent::Kind::kCompleted;
+        break;
+      case obs::RunEvent::Kind::kInvocationFailed:
+        p.kind = ProgressEvent::Kind::kFailed;
+        break;
+      case obs::RunEvent::Kind::kRetryScheduled:
+        p.kind = ProgressEvent::Kind::kRetried;
+        break;
+      case obs::RunEvent::Kind::kWatchdogFired:
+        p.kind = ProgressEvent::Kind::kTimedOut;
+        break;
+      case obs::RunEvent::Kind::kProcessorFinished:
+        p.kind = ProgressEvent::Kind::kProcessorFinished;
+        break;
+      default:
+        return;  // run/invocation/attempt lifecycle details stay internal
+    }
+    p.processor = e.processor;
+    p.tuples = e.tuples;
+    p.time = e.time;
+    p.attempt = e.attempt == 0 ? 1 : e.attempt;
+    p.total_invocations = e.total_invocations;
+    p.total_submissions = e.total_submissions;
+    listener(p);
+  };
+}
+
 }  // namespace
+
+const char* kind_name(ProgressEvent::Kind kind) {
+  switch (kind) {
+    case ProgressEvent::Kind::kSubmitted: return "Submitted";
+    case ProgressEvent::Kind::kCompleted: return "Completed";
+    case ProgressEvent::Kind::kFailed: return "Failed";
+    case ProgressEvent::Kind::kRetried: return "Retried";
+    case ProgressEvent::Kind::kTimedOut: return "TimedOut";
+    case ProgressEvent::Kind::kProcessorFinished: return "ProcessorFinished";
+  }
+  return "?";
+}
 
 Enactor::Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
                  EnactmentPolicy policy)
@@ -749,7 +864,16 @@ EnactmentResult Enactor::run(const workflow::Workflow& input_workflow,
       policy_.job_grouping ? workflow::group_sequential_processors(input_workflow, &grouping)
                            : input_workflow;
 
-  Engine engine(backend_, registry_, policy_, resolver_, listener_, std::move(workflow),
+  // Assemble this run's subscriber set: explicit subscribers, then the
+  // recorder, then the ProgressEvent adapter — all fed from one stream.
+  std::vector<EventSubscriber> subscribers = subscribers_;
+  if (recorder_ != nullptr) {
+    subscribers.push_back(
+        [recorder = recorder_](const obs::RunEvent& e) { recorder->on_event(e); });
+  }
+  if (listener_) subscribers.push_back(progress_adapter(listener_));
+
+  Engine engine(backend_, registry_, policy_, resolver_, subscribers, std::move(workflow),
                 inputs);
   EnactmentResult result = engine.execute();
   result.grouping = std::move(grouping);

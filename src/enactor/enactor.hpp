@@ -11,9 +11,14 @@
 #include "enactor/backend.hpp"
 #include "enactor/policy.hpp"
 #include "enactor/timeline.hpp"
+#include "obs/event.hpp"
 #include "services/registry.hpp"
 #include "workflow/graph.hpp"
 #include "workflow/grouping.hpp"
+
+namespace moteur::obs {
+class RunRecorder;
+}  // namespace moteur::obs
 
 namespace moteur::enactor {
 
@@ -52,7 +57,10 @@ struct EnactmentResult {
 };
 
 /// Live notification of enactment progress (monitoring hooks: progress
-/// bars, dashboards, logs).
+/// bars, dashboards, logs). Since the observability subsystem landed, this
+/// is a condensed view of the richer obs::RunEvent stream: the listener is
+/// registered as one subscriber whose adapter folds run events down to the
+/// historical kinds below.
 ///
 /// Threading guarantees: events fire synchronously on the thread that called
 /// Enactor::run — backends deliver completions and timers only from within
@@ -77,6 +85,10 @@ struct ProgressEvent {
   std::size_t total_invocations = 0;  // logical invocations completed so far
   std::size_t total_submissions = 0;  // backend executions so far
 };
+
+/// Stable display name of a ProgressEvent kind ("Submitted", "Completed",
+/// "Failed", "Retried", "TimedOut", "ProcessorFinished").
+const char* kind_name(ProgressEvent::Kind kind);
 
 /// MOTEUR: the optimized service-workflow enactor (paper §4.1). Drives a
 /// workflow over an input data set against an execution backend, applying
@@ -108,6 +120,20 @@ class Enactor {
     listener_ = std::move(listener);
   }
 
+  /// Raw access to the run's structured event stream (see obs/event.hpp).
+  /// Subscribers fire synchronously, in registration order, on the thread
+  /// driving the backend; the ProgressListener above is internally one such
+  /// subscriber. Subscribers persist across run() calls.
+  using EventSubscriber = std::function<void(const obs::RunEvent&)>;
+  void add_event_subscriber(EventSubscriber subscriber) {
+    subscribers_.push_back(std::move(subscriber));
+  }
+
+  /// Convenience: subscribe a RunRecorder (span tracer + metrics registry)
+  /// to the event stream. The recorder must outlive the enactor's runs;
+  /// nullptr unsubscribes.
+  void set_recorder(obs::RunRecorder* recorder) { recorder_ = recorder; }
+
   /// Enact `workflow` over `inputs`. The workflow is validated, optionally
   /// rewritten by the grouping optimizer, and run to completion. Throws
   /// EnactmentError on deadlock or missing bindings.
@@ -119,6 +145,8 @@ class Enactor {
   EnactmentPolicy policy_;
   PayloadResolver resolver_;
   ProgressListener listener_;
+  std::vector<EventSubscriber> subscribers_;
+  obs::RunRecorder* recorder_ = nullptr;
 };
 
 }  // namespace moteur::enactor

@@ -1,5 +1,6 @@
 #include "enactor/sim_backend.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace moteur::enactor {
@@ -30,6 +31,19 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
                          bindings = std::move(bindings), on_complete = std::move(on_complete),
                          submit_time](const grid::JobRecord& record) {
     --in_flight_;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter("moteur_grid_jobs_total", "Grid jobs by computing element and final state",
+                    {{"ce", record.computing_element}, {"state", grid::to_string(record.state)}})
+          .inc();
+      if (record.queue_exit_time >= record.match_time && record.match_time >= 0.0) {
+        metrics_
+            ->histogram("moteur_grid_batch_queue_seconds",
+                        "Site batch-queue residency of the last attempt, per CE",
+                        obs::Histogram::latency_bounds(), {{"ce", record.computing_element}})
+            .observe(record.queue_seconds());
+      }
+    }
     Outcome outcome;
     outcome.submit_time = submit_time;
     outcome.start_time = record.run_start_time;

@@ -30,10 +30,15 @@ class SimGridBackend : public ExecutionBackend {
 
   bool drive(const std::function<bool()>& done) override;
 
+  /// Feeds per-CE grid-job tallies and queue-wait histograms into `metrics`
+  /// (all recording happens inside drive(), on the simulation thread).
+  void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
+
   std::size_t jobs_submitted() const { return jobs_submitted_; }
 
  private:
   grid::Grid& grid_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::size_t jobs_submitted_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t live_timers_ = 0;

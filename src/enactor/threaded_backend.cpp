@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace moteur::enactor {
@@ -108,10 +109,25 @@ bool ThreadedBackend::drive(const std::function<bool()>& done) {
     if (due_timer) {
       due_timer();
     } else {
+      record_metrics(next.outcome);
       next.callback(std::move(next.outcome));
     }
   }
   return true;
+}
+
+void ThreadedBackend::record_metrics(const Outcome& outcome) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->counter("moteur_worker_tasks_total", "Worker-pool tasks by outcome",
+                {{"status", to_string(outcome.status)}})
+      .inc();
+  // Pool queue wait: submission to payload start on a worker thread.
+  metrics_
+      ->histogram("moteur_worker_queue_wait_seconds",
+                  "Delay between submission and payload start on the worker pool",
+                  {0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30})
+      .observe(std::max(0.0, outcome.start_time - outcome.submit_time));
 }
 
 }  // namespace moteur::enactor

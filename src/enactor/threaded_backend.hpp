@@ -40,9 +40,16 @@ class ThreadedBackend : public ExecutionBackend {
 
   bool drive(const std::function<bool()>& done) override;
 
+  /// Feeds worker-pool tallies and queue-wait histograms into `metrics`.
+  /// Recording happens on the drive() thread at completion delivery, never
+  /// on workers, so the registry needs no locking. Set before enacting.
+  void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
+
   std::size_t tasks_executed() const { return tasks_executed_; }
 
  private:
+  void record_metrics(const Outcome& outcome);
+
   struct Done {
     Outcome outcome;
     Callback callback;
@@ -53,6 +60,7 @@ class ThreadedBackend : public ExecutionBackend {
   };
 
   ThreadPool pool_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // touched from drive() only
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace moteur::obs {
+
+/// One structured notification from an enactment run — the event stream
+/// every observability consumer (span recorder, metrics, the legacy
+/// ProgressEvent listener) subscribes to. Events fire synchronously on the
+/// thread driving the backend, in strictly serialized order, with monotone
+/// `time` and running totals.
+///
+/// Identity model: `invocation` numbers each logical submission (a possibly
+/// batched set of tuples handed to the backend) uniquely within the run;
+/// `attempt` numbers the backend executions racing for it (1 = the original,
+/// higher = transient-failure resubmissions and watchdog clones).
+struct RunEvent {
+  enum class Kind {
+    kRunStarted,           // enactment begins (run = workflow name)
+    kRunFinished,          // last result settled
+    kInvocationStarted,    // a logical submission was created
+    kInvocationCompleted,  // an attempt succeeded; outputs delivered
+    kInvocationFailed,     // definitively lost (tuples dropped)
+    kAttemptStarted,       // one backend execution launched
+    kAttemptEnded,         // one backend execution reported back
+    kRetryScheduled,       // transient failure; a resubmission will follow
+    kWatchdogFired,        // straggler deadline hit; a clone is being raced
+    kProcessorFinished,    // a processor will produce nothing further
+  };
+
+  Kind kind = Kind::kRunStarted;
+  double time = 0.0;  // backend time of the event, seconds
+
+  std::string run;        // workflow name (kRunStarted/kRunFinished)
+  std::string processor;  // all invocation-scoped kinds
+  std::uint64_t invocation = 0;  // 1-based logical submission id
+  std::size_t attempt = 0;       // 1-based attempt number
+  std::size_t tuples = 0;        // data tuples carried by the invocation
+
+  // kAttemptEnded payload.
+  bool ok = false;
+  bool superseded = false;  // a racing attempt had already settled it
+  std::string status;       // OutcomeStatus name ("Ok", "Transient", ...)
+  std::string error;        // failure message, empty on success
+  std::string computing_element;  // empty when the backend has no CE notion
+  double submit_time = -1.0;      // attempt timings (backend seconds)
+  double start_time = -1.0;       // payload began (queue wait before this)
+  double end_time = -1.0;
+
+  // Running totals, mirrored into ProgressEvent for the legacy listener.
+  std::size_t total_invocations = 0;
+  std::size_t total_submissions = 0;
+  std::size_t tuples_in_flight = 0;
+};
+
+const char* to_string(RunEvent::Kind kind);
+
+}  // namespace moteur::obs

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace moteur::obs {
+
+/// Span tree as Chrome trace-event JSON (the chrome://tracing / Perfetto
+/// "JSON Array Format" with a traceEvents wrapper). One complete ("X") event
+/// per span; ts/dur are microseconds of backend time. Concurrent spans are
+/// laid out on synthetic tid lanes so nesting renders correctly; each
+/// event's args carry the span id, parent id and annotations, so the exact
+/// tree survives the lane flattening.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// headers, counter and gauge samples, and histograms as cumulative
+/// `_bucket{le=...}` series plus `_sum` / `_count`.
+std::string prometheus_text(const MetricsRegistry& metrics);
+
+/// Human-readable run summary: span roll-up per category and every metric
+/// series, histograms with count/mean/p50/p95/max.
+std::string obs_summary(const Tracer& tracer, const MetricsRegistry& metrics);
+
+}  // namespace moteur::obs

@@ -1,0 +1,85 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace moteur::obs {
+
+void Gauge::set(double value) {
+  value_ = value;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MOTEUR_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()), Error,
+                 "histogram bounds must be ascending");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+double Histogram::percentile(double p) const {
+  return samples_.empty() ? 0.0 : moteur::percentile(samples_, p);
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  return {0.5, 1, 2, 5, 15, 60, 120, 300, 600, 1200, 1800, 3600, 7200};
+}
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                const std::string& help, MetricType type) {
+  const auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = type;
+  } else {
+    MOTEUR_REQUIRE(it->second.type == type, Error,
+                   "metric '" + name + "' already registered as " +
+                       to_string(it->second.type) + ", requested as " + to_string(type));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const Labels& labels) {
+  Instrument& slot = family(name, help, MetricType::kCounter).series[labels];
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  Instrument& slot = family(name, help, MetricType::kGauge).series[labels];
+  if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds, const Labels& labels) {
+  Instrument& slot = family(name, help, MetricType::kHistogram).series[labels];
+  if (!slot.histogram) slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *slot.histogram;
+}
+
+const MetricsRegistry::Family* MetricsRegistry::find(const std::string& name) const {
+  const auto it = families_.find(name);
+  return it == families_.end() ? nullptr : &it->second;
+}
+
+}  // namespace moteur::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace moteur::obs {
+
+/// Prometheus-style label set. std::map keeps a canonical key order, so a
+/// label set is usable as a series key directly.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void inc(double delta = 1.0) {
+    if (delta > 0.0) value_ += delta;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Instantaneous value; also tracks the maximum it ever held (high-water
+/// marks like peak tuples in flight).
+class Gauge {
+ public:
+  void set(double value);
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double max_seen() const { return max_seen_; }
+
+ private:
+  double value_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+/// Fixed-bucket histogram over ascending upper bounds (an implicit +Inf
+/// bucket catches the overflow). Bucket semantics follow Prometheus:
+/// observation v lands in the first bucket with v <= bound. Raw samples are
+/// retained so exact percentiles (util/stats) stay available alongside the
+/// bucketed exposition.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (not cumulative) counts; size = bounds().size() + 1, the
+  /// last entry being the +Inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  const std::vector<double>& samples() const { return samples_; }
+  /// Exact p-th percentile over the retained samples; 0 when empty.
+  double percentile(double p) const;
+
+  /// Default bounds for grid latencies (seconds): sub-second to hours.
+  static std::vector<double> latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricType type);
+
+/// Named metric families, each holding one instrument per label set.
+/// Registration is idempotent: asking again for the same (name, labels)
+/// returns the same instrument; re-registering a name under a different type
+/// throws. References stay stable for the registry's lifetime. Not
+/// thread-safe: record from the enactor's drive thread only.
+class MetricsRegistry {
+ public:
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::map<Labels, Instrument> series;
+  };
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help, const Labels& labels = {});
+  /// `bounds` is only consulted when the series is first created.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const Labels& labels = {});
+
+  /// Families by name (sorted — std::map), for the exporters.
+  const std::map<std::string, Family>& families() const { return families_; }
+  /// Convenience lookup; nullptr when the family does not exist.
+  const Family* find(const std::string& name) const;
+
+ private:
+  Family& family(const std::string& name, const std::string& help, MetricType type);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace moteur::obs

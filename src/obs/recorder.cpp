@@ -1,0 +1,199 @@
+#include "obs/recorder.hpp"
+
+namespace moteur::obs {
+
+const char* to_string(RunEvent::Kind kind) {
+  switch (kind) {
+    case RunEvent::Kind::kRunStarted: return "RunStarted";
+    case RunEvent::Kind::kRunFinished: return "RunFinished";
+    case RunEvent::Kind::kInvocationStarted: return "InvocationStarted";
+    case RunEvent::Kind::kInvocationCompleted: return "InvocationCompleted";
+    case RunEvent::Kind::kInvocationFailed: return "InvocationFailed";
+    case RunEvent::Kind::kAttemptStarted: return "AttemptStarted";
+    case RunEvent::Kind::kAttemptEnded: return "AttemptEnded";
+    case RunEvent::Kind::kRetryScheduled: return "RetryScheduled";
+    case RunEvent::Kind::kWatchdogFired: return "WatchdogFired";
+    case RunEvent::Kind::kProcessorFinished: return "ProcessorFinished";
+  }
+  return "?";
+}
+
+RunRecorder::RunRecorder() {
+  submissions_ = &metrics_.counter("moteur_submissions_total",
+                                   "Backend executions, attempts included");
+  invocations_ =
+      &metrics_.counter("moteur_invocations_total", "Logical service invocations completed");
+  retries_ = &metrics_.counter("moteur_retries_total", "Resubmissions after transient failures");
+  timeouts_ = &metrics_.counter("moteur_timeouts_total", "Watchdog-triggered clone submissions");
+  tuples_lost_ =
+      &metrics_.counter("moteur_tuples_lost_total", "Data tuples lost to definitive failures");
+  tuples_in_flight_ = &metrics_.gauge("moteur_tuples_in_flight",
+                                      "Data tuples currently handed to the backend");
+  makespan_ =
+      &metrics_.gauge("moteur_makespan_seconds", "Total execution time Sigma of the run");
+}
+
+const std::string& RunRecorder::ce_label(const RunEvent& event) {
+  static const std::string kLocal = "local";
+  return event.computing_element.empty() ? kLocal : event.computing_element;
+}
+
+RunRecorder::CeSeries& RunRecorder::ce_series(const std::string& ce) {
+  const auto [it, inserted] = ce_series_.try_emplace(ce);
+  if (inserted) {
+    const Labels by_ce{{"ce", ce}};
+    it->second.latency = &metrics_.histogram(
+        "moteur_ce_latency_seconds",
+        "Submission-to-completion latency of successful attempts, per CE",
+        Histogram::latency_bounds(), by_ce);
+    it->second.queue_wait = &metrics_.histogram(
+        "moteur_ce_queue_wait_seconds",
+        "Submission-to-payload-start wait of successful attempts, per CE",
+        Histogram::latency_bounds(), by_ce);
+  }
+  return it->second;
+}
+
+Counter& RunRecorder::failure_counter(const std::string& status) {
+  const auto [it, inserted] = failure_counters_.try_emplace(status, nullptr);
+  if (inserted) {
+    it->second = &metrics_.counter("moteur_attempt_failures_total",
+                                   "Failed backend executions by status",
+                                   Labels{{"status", status}});
+  }
+  return *it->second;
+}
+
+Counter& RunRecorder::processor_tuples(const std::string& processor) {
+  const auto [it, inserted] = processor_tuples_.try_emplace(processor, nullptr);
+  if (inserted) {
+    it->second = &metrics_.counter("moteur_processor_tuples_total",
+                                   "Data tuples completed per processor",
+                                   Labels{{"processor", processor}});
+  }
+  return *it->second;
+}
+
+void RunRecorder::on_event(const RunEvent& event) {
+  switch (event.kind) {
+    case RunEvent::Kind::kRunStarted: {
+      processor_spans_.clear();
+      invocation_spans_.clear();
+      attempt_spans_.clear();
+      last_total_invocations_ = event.total_invocations;
+      run_span_ = tracer_.begin(event.run, "run", event.time);
+      break;
+    }
+
+    case RunEvent::Kind::kRunFinished: {
+      const Span* run = tracer_.find(run_span_);
+      if (run != nullptr) makespan_->set(event.time - run->start);
+      tracer_.end(run_span_, event.time);
+      // Stragglers whose completions were never dispatched stay open; close
+      // them at run end so exports always hold a consistent tree.
+      tracer_.close_open_spans(event.time);
+      tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      break;
+    }
+
+    case RunEvent::Kind::kInvocationStarted: {
+      auto [it, inserted] = processor_spans_.try_emplace(event.processor, 0);
+      if (inserted) {
+        it->second = tracer_.begin(event.processor, "processor", event.time, run_span_);
+      }
+      const SpanId span = tracer_.begin(
+          event.processor + " #" + std::to_string(event.invocation), "invocation",
+          event.time, it->second);
+      tracer_.annotate(span, "tuples", std::to_string(event.tuples));
+      invocation_spans_[event.invocation] = span;
+      tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      break;
+    }
+
+    case RunEvent::Kind::kAttemptStarted: {
+      const auto it = invocation_spans_.find(event.invocation);
+      const SpanId parent = it == invocation_spans_.end() ? run_span_ : it->second;
+      const SpanId span = tracer_.begin("attempt " + std::to_string(event.attempt),
+                                        "attempt", event.time, parent);
+      attempt_spans_[{event.invocation, event.attempt}] = span;
+      submissions_->inc();
+      break;
+    }
+
+    case RunEvent::Kind::kAttemptEnded: {
+      const auto key = std::make_pair(event.invocation, event.attempt);
+      const auto it = attempt_spans_.find(key);
+      if (it != attempt_spans_.end()) {
+        const SpanId span = it->second;
+        tracer_.end(span, event.time);
+        tracer_.annotate(span, "status", event.status);
+        if (!event.computing_element.empty()) {
+          tracer_.annotate(span, "ce", event.computing_element);
+        }
+        if (event.superseded) tracer_.annotate(span, "superseded", "true");
+        if (!event.error.empty()) tracer_.annotate(span, "error", event.error);
+        // Queue-wait vs. running phases, from the backend's attempt timings.
+        if (event.start_time >= event.submit_time && event.submit_time >= 0.0) {
+          tracer_.record("queued", "phase", event.submit_time, event.start_time, span);
+          if (event.end_time >= event.start_time) {
+            tracer_.record("running", "phase", event.start_time, event.end_time, span);
+          }
+        }
+        attempt_spans_.erase(it);
+      }
+      if (event.ok) {
+        CeSeries& series = ce_series(ce_label(event));
+        series.latency->observe(event.end_time - event.submit_time);
+        if (event.start_time >= event.submit_time) {
+          series.queue_wait->observe(event.start_time - event.submit_time);
+        }
+      } else {
+        failure_counter(event.status).inc();
+      }
+      break;
+    }
+
+    case RunEvent::Kind::kInvocationCompleted: {
+      const auto it = invocation_spans_.find(event.invocation);
+      if (it != invocation_spans_.end()) {
+        tracer_.end(it->second, event.time);
+        invocation_spans_.erase(it);
+      }
+      invocations_->inc(static_cast<double>(event.total_invocations - last_total_invocations_));
+      last_total_invocations_ = event.total_invocations;
+      processor_tuples(event.processor).inc(static_cast<double>(event.tuples));
+      tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      break;
+    }
+
+    case RunEvent::Kind::kInvocationFailed: {
+      const auto it = invocation_spans_.find(event.invocation);
+      if (it != invocation_spans_.end()) {
+        tracer_.annotate(it->second, "failed", "true");
+        tracer_.end(it->second, event.time);
+        invocation_spans_.erase(it);
+      }
+      tuples_lost_->inc(static_cast<double>(event.tuples));
+      tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      break;
+    }
+
+    case RunEvent::Kind::kRetryScheduled: {
+      retries_->inc();
+      break;
+    }
+
+    case RunEvent::Kind::kWatchdogFired: {
+      timeouts_->inc();
+      break;
+    }
+
+    case RunEvent::Kind::kProcessorFinished: {
+      const auto it = processor_spans_.find(event.processor);
+      if (it != processor_spans_.end()) tracer_.end(it->second, event.time);
+      break;
+    }
+  }
+}
+
+}  // namespace moteur::obs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace moteur::obs {
+
+/// The standard observability consumer: subscribes to an enactment's
+/// RunEvent stream and materializes (1) the span tree — run -> processor ->
+/// invocation -> attempt, with queued/running phase sub-spans derived from
+/// the attempt timings — and (2) the run's metrics: submission/retry/timeout
+/// counters, per-CE latency and queue-wait histograms, and tuples-in-flight
+/// gauges. Feed it via Enactor::set_recorder; export with obs/export.hpp.
+///
+/// Reusable across runs: spans and metrics accumulate, each run under its
+/// own root span. Not thread-safe (events are serialized by the enactor).
+///
+/// Instruments are resolved through the registry once and cached (per-CE,
+/// per-status, per-processor), so steady-state recording costs no map-of-
+/// labels lookups — the event stream can run hot.
+class RunRecorder {
+ public:
+  RunRecorder();
+
+  void on_event(const RunEvent& event);
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct CeSeries {
+    Histogram* latency = nullptr;
+    Histogram* queue_wait = nullptr;
+  };
+
+  /// Label for per-CE series when the backend reports no CE (ThreadedBackend).
+  static const std::string& ce_label(const RunEvent& event);
+
+  CeSeries& ce_series(const std::string& ce);
+  Counter& failure_counter(const std::string& status);
+  Counter& processor_tuples(const std::string& processor);
+
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+
+  SpanId run_span_ = 0;
+  std::map<std::string, SpanId> processor_spans_;
+  std::map<std::uint64_t, SpanId> invocation_spans_;
+  std::map<std::pair<std::uint64_t, std::size_t>, SpanId> attempt_spans_;
+  std::size_t last_total_invocations_ = 0;
+
+  // Cached instruments (stable for the registry's lifetime).
+  Counter* submissions_ = nullptr;
+  Counter* invocations_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* timeouts_ = nullptr;
+  Counter* tuples_lost_ = nullptr;
+  Gauge* tuples_in_flight_ = nullptr;
+  Gauge* makespan_ = nullptr;
+  std::map<std::string, CeSeries> ce_series_;
+  std::map<std::string, Counter*> failure_counters_;
+  std::map<std::string, Counter*> processor_tuples_;
+};
+
+}  // namespace moteur::obs

@@ -1,0 +1,423 @@
+// The observability subsystem: span tracer invariants, histogram bucket
+// edges, exporter golden round-trips, and the RunRecorder's span tree under
+// injected transient failures and stuck-job timeouts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/policy.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/grid.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "workflow/patterns.hpp"
+
+namespace moteur::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, SpansNestAndClose) {
+  Tracer tracer;
+  const SpanId run = tracer.begin("run", "run", 0.0);
+  const SpanId child = tracer.begin("step", "phase", 1.0, run);
+  EXPECT_EQ(tracer.open_count(), 2u);
+  ASSERT_NE(tracer.find(child), nullptr);
+  EXPECT_TRUE(tracer.find(child)->open());
+  EXPECT_EQ(tracer.find(child)->parent, run);
+
+  tracer.end(child, 2.0);
+  tracer.end(run, 3.0);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_DOUBLE_EQ(tracer.find(child)->duration(), 1.0);
+  EXPECT_DOUBLE_EQ(tracer.find(run)->duration(), 3.0);
+
+  tracer.end(child, 9.0);  // double close is ignored
+  EXPECT_DOUBLE_EQ(tracer.find(child)->end, 2.0);
+  tracer.end(12345, 9.0);  // unknown id is ignored
+}
+
+TEST(Tracer, RecordAndAnnotate) {
+  Tracer tracer;
+  const SpanId parent = tracer.begin("run", "run", 0.0);
+  const SpanId phase = tracer.record("queued", "phase", 1.0, 4.0, parent);
+  tracer.annotate(phase, "ce", "ce3");
+  tracer.annotate(99999, "ignored", "x");  // unknown id is a no-op
+
+  const Span* span = tracer.find(phase);
+  ASSERT_NE(span, nullptr);
+  EXPECT_FALSE(span->open());
+  EXPECT_DOUBLE_EQ(span->duration(), 3.0);
+  ASSERT_EQ(span->args.size(), 1u);
+  EXPECT_EQ(span->args[0].first, "ce");
+  EXPECT_EQ(span->args[0].second, "ce3");
+  EXPECT_EQ(tracer.open_count(), 1u);
+}
+
+TEST(Tracer, CloseOpenSpansTagsStragglers) {
+  Tracer tracer;
+  const SpanId finished = tracer.begin("a", "attempt", 0.0);
+  tracer.end(finished, 1.0);
+  const SpanId straggler = tracer.begin("b", "attempt", 0.5);
+  tracer.close_open_spans(7.0);
+
+  EXPECT_EQ(tracer.open_count(), 0u);
+  const Span* span = tracer.find(straggler);
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->end, 7.0);
+  ASSERT_FALSE(span->args.empty());
+  EXPECT_EQ(span->args.back().first, "unfinished");
+  EXPECT_EQ(span->args.back().second, "true");
+  // The span that closed normally is untouched.
+  EXPECT_TRUE(tracer.find(finished)->args.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketEdgesFollowPrometheusSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  // v lands in the first bucket with v <= bound; bounds are inclusive.
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // le=1 (exactly on the edge)
+  h.observe(1.001); // le=2
+  h.observe(2.0);   // le=2
+  h.observe(5.0);   // le=5
+  h.observe(7.0);   // +Inf overflow
+
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+  EXPECT_GT(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SeriesAreStableAndLabelled) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs_total", "Jobs", {{"ce", "ce0"}});
+  Counter& b = registry.counter("jobs_total", "Jobs", {{"ce", "ce1"}});
+  a.inc();
+  a.inc(2.0);
+  b.inc();
+  // Re-registration returns the same instrument.
+  EXPECT_EQ(&registry.counter("jobs_total", "Jobs", {{"ce", "ce0"}}), &a);
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+  const MetricsRegistry::Family* family = registry.find("jobs_total");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->series.size(), 2u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x_total", "X");
+  EXPECT_THROW(registry.gauge("x_total", "X"), Error);
+  EXPECT_THROW(registry.histogram("x_total", "X", {1.0}), Error);
+}
+
+TEST(MetricsRegistry, GaugeTracksHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("in_flight", "In flight");
+  gauge.set(3.0);
+  gauge.add(4.0);
+  gauge.set(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+  EXPECT_DOUBLE_EQ(gauge.max_seen(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter goldens
+// ---------------------------------------------------------------------------
+
+TEST(Export, ChromeTraceGolden) {
+  Tracer tracer;
+  const SpanId run = tracer.begin("run", "run", 0.0);
+  const SpanId step = tracer.begin("step \"q\"", "phase", 1.0, run);
+  tracer.annotate(step, "ce", "ce0");
+  tracer.end(step, 2.0);
+  tracer.end(run, 3.0);
+
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"run\",\"cat\":\"run\",\"ph\":\"X\",\"ts\":0.000,\"dur\":3000000.000,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"id\":\"1\",\"parent\":\"0\"}},\n"
+      "{\"name\":\"step \\\"q\\\"\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":1000000.000,"
+      "\"dur\":1000000.000,\"pid\":1,\"tid\":1,\"args\":{\"id\":\"2\",\"parent\":\"1\","
+      "\"ce\":\"ce0\"}}"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(chrome_trace_json(tracer), expected);
+}
+
+TEST(Export, ChromeTraceConcurrentRootsGetDistinctLanes) {
+  Tracer tracer;
+  const SpanId a = tracer.begin("a", "invocation", 0.0);
+  const SpanId b = tracer.begin("b", "invocation", 1.0);  // overlaps a
+  tracer.end(a, 5.0);
+  tracer.end(b, 6.0);
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(Export, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.counter("demo_total", "Demo counter", {{"kind", "a\"b\\c"}}).inc(3.0);
+  registry.gauge("demo_gauge", "Demo gauge").set(2.5);
+  Histogram& h = registry.histogram("demo_seconds", "Demo histogram", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(9.0);
+
+  const std::string expected =
+      "# HELP demo_gauge Demo gauge\n"
+      "# TYPE demo_gauge gauge\n"
+      "demo_gauge 2.5\n"
+      "# HELP demo_seconds Demo histogram\n"
+      "# TYPE demo_seconds histogram\n"
+      "demo_seconds_bucket{le=\"1\"} 1\n"
+      "demo_seconds_bucket{le=\"2\"} 2\n"
+      "demo_seconds_bucket{le=\"+Inf\"} 3\n"
+      "demo_seconds_sum 11.5\n"
+      "demo_seconds_count 3\n"
+      "# HELP demo_total Demo counter\n"
+      "# TYPE demo_total counter\n"
+      "demo_total{kind=\"a\\\"b\\\\c\"} 3\n";
+  EXPECT_EQ(prometheus_text(registry), expected);
+}
+
+TEST(Export, SummaryMentionsEverySeries) {
+  Tracer tracer;
+  tracer.record("run", "run", 0.0, 10.0);
+  MetricsRegistry registry;
+  registry.counter("a_total", "A").inc();
+  registry.gauge("b", "B").set(4.0);
+  registry.histogram("c_seconds", "C", {1.0}).observe(0.5);
+  const std::string summary = obs_summary(tracer, registry);
+  for (const char* needle : {"run", "a_total = 1", "b = 4 (max 4)", "c_seconds: count=1"}) {
+    EXPECT_NE(summary.find(needle), std::string::npos) << "missing: " << needle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunRecorder against a real enactment (fault injection as in test_retry)
+// ---------------------------------------------------------------------------
+
+data::InputDataSet items(std::size_t count) {
+  data::InputDataSet ds;
+  ds.declare_input("src");
+  for (std::size_t j = 0; j < count; ++j) ds.add_item("src", "item" + std::to_string(j));
+  return ds;
+}
+
+/// Simulated grid with enactor-visible faults (grid-internal resubmission
+/// off), mirroring test_retry's FaultyRig, plus a RunRecorder wired in.
+struct ObservedRig {
+  sim::Simulator simulator;
+  grid::Grid grid;
+  enactor::SimGridBackend backend;
+  services::ServiceRegistry registry;
+  RunRecorder recorder;
+
+  static grid::GridConfig config(double failure_probability, double stuck_probability,
+                                 std::uint64_t seed) {
+    grid::GridConfig cfg = grid::GridConfig::constant(30.0, 4096, seed);
+    cfg.failure_probability = failure_probability;
+    cfg.max_attempts = 1;
+    cfg.stuck_job_probability = stuck_probability;
+    cfg.stuck_job_factor = 50.0;
+    return cfg;
+  }
+
+  explicit ObservedRig(double failure_probability, double stuck_probability = 0.0,
+                       std::uint64_t seed = 42)
+      : grid(simulator, config(failure_probability, stuck_probability, seed)),
+        backend(grid) {
+    for (const char* name : {"P0", "P1"}) {
+      registry.add(services::make_simulated_service(name, {"in"}, {"out"},
+                                                    services::JobProfile{60.0, 0.0, 0.0}));
+    }
+  }
+
+  enactor::EnactmentResult run(std::size_t tuples, enactor::EnactmentPolicy policy) {
+    enactor::Enactor moteur(backend, registry, policy);
+    moteur.set_recorder(&recorder);
+    backend.set_metrics(&recorder.metrics());
+    return moteur.run(workflow::make_chain(2), items(tuples));
+  }
+
+  double counter(const std::string& name) const {
+    const MetricsRegistry::Family* family = recorder.metrics().find(name);
+    if (family == nullptr) return 0.0;
+    double total = 0.0;
+    for (const auto& [labels, instrument] : family->series) {
+      total += instrument.counter->value();
+    }
+    return total;
+  }
+};
+
+TEST(RunRecorder, SpanTreeMatchesTheRunHierarchy) {
+  ObservedRig rig(/*failure_probability=*/0.0);
+  const auto result = rig.run(6, enactor::EnactmentPolicy::sp_dp());
+  ASSERT_EQ(result.failures(), 0u);
+
+  const Tracer& tracer = rig.recorder.tracer();
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  std::map<std::string, std::vector<const Span*>> by_category;
+  for (const Span& span : tracer.spans()) by_category[span.category].push_back(&span);
+
+  ASSERT_EQ(by_category["run"].size(), 1u);
+  const SpanId run_id = by_category["run"][0]->id;
+  EXPECT_EQ(by_category["processor"].size(), 2u);  // P0, P1
+  EXPECT_EQ(by_category["invocation"].size(), result.invocations());
+  EXPECT_EQ(by_category["attempt"].size(), result.submissions());
+
+  std::set<SpanId> processor_ids, invocation_ids;
+  for (const Span* span : by_category["processor"]) {
+    EXPECT_EQ(span->parent, run_id);
+    processor_ids.insert(span->id);
+  }
+  for (const Span* span : by_category["invocation"]) {
+    EXPECT_TRUE(processor_ids.count(span->parent)) << "invocation outside a processor";
+    invocation_ids.insert(span->id);
+  }
+  for (const Span* span : by_category["attempt"]) {
+    EXPECT_TRUE(invocation_ids.count(span->parent)) << "attempt outside an invocation";
+    EXPECT_LE(span->start, span->end);
+  }
+  // Derived phases hang off attempts and stay inside them.
+  for (const Span* span : by_category["phase"]) {
+    const Span* attempt = tracer.find(span->parent);
+    ASSERT_NE(attempt, nullptr);
+    EXPECT_EQ(attempt->category, "attempt");
+    EXPECT_GE(span->start, attempt->start);
+    EXPECT_LE(span->end, attempt->end);
+  }
+}
+
+TEST(RunRecorder, RetriesBecomeSiblingAttemptSpans) {
+  ObservedRig rig(/*failure_probability=*/0.3);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(6);
+  const auto result = rig.run(12, policy);
+  ASSERT_EQ(result.failures(), 0u);
+  ASSERT_GT(result.retries(), 0u);
+
+  // Some invocation must own more than one attempt span; attempts under one
+  // invocation are numbered 1..n.
+  std::map<SpanId, std::size_t> attempts_per_invocation;
+  for (const Span& span : rig.recorder.tracer().spans()) {
+    if (span.category == "attempt") ++attempts_per_invocation[span.parent];
+  }
+  std::size_t extra = 0;
+  for (const auto& [invocation, attempts] : attempts_per_invocation) {
+    extra += attempts - 1;
+  }
+  EXPECT_EQ(extra, result.retries());
+
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_retries_total"), result.retries());
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_submissions_total"), result.submissions());
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_invocations_total"), result.invocations());
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_attempt_failures_total"),
+                   result.submissions() - result.invocations());
+}
+
+TEST(RunRecorder, WatchdogClonesAndStragglersAreVisible) {
+  ObservedRig rig(/*failure_probability=*/0.0, /*stuck_probability=*/0.2, /*seed=*/11);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry.max_attempts = 4;
+  policy.retry.timeout_multiplier = 3.0;
+  policy.retry.timeout_min_samples = 3;
+  const auto result = rig.run(20, policy);
+  ASSERT_GT(result.timeouts(), 0u);
+
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_timeouts_total"), result.timeouts());
+  // Whatever happened to the losing clones, no span is left open.
+  EXPECT_EQ(rig.recorder.tracer().open_count(), 0u);
+  // Superseded attempts (the stuck originals a clone outran) are annotated.
+  std::size_t superseded = 0, unfinished = 0;
+  for (const Span& span : rig.recorder.tracer().spans()) {
+    if (span.category != "attempt") continue;
+    for (const auto& [key, value] : span.args) {
+      if (key == "superseded" && value == "true") ++superseded;
+      if (key == "unfinished" && value == "true") ++unfinished;
+    }
+  }
+  EXPECT_GT(superseded + unfinished, 0u);
+}
+
+TEST(RunRecorder, MetricsSnapshotCarriesPerCeHistograms) {
+  ObservedRig rig(/*failure_probability=*/0.0);
+  rig.run(6, enactor::EnactmentPolicy::sp_dp());
+
+  const MetricsRegistry::Family* latency =
+      rig.recorder.metrics().find("moteur_ce_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->type, MetricType::kHistogram);
+  ASSERT_FALSE(latency->series.empty());
+  std::size_t observations = 0;
+  for (const auto& [labels, instrument] : latency->series) {
+    ASSERT_EQ(labels.count("ce"), 1u);
+    observations += instrument.histogram->count();
+  }
+  EXPECT_EQ(observations, 12u);  // 2 processors x 6 tuples, no failures
+
+  // The text exposition round-trips the same series.
+  const std::string text = prometheus_text(rig.recorder.metrics());
+  EXPECT_NE(text.find("moteur_ce_latency_seconds_bucket{ce="), std::string::npos);
+  EXPECT_NE(text.find("moteur_makespan_seconds"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE moteur_ce_latency_seconds histogram"), std::string::npos);
+}
+
+TEST(RunRecorder, EventStreamAndListenerAgree) {
+  // The legacy ProgressEvent listener is one subscriber of the same stream:
+  // its counts must line up with the recorder's metrics from the same run.
+  ObservedRig rig(/*failure_probability=*/0.3);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(6);
+
+  std::map<enactor::ProgressEvent::Kind, std::size_t> counts;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+  moteur.set_recorder(&rig.recorder);
+  moteur.set_progress_listener(
+      [&counts](const enactor::ProgressEvent& e) { ++counts[e.kind]; });
+  const auto result = moteur.run(workflow::make_chain(2), items(12));
+  ASSERT_EQ(result.failures(), 0u);
+
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_submissions_total"),
+                   counts[enactor::ProgressEvent::Kind::kSubmitted]);
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_retries_total"),
+                   counts[enactor::ProgressEvent::Kind::kRetried]);
+  EXPECT_DOUBLE_EQ(rig.counter("moteur_invocations_total"),
+                   counts[enactor::ProgressEvent::Kind::kCompleted]);
+}
+
+}  // namespace
+}  // namespace moteur::obs

@@ -41,7 +41,7 @@ TEST(Progress, EventsCoverTheWholeRun) {
   std::map<ProgressEvent::Kind, std::size_t> counts;
   std::size_t tuples_submitted = 0, tuples_completed = 0;
   double last_time = 0.0;
-  std::size_t last_invocations = 0;
+  std::size_t last_invocations = 0, last_submissions = 0;
   for (const auto& e : events) {
     ++counts[e.kind];
     if (e.kind == ProgressEvent::Kind::kSubmitted) tuples_submitted += e.tuples;
@@ -50,6 +50,8 @@ TEST(Progress, EventsCoverTheWholeRun) {
     last_time = e.time;
     EXPECT_GE(e.total_invocations, last_invocations);  // counters are monotone
     last_invocations = e.total_invocations;
+    EXPECT_GE(e.total_submissions, last_submissions);
+    last_submissions = e.total_submissions;
   }
   EXPECT_EQ(counts[ProgressEvent::Kind::kSubmitted], result.submissions());
   EXPECT_EQ(counts[ProgressEvent::Kind::kCompleted], result.submissions());
@@ -57,6 +59,15 @@ TEST(Progress, EventsCoverTheWholeRun) {
   EXPECT_EQ(counts[ProgressEvent::Kind::kProcessorFinished], 2u);
   EXPECT_EQ(tuples_submitted, 8u);
   EXPECT_EQ(tuples_completed, 8u);
+}
+
+TEST(Progress, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kSubmitted), "Submitted");
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kCompleted), "Completed");
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kFailed), "Failed");
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kRetried), "Retried");
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kTimedOut), "TimedOut");
+  EXPECT_STREQ(kind_name(ProgressEvent::Kind::kProcessorFinished), "ProcessorFinished");
 }
 
 TEST(Progress, FailureEventsFire) {

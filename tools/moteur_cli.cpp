@@ -28,6 +28,8 @@
 #include "enactor/sim_backend.hpp"
 #include "enactor/timeline_csv.hpp"
 #include "grid/grid.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "model/dag.hpp"
 #include "model/makespan.hpp"
 #include "services/catalog.hpp"
@@ -51,7 +53,9 @@ using namespace moteur;
       "             [--seed N] [--overhead S] [--batch K] [--adaptive]\n"
       "             [--retries N] [--retry-timeout MULT] [--retry-backoff S]\n"
       "             [--inject-failures P] [--inject-stuck P] [--grid-attempts N]\n"
-      "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n             [--diagram COLSECONDS]\n"
+      "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n"
+      "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
+      "             [--metrics-out METRICS.prom] [--obs-summary]\n"
       "  moteur_cli run --manifest RUN.xml [--services CAT.xml] [...]\n"
       "  moteur_cli save-manifest --workflow WF.xml --data DS.xml --out RUN.xml\n"
       "             [--policy P] [--grid PRESET] [--seed N] [--overhead S]\n"
@@ -158,6 +162,16 @@ int cmd_run(const Args& args) {
   enactor::SimGridBackend backend(grid);
   enactor::Enactor moteur(backend, registry, manifest.policy);
 
+  // Observability: one recorder subscribes to the run's event stream and the
+  // backend's metric hooks; exports happen after the run.
+  obs::RunRecorder recorder;
+  const bool observe =
+      args.has("trace-out") || args.has("metrics-out") || args.has("obs-summary");
+  if (observe) {
+    moteur.set_recorder(&recorder);
+    backend.set_metrics(&recorder.metrics());
+  }
+
   const enactor::EnactmentResult result = moteur.run(manifest.workflow, manifest.inputs);
 
   std::printf("workflow:     %s  (policy %s, grid %s, seed %llu)\n",
@@ -196,6 +210,17 @@ int cmd_run(const Args& args) {
   if (const auto out = args.get("csv")) {
     write_file(*out, enactor::timeline_to_csv(result.timeline));
     std::printf("timeline written to %s\n", out->c_str());
+  }
+  if (const auto out = args.get("trace-out")) {
+    write_file(*out, obs::chrome_trace_json(recorder.tracer()));
+    std::printf("trace written to %s (open in chrome://tracing)\n", out->c_str());
+  }
+  if (const auto out = args.get("metrics-out")) {
+    write_file(*out, obs::prometheus_text(recorder.metrics()));
+    std::printf("metrics written to %s\n", out->c_str());
+  }
+  if (args.has("obs-summary")) {
+    std::fputs(obs::obs_summary(recorder.tracer(), recorder.metrics()).c_str(), stdout);
   }
   return result.failures() == 0 ? 0 : 2;
 }

@@ -13,6 +13,34 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Observability smoke: a Bronze-Standard run must produce a parseable Chrome
+# trace and a metrics snapshot carrying the core series.
+echo "== obs smoke: --trace-out / --metrics-out on the Bronze Standard =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.prom" \
+  --obs-summary >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$obs_dir/trace.json" >/dev/null
+else
+  echo "python3 unavailable; skipping trace JSON validation"
+fi
+for metric in moteur_submissions_total moteur_invocations_total \
+              moteur_ce_latency_seconds_bucket moteur_makespan_seconds; do
+  grep -q "^$metric" "$obs_dir/metrics.prom" || {
+    echo "missing metric '$metric' in metrics snapshot" >&2
+    exit 1
+  }
+done
+grep -q '"cat":"attempt"' "$obs_dir/trace.json" || {
+  echo "trace JSON carries no attempt spans" >&2
+  exit 1
+}
+echo "obs smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
