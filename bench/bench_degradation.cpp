@@ -1,0 +1,134 @@
+// E16 (fault-containment extension) — graceful degradation under flaky
+// sites: a third of the EGEE sites fail attempts with probability p, the
+// grid's own retry is disabled, and the enactor resubmits up to 4 times.
+// Sweeps p x {breaker off, on} x {failfast, continue} on the Bronze
+// Standard and reports mean makespan (over seeds) and the fraction of
+// invocations completed. The per-CE circuit breaker routes submissions away
+// from the flaky sites after a handful of failures, so at p >= 0.2 its
+// makespan must not exceed the breakerless run; FailurePolicy::kContinue
+// additionally turns definitive losses into partial results (downstream
+// skipped, not aborted) instead of lost-only stats.
+#include <cstdio>
+#include <cstddef>
+
+#include "app/bronze_standard.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/sim_backend.hpp"
+#include "grid/ce_health.hpp"
+#include "grid/grid.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace moteur;
+
+struct Row {
+  double makespan = 0.0;
+  std::size_t completed = 0;  // invocations that produced their outputs
+  std::size_t lost = 0;
+  std::size_t skipped = 0;
+  std::size_t breaker_opens = 0;
+
+  double completed_fraction() const {
+    const std::size_t total = completed + lost + skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(completed) / static_cast<double>(total);
+  }
+};
+
+Row run_once(double failure_probability, bool breaker_on,
+             enactor::FailurePolicy failure_policy, std::size_t n_pairs,
+             std::uint64_t seed) {
+  sim::Simulator simulator;
+  auto config = grid::GridConfig::egee2006(seed);
+  // Every third site is flaky; the rest stay clean, so routing away pays.
+  for (std::size_t i = 0; i < config.computing_elements.size(); i += 3) {
+    config.computing_elements[i].failure_probability = failure_probability;
+  }
+  config.max_attempts = 1;  // failures surface to the enactor
+  // A failure is only detected when the job would have finished (the
+  // paper's D0 example): every attempt burnt on a flaky site costs its
+  // full payload, which is what the breaker saves.
+  config.failure_detection_fraction = 1.0;
+  grid::Grid grid(simulator, config);
+  enactor::SimGridBackend backend(grid);
+
+  services::ServiceRegistry registry;
+  app::register_simulated_services(registry);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(4);
+  policy.failure_policy = failure_policy;
+  if (breaker_on) {
+    policy.breaker.enabled = true;
+    policy.breaker.window = 6;
+    policy.breaker.threshold = 3;
+    policy.breaker.cooldown_seconds = 7200.0;
+  }
+  enactor::Enactor moteur(backend, registry, policy);
+
+  const auto result =
+      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  Row row;
+  row.makespan = result.makespan();
+  row.completed = result.invocations();
+  row.lost = result.failures();
+  row.skipped = result.skipped();
+  for (const auto& t : result.timeline.breaker_transitions()) {
+    if (t.to == grid::BreakerState::kOpen) ++row.breaker_opens;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("==================================================================");
+  std::puts("E16: graceful degradation under flaky sites (per-CE breakers)");
+  std::puts("     Bronze Standard, 12 pairs, SP+DP, 1/3 of sites flaky,");
+  std::puts("     enactor resubmit(4), grid retry disabled, 5 seeds per cell");
+  std::puts("==================================================================");
+
+  const std::size_t n_pairs = 12;
+  const std::uint64_t seed = 20060619;
+
+  constexpr std::size_t kSeeds = 5;  // average out single-draw wobble
+
+  const Row clean =
+      run_once(0.0, false, enactor::FailurePolicy::kFailFast, n_pairs, seed);
+  std::printf("clean run: makespan %.0f s, %zu invocations\n\n", clean.makespan,
+              clean.completed);
+
+  std::printf("  %7s %8s %9s | %12s %15s %6s %8s %6s\n", "p(fail)", "breaker",
+              "policy", "makespan (s)", "completed", "lost", "skipped", "opens");
+  for (const double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    for (const bool breaker_on : {false, true}) {
+      for (const auto policy : {enactor::FailurePolicy::kFailFast,
+                                enactor::FailurePolicy::kContinue}) {
+        double makespan = 0.0, fraction = 0.0;
+        std::size_t completed = 0, lost = 0, skipped = 0, opens = 0;
+        for (std::size_t k = 0; k < kSeeds; ++k) {
+          const Row row = run_once(p, breaker_on, policy, n_pairs, seed + k);
+          makespan += row.makespan;
+          fraction += row.completed_fraction();
+          completed += row.completed;
+          lost += row.lost;
+          skipped += row.skipped;
+          opens += row.breaker_opens;
+        }
+        std::printf("  %7.2f %8s %9s | %12.0f %8zu (%3.0f%%) %6zu %8zu %6zu\n", p,
+                    breaker_on ? "on" : "off", to_string(policy),
+                    makespan / kSeeds, completed,
+                    100.0 * fraction / kSeeds, lost, skipped, opens);
+      }
+    }
+    std::puts("");
+  }
+  std::puts("The breaker trips the flaky third of the grid after a couple of");
+  std::puts("failures, so submissions stop burning retries there: at p >= 0.2 the");
+  std::puts("breaker makespan stays at or below the breakerless one. `continue`");
+  std::puts("turns residual definitive losses into partial results: downstream");
+  std::puts("stages are skipped (not aborted) and the completed fraction degrades");
+  std::puts("gracefully instead of the whole run failing.");
+  return 0;
+}

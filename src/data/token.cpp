@@ -39,6 +39,16 @@ Token Token::derived(const std::string& processor, const std::string& port,
                Provenance::derived(processor, port, std::move(input_histories)));
 }
 
+Token Token::poisoned(const std::string& processor, const std::string& port,
+                      const std::vector<Token>& inputs, IndexVector indices,
+                      std::shared_ptr<const TokenError> error) {
+  MOTEUR_REQUIRE(error != nullptr, InternalError, "poisoned token without an error");
+  Token token = derived(processor, port, inputs, std::move(indices), std::any{},
+                        "<error@" + error->processor + ">");
+  token.error_ = std::move(error);
+  return token;
+}
+
 const std::string& Token::id() const {
   MOTEUR_REQUIRE(provenance_ != nullptr, InternalError, "token without provenance");
   return provenance_->key();

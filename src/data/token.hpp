@@ -2,6 +2,7 @@
 
 #include <any>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,25 @@ using IndexVector = std::vector<std::size_t>;
 
 std::string to_string(const IndexVector& v);
 
+/// Root cause carried by a poisoned (error) token: which processor lost the
+/// data, why, and with what final outcome status. Shared unchanged by every
+/// downstream poisoned token derived from it, so the original failure stays
+/// identifiable arbitrarily deep in the graph.
+struct TokenError {
+  std::string processor;  // processor whose invocation failed definitively
+  std::string cause;      // backend error text of the root failure
+  std::string status;     // outcome status name ("Transient", "TimedOut", ...)
+};
+
 /// One piece of data flowing through the workflow. Tokens are cheap to copy:
 /// payloads are shared, provenance trees are shared.
+///
+/// A *poisoned* token stands in for data that was never produced because an
+/// upstream invocation failed definitively: it has no payload but carries a
+/// TokenError with the root cause. Poisoned tokens flow through iteration
+/// strategies and the history tree exactly like real data — equal index
+/// vectors, full provenance — so downstream consumers can be skipped (and
+/// accounted for) instead of waiting forever on data that will never come.
 class Token {
  public:
   Token() = default;
@@ -33,6 +51,13 @@ class Token {
   static Token derived(const std::string& processor, const std::string& port,
                        const std::vector<Token>& inputs, IndexVector indices,
                        std::any payload, std::string repr);
+
+  /// Poisoned token standing in for the output `port` of `processor` that
+  /// was never produced. Provenance derives from `inputs` like a real
+  /// output; `error` is shared unchanged so the root cause propagates.
+  static Token poisoned(const std::string& processor, const std::string& port,
+                        const std::vector<Token>& inputs, IndexVector indices,
+                        std::shared_ptr<const TokenError> error);
 
   const std::any& payload() const { return payload_; }
   /// Typed access; throws std::bad_any_cast on mismatch.
@@ -56,6 +81,11 @@ class Token {
 
   bool has_payload() const { return payload_.has_value(); }
 
+  /// Whether this token is an error marker rather than data.
+  bool poisoned() const { return error_ != nullptr; }
+  /// Root cause of a poisoned token; nullptr for healthy tokens.
+  const std::shared_ptr<const TokenError>& error() const { return error_; }
+
  private:
   const std::any& require_payload() const;
 
@@ -63,6 +93,7 @@ class Token {
   std::string repr_;
   IndexVector indices_;
   Provenance::Ptr provenance_;
+  std::shared_ptr<const TokenError> error_;
 };
 
 }  // namespace moteur::data

@@ -8,6 +8,7 @@ const char* to_string(OutcomeStatus s) {
     case OutcomeStatus::kTransient: return "Transient";
     case OutcomeStatus::kDefinitive: return "Definitive";
     case OutcomeStatus::kTimedOut: return "TimedOut";
+    case OutcomeStatus::kSkipped: return "Skipped";
   }
   return "?";
 }

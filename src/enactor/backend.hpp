@@ -11,6 +11,10 @@
 #include "grid/job.hpp"
 #include "services/service.hpp"
 
+namespace moteur::grid {
+class CeHealth;
+}  // namespace moteur::grid
+
 namespace moteur::obs {
 class MetricsRegistry;
 }  // namespace moteur::obs
@@ -27,6 +31,7 @@ enum class OutcomeStatus {
   kTransient,   // middleware/site fault; a resubmission may succeed
   kDefinitive,  // semantic failure; retrying cannot help
   kTimedOut,    // no completion before the resubmission deadline
+  kSkipped,     // never executed: an input token was poisoned upstream
 };
 
 const char* to_string(OutcomeStatus s);
@@ -104,6 +109,11 @@ class ExecutionBackend {
   /// within drive(), so the registry needs no locking. Default: record
   /// nothing.
   virtual void set_metrics(obs::MetricsRegistry* metrics) { (void)metrics; }
+
+  /// Optional per-CE health ledger with circuit breakers: backends that can
+  /// route work across sites consult it to steer submissions away from open
+  /// breakers. Set before enacting; nullptr detaches. Default: ignore.
+  virtual void set_health(grid::CeHealth* health) { (void)health; }
 };
 
 }  // namespace moteur::enactor

@@ -82,7 +82,7 @@ std::string render_trace_table(const Timeline& timeline) {
   std::ostringstream os;
   os << pad_right("processor", 24) << pad_left("data", 10) << pad_left("submit", 12)
      << pad_left("start", 12) << pad_left("end", 12) << pad_left("span", 10)
-     << "  site\n";
+     << pad_left("status", 12) << "  site\n";
   auto traces = timeline.traces();
   std::sort(traces.begin(), traces.end(),
             [](const InvocationTrace& a, const InvocationTrace& b) {
@@ -93,9 +93,11 @@ std::string render_trace_table(const Timeline& timeline) {
        << pad_left(format_fixed(trace.submit_time, 1), 12)
        << pad_left(format_fixed(trace.start_time, 1), 12)
        << pad_left(format_fixed(trace.end_time, 1), 12)
-       << pad_left(format_fixed(trace.span_seconds(), 1), 10) << "  "
+       << pad_left(format_fixed(trace.span_seconds(), 1), 10)
+       << pad_left(to_string(trace.status), 12) << "  "
        << (trace.job ? trace.job->computing_element : std::string("-"))
-       << (trace.failed ? "  FAILED" : "") << '\n';
+       << (trace.failed ? "  FAILED" : "") << (trace.superseded ? "  superseded" : "")
+       << '\n';
   }
   return os.str();
 }

@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 
+#include "grid/ce_health.hpp"
 #include "obs/recorder.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -102,7 +103,18 @@ class Engine {
   /// Mark the submission settled: no further attempt may deliver or fail it.
   void resolve(const std::shared_ptr<Submission>& sub);
   void resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
-                       const std::string& error);
+                       OutcomeStatus status, const std::string& error);
+  /// Create the per-run health ledger when the breaker policy is enabled and
+  /// hand it to the backend; listeners feed the timeline and event stream.
+  void setup_health();
+  void on_breaker_transition(const grid::CeHealth::Transition& t);
+  /// Emit one poisoned token per output port of `state` for the failed or
+  /// skipped `tuple`, delivered over all non-feedback outgoing links (a
+  /// poisoned token must not recirculate a loop).
+  void poison_outputs(PState& state, const IterationBuffer::Tuple& tuple,
+                      const std::shared_ptr<const data::TokenError>& error);
+  /// Account for a tuple whose inputs are poisoned: it never executes.
+  void skip_tuple(PState& state, IterationBuffer::Tuple tuple);
   /// Whether another attempt may still be launched for this submission.
   bool attempts_left(const Submission& sub) const;
   /// Median backend latency of successful submissions so far (0 if none).
@@ -168,6 +180,9 @@ class Engine {
   std::vector<std::weak_ptr<Submission>> outstanding_;
   std::uint64_t next_submission_id_ = 1;
   std::size_t tuples_in_flight_ = 0;  // across all unresolved submissions
+  /// Per-CE circuit breakers, allocated per run when policy_.breaker is
+  /// enabled; the backend holds a raw pointer for the run's duration.
+  std::unique_ptr<grid::CeHealth> health_;
   EnactmentResult result_;
 };
 
@@ -350,6 +365,26 @@ bool Engine::dispatch_pass() {
         state.finished) {
       continue;
     }
+    if (policy_.failure_policy == FailurePolicy::kContinue) {
+      // Peel off tuples that consumed a poisoned token: they can never
+      // execute, only be skipped (which re-poisons their descendants).
+      // Skipping needs no backend capacity, so it bypasses can_fire().
+      std::deque<IterationBuffer::Tuple> healthy;
+      while (!state.ready.empty()) {
+        IterationBuffer::Tuple tuple = std::move(state.ready.front());
+        state.ready.pop_front();
+        const bool poisoned =
+            std::any_of(tuple.tokens.begin(), tuple.tokens.end(),
+                        [](const data::Token& t) { return t.poisoned(); });
+        if (poisoned) {
+          skip_tuple(state, std::move(tuple));
+          progress = true;
+        } else {
+          healthy.push_back(std::move(tuple));
+        }
+      }
+      state.ready = std::move(healthy);
+    }
     while (!state.ready.empty() && can_fire(state)) {
       const std::size_t batch = target_batch(state);
       const bool flush = state.buffer->all_closed();
@@ -402,6 +437,11 @@ void Engine::fire_barrier(PState& state) {
   IterationBuffer::Tuple pseudo_tuple;  // provenance carrier for the outputs
   for (const auto& port : state.proc->input_ports) {
     auto tokens = state.collected[port];
+    // A barrier aggregates over the survivors: poisoned tokens drop out of
+    // the stream here (they carry no payload to aggregate).
+    tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                                [](const data::Token& t) { return t.poisoned(); }),
+                 tokens.end());
     std::sort(tokens.begin(), tokens.end(),
               [](const data::Token& a, const data::Token& b) {
                 return a.indices() < b.indices();
@@ -513,17 +553,118 @@ void Engine::resolve(const std::shared_ptr<Submission>& sub) {
 }
 
 void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
-                             const std::string& error) {
+                             OutcomeStatus status, const std::string& error) {
   resolve(sub);
   result_.stats.failures += sub->tuples.size();
+  for (const auto& tuple : sub->tuples) {
+    result_.failure_report.lost.push_back(FailureReport::LostTuple{
+        sub->state->proc->name, tuple.index, to_string(status), error});
+  }
   MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << sub->state->proc->name
                                << "' failed definitively after " << sub->attempts_started
                                << " attempt(s): " << error;
   if (observing()) {
     obs::RunEvent event = make_event(obs::RunEvent::Kind::kInvocationFailed, *sub, attempt);
+    event.status = to_string(status);
     event.error = error;
     emit(event);
   }
+  if (policy_.failure_policy == FailurePolicy::kContinue) {
+    // The lost data continues downstream as poisoned tokens, so descendants
+    // are skipped (and accounted for) instead of waiting forever.
+    const auto cause = std::make_shared<const data::TokenError>(
+        data::TokenError{sub->state->proc->name, error, to_string(status)});
+    for (const auto& tuple : sub->tuples) {
+      poison_outputs(*sub->state, tuple, cause);
+    }
+  }
+}
+
+void Engine::poison_outputs(PState& state, const IterationBuffer::Tuple& tuple,
+                            const std::shared_ptr<const data::TokenError>& error) {
+  for (const auto& port : state.proc->output_ports) {
+    const data::Token token =
+        data::Token::poisoned(state.proc->name, port, tuple.tokens, tuple.index, error);
+    for (const Link* link : workflow_.links_out_of(state.proc->name)) {
+      if (link->from_port != port) continue;
+      // Poison stops at feedback links: recirculating it would spin the loop
+      // on error markers forever.
+      if (link->feedback) continue;
+      deliver(*link, token);
+    }
+  }
+}
+
+void Engine::skip_tuple(PState& state, IterationBuffer::Tuple tuple) {
+  std::shared_ptr<const data::TokenError> cause;
+  for (const auto& token : tuple.tokens) {
+    if (token.poisoned()) {
+      cause = token.error();
+      break;
+    }
+  }
+  const std::uint64_t id = next_submission_id_++;
+  ++state.fired;
+  ++result_.stats.skipped;
+  result_.failure_report.skipped.push_back(FailureReport::SkippedInvocation{
+      state.proc->name, tuple.index, cause ? cause->processor : std::string(),
+      cause ? cause->cause : std::string()});
+
+  InvocationTrace trace;
+  trace.processor = state.proc->name;
+  trace.indices.push_back(tuple.index);
+  const double now = backend_.now();
+  trace.submit_time = now;
+  trace.start_time = now;
+  trace.end_time = now;
+  trace.status = OutcomeStatus::kSkipped;
+  trace.skipped = true;
+  result_.timeline.add(std::move(trace));
+
+  MOTEUR_LOG(kInfo, "enactor") << "skipping invocation of '" << state.proc->name
+                               << "' on poisoned tuple " << data::to_string(tuple.index)
+                               << (cause ? " (root cause at '" + cause->processor + "')"
+                                         : std::string());
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kInvocationSkipped);
+    event.processor = state.proc->name;
+    event.invocation = id;
+    event.tuples = 1;
+    event.status = to_string(OutcomeStatus::kSkipped);
+    if (cause) event.error = cause->cause;
+    emit(event);
+  }
+  if (cause) poison_outputs(state, tuple, cause);
+}
+
+void Engine::setup_health() {
+  if (!policy_.breaker.enabled) return;
+  health_ = std::make_unique<grid::CeHealth>(policy_.breaker);
+  health_->set_transition_listener(
+      [this](const grid::CeHealth::Transition& t) { on_breaker_transition(t); });
+  health_->set_reroute_listener([this](double time) {
+    if (!observing()) return;
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kSubmissionRerouted);
+    event.time = time;
+    emit(event);
+  });
+  backend_.set_health(health_.get());
+}
+
+void Engine::on_breaker_transition(const grid::CeHealth::Transition& t) {
+  result_.timeline.add_breaker(BreakerTransitionTrace{
+      t.time, t.computing_element, t.from, t.to, t.failures_in_window});
+  if (!observing()) return;
+  obs::RunEvent::Kind kind = obs::RunEvent::Kind::kBreakerClosed;
+  switch (t.to) {
+    case grid::BreakerState::kOpen: kind = obs::RunEvent::Kind::kBreakerOpened; break;
+    case grid::BreakerState::kHalfOpen: kind = obs::RunEvent::Kind::kBreakerHalfOpen; break;
+    case grid::BreakerState::kClosed: kind = obs::RunEvent::Kind::kBreakerClosed; break;
+  }
+  obs::RunEvent event = make_event(kind);
+  event.time = t.time;
+  event.computing_element = t.computing_element;
+  emit(event);
 }
 
 void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
@@ -538,10 +679,18 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
   trace.start_time = outcome.start_time;
   trace.end_time = outcome.end_time;
   trace.failed = !outcome.ok();
+  trace.status = outcome.status;
   trace.attempt = attempt;
   trace.superseded = sub->resolved;
   trace.job = outcome.job;
   result_.timeline.add(std::move(trace));
+
+  // Feed the health ledger every attempt outcome that names a CE —
+  // stragglers included (CeHealth ignores outcomes while a breaker is open,
+  // so stale completions cannot flap the state).
+  if (health_ != nullptr && outcome.job) {
+    health_->record(outcome.job->computing_element, outcome.ok(), backend_.now());
+  }
 
   if (observing()) {
     // Every attempt reports, stragglers included: span consumers need the
@@ -597,7 +746,7 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     }
   } else if (outcome.status == OutcomeStatus::kDefinitive) {
     // Semantic failure: retrying cannot help, racing clones are moot.
-    resolve_failure(sub, attempt, outcome.error);
+    resolve_failure(sub, attempt, outcome.status, outcome.error);
   } else if (attempts_left(*sub)) {
     ++result_.stats.retries;
     MOTEUR_LOG(kInfo, "enactor") << "invocation of '" << state.proc->name << "' attempt "
@@ -625,7 +774,7 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     // Attempts exhausted, but a racing clone or a scheduled resubmission may
     // still deliver; stay unresolved until the last one reports.
   } else {
-    resolve_failure(sub, attempt, outcome.error);
+    resolve_failure(sub, attempt, outcome.status, outcome.error);
   }
   pump();
 }
@@ -755,6 +904,16 @@ bool Engine::all_finished() const {
 
 EnactmentResult Engine::execute() {
   build_states();
+  setup_health();
+  // The backend must not dangle a pointer into this run's ledger, even when
+  // enactment throws (deadlock detection).
+  struct HealthDetach {
+    ExecutionBackend& backend;
+    bool active;
+    ~HealthDetach() {
+      if (active) backend.set_health(nullptr);
+    }
+  } health_detach{backend_, health_ != nullptr};
   result_.started_at = backend_.now();
   if (observing()) {
     obs::RunEvent event = make_event(obs::RunEvent::Kind::kRunStarted);
@@ -781,9 +940,18 @@ EnactmentResult Engine::execute() {
       result_.timeline.invocation_count() == 0 ? backend_.now()
                                                : result_.timeline.makespan();
 
-  // Collect sinks, sorted by iteration index.
+  // Collect sinks, sorted by iteration index. Poisoned tokens never count as
+  // outputs: they are tallied in the failure report instead.
   for (const Processor* sink : workflow_.sinks()) {
     auto tokens = state_of(sink->name).collected["in"];
+    const auto poisoned_begin =
+        std::stable_partition(tokens.begin(), tokens.end(),
+                              [](const data::Token& t) { return !t.poisoned(); });
+    const auto poisoned_count = static_cast<std::size_t>(tokens.end() - poisoned_begin);
+    if (poisoned_count > 0) {
+      result_.failure_report.poisoned_at_sink[sink->name] = poisoned_count;
+    }
+    tokens.erase(poisoned_begin, tokens.end());
     std::sort(tokens.begin(), tokens.end(),
               [](const data::Token& a, const data::Token& b) {
                 return a.indices() < b.indices();
@@ -824,6 +992,9 @@ Enactor::EventSubscriber progress_adapter(const Enactor::ProgressListener& liste
       case obs::RunEvent::Kind::kProcessorFinished:
         p.kind = ProgressEvent::Kind::kProcessorFinished;
         break;
+      case obs::RunEvent::Kind::kInvocationSkipped:
+        p.kind = ProgressEvent::Kind::kSkipped;
+        break;
       default:
         return;  // run/invocation/attempt lifecycle details stay internal
     }
@@ -847,6 +1018,7 @@ const char* kind_name(ProgressEvent::Kind kind) {
     case ProgressEvent::Kind::kRetried: return "Retried";
     case ProgressEvent::Kind::kTimedOut: return "TimedOut";
     case ProgressEvent::Kind::kProcessorFinished: return "ProcessorFinished";
+    case ProgressEvent::Kind::kSkipped: return "Skipped";
   }
   return "?";
 }
@@ -883,7 +1055,8 @@ EnactmentResult Enactor::run(const workflow::Workflow& input_workflow,
                                << " submissions=" << result.submissions()
                                << " retries=" << result.retries()
                                << " timeouts=" << result.timeouts()
-                               << " failures=" << result.failures();
+                               << " failures=" << result.failures()
+                               << " skipped=" << result.skipped();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "data/dataset.hpp"
 #include "data/token.hpp"
 #include "enactor/backend.hpp"
+#include "enactor/failure_report.hpp"
 #include "enactor/policy.hpp"
 #include "enactor/timeline.hpp"
 #include "obs/event.hpp"
@@ -30,6 +31,7 @@ struct EnactmentStats {
   std::size_t failures = 0;     // tuples lost to definitive job failures
   std::size_t retries = 0;      // resubmissions after a transient failure
   std::size_t timeouts = 0;     // watchdog-triggered clone submissions
+  std::size_t skipped = 0;      // invocations skipped on poisoned inputs
 };
 
 /// Everything a run produces: the sink data, the full invocation timeline
@@ -50,6 +52,12 @@ struct EnactmentResult {
   std::size_t failures() const { return stats.failures; }
   std::size_t retries() const { return stats.retries; }
   std::size_t timeouts() const { return stats.timeouts; }
+  std::size_t skipped() const { return stats.skipped; }
+
+  /// Structured account of lost tuples, skipped invocations and missing sink
+  /// outputs. Empty for a clean run; under FailurePolicy::kContinue every
+  /// definitively failed tuple and each of its skipped descendants appears.
+  FailureReport failure_report;
 
   /// The workflow actually enacted (after the grouping rewrite, if any).
   workflow::Workflow executed_workflow{"empty"};
@@ -76,6 +84,7 @@ struct ProgressEvent {
     kRetried,            // a transient failure is being resubmitted
     kTimedOut,           // the watchdog raced a clone against a straggler
     kProcessorFinished,  // a processor will produce nothing further
+    kSkipped,            // an invocation consumed a poisoned token
   };
   Kind kind = Kind::kSubmitted;
   std::string processor;

@@ -1,0 +1,94 @@
+#include "enactor/failure_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace moteur::enactor {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_indices(std::ostringstream& out, const data::IndexVector& indices) {
+  out << "[";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i != 0) out << ",";
+    out << indices[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string FailureReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"lost\":[";
+  for (std::size_t i = 0; i < lost.size(); ++i) {
+    const LostTuple& t = lost[i];
+    if (i != 0) out << ",";
+    out << "{\"processor\":\"" << json_escape(t.processor) << "\",\"indices\":";
+    write_indices(out, t.indices);
+    out << ",\"status\":\"" << json_escape(t.status) << "\",\"cause\":\""
+        << json_escape(t.cause) << "\"}";
+  }
+  out << "],\"skipped\":[";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    const SkippedInvocation& s = skipped[i];
+    if (i != 0) out << ",";
+    out << "{\"processor\":\"" << json_escape(s.processor) << "\",\"indices\":";
+    write_indices(out, s.indices);
+    out << ",\"originProcessor\":\"" << json_escape(s.origin_processor)
+        << "\",\"cause\":\"" << json_escape(s.cause) << "\"}";
+  }
+  out << "],\"poisonedAtSink\":{";
+  bool first = true;
+  for (const auto& [sink, count] : poisoned_at_sink) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(sink) << "\":" << count;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string FailureReport::to_text() const {
+  if (empty()) return "no failures";
+  std::ostringstream out;
+  out << lost.size() << " tuple(s) lost, " << skipped.size()
+      << " invocation(s) skipped downstream\n";
+  for (const LostTuple& t : lost) {
+    out << "  lost    " << t.processor << " " << data::to_string(t.indices) << " ["
+        << t.status << "] " << t.cause << "\n";
+  }
+  for (const SkippedInvocation& s : skipped) {
+    out << "  skipped " << s.processor << " " << data::to_string(s.indices)
+        << " (root cause at " << s.origin_processor << ")\n";
+  }
+  for (const auto& [sink, count] : poisoned_at_sink) {
+    out << "  sink    " << sink << ": " << count << " output(s) missing\n";
+  }
+  return out.str();
+}
+
+}  // namespace moteur::enactor

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/token.hpp"
+
+namespace moteur::enactor {
+
+/// Structured account of everything a partial-result run lost: which input
+/// tuples died (and where, and why), which downstream invocations were
+/// skipped because they consumed poisoned tokens, and how many poisoned
+/// tokens reached each sink. Empty for a clean run.
+struct FailureReport {
+  /// A tuple that failed definitively at a processor (retries exhausted).
+  struct LostTuple {
+    std::string processor;      // where the invocation failed
+    data::IndexVector indices;  // iteration index of the lost tuple
+    std::string status;         // final outcome status ("Transient", ...)
+    std::string cause;          // backend error text
+  };
+
+  /// A downstream invocation skipped because an input token was poisoned.
+  struct SkippedInvocation {
+    std::string processor;         // the skipped processor
+    data::IndexVector indices;     // iteration index of the skipped tuple
+    std::string origin_processor;  // where the root failure happened
+    std::string cause;             // root-cause error text
+  };
+
+  std::vector<LostTuple> lost;
+  std::vector<SkippedInvocation> skipped;
+  /// Poisoned tokens that reached each sink, i.e. final outputs lost.
+  std::map<std::string, std::size_t> poisoned_at_sink;
+
+  bool empty() const { return lost.empty() && skipped.empty() && poisoned_at_sink.empty(); }
+
+  /// JSON document: {"lost":[...],"skipped":[...],"poisonedAtSink":{...}}.
+  std::string to_json() const;
+  /// Short human-readable summary for CLI output.
+  std::string to_text() const;
+};
+
+}  // namespace moteur::enactor

@@ -48,6 +48,14 @@ void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
                          std::to_string(policy.retry.backoff_factor));
     }
   }
+  if (policy.failure_policy != FailurePolicy::kFailFast) {
+    node.set_attribute("failurePolicy", to_string(policy.failure_policy));
+  }
+  if (policy.breaker.enabled) {
+    node.set_attribute("breakerWindow", std::to_string(policy.breaker.window));
+    node.set_attribute("breakerThreshold", std::to_string(policy.breaker.threshold));
+    node.set_attribute("breakerCooldown", std::to_string(policy.breaker.cooldown_seconds));
+  }
 }
 
 EnactmentPolicy read_policy(const xml::Node& node) {
@@ -84,6 +92,24 @@ EnactmentPolicy read_policy(const xml::Node& node) {
   }
   if (const auto factor = node.attribute("retryBackoffFactor")) {
     policy.retry.backoff_factor = std::stod(*factor);
+  }
+  if (const auto failure = node.attribute("failurePolicy")) {
+    policy.failure_policy = parse_failure_policy(*failure);
+  }
+  if (const auto window = node.attribute("breakerWindow")) {
+    policy.breaker.enabled = true;
+    policy.breaker.window = static_cast<std::size_t>(std::stoul(*window));
+    MOTEUR_REQUIRE(policy.breaker.window >= 1, ParseError, "breakerWindow must be >= 1");
+  }
+  if (const auto threshold = node.attribute("breakerThreshold")) {
+    policy.breaker.enabled = true;
+    policy.breaker.threshold = static_cast<std::size_t>(std::stoul(*threshold));
+    MOTEUR_REQUIRE(policy.breaker.threshold >= 1, ParseError,
+                   "breakerThreshold must be >= 1");
+  }
+  if (const auto cooldown = node.attribute("breakerCooldown")) {
+    policy.breaker.enabled = true;
+    policy.breaker.cooldown_seconds = std::stod(*cooldown);
   }
   return policy;
 }

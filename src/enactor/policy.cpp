@@ -7,6 +7,21 @@
 
 namespace moteur::enactor {
 
+const char* to_string(FailurePolicy p) {
+  switch (p) {
+    case FailurePolicy::kFailFast: return "failfast";
+    case FailurePolicy::kContinue: return "continue";
+  }
+  return "?";
+}
+
+FailurePolicy parse_failure_policy(const std::string& text) {
+  const std::string token = trim(text);
+  if (token == "failfast") return FailurePolicy::kFailFast;
+  if (token == "continue") return FailurePolicy::kContinue;
+  throw ParseError("unknown failure policy '" + token + "' (expected failfast|continue)");
+}
+
 double RetryPolicy::backoff_seconds(std::size_t next_attempt) const {
   if (backoff_initial_seconds <= 0.0 || next_attempt < 2) return 0.0;
   double delay = backoff_initial_seconds;

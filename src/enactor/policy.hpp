@@ -3,7 +3,22 @@
 #include <cstddef>
 #include <string>
 
+#include "grid/ce_health.hpp"
+
 namespace moteur::enactor {
+
+/// Workflow-level fault tolerance: what happens to the run when an
+/// invocation fails definitively (retries exhausted).
+///  - kFailFast: the tuple silently disappears from the stream and every
+///    dot-product descendant simply never fires — the seed behaviour.
+///  - kContinue: the failed invocation emits poisoned error tokens; the
+///    descendants consuming them are skipped (and counted), the run
+///    completes with partial outputs plus a structured failure report.
+enum class FailurePolicy { kFailFast, kContinue };
+
+const char* to_string(FailurePolicy p);
+/// Parse "failfast" / "continue" (case-sensitive). Throws ParseError.
+FailurePolicy parse_failure_policy(const std::string& text);
 
 /// Task-level fault tolerance: how the enactor reacts to transient backend
 /// failures and to the EGEE latency tail (§4.2: job latencies "ranging from
@@ -81,6 +96,14 @@ struct EnactmentPolicy {
 
   /// Fault-tolerance settings (retry/resubmission). Defaults to off.
   RetryPolicy retry;
+
+  /// Workflow-level reaction to definitive failures. Defaults to the seed
+  /// behaviour (tuples lost silently, no poisoned tokens).
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+
+  /// Per-CE circuit breakers consulted by the backend's routing. Disabled
+  /// by default: matchmaking is bit-identical to the pre-breaker enactor.
+  grid::BreakerPolicy breaker;
 
   /// Effective concurrent-invocation bound per service.
   std::size_t service_capacity() const;

@@ -34,6 +34,10 @@ class SimGridBackend : public ExecutionBackend {
   /// (all recording happens inside drive(), on the simulation thread).
   void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
 
+  /// Hands the health ledger to the grid's resource broker, which excludes
+  /// open-breaker CEs during matchmaking.
+  void set_health(grid::CeHealth* health) override { grid_.set_health(health); }
+
   std::size_t jobs_submitted() const { return jobs_submitted_; }
 
  private:

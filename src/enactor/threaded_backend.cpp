@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "grid/ce_health.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -15,33 +16,97 @@ double ThreadedBackend::now() const {
   return std::chrono::duration<double>(elapsed).count();
 }
 
+void ThreadedBackend::configure_hosts(std::vector<std::string> hosts, std::uint64_t seed) {
+  hosts_ = std::move(hosts);
+  next_host_ = 0;
+  fault_rng_ = std::make_unique<Rng>(seed, "threaded.faults");
+}
+
+void ThreadedBackend::set_host_failure_probability(const std::string& host, double p) {
+  host_failure_[host] = p;
+}
+
+const std::string& ThreadedBackend::pick_host() {
+  const std::size_t n = hosts_.size();
+  const double t = now();
+  bool excluded_any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& host = hosts_[(next_host_ + i) % n];
+    if (health_ != nullptr && !health_->admissible(host, t)) {
+      excluded_any = true;
+      continue;
+    }
+    next_host_ = (next_host_ + i + 1) % n;
+    if (health_ != nullptr) {
+      if (excluded_any) health_->note_rerouted(t);
+      health_->on_routed(host, t);
+    }
+    return host;
+  }
+  // Every breaker open (or half-open): degrade to plain round-robin rather
+  // than stranding the execution.
+  const std::string& host = hosts_[next_host_ % n];
+  next_host_ = (next_host_ + 1) % n;
+  return host;
+}
+
 void ThreadedBackend::execute(std::shared_ptr<services::Service> service,
                               std::vector<services::Inputs> bindings,
                               Callback on_complete) {
   MOTEUR_REQUIRE(!bindings.empty(), InternalError, "execute with no bindings");
+  // Host assignment and fault draws happen here, on the caller (drive)
+  // thread, so routing and injected failures are deterministic regardless of
+  // worker scheduling.
+  std::string host;
+  bool inject_fault = false;
+  if (!hosts_.empty()) {
+    host = pick_host();
+    const auto it = host_failure_.find(host);
+    if (it != host_failure_.end() && fault_rng_ != nullptr) {
+      inject_fault = fault_rng_->bernoulli(it->second);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++in_flight_;
   }
   const double submit_time = now();
   pool_.submit([this, service = std::move(service), bindings = std::move(bindings),
-                on_complete = std::move(on_complete), submit_time]() mutable {
+                on_complete = std::move(on_complete), submit_time, host = std::move(host),
+                inject_fault]() mutable {
     Outcome outcome;
     outcome.submit_time = submit_time;
     outcome.start_time = now();
-    try {
-      outcome.results.reserve(bindings.size());
-      // Batched bindings run sequentially on this worker, like the grouped
-      // command lines of one grid job.
-      for (const auto& binding : bindings) {
-        outcome.results.push_back(service->invoke(binding));
-      }
-    } catch (const std::exception& e) {
+    if (inject_fault) {
       outcome.status = OutcomeStatus::kTransient;
-      outcome.error = e.what();
-      outcome.results.clear();
+      outcome.error = "injected fault on host '" + host + "'";
+    } else {
+      try {
+        outcome.results.reserve(bindings.size());
+        // Batched bindings run sequentially on this worker, like the grouped
+        // command lines of one grid job.
+        for (const auto& binding : bindings) {
+          outcome.results.push_back(service->invoke(binding));
+        }
+      } catch (const std::exception& e) {
+        outcome.status = OutcomeStatus::kTransient;
+        outcome.error = e.what();
+        outcome.results.clear();
+      }
     }
     outcome.end_time = now();
+    if (!host.empty()) {
+      grid::JobRecord record;
+      record.name = service->id();
+      record.computing_element = host;
+      record.attempts = 1;
+      record.state = outcome.ok() ? grid::JobState::kDone : grid::JobState::kFailed;
+      record.submit_time = outcome.submit_time;
+      record.run_start_time = outcome.start_time;
+      record.run_end_time = outcome.end_time;
+      record.completion_time = outcome.end_time;
+      outcome.job = std::move(record);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       completed_.push_back(Done{std::move(outcome), std::move(on_complete)});

@@ -2,11 +2,16 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "enactor/backend.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace moteur::enactor {
@@ -45,10 +50,29 @@ class ThreadedBackend : public ExecutionBackend {
   /// on workers, so the registry needs no locking. Set before enacting.
   void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
 
+  /// Name logical execution hosts so this backend participates in per-CE
+  /// health routing: each execution is pinned to one host (round-robin,
+  /// skipping hosts whose breaker is open) and the host lands in the
+  /// outcome's JobRecord. `seed` feeds the deterministic fault-injection
+  /// stream used by set_host_failure_probability(). Without configured
+  /// hosts every execution is anonymous ("local") and routing is untouched.
+  void configure_hosts(std::vector<std::string> hosts, std::uint64_t seed);
+
+  /// Inject faults: executions routed to `host` fail (kTransient) with
+  /// probability `p`, drawn deterministically on the drive thread.
+  void set_host_failure_probability(const std::string& host, double p);
+
+  /// Breakers consulted when picking a host. Only meaningful after
+  /// configure_hosts(). Touched from the drive thread only.
+  void set_health(grid::CeHealth* health) override { health_ = health; }
+
   std::size_t tasks_executed() const { return tasks_executed_; }
 
  private:
   void record_metrics(const Outcome& outcome);
+  /// Round-robin over admissible hosts (drive thread only); falls back to
+  /// plain round-robin when every breaker is open.
+  const std::string& pick_host();
 
   struct Done {
     Outcome outcome;
@@ -61,6 +85,11 @@ class ThreadedBackend : public ExecutionBackend {
 
   ThreadPool pool_;
   obs::MetricsRegistry* metrics_ = nullptr;  // touched from drive() only
+  grid::CeHealth* health_ = nullptr;         // touched from drive() only
+  std::vector<std::string> hosts_;
+  std::map<std::string, double> host_failure_;
+  std::unique_ptr<Rng> fault_rng_;  // drawn in execute(), on the drive thread
+  std::size_t next_host_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -23,6 +23,10 @@ std::string InvocationTrace::data_label() const {
 
 void Timeline::add(InvocationTrace trace) { traces_.push_back(std::move(trace)); }
 
+void Timeline::add_breaker(BreakerTransitionTrace transition) {
+  breaker_transitions_.push_back(std::move(transition));
+}
+
 double Timeline::makespan() const {
   double last = 0.0;
   for (const auto& trace : traces_) {

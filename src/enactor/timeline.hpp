@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "data/token.hpp"
+#include "enactor/backend.hpp"
+#include "grid/ce_health.hpp"
 #include "grid/job.hpp"
 
 namespace moteur::enactor {
@@ -20,6 +23,10 @@ struct InvocationTrace {
   double start_time = 0.0;   // payload began (queue exit on the grid)
   double end_time = 0.0;     // results available
   bool failed = false;
+  /// Final status of this execution (kSkipped for poisoned-input skips).
+  OutcomeStatus status = OutcomeStatus::kOk;
+  /// Never executed: a poisoned input token was consumed instead.
+  bool skipped = false;
   /// Which resubmission attempt this execution was (1 = first try).
   std::size_t attempt = 1;
   /// The submission was already resolved (by a racing clone or a definitive
@@ -33,12 +40,25 @@ struct InvocationTrace {
   std::string data_label() const;
 };
 
+/// One circuit-breaker state change during the run.
+struct BreakerTransitionTrace {
+  double time = 0.0;
+  std::string computing_element;
+  grid::BreakerState from = grid::BreakerState::kClosed;
+  grid::BreakerState to = grid::BreakerState::kClosed;
+  std::size_t failures_in_window = 0;
+};
+
 /// Chronology of a whole enactment.
 class Timeline {
  public:
   void add(InvocationTrace trace);
+  void add_breaker(BreakerTransitionTrace transition);
 
   const std::vector<InvocationTrace>& traces() const { return traces_; }
+  const std::vector<BreakerTransitionTrace>& breaker_transitions() const {
+    return breaker_transitions_;
+  }
   std::size_t invocation_count() const { return traces_.size(); }
 
   /// Last completion time over all non-superseded traces (0 if empty) —
@@ -53,6 +73,7 @@ class Timeline {
 
  private:
   std::vector<InvocationTrace> traces_;
+  std::vector<BreakerTransitionTrace> breaker_transitions_;
 };
 
 }  // namespace moteur::enactor

@@ -25,7 +25,7 @@ std::string csv_escape(const std::string& field) {
 std::string timeline_to_csv(const Timeline& timeline) {
   std::ostringstream os;
   os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
-        "superseded\n";
+        "superseded,status,skipped\n";
   auto traces = timeline.traces();
   std::sort(traces.begin(), traces.end(),
             [](const InvocationTrace& a, const InvocationTrace& b) {
@@ -39,7 +39,16 @@ std::string timeline_to_csv(const Timeline& timeline) {
        << (trace.job ? format_fixed(trace.job->overhead_seconds(), 3) : std::string())
        << ',' << csv_escape(trace.job ? trace.job->computing_element : std::string())
        << ',' << (trace.failed ? "1" : "0") << ',' << trace.attempt << ','
-       << (trace.superseded ? "1" : "0") << '\n';
+       << (trace.superseded ? "1" : "0") << ',' << to_string(trace.status) << ','
+       << (trace.skipped ? "1" : "0") << '\n';
+  }
+  // Breaker state changes ride along as pseudo-rows: processor "(breaker)",
+  // the CE in the site column, the target state in the status column.
+  for (const auto& t : timeline.breaker_transitions()) {
+    os << "(breaker)," << csv_escape(t.computing_element) << ','
+       << format_fixed(t.time, 3) << ',' << format_fixed(t.time, 3) << ','
+       << format_fixed(t.time, 3) << ",0.000,," << csv_escape(t.computing_element)
+       << ",0,0,0," << grid::to_string(t.to) << ",0\n";
   }
   return os.str();
 }

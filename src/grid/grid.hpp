@@ -34,6 +34,10 @@ class Grid {
   const GridConfig& config() const { return config_; }
   const ResourceBroker& broker() const { return broker_; }
 
+  /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger the
+  /// broker consults during matchmaking. Not owned.
+  void set_health(CeHealth* health) { broker_.set_health(health); }
+
   /// Records of all completed (done or failed) jobs, completion order.
   const std::vector<JobRecord>& completed_jobs() const { return completed_; }
 

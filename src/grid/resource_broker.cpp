@@ -1,5 +1,6 @@
 #include "grid/resource_broker.hpp"
 
+#include "grid/ce_health.hpp"
 #include "grid/overhead_model.hpp"
 #include "util/error.hpp"
 
@@ -20,9 +21,15 @@ void ResourceBroker::add_computing_element(std::unique_ptr<ComputingElement> ce)
 
 ComputingElement& ResourceBroker::match() {
   MOTEUR_REQUIRE(!ces_.empty(), ExecutionError, "resource broker has no computing elements");
+  const double now = simulator_.now();
+  bool excluded_any = false;
   double best_rank = 0.0;
   std::vector<ComputingElement*> best;
   for (const auto& ce : ces_) {
+    if (health_ != nullptr && !health_->admissible(ce->name(), now)) {
+      excluded_any = true;
+      continue;
+    }
     const double rank = ce->rank_estimate();
     if (best.empty() || rank < best_rank) {
       best_rank = rank;
@@ -31,10 +38,31 @@ ComputingElement& ResourceBroker::match() {
       best.push_back(ce.get());
     }
   }
-  if (best.size() == 1) return *best.front();
-  const auto pick = static_cast<std::size_t>(
-      tie_rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
-  return *best[pick];
+  if (best.empty()) {
+    // Every breaker is open (or half-open): degrade to ranking the full set
+    // rather than stranding the submission.
+    excluded_any = false;
+    for (const auto& ce : ces_) {
+      const double rank = ce->rank_estimate();
+      if (best.empty() || rank < best_rank) {
+        best_rank = rank;
+        best = {ce.get()};
+      } else if (rank == best_rank) {
+        best.push_back(ce.get());
+      }
+    }
+  }
+  ComputingElement* chosen = best.front();
+  if (best.size() > 1) {
+    const auto pick = static_cast<std::size_t>(
+        tie_rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
+    chosen = best[pick];
+  }
+  if (health_ != nullptr) {
+    if (excluded_any) health_->note_rerouted(now);
+    health_->on_routed(chosen->name(), now);
+  }
+  return *chosen;
 }
 
 void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched) {

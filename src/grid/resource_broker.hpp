@@ -11,6 +11,7 @@
 
 namespace moteur::grid {
 
+class CeHealth;
 class OverheadModel;
 
 /// The LCG2-style central Resource Broker: all submissions funnel through it.
@@ -33,7 +34,14 @@ class ResourceBroker {
   }
 
   /// Pick the best-ranked CE right now (ties broken uniformly at random).
+  /// With a health ledger attached, CEs whose breaker is open are excluded
+  /// (half-open probes admitted per CeHealth); if every CE is excluded the
+  /// full set is used, so submissions never starve.
   ComputingElement& match();
+
+  /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger
+  /// consulted during matchmaking. Not owned; single-threaded access.
+  void set_health(CeHealth* health) { health_ = health; }
 
  private:
   sim::Simulator& simulator_;
@@ -42,6 +50,7 @@ class ResourceBroker {
   sim::Resource pipeline_;
   Rng tie_rng_;
   std::vector<std::unique_ptr<ComputingElement>> ces_;
+  CeHealth* health_ = nullptr;
 };
 
 }  // namespace moteur::grid

@@ -28,6 +28,11 @@ struct RunEvent {
     kRetryScheduled,       // transient failure; a resubmission will follow
     kWatchdogFired,        // straggler deadline hit; a clone is being raced
     kProcessorFinished,    // a processor will produce nothing further
+    kInvocationSkipped,    // consumed a poisoned token; never executed
+    kBreakerOpened,        // a CE's circuit breaker tripped
+    kBreakerHalfOpen,      // cooldown elapsed; a probe submission is routed
+    kBreakerClosed,        // probe succeeded; the CE rejoined routing
+    kSubmissionRerouted,   // matchmaking excluded at least one open CE
   };
 
   Kind kind = Kind::kRunStarted;
@@ -43,8 +48,8 @@ struct RunEvent {
   bool ok = false;
   bool superseded = false;  // a racing attempt had already settled it
   std::string status;       // OutcomeStatus name ("Ok", "Transient", ...)
-  std::string error;        // failure message, empty on success
-  std::string computing_element;  // empty when the backend has no CE notion
+  std::string error;        // failure message; root cause for kInvocationSkipped
+  std::string computing_element;  // also set on breaker events; else empty
   double submit_time = -1.0;      // attempt timings (backend seconds)
   double start_time = -1.0;       // payload began (queue wait before this)
   double end_time = -1.0;

@@ -14,6 +14,11 @@ const char* to_string(RunEvent::Kind kind) {
     case RunEvent::Kind::kRetryScheduled: return "RetryScheduled";
     case RunEvent::Kind::kWatchdogFired: return "WatchdogFired";
     case RunEvent::Kind::kProcessorFinished: return "ProcessorFinished";
+    case RunEvent::Kind::kInvocationSkipped: return "InvocationSkipped";
+    case RunEvent::Kind::kBreakerOpened: return "BreakerOpened";
+    case RunEvent::Kind::kBreakerHalfOpen: return "BreakerHalfOpen";
+    case RunEvent::Kind::kBreakerClosed: return "BreakerClosed";
+    case RunEvent::Kind::kSubmissionRerouted: return "SubmissionRerouted";
   }
   return "?";
 }
@@ -27,6 +32,10 @@ RunRecorder::RunRecorder() {
   timeouts_ = &metrics_.counter("moteur_timeouts_total", "Watchdog-triggered clone submissions");
   tuples_lost_ =
       &metrics_.counter("moteur_tuples_lost_total", "Data tuples lost to definitive failures");
+  skipped_ = &metrics_.counter("moteur_invocations_skipped_total",
+                               "Invocations skipped after consuming a poisoned token");
+  rerouted_ = &metrics_.counter("moteur_submissions_rerouted_total",
+                                "Submissions whose matchmaking excluded an open breaker");
   tuples_in_flight_ = &metrics_.gauge("moteur_tuples_in_flight",
                                       "Data tuples currently handed to the backend");
   makespan_ =
@@ -60,6 +69,26 @@ Counter& RunRecorder::failure_counter(const std::string& status) {
     it->second = &metrics_.counter("moteur_attempt_failures_total",
                                    "Failed backend executions by status",
                                    Labels{{"status", status}});
+  }
+  return *it->second;
+}
+
+Gauge& RunRecorder::breaker_gauge(const std::string& ce) {
+  const auto [it, inserted] = breaker_gauges_.try_emplace(ce, nullptr);
+  if (inserted) {
+    it->second = &metrics_.gauge("moteur_breaker_open",
+                                 "Circuit-breaker state per CE (0 closed, 0.5 half-open, 1 open)",
+                                 Labels{{"ce", ce}});
+  }
+  return *it->second;
+}
+
+Counter& RunRecorder::breaker_transitions(const std::string& ce, const char* to) {
+  const auto [it, inserted] = breaker_transitions_.try_emplace({ce, to}, nullptr);
+  if (inserted) {
+    it->second = &metrics_.counter("moteur_breaker_transitions_total",
+                                   "Circuit-breaker transitions by CE and target state",
+                                   Labels{{"ce", ce}, {"to", to}});
   }
   return *it->second;
 }
@@ -191,6 +220,44 @@ void RunRecorder::on_event(const RunEvent& event) {
     case RunEvent::Kind::kProcessorFinished: {
       const auto it = processor_spans_.find(event.processor);
       if (it != processor_spans_.end()) tracer_.end(it->second, event.time);
+      break;
+    }
+
+    case RunEvent::Kind::kInvocationSkipped: {
+      // Zero-length span under the processor, so skips show up in the tree.
+      auto [it, inserted] = processor_spans_.try_emplace(event.processor, 0);
+      if (inserted) {
+        it->second = tracer_.begin(event.processor, "processor", event.time, run_span_);
+      }
+      const SpanId span = tracer_.record(
+          event.processor + " #" + std::to_string(event.invocation) + " (skipped)",
+          "invocation", event.time, event.time, it->second);
+      if (!event.error.empty()) tracer_.annotate(span, "cause", event.error);
+      tracer_.annotate(span, "skipped", "true");
+      skipped_->inc(static_cast<double>(event.tuples));
+      break;
+    }
+
+    case RunEvent::Kind::kBreakerOpened: {
+      breaker_gauge(event.computing_element).set(1.0);
+      breaker_transitions(event.computing_element, "open").inc();
+      break;
+    }
+
+    case RunEvent::Kind::kBreakerHalfOpen: {
+      breaker_gauge(event.computing_element).set(0.5);
+      breaker_transitions(event.computing_element, "half-open").inc();
+      break;
+    }
+
+    case RunEvent::Kind::kBreakerClosed: {
+      breaker_gauge(event.computing_element).set(0.0);
+      breaker_transitions(event.computing_element, "closed").inc();
+      break;
+    }
+
+    case RunEvent::Kind::kSubmissionRerouted: {
+      rerouted_->inc();
       break;
     }
   }

@@ -47,6 +47,8 @@ class RunRecorder {
   CeSeries& ce_series(const std::string& ce);
   Counter& failure_counter(const std::string& status);
   Counter& processor_tuples(const std::string& processor);
+  Gauge& breaker_gauge(const std::string& ce);
+  Counter& breaker_transitions(const std::string& ce, const char* to);
 
   Tracer tracer_;
   MetricsRegistry metrics_;
@@ -63,11 +65,15 @@ class RunRecorder {
   Counter* retries_ = nullptr;
   Counter* timeouts_ = nullptr;
   Counter* tuples_lost_ = nullptr;
+  Counter* skipped_ = nullptr;
+  Counter* rerouted_ = nullptr;
   Gauge* tuples_in_flight_ = nullptr;
   Gauge* makespan_ = nullptr;
   std::map<std::string, CeSeries> ce_series_;
   std::map<std::string, Counter*> failure_counters_;
   std::map<std::string, Counter*> processor_tuples_;
+  std::map<std::string, Gauge*> breaker_gauges_;
+  std::map<std::pair<std::string, std::string>, Counter*> breaker_transitions_;
 };
 
 }  // namespace moteur::obs

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "util/error.hpp"
@@ -158,6 +159,84 @@ TEST(CrossProduct, ChainedCrossConcatenatesIndices) {
   const auto ready = second.drain_ready();
   ASSERT_EQ(ready.size(), 1u);
   EXPECT_EQ(ready[0].index, (IndexVector{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Poisoned tokens ride iteration like data
+// ---------------------------------------------------------------------------
+
+Token poisoned_tok(const std::string& processor, std::size_t index) {
+  auto error = std::make_shared<const data::TokenError>(
+      data::TokenError{processor, "injected fault", "Definitive"});
+  return Token::poisoned(processor, "out", {tok("A", index)}, IndexVector{index},
+                         std::move(error));
+}
+
+TEST(Poisoned, DotPairsPoisonArrivingBeforeItsPartner) {
+  // A definitive upstream failure must not strand its dot-product partner:
+  // the poisoned operand waits in the buffer exactly like a data token.
+  IterationBuffer buffer(IterationStrategy::kDot, {"a", "b"});
+  buffer.push("a", poisoned_tok("P", 0));
+  EXPECT_FALSE(buffer.has_ready());
+  buffer.push("b", tok("B", 0));
+  const auto ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].index, (IndexVector{0}));
+  EXPECT_TRUE(ready[0].tokens[0].poisoned());
+  EXPECT_FALSE(ready[0].tokens[1].poisoned());
+  ASSERT_NE(ready[0].tokens[0].error(), nullptr);
+  EXPECT_EQ(ready[0].tokens[0].error()->processor, "P");
+  EXPECT_EQ(ready[0].tokens[0].error()->cause, "injected fault");
+}
+
+TEST(Poisoned, DotPairsPoisonArrivingAfterItsPartner) {
+  // Out-of-order the other way: the healthy operand is already waiting when
+  // the poisoned one completes late (e.g. after exhausted retries).
+  IterationBuffer buffer(IterationStrategy::kDot, {"a", "b"});
+  buffer.push("b", tok("B", 1));
+  buffer.push("b", tok("B", 0));
+  EXPECT_FALSE(buffer.has_ready());
+  buffer.push("a", poisoned_tok("P", 1));
+  auto ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].index, (IndexVector{1}));
+  EXPECT_TRUE(ready[0].tokens[0].poisoned());
+
+  buffer.push("a", tok("A", 0));  // rank 0 stays healthy
+  ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_FALSE(ready[0].tokens[0].poisoned());
+}
+
+TEST(Poisoned, CrossCombinesPoisonWithEveryPartner) {
+  IterationBuffer buffer(IterationStrategy::kCross, {"a", "b"});
+  buffer.push("a", poisoned_tok("P", 0));
+  for (std::size_t j = 0; j < 3; ++j) buffer.push("b", tok("B", j));
+  auto ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 3u);
+  for (const auto& tuple : ready) {
+    EXPECT_TRUE(tuple.tokens[0].poisoned());
+    EXPECT_FALSE(tuple.tokens[1].poisoned());
+  }
+  // A healthy late arrival still pairs with the retained right-hand tokens.
+  buffer.push("a", tok("A", 1));
+  ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 3u);
+  for (const auto& tuple : ready) EXPECT_FALSE(tuple.tokens[0].poisoned());
+}
+
+TEST(Poisoned, CrossPoisonArrivingAfterItsPartners) {
+  IterationBuffer buffer(IterationStrategy::kCross, {"a", "b"});
+  buffer.push("b", tok("B", 0));
+  buffer.push("b", tok("B", 1));
+  EXPECT_FALSE(buffer.has_ready());
+  buffer.push("a", poisoned_tok("P", 2));
+  const auto ready = buffer.drain_ready();
+  ASSERT_EQ(ready.size(), 2u);
+  for (const auto& tuple : ready) {
+    EXPECT_TRUE(tuple.tokens[0].poisoned());
+    EXPECT_EQ(tuple.index.size(), 2u);
+  }
 }
 
 // ---------------------------------------------------------------------------

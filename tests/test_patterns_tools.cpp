@@ -108,7 +108,8 @@ TEST(TimelineCsv, HeaderRowsAndEscaping) {
   ASSERT_GE(lines.size(), 2u);
   EXPECT_EQ(lines[0],
             "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
-            "superseded");
+            "superseded,status,skipped");
+  EXPECT_NE(lines[1].find(",Ok,"), std::string::npos);  // status never empty
   EXPECT_NE(lines[1].find("\"crest,Lines\"\"x\"\"\""), std::string::npos);
   EXPECT_NE(lines[1].find("ce3"), std::string::npos);
   EXPECT_NE(lines[1].find(",0"), std::string::npos);  // failed flag

@@ -11,6 +11,7 @@
 #include "enactor/enactor.hpp"
 #include "enactor/sim_backend.hpp"
 #include "enactor/threaded_backend.hpp"
+#include "grid/ce_health.hpp"
 #include "grid/grid.hpp"
 #include "services/functional_service.hpp"
 #include "sim/simulator.hpp"
@@ -152,6 +153,91 @@ TEST(ThreadedStress, ConcurrentInvocationsOfOneServiceAreThreadSafe) {
   const auto result = moteur.run(workflow::make_chain(1), ds);
   EXPECT_EQ(counter->load(), 200);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment on the threaded backend
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedStress, BreakerRoutesAroundAFailingHost) {
+  // Two logical hosts, one failing every attempt: the per-CE breaker must
+  // trip on the bad host and converge the run to zero lost tuples.
+  services::ServiceRegistry registry;
+  registry.add(std::make_shared<services::FunctionalService>(
+      "P0", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const services::Inputs& in) {
+        const int v = std::stoi(in.at("in").as<std::string>());
+        services::Result r;
+        r.outputs["out"] = services::OutputValue{v + 1, std::to_string(v + 1)};
+        return r;
+      }));
+  data::InputDataSet ds;
+  constexpr int kItems = 40;
+  for (int j = 0; j < kItems; ++j) ds.add_item("src", std::to_string(j));
+
+  enactor::ThreadedBackend backend(4);
+  backend.configure_hosts({"h0", "h1"}, /*seed=*/7);
+  backend.set_host_failure_probability("h0", 1.0);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(8);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  policy.breaker.enabled = true;
+  policy.breaker.window = 4;
+  policy.breaker.threshold = 2;
+  policy.breaker.cooldown_seconds = 1e9;  // stays open for the whole run
+
+  enactor::Enactor moteur(backend, registry, policy);
+  const auto result = moteur.run(workflow::make_chain(1), ds);
+
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.skipped(), 0u);
+  EXPECT_TRUE(result.failure_report.empty());
+  EXPECT_EQ(result.sink_outputs.at("sink").size(),
+            static_cast<std::size_t>(kItems));
+
+  bool h0_opened = false;
+  for (const auto& t : result.timeline.breaker_transitions()) {
+    if (t.computing_element == "h0" && t.to == grid::BreakerState::kOpen) {
+      h0_opened = true;
+    }
+  }
+  EXPECT_TRUE(h0_opened);
+}
+
+TEST(ThreadedStress, ContinuePolicySurvivesATotalHostFailure) {
+  // Every host fails every attempt: under kContinue the run terminates with
+  // an empty sink and a complete loss accounting instead of hanging.
+  services::ServiceRegistry registry;
+  for (const char* name : {"P0", "P1"}) {
+    registry.add(std::make_shared<services::FunctionalService>(
+        name, std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+        [](const services::Inputs&) {
+          services::Result r;
+          r.outputs["out"] = services::OutputValue{1, "1"};
+          return r;
+        }));
+  }
+  data::InputDataSet ds;
+  for (int j = 0; j < 10; ++j) ds.add_item("src", std::to_string(j));
+
+  enactor::ThreadedBackend backend(4);
+  backend.configure_hosts({"h0"}, /*seed=*/3);
+  backend.set_host_failure_probability("h0", 1.0);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(2);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+
+  enactor::Enactor moteur(backend, registry, policy);
+  const auto result = moteur.run(workflow::make_chain(2), ds);
+
+  EXPECT_EQ(result.failures(), 10u);  // P0 loses everything
+  EXPECT_EQ(result.skipped(), 10u);   // P1 never executes
+  EXPECT_TRUE(result.sink_outputs.at("sink").empty());
+  EXPECT_EQ(result.failure_report.lost.size(), 10u);
+  EXPECT_EQ(result.failure_report.skipped.size(), 10u);
+  EXPECT_EQ(result.failure_report.poisoned_at_sink.at("sink"), 10u);
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,8 @@ using namespace moteur;
       "             [--seed N] [--overhead S] [--batch K] [--adaptive]\n"
       "             [--retries N] [--retry-timeout MULT] [--retry-backoff S]\n"
       "             [--inject-failures P] [--inject-stuck P] [--grid-attempts N]\n"
+      "             [--failure-policy failfast|continue] [--failure-report OUT.json]\n"
+      "             [--breaker-window N] [--breaker-threshold N] [--breaker-cooldown S]\n"
       "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n"
       "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
       "             [--metrics-out METRICS.prom] [--obs-summary]\n"
@@ -140,6 +142,23 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   if (const auto backoff = args.get("retry-backoff")) {
     manifest.policy.retry.backoff_initial_seconds = std::stod(*backoff);
   }
+  if (const auto failure = args.get("failure-policy")) {
+    manifest.policy.failure_policy = enactor::parse_failure_policy(*failure);
+  }
+  // Any breaker knob switches the circuit breakers on.
+  if (const auto window = args.get("breaker-window")) {
+    manifest.policy.breaker.enabled = true;
+    manifest.policy.breaker.window = static_cast<std::size_t>(std::stoul(*window));
+  }
+  if (const auto threshold = args.get("breaker-threshold")) {
+    manifest.policy.breaker.enabled = true;
+    manifest.policy.breaker.threshold = static_cast<std::size_t>(std::stoul(*threshold));
+  }
+  if (const auto cooldown = args.get("breaker-cooldown")) {
+    manifest.policy.breaker.enabled = true;
+    manifest.policy.breaker.cooldown_seconds = std::stod(*cooldown);
+  }
+  if (args.has("breaker")) manifest.policy.breaker.enabled = true;
   return manifest;
 }
 
@@ -186,6 +205,9 @@ int cmd_run(const Args& args) {
     std::printf("resubmission: %zu retries, %zu timeout clones\n", result.retries(),
                 result.timeouts());
   }
+  if (!result.failure_report.empty()) {
+    std::printf("fault containment: %s", result.failure_report.to_text().c_str());
+  }
   for (const auto& [sink, tokens] : result.sink_outputs) {
     std::printf("sink %-20s %zu results\n", (sink + ":").c_str(), tokens.size());
   }
@@ -222,6 +244,13 @@ int cmd_run(const Args& args) {
   if (args.has("obs-summary")) {
     std::fputs(obs::obs_summary(recorder.tracer(), recorder.metrics()).c_str(), stdout);
   }
+  if (const auto out = args.get("failure-report")) {
+    write_file(*out, result.failure_report.to_json() + "\n");
+    std::printf("failure report written to %s\n", out->c_str());
+  }
+  // Under --failure-policy continue a partial-result run is a success: the
+  // losses are accounted for in the failure report, not in the exit status.
+  if (manifest.policy.failure_policy == enactor::FailurePolicy::kContinue) return 0;
   return result.failures() == 0 ? 0 : 2;
 }
 

@@ -5,6 +5,9 @@
 #   tools/tier1.sh --tsan   additionally rebuild the enactor-labelled tests
 #                           under -fsanitize=thread and run them
 #                           (ThreadedBackend races surface here)
+#   tools/tier1.sh --asan   additionally rebuild the fault-labelled tests
+#                           under -fsanitize=address,undefined and run them
+#                           (retry/breaker/poisoned-token paths)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,9 +44,46 @@ grep -q '"cat":"attempt"' "$obs_dir/trace.json" || {
 }
 echo "obs smoke OK"
 
+# Fault-containment smoke: a Bronze-Standard run with injected failures under
+# --failure-policy continue must exit 0 with partial results, a parseable
+# failure report, and skip counts that agree with the timeline CSV.
+echo "== fault-containment smoke: partial-result run on the Bronze Standard =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --inject-failures 0.35 --grid-attempts 1 --retries 2 \
+  --failure-policy continue \
+  --breaker-window 6 --breaker-threshold 3 --breaker-cooldown 3600 \
+  --failure-report "$obs_dir/failures.json" --csv "$obs_dir/timeline.csv" \
+  >/dev/null || {
+  echo "partial-result run exited nonzero under --failure-policy continue" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir/failures.json" "$obs_dir/timeline.csv" <<'EOF'
+import csv, json, sys
+report = json.load(open(sys.argv[1]))
+rows = list(csv.DictReader(open(sys.argv[2])))
+skipped_rows = sum(1 for r in rows if r["skipped"] == "1")
+assert len(report["skipped"]) == skipped_rows, (
+    f'report says {len(report["skipped"])} skipped, CSV has {skipped_rows}')
+assert all(r["status"] for r in rows), "empty status cell in timeline CSV"
+EOF
+else
+  echo "python3 unavailable; skipping failure-report validation"
+fi
+echo "fault-containment smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress test_retry
   (cd build-tsan && ctest --output-on-failure -L enactor)
+fi
+
+if [ "${1:-}" = "--asan" ]; then
+  echo "== ASan stage: fault-containment tests under -fsanitize=address,undefined =="
+  cmake -B build-asan -S . -DMOTEUR_ASAN=ON >/dev/null
+  cmake --build build-asan -j --target test_retry test_robustness
+  (cd build-asan && ctest --output-on-failure -L fault)
 fi
