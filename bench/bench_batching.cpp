@@ -32,9 +32,10 @@ double run_with_policy(enactor::EnactmentPolicy policy, double overhead_median_s
     services::ServiceRegistry registry;
     app::register_simulated_services(registry);
     enactor::Enactor moteur(backend, registry, policy);
-    total += moteur
-                 .run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
-                 .makespan();
+    enactor::RunRequest request;
+    request.workflow = app::bronze_standard_workflow();
+    request.inputs = app::bronze_standard_dataset(n_pairs);
+    total += moteur.run(std::move(request)).makespan();
   }
   return total / replicas;
 }

@@ -25,9 +25,10 @@ double run_once(const grid::GridConfig& config, enactor::EnactmentPolicy policy,
   services::ServiceRegistry registry;
   app::register_simulated_services(registry);
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur
-      .run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
-      .makespan();
+  enactor::RunRequest request;
+  request.workflow = app::bronze_standard_workflow();
+  request.inputs = app::bronze_standard_dataset(n_pairs);
+  return moteur.run(std::move(request)).makespan();
 }
 
 double run_mean(grid::GridConfig (*preset)(std::uint64_t),

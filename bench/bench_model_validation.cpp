@@ -58,7 +58,10 @@ double simulate(const model::TimeMatrix& times, enactor::EnactmentPolicy policy)
     ds.add_item("src", "D" + std::to_string(j));
   }
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur.run(chain(times.size()), ds).makespan();
+  enactor::RunRequest request;
+  request.workflow = chain(times.size());
+  request.inputs = ds;
+  return moteur.run(std::move(request)).makespan();
 }
 
 /// Bronze-Standard run with explicit per-service times on the ideal grid.
@@ -75,7 +78,10 @@ double simulate_bronze(const std::map<std::string, double>& times,
         services::JobProfile{times.at(proc->name)}));
   }
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur.run(wf, app::bronze_standard_dataset(n_d)).makespan();
+  enactor::RunRequest request;
+  request.workflow = wf;
+  request.inputs = app::bronze_standard_dataset(n_d);
+  return moteur.run(std::move(request)).makespan();
 }
 
 int g_checks = 0;

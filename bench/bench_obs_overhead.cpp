@@ -63,16 +63,18 @@ Row run_real(std::size_t n_pairs, bool observe) {
 
   enactor::ThreadedBackend backend(4);
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  moteur.set_payload_resolver(app::bronze_payload_resolver(database));
   obs::RunRecorder recorder;
   if (observe) {
     moteur.set_recorder(&recorder);
     backend.set_metrics(&recorder.metrics());
   }
+  enactor::RunRequest request;
+  request.workflow = app::bronze_standard_workflow();
+  request.inputs = app::bronze_standard_dataset(n_pairs);
+  request.resolver = app::bronze_payload_resolver(database);
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto result =
-      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  const auto result = moteur.run(std::move(request));
   const auto t1 = std::chrono::steady_clock::now();
   return Row{std::chrono::duration<double>(t1 - t0).count(), result.makespan(),
              recorder.tracer().spans().size()};

@@ -39,8 +39,10 @@ Row run_once(double failure_probability, std::size_t max_attempts, std::size_t n
   policy.retry.max_attempts = max_attempts;
   enactor::Enactor moteur(backend, registry, policy);
 
-  const auto result =
-      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  enactor::RunRequest request;
+  request.workflow = app::bronze_standard_workflow();
+  request.inputs = app::bronze_standard_dataset(n_pairs);
+  const auto result = moteur.run(std::move(request));
   return Row{result.makespan(), result.failures(), result.retries(),
              result.submissions()};
 }

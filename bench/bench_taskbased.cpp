@@ -90,7 +90,10 @@ int main() {
     grid::Grid grid_svc(sim_svc, grid::GridConfig::constant(100.0));
     enactor::SimGridBackend backend(grid_svc);
     enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-    const double svc = moteur.run(wf, ds).makespan();
+    enactor::RunRequest request;
+    request.workflow = wf;
+    request.inputs = ds;
+    const double svc = moteur.run(std::move(request)).makespan();
 
     std::printf("  DAGMan makespan:        %8.0f s  (%zu tasks)\n", dag.makespan,
                 dag.tasks_done);

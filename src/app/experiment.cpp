@@ -23,8 +23,10 @@ RunOutcome run_replica(const enactor::EnactmentPolicy& policy, std::size_t n_pai
   register_simulated_services(registry, options.profiles);
 
   enactor::Enactor enactor(backend, registry, policy);
-  const enactor::EnactmentResult result =
-      enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+  enactor::RunRequest request;
+  request.workflow = bronze_standard_workflow();
+  request.inputs = bronze_standard_dataset(n_pairs);
+  const enactor::EnactmentResult result = enactor.run(std::move(request));
 
   RunOutcome outcome;
   outcome.configuration = policy.name();

@@ -112,8 +112,30 @@ class ExecutionBackend {
 
   /// Optional per-CE health ledger with circuit breakers: backends that can
   /// route work across sites consult it to steer submissions away from open
-  /// breakers. Set before enacting; nullptr detaches. Default: ignore.
+  /// breakers. Set before enacting; nullptr detaches (every attached ledger).
+  /// Default: ignore.
   virtual void set_health(grid::CeHealth* health) { (void)health; }
+
+  /// Attach one more health ledger without displacing those already
+  /// attached: routing excludes a CE when ANY attached ledger vetoes it.
+  /// Lets a run-owned ledger coexist with a service-owned one. Default maps
+  /// onto set_health (single-ledger backends).
+  virtual void add_health(grid::CeHealth* health) { set_health(health); }
+
+  /// Detach exactly `health`, leaving other attached ledgers in place.
+  /// Default maps onto set_health(nullptr).
+  virtual void remove_health(grid::CeHealth* health) {
+    (void)health;
+    set_health(nullptr);
+  }
+
+  /// Thread-safe wake-up: interrupt a drive() blocked waiting for work so
+  /// its done() predicate is re-evaluated. The only ExecutionBackend entry
+  /// point that may be called from another thread — RunService uses it to
+  /// push new runs and cancellations into a live drive loop. Backends whose
+  /// drive() re-checks done() continuously (the simulated grid steps events
+  /// in a tight loop) may keep the default no-op.
+  virtual void notify() {}
 };
 
 }  // namespace moteur::enactor

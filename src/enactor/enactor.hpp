@@ -11,6 +11,7 @@
 #include "enactor/backend.hpp"
 #include "enactor/failure_report.hpp"
 #include "enactor/policy.hpp"
+#include "enactor/run_request.hpp"
 #include "enactor/timeline.hpp"
 #include "obs/event.hpp"
 #include "services/registry.hpp"
@@ -37,6 +38,10 @@ struct EnactmentStats {
 /// Everything a run produces: the sink data, the full invocation timeline
 /// and the counters the paper's metrics are computed from.
 struct EnactmentResult {
+  /// Id of the run that produced this result (RunRequest::name, or the
+  /// workflow name when the request carried none).
+  std::string run_id;
+
   Timeline timeline;
   double started_at = 0.0;   // backend time when the run began
   double finished_at = 0.0;  // backend time when the last result settled
@@ -96,7 +101,7 @@ struct ProgressEvent {
 };
 
 /// Stable display name of a ProgressEvent kind ("Submitted", "Completed",
-/// "Failed", "Retried", "TimedOut", "ProcessorFinished").
+/// "Failed", "Retried", "TimedOut", "ProcessorFinished", "Skipped").
 const char* kind_name(ProgressEvent::Kind kind);
 
 /// MOTEUR: the optimized service-workflow enactor (paper §4.1). Drives a
@@ -111,19 +116,28 @@ const char* kind_name(ProgressEvent::Kind kind);
 /// no matter the completion order (§4.1).
 class Enactor {
  public:
-  /// Maps a source item string to the payload carried by its token (e.g.
-  /// loading the image behind a GFN). Defaults to the string itself.
-  using PayloadResolver = std::function<std::any(
-      const std::string& source, std::size_t index, const std::string& item)>;
+  /// Alias of enactor::PayloadResolver (see run_request.hpp), kept for
+  /// existing call sites.
+  using PayloadResolver = enactor::PayloadResolver;
 
   Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
           EnactmentPolicy policy);
 
   const EnactmentPolicy& policy() const { return policy_; }
+
+  /// Deprecated: prefer RunRequest::policy. Sets the default policy used by
+  /// runs whose request carries none.
   void set_policy(EnactmentPolicy policy) { policy_ = policy; }
 
+  /// Deprecated: prefer RunRequest::resolver. Sets the default resolver used
+  /// by runs whose request carries none.
   void set_payload_resolver(PayloadResolver resolver) { resolver_ = std::move(resolver); }
 
+  /// Deprecated: use add_event_subscriber. The ProgressListener has been a
+  /// folded view of the obs::RunEvent stream since the observability
+  /// subsystem landed — registration installs one subscriber whose adapter
+  /// condenses run events down to the historical ProgressEvent kinds, so the
+  /// two mechanisms see the same stream in the same order.
   using ProgressListener = std::function<void(const ProgressEvent&)>;
   void set_progress_listener(ProgressListener listener) {
     listener_ = std::move(listener);
@@ -133,7 +147,7 @@ class Enactor {
   /// Subscribers fire synchronously, in registration order, on the thread
   /// driving the backend; the ProgressListener above is internally one such
   /// subscriber. Subscribers persist across run() calls.
-  using EventSubscriber = std::function<void(const obs::RunEvent&)>;
+  using EventSubscriber = enactor::EventSubscriber;
   void add_event_subscriber(EventSubscriber subscriber) {
     subscribers_.push_back(std::move(subscriber));
   }
@@ -143,9 +157,17 @@ class Enactor {
   /// nullptr unsubscribes.
   void set_recorder(obs::RunRecorder* recorder) { recorder_ = recorder; }
 
-  /// Enact `workflow` over `inputs`. The workflow is validated, optionally
-  /// rewritten by the grouping optimizer, and run to completion. Throws
-  /// EnactmentError on deadlock or missing bindings.
+  /// Enact one RunRequest to completion. The workflow is validated,
+  /// optionally rewritten by the grouping optimizer, and driven until every
+  /// processor finishes. Request fields that are unset (policy, resolver)
+  /// fall back to this enactor's defaults; `weight` and `labels` are
+  /// RunService concerns and are ignored here. Throws EnactmentError on
+  /// deadlock or missing bindings.
+  EnactmentResult run(const RunRequest& request);
+
+  /// Deprecated shim over run(RunRequest): enact `workflow` over `inputs`
+  /// with this enactor's default policy and resolver. Behavior-identical to
+  /// the historical two-argument API.
   EnactmentResult run(const workflow::Workflow& workflow, const data::InputDataSet& inputs);
 
  private:

@@ -1,0 +1,861 @@
+#include "enactor/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "workflow/analysis.hpp"
+
+namespace moteur::enactor {
+
+using workflow::CompositeIterationBuffer;
+using workflow::IterationBuffer;
+using workflow::IterationNode;
+using workflow::Link;
+using workflow::Processor;
+using workflow::ProcessorKind;
+using workflow::Workflow;
+
+Engine::Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
+               EnactmentPolicy policy, PayloadResolver resolver,
+               std::vector<EventSubscriber> subscribers,
+               const workflow::Workflow& workflow, data::InputDataSet inputs,
+               Options options)
+    : backend_(backend),
+      registry_(registry),
+      policy_(std::move(policy)),
+      resolver_(std::move(resolver)),
+      subscribers_(std::move(subscribers)),
+      inputs_(std::move(inputs)),
+      run_id_(options.run_id.empty() ? workflow.name() : std::move(options.run_id)),
+      shared_health_(options.shared_health) {
+  workflow.validate();
+  workflow_ = policy_.job_grouping
+                  ? workflow::group_sequential_processors(workflow, &result_.grouping)
+                  : workflow;
+  result_.run_id = run_id_;
+}
+
+Engine::~Engine() {
+  // The backend must not dangle a pointer into this run's ledger, even when
+  // the run was abandoned mid-flight (deadlock, cancellation).
+  if (owned_health_ != nullptr) backend_.remove_health(owned_health_.get());
+}
+
+obs::RunEvent Engine::make_event(obs::RunEvent::Kind kind) const {
+  obs::RunEvent event;
+  event.kind = kind;
+  event.time = backend_.now();
+  event.run_id = run_id_;
+  event.total_invocations = result_.stats.invocations;
+  event.total_submissions = result_.stats.submissions;
+  event.tuples_in_flight = tuples_in_flight_;
+  return event;
+}
+
+obs::RunEvent Engine::make_event(obs::RunEvent::Kind kind, const Submission& sub,
+                                 std::size_t attempt) const {
+  obs::RunEvent event = make_event(kind);
+  event.processor = sub.state->proc->name;
+  event.invocation = sub.id;
+  event.attempt = attempt;
+  event.tuples = sub.tuples.size();
+  return event;
+}
+
+void Engine::emit(const obs::RunEvent& event) const {
+  for (const auto& subscriber : subscribers_) subscriber(event);
+}
+
+void Engine::build_states() {
+  topo_order_ = workflow::topological_order(workflow_);
+
+  // Reachability INCLUDING feedback links, to detect loop partners.
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& proc : workflow_.processors()) reach[proc.name];
+  bool changed = true;
+  for (const auto& link : workflow_.links()) {
+    reach[link.from_processor].insert(link.to_processor);
+  }
+  while (changed) {
+    changed = false;
+    for (auto& [name, set] : reach) {
+      const auto snapshot = set;
+      for (const auto& next : snapshot) {
+        for (const auto& transitive : reach[next]) {
+          if (set.insert(transitive).second) changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& proc : workflow_.processors()) {
+    auto& waits = stage_predecessors_[proc.name];
+    for (const Link* link : workflow_.links_into(proc.name)) {
+      if (link->feedback) continue;
+      const std::string& pred = link->from_processor;
+      // Same loop: pred reachable from proc and proc reachable from pred.
+      if (reach[proc.name].count(pred) != 0 && reach[pred].count(proc.name) != 0) {
+        continue;
+      }
+      waits.insert(pred);
+    }
+  }
+  for (const auto& proc : workflow_.processors()) {
+    PState state;
+    state.proc = &proc;
+    if (proc.kind == ProcessorKind::kService) {
+      state.service = registry_.resolve(proc);
+      if (proc.synchronization) {
+        for (const auto& port : proc.input_ports) state.collected[port];
+      } else if (proc.iteration_tree != nullptr) {
+        state.buffer = std::make_unique<CompositeIterationBuffer>(*proc.iteration_tree);
+      } else {
+        // Flat dot/cross over all ports: a one-combinator tree.
+        std::vector<IterationNode> leaves;
+        for (const auto& port : proc.input_ports) {
+          leaves.push_back(IterationNode::leaf(port));
+        }
+        state.buffer = std::make_unique<CompositeIterationBuffer>(
+            proc.iteration == workflow::IterationStrategy::kDot
+                ? IterationNode::dot(std::move(leaves))
+                : IterationNode::cross(std::move(leaves)));
+      }
+      check_binding(state);
+    } else if (proc.kind == ProcessorKind::kSink) {
+      state.collected["in"];
+    }
+    states_.emplace(proc.name, std::move(state));
+  }
+}
+
+void Engine::check_binding(const PState& state) const {
+  const std::set<std::string> service_inputs = [&] {
+    const auto ports = state.service->input_ports();
+    return std::set<std::string>(ports.begin(), ports.end());
+  }();
+  const std::set<std::string> proc_inputs(state.proc->input_ports.begin(),
+                                          state.proc->input_ports.end());
+  MOTEUR_REQUIRE(service_inputs == proc_inputs, EnactmentError,
+                 "service '" + state.service->id() + "' input ports do not match processor '" +
+                     state.proc->name + "'");
+  const auto service_outputs = state.service->output_ports();
+  const std::set<std::string> available(service_outputs.begin(), service_outputs.end());
+  for (const auto& port : state.proc->output_ports) {
+    MOTEUR_REQUIRE(available.count(port) != 0, EnactmentError,
+                   "service '" + state.service->id() + "' does not produce output port '" +
+                       port + "' required by processor '" + state.proc->name + "'");
+  }
+}
+
+void Engine::emit_sources() {
+  for (const Processor* source : workflow_.sources()) {
+    MOTEUR_REQUIRE(inputs_.has_input(source->name), EnactmentError,
+                   "input data set provides no items for source '" + source->name + "'");
+    const auto& items = inputs_.items(source->name);
+    const auto outlets = workflow_.links_out_of(source->name);
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      std::any payload =
+          resolver_ ? resolver_(source->name, j, items[j]) : std::any(items[j]);
+      const data::Token token =
+          data::Token::from_source(source->name, j, std::move(payload), items[j]);
+      for (const Link* link : outlets) deliver(*link, token);
+    }
+    state_of(source->name).finished = true;
+    MOTEUR_LOG(kDebug, "enactor") << "source '" << source->name << "' emitted "
+                                  << items.size() << " items";
+  }
+}
+
+void Engine::deliver(const Link& link, const data::Token& token) {
+  PState& consumer = state_of(link.to_processor);
+  data::Token delivered = token;
+  if (link.feedback) {
+    // A token crossing a feedback link opens a new loop iteration: extend
+    // its index with the per-link iteration counter so it cannot collide
+    // with the index it carried on the previous pass (dot buffers reject
+    // duplicate indices).
+    data::IndexVector extended = token.indices();
+    extended.push_back(++feedback_counters_[&link]);
+    delivered = data::Token(token.payload(), token.repr(), std::move(extended),
+                            token.provenance());
+  }
+  if (consumer.proc->kind == ProcessorKind::kSink ||
+      (consumer.proc->kind == ProcessorKind::kService && consumer.proc->synchronization)) {
+    consumer.collected[link.to_port].push_back(std::move(delivered));
+    return;
+  }
+  consumer.buffer->push(link.to_port, std::move(delivered));
+  for (auto& tuple : consumer.buffer->drain_ready()) {
+    consumer.ready.push_back(std::move(tuple));
+  }
+}
+
+bool Engine::can_fire(const PState& state) const {
+  std::size_t capacity = policy_.service_capacity();
+  // A service may advertise a single-host concurrency limit (§3.3).
+  const std::size_t service_limit = state.service->max_concurrent_invocations();
+  if (service_limit != 0) capacity = std::min(capacity, service_limit);
+  if (state.in_flight >= capacity) return false;
+  if (!policy_.service_parallelism) {
+    // Stage synchronization: every data predecessor (outside this
+    // processor's own loop) must be entirely done before it may process
+    // anything.
+    for (const auto& pred : stage_predecessors_.at(state.proc->name)) {
+      if (!states_.at(pred).finished) return false;
+    }
+  }
+  for (const auto& constraint : workflow_.coordination_constraints()) {
+    if (constraint.after == state.proc->name &&
+        !states_.at(constraint.before).finished) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Engine::target_batch(const PState& state) const {
+  if (!policy_.adaptive_batching) return policy_.batch_size;
+  MOTEUR_REQUIRE(policy_.overhead_fraction_target > 0.0 &&
+                     policy_.overhead_fraction_target <= 1.0,
+                 EnactmentError, "overhead_fraction_target must lie in (0, 1]");
+  const double overhead = observed_overhead_.count() >= 3
+                              ? observed_overhead_.mean()
+                              : policy_.overhead_hint_seconds;
+  // Estimate the per-item payload from the front tuple's profile.
+  double compute = 1.0;
+  if (!state.ready.empty()) {
+    services::Inputs binding;
+    const auto& tuple = state.ready.front();
+    const std::vector<std::string>& port_order = state.buffer->ports();
+    for (std::size_t i = 0; i < port_order.size(); ++i) {
+      binding.emplace(port_order[i], tuple.tokens[i]);
+    }
+    compute = std::max(1.0, state.service->job_profile(binding).compute_seconds);
+  }
+  const double f = policy_.overhead_fraction_target;
+  const double needed = overhead * (1.0 - f) / (f * compute);
+  const auto batch = static_cast<std::size_t>(std::ceil(needed));
+  return std::clamp<std::size_t>(batch, 1, policy_.max_batch);
+}
+
+bool Engine::dispatch_pass() {
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.proc->kind != ProcessorKind::kService || state.proc->synchronization ||
+        state.finished) {
+      continue;
+    }
+    if (policy_.failure_policy == FailurePolicy::kContinue) {
+      // Peel off tuples that consumed a poisoned token: they can never
+      // execute, only be skipped (which re-poisons their descendants).
+      // Skipping needs no backend capacity, so it bypasses can_fire().
+      std::deque<IterationBuffer::Tuple> healthy;
+      while (!state.ready.empty()) {
+        IterationBuffer::Tuple tuple = std::move(state.ready.front());
+        state.ready.pop_front();
+        const bool poisoned =
+            std::any_of(tuple.tokens.begin(), tuple.tokens.end(),
+                        [](const data::Token& t) { return t.poisoned(); });
+        if (poisoned) {
+          skip_tuple(state, std::move(tuple));
+          progress = true;
+        } else {
+          healthy.push_back(std::move(tuple));
+        }
+      }
+      state.ready = std::move(healthy);
+    }
+    while (!state.ready.empty() && can_fire(state)) {
+      const std::size_t batch = target_batch(state);
+      const bool flush = state.buffer->all_closed();
+      if (state.ready.size() < batch && !flush) break;
+      const std::size_t take = std::min<std::size_t>(batch, state.ready.size());
+      std::vector<IterationBuffer::Tuple> tuples;
+      tuples.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        tuples.push_back(std::move(state.ready.front()));
+        state.ready.pop_front();
+      }
+      fire(state, std::move(tuples));
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+void Engine::fire(PState& state, std::vector<IterationBuffer::Tuple> tuples) {
+  // Tuple tokens are aligned with the iteration tree's leaf order (equal to
+  // the processor port order for flat strategies).
+  const std::vector<std::string>& port_order = state.buffer->ports();
+  auto sub = std::make_shared<Submission>();
+  sub->state = &state;
+  sub->bindings.reserve(tuples.size());
+  for (const auto& tuple : tuples) {
+    services::Inputs binding;
+    for (std::size_t i = 0; i < port_order.size(); ++i) {
+      binding.emplace(port_order[i], tuple.tokens[i]);
+    }
+    sub->bindings.push_back(std::move(binding));
+  }
+  sub->tuples = std::move(tuples);
+  sub->id = next_submission_id_++;
+
+  ++state.in_flight;
+  state.fired += sub->tuples.size();
+  tuples_in_flight_ += sub->tuples.size();
+  outstanding_.push_back(sub);
+  MOTEUR_LOG(kDebug, "enactor") << "fire '" << state.proc->name << "' on "
+                                << sub->tuples.size() << " tuple(s)";
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kInvocationStarted, *sub, 0));
+  start_attempt(sub);
+}
+
+void Engine::fire_barrier(PState& state) {
+  // Build one aggregate token per input port: the whole (index-sorted)
+  // stream as a std::vector<data::Token> payload.
+  services::Inputs binding;
+  IterationBuffer::Tuple pseudo_tuple;  // provenance carrier for the outputs
+  for (const auto& port : state.proc->input_ports) {
+    auto tokens = state.collected[port];
+    // A barrier aggregates over the survivors: poisoned tokens drop out of
+    // the stream here (they carry no payload to aggregate).
+    tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                                [](const data::Token& t) { return t.poisoned(); }),
+                 tokens.end());
+    std::sort(tokens.begin(), tokens.end(),
+              [](const data::Token& a, const data::Token& b) {
+                return a.indices() < b.indices();
+              });
+    data::Token aggregate =
+        tokens.empty()
+            ? data::Token(std::vector<data::Token>{}, "[0 items]", data::IndexVector{},
+                          data::Provenance::source(state.proc->name + "." + port + ".empty", 0))
+            : data::Token::derived(state.proc->name, port + ".all", tokens,
+                                   data::IndexVector{}, tokens, "[" +
+                                       std::to_string(tokens.size()) + " items]");
+    pseudo_tuple.tokens.push_back(aggregate);
+    binding.emplace(port, std::move(aggregate));
+  }
+
+  auto sub = std::make_shared<Submission>();
+  sub->state = &state;
+  sub->tuples.push_back(std::move(pseudo_tuple));
+  sub->bindings.push_back(std::move(binding));
+  sub->id = next_submission_id_++;
+
+  state.sync_fired = true;
+  ++state.in_flight;
+  ++state.fired;
+  ++tuples_in_flight_;
+  outstanding_.push_back(sub);
+  MOTEUR_LOG(kDebug, "enactor") << "fire barrier '" << state.proc->name << "'";
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kInvocationStarted, *sub, 0));
+  start_attempt(sub);
+}
+
+void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
+  const std::size_t attempt = ++sub->attempts_started;
+  ++sub->attempts_in_flight;
+  sub->attempt_started_at = backend_.now();
+  ++result_.stats.submissions;
+  if (observing()) emit(make_event(obs::RunEvent::Kind::kAttemptStarted, *sub, attempt));
+  arm_watchdog(sub);
+  auto bindings = sub->bindings;  // each attempt submits a fresh copy
+  backend_.execute(sub->state->service, std::move(bindings),
+                   [weak = weak_from_this(), sub, attempt](Outcome outcome) {
+                     // The engine may be gone by the time a straggler reports
+                     // (run finished with clones still in flight, deadlock
+                     // unwinding, cancellation): discard, don't touch it.
+                     if (auto self = weak.lock()) {
+                       self->on_attempt_complete(sub, attempt, std::move(outcome));
+                     }
+                   });
+}
+
+bool Engine::attempts_left(const Submission& sub) const {
+  return sub.attempts_started + sub.pending_resubmits < policy_.retry.max_attempts;
+}
+
+double Engine::median_latency() const {
+  if (latency_samples_.empty()) return 0.0;
+  std::vector<double> samples = latency_samples_;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  return samples[mid];
+}
+
+void Engine::arm_watchdog(const std::shared_ptr<Submission>& sub) {
+  const RetryPolicy& retry = policy_.retry;
+  if (!retry.timeout_enabled() || !attempts_left(*sub)) return;
+  if (latency_samples_.size() < retry.timeout_min_samples) return;
+  if (sub->watchdog) backend_.cancel(*sub->watchdog);
+  // Deadline counts from the attempt's submission, so a late-armed watchdog
+  // (the median did not exist yet at submit time) fires as soon as due.
+  const double deadline = sub->attempt_started_at + retry.timeout_multiplier * median_latency();
+  const double remaining = std::max(0.0, deadline - backend_.now());
+  sub->watchdog = backend_.schedule(remaining, [weak = weak_from_this(), sub] {
+    if (auto self = weak.lock()) self->on_watchdog(sub);
+  });
+}
+
+void Engine::arm_pending_watchdogs() {
+  if (!policy_.retry.timeout_enabled() ||
+      latency_samples_.size() < policy_.retry.timeout_min_samples) {
+    return;
+  }
+  std::vector<std::weak_ptr<Submission>> live;
+  live.reserve(outstanding_.size());
+  for (auto& weak : outstanding_) {
+    auto sub = weak.lock();
+    if (!sub || sub->resolved) continue;
+    if (!sub->watchdog) arm_watchdog(sub);
+    live.push_back(std::move(weak));
+  }
+  outstanding_ = std::move(live);
+}
+
+void Engine::on_watchdog(const std::shared_ptr<Submission>& sub) {
+  sub->watchdog.reset();
+  if (sub->resolved || !attempts_left(*sub)) return;
+  ++result_.stats.timeouts;
+  MOTEUR_LOG(kInfo, "enactor")
+      << "submission of '" << sub->state->proc->name << "' attempt "
+      << sub->attempts_started << " exceeded the resubmission deadline; racing a clone";
+  if (observing()) {
+    emit(make_event(obs::RunEvent::Kind::kWatchdogFired, *sub, sub->attempts_started));
+  }
+  start_attempt(sub);  // re-arms the watchdog for the clone
+  pump();
+}
+
+void Engine::resolve(const std::shared_ptr<Submission>& sub) {
+  if (sub->watchdog) {
+    backend_.cancel(*sub->watchdog);
+    sub->watchdog.reset();
+  }
+  sub->resolved = true;
+  --sub->state->in_flight;
+  tuples_in_flight_ -= sub->tuples.size();
+}
+
+void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                             OutcomeStatus status, const std::string& error) {
+  resolve(sub);
+  result_.stats.failures += sub->tuples.size();
+  for (const auto& tuple : sub->tuples) {
+    result_.failure_report.lost.push_back(FailureReport::LostTuple{
+        sub->state->proc->name, tuple.index, to_string(status), error});
+  }
+  MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << sub->state->proc->name
+                               << "' failed definitively after " << sub->attempts_started
+                               << " attempt(s): " << error;
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kInvocationFailed, *sub, attempt);
+    event.status = to_string(status);
+    event.error = error;
+    emit(event);
+  }
+  if (policy_.failure_policy == FailurePolicy::kContinue) {
+    // The lost data continues downstream as poisoned tokens, so descendants
+    // are skipped (and accounted for) instead of waiting forever.
+    const auto cause = std::make_shared<const data::TokenError>(
+        data::TokenError{sub->state->proc->name, error, to_string(status)});
+    for (const auto& tuple : sub->tuples) {
+      poison_outputs(*sub->state, tuple, cause);
+    }
+  }
+}
+
+void Engine::poison_outputs(PState& state, const IterationBuffer::Tuple& tuple,
+                            const std::shared_ptr<const data::TokenError>& error) {
+  for (const auto& port : state.proc->output_ports) {
+    const data::Token token =
+        data::Token::poisoned(state.proc->name, port, tuple.tokens, tuple.index, error);
+    for (const Link* link : workflow_.links_out_of(state.proc->name)) {
+      if (link->from_port != port) continue;
+      // Poison stops at feedback links: recirculating it would spin the loop
+      // on error markers forever.
+      if (link->feedback) continue;
+      deliver(*link, token);
+    }
+  }
+}
+
+void Engine::skip_tuple(PState& state, IterationBuffer::Tuple tuple) {
+  std::shared_ptr<const data::TokenError> cause;
+  for (const auto& token : tuple.tokens) {
+    if (token.poisoned()) {
+      cause = token.error();
+      break;
+    }
+  }
+  const std::uint64_t id = next_submission_id_++;
+  ++state.fired;
+  ++result_.stats.skipped;
+  result_.failure_report.skipped.push_back(FailureReport::SkippedInvocation{
+      state.proc->name, tuple.index, cause ? cause->processor : std::string(),
+      cause ? cause->cause : std::string()});
+
+  InvocationTrace trace;
+  trace.processor = state.proc->name;
+  trace.indices.push_back(tuple.index);
+  const double now = backend_.now();
+  trace.submit_time = now;
+  trace.start_time = now;
+  trace.end_time = now;
+  trace.status = OutcomeStatus::kSkipped;
+  trace.skipped = true;
+  result_.timeline.add(std::move(trace));
+
+  MOTEUR_LOG(kInfo, "enactor") << "skipping invocation of '" << state.proc->name
+                               << "' on poisoned tuple " << data::to_string(tuple.index)
+                               << (cause ? " (root cause at '" + cause->processor + "')"
+                                         : std::string());
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kInvocationSkipped);
+    event.processor = state.proc->name;
+    event.invocation = id;
+    event.tuples = 1;
+    event.status = to_string(OutcomeStatus::kSkipped);
+    if (cause) event.error = cause->cause;
+    emit(event);
+  }
+  if (cause) poison_outputs(state, tuple, cause);
+}
+
+grid::CeHealth* Engine::health() const {
+  return shared_health_ != nullptr ? shared_health_ : owned_health_.get();
+}
+
+void Engine::setup_health() {
+  // Service mode: the ledger is shared infrastructure state — whoever owns
+  // it attached it to the backend and listens for transitions; this run only
+  // records its attempt outcomes into it.
+  if (shared_health_ != nullptr) return;
+  if (!policy_.breaker.enabled) return;
+  owned_health_ = std::make_unique<grid::CeHealth>(policy_.breaker);
+  owned_health_->set_transition_listener(
+      [this](const grid::CeHealth::Transition& t) { on_breaker_transition(t); });
+  owned_health_->set_reroute_listener([this](double time) {
+    if (!observing()) return;
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kSubmissionRerouted);
+    event.time = time;
+    emit(event);
+  });
+  backend_.add_health(owned_health_.get());
+}
+
+void Engine::on_breaker_transition(const grid::CeHealth::Transition& t) {
+  result_.timeline.add_breaker(BreakerTransitionTrace{
+      t.time, t.computing_element, t.from, t.to, t.failures_in_window});
+  if (!observing()) return;
+  obs::RunEvent::Kind kind = obs::RunEvent::Kind::kBreakerClosed;
+  switch (t.to) {
+    case grid::BreakerState::kOpen: kind = obs::RunEvent::Kind::kBreakerOpened; break;
+    case grid::BreakerState::kHalfOpen: kind = obs::RunEvent::Kind::kBreakerHalfOpen; break;
+    case grid::BreakerState::kClosed: kind = obs::RunEvent::Kind::kBreakerClosed; break;
+  }
+  obs::RunEvent event = make_event(kind);
+  event.time = t.time;
+  event.computing_element = t.computing_element;
+  emit(event);
+}
+
+void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
+                                 std::size_t attempt, Outcome outcome) {
+  PState& state = *sub->state;
+  --sub->attempts_in_flight;
+
+  InvocationTrace trace;
+  trace.processor = state.proc->name;
+  for (const auto& tuple : sub->tuples) trace.indices.push_back(tuple.index);
+  trace.submit_time = outcome.submit_time;
+  trace.start_time = outcome.start_time;
+  trace.end_time = outcome.end_time;
+  trace.failed = !outcome.ok();
+  trace.status = outcome.status;
+  trace.attempt = attempt;
+  trace.superseded = sub->resolved;
+  trace.job = outcome.job;
+  result_.timeline.add(std::move(trace));
+
+  // Feed the health ledger every attempt outcome that names a CE —
+  // stragglers included (CeHealth ignores outcomes while a breaker is open,
+  // so stale completions cannot flap the state).
+  if (health() != nullptr && outcome.job) {
+    health()->record(outcome.job->computing_element, outcome.ok(), backend_.now());
+  }
+
+  if (observing()) {
+    // Every attempt reports, stragglers included: span consumers need the
+    // real timings even when a racing clone already settled the submission.
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kAttemptEnded, *sub, attempt);
+    event.ok = outcome.ok();
+    event.superseded = sub->resolved;
+    event.status = to_string(outcome.status);
+    event.error = outcome.error;
+    if (outcome.job) event.computing_element = outcome.job->computing_element;
+    event.submit_time = outcome.submit_time;
+    event.start_time = outcome.start_time;
+    event.end_time = outcome.end_time;
+    emit(event);
+  }
+
+  if (sub->resolved) {
+    // A straggler outlived the clone (or the definitive loss) that settled
+    // its submission: nothing to deliver.
+    MOTEUR_LOG(kDebug, "enactor") << "late completion of '" << state.proc->name
+                                  << "' attempt " << attempt << " discarded ("
+                                  << to_string(outcome.status) << ")";
+    pump();
+    return;
+  }
+
+  if (outcome.ok()) {
+    if (outcome.job) observed_overhead_.add(outcome.job->overhead_seconds());
+    latency_samples_.push_back(outcome.end_time - outcome.submit_time);
+    resolve(sub);
+    arm_pending_watchdogs();
+    MOTEUR_REQUIRE(outcome.results.size() == sub->tuples.size(), InternalError,
+                   "backend returned " + std::to_string(outcome.results.size()) +
+                       " results for " + std::to_string(sub->tuples.size()) + " bindings");
+    // A grouped invocation runs every member code: count logical
+    // invocations, so JG changes `submissions` but never `invocations`.
+    const std::size_t codes_per_tuple =
+        state.proc->is_grouped() ? state.proc->group_members.size() : 1;
+    result_.stats.invocations += sub->tuples.size() * codes_per_tuple;
+    if (observing()) {
+      emit(make_event(obs::RunEvent::Kind::kInvocationCompleted, *sub, attempt));
+    }
+    for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
+      const auto& tuple = sub->tuples[i];
+      for (const auto& [port, value] : outcome.results[i].outputs) {
+        if (!state.proc->has_output_port(port)) continue;  // undeclared extra
+        const data::Token token = data::Token::derived(
+            state.proc->name, port, tuple.tokens, tuple.index, value.payload, value.repr);
+        for (const Link* link : workflow_.links_out_of(state.proc->name)) {
+          if (link->from_port == port) deliver(*link, token);
+        }
+      }
+    }
+  } else if (outcome.status == OutcomeStatus::kDefinitive) {
+    // Semantic failure: retrying cannot help, racing clones are moot.
+    resolve_failure(sub, attempt, outcome.status, outcome.error);
+  } else if (attempts_left(*sub)) {
+    ++result_.stats.retries;
+    MOTEUR_LOG(kInfo, "enactor") << "invocation of '" << state.proc->name << "' attempt "
+                                 << attempt << " failed transiently (" << outcome.error
+                                 << "); resubmitting";
+    if (observing()) {
+      obs::RunEvent event = make_event(obs::RunEvent::Kind::kRetryScheduled, *sub, attempt);
+      event.error = outcome.error;
+      emit(event);
+    }
+    const double delay =
+        policy_.retry.backoff_seconds(sub->attempts_started + sub->pending_resubmits + 1);
+    if (delay <= 0.0) {
+      start_attempt(sub);
+    } else {
+      ++sub->pending_resubmits;
+      backend_.schedule(delay, [weak = weak_from_this(), sub] {
+        auto self = weak.lock();
+        if (!self) return;
+        --sub->pending_resubmits;
+        if (sub->resolved) return;
+        self->start_attempt(sub);
+        self->pump();
+      });
+    }
+  } else if (sub->attempts_in_flight > 0 || sub->pending_resubmits > 0) {
+    // Attempts exhausted, but a racing clone or a scheduled resubmission may
+    // still deliver; stay unresolved until the last one reports.
+  } else {
+    resolve_failure(sub, attempt, outcome.status, outcome.error);
+  }
+  pump();
+}
+
+bool Engine::closure_pass() {
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.finished) continue;
+    const Processor& proc = *state.proc;
+    if (proc.kind == ProcessorKind::kSource) continue;  // finished at emit
+
+    const bool is_collector =
+        proc.kind == ProcessorKind::kSink || (proc.kind == ProcessorKind::kService &&
+                                              proc.synchronization);
+
+    // Close input ports whose feeders are all done. Ports with feedback
+    // inlets are only closed by try_feedback_closure().
+    const auto& ports = proc.kind == ProcessorKind::kSink
+                            ? std::vector<std::string>{"in"}
+                            : proc.input_ports;
+    for (const auto& port : ports) {
+      const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
+                                               : state.buffer->is_closed(port);
+      if (already_closed) continue;
+      bool closable = true;
+      for (const Link* link : workflow_.links_into_port(proc.name, port)) {
+        if (link->feedback || !states_.at(link->from_processor).finished) {
+          closable = false;
+          break;
+        }
+      }
+      if (!closable) continue;
+      if (is_collector) {
+        state.collected_closed.insert(port);
+      } else {
+        state.buffer->close(port);
+      }
+      progress = true;
+    }
+
+    // Fire a synchronization barrier once its whole input is in.
+    if (proc.kind == ProcessorKind::kService && proc.synchronization &&
+        !state.sync_fired && state.collected_closed.size() == proc.input_ports.size() &&
+        can_fire(state)) {
+      fire_barrier(state);
+      progress = true;
+    }
+
+    // Promote to finished.
+    bool done = false;
+    if (proc.kind == ProcessorKind::kSink) {
+      done = state.collected_closed.size() == 1;
+    } else if (proc.synchronization) {
+      done = state.sync_fired && state.in_flight == 0;
+    } else {
+      done = state.buffer->all_closed() && state.ready.empty() && state.in_flight == 0;
+    }
+    if (done) {
+      state.finished = true;
+      progress = true;
+      MOTEUR_LOG(kDebug, "enactor") << "processor '" << proc.name << "' finished after "
+                                    << state.fired << " invocation(s)";
+      if (proc.kind == ProcessorKind::kService && observing()) {
+        obs::RunEvent event = make_event(obs::RunEvent::Kind::kProcessorFinished);
+        event.processor = proc.name;
+        event.tuples = state.fired;
+        emit(event);
+      }
+    }
+  }
+  return progress;
+}
+
+void Engine::pump() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (dispatch_pass()) progress = true;
+    if (closure_pass()) progress = true;
+  }
+}
+
+bool Engine::try_feedback_closure() {
+  // Only sound when the workflow has fully quiesced: nothing in flight and
+  // nothing ready anywhere, so no further token can cross a feedback link.
+  // (Unresolved submissions — including pending backoff resubmissions —
+  // keep in_flight nonzero, so retries block closure as real work does.)
+  for (const auto& [name, state] : states_) {
+    if (state.in_flight != 0 || !state.ready.empty()) return false;
+  }
+  bool progress = false;
+  for (const auto& name : topo_order_) {
+    PState& state = state_of(name);
+    if (state.finished || state.proc->kind != ProcessorKind::kService) continue;
+    for (const auto& port : state.proc->input_ports) {
+      const bool is_collector = state.proc->synchronization;
+      const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
+                                               : state.buffer->is_closed(port);
+      if (already_closed) continue;
+      bool has_feedback = false;
+      bool rest_closed = true;
+      for (const Link* link : workflow_.links_into_port(state.proc->name, port)) {
+        if (link->feedback) {
+          has_feedback = true;
+        } else if (!states_.at(link->from_processor).finished) {
+          rest_closed = false;
+        }
+      }
+      if (!has_feedback || !rest_closed) continue;
+      if (is_collector) {
+        state.collected_closed.insert(port);
+      } else {
+        state.buffer->close(port);
+      }
+      progress = true;
+    }
+  }
+  if (progress) pump();
+  return progress;
+}
+
+bool Engine::all_finished() const {
+  return std::all_of(states_.begin(), states_.end(),
+                     [](const auto& entry) { return entry.second.finished; });
+}
+
+bool Engine::finished() const { return all_finished(); }
+
+bool Engine::try_unstall() { return try_feedback_closure(); }
+
+std::string Engine::stuck_processors() const {
+  std::string stuck;
+  for (const auto& [name, state] : states_) {
+    if (!state.finished) stuck += (stuck.empty() ? "" : ", ") + name;
+  }
+  return stuck;
+}
+
+void Engine::start() {
+  build_states();
+  setup_health();
+  result_.started_at = backend_.now();
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kRunStarted);
+    event.run = workflow_.name();
+    emit(event);
+  }
+  emit_sources();
+  pump();
+}
+
+EnactmentResult Engine::finish() {
+  result_.finished_at =
+      result_.timeline.invocation_count() == 0 ? backend_.now()
+                                               : result_.timeline.makespan();
+
+  // Collect sinks, sorted by iteration index. Poisoned tokens never count as
+  // outputs: they are tallied in the failure report instead.
+  for (const Processor* sink : workflow_.sinks()) {
+    auto tokens = state_of(sink->name).collected["in"];
+    const auto poisoned_begin =
+        std::stable_partition(tokens.begin(), tokens.end(),
+                              [](const data::Token& t) { return !t.poisoned(); });
+    const auto poisoned_count = static_cast<std::size_t>(tokens.end() - poisoned_begin);
+    if (poisoned_count > 0) {
+      result_.failure_report.poisoned_at_sink[sink->name] = poisoned_count;
+    }
+    tokens.erase(poisoned_begin, tokens.end());
+    std::sort(tokens.begin(), tokens.end(),
+              [](const data::Token& a, const data::Token& b) {
+                return a.indices() < b.indices();
+              });
+    result_.sink_outputs.emplace(sink->name, std::move(tokens));
+  }
+  result_.executed_workflow = workflow_;
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kRunFinished);
+    event.run = workflow_.name();
+    emit(event);
+  }
+  return std::move(result_);
+}
+
+}  // namespace moteur::enactor

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enactor/enactor.hpp"
+#include "enactor/run_request.hpp"
+#include "grid/ce_health.hpp"
+#include "util/stats.hpp"
+#include "workflow/iteration.hpp"
+#include "workflow/iteration_tree.hpp"
+
+namespace moteur::enactor {
+
+/// One full enactment, exposed incrementally so a caller can interleave
+/// several engines over one shared backend (RunService) or drive a single
+/// one to completion (Enactor::run). Single-threaded: every method runs on
+/// the thread driving the backend; backends funnel completions and timers
+/// through drive().
+///
+/// Lifetime: construct via std::make_shared — every callback handed to the
+/// backend (completions, watchdogs, backoff timers) holds only a weak_ptr,
+/// so attempts still in backend flight when the engine dies (watchdog-clone
+/// stragglers, deadlock unwinding, cancellation) are discarded instead of
+/// touching a dead engine. Destroy the engine before its backend.
+///
+/// Protocol: start() once, then while !finished() have the backend drive
+/// with a done-predicate that includes finished(); on a stall (drive()
+/// returning false) call try_unstall() and fail the run if it reports no
+/// progress; finally finish() exactly once to collect the result.
+class Engine : public std::enable_shared_from_this<Engine> {
+ public:
+  struct Options {
+    /// Stamped on every emitted obs::RunEvent; empty picks the workflow name.
+    std::string run_id;
+    /// Service-owned per-CE breaker ledger shared by all concurrent runs.
+    /// When set, the engine records attempt outcomes into it but does not
+    /// attach/detach it from the backend or hook its listeners — grid health
+    /// is physical infrastructure state owned by whoever shares it. When
+    /// null and the policy enables the breaker, the engine owns a per-run
+    /// ledger, attaches it for the run and detaches it on destruction.
+    grid::CeHealth* shared_health = nullptr;
+  };
+
+  /// Validates `workflow` and applies the grouping rewrite per `policy`.
+  /// Throws EnactmentError on an invalid workflow or binding mismatch.
+  Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
+         EnactmentPolicy policy, PayloadResolver resolver,
+         std::vector<EventSubscriber> subscribers,
+         const workflow::Workflow& workflow, data::InputDataSet inputs,
+         Options options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Emit sources and dispatch everything initially firable.
+  void start();
+
+  /// Whether every processor has finished (the run may be collected).
+  bool finished() const;
+
+  /// Stall recovery: attempt feedback-port closure. Returns true when it
+  /// made progress; false means the run is genuinely deadlocked.
+  bool try_unstall();
+
+  /// Names of the unfinished processors, for deadlock diagnostics.
+  std::string stuck_processors() const;
+
+  /// Collect sinks and return the result. Call exactly once, after
+  /// finished() holds (or when abandoning a deadlocked/cancelled run — the
+  /// result then reflects whatever settled).
+  EnactmentResult finish();
+
+  const std::string& run_id() const { return run_id_; }
+
+ private:
+  struct PState {
+    const workflow::Processor* proc = nullptr;
+    std::shared_ptr<services::Service> service;  // null for sources/sinks
+    std::unique_ptr<workflow::CompositeIterationBuffer> buffer;  // plain services
+    std::map<std::string, std::vector<data::Token>> collected;  // sync + sinks
+    std::set<std::string> collected_closed;  // closed ports (sync/sink)
+    std::deque<workflow::IterationBuffer::Tuple> ready;
+    std::size_t in_flight = 0;  // unresolved logical submissions
+    std::size_t fired = 0;
+    bool finished = false;
+    bool sync_fired = false;
+  };
+
+  /// One logical unit of work handed to the backend: a (possibly batched)
+  /// set of tuples plus their bindings. A submission stays unresolved while
+  /// attempts — the original, transient-failure resubmissions, timeout
+  /// clones — race; the first success wins, late completions are discarded.
+  struct Submission {
+    PState* state = nullptr;
+    std::uint64_t id = 0;  // run-unique invocation id (observability)
+    std::vector<workflow::IterationBuffer::Tuple> tuples;
+    std::vector<services::Inputs> bindings;
+    std::size_t attempts_started = 0;
+    std::size_t attempts_in_flight = 0;
+    std::size_t pending_resubmits = 0;  // backoff timers not yet fired
+    bool resolved = false;
+    double attempt_started_at = 0.0;  // backend time of the latest attempt
+    std::optional<ExecutionBackend::TimerId> watchdog;
+  };
+
+  void build_states();
+  void emit_sources();
+  void deliver(const workflow::Link& link, const data::Token& token);
+  /// Dispatch everything firable, then run the closure fixpoint; repeat
+  /// until a full pass makes no progress.
+  void pump();
+  bool dispatch_pass();
+  bool closure_pass();
+  bool can_fire(const PState& state) const;
+  /// Data sets batched into the next submission of this service (§5.4
+  /// adaptive granularity when enabled, else the static policy value).
+  std::size_t target_batch(const PState& state) const;
+  void fire(PState& state, std::vector<workflow::IterationBuffer::Tuple> tuples);
+  void fire_barrier(PState& state);
+  void start_attempt(const std::shared_ptr<Submission>& sub);
+  void arm_watchdog(const std::shared_ptr<Submission>& sub);
+  /// Arm watchdogs on outstanding submissions that predate the median (a DP
+  /// burst submits everything before any sample exists).
+  void arm_pending_watchdogs();
+  void on_watchdog(const std::shared_ptr<Submission>& sub);
+  void on_attempt_complete(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                           Outcome outcome);
+  /// Mark the submission settled: no further attempt may deliver or fail it.
+  void resolve(const std::shared_ptr<Submission>& sub);
+  void resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                       OutcomeStatus status, const std::string& error);
+  /// Wire up the per-run health ledger (owned mode) or adopt the shared one.
+  void setup_health();
+  /// The operative ledger: shared (service mode) or owned (per-run).
+  grid::CeHealth* health() const;
+  void on_breaker_transition(const grid::CeHealth::Transition& t);
+  /// Emit one poisoned token per output port of `state` for the failed or
+  /// skipped `tuple`, delivered over all non-feedback outgoing links (a
+  /// poisoned token must not recirculate a loop).
+  void poison_outputs(PState& state, const workflow::IterationBuffer::Tuple& tuple,
+                      const std::shared_ptr<const data::TokenError>& error);
+  /// Account for a tuple whose inputs are poisoned: it never executes.
+  void skip_tuple(PState& state, workflow::IterationBuffer::Tuple tuple);
+  /// Whether another attempt may still be launched for this submission.
+  bool attempts_left(const Submission& sub) const;
+  /// Median backend latency of successful submissions so far (0 if none).
+  double median_latency() const;
+  bool try_feedback_closure();
+  bool all_finished() const;
+  void check_binding(const PState& state) const;
+
+  PState& state_of(const std::string& name) { return states_.at(name); }
+
+  // --- Observability: the structured event stream every consumer (span
+  // recorder, metrics, the legacy ProgressEvent adapter) subscribes to.
+  // Events carry the running totals at emission time, so emission points sit
+  // strictly after the corresponding stats_ updates.
+  bool observing() const { return !subscribers_.empty(); }
+  obs::RunEvent make_event(obs::RunEvent::Kind kind) const;
+  obs::RunEvent make_event(obs::RunEvent::Kind kind, const Submission& sub,
+                           std::size_t attempt) const;
+  void emit(const obs::RunEvent& event) const;
+
+  ExecutionBackend& backend_;
+  services::ServiceRegistry& registry_;
+  EnactmentPolicy policy_;
+  PayloadResolver resolver_;
+  std::vector<EventSubscriber> subscribers_;
+  workflow::Workflow workflow_{"empty"};
+  data::InputDataSet inputs_;
+  std::string run_id_;
+  grid::CeHealth* shared_health_ = nullptr;
+
+  std::map<std::string, PState> states_;
+  std::vector<std::string> topo_order_;
+  /// Iteration counters per feedback link (index extension, see deliver()).
+  std::map<const workflow::Link*, std::size_t> feedback_counters_;
+  /// SP-off stage barrier: per processor, the data predecessors it must see
+  /// finished before firing. Members of the same loop are exempt (a cycle
+  /// cannot stage-synchronize on itself).
+  std::map<std::string, std::set<std::string>> stage_predecessors_;
+  /// Online estimate of the per-job middleware overhead (adaptive batching).
+  RunningStats observed_overhead_;
+  /// Latencies of successful submissions — the running-median base of the
+  /// timeout-resubmission watchdog.
+  std::vector<double> latency_samples_;
+  /// Unresolved submissions, for late watchdog arming (pruned lazily).
+  std::vector<std::weak_ptr<Submission>> outstanding_;
+  std::uint64_t next_submission_id_ = 1;
+  std::size_t tuples_in_flight_ = 0;  // across all unresolved submissions
+  /// Per-run circuit-breaker ledger, allocated when policy_.breaker is
+  /// enabled and no shared ledger was provided; the backend holds a raw
+  /// pointer until the destructor detaches it.
+  std::unique_ptr<grid::CeHealth> owned_health_;
+  EnactmentResult result_;
+};
+
+}  // namespace moteur::enactor

@@ -37,6 +37,8 @@ class SimGridBackend : public ExecutionBackend {
   /// Hands the health ledger to the grid's resource broker, which excludes
   /// open-breaker CEs during matchmaking.
   void set_health(grid::CeHealth* health) override { grid_.set_health(health); }
+  void add_health(grid::CeHealth* health) override { grid_.add_health(health); }
+  void remove_health(grid::CeHealth* health) override { grid_.remove_health(health); }
 
   std::size_t jobs_submitted() const { return jobs_submitted_; }
 

@@ -29,17 +29,22 @@ void ThreadedBackend::set_host_failure_probability(const std::string& host, doub
 const std::string& ThreadedBackend::pick_host() {
   const std::size_t n = hosts_.size();
   const double t = now();
+  const auto admissible = [&](const std::string& host) {
+    return std::all_of(health_.begin(), health_.end(), [&](grid::CeHealth* h) {
+      return h->admissible(host, t);
+    });
+  };
   bool excluded_any = false;
   for (std::size_t i = 0; i < n; ++i) {
     const std::string& host = hosts_[(next_host_ + i) % n];
-    if (health_ != nullptr && !health_->admissible(host, t)) {
+    if (!admissible(host)) {
       excluded_any = true;
       continue;
     }
     next_host_ = (next_host_ + i + 1) % n;
-    if (health_ != nullptr) {
-      if (excluded_any) health_->note_rerouted(t);
-      health_->on_routed(host, t);
+    for (grid::CeHealth* h : health_) {
+      if (excluded_any) h->note_rerouted(t);
+      h->on_routed(host, t);
     }
     return host;
   }
@@ -137,13 +142,29 @@ void ThreadedBackend::cancel(TimerId id) {
   timers_.erase(id);
 }
 
+void ThreadedBackend::notify() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wake_ = true;
+  }
+  cv_.notify_all();
+}
+
 bool ThreadedBackend::drive(const std::function<bool()>& done) {
   while (!done()) {
     Done next;
     std::function<void()> due_timer;
+    bool woke = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
+        // An external notify() means the caller's done() predicate may have
+        // changed: surface it before waiting on backend work.
+        if (wake_) {
+          wake_ = false;
+          woke = true;
+          break;
+        }
         if (!completed_.empty()) break;
         // Earliest timer deadline bounds the wait; a due timer fires here,
         // on the drive thread, like a completion.
@@ -163,14 +184,16 @@ bool ThreadedBackend::drive(const std::function<bool()>& done) {
         if (earliest != timers_.end()) {
           cv_.wait_until(lock, earliest->second.deadline);
         } else {
-          cv_.wait(lock, [this] { return !completed_.empty() || in_flight_ == 0; });
+          cv_.wait(lock,
+                   [this] { return wake_ || !completed_.empty() || in_flight_ == 0; });
         }
       }
-      if (!due_timer && !completed_.empty()) {
+      if (!woke && !due_timer && !completed_.empty()) {
         next = std::move(completed_.front());
         completed_.pop_front();
       }
     }
+    if (woke) continue;  // re-evaluate done()
     if (due_timer) {
       due_timer();
     } else {

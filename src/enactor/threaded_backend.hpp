@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -62,9 +63,23 @@ class ThreadedBackend : public ExecutionBackend {
   /// probability `p`, drawn deterministically on the drive thread.
   void set_host_failure_probability(const std::string& host, double p);
 
-  /// Breakers consulted when picking a host. Only meaningful after
-  /// configure_hosts(). Touched from the drive thread only.
-  void set_health(grid::CeHealth* health) override { health_ = health; }
+  /// Breakers consulted when picking a host: a host is skipped when ANY
+  /// attached ledger vetoes it. Only meaningful after configure_hosts().
+  /// Touched from the drive thread only.
+  void set_health(grid::CeHealth* health) override {
+    health_.clear();
+    if (health != nullptr) health_.push_back(health);
+  }
+  void add_health(grid::CeHealth* health) override {
+    if (health != nullptr) health_.push_back(health);
+  }
+  void remove_health(grid::CeHealth* health) override {
+    health_.erase(std::remove(health_.begin(), health_.end(), health), health_.end());
+  }
+
+  /// Thread-safe: wakes a drive() blocked on the completion queue so its
+  /// done() predicate is re-evaluated (RunService pushes commands this way).
+  void notify() override;
 
   std::size_t tasks_executed() const { return tasks_executed_; }
 
@@ -84,8 +99,8 @@ class ThreadedBackend : public ExecutionBackend {
   };
 
   ThreadPool pool_;
-  obs::MetricsRegistry* metrics_ = nullptr;  // touched from drive() only
-  grid::CeHealth* health_ = nullptr;         // touched from drive() only
+  obs::MetricsRegistry* metrics_ = nullptr;    // touched from drive() only
+  std::vector<grid::CeHealth*> health_;        // touched from drive() only
   std::vector<std::string> hosts_;
   std::map<std::string, double> host_failure_;
   std::unique_ptr<Rng> fault_rng_;  // drawn in execute(), on the drive thread
@@ -98,6 +113,7 @@ class ThreadedBackend : public ExecutionBackend {
   TimerId next_timer_ = 1;
   std::size_t in_flight_ = 0;
   std::size_t tasks_executed_ = 0;
+  bool wake_ = false;  // set by notify(); consumed inside drive()
 };
 
 }  // namespace moteur::enactor

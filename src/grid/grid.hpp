@@ -35,8 +35,14 @@ class Grid {
   const ResourceBroker& broker() const { return broker_; }
 
   /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger the
-  /// broker consults during matchmaking. Not owned.
+  /// broker consults during matchmaking, displacing any already attached.
+  /// Not owned.
   void set_health(CeHealth* health) { broker_.set_health(health); }
+
+  /// Shared-broker arbitration (see ResourceBroker): attach one more ledger
+  /// without displacing the others / detach exactly one.
+  void add_health(CeHealth* health) { broker_.add_health(health); }
+  void remove_health(CeHealth* health) { broker_.remove_health(health); }
 
   /// Records of all completed (done or failed) jobs, completion order.
   const std::vector<JobRecord>& completed_jobs() const { return completed_; }

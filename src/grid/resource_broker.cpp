@@ -1,5 +1,7 @@
 #include "grid/resource_broker.hpp"
 
+#include <algorithm>
+
 #include "grid/ce_health.hpp"
 #include "grid/overhead_model.hpp"
 #include "util/error.hpp"
@@ -19,14 +21,22 @@ void ResourceBroker::add_computing_element(std::unique_ptr<ComputingElement> ce)
   ces_.push_back(std::move(ce));
 }
 
+void ResourceBroker::remove_health(CeHealth* health) {
+  health_.erase(std::remove(health_.begin(), health_.end(), health), health_.end());
+}
+
 ComputingElement& ResourceBroker::match() {
   MOTEUR_REQUIRE(!ces_.empty(), ExecutionError, "resource broker has no computing elements");
   const double now = simulator_.now();
+  const auto admissible = [&](const std::string& name) {
+    return std::all_of(health_.begin(), health_.end(),
+                       [&](CeHealth* h) { return h->admissible(name, now); });
+  };
   bool excluded_any = false;
   double best_rank = 0.0;
   std::vector<ComputingElement*> best;
   for (const auto& ce : ces_) {
-    if (health_ != nullptr && !health_->admissible(ce->name(), now)) {
+    if (!admissible(ce->name())) {
       excluded_any = true;
       continue;
     }
@@ -58,9 +68,9 @@ ComputingElement& ResourceBroker::match() {
         tie_rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
     chosen = best[pick];
   }
-  if (health_ != nullptr) {
-    if (excluded_any) health_->note_rerouted(now);
-    health_->on_routed(chosen->name(), now);
+  for (CeHealth* h : health_) {
+    if (excluded_any) h->note_rerouted(now);
+    h->on_routed(chosen->name(), now);
   }
   return *chosen;
 }

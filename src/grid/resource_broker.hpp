@@ -34,14 +34,29 @@ class ResourceBroker {
   }
 
   /// Pick the best-ranked CE right now (ties broken uniformly at random).
-  /// With a health ledger attached, CEs whose breaker is open are excluded
+  /// With health ledgers attached, CEs vetoed by ANY ledger are excluded
   /// (half-open probes admitted per CeHealth); if every CE is excluded the
   /// full set is used, so submissions never starve.
   ComputingElement& match();
 
   /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger
-  /// consulted during matchmaking. Not owned; single-threaded access.
-  void set_health(CeHealth* health) { health_ = health; }
+  /// consulted during matchmaking, displacing any ledgers already attached.
+  /// Not owned; single-threaded access.
+  void set_health(CeHealth* health) {
+    health_.clear();
+    if (health != nullptr) health_.push_back(health);
+  }
+
+  /// Shared-broker arbitration: attach one more ledger without displacing
+  /// the others. Matchmaking excludes a CE when any attached ledger vetoes
+  /// it, and routing decisions are committed to every ledger — so a
+  /// service-owned ledger and run-owned ones can observe the same broker.
+  void add_health(CeHealth* health) {
+    if (health != nullptr) health_.push_back(health);
+  }
+
+  /// Detach exactly `health`, leaving the other ledgers attached.
+  void remove_health(CeHealth* health);
 
  private:
   sim::Simulator& simulator_;
@@ -50,7 +65,7 @@ class ResourceBroker {
   sim::Resource pipeline_;
   Rng tie_rng_;
   std::vector<std::unique_ptr<ComputingElement>> ces_;
-  CeHealth* health_ = nullptr;
+  std::vector<CeHealth*> health_;  // not owned
 };
 
 }  // namespace moteur::grid

@@ -38,6 +38,13 @@ struct RunEvent {
   Kind kind = Kind::kRunStarted;
   double time = 0.0;  // backend time of the event, seconds
 
+  /// Id of the run emitting the event, stamped on EVERY kind — the key that
+  /// keeps concurrent runs sharing one recorder/subscriber apart. For the
+  /// single-run Enactor path this defaults to the workflow name; RunService
+  /// assigns unique ids. Empty only for service-scope events that belong to
+  /// no single run (shared-breaker transitions).
+  std::string run_id;
+
   std::string run;        // workflow name (kRunStarted/kRunFinished)
   std::string processor;  // all invocation-scoped kinds
   std::uint64_t invocation = 0;  // 1-based logical submission id

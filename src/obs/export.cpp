@@ -50,14 +50,14 @@ std::string format_number(double value) {
   return buf;
 }
 
-/// Assign each span a rendering lane (tid) so that spans sharing a lane are
-/// either disjoint in time or properly nested — Chrome draws exactly that as
-/// a stack. Children try their parent's lane first.
-std::unordered_map<SpanId, int> assign_lanes(const std::vector<Span>& spans) {
+/// Assign each span of ONE rendering group a lane (tid) so that spans
+/// sharing a lane are either disjoint in time or properly nested — Chrome
+/// draws exactly that as a stack. Children try their parent's lane first.
+std::unordered_map<SpanId, int> assign_lanes(const std::vector<const Span*>& spans) {
   std::unordered_map<SpanId, int> depth;
   depth.reserve(spans.size());
   std::unordered_map<SpanId, const Span*> by_id;
-  for (const Span& span : spans) by_id.emplace(span.id, &span);
+  for (const Span* span : spans) by_id.emplace(span->id, span);
   const std::function<int(const Span&)> depth_of = [&](const Span& span) -> int {
     const auto it = depth.find(span.id);
     if (it != depth.end()) return it->second;
@@ -67,9 +67,7 @@ std::unordered_map<SpanId, int> assign_lanes(const std::vector<Span>& spans) {
     return d;
   };
 
-  std::vector<const Span*> order;
-  order.reserve(spans.size());
-  for (const Span& span : spans) order.push_back(&span);
+  std::vector<const Span*> order(spans);
   std::sort(order.begin(), order.end(), [&](const Span* a, const Span* b) {
     if (a->start != b->start) return a->start < b->start;
     const double da = a->end - a->start, db = b->end - b->start;
@@ -137,7 +135,54 @@ std::string label_suffix(const Labels& labels, const std::string& extra_key = ""
 
 std::string chrome_trace_json(const Tracer& tracer) {
   const std::vector<Span>& spans = tracer.spans();
-  const auto lane_of = assign_lanes(spans);
+
+  // Every "run"-category root becomes its own Chrome process (pid), numbered
+  // 1..N in start order — concurrent runs recorded into one tracer render as
+  // separate lanes instead of interleaving in one stack. Spans not descending
+  // from a run root (hand-built traces, orphans) share one default group,
+  // which is pid 1 when there are no run roots at all — so single-run and
+  // synthetic traces keep the historical "pid":1 output.
+  std::unordered_map<SpanId, const Span*> by_id;
+  for (const Span& span : spans) by_id.emplace(span.id, &span);
+  std::unordered_map<SpanId, SpanId> root_memo;
+  const std::function<SpanId(const Span&)> find_root = [&](const Span& span) -> SpanId {
+    const auto it = root_memo.find(span.id);
+    if (it != root_memo.end()) return it->second;
+    const auto parent = by_id.find(span.parent);
+    const SpanId root = parent == by_id.end() ? span.id : find_root(*parent->second);
+    root_memo.emplace(span.id, root);
+    return root;
+  };
+  std::vector<const Span*> run_roots;
+  for (const Span& span : spans) {
+    if (span.category == "run" && by_id.find(span.parent) == by_id.end()) {
+      run_roots.push_back(&span);
+    }
+  }
+  std::sort(run_roots.begin(), run_roots.end(), [](const Span* a, const Span* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->id < b->id;
+  });
+  std::unordered_map<SpanId, int> pid_of_root;
+  for (std::size_t i = 0; i < run_roots.size(); ++i) {
+    pid_of_root.emplace(run_roots[i]->id, static_cast<int>(i) + 1);
+  }
+  const int default_pid = run_roots.empty() ? 1 : static_cast<int>(run_roots.size()) + 1;
+
+  std::map<int, std::vector<const Span*>> groups;
+  std::unordered_map<SpanId, int> pid_of;
+  pid_of.reserve(spans.size());
+  for (const Span& span : spans) {
+    const auto it = pid_of_root.find(find_root(span));
+    const int pid = it == pid_of_root.end() ? default_pid : it->second;
+    pid_of.emplace(span.id, pid);
+    groups[pid].push_back(&span);
+  }
+  std::unordered_map<SpanId, int> lane_of;
+  lane_of.reserve(spans.size());
+  for (const auto& [pid, members] : groups) {
+    for (const auto& [id, lane] : assign_lanes(members)) lane_of.emplace(id, lane);
+  }
 
   // Emit in (start, enclosing-first) order — the same order lanes were
   // assigned in — so the file is stable and viewer-friendly.
@@ -160,9 +205,11 @@ std::string chrome_trace_json(const Tracer& tracer) {
     char numbers[96];
     std::snprintf(numbers, sizeof(numbers), "\"ts\":%.3f,\"dur\":%.3f", ts, dur);
     const auto lane = lane_of.find(span->id);
+    const auto pid = pid_of.find(span->id);
     out << "{\"name\":\"" << json_escape(span->name) << "\",\"cat\":\""
         << json_escape(span->category) << "\",\"ph\":\"X\"," << numbers
-        << ",\"pid\":1,\"tid\":" << (lane == lane_of.end() ? 0 : lane->second + 1)
+        << ",\"pid\":" << (pid == pid_of.end() ? 1 : pid->second)
+        << ",\"tid\":" << (lane == lane_of.end() ? 0 : lane->second + 1)
         << ",\"args\":{\"id\":\"" << span->id << "\",\"parent\":\"" << span->parent << "\"";
     for (const auto& [key, value] : span->args) {
       out << ",\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";

@@ -106,53 +106,80 @@ Counter& RunRecorder::processor_tuples(const std::string& processor) {
 void RunRecorder::on_event(const RunEvent& event) {
   switch (event.kind) {
     case RunEvent::Kind::kRunStarted: {
-      processor_spans_.clear();
-      invocation_spans_.clear();
-      attempt_spans_.clear();
-      last_total_invocations_ = event.total_invocations;
-      run_span_ = tracer_.begin(event.run, "run", event.time);
+      // A fresh context per run id; a re-used id (sequential runs through one
+      // Enactor) starts over, its per-run counters accumulating.
+      RunCtx& c = ctx(event.run_id);
+      c = RunCtx{};
+      c.last_total_invocations = event.total_invocations;
+      c.run_span = tracer_.begin(event.run, "run", event.time);
+      tracer_.annotate(c.run_span, "run_id", event.run_id);
+      const Labels by_run{{"run", event.run_id}};
+      c.invocations = &metrics_.counter("moteur_run_invocations_total",
+                                        "Logical invocations completed, per run", by_run);
+      c.submissions = &metrics_.counter("moteur_run_submissions_total",
+                                        "Backend executions launched, per run", by_run);
+      c.makespan = &metrics_.gauge("moteur_run_makespan_seconds",
+                                   "Total execution time Sigma, per run", by_run);
       break;
     }
 
     case RunEvent::Kind::kRunFinished: {
-      const Span* run = tracer_.find(run_span_);
-      if (run != nullptr) makespan_->set(event.time - run->start);
-      tracer_.end(run_span_, event.time);
+      RunCtx& c = ctx(event.run_id);
+      const Span* run = tracer_.find(c.run_span);
+      if (run != nullptr) {
+        makespan_->set(event.time - run->start);
+        if (c.makespan != nullptr) c.makespan->set(event.time - run->start);
+      }
+      tracer_.end(c.run_span, event.time);
       // Stragglers whose completions were never dispatched stay open; close
-      // them at run end so exports always hold a consistent tree.
-      tracer_.close_open_spans(event.time);
+      // THIS run's leftovers so exports always hold a consistent tree — other
+      // runs still in flight keep their open spans untouched.
+      const auto close_leftover = [&](SpanId id) {
+        const Span* span = tracer_.find(id);
+        if (span == nullptr || !span->open()) return;
+        tracer_.annotate(id, "unfinished", "true");
+        tracer_.end(id, event.time);
+      };
+      for (const auto& [key, id] : c.attempt_spans) close_leftover(id);
+      for (const auto& [key, id] : c.invocation_spans) close_leftover(id);
+      for (const auto& [key, id] : c.processor_spans) close_leftover(id);
       tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      runs_.erase(event.run_id);
       break;
     }
 
     case RunEvent::Kind::kInvocationStarted: {
-      auto [it, inserted] = processor_spans_.try_emplace(event.processor, 0);
+      RunCtx& c = ctx(event.run_id);
+      auto [it, inserted] = c.processor_spans.try_emplace(event.processor, 0);
       if (inserted) {
-        it->second = tracer_.begin(event.processor, "processor", event.time, run_span_);
+        it->second = tracer_.begin(event.processor, "processor", event.time, c.run_span);
       }
       const SpanId span = tracer_.begin(
           event.processor + " #" + std::to_string(event.invocation), "invocation",
           event.time, it->second);
       tracer_.annotate(span, "tuples", std::to_string(event.tuples));
-      invocation_spans_[event.invocation] = span;
+      c.invocation_spans[event.invocation] = span;
       tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
       break;
     }
 
     case RunEvent::Kind::kAttemptStarted: {
-      const auto it = invocation_spans_.find(event.invocation);
-      const SpanId parent = it == invocation_spans_.end() ? run_span_ : it->second;
+      RunCtx& c = ctx(event.run_id);
+      const auto it = c.invocation_spans.find(event.invocation);
+      const SpanId parent = it == c.invocation_spans.end() ? c.run_span : it->second;
       const SpanId span = tracer_.begin("attempt " + std::to_string(event.attempt),
                                         "attempt", event.time, parent);
-      attempt_spans_[{event.invocation, event.attempt}] = span;
+      c.attempt_spans[{event.invocation, event.attempt}] = span;
       submissions_->inc();
+      if (c.submissions != nullptr) c.submissions->inc();
       break;
     }
 
     case RunEvent::Kind::kAttemptEnded: {
+      RunCtx& c = ctx(event.run_id);
       const auto key = std::make_pair(event.invocation, event.attempt);
-      const auto it = attempt_spans_.find(key);
-      if (it != attempt_spans_.end()) {
+      const auto it = c.attempt_spans.find(key);
+      if (it != c.attempt_spans.end()) {
         const SpanId span = it->second;
         tracer_.end(span, event.time);
         tracer_.annotate(span, "status", event.status);
@@ -168,7 +195,7 @@ void RunRecorder::on_event(const RunEvent& event) {
             tracer_.record("running", "phase", event.start_time, event.end_time, span);
           }
         }
-        attempt_spans_.erase(it);
+        c.attempt_spans.erase(it);
       }
       if (event.ok) {
         CeSeries& series = ce_series(ce_label(event));
@@ -183,24 +210,29 @@ void RunRecorder::on_event(const RunEvent& event) {
     }
 
     case RunEvent::Kind::kInvocationCompleted: {
-      const auto it = invocation_spans_.find(event.invocation);
-      if (it != invocation_spans_.end()) {
+      RunCtx& c = ctx(event.run_id);
+      const auto it = c.invocation_spans.find(event.invocation);
+      if (it != c.invocation_spans.end()) {
         tracer_.end(it->second, event.time);
-        invocation_spans_.erase(it);
+        c.invocation_spans.erase(it);
       }
-      invocations_->inc(static_cast<double>(event.total_invocations - last_total_invocations_));
-      last_total_invocations_ = event.total_invocations;
+      const auto delta =
+          static_cast<double>(event.total_invocations - c.last_total_invocations);
+      invocations_->inc(delta);
+      if (c.invocations != nullptr) c.invocations->inc(delta);
+      c.last_total_invocations = event.total_invocations;
       processor_tuples(event.processor).inc(static_cast<double>(event.tuples));
       tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
       break;
     }
 
     case RunEvent::Kind::kInvocationFailed: {
-      const auto it = invocation_spans_.find(event.invocation);
-      if (it != invocation_spans_.end()) {
+      RunCtx& c = ctx(event.run_id);
+      const auto it = c.invocation_spans.find(event.invocation);
+      if (it != c.invocation_spans.end()) {
         tracer_.annotate(it->second, "failed", "true");
         tracer_.end(it->second, event.time);
-        invocation_spans_.erase(it);
+        c.invocation_spans.erase(it);
       }
       tuples_lost_->inc(static_cast<double>(event.tuples));
       tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
@@ -218,16 +250,18 @@ void RunRecorder::on_event(const RunEvent& event) {
     }
 
     case RunEvent::Kind::kProcessorFinished: {
-      const auto it = processor_spans_.find(event.processor);
-      if (it != processor_spans_.end()) tracer_.end(it->second, event.time);
+      RunCtx& c = ctx(event.run_id);
+      const auto it = c.processor_spans.find(event.processor);
+      if (it != c.processor_spans.end()) tracer_.end(it->second, event.time);
       break;
     }
 
     case RunEvent::Kind::kInvocationSkipped: {
+      RunCtx& c = ctx(event.run_id);
       // Zero-length span under the processor, so skips show up in the tree.
-      auto [it, inserted] = processor_spans_.try_emplace(event.processor, 0);
+      auto [it, inserted] = c.processor_spans.try_emplace(event.processor, 0);
       if (inserted) {
-        it->second = tracer_.begin(event.processor, "processor", event.time, run_span_);
+        it->second = tracer_.begin(event.processor, "processor", event.time, c.run_span);
       }
       const SpanId span = tracer_.record(
           event.processor + " #" + std::to_string(event.invocation) + " (skipped)",

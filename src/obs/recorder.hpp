@@ -18,12 +18,20 @@ namespace moteur::obs {
 /// counters, per-CE latency and queue-wait histograms, and tuples-in-flight
 /// gauges. Feed it via Enactor::set_recorder; export with obs/export.hpp.
 ///
-/// Reusable across runs: spans and metrics accumulate, each run under its
-/// own root span. Not thread-safe (events are serialized by the enactor).
+/// Reusable across runs AND across concurrently interleaved runs: the span
+/// maps are kept per `RunEvent::run_id`, so a RunService can fan many runs'
+/// events into one recorder and each run still gets its own coherent
+/// run -> processor -> invocation subtree. Besides the service-wide totals,
+/// each run contributes labelled per-run series (moteur_run_*_total{run=...},
+/// moteur_run_makespan_seconds{run=...}).
+///
+/// Not thread-safe by itself: callers must serialize on_event, which both the
+/// single-run Enactor (one drive thread) and the RunService (one worker
+/// thread) do by construction.
 ///
 /// Instruments are resolved through the registry once and cached (per-CE,
-/// per-status, per-processor), so steady-state recording costs no map-of-
-/// labels lookups — the event stream can run hot.
+/// per-status, per-processor, per-run), so steady-state recording costs no
+/// map-of-labels lookups — the event stream can run hot.
 class RunRecorder {
  public:
   RunRecorder();
@@ -41,9 +49,25 @@ class RunRecorder {
     Histogram* queue_wait = nullptr;
   };
 
+  /// Everything scoped to one live run, keyed by RunEvent::run_id. Created
+  /// at kRunStarted, discarded at kRunFinished (span ids stay valid in the
+  /// tracer; only the bookkeeping goes away).
+  struct RunCtx {
+    SpanId run_span = 0;
+    std::map<std::string, SpanId> processor_spans;
+    std::map<std::uint64_t, SpanId> invocation_spans;
+    std::map<std::pair<std::uint64_t, std::size_t>, SpanId> attempt_spans;
+    std::size_t last_total_invocations = 0;
+    // Per-run labelled series, resolved once at kRunStarted.
+    Counter* invocations = nullptr;
+    Counter* submissions = nullptr;
+    Gauge* makespan = nullptr;
+  };
+
   /// Label for per-CE series when the backend reports no CE (ThreadedBackend).
   static const std::string& ce_label(const RunEvent& event);
 
+  RunCtx& ctx(const std::string& run_id) { return runs_[run_id]; }
   CeSeries& ce_series(const std::string& ce);
   Counter& failure_counter(const std::string& status);
   Counter& processor_tuples(const std::string& processor);
@@ -53,11 +77,7 @@ class RunRecorder {
   Tracer tracer_;
   MetricsRegistry metrics_;
 
-  SpanId run_span_ = 0;
-  std::map<std::string, SpanId> processor_spans_;
-  std::map<std::uint64_t, SpanId> invocation_spans_;
-  std::map<std::pair<std::uint64_t, std::size_t>, SpanId> attempt_spans_;
-  std::size_t last_total_invocations_ = 0;
+  std::map<std::string, RunCtx> runs_;
 
   // Cached instruments (stable for the registry's lifetime).
   Counter* submissions_ = nullptr;

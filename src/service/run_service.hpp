@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "enactor/enactor.hpp"
+#include "enactor/run_request.hpp"
+
+namespace moteur::obs {
+class RunRecorder;
+}  // namespace moteur::obs
+
+namespace moteur::service {
+
+/// Lifecycle of one run inside a RunService.
+/// kQueued -> kRunning -> {kFinished, kFailed, kCancelled}; a queued run
+/// cancelled before admission goes straight to kCancelled.
+enum class RunState { kQueued, kRunning, kFinished, kFailed, kCancelled };
+
+const char* to_string(RunState s);
+bool is_terminal(RunState s);
+
+namespace detail {
+struct RunRecord;
+}  // namespace detail
+
+/// Caller-side view of one submitted run. Cheap to copy; all methods are
+/// thread-safe and may be called from any thread while the service's worker
+/// advances the run. A default-constructed handle is invalid.
+class RunHandle {
+ public:
+  RunHandle() = default;
+
+  bool valid() const { return rec_ != nullptr; }
+  const std::string& id() const;
+  const std::map<std::string, std::string>& labels() const;
+
+  /// Current state, without blocking.
+  RunState poll() const;
+
+  /// Block until the run reaches a terminal state; returns it.
+  RunState wait() const;
+
+  /// Request cancellation. Asynchronous: a queued run is dropped before it
+  /// starts; a running run stops submitting, its queued submissions fail
+  /// definitively, and it drains to a partial result. Idempotent; a no-op
+  /// once the run is terminal.
+  void cancel();
+
+  /// The final result. Valid once the run is terminal: complete for
+  /// kFinished, partial for kCancelled and deadlock-failed runs, default
+  /// for runs that failed before starting. Blocks like wait().
+  const enactor::EnactmentResult& result() const;
+
+  /// Failure message for kFailed runs (empty otherwise). Blocks like wait().
+  const std::string& error() const;
+
+ private:
+  friend class RunService;
+  explicit RunHandle(std::shared_ptr<detail::RunRecord> rec) : rec_(std::move(rec)) {}
+
+  std::shared_ptr<detail::RunRecord> rec_;
+};
+
+struct RunServiceConfig {
+  /// Runs enacted concurrently; further submissions wait in the queue.
+  std::size_t max_active_runs = 4;
+  /// Concurrent backend executions across all active runs (the admission
+  /// gate's cap); 0 = unbounded.
+  std::size_t max_inflight_submissions = 8;
+  /// Policy for requests that carry none of their own.
+  enactor::EnactmentPolicy default_policy;
+};
+
+/// Multi-tenant enactment: one RunService owns one ExecutionBackend and one
+/// ServiceRegistry and accepts many concurrent runs, each described by a
+/// RunRequest and observed through a RunHandle. A single worker thread
+/// drives the shared backend with every admitted run's engine interleaved on
+/// it; a fair-share AdmissionGate (weighted round-robin, bounded in-flight
+/// submissions) keeps large runs from starving small ones, and one
+/// service-owned CeHealth ledger gives all tenants a common view of grid
+/// health — per-run breaker ledgers would deadlock in half-open, since
+/// another tenant's job may be the probe.
+///
+/// Observability: subscribers and the recorder see every run's events, told
+/// apart by RunEvent::run_id; service-scope events (shared-breaker
+/// transitions) carry an empty run_id. The service additionally maintains
+/// service-wide series: active/queued run gauges, admission-wait histogram,
+/// and terminal-state run counters.
+///
+/// Thread model: submit/cancel/wait may be called from any thread; all
+/// backend access happens on the worker thread. The backend and registry
+/// must outlive the service.
+class RunService {
+ public:
+  RunService(enactor::ExecutionBackend& backend, services::ServiceRegistry& registry,
+             RunServiceConfig config = {});
+  ~RunService();
+
+  RunService(const RunService&) = delete;
+  RunService& operator=(const RunService&) = delete;
+
+  /// Enqueue one run. The request's `name` becomes the run id when it is
+  /// non-empty and unused; otherwise an id "run-<n>" is generated.
+  RunHandle submit(enactor::RunRequest request);
+
+  /// Enqueue a batch atomically: all runs enter the queue before the worker
+  /// may admit any of them, making admission order deterministic under the
+  /// simulated backend (individually submitted runs race sim progression).
+  std::vector<RunHandle> submit_all(std::vector<enactor::RunRequest> requests);
+
+  /// Subscribe to every run's event stream (run_id tells them apart).
+  /// Call before submitting; subscribers run on the worker thread.
+  void add_event_subscriber(enactor::EventSubscriber subscriber);
+
+  /// Attach the standard recorder to every run plus the service-wide
+  /// series. Call before submitting; not owned.
+  void set_recorder(obs::RunRecorder* recorder);
+
+  /// Block until no run is queued or active.
+  void wait_idle();
+
+  /// Cancel everything still queued or running, drain, and join the worker.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace moteur::service

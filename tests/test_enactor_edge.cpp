@@ -280,6 +280,75 @@ TEST(EnactorEdge, UndeclaredServiceOutputsAreIgnored) {
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 2u);
 }
 
+TEST(EnactorEdge, SequentialRunsMatchFreshEnactors) {
+  // Multi-run safety: two sequential runs on one Enactor must be
+  // indistinguishable from two fresh enactors on fresh rigs — no counter,
+  // buffer or health state may leak from run to run.
+  const auto fresh = [](std::size_t count) {
+    SimRig rig(10.0);
+    rig.registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                      JobProfile{5.0}));
+    rig.registry.add(services::make_simulated_service("P1", {"in"}, {"out"},
+                                                      JobProfile{5.0}));
+    Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
+    return moteur.run(workflow::make_chain(2), items("src", count));
+  };
+  const auto baseline_a = fresh(3);
+  const auto baseline_b = fresh(5);
+
+  SimRig rig(10.0);
+  rig.registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                    JobProfile{5.0}));
+  rig.registry.add(services::make_simulated_service("P1", {"in"}, {"out"},
+                                                    JobProfile{5.0}));
+  Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
+  const auto first = moteur.run(workflow::make_chain(2), items("src", 3));
+  const auto second = moteur.run(workflow::make_chain(2), items("src", 5));
+
+  const auto expect_equal = [](const EnactmentResult& got, const EnactmentResult& want) {
+    EXPECT_DOUBLE_EQ(got.makespan(), want.makespan());
+    EXPECT_EQ(got.invocations(), want.invocations());
+    EXPECT_EQ(got.submissions(), want.submissions());
+    EXPECT_EQ(got.failures(), want.failures());
+    EXPECT_EQ(got.sink_outputs.at("sink").size(), want.sink_outputs.at("sink").size());
+  };
+  expect_equal(first, baseline_a);
+  expect_equal(second, baseline_b);
+}
+
+TEST(EnactorEdge, StragglerFromPreviousRunCannotCorruptNextRun) {
+  // Run 1 rescues stuck jobs by racing watchdog clones; the losing original
+  // is still pending inside the sim when the run ends. Run 2 on the same
+  // backend advances the sim past those stale completions — they must be
+  // discarded (the engine that submitted them is gone), not delivered into
+  // the new run's bookkeeping.
+  sim::Simulator simulator;
+  grid::GridConfig cfg = grid::GridConfig::constant(30.0, 4096, 11);
+  cfg.stuck_job_probability = 0.2;
+  cfg.stuck_job_factor = 50.0;
+  grid::Grid grid(simulator, cfg);
+  SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                JobProfile{30.0}));
+
+  Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
+  EnactmentPolicy watchdog = EnactmentPolicy::sp_dp();
+  watchdog.retry.max_attempts = 4;
+  watchdog.retry.timeout_multiplier = 3.0;
+  watchdog.retry.timeout_min_samples = 3;
+  moteur.set_policy(watchdog);
+  const auto first = moteur.run(workflow::make_chain(1), items("src", 20));
+  ASSERT_GT(first.timeouts(), 0u);  // clones raced; originals left in flight
+
+  moteur.set_policy(EnactmentPolicy::sp_dp());
+  const auto second = moteur.run(workflow::make_chain(1), items("src", 6));
+  EXPECT_EQ(second.sink_outputs.at("sink").size(), 6u);
+  EXPECT_EQ(second.invocations(), 6u);
+  EXPECT_EQ(second.failures(), 0u);
+  EXPECT_EQ(second.timeouts(), 0u);
+}
+
 TEST(EnactorEdge, RerunningEnactorReusesBackendCleanly) {
   // One backend and registry, several runs back to back (clock keeps
   // advancing; results independent).

@@ -1,0 +1,482 @@
+// Multi-tenant RunService: concurrent runs over one shared backend, fault
+// isolation between tenants, fair-share admission, cancellation mid-run,
+// and the threaded backend under real concurrency (run under TSan by the
+// tsan-enactor preset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/run_request.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "service/run_service.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "workflow/patterns.hpp"
+
+namespace moteur::service {
+namespace {
+
+using services::FunctionalService;
+using services::Inputs;
+using services::JobProfile;
+using services::Result;
+
+data::InputDataSet items(const std::string& source, std::size_t count) {
+  data::InputDataSet ds;
+  ds.declare_input(source);
+  for (std::size_t j = 0; j < count; ++j) {
+    ds.add_item(source, "item" + std::to_string(j));
+  }
+  return ds;
+}
+
+// A linear chain whose processors all carry `prefix` in their names, so a
+// failure report entry can be attributed to exactly one tenant.
+workflow::Workflow prefixed_chain(const std::string& prefix, std::size_t stages) {
+  workflow::Workflow wf(prefix);
+  wf.add_source("src");
+  std::string prev = "src";
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string name = prefix + "-p" + std::to_string(i);
+    wf.add_processor(name, {"in"}, {"out"});
+    wf.link(prev, "out", name, "in");
+    prev = name;
+  }
+  wf.add_sink("sink");
+  wf.link(prev, "out", "sink", "in");
+  return wf;
+}
+
+enactor::RunRequest make_request(const std::string& name,
+                                 const workflow::Workflow& wf,
+                                 std::size_t count) {
+  enactor::RunRequest request;
+  request.name = name;
+  request.workflow = wf;
+  request.inputs = items("src", count);
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated backend: determinism, isolation, fair share
+// ---------------------------------------------------------------------------
+
+struct ServiceRig {
+  sim::Simulator simulator;
+  grid::Grid grid;
+  enactor::SimGridBackend backend;
+  services::ServiceRegistry registry;
+
+  explicit ServiceRig(grid::GridConfig config)
+      : grid(simulator, config), backend(grid) {}
+
+  void add_prefixed_chain(const std::string& prefix, std::size_t stages,
+                          double compute_seconds) {
+    for (std::size_t i = 0; i < stages; ++i) {
+      registry.add(services::make_simulated_service(
+          prefix + "-p" + std::to_string(i), {"in"}, {"out"},
+          JobProfile{compute_seconds}));
+    }
+  }
+};
+
+TEST(RunService, ConcurrentRunsProduceIsolatedResults) {
+  grid::GridConfig cfg = grid::GridConfig::constant(5.0, 4096, 17);
+  cfg.failure_probability = 0.35;
+  cfg.max_attempts = 1;  // every grid-level failure is visible to the enactor
+  ServiceRig rig(cfg);
+  for (const char* prefix : {"alpha", "beta", "gamma"}) {
+    rig.add_prefixed_chain(prefix, 2, 20.0);
+  }
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(2);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+
+  RunServiceConfig config;
+  config.max_active_runs = 3;
+  config.max_inflight_submissions = 6;
+  config.default_policy = policy;
+  RunService service(rig.backend, rig.registry, config);
+
+  std::vector<enactor::RunRequest> requests;
+  for (const char* prefix : {"alpha", "beta", "gamma"}) {
+    requests.push_back(make_request(prefix, prefixed_chain(prefix, 2), 10));
+  }
+  auto handles = service.submit_all(std::move(requests));
+  ASSERT_EQ(handles.size(), 3u);
+
+  std::size_t total_failures = 0;
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kFinished) << handle.id();
+    const auto& result = handle.result();
+    EXPECT_EQ(result.run_id, handle.id());
+    // Continue-policy accounting: every source item either reached the sink
+    // or is accounted for in this run's own failure report.
+    const auto sink = result.sink_outputs.find("sink");
+    const std::size_t delivered =
+        sink == result.sink_outputs.end() ? 0 : sink->second.size();
+    std::size_t poisoned = 0;
+    for (const auto& [_, count] : result.failure_report.poisoned_at_sink) {
+      poisoned += count;
+    }
+    EXPECT_EQ(delivered + poisoned, 10u) << handle.id();
+    total_failures += result.failures() + result.skipped();
+    // Isolation: the report references only this tenant's processors.
+    const std::string prefix = handle.id() + "-";
+    for (const auto& lost : result.failure_report.lost) {
+      EXPECT_EQ(lost.processor.rfind(prefix, 0), 0u) << lost.processor;
+    }
+    for (const auto& skipped : result.failure_report.skipped) {
+      EXPECT_EQ(skipped.processor.rfind(prefix, 0), 0u) << skipped.processor;
+      EXPECT_EQ(skipped.origin_processor.rfind(prefix, 0), 0u)
+          << skipped.origin_processor;
+    }
+  }
+  // The injected fault rate makes losses overwhelmingly likely; if the seed
+  // ever yields a clean triple run the isolation assertions are vacuous, so
+  // pin the expectation here.
+  EXPECT_GT(total_failures, 0u);
+  service.wait_idle();
+}
+
+TEST(RunService, FairShareKeepsSmallRunResponsive) {
+  const auto make_rig = [] {
+    auto rig = std::make_unique<ServiceRig>(grid::GridConfig::constant(0.0));
+    rig->add_prefixed_chain("big", 1, 10.0);
+    rig->add_prefixed_chain("small", 1, 10.0);
+    return rig;
+  };
+  RunServiceConfig config;
+  config.max_active_runs = 2;
+  config.max_inflight_submissions = 4;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+
+  // Baseline: the small run alone on an identical rig.
+  double solo = 0.0;
+  {
+    auto rig = make_rig();
+    RunService service(rig->backend, rig->registry, config);
+    auto handle =
+        service.submit(make_request("small", prefixed_chain("small", 1), 12));
+    ASSERT_EQ(handle.wait(), RunState::kFinished);
+    solo = handle.result().makespan();
+  }
+  ASSERT_GT(solo, 0.0);
+
+  // Contended: a 126-item run and a 12-item run sharing the 4-slot gate.
+  auto rig = make_rig();
+  RunService service(rig->backend, rig->registry, config);
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(make_request("big", prefixed_chain("big", 1), 126));
+  requests.push_back(make_request("small", prefixed_chain("small", 1), 12));
+  auto handles = service.submit_all(std::move(requests));
+  ASSERT_EQ(handles[0].wait(), RunState::kFinished);
+  ASSERT_EQ(handles[1].wait(), RunState::kFinished);
+  const double big = handles[0].result().makespan();
+  const double small = handles[1].result().makespan();
+
+  // Weighted round-robin splits the gate evenly while both runs have queued
+  // work, so the small run finishes at ~2x its solo makespan — FIFO
+  // admission would have it wait for most of the big run's 126 submissions.
+  // One 10 s wave of slack: the first tenant's engine fills every slot
+  // before the second tenant's submissions reach the gate.
+  EXPECT_LE(small, 2.0 * solo + 10.0 + 1e-9);
+  EXPECT_LT(small, 0.5 * big);
+  service.wait_idle();
+}
+
+TEST(RunService, WeightTiltsAdmissionTowardHeavyTenant) {
+  auto rig = std::make_unique<ServiceRig>(grid::GridConfig::constant(0.0));
+  rig->add_prefixed_chain("gold", 1, 10.0);
+  rig->add_prefixed_chain("econ", 1, 10.0);
+
+  RunServiceConfig config;
+  config.max_active_runs = 2;
+  config.max_inflight_submissions = 4;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(rig->backend, rig->registry, config);
+
+  auto gold = make_request("gold", prefixed_chain("gold", 1), 48);
+  gold.weight = 3;  // 3 grants per round-robin visit
+  auto econ = make_request("econ", prefixed_chain("econ", 1), 48);
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(std::move(gold));
+  requests.push_back(std::move(econ));
+  auto handles = service.submit_all(std::move(requests));
+  ASSERT_EQ(handles[0].wait(), RunState::kFinished);
+  ASSERT_EQ(handles[1].wait(), RunState::kFinished);
+  // Equal demand, 3:1 weights: the gold tenant clears its queue first.
+  EXPECT_LT(handles[0].result().makespan(), handles[1].result().makespan());
+  service.wait_idle();
+}
+
+TEST(RunService, SubmitAssignsUniqueIds) {
+  ServiceRig rig(grid::GridConfig::constant(0.0));
+  rig.add_prefixed_chain("dup", 1, 1.0);
+  RunService service(rig.backend, rig.registry);
+
+  const auto wf = prefixed_chain("dup", 1);
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(make_request("", wf, 1));     // no name: generated id
+  requests.push_back(make_request("dup", wf, 1));  // name free: kept
+  requests.push_back(make_request("dup", wf, 1));  // name taken: generated
+  auto handles = service.submit_all(std::move(requests));
+
+  EXPECT_FALSE(handles[0].id().empty());
+  EXPECT_EQ(handles[1].id(), "dup");
+  EXPECT_NE(handles[2].id(), "dup");
+  EXPECT_NE(handles[0].id(), handles[2].id());
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kFinished);
+  }
+  service.wait_idle();
+}
+
+TEST(RunService, RecorderSeparatesConcurrentRuns) {
+  ServiceRig rig(grid::GridConfig::constant(2.0));
+  rig.add_prefixed_chain("left", 1, 10.0);
+  rig.add_prefixed_chain("right", 1, 10.0);
+
+  obs::RunRecorder recorder;
+  RunServiceConfig config;
+  config.max_active_runs = 2;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(rig.backend, rig.registry, config);
+  service.set_recorder(&recorder);
+
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(make_request("left", prefixed_chain("left", 1), 4));
+  requests.push_back(make_request("right", prefixed_chain("right", 1), 4));
+  auto handles = service.submit_all(std::move(requests));
+  for (auto& handle : handles) {
+    ASSERT_EQ(handle.wait(), RunState::kFinished);
+  }
+  service.wait_idle();
+
+  // Every span closed despite the interleaving, and each run kept its own
+  // root span.
+  EXPECT_EQ(recorder.tracer().open_count(), 0u);
+  std::vector<std::string> run_roots;
+  for (const auto& span : recorder.tracer().spans()) {
+    if (span.category == "run") run_roots.push_back(span.name);
+  }
+  ASSERT_EQ(run_roots.size(), 2u);
+  EXPECT_NE(run_roots[0], run_roots[1]);
+
+  // The Chrome trace gives each run its own process lane.
+  const std::string trace = obs::chrome_trace_json(recorder.tracer());
+  EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":2"), std::string::npos);
+
+  // Per-run metric series exist alongside the service-wide ones.
+  const std::string prom = obs::prometheus_text(recorder.metrics());
+  EXPECT_NE(prom.find("moteur_run_invocations_total{run=\"left\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("moteur_run_invocations_total{run=\"right\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("moteur_service_runs_total"), std::string::npos);
+}
+
+TEST(RunService, QueuedRunCancelledBeforeStart) {
+  // The front run's service blocks on a latch, pinning it in kRunning while
+  // the queued run is cancelled — with max_active_runs = 1 the back run
+  // deterministically never starts.
+  enactor::ThreadedBackend backend(2);
+  services::ServiceRegistry registry;
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  registry.add(std::make_shared<FunctionalService>(
+      "front-p0", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [released](const Inputs&) {
+        released.wait();
+        Result r;
+        r.outputs["out"] = services::OutputValue{1, "x"};
+        return r;
+      }));
+  registry.add(std::make_shared<FunctionalService>(
+      "back-p0", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const Inputs&) {
+        Result r;
+        r.outputs["out"] = services::OutputValue{1, "x"};
+        return r;
+      }));
+
+  RunServiceConfig config;
+  config.max_active_runs = 1;  // the second run must queue
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(make_request("front", prefixed_chain("front", 1), 4));
+  requests.push_back(make_request("back", prefixed_chain("back", 1), 4));
+  auto handles = service.submit_all(std::move(requests));
+
+  while (handles[0].poll() == RunState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(handles[1].poll(), RunState::kQueued);
+  handles[1].cancel();
+  release.set_value();
+
+  EXPECT_EQ(handles[0].wait(), RunState::kFinished);
+  EXPECT_EQ(handles[1].wait(), RunState::kCancelled);
+  // Never started: no partial outputs, no invocations.
+  EXPECT_EQ(handles[1].result().invocations(), 0u);
+  EXPECT_TRUE(handles[1].result().sink_outputs.empty());
+  service.wait_idle();
+}
+
+TEST(RunService, RejectsSubmissionsAfterShutdown) {
+  ServiceRig rig(grid::GridConfig::constant(0.0));
+  rig.add_prefixed_chain("w", 1, 1.0);
+  RunService service(rig.backend, rig.registry);
+  service.shutdown();
+  EXPECT_THROW(service.submit(make_request("w", prefixed_chain("w", 1), 1)),
+               ExecutionError);
+}
+
+// ---------------------------------------------------------------------------
+// Threaded backend: real concurrency (TSan target)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<FunctionalService> sleeping_service(const std::string& name,
+                                                    std::chrono::milliseconds nap) {
+  return std::make_shared<FunctionalService>(
+      name, std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [nap](const Inputs&) {
+        std::this_thread::sleep_for(nap);
+        Result r;
+        r.outputs["out"] = services::OutputValue{1, "x"};
+        return r;
+      });
+}
+
+TEST(RunService, ThreadedBackendInterleavesRunsAndTagsEvents) {
+  enactor::ThreadedBackend backend(4);
+  services::ServiceRegistry registry;
+  for (const char* prefix : {"r1", "r2", "r3"}) {
+    registry.add(sleeping_service(std::string(prefix) + "-p0",
+                                  std::chrono::milliseconds(2)));
+  }
+
+  RunServiceConfig config;
+  config.max_active_runs = 3;
+  config.max_inflight_submissions = 8;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+
+  // Subscribers run on the worker thread; reads below happen after
+  // wait_idle(), whose mutex hand-off orders them after the writes.
+  std::map<std::string, int> started, finished;
+  service.add_event_subscriber([&](const obs::RunEvent& event) {
+    if (event.kind == obs::RunEvent::Kind::kRunStarted) ++started[event.run_id];
+    if (event.kind == obs::RunEvent::Kind::kRunFinished) ++finished[event.run_id];
+  });
+
+  std::vector<enactor::RunRequest> requests;
+  for (const char* prefix : {"r1", "r2", "r3"}) {
+    requests.push_back(make_request(prefix, prefixed_chain(prefix, 1), 8));
+  }
+  auto handles = service.submit_all(std::move(requests));
+
+  // Poll from this thread while the worker races: exercises the handle's
+  // cross-thread state access under TSan.
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    for (auto& handle : handles) {
+      if (!is_terminal(handle.poll())) all_done = false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.wait_idle();
+
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kFinished);
+    EXPECT_EQ(handle.result().sink_outputs.at("sink").size(), 8u);
+    EXPECT_EQ(started[handle.id()], 1) << handle.id();
+    EXPECT_EQ(finished[handle.id()], 1) << handle.id();
+  }
+}
+
+TEST(RunService, CancellationMidRunDrainsToPartialResult) {
+  enactor::ThreadedBackend backend(2);
+  services::ServiceRegistry registry;
+  registry.add(sleeping_service("victim-p0", std::chrono::milliseconds(20)));
+  registry.add(sleeping_service("bystander-p0", std::chrono::milliseconds(1)));
+
+  RunServiceConfig config;
+  config.max_active_runs = 2;
+  config.max_inflight_submissions = 2;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+
+  std::vector<enactor::RunRequest> requests;
+  requests.push_back(make_request("victim", prefixed_chain("victim", 1), 40));
+  requests.push_back(make_request("bystander", prefixed_chain("bystander", 1), 10));
+  auto handles = service.submit_all(std::move(requests));
+
+  // Let the victim make some progress, then pull the plug.
+  while (handles[0].poll() == RunState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  handles[0].cancel();
+  handles[0].cancel();  // idempotent
+
+  EXPECT_EQ(handles[0].wait(), RunState::kCancelled);
+  EXPECT_EQ(handles[1].wait(), RunState::kFinished);
+  service.wait_idle();
+
+  // The cancelled run drained to a partial result: it did not complete all
+  // 40 items, and its gated submissions failed definitively.
+  const auto& partial = handles[0].result();
+  EXPECT_EQ(partial.run_id, "victim");
+  EXPECT_LT(partial.invocations(), 40u);
+  EXPECT_GT(partial.failures(), 0u);
+
+  // The sibling run was untouched.
+  EXPECT_EQ(handles[1].result().sink_outputs.at("sink").size(), 10u);
+  EXPECT_EQ(handles[1].result().failures(), 0u);
+}
+
+TEST(RunService, ShutdownCancelsEverythingAndJoins) {
+  enactor::ThreadedBackend backend(2);
+  services::ServiceRegistry registry;
+  registry.add(sleeping_service("s-p0", std::chrono::milliseconds(10)));
+
+  auto service = std::make_unique<RunService>(backend, registry);
+  std::vector<enactor::RunRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(make_request("", prefixed_chain("s", 1), 20));
+  }
+  auto handles = service->submit_all(std::move(requests));
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  service.reset();  // destructor calls shutdown()
+
+  // Handles outlive the service and report a terminal state.
+  for (auto& handle : handles) {
+    EXPECT_TRUE(is_terminal(handle.poll())) << handle.id();
+  }
+}
+
+}  // namespace
+}  // namespace moteur::service

@@ -30,6 +30,7 @@
 #include "grid/grid.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "service/run_service.hpp"
 #include "model/dag.hpp"
 #include "model/makespan.hpp"
 #include "services/catalog.hpp"
@@ -59,6 +60,11 @@ using namespace moteur;
       "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
       "             [--metrics-out METRICS.prom] [--obs-summary]\n"
       "  moteur_cli run --manifest RUN.xml [--services CAT.xml] [...]\n"
+      "  moteur_cli run ... [--runs N] [--manifests A.xml,B.xml,...]\n"
+      "             [--max-active N] [--max-inflight N]\n"
+      "             (multi-tenant: N copies and/or one run per listed manifest\n"
+      "              enacted concurrently on one shared grid; per-run outputs\n"
+      "              get a .run<K> suffix, e.g. out.csv -> out.run1.csv)\n"
       "  moteur_cli save-manifest --workflow WF.xml --data DS.xml --out RUN.xml\n"
       "             [--policy P] [--grid PRESET] [--seed N] [--overhead S]\n"
       "  moteur_cli validate --workflow WF.xml\n"
@@ -162,7 +168,130 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   return manifest;
 }
 
+/// "out.csv" -> "out.run3.csv"; extensionless paths get ".run3" appended.
+std::string suffixed(const std::string& path, std::size_t k) {
+  const std::string tag = ".run" + std::to_string(k);
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + tag;
+  }
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+/// Multi-tenant mode: enact several runs concurrently on ONE shared simulated
+/// grid through a RunService. The run set is the cross product of the listed
+/// manifests (or the single --manifest/--workflow spec) and --runs copies.
+int cmd_run_multi(const Args& args) {
+  std::vector<enactor::RunManifest> manifests;
+  if (const auto list = args.get("manifests")) {
+    for (const auto& path : split(*list, ',')) {
+      manifests.push_back(enactor::RunManifest::from_xml(read_file(path)));
+    }
+    if (manifests.empty()) usage("--manifests names no files");
+  } else {
+    manifests.push_back(manifest_from_args(args));
+  }
+  const std::size_t copies =
+      args.get("runs") ? static_cast<std::size_t>(std::stoul(args.require("runs"))) : 1;
+  if (copies == 0) usage("--runs must be at least 1");
+
+  services::ServiceRegistry registry;
+  if (const auto catalog = args.get("services")) {
+    const std::size_t count = services::load_catalog(read_file(*catalog), registry);
+    std::printf("loaded %zu services from %s\n", count, catalog->c_str());
+  }
+
+  // One grid for every tenant: the first manifest decides its shape.
+  sim::Simulator simulator;
+  grid::GridConfig grid_config = manifests.front().make_grid_config();
+  if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
+  if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
+  if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
+  grid::Grid grid(simulator, grid_config);
+  enactor::SimGridBackend backend(grid);
+
+  service::RunServiceConfig config;
+  if (const auto n = args.get("max-active")) {
+    config.max_active_runs = static_cast<std::size_t>(std::stoul(*n));
+  }
+  if (const auto n = args.get("max-inflight")) {
+    config.max_inflight_submissions = static_cast<std::size_t>(std::stoul(*n));
+  }
+  config.default_policy = manifests.front().policy;
+  service::RunService runs(backend, registry, config);
+
+  obs::RunRecorder recorder;
+  const bool observe =
+      args.has("trace-out") || args.has("metrics-out") || args.has("obs-summary");
+  if (observe) {
+    runs.set_recorder(&recorder);
+    backend.set_metrics(&recorder.metrics());
+  }
+
+  std::vector<enactor::RunRequest> requests;
+  for (std::size_t c = 0; c < copies; ++c) {
+    for (const auto& manifest : manifests) {
+      enactor::RunRequest request;
+      request.name = manifest.workflow.name() + "-" + std::to_string(requests.size() + 1);
+      request.workflow = manifest.workflow;
+      request.inputs = manifest.inputs;
+      request.policy = manifest.policy;
+      requests.push_back(std::move(request));
+    }
+  }
+  const std::size_t total = requests.size();
+  std::printf("enacting %zu concurrent run(s) (max active %zu, gate %zu, grid %s)\n",
+              total, config.max_active_runs, config.max_inflight_submissions,
+              manifests.front().grid_preset.c_str());
+  auto handles = runs.submit_all(std::move(requests));
+  runs.wait_idle();
+
+  bool hard_failure = false;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto& handle = handles[i];
+    const service::RunState state = handle.wait();
+    const auto& result = handle.result();
+    std::printf("run %-24s %-9s makespan %s, %zu invocations, %zu failures\n",
+                (handle.id() + ":").c_str(), service::to_string(state),
+                format_duration(result.makespan()).c_str(), result.invocations(),
+                result.failures());
+    if (!result.failure_report.empty()) {
+      std::printf("  fault containment: %s", result.failure_report.to_text().c_str());
+    }
+    const bool tolerated = manifests[i % manifests.size()].policy.failure_policy ==
+                           enactor::FailurePolicy::kContinue;
+    if (state == service::RunState::kFailed ||
+        (result.failures() != 0 && !tolerated)) {
+      hard_failure = true;
+    }
+    const std::size_t k = i + 1;
+    if (const auto out = args.get("csv")) {
+      write_file(suffixed(*out, k), enactor::timeline_to_csv(result.timeline));
+    }
+    if (const auto out = args.get("failure-report")) {
+      write_file(suffixed(*out, k), result.failure_report.to_json() + "\n");
+    }
+    if (const auto out = args.get("provenance")) {
+      write_file(suffixed(*out, k), data::export_provenance(result.sink_outputs));
+    }
+  }
+  if (const auto out = args.get("trace-out")) {
+    write_file(*out, obs::chrome_trace_json(recorder.tracer()));
+    std::printf("trace written to %s (one pid lane per run)\n", out->c_str());
+  }
+  if (const auto out = args.get("metrics-out")) {
+    write_file(*out, obs::prometheus_text(recorder.metrics()));
+    std::printf("metrics written to %s\n", out->c_str());
+  }
+  if (args.has("obs-summary")) {
+    std::fputs(obs::obs_summary(recorder.tracer(), recorder.metrics()).c_str(), stdout);
+  }
+  return hard_failure ? 2 : 0;
+}
+
 int cmd_run(const Args& args) {
+  if (args.has("runs") || args.has("manifests")) return cmd_run_multi(args);
   const enactor::RunManifest manifest = manifest_from_args(args);
 
   services::ServiceRegistry registry;
@@ -191,7 +320,10 @@ int cmd_run(const Args& args) {
     backend.set_metrics(&recorder.metrics());
   }
 
-  const enactor::EnactmentResult result = moteur.run(manifest.workflow, manifest.inputs);
+  enactor::RunRequest request;
+  request.workflow = manifest.workflow;
+  request.inputs = manifest.inputs;
+  const enactor::EnactmentResult result = moteur.run(std::move(request));
 
   std::printf("workflow:     %s  (policy %s, grid %s, seed %llu)\n",
               manifest.workflow.name().c_str(), manifest.policy.name().c_str(),

@@ -74,11 +74,53 @@ else
 fi
 echo "fault-containment smoke OK"
 
+# Multi-tenant smoke: two interleaved Bronze runs on one shared grid through
+# the RunService must both finish, write per-run timeline CSVs and failure
+# reports, and keep their failure accounting separate.
+echo "== multi-tenant smoke: --runs 2 on the Bronze Standard =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --runs 2 --max-active 2 --max-inflight 16 \
+  --inject-failures 0.2 --grid-attempts 1 --retries 2 \
+  --failure-policy continue \
+  --failure-report "$obs_dir/mt_failures.json" --csv "$obs_dir/mt_timeline.csv" \
+  >/dev/null || {
+  echo "multi-run enactment exited nonzero" >&2
+  exit 1
+}
+for k in 1 2; do
+  for f in "$obs_dir/mt_failures.run$k.json" "$obs_dir/mt_timeline.run$k.csv"; do
+    [ -s "$f" ] || { echo "missing per-run output '$f'" >&2; exit 1; }
+  done
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir" <<'EOF'
+import csv, json, sys
+base = sys.argv[1]
+for k in (1, 2):
+    json.load(open(f"{base}/mt_failures.run{k}.json"))  # parseable
+    rows = list(csv.DictReader(open(f"{base}/mt_timeline.run{k}.csv")))
+    assert rows, f"run {k}: empty timeline CSV"
+    assert all(r["status"] for r in rows), f"run {k}: empty status cell"
+EOF
+else
+  echo "python3 unavailable; skipping per-run output validation"
+fi
+echo "multi-tenant smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
-  echo "== TSan stage: enactor/retry tests under -fsanitize=thread =="
+  echo "== TSan stage: enactor/retry/run-service tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
-  cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress test_retry
+  cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress \
+    test_retry test_run_service moteur_cli
   (cd build-tsan && ctest --output-on-failure -L enactor)
+  echo "== TSan multi-tenant smoke: concurrent runs through the RunService =="
+  build-tsan/tools/moteur_cli run \
+    --manifest examples/data/bronze_run.xml \
+    --services examples/data/bronze_services.xml \
+    --runs 2 --max-active 2 --max-inflight 16 >/dev/null
+  echo "TSan multi-tenant smoke OK"
 fi
 
 if [ "${1:-}" = "--asan" ]; then
