@@ -67,8 +67,8 @@ Row run_once(double failure_probability, bool breaker_on,
   }
   enactor::Enactor moteur(backend, registry, policy);
 
-  const auto result =
-      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  const auto result = moteur.run({.workflow = app::bronze_standard_workflow(),
+                                  .inputs = app::bronze_standard_dataset(n_pairs)});
   Row row;
   row.makespan = result.makespan();
   row.completed = result.invocations();

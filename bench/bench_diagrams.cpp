@@ -55,7 +55,7 @@ enactor::Timeline run(const Times& times, enactor::EnactmentPolicy policy) {
   data::InputDataSet ds;
   for (int j = 0; j < 3; ++j) ds.add_item("src", "D" + std::to_string(j));
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur.run(figure1_chain(), ds).timeline;
+  return moteur.run({.workflow = figure1_chain(), .inputs = ds}).timeline;
 }
 
 void show(const char* title, const Times& times, enactor::EnactmentPolicy policy) {

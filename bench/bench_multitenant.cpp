@@ -53,7 +53,8 @@ double solo_makespan(std::size_t n_pairs) {
   Rig rig;
   enactor::Enactor moteur(rig.backend, rig.registry, enactor::EnactmentPolicy::sp_dp());
   return moteur
-      .run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
+      .run({.workflow = app::bronze_standard_workflow(),
+            .inputs = app::bronze_standard_dataset(n_pairs)})
       .makespan();
 }
 
@@ -65,8 +66,8 @@ std::vector<double> back_to_back_turnarounds() {
   std::vector<double> turnarounds;
   double elapsed = 0.0;
   for (const std::size_t pairs : tenant_pairs()) {
-    const auto result = moteur.run(app::bronze_standard_workflow(),
-                                   app::bronze_standard_dataset(pairs));
+    const auto result = moteur.run({.workflow = app::bronze_standard_workflow(),
+                                    .inputs = app::bronze_standard_dataset(pairs)});
     elapsed += result.makespan();
     turnarounds.push_back(elapsed);
   }

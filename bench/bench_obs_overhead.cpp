@@ -44,8 +44,8 @@ Row run_simulated(std::size_t n_pairs, std::uint64_t seed, bool observe) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto result =
-      moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs));
+  const auto result = moteur.run({.workflow = app::bronze_standard_workflow(),
+                                  .inputs = app::bronze_standard_dataset(n_pairs)});
   const auto t1 = std::chrono::steady_clock::now();
   return Row{std::chrono::duration<double>(t1 - t0).count(), result.makespan(),
              recorder.tracer().spans().size()};

@@ -60,7 +60,7 @@ double simulated_mean(std::size_t n_w, std::size_t n_d, double mu, double sigma,
     data::InputDataSet ds;
     for (std::size_t j = 0; j < n_d; ++j) ds.add_item("src", "D" + std::to_string(j));
     enactor::Enactor moteur(backend, registry, policy);
-    total += moteur.run(chain(n_w), ds).makespan();
+    total += moteur.run({.workflow = chain(n_w), .inputs = ds}).makespan();
   }
   return total / static_cast<double>(replicas);
 }

@@ -36,9 +36,10 @@ Outcome run_with_timeout(double timeout, std::size_t n_pairs) {
     services::ServiceRegistry registry;
     app::register_simulated_services(registry);
     enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-    total.makespan +=
-        moteur.run(app::bronze_standard_workflow(), app::bronze_standard_dataset(n_pairs))
-            .makespan();
+    total.makespan += moteur
+                          .run({.workflow = app::bronze_standard_workflow(),
+                                .inputs = app::bronze_standard_dataset(n_pairs)})
+                          .makespan();
     double attempts = 0;
     for (const auto& record : grid.completed_jobs()) attempts += record.attempts;
     total.submissions += attempts;

@@ -36,10 +36,11 @@ int main(int argc, char** argv) {
   // Asynchronous calls via enactor-level threads (§3.1), all optimizations.
   enactor::ThreadedBackend backend;
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp_jg());
-  moteur.set_payload_resolver(app::bronze_payload_resolver(database));
 
-  const auto result = moteur.run(app::bronze_standard_workflow(),
-                                 app::bronze_standard_dataset(n_pairs));
+  const auto result =
+      moteur.run({.workflow = app::bronze_standard_workflow(),
+                  .inputs = app::bronze_standard_dataset(n_pairs),
+                  .resolver = app::bronze_payload_resolver(database)});
 
   std::printf("wall time:    %.2f s, %zu logical invocations, %zu submissions, "
               "%zu failures\n",

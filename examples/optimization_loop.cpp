@@ -99,7 +99,7 @@ int main() {
 
   enactor::ThreadedBackend backend;
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, inputs);
+  const auto result = moteur.run({.workflow = wf, .inputs = inputs});
 
   std::puts("converged results (note the per-data iteration counts, known only");
   std::puts("at execution time — the reason loops cannot be task-based):");

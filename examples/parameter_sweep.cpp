@@ -120,7 +120,7 @@ int main() {
 
   enactor::ThreadedBackend backend;
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, inputs);
+  const auto result = moteur.run({.workflow = wf, .inputs = inputs});
 
   std::printf("sweep of %zu subjects x 3 scales -> %zu extract invocations"
               " (cross product), wall %.2f s\n\n",

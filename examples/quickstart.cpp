@@ -55,13 +55,14 @@ int main() {
   // 5. Enact with every optimization on: workflow + data + service
   //    parallelism and job grouping. A progress listener streams events.
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp_jg());
-  moteur.set_progress_listener([](const enactor::ProgressEvent& event) {
-    if (event.kind == enactor::ProgressEvent::Kind::kProcessorFinished) {
-      std::printf("  [t=%6.0fs] %s finished (%zu invocations so far)\n", event.time,
-                  event.processor.c_str(), event.total_invocations);
-    }
-  });
-  const enactor::EnactmentResult result = moteur.run(wf, inputs);
+  moteur.add_event_subscriber(
+      enactor::progress_subscriber([](const enactor::ProgressEvent& event) {
+        if (event.kind == enactor::ProgressEvent::Kind::kProcessorFinished) {
+          std::printf("  [t=%6.0fs] %s finished (%zu invocations so far)\n", event.time,
+                      event.processor.c_str(), event.total_invocations);
+        }
+      }));
+  const enactor::EnactmentResult result = moteur.run({.workflow = wf, .inputs = inputs});
 
   std::printf("makespan:     %s (%.0f s)\n", format_duration(result.makespan()).c_str(),
               result.makespan());

@@ -58,7 +58,7 @@ int main() {
     grid::Grid grid(simulator, grid::GridConfig::egee2006());
     enactor::SimGridBackend backend(grid);
     enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-    const auto result = moteur.run(wf, inputs);
+    const auto result = moteur.run({.workflow = wf, .inputs = inputs});
     std::printf("workflow stays 2 processors; %zu dynamic invocations\n",
                 result.invocations());
     std::printf("MOTEUR makespan: %.0f s (%zu results)\n\n", result.makespan(),

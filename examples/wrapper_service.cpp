@@ -84,7 +84,7 @@ int main() {
   std::puts("\n2. Enacting step1 -> step2 (each invocation REALLY runs echo):\n");
   enactor::ThreadedBackend backend;
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, inputs);
+  const auto result = moteur.run({.workflow = wf, .inputs = inputs});
 
   const auto step1 =
       std::dynamic_pointer_cast<services::WrapperService>(registry.get("step1"));
@@ -100,7 +100,7 @@ int main() {
   std::puts("   a single submission (one grouped 'job' runs echo twice):\n");
   enactor::ThreadedBackend backend2;
   enactor::Enactor grouped(backend2, registry, enactor::EnactmentPolicy::sp_dp_jg());
-  const auto grouped_result = grouped.run(wf, inputs);
+  const auto grouped_result = grouped.run({.workflow = wf, .inputs = inputs});
   std::printf("submissions: %zu (vs %zu ungrouped) for %zu logical invocations\n",
               grouped_result.submissions(), result.submissions(),
               grouped_result.invocations());

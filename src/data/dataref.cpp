@@ -1,0 +1,43 @@
+#include "data/dataref.hpp"
+
+#include <algorithm>
+
+namespace moteur::data {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_append(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(value >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t derived_digest(std::uint64_t service_digest, const std::string& port,
+                             std::vector<std::uint64_t> input_digests) {
+  std::sort(input_digests.begin(), input_digests.end());
+  std::uint64_t h = fnv1a(port, fnv1a_append(kFnvOffset, service_digest));
+  for (std::uint64_t d : input_digests) h = fnv1a_append(h, d);
+  return h;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace moteur::data

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moteur::data {
+
+/// A reference to a logical grid file: tokens carry these instead of moving
+/// payload bytes through the enactor. The logical name is resolved against a
+/// ReplicaCatalog when a job needs the bytes; the digest identifies the
+/// *content* (two source items with equal values share a digest and hence a
+/// logical file, which is what makes replica reuse and invocation caching
+/// effective on repeated-input runs).
+struct DataRef {
+  std::string logical_name;  // lfn://... or gfn://... identifier
+  double size_mb = 0.0;      // nominal size, drives transfer cost
+  std::uint64_t digest = 0;  // content digest (FNV-1a 64)
+};
+
+/// FNV-1a 64-bit offset basis / prime.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a 64 over a byte string, chainable via `seed`.
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed = kFnvOffset);
+
+/// Fold a 64-bit value into a running FNV-1a digest (little-endian bytes).
+std::uint64_t fnv1a_append(std::uint64_t seed, std::uint64_t value);
+
+/// Content digest of a derived value: H(service digest, output port, sorted
+/// input digests). Sorting makes the key independent of port iteration
+/// order; the chain makes equal inputs through the same service collide,
+/// which is exactly the invocation-cache key property.
+std::uint64_t derived_digest(std::uint64_t service_digest, const std::string& port,
+                             std::vector<std::uint64_t> input_digests);
+
+/// Canonical hex spelling ("0011aabbccddeeff") used in logical names and
+/// cache keys.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace moteur::data

@@ -1,0 +1,69 @@
+#include "data/invocation_cache.hpp"
+
+#include <algorithm>
+
+namespace moteur::data {
+
+std::string InvocationCache::cache_key(std::uint64_t service_digest,
+                                       std::vector<std::uint64_t> input_digests) {
+  std::sort(input_digests.begin(), input_digests.end());
+  std::string key = digest_hex(service_digest);
+  for (std::uint64_t d : input_digests) {
+    key += ':';
+    key += digest_hex(d);
+  }
+  return key;
+}
+
+std::optional<CachedInvocation> InvocationCache::lookup(const std::string& key,
+                                                        const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  ++run_stats_[run_id].hits;
+  ++totals_.hits;
+  return it->second;
+}
+
+void InvocationCache::note_miss(const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++run_stats_[run_id].misses;
+  ++totals_.misses;
+}
+
+void InvocationCache::insert(const std::string& key, CachedInvocation value,
+                             const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, std::move(value));
+  (void)it;
+  if (inserted) {
+    ++run_stats_[run_id].insertions;
+    ++totals_.insertions;
+  }
+}
+
+std::size_t InvocationCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+InvocationCache::Stats InvocationCache::stats(const std::string& run_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = run_stats_.find(run_id);
+  return it == run_stats_.end() ? Stats{} : it->second;
+}
+
+InvocationCache::Stats InvocationCache::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+std::vector<std::string> InvocationCache::run_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(run_stats_.size());
+  for (const auto& [id, stats] : run_stats_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace moteur::data

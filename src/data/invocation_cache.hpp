@@ -1,0 +1,83 @@
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataref.hpp"
+
+namespace moteur::data {
+
+/// One output of a memoized invocation. Mirrors services::OutputValue but
+/// lives in the data layer so the cache has no dependency on services/.
+struct CachedOutput {
+  std::string port;
+  std::any payload;
+  std::string repr;
+  std::uint64_t digest = 0;           // content digest of the value
+  std::shared_ptr<const DataRef> ref;  // produced replica, when staged
+};
+
+/// The complete, successful result of one invocation.
+struct CachedInvocation {
+  std::vector<CachedOutput> outputs;
+};
+
+/// Content-addressed memoization of service invocations. The key is derived
+/// from the service's content digest (id + descriptor hash) and the sorted
+/// content digests of the bound inputs — see cache_key(). A hit lets the
+/// engine short-circuit the grid job entirely.
+///
+/// Only complete successful results are ever inserted (the engine inserts on
+/// kOk outcomes only), so a cancelled or failed run cannot leave half-written
+/// entries. Poisoned tokens and non-deterministic services are excluded by
+/// the engine before lookup/insert. Thread-safe: one instance is shared
+/// across tenants through the RunService.
+class InvocationCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+  };
+
+  /// Canonical key: service content digest + sorted input content digests.
+  static std::string cache_key(std::uint64_t service_digest,
+                               std::vector<std::uint64_t> input_digests);
+
+  /// Look up a memoized result; counts a hit against `run_id` when found.
+  /// A failed lookup counts nothing — callers may probe the same work
+  /// repeatedly (e.g. tuples parked behind a capacity limit re-probed each
+  /// dispatch pass); the caller reports the one authoritative miss through
+  /// note_miss() when the work actually executes.
+  std::optional<CachedInvocation> lookup(const std::string& key, const std::string& run_id);
+
+  /// Count one miss against `run_id`: the probed work was not memoized and
+  /// is now actually executing.
+  void note_miss(const std::string& run_id);
+
+  /// Memoize a complete successful result (first writer wins; counts an
+  /// insertion against `run_id` only when the entry is new).
+  void insert(const std::string& key, CachedInvocation value, const std::string& run_id);
+
+  std::size_t entry_count() const;
+
+  /// Per-run hit/miss/insertion counters ("" aggregates anonymous runs).
+  Stats stats(const std::string& run_id) const;
+  Stats totals() const;
+  std::vector<std::string> run_ids() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CachedInvocation> entries_;
+  std::map<std::string, Stats> run_stats_;
+  Stats totals_;
+};
+
+}  // namespace moteur::data

@@ -1,0 +1,52 @@
+#include "data/replica_catalog.hpp"
+
+#include <algorithm>
+
+namespace moteur::data {
+
+void ReplicaCatalog::register_replica(const std::string& lfn,
+                                      const std::string& storage_element,
+                                      double size_mb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[lfn];
+  if (size_mb > 0.0) entry.size_mb = size_mb;
+  auto& locs = entry.locations;
+  if (std::find(locs.begin(), locs.end(), storage_element) == locs.end()) {
+    locs.push_back(storage_element);
+  }
+}
+
+std::vector<std::string> ReplicaCatalog::locate(const std::string& lfn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(lfn);
+  if (it == entries_.end()) return {};
+  return it->second.locations;
+}
+
+bool ReplicaCatalog::has(const std::string& lfn, const std::string& storage_element) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(lfn);
+  if (it == entries_.end()) return false;
+  const auto& locs = it->second.locations;
+  return std::find(locs.begin(), locs.end(), storage_element) != locs.end();
+}
+
+double ReplicaCatalog::size_mb(const std::string& lfn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(lfn);
+  return it == entries_.end() ? 0.0 : it->second.size_mb;
+}
+
+std::size_t ReplicaCatalog::file_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ReplicaCatalog::replica_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [lfn, entry] : entries_) n += entry.locations.size();
+  return n;
+}
+
+}  // namespace moteur::data

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace moteur::data {
+
+/// Tracks which StorageElements hold a copy of which logical files — the
+/// simulated counterpart of the EGEE replica location service. The grid
+/// consults it to price stage-in (a replica on the close SE is local, any
+/// other copy pays the remote penalty) and registers freshly produced
+/// outputs so later jobs can be placed next to their data.
+///
+/// Pure data layer: no grid dependencies, so both data/ and grid/ can link
+/// against it without a cycle.
+class ReplicaCatalog {
+ public:
+  /// Record that `storage_element` holds `lfn` (idempotent per SE).
+  void register_replica(const std::string& lfn, const std::string& storage_element,
+                        double size_mb);
+
+  /// StorageElement names holding `lfn`, registration order. Empty when
+  /// unknown.
+  std::vector<std::string> locate(const std::string& lfn) const;
+
+  /// Does `storage_element` hold a replica of `lfn`?
+  bool has(const std::string& lfn, const std::string& storage_element) const;
+
+  /// Nominal size of `lfn` (0 when unknown).
+  double size_mb(const std::string& lfn) const;
+
+  std::size_t file_count() const;
+  std::size_t replica_count() const;
+
+ private:
+  struct Entry {
+    double size_mb = 0.0;
+    std::vector<std::string> locations;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace moteur::data

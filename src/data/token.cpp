@@ -25,18 +25,24 @@ Token::Token(std::any payload, std::string repr, IndexVector indices,
 
 Token Token::from_source(const std::string& source_name, std::size_t index,
                          std::any payload, std::string repr) {
-  return Token(std::move(payload), std::move(repr), IndexVector{index},
-               Provenance::source(source_name, index));
+  Token token(std::move(payload), std::move(repr), IndexVector{index},
+              Provenance::source(source_name, index));
+  token.digest_ = fnv1a(token.repr_);
+  return token;
 }
 
 Token Token::derived(const std::string& processor, const std::string& port,
                      const std::vector<Token>& inputs, IndexVector indices,
-                     std::any payload, std::string repr) {
+                     std::any payload, std::string repr, std::uint64_t digest,
+                     std::shared_ptr<const DataRef> ref) {
   std::vector<Provenance::Ptr> input_histories;
   input_histories.reserve(inputs.size());
   for (const auto& input : inputs) input_histories.push_back(input.provenance());
-  return Token(std::move(payload), std::move(repr), std::move(indices),
-               Provenance::derived(processor, port, std::move(input_histories)));
+  Token token(std::move(payload), std::move(repr), std::move(indices),
+              Provenance::derived(processor, port, std::move(input_histories)));
+  token.digest_ = digest;
+  token.ref_ = std::move(ref);
+  return token;
 }
 
 Token Token::poisoned(const std::string& processor, const std::string& port,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "data/dataref.hpp"
 #include "data/provenance.hpp"
 
 namespace moteur::data {
@@ -44,13 +45,20 @@ class Token {
   Token(std::any payload, std::string repr, IndexVector indices, Provenance::Ptr provenance);
 
   /// Token for the `index`-th item emitted by workflow source `source_name`.
+  /// The content digest defaults to FNV-1a over `repr`, so source items with
+  /// equal values share a digest (the property replica reuse and invocation
+  /// caching build on).
   static Token from_source(const std::string& source_name, std::size_t index,
                            std::any payload, std::string repr);
 
   /// Token produced on `port` of `processor` from the given input tokens.
+  /// `digest` is the content digest of the produced value (0 = unknown, the
+  /// pre-data-plane behavior); `ref` optionally names the replica written to
+  /// a StorageElement for this value.
   static Token derived(const std::string& processor, const std::string& port,
                        const std::vector<Token>& inputs, IndexVector indices,
-                       std::any payload, std::string repr);
+                       std::any payload, std::string repr, std::uint64_t digest = 0,
+                       std::shared_ptr<const DataRef> ref = nullptr);
 
   /// Poisoned token standing in for the output `port` of `processor` that
   /// was never produced. Provenance derives from `inputs` like a real
@@ -81,6 +89,14 @@ class Token {
 
   bool has_payload() const { return payload_.has_value(); }
 
+  /// Content digest of the carried value (0 = unknown; poisoned tokens have
+  /// no content). Equal digests mean equal content, not equal provenance.
+  std::uint64_t digest() const { return digest_; }
+
+  /// The logical grid file backing this token, when one exists; nullptr for
+  /// in-memory values that were never staged to a StorageElement.
+  const std::shared_ptr<const DataRef>& ref() const { return ref_; }
+
   /// Whether this token is an error marker rather than data.
   bool poisoned() const { return error_ != nullptr; }
   /// Root cause of a poisoned token; nullptr for healthy tokens.
@@ -94,6 +110,8 @@ class Token {
   IndexVector indices_;
   Provenance::Ptr provenance_;
   std::shared_ptr<const TokenError> error_;
+  std::uint64_t digest_ = 0;
+  std::shared_ptr<const DataRef> ref_;
 };
 
 }  // namespace moteur::data

@@ -9,6 +9,7 @@ const char* to_string(OutcomeStatus s) {
     case OutcomeStatus::kDefinitive: return "Definitive";
     case OutcomeStatus::kTimedOut: return "TimedOut";
     case OutcomeStatus::kSkipped: return "Skipped";
+    case OutcomeStatus::kCached: return "Cached";
   }
   return "?";
 }

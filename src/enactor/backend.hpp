@@ -32,6 +32,7 @@ enum class OutcomeStatus {
   kDefinitive,  // semantic failure; retrying cannot help
   kTimedOut,    // no completion before the resubmission deadline
   kSkipped,     // never executed: an input token was poisoned upstream
+  kCached,      // served from the invocation cache; no grid job submitted
 };
 
 const char* to_string(OutcomeStatus s);

@@ -10,13 +10,8 @@
 
 namespace moteur::enactor {
 
-namespace {
-
-/// Folds the structured event stream down to the historical ProgressEvent
-/// vocabulary: one Submitted per attempt, one Completed/Failed per resolved
-/// invocation, Retried/TimedOut for the fault-tolerance path.
-Enactor::EventSubscriber progress_adapter(const Enactor::ProgressListener& listener) {
-  return [&listener](const obs::RunEvent& e) {
+EventSubscriber progress_subscriber(std::function<void(const ProgressEvent&)> listener) {
+  return [listener = std::move(listener)](const obs::RunEvent& e) {
     ProgressEvent p;
     switch (e.kind) {
       case obs::RunEvent::Kind::kAttemptStarted:
@@ -53,8 +48,6 @@ Enactor::EventSubscriber progress_adapter(const Enactor::ProgressListener& liste
   };
 }
 
-}  // namespace
-
 const char* kind_name(ProgressEvent::Kind kind) {
   switch (kind) {
     case ProgressEvent::Kind::kSubmitted: return "Submitted";
@@ -72,25 +65,32 @@ Enactor::Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
                  EnactmentPolicy policy)
     : backend_(backend), registry_(registry), policy_(policy) {}
 
+Enactor::~Enactor() = default;
+
 EnactmentResult Enactor::run(const RunRequest& request) {
   // Assemble this run's subscriber set: explicit subscribers, then the
-  // recorder, then the ProgressEvent adapter — all fed from one stream.
+  // recorder — all fed from one stream.
   std::vector<EventSubscriber> subscribers = subscribers_;
   if (recorder_ != nullptr) {
     subscribers.push_back(
         [recorder = recorder_](const obs::RunEvent& e) { recorder->on_event(e); });
   }
-  if (listener_) subscribers.push_back(progress_adapter(listener_));
 
+  const EnactmentPolicy& effective = request.policy ? *request.policy : policy_;
   Engine::Options options;
   options.run_id = request.name.empty() ? request.workflow.name() : request.name;
+  if (effective.cache) {
+    // The memoization store outlives the run: sequential runs through one
+    // enactor share it, so content-identical repeats hit.
+    if (!cache_) cache_ = std::make_unique<data::InvocationCache>();
+    options.cache = cache_.get();
+  }
 
   // Engines hold shared ownership internally: every callback handed to the
   // backend guards a weak_ptr, so stragglers completing after this run
   // cannot touch a dead engine (see engine.hpp).
   auto engine = std::make_shared<Engine>(
-      backend_, registry_, request.policy ? *request.policy : policy_,
-      request.resolver ? request.resolver : resolver_, std::move(subscribers),
+      backend_, registry_, effective, request.resolver, std::move(subscribers),
       request.workflow, request.inputs, std::move(options));
   engine->start();
 
@@ -105,23 +105,16 @@ EnactmentResult Enactor::run(const RunRequest& request) {
 
   EnactmentResult result = engine->finish();
   MOTEUR_LOG(kInfo, "enactor") << "run '" << request.workflow.name() << "' policy="
-                               << (request.policy ? *request.policy : policy_).name()
+                               << effective.name()
                                << " makespan=" << result.makespan()
                                << "s invocations=" << result.invocations()
                                << " submissions=" << result.submissions()
                                << " retries=" << result.retries()
                                << " timeouts=" << result.timeouts()
                                << " failures=" << result.failures()
-                               << " skipped=" << result.skipped();
+                               << " skipped=" << result.skipped()
+                               << " cache_hits=" << result.cache_hits();
   return result;
-}
-
-EnactmentResult Enactor::run(const workflow::Workflow& workflow,
-                             const data::InputDataSet& inputs) {
-  RunRequest request;
-  request.workflow = workflow;
-  request.inputs = inputs;
-  return run(request);
 }
 
 }  // namespace moteur::enactor

@@ -3,10 +3,12 @@
 #include <any>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/invocation_cache.hpp"
 #include "data/token.hpp"
 #include "enactor/backend.hpp"
 #include "enactor/failure_report.hpp"
@@ -33,6 +35,7 @@ struct EnactmentStats {
   std::size_t retries = 0;      // resubmissions after a transient failure
   std::size_t timeouts = 0;     // watchdog-triggered clone submissions
   std::size_t skipped = 0;      // invocations skipped on poisoned inputs
+  std::size_t cache_hits = 0;   // invocations served from the memoization cache
 };
 
 /// Everything a run produces: the sink data, the full invocation timeline
@@ -58,6 +61,7 @@ struct EnactmentResult {
   std::size_t retries() const { return stats.retries; }
   std::size_t timeouts() const { return stats.timeouts; }
   std::size_t skipped() const { return stats.skipped; }
+  std::size_t cache_hits() const { return stats.cache_hits; }
 
   /// Structured account of lost tuples, skipped invocations and missing sink
   /// outputs. Empty for a clean run; under FailurePolicy::kContinue every
@@ -104,6 +108,14 @@ struct ProgressEvent {
 /// "Failed", "Retried", "TimedOut", "ProcessorFinished", "Skipped").
 const char* kind_name(ProgressEvent::Kind kind);
 
+/// Wrap a ProgressEvent listener as an event-stream subscriber: the adapter
+/// folds the structured obs::RunEvent stream down to the historical
+/// ProgressEvent vocabulary (one Submitted per attempt, one Completed/Failed
+/// per resolved invocation, Retried/TimedOut for the fault-tolerance path).
+/// Register the result with Enactor::add_event_subscriber or
+/// RunRequest::subscribers. The listener is captured by value.
+EventSubscriber progress_subscriber(std::function<void(const ProgressEvent&)> listener);
+
 /// MOTEUR: the optimized service-workflow enactor (paper §4.1). Drives a
 /// workflow over an input data set against an execution backend, applying
 /// the configured combination of workflow parallelism (always), data
@@ -122,31 +134,14 @@ class Enactor {
 
   Enactor(ExecutionBackend& backend, services::ServiceRegistry& registry,
           EnactmentPolicy policy);
+  ~Enactor();
 
   const EnactmentPolicy& policy() const { return policy_; }
 
-  /// Deprecated: prefer RunRequest::policy. Sets the default policy used by
-  /// runs whose request carries none.
-  void set_policy(EnactmentPolicy policy) { policy_ = policy; }
-
-  /// Deprecated: prefer RunRequest::resolver. Sets the default resolver used
-  /// by runs whose request carries none.
-  void set_payload_resolver(PayloadResolver resolver) { resolver_ = std::move(resolver); }
-
-  /// Deprecated: use add_event_subscriber. The ProgressListener has been a
-  /// folded view of the obs::RunEvent stream since the observability
-  /// subsystem landed — registration installs one subscriber whose adapter
-  /// condenses run events down to the historical ProgressEvent kinds, so the
-  /// two mechanisms see the same stream in the same order.
-  using ProgressListener = std::function<void(const ProgressEvent&)>;
-  void set_progress_listener(ProgressListener listener) {
-    listener_ = std::move(listener);
-  }
-
   /// Raw access to the run's structured event stream (see obs/event.hpp).
   /// Subscribers fire synchronously, in registration order, on the thread
-  /// driving the backend; the ProgressListener above is internally one such
-  /// subscriber. Subscribers persist across run() calls.
+  /// driving the backend. Use progress_subscriber() to register a condensed
+  /// ProgressEvent listener. Subscribers persist across run() calls.
   using EventSubscriber = enactor::EventSubscriber;
   void add_event_subscriber(EventSubscriber subscriber) {
     subscribers_.push_back(std::move(subscriber));
@@ -165,19 +160,20 @@ class Enactor {
   /// deadlock or missing bindings.
   EnactmentResult run(const RunRequest& request);
 
-  /// Deprecated shim over run(RunRequest): enact `workflow` over `inputs`
-  /// with this enactor's default policy and resolver. Behavior-identical to
-  /// the historical two-argument API.
-  EnactmentResult run(const workflow::Workflow& workflow, const data::InputDataSet& inputs);
+  /// The invocation memoization cache shared by every run of this enactor,
+  /// allocated lazily by the first run whose effective policy enables
+  /// caching (null until then). Entries persist across run() calls, so a
+  /// second run over content-identical inputs is served without grid jobs.
+  data::InvocationCache* invocation_cache() { return cache_.get(); }
 
  private:
   ExecutionBackend& backend_;
   services::ServiceRegistry& registry_;
   EnactmentPolicy policy_;
-  PayloadResolver resolver_;
-  ProgressListener listener_;
   std::vector<EventSubscriber> subscribers_;
   obs::RunRecorder* recorder_ = nullptr;
+  /// Lazily created, enactor-owned memoization store (see invocation_cache).
+  std::unique_ptr<data::InvocationCache> cache_;
 };
 
 }  // namespace moteur::enactor

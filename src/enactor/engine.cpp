@@ -29,7 +29,8 @@ Engine::Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
       subscribers_(std::move(subscribers)),
       inputs_(std::move(inputs)),
       run_id_(options.run_id.empty() ? workflow.name() : std::move(options.run_id)),
-      shared_health_(options.shared_health) {
+      shared_health_(options.shared_health),
+      cache_(options.cache) {
   workflow.validate();
   workflow_ = policy_.job_grouping
                   ? workflow::group_sequential_processors(workflow, &result_.grouping)
@@ -157,9 +158,15 @@ void Engine::emit_sources() {
     for (std::size_t j = 0; j < items.size(); ++j) {
       std::any payload =
           resolver_ ? resolver_(source->name, j, items[j]) : std::any(items[j]);
-      const data::Token token =
+      data::Token token =
           data::Token::from_source(source->name, j, std::move(payload), items[j]);
-      for (const Link* link : outlets) deliver(*link, token);
+      for (std::size_t k = 0; k < outlets.size(); ++k) {
+        if (k + 1 == outlets.size()) {
+          deliver(*outlets[k], std::move(token));
+        } else {
+          deliver(*outlets[k], token);
+        }
+      }
     }
     state_of(source->name).finished = true;
     MOTEUR_LOG(kDebug, "enactor") << "source '" << source->name << "' emitted "
@@ -167,28 +174,106 @@ void Engine::emit_sources() {
   }
 }
 
-void Engine::deliver(const Link& link, const data::Token& token) {
+void Engine::deliver(const Link& link, data::Token token) {
   PState& consumer = state_of(link.to_processor);
-  data::Token delivered = token;
   if (link.feedback) {
     // A token crossing a feedback link opens a new loop iteration: extend
     // its index with the per-link iteration counter so it cannot collide
     // with the index it carried on the previous pass (dot buffers reject
-    // duplicate indices).
+    // duplicate indices). The rebuilt token drops its content digest:
+    // loop-recirculated data is never memoized.
     data::IndexVector extended = token.indices();
     extended.push_back(++feedback_counters_[&link]);
-    delivered = data::Token(token.payload(), token.repr(), std::move(extended),
-                            token.provenance());
+    token = data::Token(token.payload(), token.repr(), std::move(extended),
+                        token.provenance());
   }
   if (consumer.proc->kind == ProcessorKind::kSink ||
       (consumer.proc->kind == ProcessorKind::kService && consumer.proc->synchronization)) {
-    consumer.collected[link.to_port].push_back(std::move(delivered));
+    consumer.collected[link.to_port].push_back(std::move(token));
     return;
   }
-  consumer.buffer->push(link.to_port, std::move(delivered));
+  consumer.buffer->push(link.to_port, std::move(token));
   for (auto& tuple : consumer.buffer->drain_ready()) {
     consumer.ready.push_back(std::move(tuple));
   }
+}
+
+bool Engine::cacheable(const PState& state) const {
+  // Barrier aggregates are never memoized (their aggregate inputs carry no
+  // content digest), nor are services declaring themselves non-deterministic.
+  return cache_ != nullptr && policy_.cache && state.service != nullptr &&
+         !state.proc->synchronization && state.service->deterministic();
+}
+
+std::string Engine::tuple_cache_key(const PState& state,
+                                    const IterationBuffer::Tuple& tuple) const {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(tuple.tokens.size());
+  for (const auto& token : tuple.tokens) {
+    // A poisoned or undigested input defeats content addressing: the tuple
+    // must run (or be skipped) for real.
+    if (token.poisoned() || token.digest() == 0) return {};
+    digests.push_back(token.digest());
+  }
+  return data::InvocationCache::cache_key(state.service->content_digest(),
+                                          std::move(digests));
+}
+
+bool Engine::try_serve_cached(PState& state, const IterationBuffer::Tuple& tuple) {
+  if (!cacheable(state)) return false;
+  const std::string key = tuple_cache_key(state, tuple);
+  if (key.empty()) return false;
+  auto hit = cache_->lookup(key, run_id_);
+  if (!hit) return false;
+
+  const std::uint64_t id = next_submission_id_++;
+  ++state.fired;
+  const std::size_t codes_per_tuple =
+      state.proc->is_grouped() ? state.proc->group_members.size() : 1;
+  result_.stats.invocations += codes_per_tuple;
+  ++result_.stats.cache_hits;
+
+  InvocationTrace trace;
+  trace.processor = state.proc->name;
+  trace.indices.push_back(tuple.index);
+  const double now = backend_.now();
+  trace.submit_time = now;
+  trace.start_time = now;
+  trace.end_time = now;
+  trace.status = OutcomeStatus::kCached;
+  result_.timeline.add(std::move(trace));
+
+  MOTEUR_LOG(kDebug, "enactor") << "cache hit for '" << state.proc->name << "' on tuple "
+                                << data::to_string(tuple.index);
+  if (observing()) {
+    obs::RunEvent event = make_event(obs::RunEvent::Kind::kCacheHit);
+    event.processor = state.proc->name;
+    event.invocation = id;
+    event.tuples = 1;
+    event.status = to_string(OutcomeStatus::kCached);
+    emit(event);
+  }
+
+  const auto outlets = workflow_.links_out_of(state.proc->name);
+  for (const auto& out : hit->outputs) {
+    if (!state.proc->has_output_port(out.port)) continue;
+    data::Token token =
+        data::Token::derived(state.proc->name, out.port, tuple.tokens, tuple.index,
+                             out.payload, out.repr, out.digest, out.ref);
+    const Link* last = nullptr;
+    for (const Link* link : outlets) {
+      if (link->from_port == out.port) last = link;
+    }
+    for (const Link* link : outlets) {
+      if (link->from_port != out.port) continue;
+      if (link == last) {
+        deliver(*link, std::move(token));
+        break;
+      }
+      deliver(*link, token);
+    }
+  }
+  return true;
 }
 
 bool Engine::can_fire(const PState& state) const {
@@ -267,6 +352,25 @@ bool Engine::dispatch_pass() {
       }
       state.ready = std::move(healthy);
     }
+    if (cacheable(state) && !state.ready.empty()) {
+      // Serve memoized tuples before batching: a hit short-circuits the grid
+      // job entirely and needs no backend capacity, so it bypasses can_fire().
+      // Probing at dispatch rather than arrival lets a tuple parked behind a
+      // capacity limit hit on a result that completed while it waited — the
+      // within-run dedup of repeated inputs. (Misses are counted in fire(),
+      // so re-probing parked tuples never inflates the stats.)
+      std::deque<IterationBuffer::Tuple> misses;
+      while (!state.ready.empty()) {
+        IterationBuffer::Tuple tuple = std::move(state.ready.front());
+        state.ready.pop_front();
+        if (try_serve_cached(state, tuple)) {
+          progress = true;
+        } else {
+          misses.push_back(std::move(tuple));
+        }
+      }
+      state.ready = std::move(misses);
+    }
     while (!state.ready.empty() && can_fire(state)) {
       const std::size_t batch = target_batch(state);
       const bool flush = state.buffer->all_closed();
@@ -299,6 +403,15 @@ void Engine::fire(PState& state, std::vector<IterationBuffer::Tuple> tuples) {
     }
     sub->bindings.push_back(std::move(binding));
   }
+  if (cacheable(state)) {
+    sub->cache_keys.reserve(tuples.size());
+    for (const auto& tuple : tuples) {
+      sub->cache_keys.push_back(tuple_cache_key(state, tuple));
+      // The authoritative miss count: a memoizable tuple that actually
+      // executes missed exactly once, however often it was probed.
+      if (!sub->cache_keys.back().empty()) cache_->note_miss(run_id_);
+    }
+  }
   sub->tuples = std::move(tuples);
   sub->id = next_submission_id_++;
 
@@ -318,7 +431,7 @@ void Engine::fire_barrier(PState& state) {
   services::Inputs binding;
   IterationBuffer::Tuple pseudo_tuple;  // provenance carrier for the outputs
   for (const auto& port : state.proc->input_ports) {
-    auto tokens = state.collected[port];
+    auto tokens = std::move(state.collected[port]);
     // A barrier aggregates over the survivors: poisoned tokens drop out of
     // the stream here (they carry no payload to aggregate).
     tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
@@ -630,16 +743,56 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     if (observing()) {
       emit(make_event(obs::RunEvent::Kind::kInvocationCompleted, *sub, attempt));
     }
+    const bool digesting = cacheable(state);
+    const std::uint64_t service_digest = digesting ? state.service->content_digest() : 0;
+    const auto outlets = workflow_.links_out_of(state.proc->name);
     for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
       const auto& tuple = sub->tuples[i];
-      for (const auto& [port, value] : outcome.results[i].outputs) {
-        if (!state.proc->has_output_port(port)) continue;  // undeclared extra
-        const data::Token token = data::Token::derived(
-            state.proc->name, port, tuple.tokens, tuple.index, value.payload, value.repr);
-        for (const Link* link : workflow_.links_out_of(state.proc->name)) {
-          if (link->from_port == port) deliver(*link, token);
+      // Content chain: output digest = H(service, port, sorted input
+      // digests). Any undigested input breaks the chain (digest 0).
+      std::vector<std::uint64_t> input_digests;
+      bool digested = digesting;
+      if (digested) {
+        input_digests.reserve(tuple.tokens.size());
+        for (const auto& t : tuple.tokens) {
+          if (t.digest() == 0) {
+            digested = false;
+            break;
+          }
+          input_digests.push_back(t.digest());
         }
       }
+      const std::string* key =
+          i < sub->cache_keys.size() && !sub->cache_keys[i].empty() ? &sub->cache_keys[i]
+                                                                   : nullptr;
+      data::CachedInvocation memo;
+      for (const auto& [port, value] : outcome.results[i].outputs) {
+        if (!state.proc->has_output_port(port)) continue;  // undeclared extra
+        const std::uint64_t out_digest =
+            digested ? data::derived_digest(service_digest, port, input_digests) : 0;
+        if (digested && key != nullptr) {
+          memo.outputs.push_back(data::CachedOutput{port, value.payload, value.repr,
+                                                    out_digest, value.ref});
+        }
+        data::Token token =
+            data::Token::derived(state.proc->name, port, tuple.tokens, tuple.index,
+                                 value.payload, value.repr, out_digest, value.ref);
+        const Link* last = nullptr;
+        for (const Link* link : outlets) {
+          if (link->from_port == port) last = link;
+        }
+        for (const Link* link : outlets) {
+          if (link->from_port != port) continue;
+          if (link == last) {
+            deliver(*link, std::move(token));
+            break;
+          }
+          deliver(*link, token);
+        }
+      }
+      // Only complete, successful results reach this point, so a cancelled
+      // run can never leave a half-written entry behind.
+      if (digested && key != nullptr) cache_->insert(*key, std::move(memo), run_id_);
     }
   } else if (outcome.status == OutcomeStatus::kDefinitive) {
     // Semantic failure: retrying cannot help, racing clones are moot.
@@ -834,7 +987,7 @@ EnactmentResult Engine::finish() {
   // Collect sinks, sorted by iteration index. Poisoned tokens never count as
   // outputs: they are tallied in the failure report instead.
   for (const Processor* sink : workflow_.sinks()) {
-    auto tokens = state_of(sink->name).collected["in"];
+    auto tokens = std::move(state_of(sink->name).collected["in"]);
     const auto poisoned_begin =
         std::stable_partition(tokens.begin(), tokens.end(),
                               [](const data::Token& t) { return !t.poisoned(); });

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "data/invocation_cache.hpp"
 #include "enactor/enactor.hpp"
 #include "enactor/run_request.hpp"
 #include "grid/ce_health.hpp"
@@ -46,6 +47,10 @@ class Engine : public std::enable_shared_from_this<Engine> {
     /// null and the policy enables the breaker, the engine owns a per-run
     /// ledger, attaches it for the run and detaches it on destruction.
     grid::CeHealth* shared_health = nullptr;
+    /// Invocation memoization cache consulted before submission when the
+    /// policy enables caching. Shared across runs (and tenants, through the
+    /// RunService); not owned. Null = no caching.
+    data::InvocationCache* cache = nullptr;
   };
 
   /// Validates `workflow` and applies the grouping rewrite per `policy`.
@@ -103,6 +108,10 @@ class Engine : public std::enable_shared_from_this<Engine> {
     std::uint64_t id = 0;  // run-unique invocation id (observability)
     std::vector<workflow::IterationBuffer::Tuple> tuples;
     std::vector<services::Inputs> bindings;
+    /// Invocation-cache key per tuple ("" = not memoizable: caching off,
+    /// non-deterministic service, barrier aggregate, or undigested inputs).
+    /// A successful completion inserts each tuple's result under its key.
+    std::vector<std::string> cache_keys;
     std::size_t attempts_started = 0;
     std::size_t attempts_in_flight = 0;
     std::size_t pending_resubmits = 0;  // backoff timers not yet fired
@@ -113,7 +122,7 @@ class Engine : public std::enable_shared_from_this<Engine> {
 
   void build_states();
   void emit_sources();
-  void deliver(const workflow::Link& link, const data::Token& token);
+  void deliver(const workflow::Link& link, data::Token token);
   /// Dispatch everything firable, then run the closure fixpoint; repeat
   /// until a full pass makes no progress.
   void pump();
@@ -149,6 +158,15 @@ class Engine : public std::enable_shared_from_this<Engine> {
                       const std::shared_ptr<const data::TokenError>& error);
   /// Account for a tuple whose inputs are poisoned: it never executes.
   void skip_tuple(PState& state, workflow::IterationBuffer::Tuple tuple);
+  /// Whether this processor's invocations may be memoized at all.
+  bool cacheable(const PState& state) const;
+  /// Invocation-cache key for one tuple ("" when not memoizable: a poisoned
+  /// or undigested input defeats content addressing).
+  std::string tuple_cache_key(const PState& state,
+                              const workflow::IterationBuffer::Tuple& tuple) const;
+  /// Probe the invocation cache for `tuple`; on a hit, serve the memoized
+  /// outputs without any backend work and return true.
+  bool try_serve_cached(PState& state, const workflow::IterationBuffer::Tuple& tuple);
   /// Whether another attempt may still be launched for this submission.
   bool attempts_left(const Submission& sub) const;
   /// Median backend latency of successful submissions so far (0 if none).
@@ -178,6 +196,7 @@ class Engine : public std::enable_shared_from_this<Engine> {
   data::InputDataSet inputs_;
   std::string run_id_;
   grid::CeHealth* shared_health_ = nullptr;
+  data::InvocationCache* cache_ = nullptr;  // not owned; null = caching off
 
   std::map<std::string, PState> states_;
   std::vector<std::string> topo_order_;

@@ -56,6 +56,8 @@ void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
     node.set_attribute("breakerThreshold", std::to_string(policy.breaker.threshold));
     node.set_attribute("breakerCooldown", std::to_string(policy.breaker.cooldown_seconds));
   }
+  if (policy.cache) node.set_attribute("cache", "true");
+  if (policy.data_aware) node.set_attribute("dataAware", "true");
 }
 
 EnactmentPolicy read_policy(const xml::Node& node) {
@@ -95,6 +97,12 @@ EnactmentPolicy read_policy(const xml::Node& node) {
   }
   if (const auto failure = node.attribute("failurePolicy")) {
     policy.failure_policy = parse_failure_policy(*failure);
+  }
+  if (const auto cache = node.attribute("cache")) {
+    policy.cache = *cache == "true" || *cache == "1";
+  }
+  if (const auto aware = node.attribute("dataAware")) {
+    policy.data_aware = *aware == "true" || *aware == "1";
   }
   if (const auto window = node.attribute("breakerWindow")) {
     policy.breaker.enabled = true;

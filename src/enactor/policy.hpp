@@ -105,6 +105,17 @@ struct EnactmentPolicy {
   /// by default: matchmaking is bit-identical to the pre-breaker enactor.
   grid::BreakerPolicy breaker;
 
+  /// Invocation memoization: consult the shared InvocationCache before
+  /// submitting and serve content-identical repeats without a grid job.
+  /// Off by default (bit-identical to the pre-data-plane enactor).
+  bool cache = false;
+
+  /// Data-aware matchmaking: the broker ranks CEs by estimated stage-in
+  /// cost from the ReplicaCatalog on top of queue estimates. Consumed by
+  /// whoever builds the grid backend (the CLI / benches); the engine itself
+  /// ignores it. Off by default.
+  bool data_aware = false;
+
   /// Effective concurrent-invocation bound per service.
   std::size_t service_capacity() const;
 

@@ -1,5 +1,10 @@
 #include "enactor/sim_backend.hpp"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataref.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -14,12 +19,42 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
   // accumulate, the middleware overhead is paid once.
   grid::JobRequest request;
   request.name = service->id();
+  // With a catalog attached, each input becomes a per-file reference the
+  // grid stages individually (local replicas are cheap, remote ones pay the
+  // penalty). The references fully replace the aggregate input_megabytes in
+  // the staging plan, so the fallback stays authoritative when any token
+  // lacks a digest.
+  bool refs_complete = catalog_ != nullptr;
+  std::vector<double> output_mb_per_binding;
+  output_mb_per_binding.reserve(bindings.size());
   for (const auto& binding : bindings) {
     const grid::JobRequest profile = service->job_profile(binding);
     request.compute_seconds += profile.compute_seconds;
     request.input_megabytes += profile.input_megabytes;
     request.output_megabytes += profile.output_megabytes;
+    output_mb_per_binding.push_back(profile.output_megabytes);
+    if (refs_complete) {
+      const double per_token =
+          binding.empty() ? 0.0
+                          : profile.input_megabytes / static_cast<double>(binding.size());
+      for (const auto& [port, token] : binding) {
+        if (token.ref() != nullptr) {
+          request.input_refs.push_back(
+              grid::DataStageRef{token.ref()->logical_name, token.ref()->size_mb});
+        } else if (token.digest() != 0) {
+          // Refless but digested (a source item): its bytes live at the
+          // default storage element until replicated elsewhere.
+          const std::string lfn = "lfn://" + data::digest_hex(token.digest());
+          catalog_->register_replica(lfn, grid_.close_storage_name(std::string()),
+                                     per_token);
+          request.input_refs.push_back(grid::DataStageRef{lfn, per_token});
+        } else {
+          refs_complete = false;  // aggregate/undigested input: no file plan
+        }
+      }
+    }
   }
+  if (!refs_complete) request.input_refs.clear();
   if (bindings.size() > 1) {
     request.name += "[x" + std::to_string(bindings.size()) + "]";
   }
@@ -29,6 +64,7 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
   const double submit_time = grid_.simulator().now();
   grid_.submit(request, [this, service = std::move(service),
                          bindings = std::move(bindings), on_complete = std::move(on_complete),
+                         output_mb_per_binding = std::move(output_mb_per_binding),
                          submit_time](const grid::JobRecord& record) {
     --in_flight_;
     if (metrics_ != nullptr) {
@@ -51,8 +87,40 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
     outcome.job = record;
     if (record.state == grid::JobState::kDone) {
       outcome.results.reserve(bindings.size());
-      for (const auto& binding : bindings) {
-        outcome.results.push_back(service->synthesize_outputs(binding));
+      const bool make_refs = catalog_ != nullptr && service->deterministic();
+      const std::uint64_t service_digest = make_refs ? service->content_digest() : 0;
+      for (std::size_t i = 0; i < bindings.size(); ++i) {
+        services::Result result = service->synthesize_outputs(bindings[i]);
+        // Stage-out bookkeeping: each produced output becomes a replica at
+        // the executing CE's close storage element, addressed by its content
+        // chain (H(service, port, sorted input digests)), so repeats of the
+        // same content share the same logical file.
+        if (make_refs) {
+          std::vector<std::uint64_t> input_digests;
+          input_digests.reserve(bindings[i].size());
+          bool digested = true;
+          for (const auto& [port, token] : bindings[i]) {
+            if (token.digest() == 0) {
+              digested = false;
+              break;
+            }
+            input_digests.push_back(token.digest());
+          }
+          if (digested && !result.outputs.empty()) {
+            const double mb_per_output =
+                output_mb_per_binding[i] / static_cast<double>(result.outputs.size());
+            const std::string& se = grid_.close_storage_name(record.computing_element);
+            for (auto& [port, value] : result.outputs) {
+              const std::uint64_t digest =
+                  data::derived_digest(service_digest, port, input_digests);
+              const std::string lfn = "lfn://" + data::digest_hex(digest);
+              catalog_->register_replica(lfn, se, mb_per_output);
+              value.ref = std::make_shared<const data::DataRef>(
+                  data::DataRef{lfn, mb_per_output, digest});
+            }
+          }
+        }
+        outcome.results.push_back(std::move(result));
       }
     } else {
       // Middleware/site faults are transient by nature: a resubmission draws

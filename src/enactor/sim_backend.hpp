@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "data/replica_catalog.hpp"
 #include "enactor/backend.hpp"
 #include "grid/grid.hpp"
 
@@ -42,8 +43,23 @@ class SimGridBackend : public ExecutionBackend {
 
   std::size_t jobs_submitted() const { return jobs_submitted_; }
 
+  /// Attach (or detach, with nullptr) the replica catalog that turns the
+  /// data plane on, forwarding it to the grid. With a catalog, jobs carry
+  /// per-file input references (token DataRefs, or references fabricated
+  /// from content digests and seeded at the default storage element),
+  /// successful jobs register their produced outputs as replicas at the
+  /// executing CE's close storage element, and output values carry DataRefs
+  /// back to the enactor. Not owned; without a catalog the backend is
+  /// bit-identical to the pre-data-plane code.
+  void set_catalog(data::ReplicaCatalog* catalog) {
+    catalog_ = catalog;
+    grid_.set_catalog(catalog);
+  }
+  data::ReplicaCatalog* catalog() const { return catalog_; }
+
  private:
   grid::Grid& grid_;
+  data::ReplicaCatalog* catalog_ = nullptr;  // not owned
   obs::MetricsRegistry* metrics_ = nullptr;
   std::size_t jobs_submitted_ = 0;
   std::size_t in_flight_ = 0;

@@ -22,10 +22,12 @@ std::string csv_escape(const std::string& field) {
 
 }  // namespace
 
-std::string timeline_to_csv(const Timeline& timeline) {
+std::string timeline_to_csv(const Timeline& timeline, bool data_plane_columns) {
   std::ostringstream os;
   os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
-        "superseded,status,skipped\n";
+        "superseded,status,skipped";
+  if (data_plane_columns) os << ",stagein_mb,stagein_remote_mb,stage_se";
+  os << '\n';
   auto traces = timeline.traces();
   std::sort(traces.begin(), traces.end(),
             [](const InvocationTrace& a, const InvocationTrace& b) {
@@ -40,7 +42,14 @@ std::string timeline_to_csv(const Timeline& timeline) {
        << ',' << csv_escape(trace.job ? trace.job->computing_element : std::string())
        << ',' << (trace.failed ? "1" : "0") << ',' << trace.attempt << ','
        << (trace.superseded ? "1" : "0") << ',' << to_string(trace.status) << ','
-       << (trace.skipped ? "1" : "0") << '\n';
+       << (trace.skipped ? "1" : "0");
+    if (data_plane_columns) {
+      os << ',' << (trace.job ? format_fixed(trace.job->staged_in_megabytes, 3) : std::string())
+         << ','
+         << (trace.job ? format_fixed(trace.job->remote_input_megabytes, 3) : std::string())
+         << ',' << csv_escape(trace.job ? trace.job->staging_element : std::string());
+    }
+    os << '\n';
   }
   // Breaker state changes ride along as pseudo-rows: processor "(breaker)",
   // the CE in the site column, the target state in the status column.

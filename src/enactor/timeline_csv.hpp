@@ -10,6 +10,11 @@ namespace moteur::enactor {
 /// invocation): processor, data label, submit/start/end times, span,
 /// overhead, computing element, failed flag. Fields containing commas or
 /// quotes are quoted per RFC 4180.
-std::string timeline_to_csv(const Timeline& timeline);
+///
+/// `data_plane_columns` appends stagein_mb, stagein_remote_mb and stage_se
+/// (the per-job staging totals and the storage element staged through) —
+/// opt-in so the default export stays bit-identical to the pre-data-plane
+/// format. Cached rows carry no job and leave them empty.
+std::string timeline_to_csv(const Timeline& timeline, bool data_plane_columns = false);
 
 }  // namespace moteur::enactor

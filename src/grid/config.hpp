@@ -34,6 +34,16 @@ struct LatencyModel {
   double mean() const;
 };
 
+/// One storage element of a multi-SE grid (data plane). The default grid
+/// still runs a single implicit "se0" built from the GridConfig transfer_*
+/// fields; listing storage elements here adds named SEs next to it.
+struct StorageElementConfig {
+  std::string name;
+  double transfer_latency_seconds = 0.0;
+  double transfer_bandwidth_mb_per_s = 1e12;
+  std::size_t channels = 64;
+};
+
 /// One computing-element site.
 struct ComputingElementConfig {
   std::string name;
@@ -52,6 +62,9 @@ struct ComputingElementConfig {
   /// (flaky sites); negative inherits the grid-wide
   /// GridConfig::failure_probability.
   double failure_probability = -1.0;
+  /// Name of the StorageElement this site stages data through (data plane).
+  /// Empty = the grid's default SE.
+  std::string close_storage_element;
 };
 
 /// Full description of a simulated infrastructure.
@@ -89,6 +102,17 @@ struct GridConfig {
   /// Wide-area transfer model: seconds = latency + megabytes / bandwidth.
   double transfer_latency_seconds = 0.0;
   double transfer_bandwidth_mb_per_s = 1e12;  // effectively instant by default
+
+  /// Additional named StorageElements (data plane); empty = single default
+  /// SE, the pre-data-plane behavior.
+  std::vector<StorageElementConfig> storage_elements;
+  /// Megabyte multiplier for staging a file whose replicas all live on other
+  /// SEs (the wide-area hop to pull it to the close SE first).
+  double remote_transfer_penalty = 1.0;
+  /// Rank candidate CEs by estimated stage-in cost from the ReplicaCatalog
+  /// on top of their queue estimate (off = blind matchmaking, bit-identical
+  /// to the pre-data-plane broker).
+  bool data_aware_matchmaking = false;
 
   /// Speculative resubmission against the heavy latency tail (the dynamic
   /// optimization direction of the paper's ref [12]): if a job has not

@@ -32,7 +32,18 @@ Grid::Grid(sim::Simulator& simulator, GridConfig config)
                config_.transfer_bandwidth_mb_per_s) {
   MOTEUR_REQUIRE(!config_.computing_elements.empty(), ExecutionError,
                  "grid config has no computing elements");
+  storage_by_name_[storage_.name()] = &storage_;
+  for (const auto& se_config : config_.storage_elements) {
+    auto se = std::make_unique<StorageElement>(
+        simulator, se_config.name, se_config.transfer_latency_seconds,
+        se_config.transfer_bandwidth_mb_per_s, se_config.channels);
+    storage_by_name_[se->name()] = se.get();
+    extra_storage_.push_back(std::move(se));
+  }
   for (const auto& ce_config : config_.computing_elements) {
+    auto close = storage_by_name_.find(ce_config.close_storage_element);
+    close_storage_[ce_config.name] =
+        close == storage_by_name_.end() ? &storage_ : close->second;
     broker_.add_computing_element(
         std::make_unique<ComputingElement>(simulator, ce_config, rng_));
   }
@@ -82,14 +93,60 @@ void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
         OverheadModel::sample(config_.ui_submission_latency, ui_rng_);
     simulator_.schedule(ui_seconds, [this, job] {
       ui_.release();
-      broker_.submit([this, job](ComputingElement& ce) {
-        job->record.match_time = simulator_.now();
-        job->record.state = JobState::kScheduled;
-        job->record.computing_element = ce.name();
-        enter_site(job, ce);
-      });
+      ResourceBroker::StageInEstimator stage_in;
+      if (catalog_ != nullptr && config_.data_aware_matchmaking &&
+          !job->request.input_refs.empty()) {
+        stage_in = [this, job](const ComputingElement& ce) {
+          return stage_in_estimate_seconds(job->request, ce.name());
+        };
+      }
+      broker_.submit(
+          [this, job](ComputingElement& ce) {
+            job->record.match_time = simulator_.now();
+            job->record.state = JobState::kScheduled;
+            job->record.computing_element = ce.name();
+            enter_site(job, ce);
+          },
+          std::move(stage_in));
     });
   });
+}
+
+StorageElement& Grid::close_storage(const std::string& ce_name) {
+  auto it = close_storage_.find(ce_name);
+  return it == close_storage_.end() ? storage_ : *it->second;
+}
+
+const std::string& Grid::close_storage_name(const std::string& ce_name) {
+  return close_storage(ce_name).name();
+}
+
+Grid::StagePlan Grid::plan_stage_in(const JobRequest& request,
+                                    const std::string& ce_name) const {
+  StagePlan plan;
+  if (catalog_ == nullptr || request.input_refs.empty()) {
+    plan.effective_megabytes = request.input_megabytes;
+    return plan;
+  }
+  auto close = close_storage_.find(ce_name);
+  const std::string& se_name =
+      close == close_storage_.end() ? storage_.name() : close->second->name();
+  for (const auto& ref : request.input_refs) {
+    if (catalog_->has(ref.logical_name, se_name)) {
+      plan.effective_megabytes += ref.megabytes;
+    } else {
+      plan.effective_megabytes += ref.megabytes * config_.remote_transfer_penalty;
+      plan.remote_megabytes += ref.megabytes;
+    }
+  }
+  return plan;
+}
+
+double Grid::stage_in_estimate_seconds(const JobRequest& request,
+                                       const std::string& ce_name) {
+  if (catalog_ == nullptr) return 0.0;
+  const StagePlan plan = plan_stage_in(request, ce_name);
+  return close_storage(ce_name).nominal_seconds(plan.effective_megabytes);
 }
 
 void Grid::enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce) {
@@ -113,13 +170,16 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
                                << " (payload x" << config_.stuck_job_factor << ")";
   }
 
+  StorageElement& se = close_storage(ce.name());
+  const StagePlan stage = plan_stage_in(job->request, ce.name());
+
   if (overhead_.sample_failure(ce.failure_probability())) {
     // The attempt dies partway through: it wastes worker time, then either
     // resubmits (fresh overhead draw — the paper's "D0 was submitted twice"
     // scenario) or gives up.
     const double wasted =
         config_.failure_detection_fraction *
-        (storage_.nominal_seconds(job->request.input_megabytes) + payload_seconds);
+        (se.nominal_seconds(stage.effective_megabytes) + payload_seconds);
     simulator_.schedule(wasted, [this, job, &ce] {
       ce.release_slot();
       --job->in_flight_attempts;
@@ -146,17 +206,20 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
     return;
   }
   job->record.state = JobState::kTransferringIn;
-  storage_.transfer(job->request.input_megabytes, [this, job, &ce,
-                                                   payload_seconds](double in_seconds) {
+  se.transfer(stage.effective_megabytes, [this, job, &ce, &se, stage,
+                                          payload_seconds](double in_seconds) {
     if (job->completed) {
       ce.release_slot();
       --job->in_flight_attempts;
       return;
     }
     job->record.input_transfer_seconds += in_seconds;
+    job->record.staging_element = se.name();
+    job->record.staged_in_megabytes += stage.effective_megabytes;
+    job->record.remote_input_megabytes += stage.remote_megabytes;
     job->record.state = JobState::kRunning;
     job->record.run_start_time = simulator_.now();
-    simulator_.schedule(payload_seconds, [this, job, &ce] {
+    simulator_.schedule(payload_seconds, [this, job, &ce, &se] {
       if (job->completed) {
         ce.release_slot();
         --job->in_flight_attempts;
@@ -164,7 +227,7 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
       }
       job->record.run_end_time = simulator_.now();
       job->record.state = JobState::kTransferringOut;
-      storage_.transfer(job->request.output_megabytes, [this, job, &ce](double out_seconds) {
+      se.transfer(job->request.output_megabytes, [this, job, &ce](double out_seconds) {
         ce.release_slot();
         --job->in_flight_attempts;
         if (job->completed) return;  // a racing clone won; discard this result
@@ -184,6 +247,14 @@ void Grid::finish(const std::shared_ptr<PendingJob>& job, JobState final_state) 
     ++stats_.done;
     stats_.overhead_seconds.add(job->record.overhead_seconds());
     stats_.total_seconds.add(job->record.total_seconds());
+    if (catalog_ != nullptr && !job->request.input_refs.empty()) {
+      // After a successful stage-in the close SE holds a copy of every input
+      // file: register the replicas so later jobs can be placed next to them.
+      const std::string& se_name = close_storage_name(job->record.computing_element);
+      for (const auto& ref : job->request.input_refs) {
+        catalog_->register_replica(ref.logical_name, se_name, ref.megabytes);
+      }
+    }
   } else {
     ++stats_.failed;
   }

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "data/replica_catalog.hpp"
 #include "grid/background_load.hpp"
 #include "grid/config.hpp"
 #include "grid/job.hpp"
@@ -44,6 +47,25 @@ class Grid {
   void add_health(CeHealth* health) { broker_.add_health(health); }
   void remove_health(CeHealth* health) { broker_.remove_health(health); }
 
+  /// Attach (or detach, with nullptr) the replica catalog that turns the
+  /// data plane on: jobs with input_refs stage each file through the chosen
+  /// CE's close StorageElement (remote replicas pay the penalty), successful
+  /// jobs register their inputs as fresh replicas there, and — with
+  /// GridConfig::data_aware_matchmaking — the broker ranks CEs by estimated
+  /// stage-in cost. Not owned. Without a catalog the grid behaves
+  /// bit-identically to the pre-data-plane code.
+  void set_catalog(data::ReplicaCatalog* catalog) { catalog_ = catalog; }
+  data::ReplicaCatalog* catalog() const { return catalog_; }
+
+  /// The StorageElement a CE stages through (the default SE when the site
+  /// does not name one).
+  StorageElement& close_storage(const std::string& ce_name);
+  const std::string& close_storage_name(const std::string& ce_name);
+
+  /// Estimated stage-in seconds for `request` if matched to `ce_name`,
+  /// priced from the catalog's replica locations (0 without a catalog).
+  double stage_in_estimate_seconds(const JobRequest& request, const std::string& ce_name);
+
   /// Records of all completed (done or failed) jobs, completion order.
   const std::vector<JobRecord>& completed_jobs() const { return completed_; }
 
@@ -67,6 +89,12 @@ class Grid {
     int clones_launched = 0;     // speculative copies started so far
   };
 
+  struct StagePlan {
+    double effective_megabytes = 0.0;  // penalty applied to remote refs
+    double remote_megabytes = 0.0;     // pre-penalty size of remote refs
+  };
+  StagePlan plan_stage_in(const JobRequest& request, const std::string& ce_name) const;
+
   void start_attempt(const std::shared_ptr<PendingJob>& job);
   void arm_speculative_watchdog(const std::shared_ptr<PendingJob>& job);
   void enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce);
@@ -81,7 +109,11 @@ class Grid {
   sim::Resource ui_;
   Rng ui_rng_;
   ResourceBroker broker_;
-  StorageElement storage_;
+  StorageElement storage_;  // the default SE ("se0")
+  std::vector<std::unique_ptr<StorageElement>> extra_storage_;
+  std::map<std::string, StorageElement*> storage_by_name_;
+  std::map<std::string, StorageElement*> close_storage_;  // CE name -> SE
+  data::ReplicaCatalog* catalog_ = nullptr;               // not owned
   std::unique_ptr<BackgroundLoad> background_;
   JobId next_job_id_ = 1;
   std::vector<JobRecord> completed_;

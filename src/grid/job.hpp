@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
@@ -25,6 +26,15 @@ enum class JobState {
 
 const char* to_string(JobState s);
 
+/// One logical input file a job must stage in before running. When a
+/// ReplicaCatalog is attached to the grid, per-file staging replaces the
+/// aggregate `input_megabytes` cost: files replicated on the chosen CE's
+/// close StorageElement are local, everything else pays the remote penalty.
+struct DataStageRef {
+  std::string logical_name;
+  double megabytes = 0.0;
+};
+
 /// What the caller asks the grid to run. `compute_seconds` is wall time on a
 /// reference worker node; actual duration scales with the node speed factor.
 struct JobRequest {
@@ -32,6 +42,8 @@ struct JobRequest {
   double compute_seconds = 0.0;
   double input_megabytes = 0.0;
   double output_megabytes = 0.0;
+  /// Per-file stage-in plan (data plane; empty = charge input_megabytes).
+  std::vector<DataStageRef> input_refs;
 };
 
 /// Full trace of one grid job, including every latency component. All times
@@ -52,6 +64,13 @@ struct JobRecord {
 
   double input_transfer_seconds = 0.0;
   double output_transfer_seconds = 0.0;
+
+  /// Data plane (catalog attached): which StorageElement staged the data and
+  /// how many megabytes moved, split by replica locality. Remote megabytes
+  /// are pre-penalty sizes of the refs that had no close replica.
+  std::string staging_element;
+  double staged_in_megabytes = 0.0;
+  double remote_input_megabytes = 0.0;
 
   /// Total wall time from submission to completion.
   double total_seconds() const { return completion_time - submit_time; }

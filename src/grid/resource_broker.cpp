@@ -25,12 +25,15 @@ void ResourceBroker::remove_health(CeHealth* health) {
   health_.erase(std::remove(health_.begin(), health_.end(), health), health_.end());
 }
 
-ComputingElement& ResourceBroker::match() {
+ComputingElement& ResourceBroker::match(const StageInEstimator& stage_in) {
   MOTEUR_REQUIRE(!ces_.empty(), ExecutionError, "resource broker has no computing elements");
   const double now = simulator_.now();
   const auto admissible = [&](const std::string& name) {
     return std::all_of(health_.begin(), health_.end(),
                        [&](CeHealth* h) { return h->admissible(name, now); });
+  };
+  const auto effective_rank = [&](const ComputingElement& ce) {
+    return ce.rank_estimate() + (stage_in ? stage_in(ce) : 0.0);
   };
   bool excluded_any = false;
   double best_rank = 0.0;
@@ -40,7 +43,7 @@ ComputingElement& ResourceBroker::match() {
       excluded_any = true;
       continue;
     }
-    const double rank = ce->rank_estimate();
+    const double rank = effective_rank(*ce);
     if (best.empty() || rank < best_rank) {
       best_rank = rank;
       best = {ce.get()};
@@ -53,7 +56,7 @@ ComputingElement& ResourceBroker::match() {
     // rather than stranding the submission.
     excluded_any = false;
     for (const auto& ce : ces_) {
-      const double rank = ce->rank_estimate();
+      const double rank = effective_rank(*ce);
       if (best.empty() || rank < best_rank) {
         best_rank = rank;
         best = {ce.get()};
@@ -75,22 +78,26 @@ ComputingElement& ResourceBroker::match() {
   return *chosen;
 }
 
-void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched) {
+void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched,
+                            StageInEstimator stage_in) {
   // The submission occupies a pipeline slot for a fraction of the UI->RB
   // latency (the broker's actual processing); the rest of the latency and
   // the matchmaking delay do not hold the slot. Submission bursts beyond
   // the pipeline concurrency therefore queue — the "increasing load of the
   // middleware services" the paper observes — without the full latency
   // serializing.
-  pipeline_.acquire([this, on_matched = std::move(on_matched)]() mutable {
+  pipeline_.acquire([this, on_matched = std::move(on_matched),
+                     stage_in = std::move(stage_in)]() mutable {
     const double submission = overhead_.sample_submission();
     const double occupancy = occupancy_fraction_ * submission;
     simulator_.schedule(occupancy, [this, submission, occupancy,
-                                    on_matched = std::move(on_matched)]() mutable {
+                                    on_matched = std::move(on_matched),
+                                    stage_in = std::move(stage_in)]() mutable {
       pipeline_.release();
       const double remaining = submission - occupancy + overhead_.sample_scheduling();
-      simulator_.schedule(remaining, [this, on_matched = std::move(on_matched)] {
-        on_matched(match());
+      simulator_.schedule(remaining, [this, on_matched = std::move(on_matched),
+                                      stage_in = std::move(stage_in)] {
+        on_matched(match(stage_in));
       });
     });
   });

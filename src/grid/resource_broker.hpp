@@ -23,11 +23,18 @@ class ResourceBroker {
   ResourceBroker(sim::Simulator& simulator, OverheadModel& overhead,
                  std::size_t concurrency, double occupancy_fraction, const Rng& base);
 
+  /// Extra per-CE cost (seconds) added to the queue-based rank during
+  /// matchmaking — the data-aware hook: the grid estimates stage-in time
+  /// from the ReplicaCatalog. Null = blind matchmaking (identical ranking
+  /// and identical tie-break RNG draws to the pre-data-plane broker).
+  using StageInEstimator = std::function<double(const ComputingElement&)>;
+
   void add_computing_element(std::unique_ptr<ComputingElement> ce);
 
   /// Accept a submission; `on_matched(ce)` fires once matchmaking finishes
   /// and a destination CE is chosen.
-  void submit(std::function<void(ComputingElement&)> on_matched);
+  void submit(std::function<void(ComputingElement&)> on_matched,
+              StageInEstimator stage_in = nullptr);
 
   const std::vector<std::unique_ptr<ComputingElement>>& computing_elements() const {
     return ces_;
@@ -36,8 +43,9 @@ class ResourceBroker {
   /// Pick the best-ranked CE right now (ties broken uniformly at random).
   /// With health ledgers attached, CEs vetoed by ANY ledger are excluded
   /// (half-open probes admitted per CeHealth); if every CE is excluded the
-  /// full set is used, so submissions never starve.
-  ComputingElement& match();
+  /// full set is used, so submissions never starve. With a stage-in
+  /// estimator, the effective rank is queue estimate + stage-in seconds.
+  ComputingElement& match(const StageInEstimator& stage_in = nullptr);
 
   /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger
   /// consulted during matchmaking, displacing any ledgers already attached.

@@ -33,6 +33,7 @@ struct RunEvent {
     kBreakerHalfOpen,      // cooldown elapsed; a probe submission is routed
     kBreakerClosed,        // probe succeeded; the CE rejoined routing
     kSubmissionRerouted,   // matchmaking excluded at least one open CE
+    kCacheHit,             // served from the invocation cache; no grid job
   };
 
   Kind kind = Kind::kRunStarted;

@@ -19,6 +19,7 @@ const char* to_string(RunEvent::Kind kind) {
     case RunEvent::Kind::kBreakerHalfOpen: return "BreakerHalfOpen";
     case RunEvent::Kind::kBreakerClosed: return "BreakerClosed";
     case RunEvent::Kind::kSubmissionRerouted: return "SubmissionRerouted";
+    case RunEvent::Kind::kCacheHit: return "CacheHit";
   }
   return "?";
 }
@@ -36,6 +37,8 @@ RunRecorder::RunRecorder() {
                                "Invocations skipped after consuming a poisoned token");
   rerouted_ = &metrics_.counter("moteur_submissions_rerouted_total",
                                 "Submissions whose matchmaking excluded an open breaker");
+  cache_hits_ = &metrics_.counter("moteur_cache_hits_total",
+                                  "Invocations served from the memoization cache");
   tuples_in_flight_ = &metrics_.gauge("moteur_tuples_in_flight",
                                       "Data tuples currently handed to the backend");
   makespan_ =
@@ -120,6 +123,8 @@ void RunRecorder::on_event(const RunEvent& event) {
                                         "Backend executions launched, per run", by_run);
       c.makespan = &metrics_.gauge("moteur_run_makespan_seconds",
                                    "Total execution time Sigma, per run", by_run);
+      c.cache_hits = &metrics_.counter("moteur_run_cache_hits_total",
+                                       "Invocations served from the cache, per run", by_run);
       break;
     }
 
@@ -292,6 +297,31 @@ void RunRecorder::on_event(const RunEvent& event) {
 
     case RunEvent::Kind::kSubmissionRerouted: {
       rerouted_->inc();
+      break;
+    }
+
+    case RunEvent::Kind::kCacheHit: {
+      RunCtx& c = ctx(event.run_id);
+      // Zero-length span under the processor, so hits show up in the tree
+      // without a backend attempt beneath them.
+      auto [it, inserted] = c.processor_spans.try_emplace(event.processor, 0);
+      if (inserted) {
+        it->second = tracer_.begin(event.processor, "processor", event.time, c.run_span);
+      }
+      const SpanId span = tracer_.record(
+          event.processor + " #" + std::to_string(event.invocation) + " (cached)",
+          "invocation", event.time, event.time, it->second);
+      tracer_.annotate(span, "cached", "true");
+      // A hit completes logical invocations without a kInvocationCompleted:
+      // fold the delta into the invocation counters here.
+      const auto delta =
+          static_cast<double>(event.total_invocations - c.last_total_invocations);
+      invocations_->inc(delta);
+      if (c.invocations != nullptr) c.invocations->inc(delta);
+      c.last_total_invocations = event.total_invocations;
+      processor_tuples(event.processor).inc(static_cast<double>(event.tuples));
+      cache_hits_->inc();
+      if (c.cache_hits != nullptr) c.cache_hits->inc();
       break;
     }
   }

@@ -61,6 +61,7 @@ class RunRecorder {
     // Per-run labelled series, resolved once at kRunStarted.
     Counter* invocations = nullptr;
     Counter* submissions = nullptr;
+    Counter* cache_hits = nullptr;
     Gauge* makespan = nullptr;
   };
 
@@ -87,6 +88,7 @@ class RunRecorder {
   Counter* tuples_lost_ = nullptr;
   Counter* skipped_ = nullptr;
   Counter* rerouted_ = nullptr;
+  Counter* cache_hits_ = nullptr;
   Gauge* tuples_in_flight_ = nullptr;
   Gauge* makespan_ = nullptr;
   std::map<std::string, CeSeries> ce_series_;

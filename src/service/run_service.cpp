@@ -147,6 +147,11 @@ struct RunService::Impl {
   /// waiting run never observes.
   std::unique_ptr<grid::CeHealth> shared_health;
 
+  /// One service-owned invocation cache shared by every run (created lazily
+  /// from the first cache-enabled policy): tenants submitting content-
+  /// identical work benefit from each other's completed invocations.
+  std::unique_ptr<data::InvocationCache> shared_cache;
+
   // Set before the first submit (contract); read by the worker only.
   std::vector<enactor::EventSubscriber> subscribers;
   obs::RunRecorder* recorder = nullptr;
@@ -266,6 +271,11 @@ struct RunService::Impl {
     backend.add_health(shared_health.get());
   }
 
+  void ensure_cache(const enactor::EnactmentPolicy& policy) {
+    if (shared_cache != nullptr || !policy.cache) return;
+    shared_cache = std::make_unique<data::InvocationCache>();
+  }
+
   /// Move a record to a terminal state and publish the result.
   void finish_record(const std::shared_ptr<RunRecord>& rec, RunState state,
                      enactor::EnactmentResult result, std::string error) {
@@ -290,6 +300,7 @@ struct RunService::Impl {
   bool admit(const std::shared_ptr<RunRecord>& rec) {
     ensure_instruments();
     ensure_health(effective_policy(*rec));
+    ensure_cache(effective_policy(*rec));
     if (admission_wait != nullptr && rec->queued_backend_at >= 0.0) {
       admission_wait->observe(backend.now() - rec->queued_backend_at);
     }
@@ -303,6 +314,7 @@ struct RunService::Impl {
     enactor::Engine::Options options;
     options.run_id = rec->id;
     options.shared_health = shared_health.get();
+    if (effective_policy(*rec).cache) options.cache = shared_cache.get();
     try {
       rec->engine = std::make_shared<enactor::Engine>(
           *rec->gated, registry, effective_policy(*rec), rec->request.resolver,
@@ -501,6 +513,10 @@ void RunService::add_event_subscriber(enactor::EventSubscriber subscriber) {
 
 void RunService::set_recorder(obs::RunRecorder* recorder) {
   impl_->recorder = recorder;
+}
+
+data::InvocationCache* RunService::invocation_cache() {
+  return impl_->shared_cache.get();
 }
 
 void RunService::wait_idle() {

@@ -120,6 +120,12 @@ class RunService {
   /// series. Call before submitting; not owned.
   void set_recorder(obs::RunRecorder* recorder);
 
+  /// The invocation cache shared by every cache-enabled run of this service
+  /// (created lazily by the first such run; null until then). Per-run
+  /// hit/miss statistics are keyed by run id — see
+  /// data::InvocationCache::stats.
+  data::InvocationCache* invocation_cache();
+
   /// Block until no run is queued or active.
   void wait_idle();
 

@@ -45,12 +45,18 @@ class FunctionalService : public Service {
   /// Declare a single-host capacity limit (0 = unlimited).
   void set_max_concurrent_invocations(std::size_t limit) { max_concurrent_ = limit; }
 
+  bool deterministic() const override { return deterministic_; }
+  /// Declare the callable non-deterministic (hidden state, randomness):
+  /// excludes it from invocation-cache memoization.
+  void set_deterministic(bool deterministic) { deterministic_ = deterministic; }
+
  private:
   std::vector<std::string> input_ports_;
   std::vector<std::string> output_ports_;
   InvokeFn invoke_;
   ProfileFn profile_;
   std::size_t max_concurrent_ = 0;
+  bool deterministic_ = true;
 };
 
 /// Convenience: a service that produces synthesized outputs and only exists

@@ -1,6 +1,12 @@
 #include "services/service.hpp"
 
+#include "data/dataref.hpp"
+
 namespace moteur::services {
+
+std::uint64_t Service::content_digest() const {
+  return data::fnv1a("service:" + id_);
+}
 
 Result Service::synthesize_outputs(const Inputs& inputs) const {
   // Build a stable pseudo-GFN from the lineage of the inputs so repeated

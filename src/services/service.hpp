@@ -1,7 +1,9 @@
 #pragma once
 
 #include <any>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,9 +16,12 @@ namespace moteur::services {
 using Inputs = std::map<std::string, data::Token>;
 
 /// One produced output value (payload plus a short human-readable form).
+/// `ref` optionally names the replica the backend staged to a
+/// StorageElement for this value (data plane; null for in-memory results).
 struct OutputValue {
   std::any payload;
   std::string repr;
+  std::shared_ptr<const data::DataRef> ref;
 };
 
 /// Result of one invocation. Only the ports actually produced appear — a
@@ -70,6 +75,17 @@ class Service {
   /// Outputs for a simulated run (no real payload executed). The default
   /// emits a GFN-like string on every output port.
   virtual Result synthesize_outputs(const Inputs& inputs) const;
+
+  /// Whether equal inputs always produce equal outputs. Only deterministic
+  /// services are eligible for invocation-cache memoization; override to
+  /// return false for services with hidden state or randomness.
+  virtual bool deterministic() const { return true; }
+
+  /// Content digest of the service definition, the service part of the
+  /// invocation-cache key. The default hashes the id; descriptor-driven
+  /// services (WrapperService) fold in their full XML descriptor so editing
+  /// the descriptor invalidates memoized results.
+  virtual std::uint64_t content_digest() const;
 
  private:
   std::string id_;

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "data/dataref.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -79,6 +80,10 @@ Result WrapperService::invoke(const Inputs& inputs) {
     result.outputs.emplace(out.name, std::move(value));
   }
   return result;
+}
+
+std::uint64_t WrapperService::content_digest() const {
+  return data::fnv1a(descriptor_.to_xml(), data::fnv1a("service:" + id()));
 }
 
 grid::JobRequest WrapperService::job_profile(const Inputs&) const {

@@ -53,6 +53,10 @@ class WrapperService : public Service {
   Result invoke(const Inputs& inputs) override;
   grid::JobRequest job_profile(const Inputs& inputs) const override;
 
+  /// Folds the full XML descriptor into the digest, so editing a descriptor
+  /// invalidates any memoized invocations of the wrapped code.
+  std::uint64_t content_digest() const override;
+
   /// Command lines of every invocation run so far (testing/inspection).
   const std::vector<std::vector<std::string>>& invocation_log() const {
     return invocation_log_;

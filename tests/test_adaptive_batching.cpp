@@ -33,7 +33,7 @@ EnactmentResult run(double overhead, double compute, std::size_t items,
   data::InputDataSet ds;
   for (std::size_t j = 0; j < items; ++j) ds.add_item("s", "d" + std::to_string(j));
   Enactor moteur(backend, registry, policy);
-  return moteur.run(single_service(), ds);
+  return moteur.run({.workflow = single_service(), .inputs = ds});
 }
 
 TEST(AdaptiveBatching, PicksBatchFromOverheadComputeRatio) {

@@ -116,10 +116,10 @@ TEST(BronzeReal, EndToEndOnRealRegistrationServices) {
 
   enactor::ThreadedBackend backend(4);
   enactor::Enactor enactor(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  enactor.set_payload_resolver(bronze_payload_resolver(database));
 
-  const auto result =
-      enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+  const auto result = enactor.run({.workflow = bronze_standard_workflow(),
+                                   .inputs = bronze_standard_dataset(n_pairs),
+                                   .resolver = bronze_payload_resolver(database)});
   EXPECT_EQ(result.failures(), 0u);
   EXPECT_EQ(result.invocations(), 6 * n_pairs + 1);
 
@@ -154,9 +154,9 @@ TEST(BronzeReal, GroupingProducesIdenticalScience) {
     register_real_services(registry, database);
     enactor::ThreadedBackend backend(4);
     enactor::Enactor enactor(backend, registry, policy);
-    enactor.set_payload_resolver(bronze_payload_resolver(database));
-    const auto result =
-        enactor.run(bronze_standard_workflow(), bronze_standard_dataset(n_pairs));
+    const auto result = enactor.run({.workflow = bronze_standard_workflow(),
+                                     .inputs = bronze_standard_dataset(n_pairs),
+                                     .resolver = bronze_payload_resolver(database)});
     return result.sink_outputs.at("accuracy_translation")
         .at(0)
         .as<registration::BronzeResult>();

@@ -151,7 +151,7 @@ TEST(Manifest, LoadedManifestEnactsIdentically) {
     services::ServiceRegistry registry;
     app::register_simulated_services(registry);
     enactor::Enactor moteur(backend, registry, m.policy);
-    return moteur.run(m.workflow, m.inputs).makespan();
+    return moteur.run({.workflow = m.workflow, .inputs = m.inputs}).makespan();
   };
   const double original = run_it(manifest);
   const double replayed = run_it(enactor::RunManifest::from_xml(manifest.to_xml()));

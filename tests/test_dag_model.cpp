@@ -43,7 +43,7 @@ double simulate(const workflow::Workflow& wf,
     }
   }
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur.run(wf, ds).makespan();
+  return moteur.run({.workflow = wf, .inputs = ds}).makespan();
 }
 
 void expect_all_policies_match(const workflow::Workflow& wf,

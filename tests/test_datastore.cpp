@@ -1,0 +1,515 @@
+// Data plane: content digests, the replica catalog, the invocation
+// memoization cache (alone and composed with fault containment through the
+// engine and the RunService), and data-aware broker matchmaking.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataref.hpp"
+#include "data/dataset.hpp"
+#include "data/invocation_cache.hpp"
+#include "data/replica_catalog.hpp"
+#include "enactor/enactor.hpp"
+#include "enactor/run_request.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "service/run_service.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/patterns.hpp"
+
+namespace moteur {
+namespace {
+
+using services::FunctionalService;
+using services::Inputs;
+using services::JobProfile;
+using services::Result;
+
+// ---------------------------------------------------------------------------
+// Content digests
+// ---------------------------------------------------------------------------
+
+TEST(Digest, Fnv1aIsDeterministicAndContentSensitive) {
+  EXPECT_EQ(data::fnv1a(""), data::kFnvOffset);
+  EXPECT_EQ(data::fnv1a("image7.png"), data::fnv1a("image7.png"));
+  EXPECT_NE(data::fnv1a("image7.png"), data::fnv1a("image8.png"));
+  // Chaining through `seed` differs from concatenation-free restarts.
+  EXPECT_NE(data::fnv1a("b", data::fnv1a("a")), data::fnv1a("b"));
+}
+
+TEST(Digest, DerivedDigestSortsInputDigests) {
+  // The cache-key property: equal input multisets through the same service
+  // and port collide, regardless of port iteration order.
+  EXPECT_EQ(data::derived_digest(7, "out", {1, 2, 3}),
+            data::derived_digest(7, "out", {3, 1, 2}));
+  EXPECT_NE(data::derived_digest(7, "out", {1, 2, 3}),
+            data::derived_digest(7, "out", {1, 2, 4}));
+  EXPECT_NE(data::derived_digest(7, "out", {1, 2}),
+            data::derived_digest(8, "out", {1, 2}));
+  EXPECT_NE(data::derived_digest(7, "c1", {1, 2}),
+            data::derived_digest(7, "c2", {1, 2}));
+}
+
+TEST(Digest, HexSpellingIsFixedWidth) {
+  EXPECT_EQ(data::digest_hex(0x1), "0000000000000001");
+  EXPECT_EQ(data::digest_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(data::digest_hex(~0ull), "ffffffffffffffff");
+}
+
+TEST(Digest, SourceTokensWithEqualValuesShareADigest) {
+  const auto a = data::Token::from_source("src", 0, std::string("x"), "x");
+  const auto b = data::Token::from_source("other", 5, std::string("x"), "x");
+  const auto c = data::Token::from_source("src", 1, std::string("y"), "y");
+  EXPECT_NE(a.digest(), 0u);
+  EXPECT_EQ(a.digest(), b.digest());  // content, not provenance
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Replica catalog
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaCatalog, RegisterLocateAndSize) {
+  data::ReplicaCatalog catalog;
+  EXPECT_TRUE(catalog.locate("lfn://x").empty());
+  catalog.register_replica("lfn://x", "se-a", 7.8);
+  catalog.register_replica("lfn://x", "se-b", 7.8);
+  catalog.register_replica("lfn://y", "se-a", 1.0);
+  EXPECT_EQ(catalog.locate("lfn://x"), (std::vector<std::string>{"se-a", "se-b"}));
+  EXPECT_TRUE(catalog.has("lfn://x", "se-b"));
+  EXPECT_FALSE(catalog.has("lfn://y", "se-b"));
+  EXPECT_DOUBLE_EQ(catalog.size_mb("lfn://x"), 7.8);
+  EXPECT_DOUBLE_EQ(catalog.size_mb("lfn://unknown"), 0.0);
+  EXPECT_EQ(catalog.file_count(), 2u);
+  EXPECT_EQ(catalog.replica_count(), 3u);
+}
+
+TEST(ReplicaCatalog, RegistrationIsIdempotentPerStorageElement) {
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://x", "se-a", 2.0);
+  catalog.register_replica("lfn://x", "se-a", 2.0);
+  EXPECT_EQ(catalog.locate("lfn://x").size(), 1u);
+  EXPECT_EQ(catalog.replica_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Invocation cache
+// ---------------------------------------------------------------------------
+
+TEST(InvocationCache, KeyIsIndependentOfInputDigestOrder) {
+  EXPECT_EQ(data::InvocationCache::cache_key(9, {1, 2, 3}),
+            data::InvocationCache::cache_key(9, {3, 2, 1}));
+  EXPECT_NE(data::InvocationCache::cache_key(9, {1, 2, 3}),
+            data::InvocationCache::cache_key(9, {1, 2}));
+  EXPECT_NE(data::InvocationCache::cache_key(9, {1}),
+            data::InvocationCache::cache_key(10, {1}));
+}
+
+TEST(InvocationCache, CountsHitsAndMissesPerRun) {
+  data::InvocationCache cache;
+  const std::string key = data::InvocationCache::cache_key(1, {2});
+  EXPECT_FALSE(cache.lookup(key, "run-a").has_value());  // probes count nothing
+  cache.note_miss("run-a");  // the caller reports the miss when it executes
+  data::CachedInvocation memo;
+  memo.outputs.push_back(data::CachedOutput{"out", 42, "42", 5, nullptr});
+  cache.insert(key, std::move(memo), "run-a");
+  ASSERT_TRUE(cache.lookup(key, "run-b").has_value());
+  EXPECT_EQ(cache.lookup(key, "run-b")->outputs.at(0).repr, "42");
+
+  EXPECT_EQ(cache.stats("run-a").misses, 1u);
+  EXPECT_EQ(cache.stats("run-a").insertions, 1u);
+  EXPECT_EQ(cache.stats("run-b").hits, 2u);
+  EXPECT_EQ(cache.totals().hits, 2u);
+  EXPECT_EQ(cache.totals().misses, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  const auto runs = cache.run_ids();
+  EXPECT_EQ(runs.size(), 2u);
+}
+
+TEST(InvocationCache, FirstWriterWins) {
+  data::InvocationCache cache;
+  const std::string key = data::InvocationCache::cache_key(1, {2});
+  data::CachedInvocation first;
+  first.outputs.push_back(data::CachedOutput{"out", 1, "first", 0, nullptr});
+  data::CachedInvocation second;
+  second.outputs.push_back(data::CachedOutput{"out", 2, "second", 0, nullptr});
+  cache.insert(key, std::move(first), "r");
+  cache.insert(key, std::move(second), "r");
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats("r").insertions, 1u);  // the duplicate is not counted
+  EXPECT_EQ(cache.lookup(key, "r")->outputs.at(0).repr, "first");
+}
+
+// ---------------------------------------------------------------------------
+// Engine memoization (simulated backend)
+// ---------------------------------------------------------------------------
+
+data::InputDataSet items(const std::string& source, std::size_t count) {
+  data::InputDataSet ds;
+  ds.declare_input(source);
+  for (std::size_t j = 0; j < count; ++j) {
+    ds.add_item(source, "item" + std::to_string(j));
+  }
+  return ds;
+}
+
+struct SimRig {
+  sim::Simulator simulator;
+  grid::Grid grid;
+  enactor::SimGridBackend backend;
+  services::ServiceRegistry registry;
+
+  SimRig() : grid(simulator, grid::GridConfig::constant(10.0)), backend(grid) {}
+
+  void add_chain_services(std::size_t n, double compute) {
+    for (std::size_t i = 0; i < n; ++i) {
+      registry.add(services::make_simulated_service("P" + std::to_string(i), {"in"},
+                                                    {"out"},
+                                                    JobProfile{compute, 1.0, 1.0}));
+    }
+  }
+};
+
+TEST(EngineCache, SecondRunThroughOneEnactorIsAllHits) {
+  SimRig rig;
+  rig.add_chain_services(2, 30.0);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.cache = true;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+
+  const auto wf = workflow::make_chain(2);
+  const auto first = moteur.run({.workflow = wf, .inputs = items("src", 4)});
+  EXPECT_EQ(first.cache_hits(), 0u);
+  EXPECT_EQ(first.invocations(), 8u);
+  EXPECT_EQ(first.submissions(), 8u);
+  const std::size_t jobs_after_first = rig.backend.jobs_submitted();
+
+  const auto second = moteur.run({.workflow = wf, .inputs = items("src", 4)});
+  EXPECT_EQ(second.cache_hits(), 8u);
+  EXPECT_EQ(second.invocations(), 8u);
+  EXPECT_EQ(second.submissions(), 0u);  // no grid job at all
+  EXPECT_EQ(rig.backend.jobs_submitted(), jobs_after_first);
+  EXPECT_DOUBLE_EQ(second.makespan(), 0.0);  // served at t=0, no grid latency
+
+  // The replayed outputs are indistinguishable from the computed ones.
+  const auto& a = first.sink_outputs.at("sink");
+  const auto& b = second.sink_outputs.at("sink");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].id(), b[j].id());
+    EXPECT_EQ(a[j].repr(), b[j].repr());
+    EXPECT_EQ(a[j].digest(), b[j].digest());
+    EXPECT_NE(b[j].digest(), 0u);
+  }
+
+  const auto* cache = moteur.invocation_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->entry_count(), 8u);
+  EXPECT_EQ(cache->totals().hits, 8u);
+}
+
+TEST(EngineCache, RepeatedValuesWithinOneRunHit) {
+  // Three items carry the same value: under sequential enactment the first
+  // invocation computes, the other two are served from the cache mid-run.
+  SimRig rig;
+  rig.add_chain_services(1, 30.0);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::nop();
+  policy.cache = true;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+
+  data::InputDataSet ds;
+  ds.declare_input("src");
+  ds.add_item("src", "same");
+  ds.add_item("src", "same");
+  ds.add_item("src", "same");
+  ds.add_item("src", "unique");
+
+  const auto result = moteur.run({.workflow = workflow::make_chain(1), .inputs = ds});
+  EXPECT_EQ(result.invocations(), 4u);
+  EXPECT_EQ(result.cache_hits(), 2u);
+  EXPECT_EQ(result.submissions(), 2u);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 4u);
+}
+
+TEST(EngineCache, NonDeterministicServiceIsNeverMemoized) {
+  SimRig rig;
+  auto service = services::make_simulated_service("P0", {"in"}, {"out"},
+                                                  JobProfile{30.0, 0.0, 0.0});
+  service->set_deterministic(false);
+  rig.registry.add(service);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.cache = true;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+  const auto wf = workflow::make_chain(1);
+  moteur.run({.workflow = wf, .inputs = items("src", 3)});
+  const auto second = moteur.run({.workflow = wf, .inputs = items("src", 3)});
+  EXPECT_EQ(second.cache_hits(), 0u);
+  EXPECT_EQ(second.submissions(), 3u);
+  EXPECT_EQ(moteur.invocation_cache()->entry_count(), 0u);
+}
+
+TEST(EngineCache, PolicyOffMeansNoCacheAtAll) {
+  SimRig rig;
+  rig.add_chain_services(1, 30.0);
+  enactor::Enactor moteur(rig.backend, rig.registry, enactor::EnactmentPolicy::sp_dp());
+  const auto wf = workflow::make_chain(1);
+  moteur.run({.workflow = wf, .inputs = items("src", 3)});
+  const auto second = moteur.run({.workflow = wf, .inputs = items("src", 3)});
+  EXPECT_EQ(second.cache_hits(), 0u);
+  EXPECT_EQ(second.submissions(), 3u);
+  EXPECT_EQ(moteur.invocation_cache(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Cache x fault containment
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<FunctionalService> increment_service(const std::string& name) {
+  return std::make_shared<FunctionalService>(
+      name, std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const Inputs& in) {
+        const int v = std::stoi(in.at("in").as<std::string>());
+        Result r;
+        r.outputs["out"] = services::OutputValue{v + 1, std::to_string(v + 1)};
+        return r;
+      });
+}
+
+TEST(CacheFaults, PoisonedResultsAreNeverCached) {
+  // Every attempt on the only host fails: under kContinue the run drains
+  // with poisoned sinks, and not a single entry may reach the cache — a
+  // poisoned token has no content to memoize.
+  services::ServiceRegistry registry;
+  registry.add(increment_service("P0"));
+  registry.add(increment_service("P1"));
+  data::InputDataSet ds;
+  for (int j = 0; j < 10; ++j) ds.add_item("src", std::to_string(j));
+
+  enactor::ThreadedBackend backend(4);
+  backend.configure_hosts({"h0"}, /*seed=*/3);
+  backend.set_host_failure_probability("h0", 1.0);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(2);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  policy.cache = true;
+
+  enactor::Enactor moteur(backend, registry, policy);
+  const auto result = moteur.run({.workflow = workflow::make_chain(2), .inputs = ds});
+
+  EXPECT_EQ(result.failures(), 10u);
+  EXPECT_EQ(result.cache_hits(), 0u);
+  const auto* cache = moteur.invocation_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->entry_count(), 0u);
+  EXPECT_EQ(cache->totals().insertions, 0u);
+  EXPECT_EQ(cache->totals().hits, 0u);
+}
+
+TEST(CacheFaults, BreakerReroutedSuccessIsCachedAndReplayed) {
+  // Host h0 fails every attempt and trips its breaker; every invocation
+  // eventually succeeds on h1. Those rerouted successes are ordinary
+  // complete results: a second pass must be served entirely from the cache.
+  services::ServiceRegistry registry;
+  registry.add(increment_service("P0"));
+  data::InputDataSet ds;
+  constexpr int kItems = 20;
+  for (int j = 0; j < kItems; ++j) ds.add_item("src", std::to_string(j));
+
+  enactor::ThreadedBackend backend(4);
+  backend.configure_hosts({"h0", "h1"}, /*seed=*/7);
+  backend.set_host_failure_probability("h0", 1.0);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(8);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  policy.breaker.enabled = true;
+  policy.breaker.window = 4;
+  policy.breaker.threshold = 2;
+  policy.breaker.cooldown_seconds = 1e9;
+  policy.cache = true;
+
+  enactor::Enactor moteur(backend, registry, policy);
+  const auto wf = workflow::make_chain(1);
+  const auto first = moteur.run({.workflow = wf, .inputs = ds});
+  EXPECT_EQ(first.failures(), 0u);
+  EXPECT_EQ(first.sink_outputs.at("sink").size(), static_cast<std::size_t>(kItems));
+
+  const auto second = moteur.run({.workflow = wf, .inputs = ds});
+  EXPECT_EQ(second.cache_hits(), static_cast<std::size_t>(kItems));
+  EXPECT_EQ(second.submissions(), 0u);
+  const auto& tokens = second.sink_outputs.at("sink");
+  ASSERT_EQ(tokens.size(), static_cast<std::size_t>(kItems));
+  for (int j = 0; j < kItems; ++j) {
+    EXPECT_EQ(tokens[static_cast<std::size_t>(j)].as<int>(), j + 1);
+  }
+}
+
+TEST(CacheFaults, CancelledRunLeavesNoHalfWrittenEntries) {
+  // A run cancelled mid-flight inserts exactly its completed invocations and
+  // nothing else; replaying the same inputs hits precisely those entries and
+  // computes the rest, converging on one entry per item.
+  services::ServiceRegistry registry;
+  registry.add(std::make_shared<FunctionalService>(
+      "P0", std::vector<std::string>{"in"}, std::vector<std::string>{"out"},
+      [](const Inputs& in) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        const std::string v = in.at("in").as<std::string>() + "*";
+        Result r;
+        r.outputs["out"] = services::OutputValue{v, v};
+        return r;
+      }));
+
+  enactor::ThreadedBackend backend(2);
+  service::RunServiceConfig config;
+  config.max_active_runs = 1;
+  config.max_inflight_submissions = 2;
+  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.default_policy.cache = true;
+  service::RunService runs(backend, registry, config);
+
+  constexpr std::size_t kItems = 40;
+  enactor::RunRequest victim;
+  victim.name = "victim";
+  victim.workflow = workflow::make_chain(1);
+  victim.inputs = items("src", kItems);
+  auto handle = runs.submit(std::move(victim));
+  while (handle.poll() == service::RunState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  handle.cancel();
+  handle.wait();
+  runs.wait_idle();
+
+  auto* cache = runs.invocation_cache();
+  ASSERT_NE(cache, nullptr);
+  const std::size_t completed = cache->stats("victim").insertions;
+  EXPECT_EQ(cache->entry_count(), completed);  // no partial entries
+  EXPECT_LE(completed, kItems);
+
+  enactor::RunRequest replay;
+  replay.name = "replay";
+  replay.workflow = workflow::make_chain(1);
+  replay.inputs = items("src", kItems);
+  auto again = runs.submit(std::move(replay));
+  EXPECT_EQ(again.wait(), service::RunState::kFinished);
+  runs.wait_idle();
+
+  EXPECT_EQ(again.result().failures(), 0u);
+  EXPECT_EQ(again.result().sink_outputs.at("sink").size(), kItems);
+  EXPECT_EQ(cache->stats("replay").hits, completed);
+  EXPECT_EQ(cache->entry_count(), kItems);
+}
+
+// ---------------------------------------------------------------------------
+// Data-aware matchmaking
+// ---------------------------------------------------------------------------
+
+grid::GridConfig two_site_grid() {
+  grid::GridConfig config;
+  grid::ComputingElementConfig ce_a;
+  ce_a.name = "ce-a";
+  ce_a.worker_slots = 4;
+  ce_a.close_storage_element = "se-a";
+  grid::ComputingElementConfig ce_b = ce_a;
+  ce_b.name = "ce-b";
+  ce_b.close_storage_element = "se-b";
+  config.computing_elements = {ce_a, ce_b};
+  grid::StorageElementConfig se_a;
+  se_a.name = "se-a";
+  se_a.transfer_bandwidth_mb_per_s = 1.0;  // staging visibly costs time
+  grid::StorageElementConfig se_b = se_a;
+  se_b.name = "se-b";
+  config.storage_elements = {se_a, se_b};
+  config.remote_transfer_penalty = 3.0;
+  return config;
+}
+
+TEST(DataAwareGrid, RoutesJobNextToItsReplica) {
+  auto config = two_site_grid();
+  config.data_aware_matchmaking = true;
+  sim::Simulator sim;
+  grid::Grid grid(sim, config);
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://big", "se-b", 100.0);
+  grid.set_catalog(&catalog);
+
+  grid::JobRequest request;
+  request.name = "j";
+  request.compute_seconds = 10.0;
+  request.input_megabytes = 100.0;
+  request.input_refs.push_back(grid::DataStageRef{"lfn://big", 100.0});
+
+  // Pricing: local replica at se-b = 100 MB, remote through se-a = 300 MB.
+  EXPECT_GT(grid.stage_in_estimate_seconds(request, "ce-a"),
+            grid.stage_in_estimate_seconds(request, "ce-b"));
+
+  grid::JobRecord record;
+  grid.submit(request, [&](const grid::JobRecord& r) { record = r; });
+  sim.run();
+  EXPECT_EQ(record.state, grid::JobState::kDone);
+  EXPECT_EQ(record.computing_element, "ce-b");
+  EXPECT_EQ(record.staging_element, "se-b");
+  EXPECT_DOUBLE_EQ(record.staged_in_megabytes, 100.0);
+  EXPECT_DOUBLE_EQ(record.remote_input_megabytes, 0.0);
+}
+
+TEST(DataAwareGrid, SuccessfulStageInRegistersAReplicaAtTheCloseSe) {
+  auto config = two_site_grid();
+  config.data_aware_matchmaking = true;
+  sim::Simulator sim;
+  grid::Grid grid(sim, config);
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://big", "se-b", 100.0);
+  grid.set_catalog(&catalog);
+
+  grid::JobRequest request;
+  request.name = "j";
+  request.compute_seconds = 10.0;
+  request.input_megabytes = 100.0;
+  request.input_refs.push_back(grid::DataStageRef{"lfn://big", 100.0});
+  grid.submit(request, [](const grid::JobRecord&) {});
+  sim.run();
+
+  // The close SE of the executing CE now holds a copy too, so a later blind
+  // placement on ce-b is equally cheap.
+  EXPECT_TRUE(catalog.has("lfn://big", "se-b"));
+  EXPECT_EQ(catalog.replica_count(), 1u);  // already local: nothing new
+}
+
+TEST(DataAwareGrid, RemoteStagingPaysThePenalty) {
+  // With no data-aware ranking the broker may land on the replica-less site;
+  // force it by making only ce-a admissible and check the charged megabytes.
+  auto config = two_site_grid();
+  config.computing_elements.resize(1);  // only ce-a
+  sim::Simulator sim;
+  grid::Grid grid(sim, config);
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://big", "se-b", 100.0);
+  grid.set_catalog(&catalog);
+
+  grid::JobRequest request;
+  request.name = "j";
+  request.compute_seconds = 10.0;
+  request.input_megabytes = 100.0;
+  request.input_refs.push_back(grid::DataStageRef{"lfn://big", 100.0});
+  grid::JobRecord record;
+  grid.submit(request, [&](const grid::JobRecord& r) { record = r; });
+  sim.run();
+
+  EXPECT_EQ(record.computing_element, "ce-a");
+  EXPECT_DOUBLE_EQ(record.staged_in_megabytes, 300.0);  // 100 MB x penalty 3
+  EXPECT_DOUBLE_EQ(record.remote_input_megabytes, 100.0);
+  // The wide-area copy left a replica at se-a for the next job.
+  EXPECT_TRUE(catalog.has("lfn://big", "se-a"));
+}
+
+}  // namespace
+}  // namespace moteur

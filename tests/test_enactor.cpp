@@ -103,7 +103,7 @@ struct SimRig {
   EnactmentResult run(const Workflow& wf, const data::InputDataSet& ds,
                       EnactmentPolicy policy) {
     Enactor enactor(backend, registry, policy);
-    return enactor.run(wf, ds);
+    return enactor.run({.workflow = wf, .inputs = ds});
   }
 };
 
@@ -251,7 +251,8 @@ TEST(Enactor, FailedJobsAreCountedAndStreamsShrink) {
   register_chain_services(registry, 2, 10.0);
 
   Enactor enactor(backend, registry, EnactmentPolicy::sp_dp());
-  const auto result = enactor.run(chain_workflow(2), items("src", 3));
+  const auto result =
+      enactor.run({.workflow = chain_workflow(2), .inputs = items("src", 3)});
   EXPECT_EQ(result.failures(), 3u);       // every P0 invocation dies
   EXPECT_EQ(result.invocations(), 0u);    // nothing succeeded
   EXPECT_TRUE(result.sink_outputs.at("sink").empty());
@@ -335,7 +336,7 @@ TEST(Enactor, OptimizationLoopConvergesViaFeedbackLink) {
   // threaded backend.
   ThreadedBackend backend(4);
   Enactor enactor(backend, rig.registry, EnactmentPolicy::sp_dp());
-  const auto result = enactor.run(wf, items("Source", 1));
+  const auto result = enactor.run({.workflow = wf, .inputs = items("Source", 1)});
   ASSERT_EQ(result.sink_outputs.at("Sink").size(), 1u);
   EXPECT_EQ(result.sink_outputs.at("Sink")[0].as<int>(), 3);
   // P2 ran 3 times (initial + 2 loop iterations), P3 ran 3 times.
@@ -371,7 +372,7 @@ TEST(ThreadedBackendTest, ComputesRealValuesThroughAChain) {
 
   ThreadedBackend backend(4);
   Enactor enactor(backend, registry, EnactmentPolicy::sp_dp());
-  const auto result = enactor.run(chain_workflow(2), ds);
+  const auto result = enactor.run({.workflow = chain_workflow(2), .inputs = ds});
   const auto& tokens = result.sink_outputs.at("sink");
   ASSERT_EQ(tokens.size(), 8u);
   for (int j = 0; j < 8; ++j) {
@@ -393,7 +394,8 @@ TEST(ThreadedBackendTest, ServiceExceptionBecomesCountedFailure) {
       }));
   ThreadedBackend backend(2);
   Enactor enactor(backend, registry, EnactmentPolicy::sp_dp());
-  const auto result = enactor.run(chain_workflow(1), items("src", 3));
+  const auto result =
+      enactor.run({.workflow = chain_workflow(1), .inputs = items("src", 3)});
   EXPECT_EQ(result.failures(), 1u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 2u);
 }

@@ -43,7 +43,7 @@ struct SimRig {
   EnactmentResult run(const workflow::Workflow& wf, const data::InputDataSet& ds,
                       EnactmentPolicy policy = EnactmentPolicy::sp_dp()) {
     Enactor moteur(backend, registry, policy);
-    return moteur.run(wf, ds);
+    return moteur.run({.workflow = wf, .inputs = ds});
   }
 };
 
@@ -87,7 +87,7 @@ TEST(EnactorEdge, ConditionalOutputsRouteAndShrinkStreams) {
 
   ThreadedBackend backend;  // real conditional routing needs real invocation
   Enactor moteur(backend, rig.registry, EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, items("src", 7));
+  const auto result = moteur.run({.workflow = wf, .inputs = items("src", 7)});
   EXPECT_EQ(result.sink_outputs.at("passed").size(), 4u);    // 0,2,4,6
   EXPECT_EQ(result.sink_outputs.at("rejected").size(), 3u);  // 1,3,5
 }
@@ -195,7 +195,7 @@ TEST(EnactorEdge, LoopWorksUnderEveryPolicy) {
         }));
     ThreadedBackend backend(2);
     Enactor moteur(backend, registry, EnactmentPolicy::parse(config));
-    const auto result = moteur.run(wf, items("Source", 2));
+    const auto result = moteur.run({.workflow = wf, .inputs = items("Source", 2)});
     ASSERT_EQ(result.sink_outputs.at("Sink").size(), 2u) << config;
     for (const auto& token : result.sink_outputs.at("Sink")) {
       EXPECT_EQ(token.as<int>(), 2) << config;
@@ -230,7 +230,7 @@ TEST(EnactorEdge, BarrierFiresOnPartiallyFailedStream) {
   wf.link("stats", "mean", "sink", "in");
 
   Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, items("src", 20));
+  const auto result = moteur.run({.workflow = wf, .inputs = items("src", 20)});
   EXPECT_GT(result.failures(), 0u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);  // barrier still fired
   EXPECT_EQ(result.timeline.for_processor("stats").size(), 1u);
@@ -247,7 +247,8 @@ TEST(EnactorEdge, DeterministicTimelineUnderFixedSeed) {
                                                     {"out"}, JobProfile{60.0}));
     }
     Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
-    const auto result = moteur.run(workflow::make_chain(3), items("src", 6));
+    const auto result =
+        moteur.run({.workflow = workflow::make_chain(3), .inputs = items("src", 6)});
     std::vector<double> ends;
     for (const auto& trace : result.timeline.traces()) ends.push_back(trace.end_time);
     return ends;
@@ -291,7 +292,8 @@ TEST(EnactorEdge, SequentialRunsMatchFreshEnactors) {
     rig.registry.add(services::make_simulated_service("P1", {"in"}, {"out"},
                                                       JobProfile{5.0}));
     Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
-    return moteur.run(workflow::make_chain(2), items("src", count));
+    return moteur.run(
+        {.workflow = workflow::make_chain(2), .inputs = items("src", count)});
   };
   const auto baseline_a = fresh(3);
   const auto baseline_b = fresh(5);
@@ -302,8 +304,10 @@ TEST(EnactorEdge, SequentialRunsMatchFreshEnactors) {
   rig.registry.add(services::make_simulated_service("P1", {"in"}, {"out"},
                                                     JobProfile{5.0}));
   Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
-  const auto first = moteur.run(workflow::make_chain(2), items("src", 3));
-  const auto second = moteur.run(workflow::make_chain(2), items("src", 5));
+  const auto first =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items("src", 3)});
+  const auto second =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items("src", 5)});
 
   const auto expect_equal = [](const EnactmentResult& got, const EnactmentResult& want) {
     EXPECT_DOUBLE_EQ(got.makespan(), want.makespan());
@@ -337,12 +341,13 @@ TEST(EnactorEdge, StragglerFromPreviousRunCannotCorruptNextRun) {
   watchdog.retry.max_attempts = 4;
   watchdog.retry.timeout_multiplier = 3.0;
   watchdog.retry.timeout_min_samples = 3;
-  moteur.set_policy(watchdog);
-  const auto first = moteur.run(workflow::make_chain(1), items("src", 20));
+  const auto first = moteur.run({.workflow = workflow::make_chain(1),
+                                 .inputs = items("src", 20),
+                                 .policy = watchdog});
   ASSERT_GT(first.timeouts(), 0u);  // clones raced; originals left in flight
 
-  moteur.set_policy(EnactmentPolicy::sp_dp());
-  const auto second = moteur.run(workflow::make_chain(1), items("src", 6));
+  const auto second = moteur.run(
+      {.workflow = workflow::make_chain(1), .inputs = items("src", 6)});
   EXPECT_EQ(second.sink_outputs.at("sink").size(), 6u);
   EXPECT_EQ(second.invocations(), 6u);
   EXPECT_EQ(second.failures(), 0u);
@@ -356,8 +361,10 @@ TEST(EnactorEdge, RerunningEnactorReusesBackendCleanly) {
   rig.registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
                                                     JobProfile{5.0}));
   Enactor moteur(rig.backend, rig.registry, EnactmentPolicy::sp_dp());
-  const auto first = moteur.run(workflow::make_chain(1), items("src", 3));
-  const auto second = moteur.run(workflow::make_chain(1), items("src", 3));
+  const auto first =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = items("src", 3)});
+  const auto second =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = items("src", 3)});
   EXPECT_DOUBLE_EQ(first.makespan(), 15.0);
   EXPECT_DOUBLE_EQ(second.makespan(), 15.0);  // relative to its own start
   EXPECT_EQ(second.sink_outputs.at("sink").size(), 3u);

@@ -74,7 +74,9 @@ double simulate(const TimeMatrix& times, const EnactmentPolicy& policy) {
   }
 
   enactor::Enactor enactor(backend, registry, policy);
-  return enactor.run(chain_workflow(times.size()), ds).makespan();
+  return enactor
+      .run({.workflow = chain_workflow(times.size()), .inputs = ds})
+      .makespan();
 }
 
 // ---------------------------------------------------------------------------
@@ -190,7 +192,8 @@ TEST(OverheadFolding, ConstantOverheadActsAsAdditiveT) {
   for (std::size_t j = 0; j < n_d; ++j) ds.add_item("src", "D" + std::to_string(j));
 
   enactor::Enactor enactor(backend, registry, EnactmentPolicy::sp());
-  const double makespan = enactor.run(chain_workflow(n_w), ds).makespan();
+  const double makespan =
+      enactor.run({.workflow = chain_workflow(n_w), .inputs = ds}).makespan();
   const TimeMatrix shifted = model::constant_times(n_w, n_d, compute + overhead);
   EXPECT_DOUBLE_EQ(makespan, model::sigma_sp(shifted));
 }

@@ -68,7 +68,7 @@ TEST(Integration, ScuflDocumentEnactsDirectly) {
       "<item value=\"gfn://img/a\"/><item value=\"gfn://img/b\"/>"
       "</input></dataset>");
 
-  const auto result = moteur.run(wf, ds);
+  const auto result = moteur.run({.workflow = wf, .inputs = ds});
   EXPECT_EQ(result.sink_outputs.at("results").size(), 2u);
   // nW = 2, nD = 2, T = 90 under DSP -> 180.
   EXPECT_DOUBLE_EQ(result.makespan(), 180.0);
@@ -112,7 +112,7 @@ TEST(Integration, GroupedWrapperChainSubmitsOneJobPerData) {
   data::InputDataSet ds;
   for (int j = 0; j < 3; ++j) ds.add_item("data", "gfn://d" + std::to_string(j));
 
-  const auto result = moteur.run(wf, ds);
+  const auto result = moteur.run({.workflow = wf, .inputs = ds});
   EXPECT_EQ(result.grouping.merges, 1u);
   EXPECT_EQ(result.submissions(), 3u);   // one grouped job per data set
   EXPECT_EQ(result.invocations(), 6u);   // both codes still ran per data set
@@ -147,7 +147,7 @@ TEST(Integration, JobGroupingHalvesOverheadOnTheChain) {
     enactor::Enactor moteur(backend, registry, policy);
     data::InputDataSet ds;
     ds.add_item("s", "d0");
-    return moteur.run(wf, ds).makespan();
+    return moteur.run({.workflow = wf, .inputs = ds}).makespan();
   };
   EXPECT_DOUBLE_EQ(run_chain(false), 2 * 650.0);
   EXPECT_DOUBLE_EQ(run_chain(true), 600.0 + 100.0);
@@ -197,7 +197,7 @@ TEST(Integration, BatchingExtensionTradesParallelismForOverhead) {
     enactor::Enactor moteur(backend, registry, policy);
     data::InputDataSet ds;
     for (int j = 0; j < 4; ++j) ds.add_item("s", "d" + std::to_string(j));
-    const auto result = moteur.run(wf, ds);
+    const auto result = moteur.run({.workflow = wf, .inputs = ds});
     return std::pair<double, std::size_t>{result.makespan(), result.submissions()};
   };
   const auto [t1, jobs1] = run_batched(1);

@@ -215,7 +215,7 @@ TEST(IterationTreeEnactment, EndToEndCounts) {
   ds.add_item("variant", "robust");
 
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, ds);
+  const auto result = moteur.run({.workflow = wf, .inputs = ds});
   EXPECT_EQ(result.invocations(), 6u);
   const auto& tokens = result.sink_outputs.at("out");
   ASSERT_EQ(tokens.size(), 6u);

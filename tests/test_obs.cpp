@@ -268,7 +268,7 @@ struct ObservedRig {
     enactor::Enactor moteur(backend, registry, policy);
     moteur.set_recorder(&recorder);
     backend.set_metrics(&recorder.metrics());
-    return moteur.run(workflow::make_chain(2), items(tuples));
+    return moteur.run({.workflow = workflow::make_chain(2), .inputs = items(tuples)});
   }
 
   double counter(const std::string& name) const {
@@ -406,9 +406,10 @@ TEST(RunRecorder, EventStreamAndListenerAgree) {
   std::map<enactor::ProgressEvent::Kind, std::size_t> counts;
   enactor::Enactor moteur(rig.backend, rig.registry, policy);
   moteur.set_recorder(&rig.recorder);
-  moteur.set_progress_listener(
-      [&counts](const enactor::ProgressEvent& e) { ++counts[e.kind]; });
-  const auto result = moteur.run(workflow::make_chain(2), items(12));
+  moteur.add_event_subscriber(enactor::progress_subscriber(
+      [&counts](const enactor::ProgressEvent& e) { ++counts[e.kind]; }));
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items(12)});
   ASSERT_EQ(result.failures(), 0u);
 
   EXPECT_DOUBLE_EQ(rig.counter("moteur_submissions_total"),

@@ -77,7 +77,7 @@ TEST(Patterns, FanInBarrierEnactsEndToEnd) {
   data::InputDataSet ds;
   for (int j = 0; j < 4; ++j) ds.add_item("src", "d" + std::to_string(j));
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(wf, ds);
+  const auto result = moteur.run({.workflow = wf, .inputs = ds});
   EXPECT_EQ(result.invocations(), 3u * 4u + 1u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 1u);
 }

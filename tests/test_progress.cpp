@@ -35,8 +35,10 @@ TEST(Progress, EventsCoverTheWholeRun) {
 
   std::vector<ProgressEvent> events;
   Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
-  moteur.set_progress_listener([&events](const ProgressEvent& e) { events.push_back(e); });
-  const auto result = moteur.run(workflow::make_chain(2), items(4));
+  moteur.add_event_subscriber(enactor::progress_subscriber(
+      [&events](const ProgressEvent& e) { events.push_back(e); }));
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items(4)});
 
   std::map<ProgressEvent::Kind, std::size_t> counts;
   std::size_t tuples_submitted = 0, tuples_completed = 0;
@@ -83,10 +85,12 @@ TEST(Progress, FailureEventsFire) {
                                                 services::JobProfile{5.0}));
   std::size_t failed_events = 0;
   Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
-  moteur.set_progress_listener([&failed_events](const ProgressEvent& e) {
-    if (e.kind == ProgressEvent::Kind::kFailed) ++failed_events;
-  });
-  const auto result = moteur.run(workflow::make_chain(1), items(3));
+  moteur.add_event_subscriber(
+      enactor::progress_subscriber([&failed_events](const ProgressEvent& e) {
+        if (e.kind == ProgressEvent::Kind::kFailed) ++failed_events;
+      }));
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = items(3)});
   EXPECT_EQ(result.failures(), 3u);
   EXPECT_EQ(failed_events, 3u);
 }
@@ -101,9 +105,10 @@ TEST(Progress, NoListenerMeansNoOverheadOrChange) {
                                                   services::JobProfile{5.0}));
     Enactor moteur(backend, registry, EnactmentPolicy::sp_dp());
     if (with_listener) {
-      moteur.set_progress_listener([](const ProgressEvent&) {});
+      moteur.add_event_subscriber(enactor::progress_subscriber([](const ProgressEvent&) {}));
     }
-    return moteur.run(workflow::make_chain(1), items(5)).makespan();
+    return moteur.run({.workflow = workflow::make_chain(1), .inputs = items(5)})
+        .makespan();
   };
   EXPECT_DOUBLE_EQ(run_once(false), run_once(true));
 }

@@ -113,7 +113,7 @@ enactor::EnactmentResult enact(const RandomApplication& app,
     }
   }
   enactor::Enactor moteur(backend, registry, policy);
-  return moteur.run(app.workflow, app.inputs);
+  return moteur.run({.workflow = app.workflow, .inputs = app.inputs});
 }
 
 /// Signature of a run's science: per sink, the multiset of result indices.

@@ -135,7 +135,7 @@ struct FaultyRig {
   EnactmentResult run(const Workflow& wf, const data::InputDataSet& ds,
                       EnactmentPolicy policy) {
     Enactor enactor(backend, registry, policy);
-    return enactor.run(wf, ds);
+    return enactor.run({.workflow = wf, .inputs = ds});
   }
 };
 
@@ -320,11 +320,11 @@ TEST(Retry, ProgressEventsCarryAttemptNumbers) {
   Enactor enactor(rig.backend, rig.registry, policy);
   std::map<ProgressEvent::Kind, std::size_t> counts;
   std::size_t max_attempt = 0;
-  enactor.set_progress_listener([&](const ProgressEvent& event) {
+  enactor.add_event_subscriber(progress_subscriber([&](const ProgressEvent& event) {
     ++counts[event.kind];
     max_attempt = std::max(max_attempt, event.attempt);
-  });
-  const auto result = enactor.run(chain2(), items("src", kItems));
+  }));
+  const auto result = enactor.run({.workflow = chain2(), .inputs = items("src", kItems)});
 
   EXPECT_EQ(result.failures(), 0u);
   EXPECT_EQ(counts[ProgressEvent::Kind::kSubmitted], result.submissions());
@@ -491,7 +491,7 @@ TEST(Breaker, RoutesAwayFromAFlakySite) {
       policy.breaker = breaker_of(4, 2, /*cooldown=*/1e9);  // stays open
     }
     Enactor enactor(backend, registry, policy);
-    return enactor.run(chain2(), items("src", kItems));
+    return enactor.run({.workflow = chain2(), .inputs = items("src", kItems)});
   };
 
   const auto with_breaker = run_with(true);

@@ -122,7 +122,8 @@ TEST(ThreadedStress, HundredsOfTuplesThroughPipelines) {
 
   enactor::ThreadedBackend backend(8);
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(workflow::make_chain(3), ds);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(3), .inputs = ds});
 
   EXPECT_EQ(result.failures(), 0u);
   EXPECT_EQ(result.invocations(), 3u * kItems);
@@ -150,7 +151,8 @@ TEST(ThreadedStress, ConcurrentInvocationsOfOneServiceAreThreadSafe) {
   for (int j = 0; j < 200; ++j) ds.add_item("src", std::to_string(j));
   enactor::ThreadedBackend backend(8);
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(workflow::make_chain(1), ds);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = ds});
   EXPECT_EQ(counter->load(), 200);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 200u);
 }
@@ -188,7 +190,8 @@ TEST(ThreadedStress, BreakerRoutesAroundAFailingHost) {
   policy.breaker.cooldown_seconds = 1e9;  // stays open for the whole run
 
   enactor::Enactor moteur(backend, registry, policy);
-  const auto result = moteur.run(workflow::make_chain(1), ds);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = ds});
 
   EXPECT_EQ(result.failures(), 0u);
   EXPECT_EQ(result.skipped(), 0u);
@@ -230,7 +233,8 @@ TEST(ThreadedStress, ContinuePolicySurvivesATotalHostFailure) {
   policy.failure_policy = enactor::FailurePolicy::kContinue;
 
   enactor::Enactor moteur(backend, registry, policy);
-  const auto result = moteur.run(workflow::make_chain(2), ds);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = ds});
 
   EXPECT_EQ(result.failures(), 10u);  // P0 loses everything
   EXPECT_EQ(result.skipped(), 10u);   // P1 never executes
@@ -257,7 +261,8 @@ TEST(ServiceCapacity, LimitsDataParallelismPerService) {
   data::InputDataSet ds;
   for (int j = 0; j < 6; ++j) ds.add_item("src", "d" + std::to_string(j));
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  const auto result = moteur.run(workflow::make_chain(1), ds);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = ds});
   // 6 jobs of 100 s with per-service concurrency 2: three waves.
   EXPECT_DOUBLE_EQ(result.makespan(), 300.0);
 }
@@ -272,7 +277,9 @@ TEST(ServiceCapacity, UnlimitedByDefault) {
   data::InputDataSet ds;
   for (int j = 0; j < 6; ++j) ds.add_item("src", "d" + std::to_string(j));
   enactor::Enactor moteur(backend, registry, enactor::EnactmentPolicy::sp_dp());
-  EXPECT_DOUBLE_EQ(moteur.run(workflow::make_chain(1), ds).makespan(), 100.0);
+  EXPECT_DOUBLE_EQ(
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = ds}).makespan(),
+      100.0);
 }
 
 }  // namespace

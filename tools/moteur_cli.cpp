@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "app/bronze_standard.hpp"
+#include "data/invocation_cache.hpp"
 #include "data/provenance_xml.hpp"
+#include "data/replica_catalog.hpp"
 #include "enactor/diagram.hpp"
 #include "enactor/enactor.hpp"
 #include "enactor/manifest.hpp"
@@ -56,6 +58,7 @@ using namespace moteur;
       "             [--inject-failures P] [--inject-stuck P] [--grid-attempts N]\n"
       "             [--failure-policy failfast|continue] [--failure-report OUT.json]\n"
       "             [--breaker-window N] [--breaker-threshold N] [--breaker-cooldown S]\n"
+      "             [--cache] [--data-aware] [--cache-stats-out STATS.json]\n"
       "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n"
       "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
       "             [--metrics-out METRICS.prom] [--obs-summary]\n"
@@ -165,7 +168,34 @@ enactor::RunManifest manifest_from_args(const Args& args) {
     manifest.policy.breaker.cooldown_seconds = std::stod(*cooldown);
   }
   if (args.has("breaker")) manifest.policy.breaker.enabled = true;
+  // Data plane: memoize invocations / rank CEs by stage-in cost.
+  if (args.has("cache")) manifest.policy.cache = true;
+  if (args.has("data-aware")) manifest.policy.data_aware = true;
   return manifest;
+}
+
+/// --cache-stats-out payload: totals, catalog entry count, per-run counters.
+std::string cache_stats_json(const data::InvocationCache* cache) {
+  std::ostringstream os;
+  const auto stats = [&os](const data::InvocationCache::Stats& s) {
+    os << "{\"hits\": " << s.hits << ", \"misses\": " << s.misses
+       << ", \"insertions\": " << s.insertions << "}";
+  };
+  os << "{\n  \"entry_count\": " << (cache ? cache->entry_count() : 0)
+     << ",\n  \"totals\": ";
+  stats(cache ? cache->totals() : data::InvocationCache::Stats{});
+  os << ",\n  \"runs\": {";
+  if (cache != nullptr) {
+    bool first = true;
+    for (const auto& run_id : cache->run_ids()) {
+      os << (first ? "\n" : ",\n") << "    \"" << run_id << "\": ";
+      stats(cache->stats(run_id));
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "}\n}\n";
+  return os.str();
 }
 
 /// "out.csv" -> "out.run3.csv"; extensionless paths get ".run3" appended.
@@ -208,8 +238,17 @@ int cmd_run_multi(const Args& args) {
   if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
   if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
   if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
+  bool data_plane = false;
+  for (const auto& manifest : manifests) {
+    if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
+    data_plane = data_plane || manifest.policy.cache || manifest.policy.data_aware;
+  }
   grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
+  // One catalog for every tenant, like the grid itself: replicas produced by
+  // one run are visible to the broker when placing another run's jobs.
+  data::ReplicaCatalog catalog;
+  if (data_plane) backend.set_catalog(&catalog);
 
   service::RunServiceConfig config;
   if (const auto n = args.get("max-active")) {
@@ -252,10 +291,12 @@ int cmd_run_multi(const Args& args) {
     auto& handle = handles[i];
     const service::RunState state = handle.wait();
     const auto& result = handle.result();
-    std::printf("run %-24s %-9s makespan %s, %zu invocations, %zu failures\n",
+    std::printf("run %-24s %-9s makespan %s, %zu invocations, %zu failures",
                 (handle.id() + ":").c_str(), service::to_string(state),
                 format_duration(result.makespan()).c_str(), result.invocations(),
                 result.failures());
+    if (result.cache_hits() != 0) std::printf(", %zu cache hits", result.cache_hits());
+    std::printf("\n");
     if (!result.failure_report.empty()) {
       std::printf("  fault containment: %s", result.failure_report.to_text().c_str());
     }
@@ -267,7 +308,7 @@ int cmd_run_multi(const Args& args) {
     }
     const std::size_t k = i + 1;
     if (const auto out = args.get("csv")) {
-      write_file(suffixed(*out, k), enactor::timeline_to_csv(result.timeline));
+      write_file(suffixed(*out, k), enactor::timeline_to_csv(result.timeline, data_plane));
     }
     if (const auto out = args.get("failure-report")) {
       write_file(suffixed(*out, k), result.failure_report.to_json() + "\n");
@@ -283,6 +324,10 @@ int cmd_run_multi(const Args& args) {
   if (const auto out = args.get("metrics-out")) {
     write_file(*out, obs::prometheus_text(recorder.metrics()));
     std::printf("metrics written to %s\n", out->c_str());
+  }
+  if (const auto out = args.get("cache-stats-out")) {
+    write_file(*out, cache_stats_json(runs.invocation_cache()));
+    std::printf("cache stats written to %s\n", out->c_str());
   }
   if (args.has("obs-summary")) {
     std::fputs(obs::obs_summary(recorder.tracer(), recorder.metrics()).c_str(), stdout);
@@ -306,8 +351,14 @@ int cmd_run(const Args& args) {
   if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
   if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
   if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
+  if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
   grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
+  // Either data-plane feature needs the replica catalog: the cache records
+  // produced replicas, the broker ranks CEs by stage-in cost against it.
+  const bool data_plane = manifest.policy.cache || manifest.policy.data_aware;
+  data::ReplicaCatalog catalog;
+  if (data_plane) backend.set_catalog(&catalog);
   enactor::Enactor moteur(backend, registry, manifest.policy);
 
   // Observability: one recorder subscribes to the run's event stream and the
@@ -337,6 +388,10 @@ int cmd_run(const Args& args) {
     std::printf("resubmission: %zu retries, %zu timeout clones\n", result.retries(),
                 result.timeouts());
   }
+  if (result.cache_hits() != 0) {
+    std::printf("cache:        %zu invocation(s) served without a grid job\n",
+                result.cache_hits());
+  }
   if (!result.failure_report.empty()) {
     std::printf("fault containment: %s", result.failure_report.to_text().c_str());
   }
@@ -362,8 +417,12 @@ int cmd_run(const Args& args) {
     std::printf("provenance written to %s\n", out->c_str());
   }
   if (const auto out = args.get("csv")) {
-    write_file(*out, enactor::timeline_to_csv(result.timeline));
+    write_file(*out, enactor::timeline_to_csv(result.timeline, data_plane));
     std::printf("timeline written to %s\n", out->c_str());
+  }
+  if (const auto out = args.get("cache-stats-out")) {
+    write_file(*out, cache_stats_json(moteur.invocation_cache()));
+    std::printf("cache stats written to %s\n", out->c_str());
   }
   if (const auto out = args.get("trace-out")) {
     write_file(*out, obs::chrome_trace_json(recorder.tracer()));

@@ -109,6 +109,47 @@ else
 fi
 echo "multi-tenant smoke OK"
 
+# Data-plane smoke: the same Bronze run enacted twice back-to-back through the
+# RunService with the invocation cache on. The second run must be served from
+# the cache (hits > 0, fewer grid submissions) and still reconstruct exactly
+# the same provenance as the first.
+echo "== data-plane smoke: warm-cache rerun with --cache =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --runs 2 --max-active 1 --cache \
+  --provenance "$obs_dir/cache_prov.xml" \
+  --cache-stats-out "$obs_dir/cache_stats.json" \
+  --metrics-out "$obs_dir/cache_metrics.prom" >/dev/null || {
+  echo "warm-cache rerun exited nonzero" >&2
+  exit 1
+}
+cmp -s "$obs_dir/cache_prov.run1.xml" "$obs_dir/cache_prov.run2.xml" || {
+  echo "cached rerun reconstructed different provenance than the first run" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir/cache_stats.json" "$obs_dir/cache_metrics.prom" <<'EOF'
+import json, re, sys
+stats = json.load(open(sys.argv[1]))
+runs = stats["runs"]
+first = next(r for r in runs if r.endswith("-1"))
+second = next(r for r in runs if r.endswith("-2"))
+assert runs[second]["hits"] > 0, "second run had no cache hits"
+assert runs[first]["hits"] == 0, "first run on a cold cache reported hits"
+series = {}
+for line in open(sys.argv[2]):
+    m = re.match(r'moteur_run_submissions_total\{run="([^"]+)"\} (\d+)', line)
+    if m:
+        series[m.group(1)] = int(m.group(2))
+assert series[second] < series[first], (
+    f"cached rerun submitted {series[second]} jobs vs {series[first]} cold")
+EOF
+else
+  echo "python3 unavailable; skipping cache-stats validation"
+fi
+echo "data-plane smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry/run-service tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
