@@ -23,10 +23,12 @@ std::uint64_t fnv1a_append(std::uint64_t seed, std::uint64_t value) {
 }
 
 std::uint64_t derived_digest(std::uint64_t service_digest, const std::string& port,
-                             std::vector<std::uint64_t> input_digests) {
-  std::sort(input_digests.begin(), input_digests.end());
+                             std::vector<PortDigest> inputs) {
+  std::sort(inputs.begin(), inputs.end());
   std::uint64_t h = fnv1a(port, fnv1a_append(kFnvOffset, service_digest));
-  for (std::uint64_t d : input_digests) h = fnv1a_append(h, d);
+  for (const auto& [in_port, digest] : inputs) {
+    h = fnv1a_append(fnv1a(in_port, h), digest);
+  }
   return h;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace moteur::data {
@@ -29,12 +30,20 @@ std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed = kFnvOffset);
 /// Fold a 64-bit value into a running FNV-1a digest (little-endian bytes).
 std::uint64_t fnv1a_append(std::uint64_t seed, std::uint64_t value);
 
-/// Content digest of a derived value: H(service digest, output port, sorted
-/// input digests). Sorting makes the key independent of port iteration
-/// order; the chain makes equal inputs through the same service collide,
-/// which is exactly the invocation-cache key property.
+/// One bound input: its port name and the content digest of the value bound
+/// to it. Digest derivations fold these sorted by port name, so the result
+/// is independent of iteration order but sensitive to *which* port carries
+/// which value — swapping two ports' inputs never collides.
+using PortDigest = std::pair<std::string, std::uint64_t>;
+
+/// Content digest of a derived value: H(service digest, output port,
+/// (input port, input digest) pairs sorted by port name). Sorting by port
+/// makes the chain independent of how callers iterate the binding; folding
+/// the port names keeps non-commutative services (a=X,b=Y vs a=Y,b=X) from
+/// colliding. Equal bindings through the same service collide, which is
+/// exactly the invocation-cache key property.
 std::uint64_t derived_digest(std::uint64_t service_digest, const std::string& port,
-                             std::vector<std::uint64_t> input_digests);
+                             std::vector<PortDigest> inputs);
 
 /// Canonical hex spelling ("0011aabbccddeeff") used in logical names and
 /// cache keys.

@@ -5,12 +5,14 @@
 namespace moteur::data {
 
 std::string InvocationCache::cache_key(std::uint64_t service_digest,
-                                       std::vector<std::uint64_t> input_digests) {
-  std::sort(input_digests.begin(), input_digests.end());
+                                       std::vector<PortDigest> inputs) {
+  std::sort(inputs.begin(), inputs.end());
   std::string key = digest_hex(service_digest);
-  for (std::uint64_t d : input_digests) {
+  for (const auto& [port, digest] : inputs) {
     key += ':';
-    key += digest_hex(d);
+    key += port;
+    key += '=';
+    key += digest_hex(digest);
   }
   return key;
 }

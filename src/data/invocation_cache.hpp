@@ -30,8 +30,8 @@ struct CachedInvocation {
 };
 
 /// Content-addressed memoization of service invocations. The key is derived
-/// from the service's content digest (id + descriptor hash) and the sorted
-/// content digests of the bound inputs — see cache_key(). A hit lets the
+/// from the service's content digest (id + descriptor hash) and the bound
+/// inputs' (port, content digest) pairs — see cache_key(). A hit lets the
 /// engine short-circuit the grid job entirely.
 ///
 /// Only complete successful results are ever inserted (the engine inserts on
@@ -47,9 +47,13 @@ class InvocationCache {
     std::size_t insertions = 0;
   };
 
-  /// Canonical key: service content digest + sorted input content digests.
+  /// Canonical key: service content digest + the bound inputs' (port,
+  /// content digest) pairs, sorted by port name. Independent of how the
+  /// caller iterates the binding, but sensitive to which port carries which
+  /// value — a non-commutative service invoked with inputs swapped across
+  /// ports must never be served the other invocation's result.
   static std::string cache_key(std::uint64_t service_digest,
-                               std::vector<std::uint64_t> input_digests);
+                               std::vector<PortDigest> inputs);
 
   /// Look up a memoized result; counts a hit against `run_id` when found.
   /// A failed lookup counts nothing — callers may probe the same work

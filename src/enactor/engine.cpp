@@ -207,16 +207,20 @@ bool Engine::cacheable(const PState& state) const {
 
 std::string Engine::tuple_cache_key(const PState& state,
                                     const IterationBuffer::Tuple& tuple) const {
-  std::vector<std::uint64_t> digests;
-  digests.reserve(tuple.tokens.size());
-  for (const auto& token : tuple.tokens) {
+  // Tuple tokens are aligned with the buffer's port order, so pair each
+  // digest with its port: the key must distinguish a=X,b=Y from a=Y,b=X.
+  const std::vector<std::string>& ports = state.buffer->ports();
+  std::vector<data::PortDigest> inputs;
+  inputs.reserve(tuple.tokens.size());
+  for (std::size_t i = 0; i < tuple.tokens.size(); ++i) {
+    const data::Token& token = tuple.tokens[i];
     // A poisoned or undigested input defeats content addressing: the tuple
     // must run (or be skipped) for real.
     if (token.poisoned() || token.digest() == 0) return {};
-    digests.push_back(token.digest());
+    inputs.emplace_back(ports[i], token.digest());
   }
   return data::InvocationCache::cache_key(state.service->content_digest(),
-                                          std::move(digests));
+                                          std::move(inputs));
 }
 
 bool Engine::try_serve_cached(PState& state, const IterationBuffer::Tuple& tuple) {
@@ -748,18 +752,19 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     const auto outlets = workflow_.links_out_of(state.proc->name);
     for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
       const auto& tuple = sub->tuples[i];
-      // Content chain: output digest = H(service, port, sorted input
-      // digests). Any undigested input breaks the chain (digest 0).
-      std::vector<std::uint64_t> input_digests;
+      // Content chain: output digest = H(service, port, (input port, input
+      // digest) pairs). Any undigested input breaks the chain (digest 0).
+      const std::vector<std::string>& in_ports = state.buffer->ports();
+      std::vector<data::PortDigest> input_digests;
       bool digested = digesting;
       if (digested) {
         input_digests.reserve(tuple.tokens.size());
-        for (const auto& t : tuple.tokens) {
-          if (t.digest() == 0) {
+        for (std::size_t t = 0; t < tuple.tokens.size(); ++t) {
+          if (tuple.tokens[t].digest() == 0) {
             digested = false;
             break;
           }
-          input_digests.push_back(t.digest());
+          input_digests.emplace_back(in_ports[t], tuple.tokens[t].digest());
         }
       }
       const std::string* key =

@@ -1,7 +1,9 @@
 #include "enactor/sim_backend.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataref.hpp"
@@ -27,34 +29,58 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
   bool refs_complete = catalog_ != nullptr;
   std::vector<double> output_mb_per_binding;
   output_mb_per_binding.reserve(bindings.size());
+  // Source registrations are deferred until the whole batch is known to
+  // stage per-file: an undigested token anywhere reverts the job to the
+  // aggregate input_megabytes plan, and the catalog must not keep replicas
+  // the job never stages (they would skew later data-aware ranking).
+  std::vector<std::pair<std::string, double>> pending_sources;
   for (const auto& binding : bindings) {
     const grid::JobRequest profile = service->job_profile(binding);
     request.compute_seconds += profile.compute_seconds;
     request.input_megabytes += profile.input_megabytes;
     request.output_megabytes += profile.output_megabytes;
     output_mb_per_binding.push_back(profile.output_megabytes);
-    if (refs_complete) {
-      const double per_token =
-          binding.empty() ? 0.0
-                          : profile.input_megabytes / static_cast<double>(binding.size());
-      for (const auto& [port, token] : binding) {
-        if (token.ref() != nullptr) {
-          request.input_refs.push_back(
-              grid::DataStageRef{token.ref()->logical_name, token.ref()->size_mb});
-        } else if (token.digest() != 0) {
-          // Refless but digested (a source item): its bytes live at the
-          // default storage element until replicated elsewhere.
-          const std::string lfn = "lfn://" + data::digest_hex(token.digest());
-          catalog_->register_replica(lfn, grid_.close_storage_name(std::string()),
-                                     per_token);
-          request.input_refs.push_back(grid::DataStageRef{lfn, per_token});
-        } else {
-          refs_complete = false;  // aggregate/undigested input: no file plan
-        }
+    if (!refs_complete) continue;
+    // Ref-carrying tokens are sized by their replica; the profile's
+    // aggregate, minus those, is spread over the refless (source) tokens so
+    // the per-file plan still sums to the profile's input_megabytes.
+    double ref_mb = 0.0;
+    std::size_t refless = 0;
+    for (const auto& [port, token] : binding) {
+      if (token.ref() != nullptr) {
+        ref_mb += token.ref()->size_mb;
+      } else {
+        ++refless;
+      }
+    }
+    const double per_token =
+        refless == 0 ? 0.0
+                     : std::max(0.0, profile.input_megabytes - ref_mb) /
+                           static_cast<double>(refless);
+    for (const auto& [port, token] : binding) {
+      if (token.ref() != nullptr) {
+        request.input_refs.push_back(
+            grid::DataStageRef{token.ref()->logical_name, token.ref()->size_mb});
+      } else if (token.digest() != 0) {
+        // Refless but digested (a source item): its bytes live at the
+        // default storage element until replicated elsewhere.
+        const std::string lfn = "lfn://" + data::digest_hex(token.digest());
+        pending_sources.emplace_back(lfn, per_token);
+        request.input_refs.push_back(grid::DataStageRef{lfn, per_token});
+      } else {
+        refs_complete = false;  // aggregate/undigested input: no file plan
+        break;
       }
     }
   }
-  if (!refs_complete) request.input_refs.clear();
+  if (refs_complete) {
+    for (const auto& [lfn, megabytes] : pending_sources) {
+      catalog_->register_replica(lfn, grid_.close_storage_name(std::string()),
+                                 megabytes);
+    }
+  } else {
+    request.input_refs.clear();
+  }
   if (bindings.size() > 1) {
     request.name += "[x" + std::to_string(bindings.size()) + "]";
   }
@@ -93,10 +119,10 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
         services::Result result = service->synthesize_outputs(bindings[i]);
         // Stage-out bookkeeping: each produced output becomes a replica at
         // the executing CE's close storage element, addressed by its content
-        // chain (H(service, port, sorted input digests)), so repeats of the
-        // same content share the same logical file.
+        // chain (H(service, port, (input port, input digest) pairs)), so
+        // repeats of the same content share the same logical file.
         if (make_refs) {
-          std::vector<std::uint64_t> input_digests;
+          std::vector<data::PortDigest> input_digests;
           input_digests.reserve(bindings[i].size());
           bool digested = true;
           for (const auto& [port, token] : bindings[i]) {
@@ -104,7 +130,7 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
               digested = false;
               break;
             }
-            input_digests.push_back(token.digest());
+            input_digests.emplace_back(port, token.digest());
           }
           if (digested && !result.outputs.empty()) {
             const double mb_per_output =

@@ -232,6 +232,12 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
         --job->in_flight_attempts;
         if (job->completed) return;  // a racing clone won; discard this result
         job->record.output_transfer_seconds += out_seconds;
+        // A still-racing clone's later match (or stage-in) may have
+        // overwritten the placement fields; reassert the winning attempt's
+        // CE so replica registration and completion consumers see where the
+        // job actually ran — not where a losing clone was matched.
+        job->record.computing_element = ce.name();
+        job->record.staging_element = close_storage(ce.name()).name();
         finish(job, JobState::kDone);
       });
     });

@@ -42,17 +42,20 @@ TEST(Digest, Fnv1aIsDeterministicAndContentSensitive) {
   EXPECT_NE(data::fnv1a("b", data::fnv1a("a")), data::fnv1a("b"));
 }
 
-TEST(Digest, DerivedDigestSortsInputDigests) {
-  // The cache-key property: equal input multisets through the same service
-  // and port collide, regardless of port iteration order.
-  EXPECT_EQ(data::derived_digest(7, "out", {1, 2, 3}),
-            data::derived_digest(7, "out", {3, 1, 2}));
-  EXPECT_NE(data::derived_digest(7, "out", {1, 2, 3}),
-            data::derived_digest(7, "out", {1, 2, 4}));
-  EXPECT_NE(data::derived_digest(7, "out", {1, 2}),
-            data::derived_digest(8, "out", {1, 2}));
-  EXPECT_NE(data::derived_digest(7, "c1", {1, 2}),
-            data::derived_digest(7, "c2", {1, 2}));
+TEST(Digest, DerivedDigestIsOrderIndependentButPortSensitive) {
+  // The cache-key property: equal bindings through the same service and
+  // port collide regardless of iteration order, but swapping which port
+  // carries which value must not (non-commutative services).
+  EXPECT_EQ(data::derived_digest(7, "out", {{"a", 1}, {"b", 2}, {"c", 3}}),
+            data::derived_digest(7, "out", {{"c", 3}, {"a", 1}, {"b", 2}}));
+  EXPECT_NE(data::derived_digest(7, "out", {{"a", 1}, {"b", 2}}),
+            data::derived_digest(7, "out", {{"a", 2}, {"b", 1}}));  // swapped ports
+  EXPECT_NE(data::derived_digest(7, "out", {{"a", 1}, {"b", 2}, {"c", 3}}),
+            data::derived_digest(7, "out", {{"a", 1}, {"b", 2}, {"c", 4}}));
+  EXPECT_NE(data::derived_digest(7, "out", {{"a", 1}, {"b", 2}}),
+            data::derived_digest(8, "out", {{"a", 1}, {"b", 2}}));
+  EXPECT_NE(data::derived_digest(7, "c1", {{"a", 1}, {"b", 2}}),
+            data::derived_digest(7, "c2", {{"a", 1}, {"b", 2}}));
 }
 
 TEST(Digest, HexSpellingIsFixedWidth) {
@@ -101,18 +104,22 @@ TEST(ReplicaCatalog, RegistrationIsIdempotentPerStorageElement) {
 // Invocation cache
 // ---------------------------------------------------------------------------
 
-TEST(InvocationCache, KeyIsIndependentOfInputDigestOrder) {
-  EXPECT_EQ(data::InvocationCache::cache_key(9, {1, 2, 3}),
-            data::InvocationCache::cache_key(9, {3, 2, 1}));
-  EXPECT_NE(data::InvocationCache::cache_key(9, {1, 2, 3}),
-            data::InvocationCache::cache_key(9, {1, 2}));
-  EXPECT_NE(data::InvocationCache::cache_key(9, {1}),
-            data::InvocationCache::cache_key(10, {1}));
+TEST(InvocationCache, KeyIsOrderIndependentButPortSensitive) {
+  EXPECT_EQ(data::InvocationCache::cache_key(9, {{"a", 1}, {"b", 2}, {"c", 3}}),
+            data::InvocationCache::cache_key(9, {{"c", 3}, {"b", 2}, {"a", 1}}));
+  // Swapping which port carries which value is a different invocation: the
+  // cache must never serve a=X,b=Y's result to a=Y,b=X.
+  EXPECT_NE(data::InvocationCache::cache_key(9, {{"a", 1}, {"b", 2}}),
+            data::InvocationCache::cache_key(9, {{"a", 2}, {"b", 1}}));
+  EXPECT_NE(data::InvocationCache::cache_key(9, {{"a", 1}, {"b", 2}, {"c", 3}}),
+            data::InvocationCache::cache_key(9, {{"a", 1}, {"b", 2}}));
+  EXPECT_NE(data::InvocationCache::cache_key(9, {{"a", 1}}),
+            data::InvocationCache::cache_key(10, {{"a", 1}}));
 }
 
 TEST(InvocationCache, CountsHitsAndMissesPerRun) {
   data::InvocationCache cache;
-  const std::string key = data::InvocationCache::cache_key(1, {2});
+  const std::string key = data::InvocationCache::cache_key(1, {{"in", 2}});
   EXPECT_FALSE(cache.lookup(key, "run-a").has_value());  // probes count nothing
   cache.note_miss("run-a");  // the caller reports the miss when it executes
   data::CachedInvocation memo;
@@ -133,7 +140,7 @@ TEST(InvocationCache, CountsHitsAndMissesPerRun) {
 
 TEST(InvocationCache, FirstWriterWins) {
   data::InvocationCache cache;
-  const std::string key = data::InvocationCache::cache_key(1, {2});
+  const std::string key = data::InvocationCache::cache_key(1, {{"in", 2}});
   data::CachedInvocation first;
   first.outputs.push_back(data::CachedOutput{"out", 1, "first", 0, nullptr});
   data::CachedInvocation second;
@@ -234,6 +241,54 @@ TEST(EngineCache, RepeatedValuesWithinOneRunHit) {
   EXPECT_EQ(result.cache_hits(), 2u);
   EXPECT_EQ(result.submissions(), 2u);
   EXPECT_EQ(result.sink_outputs.at("sink").size(), 4u);
+}
+
+TEST(EngineCache, SwappedPortBindingsAreDistinctInvocations) {
+  // The memoization key is port-sensitive: invoking concat with a="x",b="y"
+  // and then a="y",b="x" are different invocations — the second must not be
+  // served the first's memoized result (concat is not commutative).
+  services::ServiceRegistry registry;
+  registry.add(std::make_shared<FunctionalService>(
+      "concat", std::vector<std::string>{"a", "b"}, std::vector<std::string>{"out"},
+      [](const Inputs& in) {
+        const std::string v =
+            in.at("a").as<std::string>() + in.at("b").as<std::string>();
+        Result r;
+        r.outputs["out"] = services::OutputValue{v, v};
+        return r;
+      }));
+
+  enactor::ThreadedBackend backend(2);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.cache = true;
+  enactor::Enactor moteur(backend, registry, policy);
+
+  workflow::Workflow wf("swap");
+  wf.add_source("A");
+  wf.add_source("B");
+  wf.add_processor("concat", {"a", "b"}, {"out"});
+  wf.add_sink("sink");
+  wf.link("A", "out", "concat", "a");
+  wf.link("B", "out", "concat", "b");
+  wf.link("concat", "out", "sink", "in");
+
+  data::InputDataSet first;
+  first.add_item("A", std::string("x"));
+  first.add_item("B", std::string("y"));
+  const auto r1 = moteur.run({.workflow = wf, .inputs = first});
+  ASSERT_EQ(r1.sink_outputs.at("sink").size(), 1u);
+  EXPECT_EQ(r1.sink_outputs.at("sink")[0].as<std::string>(), "xy");
+
+  data::InputDataSet second;
+  second.add_item("A", std::string("y"));
+  second.add_item("B", std::string("x"));
+  const auto r2 = moteur.run({.workflow = wf, .inputs = second});
+  EXPECT_EQ(r2.cache_hits(), 0u);  // same value multiset, different binding
+  ASSERT_EQ(r2.sink_outputs.at("sink").size(), 1u);
+  EXPECT_EQ(r2.sink_outputs.at("sink")[0].as<std::string>(), "yx");
+
+  // And the distinct bindings coexist in the cache as distinct entries.
+  EXPECT_EQ(moteur.invocation_cache()->entry_count(), 2u);
 }
 
 TEST(EngineCache, NonDeterministicServiceIsNeverMemoized) {
