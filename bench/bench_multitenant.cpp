@@ -77,9 +77,9 @@ std::vector<double> back_to_back_turnarounds() {
 std::vector<double> multitenant_turnarounds() {
   Rig rig;
   service::RunServiceConfig config;
-  config.max_active_runs = 4;
-  config.max_inflight_submissions = 64;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 4;
+  config.admission.max_inflight = 64;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   service::RunService runs(rig.backend, rig.registry, config);
 
   std::vector<enactor::RunRequest> requests;
@@ -94,12 +94,19 @@ std::vector<double> multitenant_turnarounds() {
     requests.push_back(std::move(request));
   }
   auto handles = runs.submit_all(std::move(requests));
-  std::vector<double> turnarounds;
-  for (auto& handle : handles) {
-    handle.wait();
-    // All tenants are submitted at backend t=0: the finish stamp is the
-    // turnaround.
-    turnarounds.push_back(handle.result().finished_at);
+  // Harvest in completion order — wait_any() blocks until any tenant turns
+  // terminal — but keep turnarounds indexed by submission position (the
+  // starvation check below addresses the small tenants by slot). All tenants
+  // are submitted at backend t=0, so the finish stamp is the turnaround.
+  std::vector<double> turnarounds(handles.size(), 0.0);
+  std::vector<service::RunHandle> pending(handles.begin(), handles.end());
+  std::vector<std::size_t> slot(handles.size());
+  for (std::size_t i = 0; i < slot.size(); ++i) slot[i] = i;
+  while (!pending.empty()) {
+    const std::size_t k = runs.wait_any(pending);
+    turnarounds[slot[k]] = pending[k].result().finished_at;
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+    slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(k));
   }
   runs.wait_idle();
   return turnarounds;

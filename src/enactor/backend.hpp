@@ -137,6 +137,17 @@ class ExecutionBackend {
   /// drive() re-checks done() continuously (the simulated grid steps events
   /// in a tight loop) may keep the default no-op.
   virtual void notify() {}
+
+  /// Open an independent completion channel: a backend view with its own
+  /// completion queue, timer wheel, and drive() loop, so several engine
+  /// shards can each run their own event loop against one shared execution
+  /// substrate. Work submitted through a channel completes on THAT channel's
+  /// drive() thread; channels share the backend's workers, routing state,
+  /// and clock. Each channel is driven by exactly one thread; the channel
+  /// must not outlive its parent. Returns nullptr when the backend cannot be
+  /// multi-driven (the single-threaded simulator) — callers then fall back
+  /// to one shard driving the backend directly.
+  virtual std::unique_ptr<ExecutionBackend> make_channel() { return nullptr; }
 };
 
 }  // namespace moteur::enactor

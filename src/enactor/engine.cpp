@@ -479,7 +479,12 @@ void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
   ++result_.stats.submissions;
   if (observing()) emit(make_event(obs::RunEvent::Kind::kAttemptStarted, *sub, attempt));
   arm_watchdog(sub);
-  auto bindings = sub->bindings;  // each attempt submits a fresh copy
+  // Each attempt submits a fresh copy of the bindings — except when the
+  // policy allows no further attempt (no retries, hence no watchdog clones
+  // either): then this submission is the only reader and the copy, the
+  // dominant completion-path allocation on cache-cold runs, is elided.
+  auto bindings = policy_.retry.max_attempts <= 1 ? std::move(sub->bindings)
+                                                  : sub->bindings;
   backend_.execute(sub->state->service, std::move(bindings),
                    [weak = weak_from_this(), sub, attempt](Outcome outcome) {
                      // The engine may be gone by the time a straggler reports
@@ -771,7 +776,7 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
           i < sub->cache_keys.size() && !sub->cache_keys[i].empty() ? &sub->cache_keys[i]
                                                                    : nullptr;
       data::CachedInvocation memo;
-      for (const auto& [port, value] : outcome.results[i].outputs) {
+      for (auto& [port, value] : outcome.results[i].outputs) {
         if (!state.proc->has_output_port(port)) continue;  // undeclared extra
         const std::uint64_t out_digest =
             digested ? data::derived_digest(service_digest, port, input_digests) : 0;
@@ -779,9 +784,14 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
           memo.outputs.push_back(data::CachedOutput{port, value.payload, value.repr,
                                                     out_digest, value.ref});
         }
+        // The outcome is owned by this completion and each port is visited
+        // once (memo copy above happens first), so the payload, repr, and
+        // DataRef move into the token instead of copying — std::any copies
+        // of large payloads were the hot-path cost at ~1M invocations.
         data::Token token =
             data::Token::derived(state.proc->name, port, tuple.tokens, tuple.index,
-                                 value.payload, value.repr, out_digest, value.ref);
+                                 std::move(value.payload), std::move(value.repr),
+                                 out_digest, std::move(value.ref));
         const Link* last = nullptr;
         for (const Link* link : outlets) {
           if (link->from_port == port) last = link;

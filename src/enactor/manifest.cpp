@@ -138,6 +138,12 @@ std::string RunManifest::to_xml() const {
     grid_node.set_attribute("nodes", std::to_string(cluster_nodes));
   }
 
+  if (shards != 1 || pin_policy != "hash") {
+    auto& service_node = root->add_child("service");
+    service_node.set_attribute("shards", std::to_string(shards));
+    service_node.set_attribute("pinPolicy", pin_policy);
+  }
+
   // Embed the workflow and data-set documents (their roots become children).
   root->adopt(xml::parse(workflow::to_scufl(workflow)).take_root());
   root->adopt(xml::parse(inputs.to_xml()).take_root());
@@ -162,6 +168,17 @@ RunManifest RunManifest::from_xml(const std::string& text) {
     }
     if (const auto nodes = grid_node->attribute("nodes")) {
       manifest.cluster_nodes = static_cast<std::size_t>(std::stoul(*nodes));
+    }
+  }
+  if (const xml::Node* service_node = doc.root().child("service")) {
+    if (const auto shards = service_node->attribute("shards")) {
+      manifest.shards = static_cast<std::size_t>(std::stoul(*shards));
+      MOTEUR_REQUIRE(manifest.shards >= 1, ParseError, "shards must be >= 1");
+    }
+    if (const auto pin = service_node->attribute("pinPolicy")) {
+      MOTEUR_REQUIRE(*pin == "hash" || *pin == "least-loaded", ParseError,
+                     "pinPolicy must be hash | least-loaded");
+      manifest.pin_policy = *pin;
     }
   }
   const xml::Node& wf_node = doc.root().required_child("workflow");

@@ -28,6 +28,13 @@ struct RunManifest {
   double constant_overhead_seconds = 600.0;  // preset "constant"
   std::size_t cluster_nodes = 64;            // preset "cluster"
 
+  /// Enactment-core sharding for services replaying this manifest
+  /// (<service shards=".." pinPolicy="hash|least-loaded"/>). Kept as plain
+  /// data here — the service layer (which sits above the enactor) parses
+  /// pin_policy into its PinPolicy enum.
+  std::size_t shards = 1;
+  std::string pin_policy = "hash";
+
   /// Build the configured grid.
   grid::GridConfig make_grid_config() const;
 

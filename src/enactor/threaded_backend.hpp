@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -27,6 +28,13 @@ namespace moteur::enactor {
 /// locking. Timers (retry watchdogs, backoff delays) are kept in a deadline
 /// queue and also fire on the drive() thread.
 ///
+/// make_channel() opens additional, independently driven completion lanes
+/// over the same worker pool: each channel owns an MPSC completion queue and
+/// timer wheel of its own, so N engine shards can each run a private event
+/// loop while sharing the workers, the host-routing state (now guarded by a
+/// routing mutex), and the clock. Without channels the backend behaves
+/// exactly as before — one drive() thread, no contention.
+///
 /// A service exception is reported as a kTransient outcome: the enactor's
 /// RetryPolicy decides whether to re-invoke (default: no retries, so the
 /// historical one-exception-one-failure behaviour is preserved).
@@ -47,8 +55,9 @@ class ThreadedBackend : public ExecutionBackend {
   bool drive(const std::function<bool()>& done) override;
 
   /// Feeds worker-pool tallies and queue-wait histograms into `metrics`.
-  /// Recording happens on the drive() thread at completion delivery, never
-  /// on workers, so the registry needs no locking. Set before enacting.
+  /// Recording happens on drive() threads at completion delivery, never on
+  /// workers, serialized by an internal mutex so channel drivers can share
+  /// the registry. Set before enacting.
   void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
 
   /// Name logical execution hosts so this backend participates in per-CE
@@ -60,34 +69,30 @@ class ThreadedBackend : public ExecutionBackend {
   void configure_hosts(std::vector<std::string> hosts, std::uint64_t seed);
 
   /// Inject faults: executions routed to `host` fail (kTransient) with
-  /// probability `p`, drawn deterministically on the drive thread.
+  /// probability `p`, drawn deterministically on the submitting drive thread.
   void set_host_failure_probability(const std::string& host, double p);
 
   /// Breakers consulted when picking a host: a host is skipped when ANY
   /// attached ledger vetoes it. Only meaningful after configure_hosts().
-  /// Touched from the drive thread only.
-  void set_health(grid::CeHealth* health) override {
-    health_.clear();
-    if (health != nullptr) health_.push_back(health);
-  }
-  void add_health(grid::CeHealth* health) override {
-    if (health != nullptr) health_.push_back(health);
-  }
-  void remove_health(grid::CeHealth* health) override {
-    health_.erase(std::remove(health_.begin(), health_.end(), health), health_.end());
-  }
+  /// Guarded by the routing mutex (channels route concurrently).
+  void set_health(grid::CeHealth* health) override;
+  void add_health(grid::CeHealth* health) override;
+  void remove_health(grid::CeHealth* health) override;
 
   /// Thread-safe: wakes a drive() blocked on the completion queue so its
   /// done() predicate is re-evaluated (RunService pushes commands this way).
   void notify() override;
 
-  std::size_t tasks_executed() const { return tasks_executed_; }
+  /// Open an independent completion lane for one engine shard (see
+  /// ExecutionBackend::make_channel). The channel must not outlive this
+  /// backend.
+  std::unique_ptr<ExecutionBackend> make_channel() override;
+
+  std::size_t tasks_executed() const { return tasks_executed_.load(); }
 
  private:
-  void record_metrics(const Outcome& outcome);
-  /// Round-robin over admissible hosts (drive thread only); falls back to
-  /// plain round-robin when every breaker is open.
-  const std::string& pick_host();
+  class Channel;
+  friend class Channel;
 
   struct Done {
     Outcome outcome;
@@ -97,13 +102,35 @@ class ThreadedBackend : public ExecutionBackend {
     std::chrono::steady_clock::time_point deadline;
     std::function<void()> fn;
   };
+  /// One routing decision, taken on the submitting thread under route_mu_ so
+  /// host assignment and fault draws stay deterministic per submission order.
+  struct Routed {
+    std::string host;
+    bool inject_fault = false;
+  };
+
+  Routed route_submission();
+  /// Run the payload on a worker thread; shared by the backend's own lane
+  /// and every channel. Increments tasks_executed_.
+  Outcome run_payload(const std::shared_ptr<services::Service>& service,
+                      const std::vector<services::Inputs>& bindings, double submit_time,
+                      const std::string& host, bool inject_fault);
+  void record_metrics(const Outcome& outcome);
+  /// Round-robin over admissible hosts (requires route_mu_); falls back to
+  /// plain round-robin when every breaker is open.
+  const std::string& pick_host();
 
   ThreadPool pool_;
-  obs::MetricsRegistry* metrics_ = nullptr;    // touched from drive() only
-  std::vector<grid::CeHealth*> health_;        // touched from drive() only
+  obs::MetricsRegistry* metrics_ = nullptr;  // set before enacting
+  std::mutex metrics_mu_;                    // serializes recording across drive threads
+  std::mutex route_mu_;                      // guards hosts_/health_/fault state
+  /// True once configure_hosts() named hosts; lets the (very common) hostless
+  /// case skip route_mu_ entirely on the submission hot path.
+  std::atomic<bool> routing_enabled_{false};
+  std::vector<grid::CeHealth*> health_;
   std::vector<std::string> hosts_;
   std::map<std::string, double> host_failure_;
-  std::unique_ptr<Rng> fault_rng_;  // drawn in execute(), on the drive thread
+  std::unique_ptr<Rng> fault_rng_;  // drawn in route_submission(), under route_mu_
   std::size_t next_host_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
@@ -112,7 +139,7 @@ class ThreadedBackend : public ExecutionBackend {
   std::map<TimerId, Timer> timers_;  // few enough that a flat scan is fine
   TimerId next_timer_ = 1;
   std::size_t in_flight_ = 0;
-  std::size_t tasks_executed_ = 0;
+  std::atomic<std::size_t> tasks_executed_{0};
   bool wake_ = false;  // set by notify(); consumed inside drive()
 };
 

@@ -50,6 +50,7 @@ void CeHealth::transition(const std::string& ce, Entry& e, BreakerState to, doub
 
 void CeHealth::record(const std::string& ce, bool success, double now) {
   if (!policy_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entry(ce);
   switch (e.state) {
     case BreakerState::kOpen:
@@ -75,6 +76,7 @@ void CeHealth::record(const std::string& ce, bool success, double now) {
 
 bool CeHealth::admissible(const std::string& ce, double now) const {
   if (!policy_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(ce);
   if (it == entries_.end()) return true;
   switch (it->second.state) {
@@ -88,6 +90,7 @@ bool CeHealth::admissible(const std::string& ce, double now) const {
 
 void CeHealth::on_routed(const std::string& ce, double now) {
   if (!policy_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entry(ce);
   if (e.state == BreakerState::kOpen && now >= e.opened_at + policy_.cooldown_seconds) {
     transition(ce, e, BreakerState::kHalfOpen, now);
@@ -95,21 +98,44 @@ void CeHealth::on_routed(const std::string& ce, double now) {
 }
 
 void CeHealth::note_rerouted(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++reroutes_;
   if (on_reroute_) on_reroute_(now);
 }
 
 BreakerState CeHealth::state(const std::string& ce) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(ce);
   return it == entries_.end() ? BreakerState::kClosed : it->second.state;
 }
 
 std::size_t CeHealth::open_breakers() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;
   for (const auto& [name, e] : entries_) {
     if (e.state != BreakerState::kClosed) ++count;
   }
   return count;
+}
+
+std::size_t CeHealth::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+std::size_t CeHealth::closes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closes_;
+}
+
+std::size_t CeHealth::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+std::size_t CeHealth::reroutes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reroutes_;
 }
 
 }  // namespace moteur::grid

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace moteur::grid {
@@ -32,9 +33,11 @@ enum class BreakerState { kClosed, kOpen, kHalfOpen };
 const char* to_string(BreakerState s);
 
 /// Per-CE health ledger with a circuit breaker per computing element.
-/// Single-threaded by design: every call happens on the thread driving the
-/// backend (the broker consults it during matchmaking, the enactor feeds it
-/// per-attempt outcomes), so no locking is needed.
+/// Thread-safe: a RunService shares one ledger across every engine shard, so
+/// queries and outcome recording may arrive from several shard threads at
+/// once; an internal mutex serializes them (uncontended in the historical
+/// single-worker setup). Transition/reroute listeners fire with the lock
+/// held — they must not call back into the ledger.
 ///
 /// A straggler completing after its breaker opened only updates the ledger
 /// through the half-open decision: outcomes recorded while the breaker is
@@ -82,10 +85,10 @@ class CeHealth {
   BreakerState state(const std::string& ce) const;
   std::size_t open_breakers() const;
 
-  std::size_t opens() const { return opens_; }
-  std::size_t closes() const { return closes_; }
-  std::size_t probes() const { return probes_; }
-  std::size_t reroutes() const { return reroutes_; }
+  std::size_t opens() const;
+  std::size_t closes() const;
+  std::size_t probes() const;
+  std::size_t reroutes() const;
 
  private:
   struct Entry {
@@ -98,6 +101,7 @@ class CeHealth {
   Entry& entry(const std::string& ce) { return entries_[ce]; }
   void transition(const std::string& ce, Entry& e, BreakerState to, double now);
 
+  mutable std::mutex mu_;
   BreakerPolicy policy_;
   std::map<std::string, Entry> entries_;
   TransitionListener on_transition_;

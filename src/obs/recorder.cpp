@@ -97,12 +97,20 @@ Counter& RunRecorder::breaker_transitions(const std::string& ce, const char* to)
 }
 
 Counter& RunRecorder::processor_tuples(const std::string& processor) {
+  // One-entry memo: invocation completions arrive in per-processor bursts,
+  // so the map lookup is skipped on the hot path (counters are never erased,
+  // the cached pointer stays valid for the registry's lifetime).
+  if (last_processor_tuples_ != nullptr && processor == last_processor_) {
+    return *last_processor_tuples_;
+  }
   const auto [it, inserted] = processor_tuples_.try_emplace(processor, nullptr);
   if (inserted) {
     it->second = &metrics_.counter("moteur_processor_tuples_total",
                                    "Data tuples completed per processor",
                                    Labels{{"processor", processor}});
   }
+  last_processor_ = processor;
+  last_processor_tuples_ = it->second;
   return *it->second;
 }
 
@@ -149,6 +157,7 @@ void RunRecorder::on_event(const RunEvent& event) {
       for (const auto& [key, id] : c.invocation_spans) close_leftover(id);
       for (const auto& [key, id] : c.processor_spans) close_leftover(id);
       tuples_in_flight_->set(static_cast<double>(event.tuples_in_flight));
+      if (last_ctx_ == &c) last_ctx_ = nullptr;  // node dies with the erase
       runs_.erase(event.run_id);
       break;
     }

@@ -68,7 +68,18 @@ class RunRecorder {
   /// Label for per-CE series when the backend reports no CE (ThreadedBackend).
   static const std::string& ce_label(const RunEvent& event);
 
-  RunCtx& ctx(const std::string& run_id) { return runs_[run_id]; }
+  /// One-entry memo over the per-run map: consecutive events almost always
+  /// belong to the same run (shard-batched delivery guarantees long same-run
+  /// streaks), so the hot path skips the string-keyed map lookup entirely.
+  /// std::map nodes are stable, so the cached pointer survives unrelated
+  /// insertions; it is invalidated when its run is erased at kRunFinished.
+  RunCtx& ctx(const std::string& run_id) {
+    if (last_ctx_ != nullptr && run_id == last_run_id_) return *last_ctx_;
+    RunCtx& c = runs_[run_id];
+    last_run_id_ = run_id;
+    last_ctx_ = &c;
+    return c;
+  }
   CeSeries& ce_series(const std::string& ce);
   Counter& failure_counter(const std::string& status);
   Counter& processor_tuples(const std::string& processor);
@@ -79,6 +90,10 @@ class RunRecorder {
   MetricsRegistry metrics_;
 
   std::map<std::string, RunCtx> runs_;
+  std::string last_run_id_;
+  RunCtx* last_ctx_ = nullptr;
+  std::string last_processor_;
+  Counter* last_processor_tuples_ = nullptr;
 
   // Cached instruments (stable for the registry's lifetime).
   Counter* submissions_ = nullptr;

@@ -21,9 +21,10 @@ namespace moteur::service {
 /// moving on, so every run makes proportional progress regardless of how
 /// deep its own backlog is.
 ///
-/// Single-threaded by design: every method runs on the RunService worker
-/// thread (engines submit from within drive(), the service cancels between
-/// drive calls), so no locking is needed. Construct via std::make_shared —
+/// Single-threaded by design: each engine shard owns one gate (its slice of
+/// the service-wide in-flight cap) and every method runs on that shard's
+/// worker thread — engines submit from within drive(), the shard cancels
+/// between drive calls — so no locking is needed. Construct via std::make_shared —
 /// completion callbacks hold a weak_ptr so backend stragglers that outlive
 /// the gate are delivered without touching it.
 ///

@@ -1,18 +1,11 @@
 #include "service/run_service.hpp"
 
-#include <atomic>
-#include <condition_variable>
-#include <deque>
+#include <algorithm>
 #include <mutex>
 #include <set>
-#include <thread>
 #include <utility>
 
-#include "enactor/engine.hpp"
-#include "grid/ce_health.hpp"
-#include "obs/metrics.hpp"
-#include "obs/recorder.hpp"
-#include "service/admission.hpp"
+#include "service/shard.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -33,42 +26,31 @@ bool is_terminal(RunState s) {
   return s == RunState::kFinished || s == RunState::kFailed || s == RunState::kCancelled;
 }
 
-namespace detail {
+const char* to_string(PinPolicy p) {
+  switch (p) {
+    case PinPolicy::kHash: return "hash";
+    case PinPolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
 
-/// Shared state of one run: the handle holds one reference, the service
-/// another. The caller-visible fields live behind `mu`; the worker-side
-/// fields (request, engine, gated backend) are touched only by the worker
-/// thread and never through a handle.
-struct RunRecord {
-  // Immutable after submit.
-  std::string id;
-  std::map<std::string, std::string> labels;
-
-  // Caller-visible, guarded by mu.
-  mutable std::mutex mu;
-  mutable std::condition_variable cv;
-  RunState state = RunState::kQueued;
-  bool cancel_requested = false;
-  enactor::EnactmentResult result;
-  std::string error;
-  /// Wakes the service worker after a cancel request; the service clears it
-  /// at shutdown so handles outliving the service stay safe.
-  std::function<void()> poke;
-
-  // Worker-side only.
-  enactor::RunRequest request;
-  std::unique_ptr<enactor::ExecutionBackend> gated;
-  std::shared_ptr<enactor::Engine> engine;
-  bool cancel_applied = false;
-  double queued_backend_at = -1.0;  // backend time the run started waiting
-};
-
-}  // namespace detail
+PinPolicy parse_pin_policy(const std::string& text) {
+  if (text == "hash") return PinPolicy::kHash;
+  if (text == "least-loaded") return PinPolicy::kLeastLoaded;
+  throw ParseError("unknown pin policy '" + text + "' (hash | least-loaded)");
+}
 
 using detail::RunRecord;
 
-const std::string& RunHandle::id() const { return rec_->id; }
-const std::map<std::string, std::string>& RunHandle::labels() const { return rec_->labels; }
+const std::string& RunHandle::id() const {
+  static const std::string kEmpty;
+  return rec_ != nullptr ? rec_->id : kEmpty;
+}
+
+const std::map<std::string, std::string>& RunHandle::labels() const {
+  static const std::map<std::string, std::string> kEmpty;
+  return rec_ != nullptr ? rec_->labels : kEmpty;
+}
 
 RunState RunHandle::poll() const {
   std::lock_guard<std::mutex> lock(rec_->mu);
@@ -78,6 +60,12 @@ RunState RunHandle::poll() const {
 RunState RunHandle::wait() const {
   std::unique_lock<std::mutex> lock(rec_->mu);
   rec_->cv.wait(lock, [&] { return is_terminal(rec_->state); });
+  return rec_->state;
+}
+
+RunState RunHandle::wait_for_ns(std::chrono::nanoseconds timeout) const {
+  std::unique_lock<std::mutex> lock(rec_->mu);
+  rec_->cv.wait_for(lock, timeout, [&] { return is_terminal(rec_->state); });
   return rec_->state;
 }
 
@@ -94,98 +82,75 @@ const enactor::EnactmentResult& RunHandle::result() const {
   return rec_->result;  // immutable once terminal
 }
 
+const enactor::EnactmentResult* RunHandle::try_result() const {
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return is_terminal(rec_->state) ? &rec_->result : nullptr;
+}
+
 const std::string& RunHandle::error() const {
   std::unique_lock<std::mutex> lock(rec_->mu);
   rec_->cv.wait(lock, [&] { return is_terminal(rec_->state); });
   return rec_->error;
 }
 
-namespace {
-
-/// Per-run view of the shared backend: submissions detour through the
-/// admission gate (stamped with the run id for fair-share scheduling);
-/// time, timers, and everything else go straight to the shared backend.
-class GatedBackend final : public enactor::ExecutionBackend {
- public:
-  GatedBackend(enactor::ExecutionBackend& inner, std::shared_ptr<AdmissionGate> gate,
-               std::string run_id)
-      : inner_(inner), gate_(std::move(gate)), run_id_(std::move(run_id)) {}
-
-  void execute(std::shared_ptr<services::Service> svc,
-               std::vector<services::Inputs> bindings, Callback on_complete) override {
-    gate_->execute(run_id_, std::move(svc), std::move(bindings), std::move(on_complete));
-  }
-  double now() const override { return inner_.now(); }
-  TimerId schedule(double delay_seconds, std::function<void()> fn) override {
-    return inner_.schedule(delay_seconds, std::move(fn));
-  }
-  void cancel(TimerId id) override { inner_.cancel(id); }
-  bool drive(const std::function<bool()>& done) override { return inner_.drive(done); }
-  void set_metrics(obs::MetricsRegistry* metrics) override { inner_.set_metrics(metrics); }
-  void set_health(grid::CeHealth* health) override { inner_.set_health(health); }
-  void add_health(grid::CeHealth* health) override { inner_.add_health(health); }
-  void remove_health(grid::CeHealth* health) override { inner_.remove_health(health); }
-  void notify() override { inner_.notify(); }
-
- private:
-  enactor::ExecutionBackend& inner_;
-  std::shared_ptr<AdmissionGate> gate_;
-  std::string run_id_;
-};
-
-}  // namespace
-
+/// The dispatcher side of the service: resolves the effective shard count,
+/// owns the shards and the shared core, pins submissions, and fans control
+/// operations (cancel wake-ups, shutdown) out to the owning shards.
 struct RunService::Impl {
-  enactor::ExecutionBackend& backend;
-  services::ServiceRegistry& registry;
-  RunServiceConfig config;
-  std::shared_ptr<AdmissionGate> gate;
+  detail::ServiceCore core;
+  std::vector<std::unique_ptr<EngineShard>> shards;
+  PinPolicy pin;
 
-  /// One service-owned breaker ledger shared by every run (created lazily
-  /// from the first breaker-enabled policy). Per-run ledgers would deadlock
-  /// in half-open — another tenant's job may be the probe whose outcome the
-  /// waiting run never observes.
-  std::unique_ptr<grid::CeHealth> shared_health;
-
-  /// One service-owned invocation cache shared by every run (created lazily
-  /// from the first cache-enabled policy): tenants submitting content-
-  /// identical work benefit from each other's completed invocations.
-  std::unique_ptr<data::InvocationCache> shared_cache;
-
-  // Set before the first submit (contract); read by the worker only.
-  std::vector<enactor::EventSubscriber> subscribers;
-  obs::RunRecorder* recorder = nullptr;
-
-  // Service-wide instruments, resolved once a recorder is attached.
-  obs::Gauge* active_gauge = nullptr;
-  obs::Gauge* queued_gauge = nullptr;
-  obs::Gauge* gate_depth = nullptr;
-  obs::Histogram* admission_wait = nullptr;
-  obs::Histogram* gate_wait = nullptr;
-
-  std::mutex mu;
-  std::condition_variable cv;       // worker wake-up
-  std::condition_variable idle_cv;  // wait_idle / terminal transitions
-  std::atomic<bool> commands{false};
+  // Submission-side bookkeeping (id allocation, shutdown flag).
+  std::mutex submit_mu;
   bool stop = false;
-  std::deque<std::shared_ptr<RunRecord>> pending;
   std::vector<std::shared_ptr<RunRecord>> all;  // every record, for shutdown
-  std::size_t live = 0;                         // non-terminal runs
   std::size_t next_run = 1;
   std::set<std::string> used_ids;
 
   std::mutex join_mu;
-  std::thread worker;
 
   Impl(enactor::ExecutionBackend& backend_in, services::ServiceRegistry& registry_in,
        RunServiceConfig config_in)
-      : backend(backend_in), registry(registry_in), config(std::move(config_in)) {
-    AdmissionGate::Config gate_config;
-    gate_config.max_inflight = config.max_inflight_submissions;
-    gate = std::make_shared<AdmissionGate>(backend, gate_config);
+      : core(backend_in, registry_in, std::move(config_in)),
+        pin(core.config.sharding.pin) {
+    const std::size_t requested = std::max<std::size_t>(1, core.config.sharding.shards);
+    std::vector<std::unique_ptr<enactor::ExecutionBackend>> channels;
+    if (requested > 1) {
+      channels.reserve(requested);
+      for (std::size_t i = 0; i < requested; ++i) {
+        auto channel = backend_in.make_channel();
+        if (channel == nullptr) {
+          MOTEUR_LOG(kWarn, "service")
+              << "backend does not support completion channels; clamping "
+              << requested << " shards to 1";
+          channels.clear();
+          break;
+        }
+        channels.push_back(std::move(channel));
+      }
+    }
+    const std::size_t effective = channels.empty() ? 1 : requested;
+    core.config.sharding.shards = effective;  // record what we actually run
+
+    // Even active-run slice, rounded up so the aggregate never shrinks;
+    // a single shard keeps the service-wide cap verbatim.
+    const std::size_t total_active = core.config.admission.max_active;
+    const std::size_t per_shard_active =
+        effective == 1 ? total_active : (total_active + effective - 1) / effective;
+    // One-event batches keep single-shard delivery synchronous (bit-identical
+    // to the pre-shard service); multi-shard batches amortize the obs lock.
+    const std::size_t obs_batch = effective == 1 ? 1 : 64;
+
+    shards.reserve(effective);
+    for (std::size_t i = 0; i < effective; ++i) {
+      auto channel = channels.empty() ? nullptr : std::move(channels[i]);
+      shards.push_back(std::make_unique<EngineShard>(i, core, std::move(channel),
+                                                     per_shard_active, obs_batch));
+    }
   }
 
-  /// Requires mu. Picks the request's name when free, else generates one.
+  /// Requires submit_mu. Picks the request's name when free, else generates.
   std::string make_id(const std::string& name) {
     if (!name.empty() && used_ids.insert(name).second) return name;
     for (;;) {
@@ -194,284 +159,37 @@ struct RunService::Impl {
     }
   }
 
-  /// Thread-safe worker wake-up (used by handle cancellation).
-  void wake() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      commands = true;
-    }
-    cv.notify_all();
-    backend.notify();
-  }
-
-  const enactor::EnactmentPolicy& effective_policy(const RunRecord& rec) const {
-    return rec.request.policy ? *rec.request.policy : config.default_policy;
-  }
-
-  void ensure_instruments() {
-    if (recorder == nullptr || active_gauge != nullptr) return;
-    obs::MetricsRegistry& m = recorder->metrics();
-    active_gauge = &m.gauge("moteur_service_active_runs", "Runs currently enacting");
-    queued_gauge = &m.gauge("moteur_service_queued_runs",
-                            "Runs admitted to the service but waiting for an active slot");
-    gate_depth = &m.gauge("moteur_service_gate_queue_depth",
-                          "Submissions queued in the admission gate across all runs");
-    admission_wait = &m.histogram(
-        "moteur_service_admission_wait_seconds",
-        "Backend-time a run waited in the service queue before starting",
-        obs::Histogram::latency_bounds());
-    gate_wait = &m.histogram(
-        "moteur_service_gate_wait_seconds",
-        "Backend-time a submission waited in the admission gate before launch",
-        obs::Histogram::latency_bounds());
-    gate->set_grant_observer([this](double waited) {
-      if (gate_wait != nullptr) gate_wait->observe(waited);
-    });
-  }
-
-  obs::Counter* runs_total(RunState state) {
-    if (recorder == nullptr) return nullptr;
-    return &recorder->metrics().counter("moteur_service_runs_total",
-                                        "Runs reaching a terminal state, by state",
-                                        obs::Labels{{"state", to_string(state)}});
-  }
-
-  void emit_service_event(obs::RunEvent event) {
-    for (const auto& subscriber : subscribers) subscriber(event);
-    if (recorder != nullptr) recorder->on_event(event);
-  }
-
-  /// Service-scope breaker events carry an empty run_id: grid health belongs
-  /// to the shared infrastructure, not to any single tenant.
-  void on_breaker_transition(const grid::CeHealth::Transition& t) {
-    obs::RunEvent event;
-    event.time = t.time;
-    event.computing_element = t.computing_element;
-    switch (t.to) {
-      case grid::BreakerState::kOpen: event.kind = obs::RunEvent::Kind::kBreakerOpened; break;
-      case grid::BreakerState::kHalfOpen:
-        event.kind = obs::RunEvent::Kind::kBreakerHalfOpen;
-        break;
-      case grid::BreakerState::kClosed: event.kind = obs::RunEvent::Kind::kBreakerClosed; break;
-    }
-    emit_service_event(event);
-  }
-
-  void ensure_health(const enactor::EnactmentPolicy& policy) {
-    if (shared_health != nullptr || !policy.breaker.enabled) return;
-    shared_health = std::make_unique<grid::CeHealth>(policy.breaker);
-    shared_health->set_transition_listener(
-        [this](const grid::CeHealth::Transition& t) { on_breaker_transition(t); });
-    shared_health->set_reroute_listener([this](double time) {
-      obs::RunEvent event;
-      event.kind = obs::RunEvent::Kind::kSubmissionRerouted;
-      event.time = time;
-      emit_service_event(event);
-    });
-    backend.add_health(shared_health.get());
-  }
-
-  void ensure_cache(const enactor::EnactmentPolicy& policy) {
-    if (shared_cache != nullptr || !policy.cache) return;
-    shared_cache = std::make_unique<data::InvocationCache>();
-  }
-
-  /// Move a record to a terminal state and publish the result.
-  void finish_record(const std::shared_ptr<RunRecord>& rec, RunState state,
-                     enactor::EnactmentResult result, std::string error) {
-    {
-      std::lock_guard<std::mutex> lock(rec->mu);
-      rec->state = state;
-      rec->result = std::move(result);
-      rec->error = std::move(error);
-      rec->poke = nullptr;
-    }
-    rec->cv.notify_all();
-    if (obs::Counter* counter = runs_total(state)) counter->inc();
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      --live;
-    }
-    idle_cv.notify_all();
-  }
-
-  /// Start one admitted run: register with the gate, build its engine on its
-  /// gated backend view, and kick off the initial submissions.
-  bool admit(const std::shared_ptr<RunRecord>& rec) {
-    ensure_instruments();
-    ensure_health(effective_policy(*rec));
-    ensure_cache(effective_policy(*rec));
-    if (admission_wait != nullptr && rec->queued_backend_at >= 0.0) {
-      admission_wait->observe(backend.now() - rec->queued_backend_at);
-    }
-    gate->register_run(rec->id, rec->request.weight);
-    rec->gated = std::make_unique<GatedBackend>(backend, gate, rec->id);
-
-    std::vector<enactor::EventSubscriber> subs = subscribers;
-    if (recorder != nullptr) {
-      subs.push_back([r = recorder](const obs::RunEvent& e) { r->on_event(e); });
-    }
-    enactor::Engine::Options options;
-    options.run_id = rec->id;
-    options.shared_health = shared_health.get();
-    if (effective_policy(*rec).cache) options.cache = shared_cache.get();
-    try {
-      rec->engine = std::make_shared<enactor::Engine>(
-          *rec->gated, registry, effective_policy(*rec), rec->request.resolver,
-          std::move(subs), rec->request.workflow, rec->request.inputs, std::move(options));
-      rec->engine->start();
-    } catch (const Error& e) {
-      // Construction/start failures (invalid workflow, binding mismatch).
-      // start() may have pushed submissions into the gate already: flush
-      // them (the engine's weak-guarded callbacks discard the deliveries).
-      rec->engine.reset();
-      gate->cancel_run(rec->id);
-      gate->deregister_run(rec->id);
-      rec->gated.reset();
-      finish_record(rec, RunState::kFailed, {}, e.what());
-      return false;
-    }
-    {
-      std::lock_guard<std::mutex> lock(rec->mu);
-      rec->state = RunState::kRunning;
-    }
-    MOTEUR_LOG(kInfo, "service") << "run '" << rec->id << "' started (workflow '"
-                                 << rec->request.workflow.name() << "')";
-    return true;
-  }
-
-  /// Tear down a finished/abandoned engine and publish the terminal state.
-  void retire(const std::shared_ptr<RunRecord>& rec, RunState state, std::string error) {
-    enactor::EnactmentResult result = rec->engine->finish();
-    rec->engine.reset();
-    gate->cancel_run(rec->id);  // flush any leftovers (no-op when drained)
-    gate->deregister_run(rec->id);
-    rec->gated.reset();
-    MOTEUR_LOG(kInfo, "service") << "run '" << rec->id << "' " << to_string(state)
-                                 << " makespan=" << result.makespan()
-                                 << "s invocations=" << result.invocations()
-                                 << " failures=" << result.failures();
-    finish_record(rec, state, std::move(result), std::move(error));
-  }
-
-  void run_worker() {
-    std::vector<std::shared_ptr<RunRecord>> active;
-    for (;;) {
-      // --- Intake: wait for work, then admit up to the active-run cap.
-      std::deque<std::shared_ptr<RunRecord>> snapshot;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] {
-          return stop || commands.load() || !pending.empty() || !active.empty();
-        });
-        commands = false;
-        if (stop && pending.empty() && active.empty()) return;
-        snapshot.swap(pending);
-      }
-      // Outside mu (lock order: a canceller holds rec->mu before taking mu,
-      // so the worker must never nest them the other way).
-      std::deque<std::shared_ptr<RunRecord>> keep;
-      for (auto& rec : snapshot) {
-        bool cancelled = false;
-        {
-          std::lock_guard<std::mutex> lock(rec->mu);
-          cancelled = rec->cancel_requested;
-        }
-        if (cancelled) {
-          finish_record(rec, RunState::kCancelled, {}, "cancelled before start");
-        } else if (active.size() < config.max_active_runs) {
-          if (admit(rec)) active.push_back(rec);
-        } else {
-          if (rec->queued_backend_at < 0.0) rec->queued_backend_at = backend.now();
-          keep.push_back(rec);
+  /// Pin a run to a shard. `tentative` counts this batch's assignments so a
+  /// least-loaded burst spreads instead of dog-piling one shard.
+  std::size_t pick_shard(const std::string& id,
+                         const std::vector<std::size_t>& tentative) const {
+    const std::size_t n = shards.size();
+    if (n == 1) return 0;
+    if (pin == PinPolicy::kLeastLoaded) {
+      std::size_t best = 0;
+      std::size_t best_load = shards[0]->load() + tentative[0];
+      for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t load = shards[i]->load() + tentative[i];
+        if (load < best_load) {
+          best = i;
+          best_load = load;
         }
       }
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        pending.insert(pending.begin(), keep.begin(), keep.end());
-        if (queued_gauge != nullptr) {
-          queued_gauge->set(static_cast<double>(pending.size()));
-        }
-      }
-      if (active_gauge != nullptr) active_gauge->set(static_cast<double>(active.size()));
-      if (active.empty()) {
-        if (live_count() == 0) idle_cv.notify_all();
-        continue;
-      }
-
-      // --- Drive the shared backend until a run completes or a command
-      // (submit/cancel/shutdown) needs servicing.
-      const bool progressed = backend.drive([&] {
-        if (commands.load(std::memory_order_relaxed)) return true;
-        for (const auto& rec : active) {
-          if (rec->engine->finished()) return true;
-        }
-        return false;
-      });
-      if (gate_depth != nullptr) gate_depth->set(static_cast<double>(gate->queued()));
-
-      // --- Harvest every run whose engine completed.
-      bool harvested = false;
-      for (auto it = active.begin(); it != active.end();) {
-        const auto rec = *it;
-        if (!rec->engine->finished()) {
-          ++it;
-          continue;
-        }
-        harvested = true;
-        bool was_cancelled = false;
-        {
-          std::lock_guard<std::mutex> lock(rec->mu);
-          was_cancelled = rec->cancel_requested;
-        }
-        retire(rec, was_cancelled ? RunState::kCancelled : RunState::kFinished, "");
-        it = active.erase(it);
-      }
-
-      // --- Deliver cancellations into still-active runs exactly once.
-      for (const auto& rec : active) {
-        if (rec->cancel_applied) continue;
-        bool wanted = false;
-        {
-          std::lock_guard<std::mutex> lock(rec->mu);
-          wanted = rec->cancel_requested;
-        }
-        if (wanted) {
-          gate->cancel_run(rec->id);
-          rec->cancel_applied = true;
-        }
-      }
-
-      // --- Stall recovery: the backend ran dry with unfinished runs.
-      if (!progressed && !harvested && !active.empty()) {
-        bool moved = false;
-        for (const auto& rec : active) {
-          if (rec->engine->try_unstall()) moved = true;
-        }
-        if (!moved) {
-          // No run can make progress: every active run is deadlocked (the
-          // shared backend has no pending work for any of them).
-          for (const auto& rec : active) {
-            const std::string stuck = rec->engine->stuck_processors();
-            retire(rec, RunState::kFailed,
-                   "workflow deadlocked; unfinished processors: " + stuck);
-          }
-          active.clear();
-        }
-      }
+      return best;
     }
-  }
-
-  std::size_t live_count() {
-    std::lock_guard<std::mutex> lock(mu);
-    return live;
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the run id
+    for (const char c : id) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h % n);
   }
 };
 
 RunService::RunService(enactor::ExecutionBackend& backend,
                        services::ServiceRegistry& registry, RunServiceConfig config)
     : impl_(std::make_unique<Impl>(backend, registry, std::move(config))) {
-  impl_->worker = std::thread([impl = impl_.get()] { impl->run_worker(); });
+  for (auto& shard : impl_->shards) shard->start();
 }
 
 RunService::~RunService() { shutdown(); }
@@ -484,67 +202,109 @@ RunHandle RunService::submit(enactor::RunRequest request) {
 
 std::vector<RunHandle> RunService::submit_all(std::vector<enactor::RunRequest> requests) {
   Impl& im = *impl_;
+  const std::size_t n = im.shards.size();
   std::vector<RunHandle> handles;
   handles.reserve(requests.size());
+  std::vector<std::vector<std::shared_ptr<RunRecord>>> per_shard(n);
+  std::vector<std::size_t> tentative(n, 0);
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    std::lock_guard<std::mutex> lock(im.submit_mu);
     MOTEUR_REQUIRE(!im.stop, ExecutionError, "RunService is shut down");
     for (auto& request : requests) {
       auto rec = std::make_shared<RunRecord>();
       rec->id = im.make_id(request.name);
       rec->labels = request.labels;
       rec->request = std::move(request);
-      rec->poke = [impl = &im] { impl->wake(); };
-      im.pending.push_back(rec);
+      const std::size_t shard = im.pick_shard(rec->id, tentative);
+      ++tentative[shard];
+      rec->shard = shard;
+      EngineShard* owner = im.shards[shard].get();
+      rec->poke = [owner] { owner->wake(); };
+      per_shard[shard].push_back(rec);
       im.all.push_back(rec);
-      ++im.live;
       handles.push_back(RunHandle(rec));
     }
-    im.commands = true;
   }
-  im.cv.notify_all();
-  im.backend.notify();
+  // Count the batch live before any shard can retire a member of it.
+  {
+    std::lock_guard<std::mutex> lock(im.core.live_mu);
+    im.core.live += handles.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!per_shard[i].empty()) im.shards[i]->enqueue(std::move(per_shard[i]));
+  }
   return handles;
 }
 
 void RunService::add_event_subscriber(enactor::EventSubscriber subscriber) {
-  impl_->subscribers.push_back(std::move(subscriber));
+  impl_->core.subscribers.push_back(std::move(subscriber));
 }
 
 void RunService::set_recorder(obs::RunRecorder* recorder) {
-  impl_->recorder = recorder;
+  impl_->core.recorder = recorder;
 }
 
 data::InvocationCache* RunService::invocation_cache() {
-  return impl_->shared_cache.get();
+  std::lock_guard<std::mutex> lock(impl_->core.lazy_mu);
+  return impl_->core.shared_cache.get();
+}
+
+std::size_t RunService::shards() const { return impl_->shards.size(); }
+
+std::vector<ShardStats> RunService::shard_stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(impl_->shards.size());
+  for (const auto& shard : impl_->shards) stats.push_back(shard->stats());
+  return stats;
 }
 
 void RunService::wait_idle() {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lock(im.mu);
-  im.idle_cv.wait(lock, [&] { return im.live == 0; });
+  std::unique_lock<std::mutex> lock(im.core.live_mu);
+  im.core.idle_cv.wait(lock, [&] { return im.core.live == 0; });
+}
+
+std::size_t RunService::wait_any(std::span<const RunHandle> handles) {
+  Impl& im = *impl_;
+  bool any_valid = false;
+  for (const auto& handle : handles) {
+    if (handle.valid()) {
+      any_valid = true;
+      break;
+    }
+  }
+  MOTEUR_REQUIRE(any_valid, ExecutionError, "wait_any needs at least one valid handle");
+  std::unique_lock<std::mutex> lock(im.core.live_mu);
+  for (;;) {
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (!handles[i].valid()) continue;
+      if (is_terminal(handles[i].poll())) return i;
+    }
+    // No lost wakeup: a shard publishes the terminal state (under the
+    // record's own mutex) before it can acquire live_mu to notify, and we
+    // hold live_mu from the scan until the wait releases it.
+    im.core.terminal_cv.wait(lock);
+  }
 }
 
 void RunService::shutdown() {
   Impl& im = *impl_;
   std::vector<std::shared_ptr<RunRecord>> records;
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    std::lock_guard<std::mutex> lock(im.submit_mu);
     im.stop = true;
-    im.commands = true;
     records = im.all;
   }
   for (const auto& rec : records) {
     std::lock_guard<std::mutex> lock(rec->mu);
     if (!is_terminal(rec->state)) rec->cancel_requested = true;
   }
-  im.cv.notify_all();
-  im.backend.notify();
+  for (auto& shard : im.shards) shard->request_stop();
   {
     std::lock_guard<std::mutex> lock(im.join_mu);
-    if (im.worker.joinable()) im.worker.join();
+    for (auto& shard : im.shards) shard->join();
   }
-  // The worker is gone; make sure no handle can poke a dead service.
+  // The workers are gone; make sure no handle can poke a dead service.
   for (const auto& rec : records) {
     std::lock_guard<std::mutex> lock(rec->mu);
     rec->poke = nullptr;

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,14 +31,18 @@ struct RunRecord;
 }  // namespace detail
 
 /// Caller-side view of one submitted run. Cheap to copy; all methods are
-/// thread-safe and may be called from any thread while the service's worker
-/// advances the run. A default-constructed handle is invalid.
+/// thread-safe and may be called from any thread while the service's shards
+/// advance the run. A default-constructed handle is invalid: id() and
+/// labels() return empty sentinels, the blocking accessors must not be
+/// called on it.
 class RunHandle {
  public:
   RunHandle() = default;
 
   bool valid() const { return rec_ != nullptr; }
+  /// The run id; empty for an invalid handle.
   const std::string& id() const;
+  /// The request's labels; empty for an invalid handle.
   const std::map<std::string, std::string>& labels() const;
 
   /// Current state, without blocking.
@@ -43,6 +50,13 @@ class RunHandle {
 
   /// Block until the run reaches a terminal state; returns it.
   RunState wait() const;
+
+  /// Block until the run is terminal or `timeout` elapses; returns the state
+  /// observed at that point (possibly still kQueued/kRunning on timeout).
+  template <typename Rep, typename Period>
+  RunState wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return wait_for_ns(std::chrono::ceil<std::chrono::nanoseconds>(timeout));
+  }
 
   /// Request cancellation. Asynchronous: a queued run is dropped before it
   /// starts; a running run stops submitting, its queued submissions fail
@@ -55,6 +69,10 @@ class RunHandle {
   /// for runs that failed before starting. Blocks like wait().
   const enactor::EnactmentResult& result() const;
 
+  /// Non-blocking result(): the final result when the run is already
+  /// terminal, nullptr while it is still queued or running.
+  const enactor::EnactmentResult* try_result() const;
+
   /// Failure message for kFailed runs (empty otherwise). Blocks like wait().
   const std::string& error() const;
 
@@ -62,38 +80,113 @@ class RunHandle {
   friend class RunService;
   explicit RunHandle(std::shared_ptr<detail::RunRecord> rec) : rec_(std::move(rec)) {}
 
+  RunState wait_for_ns(std::chrono::nanoseconds timeout) const;
+
   std::shared_ptr<detail::RunRecord> rec_;
 };
 
+/// How a freshly submitted run is pinned to an engine shard.
+///  - kHash: FNV-1a of the run id modulo the shard count — stable, so the
+///    same submission set lands identically across executions;
+///  - kLeastLoaded: the shard currently owning the fewest live runs.
+enum class PinPolicy { kHash, kLeastLoaded };
+
+const char* to_string(PinPolicy p);
+/// Parse "hash" / "least-loaded". Throws ParseError.
+PinPolicy parse_pin_policy(const std::string& text);
+
 struct RunServiceConfig {
-  /// Runs enacted concurrently; further submissions wait in the queue.
-  std::size_t max_active_runs = 4;
-  /// Concurrent backend executions across all active runs (the admission
-  /// gate's cap); 0 = unbounded.
-  std::size_t max_inflight_submissions = 8;
-  /// Policy for requests that carry none of their own.
-  enactor::EnactmentPolicy default_policy;
+  /// Admission control: how much work the service lets in at once. Both
+  /// caps are service-wide and sliced evenly across shards (each shard gets
+  /// at least 1; the aggregate may round up slightly at shards > 1).
+  struct Admission {
+    /// Runs enacted concurrently; further submissions wait in the queue.
+    std::size_t max_active = 4;
+    /// Concurrent backend executions across all active runs (the admission
+    /// gates' cap); 0 = unbounded.
+    std::size_t max_inflight = 8;
+  };
+
+  /// Enactment-core sharding: how many engine shards drive the backend and
+  /// how runs are pinned to them. Shards > 1 needs a backend supporting
+  /// completion channels (ThreadedBackend); backends that cannot be
+  /// multi-driven (the simulator) are clamped to 1 shard with a warning.
+  struct Sharding {
+    std::size_t shards = 1;
+    PinPolicy pin = PinPolicy::kHash;
+  };
+
+  /// Per-run fallbacks.
+  struct Defaults {
+    /// Policy for requests that carry none of their own.
+    enactor::EnactmentPolicy policy;
+  };
+
+  Admission admission;
+  Sharding sharding;
+  Defaults defaults;
+
+  // Deprecated flat-field aliases, kept for one release. New code (and all
+  // in-repo code — tier1.sh enforces it) uses the nested members.
+  [[deprecated("use admission.max_active")]] std::size_t& max_active_runs() {
+    return admission.max_active;
+  }
+  [[deprecated("use admission.max_active")]] const std::size_t& max_active_runs() const {
+    return admission.max_active;
+  }
+  [[deprecated("use admission.max_inflight")]] std::size_t& max_inflight_submissions() {
+    return admission.max_inflight;
+  }
+  [[deprecated("use admission.max_inflight")]] const std::size_t& max_inflight_submissions()
+      const {
+    return admission.max_inflight;
+  }
+  [[deprecated("use defaults.policy")]] enactor::EnactmentPolicy& default_policy() {
+    return defaults.policy;
+  }
+  [[deprecated("use defaults.policy")]] const enactor::EnactmentPolicy& default_policy()
+      const {
+    return defaults.policy;
+  }
+};
+
+/// Per-shard enactment tallies, exposed for benchmarks and the tier-1 scale
+/// smoke: the shard counters must sum to the service-wide totals.
+struct ShardStats {
+  std::size_t shard = 0;
+  /// Runs retired to a terminal state by this shard.
+  std::uint64_t runs = 0;
+  /// Logical invocations across those runs.
+  std::uint64_t invocations = 0;
+  /// Backend-time each admitted run waited for an active slot (0 for runs
+  /// admitted immediately), in admission order.
+  std::vector<double> admission_waits;
 };
 
 /// Multi-tenant enactment: one RunService owns one ExecutionBackend and one
 /// ServiceRegistry and accepts many concurrent runs, each described by a
-/// RunRequest and observed through a RunHandle. A single worker thread
-/// drives the shared backend with every admitted run's engine interleaved on
-/// it; a fair-share AdmissionGate (weighted round-robin, bounded in-flight
-/// submissions) keeps large runs from starving small ones, and one
-/// service-owned CeHealth ledger gives all tenants a common view of grid
-/// health — per-run breaker ledgers would deadlock in half-open, since
-/// another tenant's job may be the probe.
+/// RunRequest and observed through a RunHandle. The enactment core is
+/// sharded: each of N engine shards owns a worker thread, a private
+/// completion channel over the shared backend, and an AdmissionGate slice
+/// (weighted round-robin, bounded in-flight submissions); runs are pinned to
+/// a shard at submission (RunServiceConfig::Sharding). One service-owned
+/// CeHealth ledger gives all tenants a common view of grid health — per-run
+/// breaker ledgers would deadlock in half-open, since another tenant's job
+/// may be the probe. The default single shard drives the backend directly
+/// and behaves exactly like the historical single-worker service.
 ///
 /// Observability: subscribers and the recorder see every run's events, told
 /// apart by RunEvent::run_id; service-scope events (shared-breaker
-/// transitions) carry an empty run_id. The service additionally maintains
-/// service-wide series: active/queued run gauges, admission-wait histogram,
-/// and terminal-state run counters.
+/// transitions) carry an empty run_id. Delivery is serialized across shards
+/// (subscribers need no locking) and batched per shard; a run's events
+/// always arrive in order, different runs' events interleave. The service
+/// additionally maintains service-wide series — active/queued run gauges,
+/// admission-wait histogram, terminal-state run counters — plus per-shard
+/// moteur_shard_* series.
 ///
 /// Thread model: submit/cancel/wait may be called from any thread; all
-/// backend access happens on the worker thread. The backend and registry
-/// must outlive the service.
+/// backend access happens on shard threads. The backend and registry must
+/// outlive the service.
 class RunService {
  public:
   RunService(enactor::ExecutionBackend& backend, services::ServiceRegistry& registry,
@@ -107,13 +200,15 @@ class RunService {
   /// non-empty and unused; otherwise an id "run-<n>" is generated.
   RunHandle submit(enactor::RunRequest request);
 
-  /// Enqueue a batch atomically: all runs enter the queue before the worker
-  /// may admit any of them, making admission order deterministic under the
-  /// simulated backend (individually submitted runs race sim progression).
+  /// Enqueue a batch atomically: all runs enter their shards' queues before
+  /// any shard may admit one of them, making per-shard admission order
+  /// deterministic under the simulated backend (individually submitted runs
+  /// race sim progression).
   std::vector<RunHandle> submit_all(std::vector<enactor::RunRequest> requests);
 
   /// Subscribe to every run's event stream (run_id tells them apart).
-  /// Call before submitting; subscribers run on the worker thread.
+  /// Call before submitting; subscribers are invoked with delivery
+  /// serialized across shards, so they need no locking of their own.
   void add_event_subscriber(enactor::EventSubscriber subscriber);
 
   /// Attach the standard recorder to every run plus the service-wide
@@ -126,11 +221,22 @@ class RunService {
   /// data::InvocationCache::stats.
   data::InvocationCache* invocation_cache();
 
+  /// Effective shard count (after clamping to what the backend supports).
+  std::size_t shards() const;
+
+  /// Per-shard tallies; snapshot, safe to call while runs are in flight.
+  std::vector<ShardStats> shard_stats() const;
+
   /// Block until no run is queued or active.
   void wait_idle();
 
-  /// Cancel everything still queued or running, drain, and join the worker.
-  /// Idempotent; the destructor calls it.
+  /// Block until at least one of `handles` is terminal; returns the index of
+  /// the first terminal handle. The handles must belong to this service and
+  /// at least one must be valid.
+  std::size_t wait_any(std::span<const RunHandle> handles);
+
+  /// Cancel everything still queued or running, drain, and join the shard
+  /// workers. Idempotent; the destructor calls it.
   void shutdown();
 
  private:

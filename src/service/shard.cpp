@@ -1,0 +1,488 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace moteur::service {
+
+using detail::RunRecord;
+using detail::ServiceCore;
+
+namespace {
+
+/// Per-run view of the shard's backend: submissions detour through the
+/// shard's admission gate (stamped with the run id for fair-share
+/// scheduling); time, timers, and everything else go straight through.
+class GatedBackend final : public enactor::ExecutionBackend {
+ public:
+  GatedBackend(enactor::ExecutionBackend& inner, std::shared_ptr<AdmissionGate> gate,
+               std::string run_id)
+      : inner_(inner), gate_(std::move(gate)), run_id_(std::move(run_id)) {}
+
+  void execute(std::shared_ptr<services::Service> svc,
+               std::vector<services::Inputs> bindings, Callback on_complete) override {
+    gate_->execute(run_id_, std::move(svc), std::move(bindings), std::move(on_complete));
+  }
+  double now() const override { return inner_.now(); }
+  TimerId schedule(double delay_seconds, std::function<void()> fn) override {
+    return inner_.schedule(delay_seconds, std::move(fn));
+  }
+  void cancel(TimerId id) override { inner_.cancel(id); }
+  bool drive(const std::function<bool()>& done) override { return inner_.drive(done); }
+  void set_metrics(obs::MetricsRegistry* metrics) override { inner_.set_metrics(metrics); }
+  void set_health(grid::CeHealth* health) override { inner_.set_health(health); }
+  void add_health(grid::CeHealth* health) override { inner_.add_health(health); }
+  void remove_health(grid::CeHealth* health) override { inner_.remove_health(health); }
+  void notify() override { inner_.notify(); }
+
+ private:
+  enactor::ExecutionBackend& inner_;
+  std::shared_ptr<AdmissionGate> gate_;
+  std::string run_id_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServiceCore
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void ServiceCore::ensure_instruments() {
+  if (recorder == nullptr || instruments_ready) return;
+  instruments_ready = true;
+  obs::MetricsRegistry& m = recorder->metrics();
+  active_gauge = &m.gauge("moteur_service_active_runs", "Runs currently enacting");
+  queued_gauge = &m.gauge("moteur_service_queued_runs",
+                          "Runs admitted to the service but waiting for an active slot");
+  gate_depth = &m.gauge("moteur_service_gate_queue_depth",
+                        "Submissions queued in the admission gates across all runs");
+  admission_wait = &m.histogram(
+      "moteur_service_admission_wait_seconds",
+      "Backend-time a run waited in the service queue before starting",
+      obs::Histogram::latency_bounds());
+  gate_wait = &m.histogram(
+      "moteur_service_gate_wait_seconds",
+      "Backend-time a submission waited in the admission gate before launch",
+      obs::Histogram::latency_bounds());
+}
+
+grid::CeHealth* ServiceCore::ensure_health(const enactor::EnactmentPolicy& policy) {
+  std::lock_guard<std::mutex> lock(lazy_mu);
+  if (shared_health == nullptr && policy.breaker.enabled) {
+    shared_health = std::make_unique<grid::CeHealth>(policy.breaker);
+    shared_health->set_transition_listener(
+        [this](const grid::CeHealth::Transition& t) { on_breaker_transition(t); });
+    shared_health->set_reroute_listener([this](double time) {
+      obs::RunEvent event;
+      event.kind = obs::RunEvent::Kind::kSubmissionRerouted;
+      event.time = time;
+      emit_service_event(event);
+    });
+    backend.add_health(shared_health.get());
+  }
+  return shared_health.get();
+}
+
+data::InvocationCache* ServiceCore::ensure_cache(const enactor::EnactmentPolicy& policy) {
+  std::lock_guard<std::mutex> lock(lazy_mu);
+  if (shared_cache == nullptr && policy.cache) {
+    shared_cache = std::make_unique<data::InvocationCache>();
+  }
+  return shared_cache.get();
+}
+
+void ServiceCore::deliver_events(const std::vector<obs::RunEvent>& batch) {
+  std::lock_guard<std::mutex> lock(obs_mu);
+  for (const auto& event : batch) {
+    for (const auto& subscriber : subscribers) subscriber(event);
+    if (recorder != nullptr) recorder->on_event(event);
+  }
+}
+
+void ServiceCore::emit_service_event(const obs::RunEvent& event) {
+  std::lock_guard<std::mutex> lock(obs_mu);
+  for (const auto& subscriber : subscribers) subscriber(event);
+  if (recorder != nullptr) recorder->on_event(event);
+}
+
+void ServiceCore::on_breaker_transition(const grid::CeHealth::Transition& t) {
+  obs::RunEvent event;
+  event.time = t.time;
+  event.computing_element = t.computing_element;
+  switch (t.to) {
+    case grid::BreakerState::kOpen: event.kind = obs::RunEvent::Kind::kBreakerOpened; break;
+    case grid::BreakerState::kHalfOpen:
+      event.kind = obs::RunEvent::Kind::kBreakerHalfOpen;
+      break;
+    case grid::BreakerState::kClosed: event.kind = obs::RunEvent::Kind::kBreakerClosed; break;
+  }
+  emit_service_event(event);
+}
+
+void ServiceCore::count_terminal(RunState state) {
+  if (recorder == nullptr) return;
+  std::lock_guard<std::mutex> lock(obs_mu);
+  recorder->metrics()
+      .counter("moteur_service_runs_total", "Runs reaching a terminal state, by state",
+               obs::Labels{{"state", to_string(state)}})
+      .inc();
+}
+
+void ServiceCore::run_finished() {
+  {
+    std::lock_guard<std::mutex> lock(live_mu);
+    --live;
+  }
+  idle_cv.notify_all();
+  terminal_cv.notify_all();
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// EngineShard
+// ---------------------------------------------------------------------------
+
+EngineShard::EngineShard(std::size_t index, ServiceCore& core,
+                         std::unique_ptr<enactor::ExecutionBackend> channel,
+                         std::size_t max_active, std::size_t obs_batch)
+    : index_(index),
+      core_(core),
+      channel_(std::move(channel)),
+      max_active_(max_active),
+      obs_batch_(obs_batch == 0 ? 1 : obs_batch) {
+  AdmissionGate::Config gate_config;
+  const std::size_t shards = core_.config.sharding.shards;
+  const std::size_t total_inflight = core_.config.admission.max_inflight;
+  // Even slice of the service-wide in-flight cap, at least 1 per shard;
+  // 0 stays 0 (unbounded).
+  gate_config.max_inflight =
+      total_inflight == 0 ? 0 : std::max<std::size_t>(1, total_inflight / std::max<std::size_t>(1, shards));
+  gate_ = std::make_shared<AdmissionGate>(backend(), gate_config);
+  gate_->set_grant_observer([this](double waited) {
+    if (core_.recorder == nullptr) return;
+    std::lock_guard<std::mutex> lock(core_.obs_mu);
+    if (core_.gate_wait != nullptr) core_.gate_wait->observe(waited);
+  });
+  batch_.reserve(obs_batch_);
+}
+
+EngineShard::~EngineShard() { join(); }
+
+void EngineShard::start() {
+  thread_ = std::thread([this] { run_worker(); });
+}
+
+void EngineShard::enqueue(std::vector<RunRecordPtr> batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    load_.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (auto& rec : batch) pending_.push_back(std::move(rec));
+    commands_ = true;
+  }
+  cv_.notify_all();
+  backend().notify();
+}
+
+void EngineShard::wake() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commands_ = true;
+  }
+  cv_.notify_all();
+  backend().notify();
+}
+
+void EngineShard::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    commands_ = true;
+  }
+  cv_.notify_all();
+  backend().notify();
+}
+
+void EngineShard::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+ShardStats EngineShard::stats() const {
+  ShardStats s;
+  s.shard = index_;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.runs = runs_done_;
+  s.invocations = invocations_done_;
+  s.admission_waits = admission_waits_;
+  return s;
+}
+
+void EngineShard::obs_emit(const obs::RunEvent& event) {
+  batch_.push_back(event);
+  if (batch_.size() >= obs_batch_) obs_flush();
+}
+
+void EngineShard::obs_flush() {
+  if (batch_.empty()) return;
+  core_.deliver_events(batch_);
+  batch_.clear();
+}
+
+void EngineShard::ensure_shard_instruments() {
+  if (core_.recorder == nullptr || shard_runs_ != nullptr) return;
+  obs::MetricsRegistry& m = core_.recorder->metrics();
+  const obs::Labels by_shard{{"shard", std::to_string(index_)}};
+  shard_runs_ = &m.counter("moteur_shard_runs_total",
+                           "Runs retired to a terminal state, per engine shard", by_shard);
+  shard_invocations_ = &m.counter("moteur_shard_invocations_total",
+                                  "Logical invocations completed, per engine shard", by_shard);
+  shard_active_ =
+      &m.gauge("moteur_shard_active_runs", "Runs currently enacting, per engine shard",
+               by_shard);
+  shard_queue_ = &m.gauge("moteur_shard_queued_runs",
+                          "Runs pinned to the shard awaiting an active slot", by_shard);
+}
+
+void EngineShard::update_gauges(std::size_t active, std::size_t queued) {
+  const long gate_depth = static_cast<long>(gate_->queued());
+  const long d_active = static_cast<long>(active) - last_active_;
+  const long d_queued = static_cast<long>(queued) - last_queued_;
+  const long d_gate = gate_depth - last_gate_depth_;
+  last_active_ = static_cast<long>(active);
+  last_queued_ = static_cast<long>(queued);
+  last_gate_depth_ = gate_depth;
+  if (d_active != 0) core_.active_total.fetch_add(d_active, std::memory_order_relaxed);
+  if (d_queued != 0) core_.queued_total.fetch_add(d_queued, std::memory_order_relaxed);
+  if (d_gate != 0) core_.gate_depth_total.fetch_add(d_gate, std::memory_order_relaxed);
+  if (core_.recorder == nullptr) return;
+  std::lock_guard<std::mutex> lock(core_.obs_mu);
+  if (core_.active_gauge != nullptr) {
+    core_.active_gauge->set(static_cast<double>(core_.active_total.load()));
+  }
+  if (core_.queued_gauge != nullptr) {
+    core_.queued_gauge->set(static_cast<double>(core_.queued_total.load()));
+  }
+  if (core_.gate_depth != nullptr) {
+    core_.gate_depth->set(static_cast<double>(core_.gate_depth_total.load()));
+  }
+  if (shard_active_ != nullptr) shard_active_->set(static_cast<double>(active));
+  if (shard_queue_ != nullptr) shard_queue_->set(static_cast<double>(queued));
+}
+
+void EngineShard::finish_record(const RunRecordPtr& rec, RunState state,
+                                enactor::EnactmentResult result, std::string error) {
+  obs_flush();  // the run's remaining events must precede its terminal state
+  const std::uint64_t invocations = result.invocations();
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->state = state;
+    rec->result = std::move(result);
+    rec->error = std::move(error);
+    rec->poke = nullptr;
+  }
+  rec->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++runs_done_;
+    invocations_done_ += invocations;
+  }
+  core_.count_terminal(state);
+  if (core_.recorder != nullptr) {
+    std::lock_guard<std::mutex> lock(core_.obs_mu);
+    if (shard_runs_ != nullptr) shard_runs_->inc();
+    if (shard_invocations_ != nullptr) {
+      shard_invocations_->inc(static_cast<double>(invocations));
+    }
+  }
+  load_.fetch_sub(1, std::memory_order_relaxed);
+  core_.run_finished();
+}
+
+bool EngineShard::admit(const RunRecordPtr& rec) {
+  if (core_.recorder != nullptr) {
+    std::lock_guard<std::mutex> lock(core_.obs_mu);
+    core_.ensure_instruments();
+    ensure_shard_instruments();
+  }
+  const enactor::EnactmentPolicy& policy = core_.effective_policy(*rec);
+  grid::CeHealth* health = core_.ensure_health(policy);
+  data::InvocationCache* cache = core_.ensure_cache(policy);
+  double waited = 0.0;
+  if (rec->queued_backend_at >= 0.0) {
+    waited = backend().now() - rec->queued_backend_at;
+    if (core_.recorder != nullptr) {
+      std::lock_guard<std::mutex> lock(core_.obs_mu);
+      if (core_.admission_wait != nullptr) core_.admission_wait->observe(waited);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    admission_waits_.push_back(waited);
+  }
+  gate_->register_run(rec->id, rec->request.weight);
+  rec->gated = std::make_unique<GatedBackend>(backend(), gate_, rec->id);
+
+  std::vector<enactor::EventSubscriber> subs;
+  if (!core_.subscribers.empty() || core_.recorder != nullptr) {
+    subs.push_back([this](const obs::RunEvent& e) { obs_emit(e); });
+  }
+  enactor::Engine::Options options;
+  options.run_id = rec->id;
+  options.shared_health = health;
+  if (policy.cache) options.cache = cache;
+  try {
+    rec->engine = std::make_shared<enactor::Engine>(
+        *rec->gated, core_.registry, policy, rec->request.resolver, std::move(subs),
+        rec->request.workflow, rec->request.inputs, std::move(options));
+    rec->engine->start();
+  } catch (const Error& e) {
+    // Construction/start failures (invalid workflow, binding mismatch).
+    // start() may have pushed submissions into the gate already: flush
+    // them (the engine's weak-guarded callbacks discard the deliveries).
+    rec->engine.reset();
+    gate_->cancel_run(rec->id);
+    gate_->deregister_run(rec->id);
+    rec->gated.reset();
+    finish_record(rec, RunState::kFailed, {}, e.what());
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->state = RunState::kRunning;
+  }
+  MOTEUR_LOG(kInfo, "service") << "run '" << rec->id << "' started (workflow '"
+                               << rec->request.workflow.name() << "') on shard " << index_;
+  return true;
+}
+
+void EngineShard::retire(const RunRecordPtr& rec, RunState state, std::string error) {
+  enactor::EnactmentResult result = rec->engine->finish();
+  rec->engine.reset();
+  gate_->cancel_run(rec->id);  // flush any leftovers (no-op when drained)
+  gate_->deregister_run(rec->id);
+  rec->gated.reset();
+  MOTEUR_LOG(kInfo, "service") << "run '" << rec->id << "' " << to_string(state)
+                               << " makespan=" << result.makespan()
+                               << "s invocations=" << result.invocations()
+                               << " failures=" << result.failures();
+  finish_record(rec, state, std::move(result), std::move(error));
+}
+
+void EngineShard::run_worker() {
+  std::vector<RunRecordPtr> active;
+  for (;;) {
+    // Nothing lingers in the obs batch while the shard blocks.
+    obs_flush();
+
+    // --- Intake: wait for work, then admit up to the active-run slice.
+    std::deque<RunRecordPtr> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || commands_.load() || !pending_.empty() || !active.empty();
+      });
+      commands_ = false;
+      if (stop_ && pending_.empty() && active.empty()) return;
+      snapshot.swap(pending_);
+    }
+    // Outside mu_ (lock order: a canceller holds rec->mu before taking mu_,
+    // so the worker must never nest them the other way).
+    std::deque<RunRecordPtr> keep;
+    for (auto& rec : snapshot) {
+      bool cancelled = false;
+      {
+        std::lock_guard<std::mutex> lock(rec->mu);
+        cancelled = rec->cancel_requested;
+      }
+      if (cancelled) {
+        finish_record(rec, RunState::kCancelled, {}, "cancelled before start");
+      } else if (active.size() < max_active_) {
+        if (admit(rec)) active.push_back(rec);
+      } else {
+        if (rec->queued_backend_at < 0.0) rec->queued_backend_at = backend().now();
+        keep.push_back(rec);
+      }
+    }
+    std::size_t queued_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.insert(pending_.begin(), keep.begin(), keep.end());
+      queued_count = pending_.size();
+    }
+    update_gauges(active.size(), queued_count);
+    if (active.empty()) {
+      core_.idle_cv.notify_all();  // belt-and-braces; waiters re-check live
+      continue;
+    }
+
+    // --- Drive this shard's event loop until a run completes or a command
+    // (submit/cancel/shutdown) needs servicing.
+    const bool progressed = backend().drive([&] {
+      if (commands_.load(std::memory_order_relaxed)) return true;
+      for (const auto& rec : active) {
+        if (rec->engine->finished()) return true;
+      }
+      return false;
+    });
+    update_gauges(active.size(), queued_count);
+
+    // --- Harvest every run whose engine completed.
+    bool harvested = false;
+    for (auto it = active.begin(); it != active.end();) {
+      const auto rec = *it;
+      if (!rec->engine->finished()) {
+        ++it;
+        continue;
+      }
+      harvested = true;
+      bool was_cancelled = false;
+      {
+        std::lock_guard<std::mutex> lock(rec->mu);
+        was_cancelled = rec->cancel_requested;
+      }
+      retire(rec, was_cancelled ? RunState::kCancelled : RunState::kFinished, "");
+      it = active.erase(it);
+    }
+
+    // --- Deliver cancellations into still-active runs exactly once.
+    for (const auto& rec : active) {
+      if (rec->cancel_applied) continue;
+      bool wanted = false;
+      {
+        std::lock_guard<std::mutex> lock(rec->mu);
+        wanted = rec->cancel_requested;
+      }
+      if (wanted) {
+        gate_->cancel_run(rec->id);
+        rec->cancel_applied = true;
+      }
+    }
+
+    // --- Stall recovery: this shard's loop ran dry with unfinished runs.
+    if (!progressed && !harvested && !active.empty()) {
+      bool moved = false;
+      for (const auto& rec : active) {
+        if (rec->engine->try_unstall()) moved = true;
+      }
+      if (!moved) {
+        // No run can make progress: every active run of this shard is
+        // deadlocked (its event loop has no pending work for any of them).
+        for (const auto& rec : active) {
+          const std::string stuck = rec->engine->stuck_processors();
+          retire(rec, RunState::kFailed,
+                 "workflow deadlocked; unfinished processors: " + stuck);
+        }
+        active.clear();
+      }
+    }
+  }
+}
+
+}  // namespace moteur::service

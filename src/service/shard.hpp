@@ -1,0 +1,254 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/invocation_cache.hpp"
+#include "enactor/backend.hpp"
+#include "enactor/engine.hpp"
+#include "grid/ce_health.hpp"
+#include "obs/event.hpp"
+#include "service/admission.hpp"
+#include "service/run_service.hpp"
+
+namespace moteur::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class RunRecorder;
+}  // namespace moteur::obs
+
+namespace moteur::service {
+
+namespace detail {
+
+/// Shared state of one run: the handle holds one reference, the service
+/// another. The caller-visible fields live behind `mu`; the worker-side
+/// fields (request, engine, gated backend) are touched only by the owning
+/// shard's thread and never through a handle.
+struct RunRecord {
+  // Immutable after submit.
+  std::string id;
+  std::map<std::string, std::string> labels;
+  std::size_t shard = 0;  // pinned shard index
+
+  // Caller-visible, guarded by mu.
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  RunState state = RunState::kQueued;
+  bool cancel_requested = false;
+  enactor::EnactmentResult result;
+  std::string error;
+  /// Wakes the owning shard after a cancel request; the service clears it
+  /// at shutdown so handles outliving the service stay safe.
+  std::function<void()> poke;
+
+  // Shard-side only.
+  enactor::RunRequest request;
+  std::unique_ptr<enactor::ExecutionBackend> gated;
+  std::shared_ptr<enactor::Engine> engine;
+  bool cancel_applied = false;
+  double queued_backend_at = -1.0;  // backend time the run started waiting
+};
+
+/// Everything the engine shards share: the root backend, the registry, the
+/// (nested) config, the lazily created service-owned resources, the obs sink
+/// serialization, and the live-run bookkeeping behind wait_idle/wait_any.
+/// Shards hold a reference; the RunService::Impl owns it.
+struct ServiceCore {
+  enactor::ExecutionBackend& backend;
+  services::ServiceRegistry& registry;
+  RunServiceConfig config;
+
+  // Set before the first submit (contract); read by shards only.
+  std::vector<enactor::EventSubscriber> subscribers;
+  obs::RunRecorder* recorder = nullptr;
+
+  /// Guards lazy creation of the shared resources below — any shard may hit
+  /// the first breaker/cache-enabled policy.
+  std::mutex lazy_mu;
+  /// One service-owned breaker ledger shared by every run. Per-run ledgers
+  /// would deadlock in half-open — another tenant's job may be the probe.
+  /// CeHealth is internally thread-safe, so shards record outcomes directly.
+  std::unique_ptr<grid::CeHealth> shared_health;
+  /// One service-owned invocation cache shared by every run (already
+  /// thread-safe): tenants submitting content-identical work benefit from
+  /// each other's completed invocations.
+  std::unique_ptr<data::InvocationCache> shared_cache;
+
+  /// One lock serializes the recorder, the user subscribers, and the
+  /// service-wide instruments. Shards take it once per event BATCH, not per
+  /// event — that is what stops the recorder from being a global
+  /// serialization point at 10k-run scale.
+  std::mutex obs_mu;
+  bool instruments_ready = false;  // guarded by obs_mu
+  obs::Gauge* active_gauge = nullptr;
+  obs::Gauge* queued_gauge = nullptr;
+  obs::Gauge* gate_depth = nullptr;
+  obs::Histogram* admission_wait = nullptr;
+  obs::Histogram* gate_wait = nullptr;
+
+  // Service-wide totals fed by per-shard deltas (gauges read these).
+  std::atomic<long> active_total{0};
+  std::atomic<long> queued_total{0};
+  std::atomic<long> gate_depth_total{0};
+
+  // Live-run bookkeeping: wait_idle blocks on idle_cv, wait_any on
+  // terminal_cv; every terminal transition notifies both.
+  std::mutex live_mu;
+  std::condition_variable idle_cv;
+  std::condition_variable terminal_cv;
+  std::size_t live = 0;
+
+  ServiceCore(enactor::ExecutionBackend& backend_in, services::ServiceRegistry& registry_in,
+              RunServiceConfig config_in)
+      : backend(backend_in), registry(registry_in), config(std::move(config_in)) {}
+
+  const enactor::EnactmentPolicy& effective_policy(const RunRecord& rec) const {
+    return rec.request.policy ? *rec.request.policy : config.defaults.policy;
+  }
+
+  /// Resolve the service-wide instruments once a recorder is attached.
+  /// Requires obs_mu.
+  void ensure_instruments();
+
+  grid::CeHealth* ensure_health(const enactor::EnactmentPolicy& policy);
+  data::InvocationCache* ensure_cache(const enactor::EnactmentPolicy& policy);
+
+  /// Deliver one shard's event batch: user subscribers first, then the
+  /// recorder, per event — the same order the single-worker service used.
+  /// One obs_mu acquisition per batch.
+  void deliver_events(const std::vector<obs::RunEvent>& batch);
+
+  /// Service-scope events (shared-breaker transitions) carry an empty
+  /// run_id and bypass batching: grid health belongs to the shared
+  /// infrastructure, not to any single tenant.
+  void emit_service_event(const obs::RunEvent& event);
+  void on_breaker_transition(const grid::CeHealth::Transition& t);
+
+  /// Count one terminal run (moteur_service_runs_total{state=...}).
+  void count_terminal(RunState state);
+
+  /// One run left the live set: wake wait_idle/wait_any waiters.
+  void run_finished();
+};
+
+}  // namespace detail
+
+/// One shard of the enactment core: a worker thread owning a private event
+/// loop (its backend channel), a private AdmissionGate slice, and the runs
+/// pinned to it. The loop is the PR-4 single-worker loop verbatim — intake,
+/// admission, drive, harvest, cancellation delivery, stall recovery — so one
+/// shard over the root backend reproduces the pre-shard service exactly.
+///
+/// Obs events are buffered shard-locally and flushed to the shared recorder
+/// in batches (threshold `obs_batch`, plus at every run boundary and before
+/// the shard blocks), giving per-run event order while amortizing the
+/// recorder lock across shards.
+class EngineShard {
+ public:
+  /// `channel` is this shard's private completion lane over the shared
+  /// backend; nullptr means the shard drives `core.backend` directly (the
+  /// single-shard configuration). `obs_batch` = events buffered per flush;
+  /// 1 delivers synchronously like the pre-shard worker.
+  EngineShard(std::size_t index, detail::ServiceCore& core,
+              std::unique_ptr<enactor::ExecutionBackend> channel, std::size_t max_active,
+              std::size_t obs_batch);
+  ~EngineShard();
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  void start();
+
+  /// Hand a batch of freshly submitted runs to this shard atomically: all of
+  /// them enter the pending queue before the worker may admit any (admission
+  /// order within a shard stays deterministic).
+  void enqueue(std::vector<std::shared_ptr<detail::RunRecord>> batch);
+
+  /// Thread-safe wake-up (cancellation, shutdown, new work).
+  void wake();
+
+  void request_stop();
+  void join();
+
+  std::size_t index() const { return index_; }
+
+  /// Runs currently assigned and not yet terminal — the least-loaded pin
+  /// policy's ranking key.
+  std::size_t load() const { return load_.load(std::memory_order_relaxed); }
+
+  ShardStats stats() const;
+
+  /// The event loop this shard drives: its channel, or the root backend.
+  enactor::ExecutionBackend& backend() {
+    return channel_ != nullptr ? *channel_ : core_.backend;
+  }
+
+ private:
+  using RunRecordPtr = std::shared_ptr<detail::RunRecord>;
+
+  void run_worker();
+  bool admit(const RunRecordPtr& rec);
+  void retire(const RunRecordPtr& rec, RunState state, std::string error);
+  void finish_record(const RunRecordPtr& rec, RunState state,
+                     enactor::EnactmentResult result, std::string error);
+
+  /// Engine event sink: buffer, flush at the batch threshold.
+  void obs_emit(const obs::RunEvent& event);
+  void obs_flush();
+  /// Fold this shard's active/queued/gate-depth into the service-wide gauges
+  /// and the shard-labelled series.
+  void update_gauges(std::size_t active, std::size_t queued);
+  /// Resolve the moteur_shard_* series. Requires core_.obs_mu.
+  void ensure_shard_instruments();
+
+  std::size_t index_;
+  detail::ServiceCore& core_;
+  std::unique_ptr<enactor::ExecutionBackend> channel_;
+  std::shared_ptr<AdmissionGate> gate_;
+  std::size_t max_active_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> commands_{false};
+  bool stop_ = false;                 // guarded by mu_
+  std::deque<RunRecordPtr> pending_;  // guarded by mu_
+  std::atomic<std::size_t> load_{0};
+
+  // Worker-private obs batch.
+  std::vector<obs::RunEvent> batch_;
+  std::size_t obs_batch_ = 1;
+
+  // Worker-private last-published gauge values (delta source).
+  long last_active_ = 0;
+  long last_queued_ = 0;
+  long last_gate_depth_ = 0;
+
+  // Shard-labelled instruments, resolved lazily under core_.obs_mu.
+  obs::Counter* shard_runs_ = nullptr;
+  obs::Counter* shard_invocations_ = nullptr;
+  obs::Gauge* shard_active_ = nullptr;
+  obs::Gauge* shard_queue_ = nullptr;
+
+  // Counters behind stats(), fed at run retirement.
+  mutable std::mutex stats_mu_;
+  std::uint64_t runs_done_ = 0;
+  std::uint64_t invocations_done_ = 0;
+  std::vector<double> admission_waits_;
+
+  std::thread thread_;
+};
+
+}  // namespace moteur::service

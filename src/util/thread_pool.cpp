@@ -23,6 +23,15 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;

@@ -41,6 +41,11 @@ class ThreadPool {
     return future;
   }
 
+  /// Enqueue fire-and-forget work: no future, no packaged_task allocation.
+  /// The hot path for backends that deliver results through their own
+  /// completion queues. `fn` must not throw.
+  void post(std::function<void()> fn);
+
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Block until the queue is empty and all workers are idle.

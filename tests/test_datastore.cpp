@@ -423,10 +423,10 @@ TEST(CacheFaults, CancelledRunLeavesNoHalfWrittenEntries) {
 
   enactor::ThreadedBackend backend(2);
   service::RunServiceConfig config;
-  config.max_active_runs = 1;
-  config.max_inflight_submissions = 2;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
-  config.default_policy.cache = true;
+  config.admission.max_active = 1;
+  config.admission.max_inflight = 2;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  config.defaults.policy.cache = true;
   service::RunService runs(backend, registry, config);
 
   constexpr std::size_t kItems = 40;

@@ -111,9 +111,9 @@ TEST(RunService, ConcurrentRunsProduceIsolatedResults) {
   policy.failure_policy = enactor::FailurePolicy::kContinue;
 
   RunServiceConfig config;
-  config.max_active_runs = 3;
-  config.max_inflight_submissions = 6;
-  config.default_policy = policy;
+  config.admission.max_active = 3;
+  config.admission.max_inflight = 6;
+  config.defaults.policy = policy;
   RunService service(rig.backend, rig.registry, config);
 
   std::vector<enactor::RunRequest> requests;
@@ -165,9 +165,9 @@ TEST(RunService, FairShareKeepsSmallRunResponsive) {
     return rig;
   };
   RunServiceConfig config;
-  config.max_active_runs = 2;
-  config.max_inflight_submissions = 4;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 2;
+  config.admission.max_inflight = 4;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
 
   // Baseline: the small run alone on an identical rig.
   double solo = 0.0;
@@ -209,9 +209,9 @@ TEST(RunService, WeightTiltsAdmissionTowardHeavyTenant) {
   rig->add_prefixed_chain("econ", 1, 10.0);
 
   RunServiceConfig config;
-  config.max_active_runs = 2;
-  config.max_inflight_submissions = 4;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 2;
+  config.admission.max_inflight = 4;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   RunService service(rig->backend, rig->registry, config);
 
   auto gold = make_request("gold", prefixed_chain("gold", 1), 48);
@@ -257,8 +257,8 @@ TEST(RunService, RecorderSeparatesConcurrentRuns) {
 
   obs::RunRecorder recorder;
   RunServiceConfig config;
-  config.max_active_runs = 2;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 2;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   RunService service(rig.backend, rig.registry, config);
   service.set_recorder(&recorder);
 
@@ -297,7 +297,7 @@ TEST(RunService, RecorderSeparatesConcurrentRuns) {
 
 TEST(RunService, QueuedRunCancelledBeforeStart) {
   // The front run's service blocks on a latch, pinning it in kRunning while
-  // the queued run is cancelled — with max_active_runs = 1 the back run
+  // the queued run is cancelled — with admission.max_active = 1 the back run
   // deterministically never starts.
   enactor::ThreadedBackend backend(2);
   services::ServiceRegistry registry;
@@ -320,8 +320,8 @@ TEST(RunService, QueuedRunCancelledBeforeStart) {
       }));
 
   RunServiceConfig config;
-  config.max_active_runs = 1;  // the second run must queue
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 1;  // the second run must queue
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   RunService service(backend, registry, config);
 
   std::vector<enactor::RunRequest> requests;
@@ -378,9 +378,9 @@ TEST(RunService, ThreadedBackendInterleavesRunsAndTagsEvents) {
   }
 
   RunServiceConfig config;
-  config.max_active_runs = 3;
-  config.max_inflight_submissions = 8;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 3;
+  config.admission.max_inflight = 8;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   RunService service(backend, registry, config);
 
   // Subscribers run on the worker thread; reads below happen after
@@ -424,9 +424,9 @@ TEST(RunService, CancellationMidRunDrainsToPartialResult) {
   registry.add(sleeping_service("bystander-p0", std::chrono::milliseconds(1)));
 
   RunServiceConfig config;
-  config.max_active_runs = 2;
-  config.max_inflight_submissions = 2;
-  config.default_policy = enactor::EnactmentPolicy::sp_dp();
+  config.admission.max_active = 2;
+  config.admission.max_inflight = 2;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
   RunService service(backend, registry, config);
 
   std::vector<enactor::RunRequest> requests;

@@ -1,0 +1,386 @@
+// Sharded enactment core: MPSC queue stress (run under TSan by the
+// tsan-enactor preset), shards=1 vs shards=N equivalence on the threaded
+// backend, clamping on backends without channels, mid-run cancellation on a
+// sharded service, pin policies, the redesigned RunHandle waiting API, and
+// the null-handle regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "enactor/manifest.hpp"
+#include "enactor/run_request.hpp"
+#include "enactor/sim_backend.hpp"
+#include "enactor/threaded_backend.hpp"
+#include "grid/grid.hpp"
+#include "service/run_service.hpp"
+#include "services/functional_service.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/mpsc_queue.hpp"
+#include "workflow/graph.hpp"
+
+namespace moteur::service {
+namespace {
+
+using services::FunctionalService;
+using services::Inputs;
+using services::Result;
+
+// ---------------------------------------------------------------------------
+// MpscQueue
+// ---------------------------------------------------------------------------
+
+struct Item {
+  std::size_t producer;
+  std::size_t seq;
+};
+
+TEST(MpscQueue, ManyProducersPreservePerProducerOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+  MpscQueue<Item> queue;
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) queue.push(Item{p, i});
+    });
+  }
+
+  std::vector<std::size_t> next_seq(kProducers, 0);
+  std::size_t received = 0;
+  std::vector<Item> batch;
+  while (received < kProducers * kPerProducer) {
+    batch.clear();
+    if (queue.drain(batch) == 0) {
+      queue.wait(std::nullopt);
+      continue;
+    }
+    for (const Item& item : batch) {
+      ASSERT_LT(item.producer, kProducers);
+      EXPECT_EQ(item.seq, next_seq[item.producer]) << "producer " << item.producer;
+      ++next_seq[item.producer];
+    }
+    received += batch.size();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(queue.empty());
+  for (std::size_t p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+TEST(MpscQueue, NotifyWakesAnEmptyWait) {
+  MpscQueue<int> queue;
+  std::thread waker([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.notify();
+  });
+  // Returns true (woken), not by deadline, despite no items arriving.
+  EXPECT_TRUE(queue.wait(std::chrono::steady_clock::now() + std::chrono::seconds(30)));
+  waker.join();
+}
+
+TEST(MpscQueue, WaitHonorsDeadline) {
+  MpscQueue<int> queue;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_FALSE(queue.wait(deadline));
+}
+
+// ---------------------------------------------------------------------------
+// RunHandle API
+// ---------------------------------------------------------------------------
+
+TEST(RunHandle, DefaultConstructedHandleHasEmptySentinels) {
+  RunHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_TRUE(handle.id().empty());       // used to dereference a null record
+  EXPECT_TRUE(handle.labels().empty());   // likewise
+}
+
+// ---------------------------------------------------------------------------
+// Sharded RunService on the threaded backend
+// ---------------------------------------------------------------------------
+
+workflow::Workflow chain(std::size_t stages) {
+  workflow::Workflow wf("chain");
+  wf.add_source("src");
+  std::string prev = "src";
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    wf.add_processor(name, {"in"}, {"out"});
+    wf.link(prev, "out", name, "in");
+    prev = name;
+  }
+  wf.add_sink("sink");
+  wf.link(prev, "out", "sink", "in");
+  return wf;
+}
+
+data::InputDataSet items(std::size_t count) {
+  data::InputDataSet ds;
+  ds.declare_input("src");
+  for (std::size_t j = 0; j < count; ++j) ds.add_item("src", "item" + std::to_string(j));
+  return ds;
+}
+
+/// Stateless pass-through services p0..p{stages-1}; optional per-invocation
+/// sleep and a shared invocation counter.
+void add_chain_services(services::ServiceRegistry& registry, std::size_t stages,
+                        std::atomic<std::size_t>* counter = nullptr,
+                        std::chrono::milliseconds sleep = {}) {
+  for (std::size_t i = 0; i < stages; ++i) {
+    registry.add(std::make_shared<FunctionalService>(
+        "p" + std::to_string(i), std::vector<std::string>{"in"},
+        std::vector<std::string>{"out"}, [counter, sleep](const Inputs& in) {
+          if (sleep.count() != 0) std::this_thread::sleep_for(sleep);
+          if (counter != nullptr) counter->fetch_add(1);
+          Result result;
+          result.outputs["out"].payload = 0;
+          result.outputs["out"].repr = "out:" + in.at("in").repr();
+          return result;
+        }));
+  }
+}
+
+struct RunOutcome {
+  std::size_t invocations = 0;
+  std::size_t failures = 0;
+  std::vector<std::string> sink_reprs;  // sorted
+};
+
+std::map<std::string, RunOutcome> enact(std::size_t shards, std::size_t runs,
+                                        std::size_t stages, std::size_t n_items,
+                                        std::vector<ShardStats>* stats_out = nullptr) {
+  enactor::ThreadedBackend backend(4);
+  services::ServiceRegistry registry;
+  add_chain_services(registry, stages);
+
+  RunServiceConfig config;
+  config.admission.max_active = 8;
+  config.admission.max_inflight = 16;
+  config.sharding.shards = shards;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+  EXPECT_EQ(service.shards(), shards);  // threaded backend supports channels
+
+  std::vector<enactor::RunRequest> requests;
+  for (std::size_t i = 0; i < runs; ++i) {
+    enactor::RunRequest request;
+    request.name = "run-" + std::to_string(i);
+    request.workflow = chain(stages);
+    request.inputs = items(n_items);
+    requests.push_back(std::move(request));
+  }
+  auto handles = service.submit_all(std::move(requests));
+  service.wait_idle();
+
+  std::map<std::string, RunOutcome> outcomes;
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kFinished) << handle.id() << ": " << handle.error();
+    const auto& result = handle.result();
+    RunOutcome outcome;
+    outcome.invocations = result.invocations();
+    outcome.failures = result.failures();
+    for (const auto& [sink, tokens] : result.sink_outputs) {
+      for (const auto& token : tokens) outcome.sink_reprs.push_back(token.repr());
+    }
+    std::sort(outcome.sink_reprs.begin(), outcome.sink_reprs.end());
+    outcomes[handle.id()] = std::move(outcome);
+  }
+  if (stats_out != nullptr) *stats_out = service.shard_stats();
+  return outcomes;
+}
+
+TEST(ShardedRunService, FourShardsMatchSingleShardRunForRun) {
+  constexpr std::size_t kRuns = 12, kStages = 3, kItems = 6;
+  std::vector<ShardStats> stats1, stats4;
+  const auto single = enact(1, kRuns, kStages, kItems, &stats1);
+  const auto sharded = enact(4, kRuns, kStages, kItems, &stats4);
+
+  ASSERT_EQ(single.size(), kRuns);
+  ASSERT_EQ(sharded.size(), kRuns);
+  for (const auto& [id, expected] : single) {
+    ASSERT_TRUE(sharded.count(id)) << id;
+    const RunOutcome& got = sharded.at(id);
+    EXPECT_EQ(got.invocations, expected.invocations) << id;
+    EXPECT_EQ(got.failures, expected.failures) << id;
+    EXPECT_EQ(got.sink_reprs, expected.sink_reprs) << id;
+  }
+
+  // Per-shard counters sum to identical totals in both configurations.
+  const auto totals = [](const std::vector<ShardStats>& stats) {
+    std::pair<std::uint64_t, std::uint64_t> t{0, 0};
+    for (const auto& s : stats) {
+      t.first += s.runs;
+      t.second += s.invocations;
+    }
+    return t;
+  };
+  ASSERT_EQ(stats1.size(), 1u);
+  ASSERT_EQ(stats4.size(), 4u);
+  EXPECT_EQ(totals(stats1), totals(stats4));
+  EXPECT_EQ(totals(stats4).first, kRuns);
+  EXPECT_EQ(totals(stats4).second, kRuns * kStages * kItems);
+}
+
+TEST(ShardedRunService, BackendWithoutChannelsClampsToOneShard) {
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, grid::GridConfig::constant(5.0, 4096, 7));
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  RunServiceConfig config;
+  config.sharding.shards = 4;  // the simulator cannot be multi-driven
+  RunService service(backend, registry, config);
+  EXPECT_EQ(service.shards(), 1u);
+}
+
+TEST(ShardedRunService, CancellationMidRunOnShardedService) {
+  enactor::ThreadedBackend backend(4);
+  services::ServiceRegistry registry;
+  std::atomic<std::size_t> invoked{0};
+  add_chain_services(registry, 2, &invoked, std::chrono::milliseconds(5));
+
+  RunServiceConfig config;
+  config.admission.max_active = 8;
+  config.admission.max_inflight = 4;  // most submissions queue in the gates
+  config.sharding.shards = 4;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+  ASSERT_EQ(service.shards(), 4u);
+
+  std::vector<enactor::RunRequest> requests;
+  for (std::size_t i = 0; i < 4; ++i) {
+    enactor::RunRequest request;
+    request.name = "victim-" + std::to_string(i);
+    request.workflow = chain(2);
+    request.inputs = items(64);
+    requests.push_back(std::move(request));
+  }
+  auto handles = service.submit_all(std::move(requests));
+
+  // Let the runs make real progress, then cancel them all mid-flight.
+  while (invoked.load() < 8) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (auto& handle : handles) handle.cancel();
+
+  constexpr std::size_t kTotal = 4 * 2 * 64;
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kCancelled) << handle.id();
+    // Partial result: cancelled well before the full item set completed.
+    EXPECT_LT(handle.result().invocations(), 2 * 64u) << handle.id();
+  }
+  EXPECT_LT(invoked.load(), kTotal);
+  service.wait_idle();
+}
+
+TEST(ShardedRunService, LeastLoadedPinSpreadsABatch) {
+  enactor::ThreadedBackend backend(2);
+  services::ServiceRegistry registry;
+  add_chain_services(registry, 1);
+
+  RunServiceConfig config;
+  config.sharding.shards = 4;
+  config.sharding.pin = PinPolicy::kLeastLoaded;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+
+  std::vector<enactor::RunRequest> requests;
+  for (std::size_t i = 0; i < 8; ++i) {
+    enactor::RunRequest request;
+    request.name = "spread-" + std::to_string(i);
+    request.workflow = chain(1);
+    request.inputs = items(2);
+    requests.push_back(std::move(request));
+  }
+  service.submit_all(std::move(requests));
+  service.wait_idle();
+
+  // In-batch tentative accounting: one batch of 8 lands 2 runs per shard.
+  for (const auto& stats : service.shard_stats()) {
+    EXPECT_EQ(stats.runs, 2u) << "shard " << stats.shard;
+  }
+}
+
+TEST(ShardedRunService, WaitPrimitives) {
+  enactor::ThreadedBackend backend(2);
+  services::ServiceRegistry registry;
+  add_chain_services(registry, 1, nullptr, std::chrono::milliseconds(3));
+
+  RunServiceConfig config;
+  config.sharding.shards = 2;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  RunService service(backend, registry, config);
+
+  std::vector<enactor::RunRequest> requests;
+  for (const char* name : {"wait-a", "wait-b"}) {
+    enactor::RunRequest request;
+    request.name = name;
+    request.workflow = chain(1);
+    request.inputs = items(8);
+    requests.push_back(std::move(request));
+  }
+  auto handles = service.submit_all(std::move(requests));
+
+  // wait_for with a tiny timeout observes a (most likely) non-terminal state
+  // without blocking; try_result mirrors it.
+  const RunState early = handles[0].wait_for(std::chrono::microseconds(1));
+  if (!is_terminal(early)) EXPECT_EQ(handles[0].try_result(), nullptr);
+
+  const std::size_t first = service.wait_any(handles);
+  ASSERT_LT(first, handles.size());
+  EXPECT_TRUE(is_terminal(handles[first].poll()));
+  EXPECT_NE(handles[first].try_result(), nullptr);
+
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait_for(std::chrono::seconds(60)), RunState::kFinished);
+    EXPECT_NE(handle.try_result(), nullptr);
+  }
+}
+
+TEST(ShardedRunService, WaitAnyRequiresAValidHandle) {
+  enactor::ThreadedBackend backend(1);
+  services::ServiceRegistry registry;
+  RunService service(backend, registry, {});
+  std::vector<RunHandle> invalid(3);
+  EXPECT_THROW(service.wait_any(invalid), ExecutionError);
+}
+
+// ---------------------------------------------------------------------------
+// Config surface: pin policy parsing + manifest round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ShardingConfig, PinPolicyParsesAndPrints) {
+  EXPECT_EQ(parse_pin_policy("hash"), PinPolicy::kHash);
+  EXPECT_EQ(parse_pin_policy("least-loaded"), PinPolicy::kLeastLoaded);
+  EXPECT_STREQ(to_string(PinPolicy::kHash), "hash");
+  EXPECT_STREQ(to_string(PinPolicy::kLeastLoaded), "least-loaded");
+  EXPECT_THROW(parse_pin_policy("round-robin"), ParseError);
+}
+
+TEST(ShardingConfig, ManifestRoundTripsShardingFields) {
+  enactor::RunManifest manifest;
+  manifest.workflow = chain(1);
+  manifest.inputs = items(1);
+  manifest.shards = 4;
+  manifest.pin_policy = "least-loaded";
+  const auto restored = enactor::RunManifest::from_xml(manifest.to_xml());
+  EXPECT_EQ(restored.shards, 4u);
+  EXPECT_EQ(restored.pin_policy, "least-loaded");
+
+  enactor::RunManifest defaults;
+  defaults.workflow = chain(1);
+  defaults.inputs = items(1);
+  const auto restored_defaults = enactor::RunManifest::from_xml(defaults.to_xml());
+  EXPECT_EQ(restored_defaults.shards, 1u);
+  EXPECT_EQ(restored_defaults.pin_policy, "hash");
+}
+
+}  // namespace
+}  // namespace moteur::service

@@ -65,6 +65,7 @@ using namespace moteur;
       "  moteur_cli run --manifest RUN.xml [--services CAT.xml] [...]\n"
       "  moteur_cli run ... [--runs N] [--manifests A.xml,B.xml,...]\n"
       "             [--max-active N] [--max-inflight N]\n"
+      "             [--shards N] [--pin-policy hash|least-loaded]\n"
       "             (multi-tenant: N copies and/or one run per listed manifest\n"
       "              enacted concurrently on one shared grid; per-run outputs\n"
       "              get a .run<K> suffix, e.g. out.csv -> out.run1.csv)\n"
@@ -171,6 +172,15 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   // Data plane: memoize invocations / rank CEs by stage-in cost.
   if (args.has("cache")) manifest.policy.cache = true;
   if (args.has("data-aware")) manifest.policy.data_aware = true;
+  // Enactment-core sharding (multi-tenant runs; round-trips via the manifest).
+  if (const auto shards = args.get("shards")) {
+    manifest.shards = static_cast<std::size_t>(std::stoul(*shards));
+    if (manifest.shards == 0) usage("--shards must be at least 1");
+  }
+  if (const auto pin = args.get("pin-policy")) {
+    service::parse_pin_policy(*pin);  // validate early; stored as text
+    manifest.pin_policy = *pin;
+  }
   return manifest;
 }
 
@@ -252,12 +262,22 @@ int cmd_run_multi(const Args& args) {
 
   service::RunServiceConfig config;
   if (const auto n = args.get("max-active")) {
-    config.max_active_runs = static_cast<std::size_t>(std::stoul(*n));
+    config.admission.max_active = static_cast<std::size_t>(std::stoul(*n));
   }
   if (const auto n = args.get("max-inflight")) {
-    config.max_inflight_submissions = static_cast<std::size_t>(std::stoul(*n));
+    config.admission.max_inflight = static_cast<std::size_t>(std::stoul(*n));
   }
-  config.default_policy = manifests.front().policy;
+  // The first manifest decides the sharding, like the grid; explicit flags win.
+  config.sharding.shards = manifests.front().shards;
+  config.sharding.pin = service::parse_pin_policy(manifests.front().pin_policy);
+  if (const auto n = args.get("shards")) {
+    config.sharding.shards = static_cast<std::size_t>(std::stoul(*n));
+    if (config.sharding.shards == 0) usage("--shards must be at least 1");
+  }
+  if (const auto pin = args.get("pin-policy")) {
+    config.sharding.pin = service::parse_pin_policy(*pin);
+  }
+  config.defaults.policy = manifests.front().policy;
   service::RunService runs(backend, registry, config);
 
   obs::RunRecorder recorder;
@@ -280,17 +300,26 @@ int cmd_run_multi(const Args& args) {
     }
   }
   const std::size_t total = requests.size();
-  std::printf("enacting %zu concurrent run(s) (max active %zu, gate %zu, grid %s)\n",
-              total, config.max_active_runs, config.max_inflight_submissions,
-              manifests.front().grid_preset.c_str());
+  std::printf(
+      "enacting %zu concurrent run(s) (max active %zu, gate %zu, %zu shard(s) [%s],"
+      " grid %s)\n",
+      total, config.admission.max_active, config.admission.max_inflight, runs.shards(),
+      service::to_string(config.sharding.pin), manifests.front().grid_preset.c_str());
   auto handles = runs.submit_all(std::move(requests));
   runs.wait_idle();
 
   bool hard_failure = false;
   for (std::size_t i = 0; i < handles.size(); ++i) {
     auto& handle = handles[i];
-    const service::RunState state = handle.wait();
-    const auto& result = handle.result();
+    // wait_idle() drained the service, so every handle is terminal and the
+    // non-blocking accessors suffice.
+    const service::RunState state = handle.poll();
+    const enactor::EnactmentResult* terminal = handle.try_result();
+    if (terminal == nullptr) {
+      std::fprintf(stderr, "run %s not terminal after wait_idle\n", handle.id().c_str());
+      return 1;
+    }
+    const auto& result = *terminal;
     std::printf("run %-24s %-9s makespan %s, %zu invocations, %zu failures",
                 (handle.id() + ":").c_str(), service::to_string(state),
                 format_duration(result.makespan()).c_str(), result.invocations(),
