@@ -719,7 +719,10 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     event.superseded = sub->resolved;
     event.status = to_string(outcome.status);
     event.error = outcome.error;
-    if (outcome.job) event.computing_element = outcome.job->computing_element;
+    if (outcome.job) {
+      event.computing_element = outcome.job->computing_element;
+      event.stage_in_seconds = outcome.job->input_transfer_seconds;
+    }
     event.submit_time = outcome.submit_time;
     event.start_time = outcome.start_time;
     event.end_time = outcome.end_time;

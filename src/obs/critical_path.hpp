@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace moteur::obs {
+
+/// Post-run critical-path attribution: walk one run's span tree, extract the
+/// longest dependency chain of invocations covering the run interval, and
+/// attribute every second of the makespan to one of the paper's overhead
+/// phases. The phases partition the makespan exactly:
+///
+///   makespan = admission_wait + ce_queue + stage_in + execution
+///              + orchestration
+///
+/// where admission_wait is service time spent before the run span opened
+/// (supplied by the caller — the span tree starts at enactment), ce_queue /
+/// stage_in / execution come from the phase spans of the attempts on the
+/// chain, and orchestration absorbs the rest: enactor bookkeeping, gaps
+/// between chained invocations, and chain time not covered by any phase
+/// span.
+struct CriticalPathReport {
+  /// One chained invocation segment, in time order.
+  struct Step {
+    std::string name;       // invocation span name, e.g. "crop #3"
+    double start = 0.0;     // segment begin (chain-clipped), backend seconds
+    double end = 0.0;       // segment end
+    double ce_queue = 0.0;  // phase attribution within [start, end]
+    double stage_in = 0.0;
+    double execution = 0.0;
+  };
+
+  std::string run_id;
+  std::string run;          // workflow name (run span name)
+  bool found = false;       // false when the tracer holds no such run
+  double makespan = 0.0;    // admission_wait + (run span duration)
+  double admission_wait = 0.0;
+  double ce_queue = 0.0;
+  double stage_in = 0.0;
+  double execution = 0.0;
+  double orchestration = 0.0;
+  std::vector<Step> steps;
+
+  double attributed() const {
+    return admission_wait + ce_queue + stage_in + execution + orchestration;
+  }
+
+  std::string to_json() const;
+  std::string to_text() const;
+};
+
+/// Extract the report for the run whose root span carries a "run_id"
+/// annotation equal to `run_id` (single-run traces may pass the run span
+/// name instead; an empty id selects the only run root when there is exactly
+/// one). `admission_wait` is the service-side wait before enactment began.
+CriticalPathReport critical_path(const Tracer& tracer, const std::string& run_id,
+                                 double admission_wait = 0.0);
+
+/// Publish the report's phases as moteur_critical_path_seconds{run,phase}
+/// gauges, so the attribution travels with the normal metric exports.
+void record_phases(MetricsRegistry& metrics, const CriticalPathReport& report);
+
+}  // namespace moteur::obs

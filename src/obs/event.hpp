@@ -61,6 +61,9 @@ struct RunEvent {
   double submit_time = -1.0;      // attempt timings (backend seconds)
   double start_time = -1.0;       // payload began (queue wait before this)
   double end_time = -1.0;
+  /// Input staging time inside [submit_time, start_time], when the backend
+  /// reports it (grid JobRecord); 0 for backends without a staging phase.
+  double stage_in_seconds = 0.0;
 
   // Running totals, mirrored into ProgressEvent for the legacy listener.
   std::size_t total_invocations = 0;

@@ -53,7 +53,12 @@ std::string format_number(double value) {
 /// Assign each span of ONE rendering group a lane (tid) so that spans
 /// sharing a lane are either disjoint in time or properly nested — Chrome
 /// draws exactly that as a stack. Children try their parent's lane first.
-std::unordered_map<SpanId, int> assign_lanes(const std::vector<const Span*>& spans) {
+/// Ties are broken by the caller-supplied deterministic span keys, never by
+/// span ids: ids follow event arrival order, which is run-to-run unstable
+/// when shards flush their event batches concurrently.
+std::unordered_map<SpanId, int> assign_lanes(
+    const std::vector<const Span*>& spans,
+    const std::unordered_map<SpanId, std::string>& key_of) {
   std::unordered_map<SpanId, int> depth;
   depth.reserve(spans.size());
   std::unordered_map<SpanId, const Span*> by_id;
@@ -74,6 +79,11 @@ std::unordered_map<SpanId, int> assign_lanes(const std::vector<const Span*>& spa
     if (da != db) return da > db;  // enclosing spans first
     const int depth_a = depth_of(*a), depth_b = depth_of(*b);
     if (depth_a != depth_b) return depth_a < depth_b;
+    const auto key_a = key_of.find(a->id), key_b = key_of.find(b->id);
+    if (key_a != key_of.end() && key_b != key_of.end() &&
+        key_a->second != key_b->second) {
+      return key_a->second < key_b->second;
+    }
     return a->id < b->id;
   });
 
@@ -105,6 +115,13 @@ std::unordered_map<SpanId, int> assign_lanes(const std::vector<const Span*>& spa
     lane_of.emplace(span->id, lane);
   }
   return lane_of;
+}
+
+const std::string* find_arg(const Span& span, const std::string& key) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
 }
 
 std::string label_suffix(const Labels& labels, const std::string& extra_key = "",
@@ -153,14 +170,40 @@ std::string chrome_trace_json(const Tracer& tracer) {
     root_memo.emplace(span.id, root);
     return root;
   };
+  // Deterministic per-span keys: the chain of names from the root down, with
+  // the run id standing in for the root's name when recorded. Span ids follow
+  // event arrival order — run-to-run unstable at shards>1 where each shard
+  // flushes its event batch independently — so every ordering decision below
+  // ties on these keys instead.
+  std::unordered_map<SpanId, std::string> key_of;
+  key_of.reserve(spans.size());
+  const std::function<const std::string&(const Span&)> key_for = [&](const Span& span)
+      -> const std::string& {
+    const auto it = key_of.find(span.id);
+    if (it != key_of.end()) return it->second;
+    std::string key;
+    const auto parent = by_id.find(span.parent);
+    if (parent == by_id.end()) {
+      const std::string* run_id = find_arg(span, "run_id");
+      key = run_id ? *run_id : span.name;
+    } else {
+      key = key_for(*parent->second) + "/" + span.name;
+    }
+    return key_of.emplace(span.id, std::move(key)).first->second;
+  };
+  for (const Span& span : spans) key_for(span);
+
   std::vector<const Span*> run_roots;
   for (const Span& span : spans) {
     if (span.category == "run" && by_id.find(span.parent) == by_id.end()) {
       run_roots.push_back(&span);
     }
   }
-  std::sort(run_roots.begin(), run_roots.end(), [](const Span* a, const Span* b) {
+  std::sort(run_roots.begin(), run_roots.end(), [&](const Span* a, const Span* b) {
     if (a->start != b->start) return a->start < b->start;
+    const std::string& key_a = key_of.at(a->id);
+    const std::string& key_b = key_of.at(b->id);
+    if (key_a != key_b) return key_a < key_b;
     return a->id < b->id;
   });
   std::unordered_map<SpanId, int> pid_of_root;
@@ -181,17 +224,26 @@ std::string chrome_trace_json(const Tracer& tracer) {
   std::unordered_map<SpanId, int> lane_of;
   lane_of.reserve(spans.size());
   for (const auto& [pid, members] : groups) {
-    for (const auto& [id, lane] : assign_lanes(members)) lane_of.emplace(id, lane);
+    for (const auto& [id, lane] : assign_lanes(members, key_of)) lane_of.emplace(id, lane);
   }
 
   // Emit in (start, enclosing-first) order — the same order lanes were
-  // assigned in — so the file is stable and viewer-friendly.
+  // assigned in — so the file is stable and viewer-friendly. Ties fall to
+  // (pid, span key) so the emission order, like the lanes, does not depend
+  // on event arrival order.
   std::vector<const Span*> order;
   order.reserve(spans.size());
   for (const Span& span : spans) order.push_back(&span);
-  std::stable_sort(order.begin(), order.end(), [](const Span* a, const Span* b) {
+  std::sort(order.begin(), order.end(), [&](const Span* a, const Span* b) {
     if (a->start != b->start) return a->start < b->start;
-    return (a->end - a->start) > (b->end - b->start);
+    const double da = a->end - a->start, db = b->end - b->start;
+    if (da != db) return da > db;
+    const int pid_a = pid_of.at(a->id), pid_b = pid_of.at(b->id);
+    if (pid_a != pid_b) return pid_a < pid_b;
+    const std::string& key_a = key_of.at(a->id);
+    const std::string& key_b = key_of.at(b->id);
+    if (key_a != key_b) return key_a < key_b;
+    return a->id < b->id;
   });
 
   std::ostringstream out;
@@ -293,12 +345,10 @@ std::string obs_summary(const Tracer& tracer, const MetricsRegistry& metrics) {
           const Histogram& h = *instrument.histogram;
           char line[160];
           std::snprintf(line, sizeof(line),
-                        "  %s: count=%zu mean=%.1f p50=%.1f p95=%.1f max=%.1f\n",
-                        series.c_str(), h.count(), h.count() ? h.sum() / h.count() : 0.0,
-                        h.percentile(50.0), h.percentile(95.0),
-                        h.samples().empty()
-                            ? 0.0
-                            : *std::max_element(h.samples().begin(), h.samples().end()));
+                        "  %s: count=%llu mean=%.1f p50=%.1f p95=%.1f max=%.1f\n",
+                        series.c_str(), static_cast<unsigned long long>(h.count()),
+                        h.count() ? h.sum() / static_cast<double>(h.count()) : 0.0,
+                        h.percentile(50.0), h.percentile(95.0), h.max_seen());
           out << line;
           break;
         }

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace moteur::obs {
+
+/// Crash flight recorder: a fixed-capacity ring of the most recent RunEvents
+/// seen by one event stream. Recording is O(1) with no allocation past
+/// warm-up and no locking — the owner (an engine shard) records from its own
+/// thread only. When a run dies, dump_json() renders the retained window so
+/// a post-mortem has the last N events without full tracing having been on.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  void record(const RunEvent& event);
+
+  /// Events currently retained, oldest first.
+  std::vector<RunEvent> window() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded (>= retained size; the overflow was evicted).
+  std::uint64_t events_seen() const { return seen_; }
+
+  /// Render the retained window as a pretty-stable JSON document:
+  /// {"run": ..., "state": ..., "error": ..., "events_seen": N,
+  ///  "events": [...]}. Every event entry carries kind/time/run_id; the
+  ///  remaining fields appear only when set, so quiet kinds stay short.
+  std::string dump_json(const std::string& run_id, const std::string& state,
+                        const std::string& error) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<RunEvent> ring_;
+  std::size_t next_ = 0;       // ring slot the next event lands in
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace moteur::obs

@@ -12,17 +12,37 @@ void Gauge::set(double value) {
   max_seen_ = std::max(max_seen_, value);
 }
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds, std::size_t sample_cap)
+    : bounds_(std::move(bounds)), sample_cap_(sample_cap) {
   MOTEUR_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()), Error,
                  "histogram bounds must be ascending");
+  MOTEUR_REQUIRE(sample_cap_ > 0, Error, "histogram sample cap must be positive");
   buckets_.assign(bounds_.size() + 1, 0);
 }
+
+namespace {
+std::uint64_t xorshift64(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+}  // namespace
 
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
-  samples_.push_back(value);
   sum_ += value;
+  ++count_;
+  max_seen_ = count_ == 1 ? value : std::max(max_seen_, value);
+  if (samples_.size() < sample_cap_) {
+    samples_.push_back(value);
+  } else {
+    // Algorithm R: the new observation replaces a retained one with
+    // probability cap/count, keeping the reservoir a uniform sample.
+    const std::uint64_t slot = xorshift64(rng_state_) % count_;
+    if (slot < sample_cap_) samples_[static_cast<std::size_t>(slot)] = value;
+  }
 }
 
 double Histogram::percentile(double p) const {

@@ -42,22 +42,38 @@ class Gauge {
 /// Fixed-bucket histogram over ascending upper bounds (an implicit +Inf
 /// bucket catches the overflow). Bucket semantics follow Prometheus:
 /// observation v lands in the first bucket with v <= bound. Raw samples are
-/// retained so exact percentiles (util/stats) stay available alongside the
-/// bucketed exposition.
+/// retained up to `sample_cap`; past the cap a uniform reservoir (Vitter's
+/// Algorithm R with a deterministic per-instrument generator) replaces them,
+/// so memory stays bounded on million-observation workloads. Count, sum,
+/// bucket counts, and the maximum are always exact; percentile() is exact
+/// while samples_exact() holds and a reservoir estimate afterwards.
 class Histogram {
  public:
-  explicit Histogram(std::vector<double> bounds);
+  /// Large enough that every workload in the test/bench suite short of
+  /// bench_scale stays exact; small enough that a runaway series costs KBs.
+  static constexpr std::size_t kDefaultSampleCap = 8192;
+
+  explicit Histogram(std::vector<double> bounds,
+                     std::size_t sample_cap = kDefaultSampleCap);
 
   void observe(double value);
 
-  std::size_t count() const { return samples_.size(); }
+  std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+  /// Largest value ever observed (exact even past the cap); 0 when empty.
+  double max_seen() const { return max_seen_; }
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (not cumulative) counts; size = bounds().size() + 1, the
   /// last entry being the +Inf overflow bucket.
   const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  /// Retained raw samples: everything observed while samples_exact(), a
+  /// uniform reservoir of size sample_cap() afterwards.
   const std::vector<double>& samples() const { return samples_; }
-  /// Exact p-th percentile over the retained samples; 0 when empty.
+  std::size_t sample_cap() const { return sample_cap_; }
+  /// True while the retained samples are the complete observation set.
+  bool samples_exact() const { return count_ <= sample_cap_; }
+  /// p-th percentile over the retained samples; exact while samples_exact(),
+  /// a reservoir estimate above the cap. 0 when empty.
   double percentile(double p) const;
 
   /// Default bounds for grid latencies (seconds): sub-second to hours.
@@ -68,6 +84,12 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::vector<double> samples_;
   double sum_ = 0.0;
+  double max_seen_ = 0.0;
+  std::uint64_t count_ = 0;
+  std::size_t sample_cap_;
+  // xorshift64 state for the reservoir; fixed seed so identical observation
+  // sequences retain identical samples run-to-run.
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 enum class MetricType { kCounter, kGauge, kHistogram };

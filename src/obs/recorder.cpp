@@ -1,5 +1,7 @@
 #include "obs/recorder.hpp"
 
+#include <algorithm>
+
 namespace moteur::obs {
 
 const char* to_string(RunEvent::Kind kind) {
@@ -202,9 +204,20 @@ void RunRecorder::on_event(const RunEvent& event) {
         }
         if (event.superseded) tracer_.annotate(span, "superseded", "true");
         if (!event.error.empty()) tracer_.annotate(span, "error", event.error);
-        // Queue-wait vs. running phases, from the backend's attempt timings.
+        // Queue-wait, stage-in, and running phases from the backend's attempt
+        // timings. Payload start follows input staging, so the staging time
+        // (when the backend reports one) is carved off the tail of the
+        // submit->start window: queued | stage-in | running.
         if (event.start_time >= event.submit_time && event.submit_time >= 0.0) {
-          tracer_.record("queued", "phase", event.submit_time, event.start_time, span);
+          const double stage =
+              std::clamp(event.stage_in_seconds, 0.0, event.start_time - event.submit_time);
+          const double stage_begin = event.start_time - stage;
+          if (stage_begin > event.submit_time || stage == 0.0) {
+            tracer_.record("queued", "phase", event.submit_time, stage_begin, span);
+          }
+          if (stage > 0.0) {
+            tracer_.record("stage-in", "phase", stage_begin, event.start_time, span);
+          }
           if (event.end_time >= event.start_time) {
             tracer_.record("running", "phase", event.start_time, event.end_time, span);
           }

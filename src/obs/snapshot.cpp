@@ -1,0 +1,136 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+
+namespace moteur::obs {
+
+MetricsSnapshot MetricsSnapshot::capture(const MetricsRegistry& metrics, double at) {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.families.reserve(metrics.families().size());
+  for (const auto& [name, family] : metrics.families()) {
+    Family out;
+    out.name = name;
+    out.help = family.help;
+    out.type = family.type;
+    out.series.reserve(family.series.size());
+    for (const auto& [labels, instrument] : family.series) {
+      Series series;
+      series.labels = labels;
+      switch (family.type) {
+        case MetricType::kCounter:
+          series.value = instrument.counter->value();
+          break;
+        case MetricType::kGauge:
+          series.value = instrument.gauge->value();
+          series.max_seen = instrument.gauge->max_seen();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          series.bounds = h.bounds();
+          series.buckets = h.bucket_counts();
+          series.sum = h.sum();
+          series.count = h.count();
+          series.max_seen = h.max_seen();
+          break;
+        }
+      }
+      out.series.push_back(std::move(series));
+    }
+    snap.families.push_back(std::move(out));
+  }
+  return snap;
+}
+
+namespace {
+
+const MetricsSnapshot::Series* find_in(const MetricsSnapshot::Family& family,
+                                       const Labels& labels) {
+  // Series are sorted by labels (std::map iteration order at capture time).
+  const auto it = std::lower_bound(
+      family.series.begin(), family.series.end(), labels,
+      [](const MetricsSnapshot::Series& s, const Labels& key) { return s.labels < key; });
+  return it != family.series.end() && it->labels == labels ? &*it : nullptr;
+}
+
+double clamped_minus(double now, double before) { return std::max(0.0, now - before); }
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  delta.interval = std::max(0.0, at - earlier.at);
+  for (Family& family : delta.families) {
+    const Family* before = earlier.find_family(family.name);
+    if (!before || family.type == MetricType::kGauge) continue;
+    for (Series& series : family.series) {
+      const Series* prev = find_in(*before, series.labels);
+      if (!prev) continue;
+      switch (family.type) {
+        case MetricType::kCounter:
+          series.value = clamped_minus(series.value, prev->value);
+          break;
+        case MetricType::kHistogram: {
+          series.sum = clamped_minus(series.sum, prev->sum);
+          series.count = series.count >= prev->count ? series.count - prev->count : 0;
+          if (prev->buckets.size() == series.buckets.size()) {
+            for (std::size_t i = 0; i < series.buckets.size(); ++i) {
+              series.buckets[i] = series.buckets[i] >= prev->buckets[i]
+                                      ? series.buckets[i] - prev->buckets[i]
+                                      : 0;
+            }
+          }
+          break;
+        }
+        case MetricType::kGauge: break;  // unreachable (filtered above)
+      }
+    }
+  }
+  return delta;
+}
+
+const MetricsSnapshot::Family* MetricsSnapshot::find_family(const std::string& name) const {
+  const auto it = std::lower_bound(
+      families.begin(), families.end(), name,
+      [](const Family& f, const std::string& key) { return f.name < key; });
+  return it != families.end() && it->name == name ? &*it : nullptr;
+}
+
+const MetricsSnapshot::Series* MetricsSnapshot::find(const std::string& family,
+                                                     const Labels& labels) const {
+  const Family* f = find_family(family);
+  return f ? find_in(*f, labels) : nullptr;
+}
+
+double MetricsSnapshot::rate(const Series& series) const {
+  return interval > 0.0 ? series.value / interval : 0.0;
+}
+
+double bucket_percentile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& buckets, double p) {
+  if (buckets.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (buckets[i] == 0) return upper;
+    const double within = (rank - static_cast<double>(before)) /
+                          static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace moteur::obs

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace moteur::obs {
+
+/// Point-in-time capture of a MetricsRegistry: plain values, no instrument
+/// pointers, safe to hand across threads and to diff against a later capture.
+/// This is the read interface for anything that wants to watch the engine
+/// while it runs — the TelemetryHub samples through it, and it is the exact
+/// shape a future online autotuner (ROADMAP item 5) consumes: capture,
+/// wait, capture again, delta_since() for window rates and percentiles.
+///
+/// capture() itself does NOT lock: the registry is owned by whoever
+/// serializes recording (the RunService's obs lock, or the enactor drive
+/// thread), and the caller must hold that same serialization while
+/// capturing. The returned snapshot is immutable data.
+struct MetricsSnapshot {
+  struct Series {
+    Labels labels;
+    /// Counter: cumulative value (or windowed delta in a delta snapshot).
+    /// Gauge: instantaneous value at capture time.
+    double value = 0.0;
+    /// Gauges only: high-water mark since registry creation.
+    double max_seen = 0.0;
+    /// Histograms only. `buckets` are per-bucket (not cumulative) counts,
+    /// one per bound plus the +Inf overflow bucket last, mirroring
+    /// Histogram::bucket_counts().
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Series> series;  // sorted by labels (registry map order)
+  };
+
+  /// Wall-clock seconds since the Unix epoch at capture time (caller-supplied
+  /// so simulated and real clocks both work).
+  double at = 0.0;
+  /// 0 on plain captures; on snapshots produced by delta_since() the width of
+  /// the window in seconds (at - earlier.at).
+  double interval = 0.0;
+  std::vector<Family> families;  // sorted by name (registry map order)
+
+  static MetricsSnapshot capture(const MetricsRegistry& metrics, double at);
+
+  /// Windowed view: counters and histogram counts/sums/buckets become the
+  /// increase since `earlier` (clamped at zero; series absent from `earlier`
+  /// contribute their full value), gauges keep their instantaneous value.
+  /// `earlier` must come from the same registry, taken earlier.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+
+  const Family* find_family(const std::string& name) const;
+  const Series* find(const std::string& family, const Labels& labels) const;
+
+  /// value / interval for a series in a delta snapshot; 0 when interval is 0.
+  double rate(const Series& series) const;
+};
+
+/// Prometheus histogram_quantile-style estimate from per-bucket counts
+/// (+Inf last): linear interpolation inside the bucket holding the p-th
+/// percentile rank, the highest finite bound for ranks in the overflow
+/// bucket, 0 when empty. p in [0, 100].
+double bucket_percentile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& buckets, double p);
+
+}  // namespace moteur::obs

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace moteur::obs {
+
+/// Per-shard activity sample carried in telemetry frames. Mirrors the
+/// service layer's ShardStats without depending on it — obs stays a leaf
+/// library, the service adapts its own stats into this shape.
+struct ShardSample {
+  std::size_t shard = 0;
+  std::uint64_t runs = 0;         // runs retired by this shard so far
+  std::uint64_t invocations = 0;  // logical invocations across them
+  double active = 0.0;            // runs currently enacting on this shard
+  double queued = 0.0;            // runs waiting for admission on this shard
+};
+
+/// One JSONL telemetry frame: wall-clock stamp, frame sequence number, the
+/// window covered, per-series cumulative AND windowed readings (counter
+/// rates, histogram window percentiles via bucket interpolation), and the
+/// shard activity table. `current` is a plain capture, `delta` the
+/// delta_since() of the previous frame's capture (interval 0 on the first
+/// frame). Exposed standalone so tests can pin the schema.
+std::string telemetry_frame_json(const MetricsSnapshot& current,
+                                 const MetricsSnapshot& delta,
+                                 const std::vector<ShardSample>& shards,
+                                 std::uint64_t seq);
+
+/// Live telemetry plane: a background sampler that periodically captures the
+/// metrics registry (through a caller-supplied, properly-serialized snapshot
+/// callback), appends one JSONL frame per tick, and optionally serves
+/// Prometheus 0.0.4 text on a minimal blocking HTTP scrape endpoint bound to
+/// 127.0.0.1. The hub owns two threads (sampler + acceptor) and touches the
+/// registry only through the callbacks, so the owner decides the locking.
+///
+/// Frame cadence: one frame immediately at start(), one per interval while
+/// running, and one final frame at stop() — so even a run that finishes
+/// faster than the interval leaves a first and a last frame behind.
+class TelemetryHub {
+ public:
+  struct Config {
+    /// Seconds between sampler ticks.
+    double interval_seconds = 1.0;
+    /// JSONL frame file (truncated at start); empty = no frame stream.
+    std::string jsonl_path;
+    /// HTTP scrape endpoint: -1 = disabled, 0 = ephemeral (read the bound
+    /// port back via port()), otherwise the port to bind on 127.0.0.1.
+    int scrape_port = -1;
+  };
+
+  /// Captures the registry; must serialize against recording internally.
+  using SnapshotFn = std::function<MetricsSnapshot()>;
+  /// Renders the scrape body (Prometheus text); same serialization duty.
+  using ScrapeFn = std::function<std::string()>;
+  /// Current shard activity; empty function = no shards array in frames.
+  using ShardsFn = std::function<std::vector<ShardSample>()>;
+
+  TelemetryHub(Config config, SnapshotFn snapshot, ScrapeFn scrape,
+               ShardsFn shards = {});
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// Open the frame file, bind the scrape socket, start both threads, and
+  /// write frame 0. Throws Error if the file or socket cannot be set up.
+  void start();
+
+  /// Write the final frame, stop and join both threads. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// The bound scrape port once start() returns (resolves port 0 to the
+  /// ephemeral port the kernel picked); -1 when the endpoint is disabled.
+  int port() const { return port_.load(); }
+
+  std::uint64_t frames_written() const { return frames_.load(); }
+  std::uint64_t scrapes_served() const { return scrapes_.load(); }
+
+ private:
+  void sampler_loop();
+  void accept_loop();
+  void tick();
+
+  Config config_;
+  SnapshotFn snapshot_;
+  ScrapeFn scrape_;
+  ShardsFn shards_;
+
+  std::ofstream jsonl_;
+  MetricsSnapshot previous_;
+  bool have_previous_ = false;
+  std::uint64_t seq_ = 0;  // sampler thread only (and start/stop edges)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+
+  int listen_fd_ = -1;
+  std::atomic<int> port_{-1};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> scrapes_{0};
+
+  std::thread sampler_;
+  std::thread acceptor_;
+};
+
+}  // namespace moteur::obs

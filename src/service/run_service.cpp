@@ -5,6 +5,9 @@
 #include <set>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "service/shard.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -93,12 +96,19 @@ const std::string& RunHandle::error() const {
   return rec_->error;
 }
 
+double RunHandle::admission_wait() const {
+  if (rec_ == nullptr) return 0.0;
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return rec_->admission_wait;
+}
+
 /// The dispatcher side of the service: resolves the effective shard count,
 /// owns the shards and the shared core, pins submissions, and fans control
 /// operations (cancel wake-ups, shutdown) out to the owning shards.
 struct RunService::Impl {
   detail::ServiceCore core;
   std::vector<std::unique_ptr<EngineShard>> shards;
+  std::unique_ptr<obs::TelemetryHub> hub;
   PinPolicy pin;
 
   // Submission-side bookkeeping (id allocation, shutdown flag).
@@ -190,6 +200,43 @@ RunService::RunService(enactor::ExecutionBackend& backend,
                        services::ServiceRegistry& registry, RunServiceConfig config)
     : impl_(std::make_unique<Impl>(backend, registry, std::move(config))) {
   for (auto& shard : impl_->shards) shard->start();
+  Impl& im = *impl_;
+  const RunServiceConfig::Telemetry& telemetry = im.core.config.telemetry;
+  if (telemetry.hub_enabled()) {
+    obs::TelemetryHub::Config hub_config;
+    hub_config.interval_seconds = telemetry.interval_seconds;
+    hub_config.jsonl_path = telemetry.jsonl_path;
+    hub_config.scrape_port = telemetry.scrape_port;
+    im.hub = std::make_unique<obs::TelemetryHub>(
+        std::move(hub_config),
+        // Snapshot and scrape read the recorder under the same lock that
+        // serializes the shards' event delivery — consistent captures, and
+        // a recorder attached after construction is picked up on the next
+        // tick.
+        [this] { return metrics_snapshot(); },
+        [&im] {
+          std::lock_guard<std::mutex> lock(im.core.obs_mu);
+          return im.core.recorder != nullptr
+                     ? obs::prometheus_text(im.core.recorder->metrics())
+                     : std::string{};
+        },
+        [&im] {
+          std::vector<obs::ShardSample> samples;
+          samples.reserve(im.shards.size());
+          for (const auto& shard : im.shards) {
+            const ShardStats stats = shard->stats();
+            obs::ShardSample sample;
+            sample.shard = stats.shard;
+            sample.runs = stats.runs;
+            sample.invocations = stats.invocations;
+            sample.active = static_cast<double>(shard->active_now());
+            sample.queued = static_cast<double>(shard->queued_now());
+            samples.push_back(sample);
+          }
+          return samples;
+        });
+    im.hub->start();
+  }
 }
 
 RunService::~RunService() { shutdown(); }
@@ -237,12 +284,32 @@ std::vector<RunHandle> RunService::submit_all(std::vector<enactor::RunRequest> r
 }
 
 void RunService::add_event_subscriber(enactor::EventSubscriber subscriber) {
+  std::lock_guard<std::mutex> lock(impl_->core.obs_mu);
   impl_->core.subscribers.push_back(std::move(subscriber));
 }
 
 void RunService::set_recorder(obs::RunRecorder* recorder) {
+  // Under obs_mu: the telemetry hub may already be sampling.
+  std::lock_guard<std::mutex> lock(impl_->core.obs_mu);
   impl_->core.recorder = recorder;
 }
+
+obs::MetricsSnapshot RunService::metrics_snapshot() const {
+  const double at = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::lock_guard<std::mutex> lock(impl_->core.obs_mu);
+  if (impl_->core.recorder == nullptr) return {};
+  return obs::MetricsSnapshot::capture(impl_->core.recorder->metrics(), at);
+}
+
+void RunService::with_observability(
+    const std::function<void(obs::RunRecorder&)>& fn) const {
+  std::lock_guard<std::mutex> lock(impl_->core.obs_mu);
+  if (impl_->core.recorder != nullptr) fn(*impl_->core.recorder);
+}
+
+obs::TelemetryHub* RunService::telemetry() { return impl_->hub.get(); }
 
 data::InvocationCache* RunService::invocation_cache() {
   std::lock_guard<std::mutex> lock(impl_->core.lazy_mu);
@@ -303,6 +370,13 @@ void RunService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(im.join_mu);
     for (auto& shard : im.shards) shard->join();
+  }
+  // Shards are quiet: the hub's final frame sees the complete event stream.
+  // Destroying it here keeps the telemetry() contract (valid until
+  // shutdown) and releases the scrape socket with the service.
+  if (im.hub != nullptr) {
+    im.hub->stop();
+    im.hub.reset();
   }
   // The workers are gone; make sure no handle can poke a dead service.
   for (const auto& rec : records) {

@@ -9,11 +9,15 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "enactor/enactor.hpp"
 #include "enactor/run_request.hpp"
+#include "obs/snapshot.hpp"
 
 namespace moteur::obs {
 class RunRecorder;
+class TelemetryHub;
 }  // namespace moteur::obs
 
 namespace moteur::service {
@@ -76,6 +80,11 @@ class RunHandle {
   /// Failure message for kFailed runs (empty otherwise). Blocks like wait().
   const std::string& error() const;
 
+  /// Backend-time this run waited for an active slot before admission; 0
+  /// while still queued, for runs admitted immediately, and for invalid
+  /// handles. Non-blocking.
+  double admission_wait() const;
+
  private:
   friend class RunService;
   explicit RunHandle(std::shared_ptr<detail::RunRecord> rec) : rec_(std::move(rec)) {}
@@ -122,9 +131,29 @@ struct RunServiceConfig {
     enactor::EnactmentPolicy policy;
   };
 
+  /// Live telemetry plane (off by default). When either output is enabled
+  /// the service owns a TelemetryHub: a background sampler snapshotting the
+  /// recorder's registry every `interval_seconds`, streaming JSONL frames to
+  /// `jsonl_path` and serving Prometheus text on 127.0.0.1:`scrape_port`.
+  /// The flight recorder is independent of the hub: when
+  /// `flight_recorder_path` is set, each shard keeps a ring of its last
+  /// `flight_recorder_events` RunEvents and dumps it to
+  /// `<flight_recorder_path><run-id>.json` whenever a run fails or is
+  /// cancelled.
+  struct Telemetry {
+    double interval_seconds = 1.0;
+    std::string jsonl_path;  // empty = no frame stream
+    int scrape_port = -1;    // -1 = no endpoint, 0 = ephemeral
+    std::string flight_recorder_path;  // file prefix; empty = off
+    std::size_t flight_recorder_events = 256;
+
+    bool hub_enabled() const { return !jsonl_path.empty() || scrape_port >= 0; }
+  };
+
   Admission admission;
   Sharding sharding;
   Defaults defaults;
+  Telemetry telemetry;
 
   // Deprecated flat-field aliases, kept for one release. New code (and all
   // in-repo code — tier1.sh enforces it) uses the nested members.
@@ -212,8 +241,25 @@ class RunService {
   void add_event_subscriber(enactor::EventSubscriber subscriber);
 
   /// Attach the standard recorder to every run plus the service-wide
-  /// series. Call before submitting; not owned.
+  /// series. Call before submitting; not owned, and it must outlive the
+  /// service (the telemetry hub samples it until shutdown()).
   void set_recorder(obs::RunRecorder* recorder);
+
+  /// Thread-safe point-in-time capture of the recorder's metrics registry,
+  /// serialized against the shards' event delivery — the read interface for
+  /// live monitoring (diff two captures with MetricsSnapshot::delta_since
+  /// for window rates). Empty when no recorder is attached.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Run `fn` on the attached recorder under the service's observability
+  /// lock — the safe way to read the tracer/metrics (exports, critical-path
+  /// extraction) while shards may still be delivering events. No-op when no
+  /// recorder is attached. `fn` must not call back into the service.
+  void with_observability(const std::function<void(obs::RunRecorder&)>& fn) const;
+
+  /// The service-owned telemetry hub; nullptr unless
+  /// RunServiceConfig::Telemetry enabled it. Valid until shutdown().
+  obs::TelemetryHub* telemetry();
 
   /// The invocation cache shared by every cache-enabled run of this service
   /// (created lazily by the first such run; null until then). Per-run

@@ -1,6 +1,7 @@
 #include "service/shard.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -158,6 +159,10 @@ EngineShard::EngineShard(std::size_t index, ServiceCore& core,
       channel_(std::move(channel)),
       max_active_(max_active),
       obs_batch_(obs_batch == 0 ? 1 : obs_batch) {
+  if (!core_.config.telemetry.flight_recorder_path.empty()) {
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        std::max<std::size_t>(1, core_.config.telemetry.flight_recorder_events));
+  }
   AdmissionGate::Config gate_config;
   const std::size_t shards = core_.config.sharding.shards;
   const std::size_t total_inflight = core_.config.admission.max_inflight;
@@ -225,6 +230,7 @@ ShardStats EngineShard::stats() const {
 }
 
 void EngineShard::obs_emit(const obs::RunEvent& event) {
+  if (flight_ != nullptr) flight_->record(event);
   batch_.push_back(event);
   if (batch_.size() >= obs_batch_) obs_flush();
 }
@@ -258,6 +264,8 @@ void EngineShard::update_gauges(std::size_t active, std::size_t queued) {
   last_active_ = static_cast<long>(active);
   last_queued_ = static_cast<long>(queued);
   last_gate_depth_ = gate_depth;
+  active_now_.store(last_active_, std::memory_order_relaxed);
+  queued_now_.store(last_queued_, std::memory_order_relaxed);
   if (d_active != 0) core_.active_total.fetch_add(d_active, std::memory_order_relaxed);
   if (d_queued != 0) core_.queued_total.fetch_add(d_queued, std::memory_order_relaxed);
   if (d_gate != 0) core_.gate_depth_total.fetch_add(d_gate, std::memory_order_relaxed);
@@ -279,6 +287,24 @@ void EngineShard::update_gauges(std::size_t active, std::size_t queued) {
 void EngineShard::finish_record(const RunRecordPtr& rec, RunState state,
                                 enactor::EnactmentResult result, std::string error) {
   obs_flush();  // the run's remaining events must precede its terminal state
+  // Dump for every abnormal outcome: explicit failure/cancellation, and runs
+  // that retired kFinished but recorded failed invocations (failfast stops the
+  // enactment yet the engine still completes, so the state alone misses them).
+  if (flight_ != nullptr &&
+      (state == RunState::kFailed || state == RunState::kCancelled ||
+       result.failures() != 0)) {
+    const std::string path =
+        core_.config.telemetry.flight_recorder_path + rec->id + ".json";
+    std::ofstream dump(path, std::ios::trunc);
+    if (dump.is_open()) {
+      dump << flight_->dump_json(rec->id, to_string(state), error);
+      MOTEUR_LOG(kInfo, "service")
+          << "flight recorder dumped " << flight_->window().size() << " event(s) to '"
+          << path << "' for run '" << rec->id << "'";
+    } else {
+      MOTEUR_LOG(kWarn, "service") << "cannot write flight-recorder dump '" << path << "'";
+    }
+  }
   const std::uint64_t invocations = result.invocations();
   {
     std::lock_guard<std::mutex> lock(rec->mu);
@@ -326,11 +352,17 @@ bool EngineShard::admit(const RunRecordPtr& rec) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     admission_waits_.push_back(waited);
   }
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->admission_wait = waited;
+  }
   gate_->register_run(rec->id, rec->request.weight);
   rec->gated = std::make_unique<GatedBackend>(backend(), gate_, rec->id);
 
   std::vector<enactor::EventSubscriber> subs;
-  if (!core_.subscribers.empty() || core_.recorder != nullptr) {
+  // The flight recorder needs the event stream even with no recorder or
+  // subscriber attached (deliver_events is then a cheap no-op per batch).
+  if (!core_.subscribers.empty() || core_.recorder != nullptr || flight_ != nullptr) {
     subs.push_back([this](const obs::RunEvent& e) { obs_emit(e); });
   }
   enactor::Engine::Options options;
@@ -433,22 +465,30 @@ void EngineShard::run_worker() {
     });
     update_gauges(active.size(), queued_count);
 
-    // --- Harvest every run whose engine completed.
-    bool harvested = false;
+    // --- Harvest every run whose engine completed. The post-harvest
+    // occupancy is published BEFORE retiring: retire() completes the run's
+    // handle, after which a waiter may read the registry the moment wait()
+    // returns, so the gauge write must happen-before that completion —
+    // otherwise the active-run gauges (and telemetry frames) would keep
+    // showing retired runs until the next submission wakes the shard.
+    std::vector<RunRecordPtr> done;
     for (auto it = active.begin(); it != active.end();) {
-      const auto rec = *it;
-      if (!rec->engine->finished()) {
+      if ((*it)->engine->finished()) {
+        done.push_back(*it);
+        it = active.erase(it);
+      } else {
         ++it;
-        continue;
       }
-      harvested = true;
+    }
+    const bool harvested = !done.empty();
+    if (harvested) update_gauges(active.size(), queued_count);
+    for (const auto& rec : done) {
       bool was_cancelled = false;
       {
         std::lock_guard<std::mutex> lock(rec->mu);
         was_cancelled = rec->cancel_requested;
       }
       retire(rec, was_cancelled ? RunState::kCancelled : RunState::kFinished, "");
-      it = active.erase(it);
     }
 
     // --- Deliver cancellations into still-active runs exactly once.
@@ -474,6 +514,8 @@ void EngineShard::run_worker() {
       if (!moved) {
         // No run can make progress: every active run of this shard is
         // deadlocked (its event loop has no pending work for any of them).
+        // Same ordering rule as the harvest: gauges first, then retire.
+        update_gauges(0, queued_count);
         for (const auto& rec : active) {
           const std::string stuck = rec->engine->stuck_processors();
           retire(rec, RunState::kFailed,

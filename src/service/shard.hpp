@@ -19,6 +19,7 @@
 #include "enactor/engine.hpp"
 #include "grid/ce_health.hpp"
 #include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/admission.hpp"
 #include "service/run_service.hpp"
 
@@ -50,6 +51,8 @@ struct RunRecord {
   bool cancel_requested = false;
   enactor::EnactmentResult result;
   std::string error;
+  /// Backend-time spent waiting for an active slot, set at admission.
+  double admission_wait = 0.0;
   /// Wakes the owning shard after a cancel request; the service clears it
   /// at shutdown so handles outliving the service stay safe.
   std::function<void()> poke;
@@ -191,6 +194,11 @@ class EngineShard {
 
   ShardStats stats() const;
 
+  /// Instantaneous activity for telemetry frames (updated by the worker
+  /// whenever its gauges move).
+  long active_now() const { return active_now_.load(std::memory_order_relaxed); }
+  long queued_now() const { return queued_now_.load(std::memory_order_relaxed); }
+
   /// The event loop this shard drives: its channel, or the root backend.
   enactor::ExecutionBackend& backend() {
     return channel_ != nullptr ? *channel_ : core_.backend;
@@ -230,6 +238,15 @@ class EngineShard {
   // Worker-private obs batch.
   std::vector<obs::RunEvent> batch_;
   std::size_t obs_batch_ = 1;
+
+  /// Crash flight recorder (config.telemetry.flight_recorder_path): the
+  /// shard's last N events, recorded on the worker thread, dumped to
+  /// <prefix><run-id>.json when one of its runs fails or is cancelled.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  // Telemetry-facing activity mirrors of the worker-private gauge values.
+  std::atomic<long> active_now_{0};
+  std::atomic<long> queued_now_{0};
 
   // Worker-private last-published gauge values (delta source).
   long last_active_ = 0;

@@ -14,9 +14,12 @@
 #include "enactor/policy.hpp"
 #include "enactor/sim_backend.hpp"
 #include "grid/grid.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "services/functional_service.hpp"
 #include "sim/simulator.hpp"
@@ -418,6 +421,396 @@ TEST(RunRecorder, EventStreamAndListenerAgree) {
                    counts[enactor::ProgressEvent::Kind::kRetried]);
   EXPECT_DOUBLE_EQ(rig.counter("moteur_invocations_total"),
                    counts[enactor::ProgressEvent::Kind::kCompleted]);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram reservoir sampling (bounded raw-sample retention)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SamplesAreExactBelowTheCap) {
+  Histogram h({10.0}, /*sample_cap=*/4);
+  h.observe(3.0);
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  EXPECT_TRUE(h.samples_exact());
+  EXPECT_EQ(h.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, ReservoirBoundsRetentionPastTheCap) {
+  const std::size_t cap = 16;
+  Histogram h({1000.0}, cap);
+  for (int i = 1; i <= 5000; ++i) h.observe(static_cast<double>(i));
+  // Aggregates stay exact; only the raw-sample set becomes a reservoir.
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5000.0 * 5001.0 / 2.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 5000.0);
+  EXPECT_FALSE(h.samples_exact());
+  EXPECT_EQ(h.samples().size(), cap);
+  for (const double v : h.samples()) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 5000.0);
+  }
+  // percentile() now estimates from the reservoir but stays within range.
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 5000.0);
+}
+
+TEST(Histogram, ReservoirIsDeterministicAcrossInstances) {
+  Histogram a({100.0}, 8);
+  Histogram b({100.0}, 8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>((i * 37) % 97);
+    a.observe(v);
+    b.observe(v);
+  }
+  // Same observation sequence, same fixed seed -> identical retained set.
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(Histogram, RejectsZeroSampleCap) {
+  EXPECT_THROW(Histogram({1.0}, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot: capture and windowed deltas
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, CaptureCopiesEveryFamily) {
+  MetricsRegistry registry;
+  registry.counter("jobs_total", "Jobs", {{"ce", "ce0"}}).inc(3.0);
+  Gauge& gauge = registry.gauge("active", "Active");
+  gauge.set(5.0);
+  gauge.set(2.0);
+  Histogram& h = registry.histogram("wait_seconds", "Wait", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(9.0);
+
+  const MetricsSnapshot snap = MetricsSnapshot::capture(registry, 100.0);
+  EXPECT_DOUBLE_EQ(snap.at, 100.0);
+  EXPECT_DOUBLE_EQ(snap.interval, 0.0);
+  ASSERT_EQ(snap.families.size(), 3u);
+
+  const MetricsSnapshot::Series* jobs = snap.find("jobs_total", {{"ce", "ce0"}});
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->value, 3.0);
+
+  const MetricsSnapshot::Series* active = snap.find("active", {});
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value, 2.0);
+  EXPECT_DOUBLE_EQ(active->max_seen, 5.0);
+
+  const MetricsSnapshot::Series* wait = snap.find("wait_seconds", {});
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 2u);
+  EXPECT_DOUBLE_EQ(wait->sum, 9.5);
+  ASSERT_EQ(wait->buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(wait->buckets[0], 1u);
+  EXPECT_EQ(wait->buckets[2], 1u);
+  EXPECT_EQ(snap.find("wait_seconds", {{"no", "such"}}), nullptr);
+  EXPECT_EQ(snap.find_family("nope"), nullptr);
+}
+
+TEST(Snapshot, DeltaWindowsCountersAndHistogramsButNotGauges) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("done_total", "Done");
+  Gauge& gauge = registry.gauge("active", "Active");
+  Histogram& h = registry.histogram("lat_seconds", "Latency", {1.0});
+  counter.inc(10.0);
+  gauge.set(7.0);
+  h.observe(0.5);
+  const MetricsSnapshot before = MetricsSnapshot::capture(registry, 100.0);
+
+  counter.inc(5.0);
+  gauge.set(3.0);
+  h.observe(2.0);
+  h.observe(0.25);
+  const MetricsSnapshot after = MetricsSnapshot::capture(registry, 110.0);
+
+  const MetricsSnapshot delta = after.delta_since(before);
+  EXPECT_DOUBLE_EQ(delta.interval, 10.0);
+  const MetricsSnapshot::Series* done = delta.find("done_total", {});
+  ASSERT_NE(done, nullptr);
+  EXPECT_DOUBLE_EQ(done->value, 5.0);  // windowed increase, not cumulative
+  EXPECT_DOUBLE_EQ(delta.rate(*done), 0.5);
+
+  const MetricsSnapshot::Series* active = delta.find("active", {});
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value, 3.0);  // gauges stay instantaneous
+
+  const MetricsSnapshot::Series* lat = delta.find("lat_seconds", {});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_DOUBLE_EQ(lat->sum, 2.25);
+  EXPECT_EQ(lat->buckets[0], 1u);  // only the 0.25 landed in le=1 this window
+  EXPECT_EQ(lat->buckets[1], 1u);
+}
+
+TEST(Snapshot, DeltaKeepsSeriesAbsentFromTheEarlierCapture) {
+  MetricsRegistry registry;
+  registry.counter("old_total", "Old").inc(2.0);
+  const MetricsSnapshot before = MetricsSnapshot::capture(registry, 0.0);
+  registry.counter("new_total", "New").inc(4.0);
+  const MetricsSnapshot after = MetricsSnapshot::capture(registry, 1.0);
+
+  const MetricsSnapshot delta = after.delta_since(before);
+  const MetricsSnapshot::Series* fresh = delta.find("new_total", {});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_DOUBLE_EQ(fresh->value, 4.0);  // full value: it is all new
+  const MetricsSnapshot::Series* old = delta.find("old_total", {});
+  ASSERT_NE(old, nullptr);
+  EXPECT_DOUBLE_EQ(old->value, 0.0);
+}
+
+TEST(Snapshot, BucketPercentileInterpolatesWithinTheBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 5.0};
+  // Per-bucket counts: 2 in (0,1], 2 in (1,2], 1 in (2,5], 1 overflow.
+  const std::vector<std::uint64_t> buckets = {2, 2, 1, 1};
+  // rank 3 of 6 falls halfway through the (1,2] bucket.
+  EXPECT_DOUBLE_EQ(bucket_percentile(bounds, buckets, 50.0), 1.5);
+  // Ranks inside the overflow bucket clamp to the highest finite bound.
+  EXPECT_DOUBLE_EQ(bucket_percentile(bounds, buckets, 100.0), 5.0);
+  // Empty histogram -> 0.
+  EXPECT_DOUBLE_EQ(bucket_percentile(bounds, {0, 0, 0, 0}, 50.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution on a hand-built span tree
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Two chained invocations with full attempt/phase annotations:
+///   A#1 [0,50]: queued [5,15], stage-in [15,20], running [20,45]
+///   B#1 [40,95]: queued [45,60], stage-in [60,62], running [62,95]
+/// Run span [0,100]; the chain is A then B clipped to [50,95].
+Tracer make_two_step_trace() {
+  Tracer tracer;
+  const SpanId run = tracer.record("wf", "run", 0.0, 100.0);
+  tracer.annotate(run, "run_id", "r1");
+  const SpanId pa = tracer.record("A", "processor", 0.0, 60.0, run);
+  const SpanId ia = tracer.record("A #1", "invocation", 0.0, 50.0, pa);
+  const SpanId aa = tracer.record("attempt 1", "attempt", 0.0, 50.0, ia);
+  tracer.record("queued", "phase", 5.0, 15.0, aa);
+  tracer.record("stage-in", "phase", 15.0, 20.0, aa);
+  tracer.record("running", "phase", 20.0, 45.0, aa);
+  const SpanId pb = tracer.record("B", "processor", 40.0, 95.0, run);
+  const SpanId ib = tracer.record("B #1", "invocation", 40.0, 95.0, pb);
+  const SpanId ab = tracer.record("attempt 1", "attempt", 40.0, 95.0, ib);
+  tracer.record("queued", "phase", 45.0, 60.0, ab);
+  tracer.record("stage-in", "phase", 60.0, 62.0, ab);
+  tracer.record("running", "phase", 62.0, 95.0, ab);
+  return tracer;
+}
+
+}  // namespace
+
+TEST(CriticalPath, PhasesPartitionTheMakespanExactly) {
+  const Tracer tracer = make_two_step_trace();
+  const CriticalPathReport report = critical_path(tracer, "r1", /*admission_wait=*/2.0);
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.run_id, "r1");
+  EXPECT_EQ(report.run, "wf");
+  EXPECT_DOUBLE_EQ(report.makespan, 102.0);
+  EXPECT_DOUBLE_EQ(report.admission_wait, 2.0);
+  ASSERT_EQ(report.steps.size(), 2u);
+  EXPECT_EQ(report.steps[0].name, "A #1");
+  EXPECT_EQ(report.steps[1].name, "B #1");
+  // B's segment is clipped to start where A's ends.
+  EXPECT_DOUBLE_EQ(report.steps[1].start, 50.0);
+  EXPECT_DOUBLE_EQ(report.steps[1].end, 95.0);
+  // Segment A carries its full phases; segment B only what falls after 50.
+  EXPECT_DOUBLE_EQ(report.steps[0].ce_queue, 10.0);
+  EXPECT_DOUBLE_EQ(report.steps[0].stage_in, 5.0);
+  EXPECT_DOUBLE_EQ(report.steps[0].execution, 25.0);
+  EXPECT_DOUBLE_EQ(report.steps[1].ce_queue, 10.0);
+  EXPECT_DOUBLE_EQ(report.steps[1].stage_in, 2.0);
+  EXPECT_DOUBLE_EQ(report.steps[1].execution, 33.0);
+  // The five phases partition the makespan exactly.
+  EXPECT_DOUBLE_EQ(report.ce_queue, 20.0);
+  EXPECT_DOUBLE_EQ(report.stage_in, 7.0);
+  EXPECT_DOUBLE_EQ(report.execution, 58.0);
+  EXPECT_DOUBLE_EQ(report.orchestration, 102.0 - 2.0 - 20.0 - 7.0 - 58.0);
+  EXPECT_DOUBLE_EQ(report.attributed(), report.makespan);
+}
+
+TEST(CriticalPath, ResolvesTheRunByIdNameOrSoleRoot) {
+  const Tracer tracer = make_two_step_trace();
+  // By run span name (single-run traces), and by empty id (sole run root).
+  EXPECT_TRUE(critical_path(tracer, "wf").found);
+  EXPECT_TRUE(critical_path(tracer, "").found);
+  EXPECT_FALSE(critical_path(tracer, "no-such-run").found);
+}
+
+TEST(CriticalPath, ReportSerializesAndRecordsGauges) {
+  const Tracer tracer = make_two_step_trace();
+  const CriticalPathReport report = critical_path(tracer, "r1", 2.0);
+  const std::string json = report.to_json();
+  for (const char* needle :
+       {"\"run_id\":\"r1\"", "\"ce_queue\"", "\"stage_in\"", "\"execution\"",
+        "\"orchestration\"", "\"steps\":["}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing: " << needle;
+  }
+  MetricsRegistry registry;
+  record_phases(registry, report);
+  const MetricsRegistry::Family* family = registry.find("moteur_critical_path_seconds");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->series.size(), 5u);  // one gauge per phase
+  const MetricsSnapshot snap = MetricsSnapshot::capture(registry, 0.0);
+  const MetricsSnapshot::Series* exec =
+      snap.find("moteur_critical_path_seconds", {{"phase", "execution"}, {"run", "r1"}});
+  ASSERT_NE(exec, nullptr);
+  EXPECT_DOUBLE_EQ(exec->value, 58.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace lane determinism (insertion order must not matter)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// name -> (pid, tid) as exported, parsed from the trace JSON.
+std::map<std::string, std::pair<int, int>> trace_lanes(const std::string& json) {
+  std::map<std::string, std::pair<int, int>> out;
+  std::size_t pos = 0;
+  const std::string name_key = "{\"name\":\"";
+  while ((pos = json.find(name_key, pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + name_key.size();
+    const std::size_t name_end = json.find('"', name_begin);
+    const std::string name = json.substr(name_begin, name_end - name_begin);
+    const std::size_t pid_at = json.find("\"pid\":", name_end);
+    const std::size_t tid_at = json.find("\"tid\":", pid_at);
+    out[name] = {std::stoi(json.substr(pid_at + 6)), std::stoi(json.substr(tid_at + 6))};
+    pos = name_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Export, ChromeTraceLanesAreInsertionOrderIndependent) {
+  // The same span set fed to two tracers in opposite insertion order (as
+  // happens when engine shards race) must export identical pid/tid
+  // assignments: lanes key on span paths, not on insertion-ordered ids.
+  const auto add_run = [](Tracer& tracer, const std::string& run_id,
+                          const std::string& inv) {
+    const SpanId run = tracer.record("wf-" + inv, "run", 0.0, 10.0);
+    tracer.annotate(run, "run_id", run_id);
+    const SpanId a = tracer.record(inv + " #1", "invocation", 0.0, 6.0, run);
+    // Overlaps #1 without nesting inside it -> must get its own lane.
+    tracer.record(inv + " #2", "invocation", 2.0, 8.0, run);
+    tracer.record("attempt " + inv, "attempt", 1.0, 5.0, a);
+  };
+  Tracer forward;
+  add_run(forward, "r-a", "alpha");
+  add_run(forward, "r-b", "beta");
+  Tracer reverse;
+  add_run(reverse, "r-b", "beta");
+  add_run(reverse, "r-a", "alpha");
+
+  const auto lanes_fwd = trace_lanes(chrome_trace_json(forward));
+  const auto lanes_rev = trace_lanes(chrome_trace_json(reverse));
+  EXPECT_EQ(lanes_fwd, lanes_rev);
+  // Distinct runs stay in distinct pid groups; overlapping invocations of one
+  // run get distinct tids.
+  EXPECT_NE(lanes_fwd.at("alpha #1").first, lanes_fwd.at("beta #1").first);
+  EXPECT_NE(lanes_fwd.at("alpha #1").second, lanes_fwd.at("alpha #2").second);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Export, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("esc_total", "Esc", {{"v", "a\"b\\c\nd"}}).inc();
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("esc_total{v=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find('\n' + std::string("d\"")), std::string::npos)
+      << "raw newline leaked into a label value:\n" << text;
+}
+
+TEST(Export, PrometheusEmptyHistogramFamilyExportsZeroes) {
+  MetricsRegistry registry;
+  registry.histogram("quiet_seconds", "Never observed", {1.0, 2.0});
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("quiet_seconds_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("quiet_seconds_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("quiet_seconds_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("quiet_seconds_count 0\n"), std::string::npos);
+}
+
+TEST(Export, PrometheusInfBucketIsCumulativeTotal) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t_seconds", "T", {1.0}, {{"ce", "ce0"}});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(9.0);
+  const std::string text = prometheus_text(registry);
+  // The +Inf bucket is cumulative: it must equal _count exactly.
+  EXPECT_NE(text.find("t_seconds_bucket{ce=\"ce0\",le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_seconds_count{ce=\"ce0\"} 3\n"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder ring semantics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+RunEvent make_event(RunEvent::Kind kind, double time, std::uint64_t invocation = 0) {
+  RunEvent event;
+  event.kind = kind;
+  event.time = time;
+  event.run_id = "r1";
+  event.invocation = invocation;
+  return event;
+}
+
+}  // namespace
+
+TEST(FlightRecorder, KeepsTheLastCapacityEventsInOrder) {
+  FlightRecorder ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    ring.record(make_event(RunEvent::Kind::kInvocationStarted, i, i));
+  }
+  EXPECT_EQ(ring.events_seen(), 5u);
+  const std::vector<RunEvent> window = ring.window();
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0].invocation, 3u);  // oldest retained
+  EXPECT_EQ(window[2].invocation, 5u);  // newest
+}
+
+TEST(FlightRecorder, DumpCarriesStateAndEventPayloads) {
+  FlightRecorder ring(8);
+  ring.record(make_event(RunEvent::Kind::kRunStarted, 0.0));
+  RunEvent attempt = make_event(RunEvent::Kind::kAttemptEnded, 9.0, 1);
+  attempt.ok = false;
+  attempt.status = "Transient";
+  attempt.error = "CE melted";
+  attempt.computing_element = "ce7";
+  attempt.submit_time = 1.0;
+  attempt.start_time = 4.0;
+  attempt.end_time = 9.0;
+  ring.record(attempt);
+
+  const std::string json = ring.dump_json("r1", "failed", "boom");
+  for (const char* needle :
+       {"\"run\": \"r1\"", "\"state\": \"failed\"", "\"error\": \"boom\"",
+        "\"events_seen\": 2", "\"status\":\"Transient\"", "\"ce\":\"ce7\"",
+        "\"ok\":false"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle << " in\n"
+                                                    << json;
+  }
+}
+
+TEST(FlightRecorder, RejectsZeroCapacity) {
+  EXPECT_THROW(FlightRecorder(0), Error);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   moteur_cli model --nw N --nd M [--t SECONDS]  §3.5 predictions
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on run failures.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/bronze_standard.hpp"
@@ -30,8 +32,10 @@
 #include "enactor/sim_backend.hpp"
 #include "enactor/timeline_csv.hpp"
 #include "grid/grid.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "service/run_service.hpp"
 #include "model/dag.hpp"
 #include "model/makespan.hpp"
@@ -69,6 +73,14 @@ using namespace moteur;
       "             (multi-tenant: N copies and/or one run per listed manifest\n"
       "              enacted concurrently on one shared grid; per-run outputs\n"
       "              get a .run<K> suffix, e.g. out.csv -> out.run1.csv)\n"
+      "  moteur_cli run ... [--telemetry-out FRAMES.jsonl] [--telemetry-port P]\n"
+      "             [--telemetry-interval S] [--telemetry-linger S]\n"
+      "             [--flight-recorder PREFIX] [--critical-path OUT.json]\n"
+      "             (live telemetry: JSONL frames each interval, Prometheus\n"
+      "              scrape endpoint on 127.0.0.1:P (0 = ephemeral, the bound\n"
+      "              port is printed), flight-recorder dumps to\n"
+      "              PREFIX<run-id>.json on failure/cancellation, and a\n"
+      "              per-run critical-path report)\n"
       "  moteur_cli save-manifest --workflow WF.xml --data DS.xml --out RUN.xml\n"
       "             [--policy P] [--grid PRESET] [--seed N] [--overhead S]\n"
       "  moteur_cli validate --workflow WF.xml\n"
@@ -278,14 +290,45 @@ int cmd_run_multi(const Args& args) {
     config.sharding.pin = service::parse_pin_policy(*pin);
   }
   config.defaults.policy = manifests.front().policy;
+  // Live telemetry plane: streaming frames, the scrape endpoint, and the
+  // crash flight recorder all hang off the service config.
+  if (const auto out = args.get("telemetry-out")) config.telemetry.jsonl_path = *out;
+  if (const auto port = args.get("telemetry-port")) {
+    config.telemetry.scrape_port = std::stoi(*port);
+    if (config.telemetry.scrape_port < 0) usage("--telemetry-port must be >= 0");
+  }
+  if (const auto interval = args.get("telemetry-interval")) {
+    config.telemetry.interval_seconds = std::stod(*interval);
+    if (config.telemetry.interval_seconds <= 0.0) {
+      usage("--telemetry-interval must be positive");
+    }
+  }
+  if (const auto prefix = args.get("flight-recorder")) {
+    config.telemetry.flight_recorder_path = *prefix;
+  }
+  // Declared before the service: the telemetry hub samples the recorder until
+  // RunService::shutdown(), so the recorder must outlive the service.
+  obs::RunRecorder recorder;
   service::RunService runs(backend, registry, config);
 
-  obs::RunRecorder recorder;
-  const bool observe =
-      args.has("trace-out") || args.has("metrics-out") || args.has("obs-summary");
+  const bool observe = args.has("trace-out") || args.has("metrics-out") ||
+                       args.has("obs-summary") || args.has("critical-path") ||
+                       config.telemetry.hub_enabled();
   if (observe) {
     runs.set_recorder(&recorder);
     backend.set_metrics(&recorder.metrics());
+  }
+  if (const obs::TelemetryHub* hub = runs.telemetry(); hub != nullptr) {
+    if (hub->port() >= 0) {
+      std::printf("telemetry scrape endpoint on http://127.0.0.1:%d/metrics\n",
+                  hub->port());
+    }
+    if (!config.telemetry.jsonl_path.empty()) {
+      std::printf("telemetry frames streaming to %s every %.3g s\n",
+                  config.telemetry.jsonl_path.c_str(),
+                  config.telemetry.interval_seconds);
+    }
+    std::fflush(stdout);  // scripts read the bound port while we still run
   }
 
   std::vector<enactor::RunRequest> requests;
@@ -346,6 +389,20 @@ int cmd_run_multi(const Args& args) {
       write_file(suffixed(*out, k), data::export_provenance(result.sink_outputs));
     }
   }
+  // Critical-path attribution per run, before the metric exports so the
+  // moteur_critical_path_seconds series land in --metrics-out too.
+  if (const auto out = args.get("critical-path")) {
+    runs.with_observability([&](obs::RunRecorder& rec) {
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        const obs::CriticalPathReport report = obs::critical_path(
+            rec.tracer(), handles[i].id(), handles[i].admission_wait());
+        obs::record_phases(rec.metrics(), report);
+        const std::string path = total > 1 ? suffixed(*out, i + 1) : *out;
+        write_file(path, report.to_json() + "\n");
+        std::fputs(report.to_text().c_str(), stdout);
+      }
+    });
+  }
   if (const auto out = args.get("trace-out")) {
     write_file(*out, obs::chrome_trace_json(recorder.tracer()));
     std::printf("trace written to %s (one pid lane per run)\n", out->c_str());
@@ -361,11 +418,28 @@ int cmd_run_multi(const Args& args) {
   if (args.has("obs-summary")) {
     std::fputs(obs::obs_summary(recorder.tracer(), recorder.metrics()).c_str(), stdout);
   }
+  // Keep the service (and its scrape endpoint) alive so external scrapers can
+  // fetch /metrics after a fast simulated run finishes.
+  if (const auto linger = args.get("telemetry-linger")) {
+    const double seconds = std::stod(*linger);
+    if (seconds < 0.0) usage("--telemetry-linger must be >= 0");
+    if (seconds > 0.0 && runs.telemetry() != nullptr) {
+      std::printf("lingering %.3g s for telemetry scrapes\n", seconds);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
   return hard_failure ? 2 : 0;
 }
 
 int cmd_run(const Args& args) {
-  if (args.has("runs") || args.has("manifests")) return cmd_run_multi(args);
+  const bool telemetry_flags = args.has("telemetry-out") || args.has("telemetry-port") ||
+                               args.has("telemetry-interval") ||
+                               args.has("telemetry-linger") || args.has("flight-recorder") ||
+                               args.has("critical-path");
+  if (args.has("runs") || args.has("manifests") || telemetry_flags) {
+    return cmd_run_multi(args);
+  }
   const enactor::RunManifest manifest = manifest_from_args(args);
 
   services::ServiceRegistry registry;

@@ -150,6 +150,80 @@ else
 fi
 echo "data-plane smoke OK"
 
+# Live-telemetry smoke: two Bronze runs through the RunService with the hub
+# on. The frame stream must be valid JSONL with first+final frames, the
+# scrape endpoint must answer Prometheus text while the CLI lingers, and the
+# per-run critical-path phases must sum to the exported run makespan within
+# 5% (they partition it exactly; the tolerance absorbs float formatting).
+echo "== telemetry smoke: frames + scrape + critical path on the Bronze Standard =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --runs 2 --max-active 2 \
+  --telemetry-out "$obs_dir/frames.jsonl" --telemetry-port 0 \
+  --telemetry-interval 0.2 --telemetry-linger 4 \
+  --flight-recorder "$obs_dir/fr_" \
+  --critical-path "$obs_dir/cp.json" --metrics-out "$obs_dir/telemetry.prom" \
+  > "$obs_dir/telemetry_out.txt" 2>&1 &
+telemetry_pid=$!
+telemetry_port=""
+i=0
+while [ $i -lt 100 ]; do
+  telemetry_port=$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' \
+    "$obs_dir/telemetry_out.txt" 2>/dev/null | head -n 1)
+  [ -n "$telemetry_port" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$telemetry_port" ] || {
+  echo "telemetry scrape port never printed" >&2
+  cat "$obs_dir/telemetry_out.txt" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$telemetry_port" <<'EOF'
+import sys, urllib.request
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=5).read().decode()
+assert "moteur_invocations_total" in body, "scrape body misses core series"
+EOF
+else
+  echo "python3 unavailable; skipping live scrape"
+fi
+wait "$telemetry_pid" || {
+  echo "telemetry-enabled run exited nonzero" >&2
+  cat "$obs_dir/telemetry_out.txt" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir" <<'EOF'
+import json, re, sys
+base = sys.argv[1]
+frames = [json.loads(l) for l in open(f"{base}/frames.jsonl") if l.strip()]
+assert len(frames) >= 2, f"expected first+final frames, got {len(frames)}"
+assert frames[0]["seq"] == 0
+for frame in frames:
+    assert {"ts", "seq", "interval_seconds", "metrics", "shards"} <= frame.keys()
+assert frames[-1]["shards"][0]["runs"] == 2, "final frame misses retired runs"
+makespans = {}
+for line in open(f"{base}/telemetry.prom"):
+    m = re.match(r'moteur_run_makespan_seconds\{run="([^"]+)"\} ([0-9.e+-]+)', line)
+    if m:
+        makespans[m.group(1)] = float(m.group(2))
+assert len(makespans) == 2, f"expected 2 run makespans, got {makespans}"
+for k in (1, 2):
+    report = json.load(open(f"{base}/cp.run{k}.json"))
+    phases = sum(report["phases"].values())
+    makespan = makespans[report["run_id"]]
+    assert abs(phases - makespan) <= 0.05 * makespan, (
+        f'{report["run_id"]}: critical-path phases sum to {phases}, '
+        f"measured makespan {makespan}")
+EOF
+else
+  echo "python3 unavailable; skipping telemetry frame/critical-path validation"
+fi
+echo "telemetry smoke OK"
+
 # Scale smoke: a small sharded bench_scale sweep must exit 0 (the bench
 # cross-checks itself: per-shard counters summing to the handle-reported
 # totals is part of its exit status) and the JSON it writes must agree.
@@ -193,7 +267,7 @@ if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry/run-service tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress \
-    test_retry test_run_service test_shard moteur_cli
+    test_retry test_run_service test_shard test_telemetry moteur_cli
   (cd build-tsan && ctest --output-on-failure -L enactor)
   echo "== TSan multi-tenant smoke: concurrent runs through the RunService =="
   build-tsan/tools/moteur_cli run \
