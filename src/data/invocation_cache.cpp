@@ -27,6 +27,13 @@ std::optional<CachedInvocation> InvocationCache::lookup(const std::string& key,
   return it->second;
 }
 
+std::optional<CachedInvocation> InvocationCache::peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
 void InvocationCache::note_miss(const std::string& run_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++run_stats_[run_id].misses;
@@ -42,6 +49,14 @@ void InvocationCache::insert(const std::string& key, CachedInvocation value,
     ++run_stats_[run_id].insertions;
     ++totals_.insertions;
   }
+}
+
+bool InvocationCache::invalidate(const std::string& key, const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(key) == 0) return false;
+  ++run_stats_[run_id].invalidations;
+  ++totals_.invalidations;
+  return true;
 }
 
 std::size_t InvocationCache::entry_count() const {

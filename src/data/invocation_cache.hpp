@@ -45,6 +45,7 @@ class InvocationCache {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t insertions = 0;
+    std::size_t invalidations = 0;
   };
 
   /// Canonical key: service content digest + the bound inputs' (port,
@@ -62,6 +63,11 @@ class InvocationCache {
   /// note_miss() when the work actually executes.
   std::optional<CachedInvocation> lookup(const std::string& key, const std::string& run_id);
 
+  /// The memoized entry for `key` without counting anything — for validation
+  /// probes (the engine confirms a hit's output replicas still resolve in the
+  /// catalog before counting and serving the hit).
+  std::optional<CachedInvocation> peek(const std::string& key) const;
+
   /// Count one miss against `run_id`: the probed work was not memoized and
   /// is now actually executing.
   void note_miss(const std::string& run_id);
@@ -69,6 +75,12 @@ class InvocationCache {
   /// Memoize a complete successful result (first writer wins; counts an
   /// insertion against `run_id` only when the entry is new).
   void insert(const std::string& key, CachedInvocation value, const std::string& run_id);
+
+  /// Drop a memoized entry whose outputs no longer resolve — its replicas
+  /// were lost or evicted from the catalog, so replaying it would hand out
+  /// dangling references. Counts an invalidation against `run_id` when an
+  /// entry was actually removed; returns whether one was.
+  bool invalidate(const std::string& key, const std::string& run_id);
 
   std::size_t entry_count() const;
 

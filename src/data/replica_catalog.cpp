@@ -37,6 +37,40 @@ double ReplicaCatalog::size_mb(const std::string& lfn) const {
   return it == entries_.end() ? 0.0 : it->second.size_mb;
 }
 
+bool ReplicaCatalog::invalidate_replica(const std::string& lfn,
+                                        const std::string& storage_element) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(lfn);
+  if (it == entries_.end()) return false;
+  auto& locs = it->second.locations;
+  auto pos = std::find(locs.begin(), locs.end(), storage_element);
+  if (pos == locs.end()) return false;
+  locs.erase(pos);
+  ++invalidations_;
+  return true;
+}
+
+void ReplicaCatalog::unregister(const std::string& lfn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(lfn);
+}
+
+void ReplicaCatalog::set_se_available(const std::string& storage_element, bool available) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  se_available_[storage_element] = available;
+}
+
+bool ReplicaCatalog::se_available(const std::string& storage_element) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = se_available_.find(storage_element);
+  return it == se_available_.end() ? true : it->second;
+}
+
+std::size_t ReplicaCatalog::invalidation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
 std::size_t ReplicaCatalog::file_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();

@@ -32,8 +32,27 @@ class ReplicaCatalog {
   /// Nominal size of `lfn` (0 when unknown).
   double size_mb(const std::string& lfn) const;
 
+  /// Drop the replica of `lfn` held by `storage_element` — the copy was
+  /// lost, failed its digest check, or its SE died. The entry itself (and
+  /// its recorded size) survives even when the last location goes, so a
+  /// later re-derivation can re-register under the same name. Returns true
+  /// when a replica was actually removed.
+  bool invalidate_replica(const std::string& lfn, const std::string& storage_element);
+
+  /// Forget `lfn` entirely (every replica and the size record).
+  void unregister(const std::string& lfn);
+
+  /// Per-SE health view, maintained by the grid's outage schedule and
+  /// consulted by data-aware matchmaking: replicas on a down SE must not
+  /// attract jobs. Unknown SEs are available.
+  void set_se_available(const std::string& storage_element, bool available);
+  bool se_available(const std::string& storage_element) const;
+
   std::size_t file_count() const;
   std::size_t replica_count() const;
+
+  /// Replicas dropped through invalidate_replica() since construction.
+  std::size_t invalidation_count() const;
 
  private:
   struct Entry {
@@ -43,6 +62,8 @@ class ReplicaCatalog {
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  std::map<std::string, bool> se_available_;
+  std::size_t invalidations_ = 0;
 };
 
 }  // namespace moteur::data

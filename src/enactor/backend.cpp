@@ -10,6 +10,7 @@ const char* to_string(OutcomeStatus s) {
     case OutcomeStatus::kTimedOut: return "TimedOut";
     case OutcomeStatus::kSkipped: return "Skipped";
     case OutcomeStatus::kCached: return "Cached";
+    case OutcomeStatus::kDataLost: return "DataLost";
   }
   return "?";
 }

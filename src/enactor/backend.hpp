@@ -11,6 +11,10 @@
 #include "grid/job.hpp"
 #include "services/service.hpp"
 
+namespace moteur::data {
+class ReplicaCatalog;
+}  // namespace moteur::data
+
 namespace moteur::grid {
 class CeHealth;
 }  // namespace moteur::grid
@@ -33,6 +37,8 @@ enum class OutcomeStatus {
   kTimedOut,    // no completion before the resubmission deadline
   kSkipped,     // never executed: an input token was poisoned upstream
   kCached,      // served from the invocation cache; no grid job submitted
+  kDataLost,    // an input file has no surviving replica; resubmission
+                // cannot help, only lineage recovery (re-derivation) can
 };
 
 const char* to_string(OutcomeStatus s);
@@ -49,6 +55,8 @@ struct Outcome {
   double start_time = 0.0;
   double end_time = 0.0;
   std::optional<grid::JobRecord> job;
+  /// Logical names with no surviving replica (status == kDataLost).
+  std::vector<std::string> lost_files;
 
   bool ok() const { return status == OutcomeStatus::kOk; }
   /// Whether the enactor's retry policy may resubmit after this outcome.
@@ -137,6 +145,11 @@ class ExecutionBackend {
   /// drive() re-checks done() continuously (the simulated grid steps events
   /// in a tight loop) may keep the default no-op.
   virtual void notify() {}
+
+  /// The replica catalog backing this backend's data plane, when it has
+  /// one — the enactor consults it to validate cached outputs and to drive
+  /// lineage recovery. Default: no data plane.
+  virtual data::ReplicaCatalog* catalog() const { return nullptr; }
 
   /// Open an independent completion channel: a backend view with its own
   /// completion queue, timer wheel, and drive() loop, so several engine

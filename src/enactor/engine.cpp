@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "data/replica_catalog.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "workflow/analysis.hpp"
@@ -227,6 +228,20 @@ bool Engine::try_serve_cached(PState& state, const IterationBuffer::Tuple& tuple
   if (!cacheable(state)) return false;
   const std::string key = tuple_cache_key(state, tuple);
   if (key.empty()) return false;
+  // Peek first: a hit only counts once its output replicas are confirmed to
+  // still resolve. An entry whose replicas were lost or evicted from the
+  // catalog would hand out dangling references and bypass can_fire() for
+  // work that must actually re-execute — drop it and fall through to a miss.
+  if (data::ReplicaCatalog* catalog = backend_.catalog(); catalog != nullptr) {
+    const auto probe = cache_->peek(key);
+    if (!probe) return false;
+    for (const auto& out : probe->outputs) {
+      if (out.ref != nullptr && catalog->locate(out.ref->logical_name).empty()) {
+        cache_->invalidate(key, run_id_);
+        return false;
+      }
+    }
+  }
   auto hit = cache_->lookup(key, run_id_);
   if (!hit) return false;
 
@@ -261,6 +276,7 @@ bool Engine::try_serve_cached(PState& state, const IterationBuffer::Tuple& tuple
   const auto outlets = workflow_.links_out_of(state.proc->name);
   for (const auto& out : hit->outputs) {
     if (!state.proc->has_output_port(out.port)) continue;
+    if (out.ref != nullptr && recovery_enabled()) record_lineage(state, tuple, *out.ref);
     data::Token token =
         data::Token::derived(state.proc->name, out.port, tuple.tokens, tuple.index,
                              out.payload, out.repr, out.digest, out.ref);
@@ -481,10 +497,12 @@ void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
   arm_watchdog(sub);
   // Each attempt submits a fresh copy of the bindings — except when the
   // policy allows no further attempt (no retries, hence no watchdog clones
-  // either): then this submission is the only reader and the copy, the
-  // dominant completion-path allocation on cache-cold runs, is elided.
-  auto bindings = policy_.retry.max_attempts <= 1 ? std::move(sub->bindings)
-                                                  : sub->bindings;
+  // either) and lineage recovery cannot resubmit after a data loss: then
+  // this submission is the only reader and the copy, the dominant
+  // completion-path allocation on cache-cold runs, is elided.
+  auto bindings = policy_.retry.max_attempts <= 1 && !recovery_enabled()
+                      ? std::move(sub->bindings)
+                      : sub->bindings;
   backend_.execute(sub->state->service, std::move(bindings),
                    [weak = weak_from_this(), sub, attempt](Outcome outcome) {
                      // The engine may be gone by the time a straggler reports
@@ -567,9 +585,13 @@ void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t
                              OutcomeStatus status, const std::string& error) {
   resolve(sub);
   result_.stats.failures += sub->tuples.size();
-  for (const auto& tuple : sub->tuples) {
+  // The unrecoverable files (kDataLost only) ride on the first lost tuple of
+  // the submission, so the report counts each loss exactly once even when a
+  // batched submission drops several tuples.
+  for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
     result_.failure_report.lost.push_back(FailureReport::LostTuple{
-        sub->state->proc->name, tuple.index, to_string(status), error});
+        sub->state->proc->name, sub->tuples[i].index, to_string(status), error,
+        i == 0 ? sub->lost_files : std::vector<std::string>{}});
   }
   MOTEUR_LOG(kWarn, "enactor") << "invocation of '" << sub->state->proc->name
                                << "' failed definitively after " << sub->attempts_started
@@ -589,6 +611,157 @@ void Engine::resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t
       poison_outputs(*sub->state, tuple, cause);
     }
   }
+}
+
+bool Engine::recovery_enabled() const {
+  return policy_.lineage_recovery && policy_.max_recovery_depth > 0 &&
+         backend_.catalog() != nullptr;
+}
+
+void Engine::record_lineage(PState& state, const IterationBuffer::Tuple& tuple,
+                            const data::DataRef& ref) {
+  // First producer wins: repeats of the same content derive the same lfn, so
+  // any recorded producer regenerates it.
+  lineage_.emplace(ref.logical_name, Lineage{&state, tuple});
+}
+
+bool Engine::try_recover(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                         const Outcome& outcome) {
+  if (!recovery_enabled()) return false;
+  if (outcome.lost_files.empty()) return false;
+  if (sub->recovery_rounds >= policy_.max_recovery_depth) return false;
+  ++sub->recovery_rounds;
+  sub->recovery_failed = false;
+  MOTEUR_LOG(kInfo, "enactor")
+      << "invocation of '" << sub->state->proc->name << "' lost "
+      << outcome.lost_files.size() << " input file(s); lineage recovery round "
+      << sub->recovery_rounds << " of " << policy_.max_recovery_depth;
+  const std::string error = outcome.error;
+  sub->pending_recoveries += outcome.lost_files.size();
+  for (const auto& lfn : outcome.lost_files) {
+    recover_file(lfn, 1, [weak = weak_from_this(), sub, attempt, error](bool ok) {
+      auto self = weak.lock();
+      if (!self) return;
+      --sub->pending_recoveries;
+      if (!ok) sub->recovery_failed = true;
+      if (sub->pending_recoveries > 0 || sub->resolved) return;
+      if (!sub->recovery_failed) {
+        // The whole ancestry is restored (or re-seedable): resubmit the
+        // consumer. This does not count against the retry budget.
+        self->start_attempt(sub);
+      } else if (sub->attempts_in_flight == 0 && sub->pending_resubmits == 0) {
+        self->resolve_failure(sub, attempt, OutcomeStatus::kDataLost, error);
+      }
+      self->pump();
+    });
+  }
+  return true;
+}
+
+void Engine::recover_file(const std::string& lfn, std::size_t depth,
+                          std::function<void(bool)> on_done) {
+  if (depth > policy_.max_recovery_depth) {
+    on_done(false);
+    return;
+  }
+  const auto it = lineage_.find(lfn);
+  if (it == lineage_.end()) {
+    // Not derived by this run — a source file. The backend re-seeds source
+    // replicas on every submission, so resubmitting the consumer is the
+    // whole recovery.
+    on_done(true);
+    return;
+  }
+  PState& producer = *it->second.state;
+  // The memoized entry references the very replicas that are gone: drop it
+  // so the re-fire executes for real instead of replaying dead refs.
+  if (cacheable(producer)) {
+    const std::string key = tuple_cache_key(producer, it->second.tuple);
+    if (!key.empty()) cache_->invalidate(key, run_id_);
+  }
+  auto rec = std::make_shared<Recovery>();
+  rec->state = &producer;
+  rec->tuple = it->second.tuple;
+  rec->lfn = lfn;
+  rec->depth = depth;
+  rec->on_done = std::move(on_done);
+  MOTEUR_LOG(kInfo, "enactor") << "re-deriving lost file " << lfn << " via producer '"
+                               << producer.proc->name << "' (depth " << depth << ")";
+  start_recovery(rec);
+}
+
+void Engine::start_recovery(const std::shared_ptr<Recovery>& rec) {
+  // Recovery executions bypass the Submission ledger: they exist for the
+  // side effect of re-registering the file's replicas (the backend registers
+  // every successful job's outputs under the same derived lfns), and their
+  // delivered outputs are discarded — the consumer already holds the tokens.
+  ++rec->attempts;
+  ++result_.stats.submissions;
+  PState& state = *rec->state;
+  const std::vector<std::string>& port_order = state.buffer->ports();
+  services::Inputs binding;
+  for (std::size_t i = 0; i < port_order.size(); ++i) {
+    binding.emplace(port_order[i], rec->tuple.tokens[i]);
+  }
+  std::vector<services::Inputs> bindings;
+  bindings.push_back(std::move(binding));
+  backend_.execute(state.service, std::move(bindings),
+                   [weak = weak_from_this(), rec](Outcome outcome) {
+                     if (auto self = weak.lock()) {
+                       self->on_recovery_complete(rec, std::move(outcome));
+                     }
+                   });
+}
+
+void Engine::on_recovery_complete(const std::shared_ptr<Recovery>& rec, Outcome outcome) {
+  if (outcome.ok()) {
+    ++result_.stats.rederived;
+    MOTEUR_LOG(kInfo, "enactor") << "re-derived lost file " << rec->lfn << " via '"
+                                 << rec->state->proc->name << "'";
+    if (observing()) {
+      obs::RunEvent event = make_event(obs::RunEvent::Kind::kReDerived);
+      event.processor = rec->state->proc->name;
+      event.logical_file = rec->lfn;
+      event.status = to_string(OutcomeStatus::kOk);
+      emit(event);
+    }
+    rec->on_done(true);
+    return;
+  }
+  if (outcome.status == OutcomeStatus::kDataLost && !outcome.lost_files.empty() &&
+      rec->depth < policy_.max_recovery_depth) {
+    // The producer's own inputs are gone too: recurse up the lineage, then
+    // retry this re-derivation once the whole ancestry is restored. Feedback
+    // links drop content digests, so the recorded lineage is acyclic; the
+    // depth bound caps the walk regardless.
+    auto remaining = std::make_shared<std::size_t>(outcome.lost_files.size());
+    auto failed = std::make_shared<bool>(false);
+    for (const auto& lfn : outcome.lost_files) {
+      recover_file(lfn, rec->depth + 1,
+                   [weak = weak_from_this(), rec, remaining, failed](bool ok) {
+                     auto self = weak.lock();
+                     if (!self) return;
+                     if (!ok) *failed = true;
+                     if (--*remaining > 0) return;
+                     if (*failed) {
+                       rec->on_done(false);
+                     } else {
+                       self->start_recovery(rec);
+                     }
+                   });
+    }
+    return;
+  }
+  if (outcome.retryable() &&
+      rec->attempts < std::max<std::size_t>(policy_.retry.max_attempts, 2)) {
+    // Transient grid faults must not sink a recovery: grant at least one
+    // resubmission even when the run's own retries are off.
+    start_recovery(rec);
+    return;
+  }
+  MOTEUR_LOG(kWarn, "enactor") << "re-derivation of " << rec->lfn << " failed after "
+                               << rec->attempts << " attempt(s): " << outcome.error;
+  rec->on_done(false);
 }
 
 void Engine::poison_outputs(PState& state, const IterationBuffer::Tuple& tuple,
@@ -727,6 +900,15 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     event.start_time = outcome.start_time;
     event.end_time = outcome.end_time;
     emit(event);
+    if (outcome.job && outcome.job->replica_failovers > 0) {
+      // Stage-in silently fell through to surviving replicas at least once:
+      // surface it so operators can see degraded storage before jobs fail.
+      obs::RunEvent failover =
+          make_event(obs::RunEvent::Kind::kReplicaFailover, *sub, attempt);
+      failover.computing_element = outcome.job->computing_element;
+      failover.count = static_cast<std::size_t>(outcome.job->replica_failovers);
+      emit(failover);
+    }
   }
 
   if (sub->resolved) {
@@ -787,6 +969,11 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
           memo.outputs.push_back(data::CachedOutput{port, value.payload, value.repr,
                                                     out_digest, value.ref});
         }
+        // Lineage ledger: remember which invocation derived this file, so a
+        // later total replica loss can re-fire it (before the ref moves).
+        if (value.ref != nullptr && recovery_enabled()) {
+          record_lineage(state, tuple, *value.ref);
+        }
         // The outcome is owned by this completion and each port is visited
         // once (memo copy above happens first), so the payload, repr, and
         // DataRef move into the token instead of copying — std::any copies
@@ -811,6 +998,25 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
       // Only complete, successful results reach this point, so a cancelled
       // run can never leave a half-written entry behind.
       if (digested && key != nullptr) cache_->insert(*key, std::move(memo), run_id_);
+    }
+  } else if (outcome.status == OutcomeStatus::kDataLost) {
+    // Every replica of at least one input file is gone: resubmission alone
+    // re-draws the broker match but stages the same dead references, so the
+    // only way forward is lineage recovery — re-derive the files, then
+    // resubmit. Recovery rounds do not burn retry attempts.
+    sub->lost_files = outcome.lost_files;
+    if (observing()) {
+      for (const auto& lfn : outcome.lost_files) {
+        obs::RunEvent event = make_event(obs::RunEvent::Kind::kReplicaLost, *sub, attempt);
+        event.status = to_string(outcome.status);
+        event.logical_file = lfn;
+        emit(event);
+      }
+    }
+    if (!try_recover(sub, attempt, outcome) &&
+        sub->attempts_in_flight == 0 && sub->pending_resubmits == 0 &&
+        sub->pending_recoveries == 0) {
+      resolve_failure(sub, attempt, outcome.status, outcome.error);
     }
   } else if (outcome.status == OutcomeStatus::kDefinitive) {
     // Semantic failure: retrying cannot help, racing clones are moot.

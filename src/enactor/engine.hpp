@@ -118,6 +118,36 @@ class Engine : public std::enable_shared_from_this<Engine> {
     bool resolved = false;
     double attempt_started_at = 0.0;  // backend time of the latest attempt
     std::optional<ExecutionBackend::TimerId> watchdog;
+    /// Lineage recovery (kDataLost outcomes): rounds consumed against
+    /// policy_.max_recovery_depth, producer re-fires still in flight, and
+    /// the files the last kDataLost attempt reported lost.
+    std::size_t recovery_rounds = 0;
+    std::size_t pending_recoveries = 0;
+    bool recovery_failed = false;
+    std::vector<std::string> lost_files;
+  };
+
+  /// Producer record for one logical file: the provenance chain carries no
+  /// payloads, so the engine keeps the producing processor and input tuple
+  /// alongside — enough to re-fire the invocation that derived the file.
+  /// Feedback-recirculated tokens drop their digests, so no lineage entry
+  /// ever points back into a loop: the recorded graph is acyclic.
+  struct Lineage {
+    PState* state = nullptr;
+    workflow::IterationBuffer::Tuple tuple;
+  };
+
+  /// One in-flight re-derivation of a lost file. Recovery executions bypass
+  /// the Submission bookkeeping entirely: their only purpose is the side
+  /// effect of re-registering the file's replicas (the backend registers
+  /// outputs of successful jobs), after which the consumer resubmits.
+  struct Recovery {
+    PState* state = nullptr;
+    workflow::IterationBuffer::Tuple tuple;
+    std::string lfn;
+    std::size_t depth = 1;
+    std::size_t attempts = 0;
+    std::function<void(bool)> on_done;
   };
 
   void build_states();
@@ -146,6 +176,25 @@ class Engine : public std::enable_shared_from_this<Engine> {
   void resolve(const std::shared_ptr<Submission>& sub);
   void resolve_failure(const std::shared_ptr<Submission>& sub, std::size_t attempt,
                        OutcomeStatus status, const std::string& error);
+  /// Lineage recovery is live: the policy enables it and the backend has a
+  /// replica catalog to recover against.
+  bool recovery_enabled() const;
+  /// Remember who derived `lfn` (and from what), for later re-derivation.
+  void record_lineage(PState& state, const workflow::IterationBuffer::Tuple& tuple,
+                      const data::DataRef& ref);
+  /// React to a kDataLost outcome: re-derive every lost file (or, for files
+  /// this run did not derive, rely on the backend re-seeding source replicas
+  /// at resubmission), then re-fire the consumer. Returns false when the
+  /// recovery budget is exhausted or recovery is off — the caller then fails
+  /// the submission for real.
+  bool try_recover(const std::shared_ptr<Submission>& sub, std::size_t attempt,
+                   const Outcome& outcome);
+  /// Re-derive one file (recursing into its own lost inputs, bounded by
+  /// policy_.max_recovery_depth); `on_done(ok)` fires exactly once.
+  void recover_file(const std::string& lfn, std::size_t depth,
+                    std::function<void(bool)> on_done);
+  void start_recovery(const std::shared_ptr<Recovery>& rec);
+  void on_recovery_complete(const std::shared_ptr<Recovery>& rec, Outcome outcome);
   /// Wire up the per-run health ledger (owned mode) or adopt the shared one.
   void setup_health();
   /// The operative ledger: shared (service mode) or owned (per-run).
@@ -215,6 +264,9 @@ class Engine : public std::enable_shared_from_this<Engine> {
   std::vector<std::weak_ptr<Submission>> outstanding_;
   std::uint64_t next_submission_id_ = 1;
   std::size_t tuples_in_flight_ = 0;  // across all unresolved submissions
+  /// Lineage ledger: logical file name -> producer record, populated as
+  /// ref-carrying outputs are delivered (recovery enabled only).
+  std::map<std::string, Lineage> lineage_;
   /// Per-run circuit-breaker ledger, allocated when policy_.breaker is
   /// enabled and no shared ledger was provided; the backend holds a raw
   /// pointer until the destructor detaches it.

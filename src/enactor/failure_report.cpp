@@ -50,7 +50,18 @@ std::string FailureReport::to_json() const {
     out << "{\"processor\":\"" << json_escape(t.processor) << "\",\"indices\":";
     write_indices(out, t.indices);
     out << ",\"status\":\"" << json_escape(t.status) << "\",\"cause\":\""
-        << json_escape(t.cause) << "\"}";
+        << json_escape(t.cause) << "\"";
+    // Emitted only for data losses, so reports without them stay bytewise
+    // identical to the pre-data-fault schema.
+    if (!t.files.empty()) {
+      out << ",\"files\":[";
+      for (std::size_t f = 0; f < t.files.size(); ++f) {
+        if (f != 0) out << ",";
+        out << "\"" << json_escape(t.files[f]) << "\"";
+      }
+      out << "]";
+    }
+    out << "}";
   }
   out << "],\"skipped\":[";
   for (std::size_t i = 0; i < skipped.size(); ++i) {
@@ -80,6 +91,9 @@ std::string FailureReport::to_text() const {
   for (const LostTuple& t : lost) {
     out << "  lost    " << t.processor << " " << data::to_string(t.indices) << " ["
         << t.status << "] " << t.cause << "\n";
+    for (const std::string& file : t.files) {
+      out << "          unrecoverable file " << file << "\n";
+    }
   }
   for (const SkippedInvocation& s : skipped) {
     out << "  skipped " << s.processor << " " << data::to_string(s.indices)

@@ -20,6 +20,9 @@ struct FailureReport {
     data::IndexVector indices;  // iteration index of the lost tuple
     std::string status;         // final outcome status ("Transient", ...)
     std::string cause;          // backend error text
+    /// Input files no replica of which survived ("DataLost" losses after
+    /// recovery was exhausted or disabled); empty for every other status.
+    std::vector<std::string> files;
   };
 
   /// A downstream invocation skipped because an input token was poisoned.

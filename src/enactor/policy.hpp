@@ -116,6 +116,19 @@ struct EnactmentPolicy {
   /// ignores it. Off by default.
   bool data_aware = false;
 
+  /// Lineage recovery: when a submission fails with kDataLost (no replica
+  /// of a required input survives), walk the recorded lineage and re-fire
+  /// the producer invocation(s) to regenerate the file, then resubmit the
+  /// consumer — instead of losing the tuple. Only reachable when SE fault
+  /// injection is configured, so the default-on knob never perturbs
+  /// fault-free runs.
+  bool lineage_recovery = true;
+
+  /// Bound on recovery work per submission: how many recovery rounds one
+  /// submission may trigger, and how deep a chain of re-derivations may
+  /// recurse (cycle-safe together with feedback links dropping digests).
+  std::size_t max_recovery_depth = 8;
+
   /// Effective concurrent-invocation bound per service.
   std::size_t service_capacity() const;
 

@@ -148,6 +148,15 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
         }
         outcome.results.push_back(std::move(result));
       }
+    } else if (!record.lost_files.empty()) {
+      // Every replica of at least one input file is gone: resubmission
+      // cannot help; the enactor's lineage recovery must regenerate it.
+      outcome.status = OutcomeStatus::kDataLost;
+      outcome.lost_files = record.lost_files;
+      outcome.error = "grid job '" + record.name + "' lost " +
+                      std::to_string(record.lost_files.size()) +
+                      " input file(s): no replica survives (first: " +
+                      record.lost_files.front() + ")";
     } else {
       // Middleware/site faults are transient by nature: a resubmission draws
       // a fresh broker match. Only cancellation is final.

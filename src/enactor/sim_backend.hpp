@@ -55,7 +55,7 @@ class SimGridBackend : public ExecutionBackend {
     catalog_ = catalog;
     grid_.set_catalog(catalog);
   }
-  data::ReplicaCatalog* catalog() const { return catalog_; }
+  data::ReplicaCatalog* catalog() const override { return catalog_; }
 
  private:
   grid::Grid& grid_;

@@ -34,6 +34,15 @@ struct LatencyModel {
   double mean() const;
 };
 
+/// One deterministic storage-element outage: the SE is unreachable during
+/// [start_seconds, start_seconds + duration_seconds). Deterministic windows
+/// (vs the CEs' sampled exponential gaps) keep data-loss scenarios exactly
+/// reproducible and diffable across recovery on/off runs.
+struct StorageOutageWindow {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
 /// One storage element of a multi-SE grid (data plane). The default grid
 /// still runs a single implicit "se0" built from the GridConfig transfer_*
 /// fields; listing storage elements here adds named SEs next to it.
@@ -42,6 +51,16 @@ struct StorageElementConfig {
   double transfer_latency_seconds = 0.0;
   double transfer_bandwidth_mb_per_s = 1e12;
   std::size_t channels = 64;
+  /// Deterministic downtime windows for this SE.
+  std::vector<StorageOutageWindow> outages;
+  /// Per-replica loss probability sampled at stage-in (the copy silently
+  /// vanished from this SE); negative inherits
+  /// GridConfig::replica_loss_probability.
+  double replica_loss_probability = -1.0;
+  /// Per-replica corruption probability sampled at stage-in (the transfer
+  /// completes but the DataRef digest check fails, wasting the bytes);
+  /// negative inherits GridConfig::replica_corruption_probability.
+  double replica_corruption_probability = -1.0;
 };
 
 /// One computing-element site.
@@ -113,6 +132,15 @@ struct GridConfig {
   /// on top of their queue estimate (off = blind matchmaking, bit-identical
   /// to the pre-data-plane broker).
   bool data_aware_matchmaking = false;
+
+  /// Deterministic downtime windows for the implicit default SE ("se0");
+  /// named SEs carry their own on StorageElementConfig::outages.
+  std::vector<StorageOutageWindow> default_se_outages;
+  /// Grid-wide replica loss / corruption probabilities, sampled per replica
+  /// at stage-in from a dedicated RNG substream (enabling them never
+  /// perturbs other draws). Named SEs may override per-SE; 0 disables.
+  double replica_loss_probability = 0.0;
+  double replica_corruption_probability = 0.0;
 
   /// Speculative resubmission against the heavy latency tail (the dynamic
   /// optimization direction of the paper's ref [12]): if a job has not

@@ -1,5 +1,7 @@
 #include "grid/grid.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -29,16 +31,59 @@ Grid::Grid(sim::Simulator& simulator, GridConfig config)
       broker_(simulator, overhead_, config_.broker_concurrency,
               config_.broker_occupancy_fraction, rng_),
       storage_(simulator, "se0", config_.transfer_latency_seconds,
-               config_.transfer_bandwidth_mb_per_s) {
+               config_.transfer_bandwidth_mb_per_s),
+      se_rng_(rng_.fork("se.faults")) {
   MOTEUR_REQUIRE(!config_.computing_elements.empty(), ExecutionError,
                  "grid config has no computing elements");
   storage_by_name_[storage_.name()] = &storage_;
+  storage_.set_outages(config_.default_se_outages);
+  storage_.set_replica_fault_probabilities(config_.replica_loss_probability,
+                                           config_.replica_corruption_probability);
   for (const auto& se_config : config_.storage_elements) {
     auto se = std::make_unique<StorageElement>(
         simulator, se_config.name, se_config.transfer_latency_seconds,
         se_config.transfer_bandwidth_mb_per_s, se_config.channels);
+    se->set_outages(se_config.outages);
+    se->set_replica_fault_probabilities(
+        se_config.replica_loss_probability < 0.0 ? config_.replica_loss_probability
+                                                 : se_config.replica_loss_probability,
+        se_config.replica_corruption_probability < 0.0
+            ? config_.replica_corruption_probability
+            : se_config.replica_corruption_probability);
     storage_by_name_[se->name()] = se.get();
     extra_storage_.push_back(std::move(se));
+  }
+  for (const auto& [se_name, se] : storage_by_name_) {
+    if (se->replica_loss_probability() > 0.0 ||
+        se->replica_corruption_probability() > 0.0 || !se->outages().empty()) {
+      storage_faults_enabled_ = true;
+    }
+    // Mirror the deterministic outage schedule into the catalog's per-SE
+    // health view at each window boundary, so data-aware matchmaking (and
+    // the enactor) see dead SEs without polling. Only scheduled when
+    // outages exist: the zero-fault event queue is untouched.
+    for (const auto& window : se->outages()) {
+      const double now = simulator_.now();
+      const double down_at = window.start_seconds;
+      const double up_at = window.start_seconds + window.duration_seconds;
+      StorageElement* element = se;
+      if (down_at >= now) {
+        simulator_.schedule(down_at - now, [this, element] {
+          if (catalog_ != nullptr) {
+            catalog_->set_se_available(element->name(),
+                                       element->available_at(simulator_.now()));
+          }
+        });
+      }
+      if (up_at >= now) {
+        simulator_.schedule(up_at - now, [this, element] {
+          if (catalog_ != nullptr) {
+            catalog_->set_se_available(element->name(),
+                                       element->available_at(simulator_.now()));
+          }
+        });
+      }
+    }
   }
   for (const auto& ce_config : config_.computing_elements) {
     auto close = storage_by_name_.find(ce_config.close_storage_element);
@@ -146,7 +191,92 @@ double Grid::stage_in_estimate_seconds(const JobRequest& request,
                                        const std::string& ce_name) {
   if (catalog_ == nullptr) return 0.0;
   const StagePlan plan = plan_stage_in(request, ce_name);
-  return close_storage(ce_name).nominal_seconds(plan.effective_megabytes);
+  StorageElement& se = close_storage(ce_name);
+  double estimate = se.nominal_seconds(plan.effective_megabytes);
+  if (storage_faults_enabled_) {
+    // A down close SE must stop attracting jobs: charge the wait until it
+    // recovers, per the catalog's health view (maintained by the outage
+    // schedule) and the SE's own deterministic windows.
+    const double now = simulator_.now();
+    if (!catalog_->se_available(se.name()) || !se.available_at(now)) {
+      estimate += se.next_available(now) - now;
+    }
+  }
+  return estimate;
+}
+
+Grid::StageResolution Grid::resolve_stage_in(const JobRequest& request,
+                                             const std::string& se_name) {
+  StageResolution res;
+  if (catalog_ == nullptr || request.input_refs.empty()) {
+    res.effective_megabytes = request.input_megabytes;
+    return res;
+  }
+  for (const auto& ref : request.input_refs) {
+    if (!storage_faults_enabled_) {
+      // Fault-free pricing, identical to plan_stage_in.
+      if (catalog_->has(ref.logical_name, se_name)) {
+        res.effective_megabytes += ref.megabytes;
+      } else {
+        res.effective_megabytes += ref.megabytes * config_.remote_transfer_penalty;
+        res.remote_megabytes += ref.megabytes;
+      }
+      continue;
+    }
+    // Candidate replicas, cheapest first: the close SE's copy, then the
+    // rest in registration order. Each candidate is probed in turn — down
+    // SEs are skipped, lost and corrupt copies are invalidated — until one
+    // survives or the file is declared lost.
+    std::vector<std::string> candidates = catalog_->locate(ref.logical_name);
+    auto close_pos = std::find(candidates.begin(), candidates.end(), se_name);
+    if (close_pos != candidates.end() && close_pos != candidates.begin()) {
+      std::rotate(candidates.begin(), close_pos, close_pos + 1);
+    }
+    const double now = simulator_.now();
+    bool staged = false;
+    int skipped = 0;
+    for (const auto& candidate : candidates) {
+      auto se_it = storage_by_name_.find(candidate);
+      StorageElement* candidate_se = se_it == storage_by_name_.end() ? nullptr : se_it->second;
+      if (candidate_se != nullptr && !candidate_se->available_at(now)) {
+        // The hosting SE is down; the copy is intact and comes back with it.
+        ++skipped;
+        continue;
+      }
+      const double loss = candidate_se != nullptr ? candidate_se->replica_loss_probability()
+                                                  : config_.replica_loss_probability;
+      if (loss > 0.0 && se_rng_.bernoulli(loss)) {
+        catalog_->invalidate_replica(ref.logical_name, candidate);
+        ++res.faults;
+        ++skipped;
+        continue;
+      }
+      const bool remote = candidate != se_name;
+      const double cost =
+          remote ? ref.megabytes * config_.remote_transfer_penalty : ref.megabytes;
+      const double corruption = candidate_se != nullptr
+                                    ? candidate_se->replica_corruption_probability()
+                                    : config_.replica_corruption_probability;
+      if (corruption > 0.0 && se_rng_.bernoulli(corruption)) {
+        // The transfer completes but the DataRef digest check fails: the
+        // bytes are wasted, the bad copy is dropped, and the next replica
+        // is tried.
+        res.effective_megabytes += cost;
+        if (remote) res.remote_megabytes += ref.megabytes;
+        catalog_->invalidate_replica(ref.logical_name, candidate);
+        ++res.faults;
+        ++skipped;
+        continue;
+      }
+      res.effective_megabytes += cost;
+      if (remote) res.remote_megabytes += ref.megabytes;
+      if (skipped > 0) ++res.failovers;
+      staged = true;
+      break;
+    }
+    if (!staged) res.lost_files.push_back(ref.logical_name);
+  }
+  return res;
 }
 
 void Grid::enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce) {
@@ -205,9 +335,57 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
     --job->in_flight_attempts;
     return;
   }
+
+  if (storage_faults_enabled_ && !se.available_at(simulator_.now())) {
+    // The close SE is down: the stage-in errors out after a detection
+    // delay, the attempt dies, and the job resubmits (data-aware
+    // matchmaking steers the retry toward CEs whose SE is up).
+    const double wasted = config_.failure_detection_fraction *
+                          se.nominal_seconds(stage.effective_megabytes);
+    ++job->record.replica_faults;
+    ++stats_.replica_faults;
+    simulator_.schedule(wasted, [this, job, &ce] {
+      ce.release_slot();
+      --job->in_flight_attempts;
+      if (job->completed) return;
+      ++stats_.failed_attempts;
+      MOTEUR_LOG(kDebug, "grid")
+          << "job " << job->record.id << " attempt " << job->record.attempts
+          << " could not stage in: close SE of " << ce.name() << " is down";
+      if (job->record.attempts >= config_.max_attempts) {
+        if (job->in_flight_attempts == 0) finish(job, JobState::kFailed);
+      } else {
+        start_attempt(job);
+      }
+    });
+    return;
+  }
+
+  StageResolution resolution = resolve_stage_in(job->request, se.name());
+  job->record.replica_faults += resolution.faults;
+  job->record.replica_failovers += resolution.failovers;
+  stats_.replica_faults += static_cast<std::size_t>(resolution.faults);
+  stats_.replica_failovers += static_cast<std::size_t>(resolution.failovers);
+  if (!resolution.lost_files.empty()) {
+    // Every replica of at least one input is gone. Resubmitting cannot help
+    // — only the enactor's lineage recovery can regenerate the file — so
+    // the job fails immediately with the loss spelled out.
+    ce.release_slot();
+    --job->in_flight_attempts;
+    if (job->completed) return;
+    ++stats_.failed_attempts;
+    ++stats_.data_lost_jobs;
+    job->record.lost_files = std::move(resolution.lost_files);
+    MOTEUR_LOG(kDebug, "grid") << "job " << job->record.id << " lost "
+                               << job->record.lost_files.size()
+                               << " input file(s); no replica survives";
+    if (job->in_flight_attempts == 0) finish(job, JobState::kFailed);
+    return;
+  }
+
   job->record.state = JobState::kTransferringIn;
-  se.transfer(stage.effective_megabytes, [this, job, &ce, &se, stage,
-                                          payload_seconds](double in_seconds) {
+  se.transfer(resolution.effective_megabytes, [this, job, &ce, &se, resolution,
+                                               payload_seconds](double in_seconds) {
     if (job->completed) {
       ce.release_slot();
       --job->in_flight_attempts;
@@ -215,8 +393,8 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
     }
     job->record.input_transfer_seconds += in_seconds;
     job->record.staging_element = se.name();
-    job->record.staged_in_megabytes += stage.effective_megabytes;
-    job->record.remote_input_megabytes += stage.remote_megabytes;
+    job->record.staged_in_megabytes += resolution.effective_megabytes;
+    job->record.remote_input_megabytes += resolution.remote_megabytes;
     job->record.state = JobState::kRunning;
     job->record.run_start_time = simulator_.now();
     simulator_.schedule(payload_seconds, [this, job, &ce, &se] {

@@ -74,6 +74,10 @@ class Grid {
     std::size_t done = 0;
     std::size_t failed = 0;
     std::size_t failed_attempts = 0;
+    /// Storage-side fault trace (SE fault injection on).
+    std::size_t replica_faults = 0;
+    std::size_t replica_failovers = 0;
+    std::size_t data_lost_jobs = 0;
     RunningStats overhead_seconds;
     RunningStats total_seconds;
   };
@@ -95,6 +99,19 @@ class Grid {
   };
   StagePlan plan_stage_in(const JobRequest& request, const std::string& ce_name) const;
 
+  /// Like StagePlan, but resolved against live replica state with SE fault
+  /// injection applied: down SEs are skipped, lost/corrupt replicas are
+  /// invalidated in the catalog and failed over, and inputs with no
+  /// surviving replica land in lost_files.
+  struct StageResolution {
+    double effective_megabytes = 0.0;
+    double remote_megabytes = 0.0;
+    int faults = 0;
+    int failovers = 0;
+    std::vector<std::string> lost_files;
+  };
+  StageResolution resolve_stage_in(const JobRequest& request, const std::string& se_name);
+
   void start_attempt(const std::shared_ptr<PendingJob>& job);
   void arm_speculative_watchdog(const std::shared_ptr<PendingJob>& job);
   void enter_site(const std::shared_ptr<PendingJob>& job, ComputingElement& ce);
@@ -110,6 +127,13 @@ class Grid {
   Rng ui_rng_;
   ResourceBroker broker_;
   StorageElement storage_;  // the default SE ("se0")
+  /// Dedicated substream for replica loss/corruption draws: enabling SE
+  /// fault injection never perturbs any other stochastic component.
+  Rng se_rng_;
+  /// Any SE outage window or replica fault probability configured? Gates
+  /// every storage-fault code path so the zero-fault data plane stays
+  /// bit-identical to the fault-free implementation.
+  bool storage_faults_enabled_ = false;
   std::vector<std::unique_ptr<StorageElement>> extra_storage_;
   std::map<std::string, StorageElement*> storage_by_name_;
   std::map<std::string, StorageElement*> close_storage_;  // CE name -> SE

@@ -72,6 +72,15 @@ struct JobRecord {
   double staged_in_megabytes = 0.0;
   double remote_input_megabytes = 0.0;
 
+  /// Storage-side fault trace (SE fault injection on): replicas that were
+  /// lost/corrupt/unreachable while staging, how many inputs were served by
+  /// a fallback replica, and — when every replica of an input was gone —
+  /// the logical names the job could not stage. A non-empty lost_files on a
+  /// kFailed record means retrying cannot help; only re-derivation can.
+  int replica_faults = 0;
+  int replica_failovers = 0;
+  std::vector<std::string> lost_files;
+
   /// Total wall time from submission to completion.
   double total_seconds() const { return completion_time - submit_time; }
   /// Middleware latency of the (last) attempt: UI + broker submission +

@@ -1,5 +1,7 @@
 #include "grid/storage_element.hpp"
 
+#include <algorithm>
+
 namespace moteur::grid {
 
 StorageElement::StorageElement(sim::Simulator& simulator, std::string name,
@@ -10,6 +12,30 @@ StorageElement::StorageElement(sim::Simulator& simulator, std::string name,
       latency_seconds_(latency_seconds),
       bandwidth_mb_per_s_(bandwidth_mb_per_s),
       channels_(simulator, channels) {}
+
+void StorageElement::set_outages(std::vector<StorageOutageWindow> outages) {
+  outages_ = std::move(outages);
+  std::sort(outages_.begin(), outages_.end(),
+            [](const StorageOutageWindow& a, const StorageOutageWindow& b) {
+              return a.start_seconds < b.start_seconds;
+            });
+}
+
+bool StorageElement::available_at(double t) const {
+  for (const auto& w : outages_) {
+    if (t < w.start_seconds) return true;  // sorted: no later window covers t
+    if (t < w.start_seconds + w.duration_seconds) return false;
+  }
+  return true;
+}
+
+double StorageElement::next_available(double t) const {
+  for (const auto& w : outages_) {
+    if (t < w.start_seconds) return t;
+    if (t < w.start_seconds + w.duration_seconds) return w.start_seconds + w.duration_seconds;
+  }
+  return t;
+}
 
 double StorageElement::nominal_seconds(double megabytes) const {
   if (megabytes <= 0.0) return 0.0;

@@ -2,7 +2,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "grid/config.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,6 +28,29 @@ class StorageElement {
 
   double nominal_seconds(double megabytes) const;
 
+  double latency_seconds() const { return latency_seconds_; }
+
+  /// Install the deterministic downtime schedule (sorted by start; windows
+  /// are assumed non-overlapping). Exposed to the broker and the grid's
+  /// stage-in path so a dead SE stops attracting jobs.
+  void set_outages(std::vector<StorageOutageWindow> outages);
+  const std::vector<StorageOutageWindow>& outages() const { return outages_; }
+
+  /// Is the SE reachable at simulated time `t` (outside every window)?
+  bool available_at(double t) const;
+
+  /// Earliest time >= t at which the SE is reachable (t itself when up).
+  double next_available(double t) const;
+
+  /// Resolved per-replica fault probabilities (per-SE override or the
+  /// grid-wide default), sampled by the grid at stage-in.
+  void set_replica_fault_probabilities(double loss, double corruption) {
+    replica_loss_probability_ = loss;
+    replica_corruption_probability_ = corruption;
+  }
+  double replica_loss_probability() const { return replica_loss_probability_; }
+  double replica_corruption_probability() const { return replica_corruption_probability_; }
+
   std::size_t active_transfers() const { return channels_.in_use(); }
   std::size_t queued_transfers() const { return channels_.queue_length(); }
 
@@ -35,6 +60,9 @@ class StorageElement {
   double latency_seconds_;
   double bandwidth_mb_per_s_;
   sim::Resource channels_;
+  std::vector<StorageOutageWindow> outages_;
+  double replica_loss_probability_ = 0.0;
+  double replica_corruption_probability_ = 0.0;
 };
 
 }  // namespace moteur::grid

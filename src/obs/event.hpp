@@ -34,6 +34,9 @@ struct RunEvent {
     kBreakerClosed,        // probe succeeded; the CE rejoined routing
     kSubmissionRerouted,   // matchmaking excluded at least one open CE
     kCacheHit,             // served from the invocation cache; no grid job
+    kReplicaLost,          // no replica of a required input file survives
+    kReplicaFailover,      // stage-in fell through to a surviving replica
+    kReDerived,            // lineage recovery regenerated a lost file
   };
 
   Kind kind = Kind::kRunStarted;
@@ -64,6 +67,10 @@ struct RunEvent {
   /// Input staging time inside [submit_time, start_time], when the backend
   /// reports it (grid JobRecord); 0 for backends without a staging phase.
   double stage_in_seconds = 0.0;
+
+  // Data-plane fault payload (kReplicaLost / kReplicaFailover / kReDerived).
+  std::string logical_file;  // the lfn lost, failed over, or re-derived
+  std::size_t count = 0;     // failovers in the attempt (kReplicaFailover)
 
   // Running totals, mirrored into ProgressEvent for the legacy listener.
   std::size_t total_invocations = 0;

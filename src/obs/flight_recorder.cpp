@@ -96,6 +96,10 @@ std::string FlightRecorder::dump_json(const std::string& run_id, const std::stri
     if (!event.computing_element.empty()) {
       out << ",\"ce\":\"" << json_escape(event.computing_element) << "\"";
     }
+    if (!event.logical_file.empty()) {
+      out << ",\"file\":\"" << json_escape(event.logical_file) << "\"";
+    }
+    if (event.count != 0) out << ",\"count\":" << event.count;
     if (event.kind == RunEvent::Kind::kAttemptEnded) {
       out << ",\"ok\":" << (event.ok ? "true" : "false")
           << ",\"submit_time\":" << json_number(event.submit_time)

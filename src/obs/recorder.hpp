@@ -104,6 +104,9 @@ class RunRecorder {
   Counter* skipped_ = nullptr;
   Counter* rerouted_ = nullptr;
   Counter* cache_hits_ = nullptr;
+  Counter* replica_lost_ = nullptr;
+  Counter* replica_failovers_ = nullptr;
+  Counter* rederived_ = nullptr;
   Gauge* tuples_in_flight_ = nullptr;
   Gauge* makespan_ = nullptr;
   std::map<std::string, CeSeries> ce_series_;

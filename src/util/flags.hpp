@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moteur {
+
+// Validated parsing for CLI flag values. Every parser names the offending
+// flag in its ParseError so the CLI surfaces "--retries must be a positive
+// integer (got 'x')" instead of a bare std::stoul exception, and exits
+// non-zero through the normal error path.
+
+/// Strictly positive integer (counts: --retries, --shards, --runs, ...).
+std::size_t parse_positive_count(const std::string& text, const std::string& flag);
+
+/// Probability in [0, 1] (--inject-failures, --se-loss, ...).
+double parse_probability(const std::string& text, const std::string& flag);
+
+/// Strictly positive seconds (--telemetry-interval).
+double parse_positive_seconds(const std::string& text, const std::string& flag);
+
+/// Seconds >= 0 (--telemetry-linger, outage starts).
+double parse_nonnegative_seconds(const std::string& text, const std::string& flag);
+
+/// One scheduled storage-element downtime window from --se-outage.
+struct SeOutageSpec {
+  std::string storage_element;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// Parse "SE:START:DURATION[,SE:START:DURATION...]" — e.g.
+/// "se-north:3600:1800,se0:0:600". START >= 0, DURATION > 0. Whether each SE
+/// name exists is for the caller to check against its grid configuration.
+std::vector<SeOutageSpec> parse_se_outages(const std::string& text,
+                                           const std::string& flag);
+
+}  // namespace moteur

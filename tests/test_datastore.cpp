@@ -566,5 +566,262 @@ TEST(DataAwareGrid, RemoteStagingPaysThePenalty) {
   EXPECT_TRUE(catalog.has("lfn://big", "se-a"));
 }
 
+// ---------------------------------------------------------------------------
+// Storage faults: catalog invalidation, SE outages, stage-in failover
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaCatalog, InvalidateKeepsEntryForReRegistration) {
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://x", "se-a", 5.0);
+  catalog.register_replica("lfn://x", "se-b", 5.0);
+
+  EXPECT_TRUE(catalog.invalidate_replica("lfn://x", "se-a"));
+  EXPECT_FALSE(catalog.invalidate_replica("lfn://x", "se-a"));  // already gone
+  EXPECT_EQ(catalog.locate("lfn://x"), (std::vector<std::string>{"se-b"}));
+
+  // Losing the last copy keeps the entry (and its size) so a re-derivation
+  // can re-register under the same logical name.
+  EXPECT_TRUE(catalog.invalidate_replica("lfn://x", "se-b"));
+  EXPECT_TRUE(catalog.locate("lfn://x").empty());
+  EXPECT_DOUBLE_EQ(catalog.size_mb("lfn://x"), 5.0);
+  EXPECT_EQ(catalog.invalidation_count(), 2u);
+
+  catalog.register_replica("lfn://x", "se-c", 5.0);
+  EXPECT_EQ(catalog.locate("lfn://x"), (std::vector<std::string>{"se-c"}));
+
+  catalog.unregister("lfn://x");
+  EXPECT_TRUE(catalog.locate("lfn://x").empty());
+  EXPECT_DOUBLE_EQ(catalog.size_mb("lfn://x"), 0.0);
+  EXPECT_EQ(catalog.file_count(), 0u);
+}
+
+TEST(ReplicaCatalog, SeAvailabilityView) {
+  data::ReplicaCatalog catalog;
+  EXPECT_TRUE(catalog.se_available("se-a"));  // unknown SEs are up
+  catalog.set_se_available("se-a", false);
+  EXPECT_FALSE(catalog.se_available("se-a"));
+  EXPECT_TRUE(catalog.se_available("se-b"));
+  catalog.set_se_available("se-a", true);
+  EXPECT_TRUE(catalog.se_available("se-a"));
+}
+
+TEST(StorageOutage, AvailabilityFollowsTheSchedule) {
+  sim::Simulator sim;
+  grid::StorageElement se(sim, "se", 1.0, 10.0);
+  EXPECT_TRUE(se.available_at(0.0));
+  EXPECT_DOUBLE_EQ(se.next_available(42.0), 42.0);
+
+  se.set_outages({{100.0, 50.0}, {300.0, 25.0}});
+  EXPECT_TRUE(se.available_at(99.0));
+  EXPECT_FALSE(se.available_at(100.0));
+  EXPECT_FALSE(se.available_at(149.0));
+  EXPECT_TRUE(se.available_at(150.0));  // window end is exclusive
+  EXPECT_FALSE(se.available_at(310.0));
+  EXPECT_DOUBLE_EQ(se.next_available(120.0), 150.0);
+  EXPECT_DOUBLE_EQ(se.next_available(310.0), 325.0);
+  EXPECT_DOUBLE_EQ(se.next_available(500.0), 500.0);
+}
+
+TEST(StorageFaultGrid, StageInFailsOverToTheNextReplica) {
+  // The close SE's copy is lost (per-SE loss probability 1), the remote copy
+  // on se-a survives: one fault, one failover, and the job still completes.
+  auto config = two_site_grid();
+  config.computing_elements = {config.computing_elements[1]};  // only ce-b
+  config.storage_elements[1].replica_loss_probability = 1.0;   // se-b
+  sim::Simulator sim;
+  grid::Grid grid(sim, config);
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://big", "se-a", 10.0);
+  catalog.register_replica("lfn://big", "se-b", 10.0);
+  grid.set_catalog(&catalog);
+
+  grid::JobRequest request;
+  request.name = "j";
+  request.compute_seconds = 10.0;
+  request.input_megabytes = 10.0;
+  request.input_refs.push_back(grid::DataStageRef{"lfn://big", 10.0});
+  grid::JobRecord record;
+  grid.submit(request, [&](const grid::JobRecord& r) { record = r; });
+  sim.run();
+
+  EXPECT_EQ(record.state, grid::JobState::kDone);
+  EXPECT_TRUE(record.lost_files.empty());
+  EXPECT_EQ(record.replica_faults, 1);
+  EXPECT_EQ(record.replica_failovers, 1);
+  EXPECT_EQ(grid.stats().replica_faults, 1u);
+  EXPECT_EQ(grid.stats().replica_failovers, 1u);
+  EXPECT_EQ(grid.stats().data_lost_jobs, 0u);
+  EXPECT_EQ(catalog.invalidation_count(), 1u);  // the bad copy was dropped
+}
+
+TEST(StorageFaultGrid, JobWithNoSurvivingReplicaFailsAsDataLost) {
+  // Every copy of the input is gone: resubmission cannot help, so the job
+  // fails immediately with the loss spelled out instead of burning retries.
+  auto config = two_site_grid();
+  config.computing_elements.resize(1);                        // only ce-a
+  config.storage_elements[1].replica_loss_probability = 1.0;  // se-b
+  config.max_attempts = 5;
+  sim::Simulator sim;
+  grid::Grid grid(sim, config);
+  data::ReplicaCatalog catalog;
+  catalog.register_replica("lfn://only", "se-b", 10.0);
+  grid.set_catalog(&catalog);
+
+  grid::JobRequest request;
+  request.name = "j";
+  request.compute_seconds = 10.0;
+  request.input_megabytes = 10.0;
+  request.input_refs.push_back(grid::DataStageRef{"lfn://only", 10.0});
+  grid::JobRecord record;
+  grid.submit(request, [&](const grid::JobRecord& r) { record = r; });
+  sim.run();
+
+  EXPECT_EQ(record.state, grid::JobState::kFailed);
+  EXPECT_EQ(record.lost_files, (std::vector<std::string>{"lfn://only"}));
+  EXPECT_EQ(record.attempts, 1);  // not retried: the data is gone, not flaky
+  EXPECT_EQ(grid.stats().data_lost_jobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache staleness: a hit must still resolve on the data plane
+// ---------------------------------------------------------------------------
+
+TEST(EngineCache, StaleEntryWhoseReplicasVanishedIsInvalidatedNotReplayed) {
+  // Warm the cache with replicas registered in catalog A, then point the
+  // backend at an empty catalog: the memoized refs no longer resolve, so the
+  // second run must invalidate those entries and recompute instead of
+  // replaying tokens whose files do not exist anywhere.
+  SimRig rig;
+  rig.add_chain_services(1, 30.0);
+  data::ReplicaCatalog warm;
+  rig.backend.set_catalog(&warm);
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.cache = true;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+
+  const auto wf = workflow::make_chain(1);
+  const auto first = moteur.run({.workflow = wf, .inputs = items("src", 4)});
+  EXPECT_EQ(first.failures(), 0u);
+  EXPECT_EQ(moteur.invocation_cache()->entry_count(), 4u);
+
+  data::ReplicaCatalog empty;  // every replica of every output "vanished"
+  rig.backend.set_catalog(&empty);
+  const auto second = moteur.run({.workflow = wf, .inputs = items("src", 4)});
+  EXPECT_EQ(second.cache_hits(), 0u);
+  EXPECT_EQ(second.submissions(), 4u);  // recomputed, not replayed
+  EXPECT_EQ(second.failures(), 0u);
+  EXPECT_EQ(moteur.invocation_cache()->totals().invalidations, 4u);
+  EXPECT_EQ(moteur.invocation_cache()->totals().hits, 0u);
+
+  // The recomputation repopulated the cache; with the replicas back in the
+  // live catalog a third run is served entirely from memory again.
+  const auto third = moteur.run({.workflow = wf, .inputs = items("src", 4)});
+  EXPECT_EQ(third.cache_hits(), 4u);
+  EXPECT_EQ(third.submissions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lineage-driven recovery of lost intermediates
+// ---------------------------------------------------------------------------
+
+struct FaultyRig {
+  sim::Simulator simulator;
+  grid::Grid grid;
+  enactor::SimGridBackend backend;
+  data::ReplicaCatalog catalog;
+  services::ServiceRegistry registry;
+
+  static grid::GridConfig config(double loss) {
+    grid::GridConfig cfg = grid::GridConfig::constant(10.0);
+    cfg.replica_loss_probability = loss;
+    return cfg;
+  }
+
+  explicit FaultyRig(double loss) : grid(simulator, config(loss)), backend(grid) {
+    backend.set_catalog(&catalog);
+    for (int i = 0; i < 2; ++i) {
+      registry.add(services::make_simulated_service("P" + std::to_string(i), {"in"},
+                                                    {"out"},
+                                                    JobProfile{30.0, 1.0, 1.0}));
+    }
+  }
+};
+
+TEST(LineageRecovery, ReDerivesLostIntermediatesAndCompletesTheRun) {
+  // A lossy storage layer eats replicas of both source items and P0's
+  // intermediate outputs. Sources come back by resubmission (the backend
+  // re-seeds them), intermediates only through lineage recovery re-firing
+  // P0 — with recovery on the run must still drain every tuple cleanly.
+  FaultyRig rig(0.35);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  ASSERT_TRUE(policy.lineage_recovery);  // the default: on
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items("src", 8)});
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), 8u);
+  EXPECT_TRUE(result.failure_report.empty());
+  // The loss rate is high enough that at least one intermediate needed its
+  // producer re-fired (seeded grid RNG: deterministic across runs).
+  EXPECT_GT(result.stats.rederived, 0u);
+  EXPECT_GT(rig.grid.stats().data_lost_jobs, 0u);
+}
+
+TEST(LineageRecovery, DisabledRecoveryLosesTuplesAndListsTheFiles) {
+  FaultyRig rig(0.35);
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  policy.lineage_recovery = false;
+  enactor::Enactor moteur(rig.backend, rig.registry, policy);
+
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(2), .inputs = items("src", 8)});
+  EXPECT_GT(result.failures(), 0u);
+  EXPECT_EQ(result.stats.rederived, 0u);
+  EXPECT_LT(result.sink_outputs.at("sink").size(), 8u);
+
+  // Every definitive loss is a DataLost with its unrecoverable files named,
+  // and each lost file is reported exactly once.
+  std::size_t files_reported = 0;
+  for (const auto& lost : result.failure_report.lost) {
+    EXPECT_EQ(lost.status, "DataLost");
+    files_reported += lost.files.size();
+  }
+  EXPECT_GT(files_reported, 0u);
+  const std::string json = result.failure_report.to_json();
+  EXPECT_NE(json.find("\"files\":[\"lfn://"), std::string::npos);
+  const std::string text = result.failure_report.to_text();
+  EXPECT_NE(text.find("unrecoverable file lfn://"), std::string::npos);
+}
+
+TEST(LineageRecovery, ZeroFaultRunsAreIdenticalWithRecoveryOnAndOff) {
+  // Recovery defaults to on; without SE faults it must be unobservable.
+  auto run_with = [](bool recovery) {
+    SimRig rig;
+    rig.add_chain_services(2, 30.0);
+    data::ReplicaCatalog catalog;
+    rig.backend.set_catalog(&catalog);
+    enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+    policy.lineage_recovery = recovery;
+    enactor::Enactor moteur(rig.backend, rig.registry, policy);
+    return moteur.run({.workflow = workflow::make_chain(2), .inputs = items("src", 6)});
+  };
+  const auto on = run_with(true);
+  const auto off = run_with(false);
+  EXPECT_DOUBLE_EQ(on.makespan(), off.makespan());
+  EXPECT_EQ(on.submissions(), off.submissions());
+  EXPECT_EQ(on.stats.rederived, 0u);
+  const auto& a = on.sink_outputs.at("sink");
+  const auto& b = off.sink_outputs.at("sink");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].id(), b[j].id());
+    EXPECT_EQ(a[j].digest(), b[j].digest());
+  }
+}
+
 }  // namespace
 }  // namespace moteur

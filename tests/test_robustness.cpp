@@ -245,6 +245,69 @@ TEST(ThreadedStress, ContinuePolicySurvivesATotalHostFailure) {
 }
 
 // ---------------------------------------------------------------------------
+// SE outages x CE breakers
+// ---------------------------------------------------------------------------
+
+TEST(StorageOutageBreaker, BreakerRoutesAroundTheCeWithTheDeadSe) {
+  // Blind (non-data-aware) brokering keeps landing jobs on ce-a, whose close
+  // SE is down for the whole run: every such attempt dies at stage-in. The
+  // enactor's per-CE breaker is the layer that learns ce-a is useless and
+  // steers the rest of the run to ce-b — zero tuples may be lost.
+  grid::GridConfig config;
+  grid::ComputingElementConfig ce_a;
+  ce_a.name = "ce-a";
+  ce_a.worker_slots = 8;
+  ce_a.close_storage_element = "se-a";
+  grid::ComputingElementConfig ce_b = ce_a;
+  ce_b.name = "ce-b";
+  ce_b.worker_slots = 2;  // ce-a looks more attractive to the blind broker
+  ce_b.close_storage_element = "se-b";
+  config.computing_elements = {ce_a, ce_b};
+  grid::StorageElementConfig se_a;
+  se_a.name = "se-a";
+  se_a.outages.push_back(grid::StorageOutageWindow{0.0, 1e9});  // dead all run
+  grid::StorageElementConfig se_b;
+  se_b.name = "se-b";
+  config.storage_elements = {se_a, se_b};
+  config.max_attempts = 1;  // surface every stage-in fault to the enactor
+
+  sim::Simulator simulator;
+  grid::Grid grid(simulator, config);
+  enactor::SimGridBackend backend(grid);
+  services::ServiceRegistry registry;
+  registry.add(services::make_simulated_service("P0", {"in"}, {"out"},
+                                                services::JobProfile{30.0, 1.0, 1.0}));
+
+  data::InputDataSet ds;
+  constexpr int kItems = 24;
+  for (int j = 0; j < kItems; ++j) ds.add_item("src", "d" + std::to_string(j));
+
+  enactor::EnactmentPolicy policy = enactor::EnactmentPolicy::sp_dp();
+  policy.retry = enactor::RetryPolicy::resubmit(8);
+  policy.failure_policy = enactor::FailurePolicy::kContinue;
+  policy.breaker.enabled = true;
+  policy.breaker.window = 4;
+  policy.breaker.threshold = 2;
+  policy.breaker.cooldown_seconds = 1e9;
+
+  enactor::Enactor moteur(backend, registry, policy);
+  const auto result =
+      moteur.run({.workflow = workflow::make_chain(1), .inputs = ds});
+
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.sink_outputs.at("sink").size(), static_cast<std::size_t>(kItems));
+  EXPECT_GT(grid.stats().replica_faults, 0u);  // the dead SE was actually hit
+
+  bool ce_a_opened = false;
+  for (const auto& t : result.timeline.breaker_transitions()) {
+    if (t.computing_element == "ce-a" && t.to == grid::BreakerState::kOpen) {
+      ce_a_opened = true;
+    }
+  }
+  EXPECT_TRUE(ce_a_opened);
+}
+
+// ---------------------------------------------------------------------------
 // Single-host service concurrency limits (§3.3)
 // ---------------------------------------------------------------------------
 

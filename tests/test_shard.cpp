@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/invocation_cache.hpp"
+#include "data/replica_catalog.hpp"
 #include "enactor/manifest.hpp"
 #include "enactor/run_request.hpp"
 #include "enactor/sim_backend.hpp"
@@ -278,6 +280,95 @@ TEST(ShardedRunService, CancellationMidRunOnShardedService) {
   }
   EXPECT_LT(invoked.load(), kTotal);
   service.wait_idle();
+}
+
+TEST(ShardedRunService, CacheInvalidationAndCatalogChurnDuringShardedRuns) {
+  // Run under TSan by the tsan-enactor preset: shards enacting through the
+  // shared InvocationCache while antagonist threads hammer cache
+  // invalidation and replica-catalog failover bookkeeping (register /
+  // invalidate / availability flips) the whole time. Results must stay
+  // complete and correct regardless of which entries the antagonists evict.
+  enactor::ThreadedBackend backend(4);
+  services::ServiceRegistry registry;
+  add_chain_services(registry, 2, nullptr, std::chrono::milliseconds(1));
+
+  RunServiceConfig config;
+  config.admission.max_active = 8;
+  config.admission.max_inflight = 16;
+  config.sharding.shards = 4;
+  config.defaults.policy = enactor::EnactmentPolicy::sp_dp();
+  config.defaults.policy.cache = true;
+  RunService service(backend, registry, config);
+  ASSERT_EQ(service.shards(), 4u);
+
+  // The shared cache is materialized lazily by the first cached run.
+  {
+    enactor::RunRequest warmup;
+    warmup.name = "warmup";
+    warmup.workflow = chain(2);
+    warmup.inputs = items(2);
+    auto handle = service.submit(std::move(warmup));
+    ASSERT_EQ(handle.wait(), RunState::kFinished);
+  }
+  data::InvocationCache* cache = service.invocation_cache();
+  ASSERT_NE(cache, nullptr);
+  data::ReplicaCatalog catalog;  // shared failover bookkeeping under churn
+
+  std::atomic<bool> stop{false};
+  std::thread cache_antagonist([&] {
+    std::size_t n = 0;
+    while (!stop.load()) {
+      const std::string key =
+          data::InvocationCache::cache_key(n % 7, {{"in", n}});
+      cache->invalidate(key, "antagonist");
+      cache->peek(key);
+      (void)cache->entry_count();
+      (void)cache->totals();
+      ++n;
+    }
+  });
+  std::thread catalog_antagonist([&] {
+    std::size_t n = 0;
+    while (!stop.load()) {
+      const std::string lfn = "lfn://" + std::to_string(n % 16);
+      const std::string se = "se-" + std::to_string(n % 3);
+      catalog.register_replica(lfn, se, 1.0);
+      catalog.set_se_available(se, n % 2 == 0);
+      (void)catalog.locate(lfn);
+      (void)catalog.se_available(se);
+      catalog.invalidate_replica(lfn, se);
+      ++n;
+    }
+  });
+
+  constexpr std::size_t kRuns = 8, kStages = 2, kItems = 16;
+  std::vector<enactor::RunRequest> requests;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    enactor::RunRequest request;
+    request.name = "churn-" + std::to_string(i);
+    request.workflow = chain(kStages);
+    request.inputs = items(kItems);
+    requests.push_back(std::move(request));
+  }
+  auto handles = service.submit_all(std::move(requests));
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait(), RunState::kFinished) << handle.id();
+    EXPECT_EQ(handle.result().failures(), 0u) << handle.id();
+    std::size_t sink_tokens = 0;
+    for (const auto& [sink, tokens] : handle.result().sink_outputs) {
+      sink_tokens += tokens.size();
+    }
+    EXPECT_EQ(sink_tokens, kItems) << handle.id();
+  }
+  service.wait_idle();
+  stop.store(true);
+  cache_antagonist.join();
+  catalog_antagonist.join();
+
+  // The catalog survived the churn with a consistent view: every replica the
+  // antagonist left behind is locatable, and the counters kept pace.
+  EXPECT_LE(catalog.replica_count(), 16u * 3u);
+  EXPECT_GT(catalog.invalidation_count(), 0u);
 }
 
 TEST(ShardedRunService, LeastLoadedPinSpreadsABatch) {

@@ -11,6 +11,7 @@
 //   moteur_cli model --nw N --nd M [--t SECONDS]  §3.5 predictions
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on run failures.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -42,6 +43,7 @@
 #include "services/catalog.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
+#include "util/flags.hpp"
 #include "util/strings.hpp"
 #include "workflow/analysis.hpp"
 #include "workflow/grouping.hpp"
@@ -60,6 +62,8 @@ using namespace moteur;
       "             [--seed N] [--overhead S] [--batch K] [--adaptive]\n"
       "             [--retries N] [--retry-timeout MULT] [--retry-backoff S]\n"
       "             [--inject-failures P] [--inject-stuck P] [--grid-attempts N]\n"
+      "             [--se-outage SE:START:DUR[,...]] [--se-loss P] [--se-corrupt P]\n"
+      "             [--no-recovery] [--recovery-depth N]\n"
       "             [--failure-policy failfast|continue] [--failure-report OUT.json]\n"
       "             [--breaker-window N] [--breaker-threshold N] [--breaker-cooldown S]\n"
       "             [--cache] [--data-aware] [--cache-stats-out STATS.json]\n"
@@ -152,11 +156,11 @@ enactor::RunManifest manifest_from_args(const Args& args) {
     manifest.constant_overhead_seconds = std::stod(*overhead);
   }
   if (const auto batch = args.get("batch")) {
-    manifest.policy.batch_size = static_cast<std::size_t>(std::stoul(*batch));
+    manifest.policy.batch_size = parse_positive_count(*batch, "--batch");
   }
   if (args.has("adaptive")) manifest.policy.adaptive_batching = true;
   if (const auto retries = args.get("retries")) {
-    manifest.policy.retry.max_attempts = static_cast<std::size_t>(std::stoul(*retries));
+    manifest.policy.retry.max_attempts = parse_positive_count(*retries, "--retries");
   }
   if (const auto multiplier = args.get("retry-timeout")) {
     manifest.policy.retry.timeout_multiplier = std::stod(*multiplier);
@@ -184,10 +188,16 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   // Data plane: memoize invocations / rank CEs by stage-in cost.
   if (args.has("cache")) manifest.policy.cache = true;
   if (args.has("data-aware")) manifest.policy.data_aware = true;
+  // Data-plane fault tolerance: lineage recovery is on by default (it is only
+  // reachable under SE fault injection); --no-recovery disables it for
+  // recovery-off baselines.
+  if (args.has("no-recovery")) manifest.policy.lineage_recovery = false;
+  if (const auto depth = args.get("recovery-depth")) {
+    manifest.policy.max_recovery_depth = parse_positive_count(*depth, "--recovery-depth");
+  }
   // Enactment-core sharding (multi-tenant runs; round-trips via the manifest).
   if (const auto shards = args.get("shards")) {
-    manifest.shards = static_cast<std::size_t>(std::stoul(*shards));
-    if (manifest.shards == 0) usage("--shards must be at least 1");
+    manifest.shards = parse_positive_count(*shards, "--shards");
   }
   if (const auto pin = args.get("pin-policy")) {
     service::parse_pin_policy(*pin);  // validate early; stored as text
@@ -201,7 +211,8 @@ std::string cache_stats_json(const data::InvocationCache* cache) {
   std::ostringstream os;
   const auto stats = [&os](const data::InvocationCache::Stats& s) {
     os << "{\"hits\": " << s.hits << ", \"misses\": " << s.misses
-       << ", \"insertions\": " << s.insertions << "}";
+       << ", \"insertions\": " << s.insertions
+       << ", \"invalidations\": " << s.invalidations << "}";
   };
   os << "{\n  \"entry_count\": " << (cache ? cache->entry_count() : 0)
      << ",\n  \"totals\": ";
@@ -218,6 +229,47 @@ std::string cache_stats_json(const data::InvocationCache* cache) {
   }
   os << "}\n}\n";
   return os.str();
+}
+
+/// Fault-injection flags shared by both run paths: per-attempt CE faults
+/// (--inject-*) and the storage plane (--se-outage/--se-loss/--se-corrupt).
+/// SE names in --se-outage are checked against the configuration: "se0"
+/// addresses the implicit default SE, anything else must be declared.
+void apply_fault_flags(const Args& args, grid::GridConfig& config) {
+  if (const auto p = args.get("inject-failures")) {
+    config.failure_probability = parse_probability(*p, "--inject-failures");
+  }
+  if (const auto p = args.get("inject-stuck")) {
+    config.stuck_job_probability = parse_probability(*p, "--inject-stuck");
+  }
+  if (const auto n = args.get("grid-attempts")) {
+    config.max_attempts = static_cast<int>(parse_positive_count(*n, "--grid-attempts"));
+  }
+  if (const auto p = args.get("se-loss")) {
+    config.replica_loss_probability = parse_probability(*p, "--se-loss");
+  }
+  if (const auto p = args.get("se-corrupt")) {
+    config.replica_corruption_probability = parse_probability(*p, "--se-corrupt");
+  }
+  if (const auto spec = args.get("se-outage")) {
+    for (const auto& outage : parse_se_outages(*spec, "--se-outage")) {
+      const grid::StorageOutageWindow window{outage.start_seconds,
+                                             outage.duration_seconds};
+      auto declared = std::find_if(
+          config.storage_elements.begin(), config.storage_elements.end(),
+          [&](const grid::StorageElementConfig& se) {
+            return se.name == outage.storage_element;
+          });
+      if (declared != config.storage_elements.end()) {
+        declared->outages.push_back(window);
+      } else if (outage.storage_element == "se0") {
+        config.default_se_outages.push_back(window);
+      } else {
+        throw ParseError("--se-outage names unknown storage element '" +
+                         outage.storage_element + "'");
+      }
+    }
+  }
 }
 
 /// "out.csv" -> "out.run3.csv"; extensionless paths get ".run3" appended.
@@ -245,8 +297,7 @@ int cmd_run_multi(const Args& args) {
     manifests.push_back(manifest_from_args(args));
   }
   const std::size_t copies =
-      args.get("runs") ? static_cast<std::size_t>(std::stoul(args.require("runs"))) : 1;
-  if (copies == 0) usage("--runs must be at least 1");
+      args.get("runs") ? parse_positive_count(args.require("runs"), "--runs") : 1;
 
   services::ServiceRegistry registry;
   if (const auto catalog = args.get("services")) {
@@ -257,13 +308,16 @@ int cmd_run_multi(const Args& args) {
   // One grid for every tenant: the first manifest decides its shape.
   sim::Simulator simulator;
   grid::GridConfig grid_config = manifests.front().make_grid_config();
-  if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
-  if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
-  if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
-  bool data_plane = false;
-  for (const auto& manifest : manifests) {
+  apply_fault_flags(args, grid_config);
+  const bool storage_faults = grid_config.replica_loss_probability > 0.0 ||
+                              grid_config.replica_corruption_probability > 0.0 ||
+                              !grid_config.default_se_outages.empty() ||
+                              args.has("se-outage");
+  bool data_plane = storage_faults;
+  for (auto& manifest : manifests) {
     if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
     data_plane = data_plane || manifest.policy.cache || manifest.policy.data_aware;
+    if (args.has("no-recovery")) manifest.policy.lineage_recovery = false;
   }
   grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
@@ -283,8 +337,7 @@ int cmd_run_multi(const Args& args) {
   config.sharding.shards = manifests.front().shards;
   config.sharding.pin = service::parse_pin_policy(manifests.front().pin_policy);
   if (const auto n = args.get("shards")) {
-    config.sharding.shards = static_cast<std::size_t>(std::stoul(*n));
-    if (config.sharding.shards == 0) usage("--shards must be at least 1");
+    config.sharding.shards = parse_positive_count(*n, "--shards");
   }
   if (const auto pin = args.get("pin-policy")) {
     config.sharding.pin = service::parse_pin_policy(*pin);
@@ -298,10 +351,8 @@ int cmd_run_multi(const Args& args) {
     if (config.telemetry.scrape_port < 0) usage("--telemetry-port must be >= 0");
   }
   if (const auto interval = args.get("telemetry-interval")) {
-    config.telemetry.interval_seconds = std::stod(*interval);
-    if (config.telemetry.interval_seconds <= 0.0) {
-      usage("--telemetry-interval must be positive");
-    }
+    config.telemetry.interval_seconds =
+        parse_positive_seconds(*interval, "--telemetry-interval");
   }
   if (const auto prefix = args.get("flight-recorder")) {
     config.telemetry.flight_recorder_path = *prefix;
@@ -451,15 +502,19 @@ int cmd_run(const Args& args) {
   sim::Simulator simulator;
   grid::GridConfig grid_config = manifest.make_grid_config();
   // Fault-injection knobs: surface failures to the enactor's retry policy.
-  if (const auto p = args.get("inject-failures")) grid_config.failure_probability = std::stod(*p);
-  if (const auto p = args.get("inject-stuck")) grid_config.stuck_job_probability = std::stod(*p);
-  if (const auto n = args.get("grid-attempts")) grid_config.max_attempts = std::stoi(*n);
+  apply_fault_flags(args, grid_config);
   if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
   grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
   // Either data-plane feature needs the replica catalog: the cache records
-  // produced replicas, the broker ranks CEs by stage-in cost against it.
-  const bool data_plane = manifest.policy.cache || manifest.policy.data_aware;
+  // produced replicas, the broker ranks CEs by stage-in cost against it —
+  // and storage fault injection needs one to have replicas to lose.
+  const bool storage_faults = grid_config.replica_loss_probability > 0.0 ||
+                              grid_config.replica_corruption_probability > 0.0 ||
+                              !grid_config.default_se_outages.empty() ||
+                              args.has("se-outage");
+  const bool data_plane =
+      manifest.policy.cache || manifest.policy.data_aware || storage_faults;
   data::ReplicaCatalog catalog;
   if (data_plane) backend.set_catalog(&catalog);
   enactor::Enactor moteur(backend, registry, manifest.policy);

@@ -150,6 +150,77 @@ else
 fi
 echo "data-plane smoke OK"
 
+# Storage-fault smoke: the Bronze Standard under SE faults. The zero-fault
+# path must be byte-identical with recovery on and off (the machinery is
+# reachable only under storage fault injection); a run through replica loss
+# plus a mid-run se0 outage must exit 0 with recovery reconstructing exactly
+# the zero-fault sink provenance; the recovery-off baseline must still exit 0
+# under --failure-policy continue but list the unrecoverable files in the
+# machine-readable failure report; malformed storage flags must be rejected.
+echo "== storage-fault smoke: SE outage + replica loss on the Bronze Standard =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --provenance "$obs_dir/sf_clean.xml" --csv "$obs_dir/sf_clean.csv" >/dev/null
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --no-recovery \
+  --provenance "$obs_dir/sf_clean_off.xml" --csv "$obs_dir/sf_clean_off.csv" \
+  >/dev/null
+cmp -s "$obs_dir/sf_clean.xml" "$obs_dir/sf_clean_off.xml" || {
+  echo "zero-fault provenance changed when recovery was disabled" >&2
+  exit 1
+}
+cmp -s "$obs_dir/sf_clean.csv" "$obs_dir/sf_clean_off.csv" || {
+  echo "zero-fault timeline CSV changed when recovery was disabled" >&2
+  exit 1
+}
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --se-loss 0.1 --se-outage se0:2000:1500 \
+  --provenance "$obs_dir/sf_faulty.xml" >/dev/null || {
+  echo "faulty run exited nonzero despite lineage recovery" >&2
+  exit 1
+}
+cmp -s "$obs_dir/sf_clean.xml" "$obs_dir/sf_faulty.xml" || {
+  echo "recovery reconstructed different sink provenance than the clean run" >&2
+  exit 1
+}
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --se-loss 0.1 --se-outage se0:2000:1500 --no-recovery \
+  --failure-policy continue \
+  --failure-report "$obs_dir/sf_failures.json" >/dev/null || {
+  echo "recovery-off run exited nonzero under --failure-policy continue" >&2
+  exit 1
+}
+grep -q '"files":\["lfn://' "$obs_dir/sf_failures.json" || {
+  echo "recovery-off failure report names no lost files" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir/sf_failures.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+lost = [t for t in report["lost"] if t["status"] == "DataLost"]
+assert lost, "no DataLost tuples in the recovery-off failure report"
+assert all(t["files"] for t in lost), "DataLost tuple without its lost files"
+EOF
+else
+  echo "python3 unavailable; skipping failure-report JSON validation"
+fi
+if build/tools/moteur_cli run \
+    --manifest examples/data/bronze_run.xml \
+    --services examples/data/bronze_services.xml \
+    --se-loss 1.5 >/dev/null 2>&1; then
+  echo "--se-loss 1.5 (not a probability) was accepted" >&2
+  exit 1
+fi
+echo "storage-fault smoke OK"
+
 # Live-telemetry smoke: two Bronze runs through the RunService with the hub
 # on. The frame stream must be valid JSONL with first+final frames, the
 # scrape endpoint must answer Prometheus text while the CLI lingers, and the
@@ -280,6 +351,6 @@ fi
 if [ "${1:-}" = "--asan" ]; then
   echo "== ASan stage: fault-containment tests under -fsanitize=address,undefined =="
   cmake -B build-asan -S . -DMOTEUR_ASAN=ON >/dev/null
-  cmake --build build-asan -j --target test_retry test_robustness
+  cmake --build build-asan -j --target test_retry test_robustness test_datastore
   (cd build-asan && ctest --output-on-failure -L fault)
 fi
