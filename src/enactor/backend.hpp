@@ -77,6 +77,18 @@ struct Outcome {
   }
 };
 
+/// Per-execution policy hints attached by the enactor: which matchmaking
+/// policy should rank CEs for this unit of work, which placement policy
+/// produced the avoid set (for decision accounting), and the CE names the
+/// placement policy wants this attempt steered away from. All advisory —
+/// backends without routing freedom ignore them, and the default execute()
+/// overload drops them entirely.
+struct ExecOptions {
+  std::string matchmaking;
+  std::string placement;
+  std::vector<std::string> avoid_ces;
+};
+
 /// Where service invocations actually run. The enactor core is event-driven
 /// and single-threaded; backends deliver completions by invoking the
 /// callback from within drive().
@@ -93,6 +105,16 @@ class ExecutionBackend {
   /// The callback fires exactly once, from within drive().
   virtual void execute(std::shared_ptr<services::Service> service,
                        std::vector<services::Inputs> bindings, Callback on_complete) = 0;
+
+  /// Execute with policy hints. Backends that can act on them (the simulated
+  /// grid) override this; the default forwards to the plain overload, so
+  /// hint-unaware backends behave exactly as before.
+  virtual void execute(std::shared_ptr<services::Service> service,
+                       std::vector<services::Inputs> bindings, ExecOptions options,
+                       Callback on_complete) {
+    (void)options;
+    execute(std::move(service), std::move(bindings), std::move(on_complete));
+  }
 
   /// Current backend time in seconds.
   virtual double now() const = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "data/replica_catalog.hpp"
+#include "policy/registry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "workflow/analysis.hpp"
@@ -36,6 +37,9 @@ Engine::Engine(ExecutionBackend& backend, services::ServiceRegistry& registry,
   workflow_ = policy_.job_grouping
                   ? workflow::group_sequential_processors(workflow, &result_.grouping)
                   : workflow;
+  if (!policy_.placement.empty() && policy_.placement != policy::kDefaultPlacement) {
+    placement_ = policy::PolicyRegistry::instance().make_placement(policy_.placement);
+  }
   result_.run_id = run_id_;
 }
 
@@ -503,7 +507,16 @@ void Engine::start_attempt(const std::shared_ptr<Submission>& sub) {
   auto bindings = policy_.retry.max_attempts <= 1 && !recovery_enabled()
                       ? std::move(sub->bindings)
                       : sub->bindings;
-  backend_.execute(sub->state->service, std::move(bindings),
+  ExecOptions exec_options;
+  exec_options.matchmaking = policy_.matchmaking;
+  if (placement_ != nullptr && attempt > 1) {
+    policy::PlacementContext ctx;
+    ctx.attempt = attempt;
+    ctx.tried_ces = &sub->tried_ces;
+    exec_options.avoid_ces = placement_->avoid(ctx);
+    exec_options.placement = placement_->name();
+  }
+  backend_.execute(sub->state->service, std::move(bindings), std::move(exec_options),
                    [weak = weak_from_this(), sub, attempt](Outcome outcome) {
                      // The engine may be gone by the time a straggler reports
                      // (run finished with clones still in flight, deadlock
@@ -705,7 +718,9 @@ void Engine::start_recovery(const std::shared_ptr<Recovery>& rec) {
   }
   std::vector<services::Inputs> bindings;
   bindings.push_back(std::move(binding));
-  backend_.execute(state.service, std::move(bindings),
+  ExecOptions exec_options;
+  exec_options.matchmaking = policy_.matchmaking;
+  backend_.execute(state.service, std::move(bindings), std::move(exec_options),
                    [weak = weak_from_this(), rec](Outcome outcome) {
                      if (auto self = weak.lock()) {
                        self->on_recovery_complete(rec, std::move(outcome));
@@ -882,6 +897,12 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
   // so stale completions cannot flap the state).
   if (health() != nullptr && outcome.job) {
     health()->record(outcome.job->computing_element, outcome.ok(), backend_.now());
+  }
+
+  // Remember where the attempt landed so the placement policy can steer
+  // later attempts of the same submission elsewhere.
+  if (placement_ != nullptr && outcome.job && !outcome.job->computing_element.empty()) {
+    sub->tried_ces.push_back(outcome.job->computing_element);
   }
 
   if (observing()) {

@@ -13,6 +13,7 @@
 #include "enactor/enactor.hpp"
 #include "enactor/run_request.hpp"
 #include "grid/ce_health.hpp"
+#include "policy/policy.hpp"
 #include "util/stats.hpp"
 #include "workflow/iteration.hpp"
 #include "workflow/iteration_tree.hpp"
@@ -125,6 +126,9 @@ class Engine : public std::enable_shared_from_this<Engine> {
     std::size_t pending_recoveries = 0;
     bool recovery_failed = false;
     std::vector<std::string> lost_files;
+    /// CEs earlier attempts landed on (oldest first) — the placement
+    /// policy's avoid-set input for retries and timeout clones.
+    std::vector<std::string> tried_ces;
   };
 
   /// Producer record for one logical file: the provenance chain carries no
@@ -264,6 +268,9 @@ class Engine : public std::enable_shared_from_this<Engine> {
   std::vector<std::weak_ptr<Submission>> outstanding_;
   std::uint64_t next_submission_id_ = 1;
   std::size_t tuples_in_flight_ = 0;  // across all unresolved submissions
+  /// Retry/clone placement policy, constructed from policy_.placement when
+  /// named (null = `rematch`: no avoidance, the historical behavior).
+  std::unique_ptr<policy::PlacementPolicy> placement_;
   /// Lineage ledger: logical file name -> producer record, populated as
   /// ref-carrying outputs are delivered (recovery enabled only).
   std::map<std::string, Lineage> lineage_;

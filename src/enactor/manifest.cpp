@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "policy/registry.hpp"
 #include "util/error.hpp"
 #include "workflow/scufl.hpp"
 
@@ -58,6 +59,12 @@ void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
   }
   if (policy.cache) node.set_attribute("cache", "true");
   if (policy.data_aware) node.set_attribute("dataAware", "true");
+  if (!policy.matchmaking.empty()) node.set_attribute("matchmaking", policy.matchmaking);
+  if (!policy.placement.empty()) node.set_attribute("placement", policy.placement);
+  if (!policy.replica_policy.empty()) {
+    node.set_attribute("replicaPolicy", policy.replica_policy);
+  }
+  if (!policy.admission.empty()) node.set_attribute("admission", policy.admission);
 }
 
 EnactmentPolicy read_policy(const xml::Node& node) {
@@ -103,6 +110,22 @@ EnactmentPolicy read_policy(const xml::Node& node) {
   }
   if (const auto aware = node.attribute("dataAware")) {
     policy.data_aware = *aware == "true" || *aware == "1";
+  }
+  const policy::PolicyRegistry& registry = policy::PolicyRegistry::instance();
+  if (const auto matchmaking = node.attribute("matchmaking")) {
+    policy.matchmaking =
+        registry.check_matchmaking(*matchmaking, "policy matchmaking attribute");
+  }
+  if (const auto placement = node.attribute("placement")) {
+    policy.placement = registry.check_placement(*placement, "policy placement attribute");
+  }
+  if (const auto replica = node.attribute("replicaPolicy")) {
+    policy.replica_policy =
+        registry.check_replica(*replica, "policy replicaPolicy attribute");
+  }
+  if (const auto admission = node.attribute("admission")) {
+    policy.admission =
+        registry.check_admission(*admission, "policy admission attribute");
   }
   if (const auto window = node.attribute("breakerWindow")) {
     policy.breaker.enabled = true;

@@ -116,6 +116,17 @@ struct EnactmentPolicy {
   /// ignores it. Off by default.
   bool data_aware = false;
 
+  /// Named decision policies from the PolicyRegistry; empty = inherit the
+  /// next level's default (run > service > grid). `matchmaking` rides each
+  /// submission into the broker; `placement` steers retry/speculative-clone
+  /// targets inside the engine; `replica_policy` and `admission` are
+  /// consumed by whoever builds the grid backend / admission gate (the CLI,
+  /// RunService, benches).
+  std::string matchmaking;
+  std::string placement;
+  std::string replica_policy;
+  std::string admission;
+
   /// Lineage recovery: when a submission fails with kDataLost (no replica
   /// of a required input survives), walk the recorded lineage and re-fire
   /// the producer invocation(s) to regenerate the file, then resubmit the

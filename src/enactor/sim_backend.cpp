@@ -15,6 +15,13 @@ namespace moteur::enactor {
 void SimGridBackend::execute(std::shared_ptr<services::Service> service,
                              std::vector<services::Inputs> bindings,
                              Callback on_complete) {
+  execute(std::move(service), std::move(bindings), ExecOptions{},
+          std::move(on_complete));
+}
+
+void SimGridBackend::execute(std::shared_ptr<services::Service> service,
+                             std::vector<services::Inputs> bindings,
+                             ExecOptions options, Callback on_complete) {
   MOTEUR_REQUIRE(!bindings.empty(), InternalError, "execute with no bindings");
 
   // One grid job for the whole batch: compute accumulates, transfers
@@ -84,6 +91,16 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
   if (bindings.size() > 1) {
     request.name += "[x" + std::to_string(bindings.size()) + "]";
   }
+  request.matchmaking = std::move(options.matchmaking);
+  request.avoid_ces = std::move(options.avoid_ces);
+  if (metrics_ != nullptr && !options.placement.empty() &&
+      !request.avoid_ces.empty()) {
+    metrics_
+        ->counter("moteur_policy_decisions_total",
+                  "Policy decisions by policy name and decision kind",
+                  {{"policy", options.placement}, {"kind", "placement"}})
+        .inc();
+  }
 
   ++jobs_submitted_;
   ++in_flight_;
@@ -135,14 +152,25 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
           if (digested && !result.outputs.empty()) {
             const double mb_per_output =
                 output_mb_per_binding[i] / static_cast<double>(result.outputs.size());
-            const std::string& se = grid_.close_storage_name(record.computing_element);
+            const std::vector<std::string> targets =
+                grid_.replica_targets(record.computing_element);
             for (auto& [port, value] : result.outputs) {
               const std::uint64_t digest =
                   data::derived_digest(service_digest, port, input_digests);
               const std::string lfn = "lfn://" + data::digest_hex(digest);
-              catalog_->register_replica(lfn, se, mb_per_output);
+              for (const std::string& se : targets) {
+                catalog_->register_replica(lfn, se, mb_per_output);
+              }
               value.ref = std::make_shared<const data::DataRef>(
                   data::DataRef{lfn, mb_per_output, digest});
+            }
+            if (metrics_ != nullptr) {
+              metrics_
+                  ->counter("moteur_policy_decisions_total",
+                            "Policy decisions by policy name and decision kind",
+                            {{"policy", grid_.config().replica_policy},
+                             {"kind", "replica"}})
+                  .inc();
             }
           }
         }

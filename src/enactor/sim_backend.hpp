@@ -24,6 +24,13 @@ class SimGridBackend : public ExecutionBackend {
   void execute(std::shared_ptr<services::Service> service,
                std::vector<services::Inputs> bindings, Callback on_complete) override;
 
+  /// Policy-hinted overload: the matchmaking name and avoid set ride the
+  /// JobRequest into the broker; the placement name feeds the decision
+  /// counters.
+  void execute(std::shared_ptr<services::Service> service,
+               std::vector<services::Inputs> bindings, ExecOptions options,
+               Callback on_complete) override;
+
   double now() const override { return grid_.simulator().now(); }
 
   TimerId schedule(double delay_seconds, std::function<void()> fn) override;
@@ -31,9 +38,13 @@ class SimGridBackend : public ExecutionBackend {
 
   bool drive(const std::function<bool()>& done) override;
 
-  /// Feeds per-CE grid-job tallies and queue-wait histograms into `metrics`
-  /// (all recording happens inside drive(), on the simulation thread).
-  void set_metrics(obs::MetricsRegistry* metrics) override { metrics_ = metrics; }
+  /// Feeds per-CE grid-job tallies, queue-wait histograms, and (via the
+  /// grid) per-policy decision counters into `metrics` (all recording
+  /// happens inside drive(), on the simulation thread).
+  void set_metrics(obs::MetricsRegistry* metrics) override {
+    metrics_ = metrics;
+    grid_.set_metrics(metrics);
+  }
 
   /// Hands the health ledger to the grid's resource broker, which excludes
   /// open-breaker CEs during matchmaking.

@@ -132,6 +132,14 @@ struct GridConfig {
   /// on top of their queue estimate (off = blind matchmaking, bit-identical
   /// to the pre-data-plane broker).
   bool data_aware_matchmaking = false;
+  /// Grid-default MatchmakingPolicy name (PolicyRegistry). Jobs may override
+  /// per submission via JobRequest::matchmaking. `queue-rank` is the
+  /// historical ranking and stays bit-identical to the pre-policy broker.
+  std::string matchmaking_policy = "queue-rank";
+  /// ReplicaPolicy name governing where fresh replicas are registered and
+  /// which copy stage-in probes first. `close-se` is the historical
+  /// behavior (register and probe at the producing CE's close SE).
+  std::string replica_policy = "close-se";
 
   /// Deterministic downtime windows for the implicit default SE ("se0");
   /// named SEs carry their own on StorageElementConfig::outages.

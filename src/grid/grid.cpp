@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "policy/registry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -85,6 +87,10 @@ Grid::Grid(sim::Simulator& simulator, GridConfig config)
       }
     }
   }
+  for (const auto& [se_name, se] : storage_by_name_) storage_names_.push_back(se_name);
+  broker_.set_default_matchmaking(config_.matchmaking_policy);
+  replica_policy_ = policy::PolicyRegistry::instance().make_replica(
+      config_.replica_policy.empty() ? policy::kDefaultReplica : config_.replica_policy);
   for (const auto& ce_config : config_.computing_elements) {
     auto close = storage_by_name_.find(ce_config.close_storage_element);
     close_storage_[ce_config.name] =
@@ -139,8 +145,9 @@ void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
     simulator_.schedule(ui_seconds, [this, job] {
       ui_.release();
       ResourceBroker::StageInEstimator stage_in;
-      if (catalog_ != nullptr && config_.data_aware_matchmaking &&
-          !job->request.input_refs.empty()) {
+      if (catalog_ != nullptr && !job->request.input_refs.empty() &&
+          (config_.data_aware_matchmaking ||
+           broker_.policy_wants_stage_in(job->request.matchmaking))) {
         stage_in = [this, job](const ComputingElement& ce) {
           return stage_in_estimate_seconds(job->request, ce.name());
         };
@@ -152,9 +159,20 @@ void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
             job->record.computing_element = ce.name();
             enter_site(job, ce);
           },
-          std::move(stage_in));
+          std::move(stage_in),
+          {job->request.matchmaking, job->request.avoid_ces});
     });
   });
+}
+
+void Grid::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  broker_.set_metrics(metrics);
+}
+
+std::vector<std::string> Grid::replica_targets(const std::string& ce_name) {
+  return replica_policy_->placement_targets(close_storage_name(ce_name),
+                                            storage_names_);
 }
 
 StorageElement& Grid::close_storage(const std::string& ce_name) {
@@ -223,15 +241,13 @@ Grid::StageResolution Grid::resolve_stage_in(const JobRequest& request,
       }
       continue;
     }
-    // Candidate replicas, cheapest first: the close SE's copy, then the
-    // rest in registration order. Each candidate is probed in turn — down
-    // SEs are skipped, lost and corrupt copies are invalidated — until one
-    // survives or the file is declared lost.
+    // Candidate replicas in the ReplicaPolicy's preference order (default
+    // `close-se`: the close SE's copy first, then the rest in registration
+    // order). Each candidate is probed in turn — down SEs are skipped, lost
+    // and corrupt copies are invalidated — until one survives or the file
+    // is declared lost.
     std::vector<std::string> candidates = catalog_->locate(ref.logical_name);
-    auto close_pos = std::find(candidates.begin(), candidates.end(), se_name);
-    if (close_pos != candidates.end() && close_pos != candidates.begin()) {
-      std::rotate(candidates.begin(), close_pos, close_pos + 1);
-    }
+    replica_policy_->probe_order(candidates, se_name);
     const double now = simulator_.now();
     bool staged = false;
     int skipped = 0;
@@ -432,11 +448,20 @@ void Grid::finish(const std::shared_ptr<PendingJob>& job, JobState final_state) 
     stats_.overhead_seconds.add(job->record.overhead_seconds());
     stats_.total_seconds.add(job->record.total_seconds());
     if (catalog_ != nullptr && !job->request.input_refs.empty()) {
-      // After a successful stage-in the close SE holds a copy of every input
-      // file: register the replicas so later jobs can be placed next to them.
-      const std::string& se_name = close_storage_name(job->record.computing_element);
-      for (const auto& ref : job->request.input_refs) {
-        catalog_->register_replica(ref.logical_name, se_name, ref.megabytes);
+      // After a successful stage-in the staging SE holds a copy of every
+      // input file: register replicas on the ReplicaPolicy's targets (the
+      // close SE by default) so later jobs can be placed next to them.
+      for (const std::string& se_name : replica_targets(job->record.computing_element)) {
+        for (const auto& ref : job->request.input_refs) {
+          catalog_->register_replica(ref.logical_name, se_name, ref.megabytes);
+        }
+      }
+      if (metrics_ != nullptr) {
+        metrics_
+            ->counter("moteur_policy_decisions_total",
+                      "Policy decisions by policy name and decision kind",
+                      {{"policy", replica_policy_->name()}, {"kind", "replica"}})
+            .inc();
       }
     }
   } else {

@@ -13,9 +13,14 @@
 #include "grid/overhead_model.hpp"
 #include "grid/resource_broker.hpp"
 #include "grid/storage_element.hpp"
+#include "policy/policy.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+
+namespace moteur::obs {
+class MetricsRegistry;
+}
 
 namespace moteur::grid {
 
@@ -56,6 +61,15 @@ class Grid {
   /// bit-identically to the pre-data-plane code.
   void set_catalog(data::ReplicaCatalog* catalog) { catalog_ = catalog; }
   data::ReplicaCatalog* catalog() const { return catalog_; }
+
+  /// Attach (or detach, with nullptr) the metrics registry receiving the
+  /// per-policy decision counters (`moteur_policy_decisions_total`). Not
+  /// owned; record from the drive thread only.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// SEs a fresh replica produced on `ce_name` should be registered on,
+  /// per the grid's ReplicaPolicy (default `close-se`: the CE's close SE).
+  std::vector<std::string> replica_targets(const std::string& ce_name);
 
   /// The StorageElement a CE stages through (the default SE when the site
   /// does not name one).
@@ -137,6 +151,10 @@ class Grid {
   std::vector<std::unique_ptr<StorageElement>> extra_storage_;
   std::map<std::string, StorageElement*> storage_by_name_;
   std::map<std::string, StorageElement*> close_storage_;  // CE name -> SE
+  /// Every SE name in deterministic (map) order, for replica placement.
+  std::vector<std::string> storage_names_;
+  std::unique_ptr<policy::ReplicaPolicy> replica_policy_;
+  obs::MetricsRegistry* metrics_ = nullptr;               // not owned
   data::ReplicaCatalog* catalog_ = nullptr;               // not owned
   std::unique_ptr<BackgroundLoad> background_;
   JobId next_job_id_ = 1;

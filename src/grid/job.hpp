@@ -44,6 +44,11 @@ struct JobRequest {
   double output_megabytes = 0.0;
   /// Per-file stage-in plan (data plane; empty = charge input_megabytes).
   std::vector<DataStageRef> input_refs;
+  /// Matchmaking policy name for this job; empty = the grid's default.
+  std::string matchmaking;
+  /// CE names a placement policy wants this job steered away from
+  /// (advisory — the broker ignores it rather than strand the job).
+  std::vector<std::string> avoid_ces;
 };
 
 /// Full trace of one grid job, including every latency component. All times

@@ -4,6 +4,8 @@
 
 #include "grid/ce_health.hpp"
 #include "grid/overhead_model.hpp"
+#include "obs/metrics.hpp"
+#include "policy/registry.hpp"
 #include "util/error.hpp"
 
 namespace moteur::grid {
@@ -15,7 +17,9 @@ ResourceBroker::ResourceBroker(sim::Simulator& simulator, OverheadModel& overhea
       overhead_(overhead),
       occupancy_fraction_(occupancy_fraction),
       pipeline_(simulator, concurrency),
-      tie_rng_(base.fork("broker.ties")) {}
+      tie_rng_(base.fork("broker.ties")),
+      policy_rng_base_(base.fork("broker.policies")),
+      default_matchmaking_(policy::kDefaultMatchmaking) {}
 
 void ResourceBroker::add_computing_element(std::unique_ptr<ComputingElement> ce) {
   ces_.push_back(std::move(ce));
@@ -25,51 +29,81 @@ void ResourceBroker::remove_health(CeHealth* health) {
   health_.erase(std::remove(health_.begin(), health_.end(), health), health_.end());
 }
 
-ComputingElement& ResourceBroker::match(const StageInEstimator& stage_in) {
+void ResourceBroker::set_default_matchmaking(const std::string& name) {
+  default_matchmaking_ =
+      policy::PolicyRegistry::instance().check_matchmaking(name, "matchmaking policy");
+}
+
+policy::MatchmakingPolicy& ResourceBroker::policy_for(const std::string& name) {
+  const std::string& key = name.empty() ? default_matchmaking_ : name;
+  auto it = policies_.find(key);
+  if (it == policies_.end()) {
+    it = policies_
+             .emplace(key, policy::PolicyRegistry::instance().make_matchmaking(
+                               key, policy_rng_base_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool ResourceBroker::policy_wants_stage_in(const std::string& name) {
+  return policy_for(name).wants_stage_in();
+}
+
+ComputingElement& ResourceBroker::match(const StageInEstimator& stage_in,
+                                        const MatchContext& context) {
   MOTEUR_REQUIRE(!ces_.empty(), ExecutionError, "resource broker has no computing elements");
   const double now = simulator_.now();
   const auto admissible = [&](const std::string& name) {
     return std::all_of(health_.begin(), health_.end(),
                        [&](CeHealth* h) { return h->admissible(name, now); });
   };
-  const auto effective_rank = [&](const ComputingElement& ce) {
-    return ce.rank_estimate() + (stage_in ? stage_in(ce) : 0.0);
+  const auto avoided = [&](const std::string& name) {
+    return std::find(context.avoid.begin(), context.avoid.end(), name) !=
+           context.avoid.end();
   };
+  // Candidate pool in registration order. Health vetoes drive the rerouting
+  // accounting; placement avoidance just narrows the pool and never counts
+  // as a reroute.
   bool excluded_any = false;
-  double best_rank = 0.0;
-  std::vector<ComputingElement*> best;
+  std::vector<ComputingElement*> pool;
   for (const auto& ce : ces_) {
     if (!admissible(ce->name())) {
       excluded_any = true;
       continue;
     }
-    const double rank = effective_rank(*ce);
-    if (best.empty() || rank < best_rank) {
-      best_rank = rank;
-      best = {ce.get()};
-    } else if (rank == best_rank) {
-      best.push_back(ce.get());
+    if (!context.avoid.empty() && avoided(ce->name())) continue;
+    pool.push_back(ce.get());
+  }
+  if (pool.empty() && !context.avoid.empty()) {
+    // Avoidance covered every healthy CE: drop the advisory constraint.
+    for (const auto& ce : ces_) {
+      if (admissible(ce->name())) pool.push_back(ce.get());
     }
   }
-  if (best.empty()) {
+  if (pool.empty()) {
     // Every breaker is open (or half-open): degrade to ranking the full set
     // rather than stranding the submission.
     excluded_any = false;
-    for (const auto& ce : ces_) {
-      const double rank = effective_rank(*ce);
-      if (best.empty() || rank < best_rank) {
-        best_rank = rank;
-        best = {ce.get()};
-      } else if (rank == best_rank) {
-        best.push_back(ce.get());
-      }
-    }
+    for (const auto& ce : ces_) pool.push_back(ce.get());
   }
-  ComputingElement* chosen = best.front();
-  if (best.size() > 1) {
-    const auto pick = static_cast<std::size_t>(
-        tie_rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
-    chosen = best[pick];
+  std::vector<policy::CeCandidate> candidates;
+  candidates.reserve(pool.size());
+  for (ComputingElement* ce : pool) {
+    candidates.push_back(
+        {ce->name(), ce->rank_estimate(), stage_in ? stage_in(*ce) : 0.0});
+  }
+  policy::MatchmakingPolicy& policy = policy_for(context.policy);
+  const std::size_t pick = policy.choose(candidates, tie_rng_);
+  MOTEUR_REQUIRE(pick < pool.size(), InternalError,
+                 "matchmaking policy '" + policy.name() + "' chose out of range");
+  ComputingElement* chosen = pool[pick];
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("moteur_policy_decisions_total",
+                  "Policy decisions by policy name and decision kind",
+                  {{"policy", policy.name()}, {"kind", "matchmaking"}})
+        .inc();
   }
   for (CeHealth* h : health_) {
     if (excluded_any) h->note_rerouted(now);
@@ -79,7 +113,7 @@ ComputingElement& ResourceBroker::match(const StageInEstimator& stage_in) {
 }
 
 void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched,
-                            StageInEstimator stage_in) {
+                            StageInEstimator stage_in, MatchContext context) {
   // The submission occupies a pipeline slot for a fraction of the UI->RB
   // latency (the broker's actual processing); the rest of the latency and
   // the matchmaking delay do not hold the slot. Submission bursts beyond
@@ -87,17 +121,20 @@ void ResourceBroker::submit(std::function<void(ComputingElement&)> on_matched,
   // middleware services" the paper observes — without the full latency
   // serializing.
   pipeline_.acquire([this, on_matched = std::move(on_matched),
-                     stage_in = std::move(stage_in)]() mutable {
+                     stage_in = std::move(stage_in),
+                     context = std::move(context)]() mutable {
     const double submission = overhead_.sample_submission();
     const double occupancy = occupancy_fraction_ * submission;
     simulator_.schedule(occupancy, [this, submission, occupancy,
                                     on_matched = std::move(on_matched),
-                                    stage_in = std::move(stage_in)]() mutable {
+                                    stage_in = std::move(stage_in),
+                                    context = std::move(context)]() mutable {
       pipeline_.release();
       const double remaining = submission - occupancy + overhead_.sample_scheduling();
       simulator_.schedule(remaining, [this, on_matched = std::move(on_matched),
-                                      stage_in = std::move(stage_in)] {
-        on_matched(match(stage_in));
+                                      stage_in = std::move(stage_in),
+                                      context = std::move(context)] {
+        on_matched(match(stage_in, context));
       });
     });
   });

@@ -1,13 +1,20 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "grid/computing_element.hpp"
+#include "policy/policy.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+
+namespace moteur::obs {
+class MetricsRegistry;
+}
 
 namespace moteur::grid {
 
@@ -16,8 +23,10 @@ class OverheadModel;
 
 /// The LCG2-style central Resource Broker: all submissions funnel through it.
 /// It serializes matchmaking through a bounded pipeline (so middleware load
-/// grows overhead, as observed in the paper) and ranks computing elements by
-/// estimated response time at match instant.
+/// grows overhead, as observed in the paper) and delegates CE ranking to a
+/// named MatchmakingPolicy from the PolicyRegistry (default `queue-rank`:
+/// estimated response time at match instant, bit-identical to the
+/// pre-policy-engine broker).
 class ResourceBroker {
  public:
   ResourceBroker(sim::Simulator& simulator, OverheadModel& overhead,
@@ -29,23 +38,42 @@ class ResourceBroker {
   /// and identical tie-break RNG draws to the pre-data-plane broker).
   using StageInEstimator = std::function<double(const ComputingElement&)>;
 
+  /// Per-submission matchmaking knobs. `policy` empty = broker default;
+  /// `avoid` lists CE names a placement policy wants this attempt steered
+  /// away from (advisory — ignored when it would strand the submission).
+  struct MatchContext {
+    std::string policy;
+    std::vector<std::string> avoid;
+  };
+
   void add_computing_element(std::unique_ptr<ComputingElement> ce);
 
   /// Accept a submission; `on_matched(ce)` fires once matchmaking finishes
   /// and a destination CE is chosen.
   void submit(std::function<void(ComputingElement&)> on_matched,
-              StageInEstimator stage_in = nullptr);
+              StageInEstimator stage_in = nullptr, MatchContext context = {});
 
   const std::vector<std::unique_ptr<ComputingElement>>& computing_elements() const {
     return ces_;
   }
 
-  /// Pick the best-ranked CE right now (ties broken uniformly at random).
+  /// Pick the winning CE right now via the selected matchmaking policy.
   /// With health ledgers attached, CEs vetoed by ANY ledger are excluded
   /// (half-open probes admitted per CeHealth); if every CE is excluded the
   /// full set is used, so submissions never starve. With a stage-in
-  /// estimator, the effective rank is queue estimate + stage-in seconds.
-  ComputingElement& match(const StageInEstimator& stage_in = nullptr);
+  /// estimator, candidates carry queue estimate + stage-in seconds.
+  ComputingElement& match(const StageInEstimator& stage_in = nullptr,
+                          const MatchContext& context = {});
+
+  /// Grid-level default matchmaking policy (validated against the registry).
+  void set_default_matchmaking(const std::string& name);
+  const std::string& default_matchmaking() const { return default_matchmaking_; }
+
+  /// Whether the named policy (empty = default) ranks on stage-in estimates.
+  bool policy_wants_stage_in(const std::string& name);
+
+  /// Per-policy decision counters land here when attached. Not owned.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Attach (or detach, with nullptr) the per-CE circuit-breaker ledger
   /// consulted during matchmaking, displacing any ledgers already attached.
@@ -67,11 +95,17 @@ class ResourceBroker {
   void remove_health(CeHealth* health);
 
  private:
+  policy::MatchmakingPolicy& policy_for(const std::string& name);
+
   sim::Simulator& simulator_;
   OverheadModel& overhead_;
   double occupancy_fraction_;
   sim::Resource pipeline_;
   Rng tie_rng_;
+  Rng policy_rng_base_;
+  std::string default_matchmaking_;
+  std::map<std::string, std::unique_ptr<policy::MatchmakingPolicy>> policies_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned
   std::vector<std::unique_ptr<ComputingElement>> ces_;
   std::vector<CeHealth*> health_;  // not owned
 };

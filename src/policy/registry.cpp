@@ -1,0 +1,415 @@
+#include "policy/registry.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace moteur::policy {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matchmaking built-ins
+
+/// The historical broker ranking: queue estimate plus whatever stage-in
+/// estimate the caller supplied (zero when matchmaking blind), exact-tie
+/// break drawn from the broker's tie stream only when more than one CE
+/// shares the best rank. This must replay the pre-policy-engine decision
+/// sequence bit for bit.
+class QueueRankPolicy : public MatchmakingPolicy {
+ public:
+  explicit QueueRankPolicy(std::string name = kDefaultMatchmaking)
+      : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::size_t choose(const std::vector<CeCandidate>& candidates,
+                     Rng& tie_rng) override {
+    double best_rank = 0.0;
+    std::vector<std::size_t> best;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double rank = candidates[i].queue_rank + candidates[i].stage_in_seconds;
+      if (best.empty() || rank < best_rank) {
+        best_rank = rank;
+        best = {i};
+      } else if (rank == best_rank) {
+        best.push_back(i);
+      }
+    }
+    if (best.size() > 1) {
+      const auto pick = static_cast<std::size_t>(
+          tie_rng.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
+      return best[pick];
+    }
+    return best.front();
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Same combined ranking as queue-rank, but self-activates the stage-in
+/// estimator: the data-aware matchmaking previously gated behind
+/// GridConfig::data_aware_matchmaking, expressed as a selectable policy.
+class DataGravityPolicy : public QueueRankPolicy {
+ public:
+  DataGravityPolicy() : QueueRankPolicy("data-gravity") {}
+  bool wants_stage_in() const override { return true; }
+};
+
+/// Lexicographic (stage-in seconds, queue rank): data locality dominates,
+/// queue pressure only separates equally-close CEs.
+class LocalityFirstPolicy : public MatchmakingPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  bool wants_stage_in() const override { return true; }
+
+  std::size_t choose(const std::vector<CeCandidate>& candidates,
+                     Rng& tie_rng) override {
+    std::vector<std::size_t> best;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (best.empty()) {
+        best = {i};
+        continue;
+      }
+      const CeCandidate& lead = candidates[best.front()];
+      const CeCandidate& c = candidates[i];
+      if (c.stage_in_seconds < lead.stage_in_seconds ||
+          (c.stage_in_seconds == lead.stage_in_seconds &&
+           c.queue_rank < lead.queue_rank)) {
+        best = {i};
+      } else if (c.stage_in_seconds == lead.stage_in_seconds &&
+                 c.queue_rank == lead.queue_rank) {
+        best.push_back(i);
+      }
+    }
+    if (best.size() > 1) {
+      const auto pick = static_cast<std::size_t>(
+          tie_rng.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1));
+      return best[pick];
+    }
+    return best.front();
+  }
+
+ private:
+  std::string name_ = "locality-first";
+};
+
+/// Power-of-two-choices: sample two distinct candidates from a private
+/// deterministic substream and keep the better-ranked one. Never touches
+/// the broker tie stream, so enabling it for one run cannot perturb the
+/// draw sequence of concurrent default-policy runs.
+class KChoicesPolicy : public MatchmakingPolicy {
+ public:
+  explicit KChoicesPolicy(const Rng& base) : rng_(base.fork("k-choices")) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::size_t choose(const std::vector<CeCandidate>& candidates,
+                     Rng& /*tie_rng*/) override {
+    const std::size_t n = candidates.size();
+    if (n == 1) return 0;
+    const auto first = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto second = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (second >= first) ++second;
+    const auto rank = [&](std::size_t i) {
+      return candidates[i].queue_rank + candidates[i].stage_in_seconds;
+    };
+    return rank(second) < rank(first) ? second : first;
+  }
+
+ private:
+  std::string name_ = "k-choices";
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Placement built-ins
+
+/// The historical behavior: every attempt re-enters ordinary matchmaking
+/// with no avoidance constraint.
+class RematchPolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  std::vector<std::string> avoid(const PlacementContext&) override { return {}; }
+
+ private:
+  std::string name_ = kDefaultPlacement;
+};
+
+/// Steer retries away from the CE the immediately previous attempt ran on.
+class AvoidPreviousPolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::string> avoid(const PlacementContext& ctx) override {
+    if (ctx.tried_ces == nullptr || ctx.tried_ces->empty()) return {};
+    return {ctx.tried_ces->back()};
+  }
+
+ private:
+  std::string name_ = "avoid-previous";
+};
+
+/// Steer retries away from every CE earlier attempts already touched.
+class SpreadPolicy : public PlacementPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::string> avoid(const PlacementContext& ctx) override {
+    if (ctx.tried_ces == nullptr) return {};
+    return *ctx.tried_ces;
+  }
+
+ private:
+  std::string name_ = "spread";
+};
+
+// ---------------------------------------------------------------------------
+// Replica built-ins
+
+/// The historical behavior: register fresh replicas on the producer's close
+/// SE only, and probe the close SE first on stage-in (rotating it to the
+/// front of the registration-ordered candidate list).
+class CloseSePolicy : public ReplicaPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::string> placement_targets(
+      const std::string& close_se, const std::vector<std::string>&) override {
+    return {close_se};
+  }
+
+  void probe_order(std::vector<std::string>& candidates,
+                   const std::string& close_se) override {
+    const auto close_pos = std::find(candidates.begin(), candidates.end(), close_se);
+    if (close_pos != candidates.end() && close_pos != candidates.begin()) {
+      std::rotate(candidates.begin(), close_pos, close_pos + 1);
+    }
+  }
+
+ private:
+  std::string name_ = kDefaultReplica;
+};
+
+/// Register fresh replicas on every SE (close SE included), trading
+/// transfer volume at write time for locality on every later read.
+class BroadcastPolicy : public ReplicaPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::string> placement_targets(
+      const std::string& close_se,
+      const std::vector<std::string>& all_ses) override {
+    if (all_ses.empty()) return {close_se};
+    return all_ses;
+  }
+
+  void probe_order(std::vector<std::string>& candidates,
+                   const std::string& close_se) override {
+    const auto close_pos = std::find(candidates.begin(), candidates.end(), close_se);
+    if (close_pos != candidates.end() && close_pos != candidates.begin()) {
+      std::rotate(candidates.begin(), close_pos, close_pos + 1);
+    }
+  }
+
+ private:
+  std::string name_ = "broadcast";
+};
+
+// ---------------------------------------------------------------------------
+// Admission built-ins
+
+/// The historical behavior: grant each run the WRR share it asked for.
+class WeightedAdmission : public AdmissionPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  std::size_t weight(const std::string&, std::size_t requested) override {
+    return requested;
+  }
+
+ private:
+  std::string name_ = kDefaultAdmission;
+};
+
+/// Ignore requested weights: every run gets one grant per gate visit.
+class RoundRobinAdmission : public AdmissionPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  std::size_t weight(const std::string&, std::size_t) override { return 1; }
+
+ private:
+  std::string name_ = "round-robin";
+};
+
+// ---------------------------------------------------------------------------
+
+std::string known(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+PolicyRegistry::PolicyRegistry() {
+  register_matchmaking(kDefaultMatchmaking, [](const Rng&) {
+    return std::make_unique<QueueRankPolicy>();
+  });
+  register_matchmaking("data-gravity", [](const Rng&) {
+    return std::make_unique<DataGravityPolicy>();
+  });
+  register_matchmaking("locality-first", [](const Rng&) {
+    return std::make_unique<LocalityFirstPolicy>();
+  });
+  register_matchmaking("k-choices", [](const Rng& base) {
+    return std::make_unique<KChoicesPolicy>(base);
+  });
+
+  register_placement(kDefaultPlacement,
+                     [] { return std::make_unique<RematchPolicy>(); });
+  register_placement("avoid-previous",
+                     [] { return std::make_unique<AvoidPreviousPolicy>(); });
+  register_placement("spread", [] { return std::make_unique<SpreadPolicy>(); });
+
+  register_replica(kDefaultReplica, [] { return std::make_unique<CloseSePolicy>(); });
+  register_replica("broadcast", [] { return std::make_unique<BroadcastPolicy>(); });
+
+  register_admission(kDefaultAdmission,
+                     [] { return std::make_unique<WeightedAdmission>(); });
+  register_admission("round-robin",
+                     [] { return std::make_unique<RoundRobinAdmission>(); });
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::register_matchmaking(const std::string& name,
+                                          MatchmakingFactory factory) {
+  matchmaking_[name] = std::move(factory);
+}
+
+void PolicyRegistry::register_placement(const std::string& name,
+                                        PlacementFactory factory) {
+  placement_[name] = std::move(factory);
+}
+
+void PolicyRegistry::register_replica(const std::string& name,
+                                      ReplicaFactory factory) {
+  replica_[name] = std::move(factory);
+}
+
+void PolicyRegistry::register_admission(const std::string& name,
+                                        AdmissionFactory factory) {
+  admission_[name] = std::move(factory);
+}
+
+std::unique_ptr<MatchmakingPolicy> PolicyRegistry::make_matchmaking(
+    const std::string& name, const Rng& base) const {
+  const auto it = matchmaking_.find(name);
+  MOTEUR_REQUIRE(it != matchmaking_.end(), ParseError,
+                 "unknown matchmaking policy '" + name +
+                     "' (known: " + known(matchmaking_names()) + ")");
+  return it->second(base);
+}
+
+std::unique_ptr<PlacementPolicy> PolicyRegistry::make_placement(
+    const std::string& name) const {
+  const auto it = placement_.find(name);
+  MOTEUR_REQUIRE(it != placement_.end(), ParseError,
+                 "unknown placement policy '" + name +
+                     "' (known: " + known(placement_names()) + ")");
+  return it->second();
+}
+
+std::unique_ptr<ReplicaPolicy> PolicyRegistry::make_replica(
+    const std::string& name) const {
+  const auto it = replica_.find(name);
+  MOTEUR_REQUIRE(it != replica_.end(), ParseError,
+                 "unknown replica policy '" + name +
+                     "' (known: " + known(replica_names()) + ")");
+  return it->second();
+}
+
+std::unique_ptr<AdmissionPolicy> PolicyRegistry::make_admission(
+    const std::string& name) const {
+  const auto it = admission_.find(name);
+  MOTEUR_REQUIRE(it != admission_.end(), ParseError,
+                 "unknown admission policy '" + name +
+                     "' (known: " + known(admission_names()) + ")");
+  return it->second();
+}
+
+const std::string& PolicyRegistry::check_matchmaking(const std::string& name,
+                                                     const std::string& flag) const {
+  MOTEUR_REQUIRE(matchmaking_.count(name) != 0, ParseError,
+                 flag + " names unknown matchmaking policy '" + name +
+                     "' (known: " + known(matchmaking_names()) + ")");
+  return name;
+}
+
+const std::string& PolicyRegistry::check_placement(const std::string& name,
+                                                   const std::string& flag) const {
+  MOTEUR_REQUIRE(placement_.count(name) != 0, ParseError,
+                 flag + " names unknown placement policy '" + name +
+                     "' (known: " + known(placement_names()) + ")");
+  return name;
+}
+
+const std::string& PolicyRegistry::check_replica(const std::string& name,
+                                                 const std::string& flag) const {
+  MOTEUR_REQUIRE(replica_.count(name) != 0, ParseError,
+                 flag + " names unknown replica policy '" + name +
+                     "' (known: " + known(replica_names()) + ")");
+  return name;
+}
+
+const std::string& PolicyRegistry::check_admission(const std::string& name,
+                                                   const std::string& flag) const {
+  MOTEUR_REQUIRE(admission_.count(name) != 0, ParseError,
+                 flag + " names unknown admission policy '" + name +
+                     "' (known: " + known(admission_names()) + ")");
+  return name;
+}
+
+bool PolicyRegistry::matchmaking_wants_stage_in(const std::string& name) const {
+  const Rng probe(0);
+  return make_matchmaking(name, probe)->wants_stage_in();
+}
+
+std::vector<std::string> PolicyRegistry::matchmaking_names() const {
+  std::vector<std::string> names;
+  names.reserve(matchmaking_.size());
+  for (const auto& [name, factory] : matchmaking_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::placement_names() const {
+  std::vector<std::string> names;
+  names.reserve(placement_.size());
+  for (const auto& [name, factory] : placement_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::replica_names() const {
+  std::vector<std::string> names;
+  names.reserve(replica_.size());
+  for (const auto& [name, factory] : replica_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::admission_names() const {
+  std::vector<std::string> names;
+  names.reserve(admission_.size());
+  for (const auto& [name, factory] : admission_) names.push_back(name);
+  return names;
+}
+
+}  // namespace moteur::policy

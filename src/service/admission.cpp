@@ -7,11 +7,25 @@
 
 namespace moteur::service {
 
-void AdmissionGate::register_run(const std::string& run_id, std::size_t weight) {
+policy::AdmissionPolicy& AdmissionGate::policy_for(const std::string& name) {
+  const std::string& key = name.empty() ? config_.policy : name;
+  auto it = policies_.find(key);
+  if (it == policies_.end()) {
+    it = policies_.emplace(key, policy::PolicyRegistry::instance().make_admission(key))
+             .first;
+  }
+  return *it->second;
+}
+
+void AdmissionGate::register_run(const std::string& run_id, std::size_t weight,
+                                 const std::string& policy_override) {
   MOTEUR_REQUIRE(runs_.find(run_id) == runs_.end(), InternalError,
                  "admission gate: run '" + run_id + "' registered twice");
   RunQueue rq;
-  rq.weight = weight == 0 ? 1 : weight;
+  policy::AdmissionPolicy& policy = policy_for(policy_override);
+  rq.policy = policy.name();
+  const std::size_t effective = policy.weight(run_id, weight);
+  rq.weight = effective == 0 ? 1 : effective;
   runs_.emplace(run_id, std::move(rq));
   order_.push_back(run_id);
 }
@@ -54,6 +68,7 @@ void AdmissionGate::fail_cancelled(Pending pending) {
 void AdmissionGate::execute(const std::string& run_id,
                             std::shared_ptr<services::Service> svc,
                             std::vector<services::Inputs> bindings,
+                            enactor::ExecOptions options,
                             enactor::ExecutionBackend::Callback on_complete) {
   const auto it = runs_.find(run_id);
   MOTEUR_REQUIRE(it != runs_.end(), InternalError,
@@ -61,8 +76,10 @@ void AdmissionGate::execute(const std::string& run_id,
   Pending pending;
   pending.service = std::move(svc);
   pending.bindings = std::move(bindings);
+  pending.options = std::move(options);
   pending.on_complete = std::move(on_complete);
   pending.enqueued_at = backend_.now();
+  pending.policy = it->second.policy;
   if (it->second.cancelled) {
     fail_cancelled(std::move(pending));
     return;
@@ -90,9 +107,9 @@ void AdmissionGate::pump() {
 
 void AdmissionGate::launch(Pending pending) {
   ++inflight_;
-  if (on_grant_) on_grant_(backend_.now() - pending.enqueued_at);
+  if (on_grant_) on_grant_(backend_.now() - pending.enqueued_at, pending.policy);
   backend_.execute(
-      std::move(pending.service), std::move(pending.bindings),
+      std::move(pending.service), std::move(pending.bindings), std::move(pending.options),
       [weak = weak_from_this(), cb = std::move(pending.on_complete)](
           enactor::Outcome outcome) mutable {
         // The engine-side callback is itself weak-guarded (see Engine), so

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "enactor/backend.hpp"
+#include "policy/policy.hpp"
+#include "policy/registry.hpp"
 
 namespace moteur::service {
 
@@ -38,13 +40,20 @@ class AdmissionGate : public std::enable_shared_from_this<AdmissionGate> {
     /// Concurrent backend executions across all runs; 0 = unbounded (the
     /// gate then only orders submissions, it never queues them).
     std::size_t max_inflight = 8;
+    /// Default AdmissionPolicy name mapping requested run weights onto
+    /// effective WRR shares (`weighted` = take them as-is, the historical
+    /// behavior; `round-robin` = one grant per visit for every run).
+    std::string policy = policy::kDefaultAdmission;
   };
 
   AdmissionGate(enactor::ExecutionBackend& backend, Config config)
-      : backend_(backend), config_(config) {}
+      : backend_(backend), config_(std::move(config)) {}
 
-  /// Add `run_id` to the WRR visit list. Weight 0 is clamped to 1.
-  void register_run(const std::string& run_id, std::size_t weight);
+  /// Add `run_id` to the WRR visit list with the share the AdmissionPolicy
+  /// derives from `weight` (0 clamped to 1). `policy_override` names a
+  /// per-run AdmissionPolicy; empty uses the gate default.
+  void register_run(const std::string& run_id, std::size_t weight,
+                    const std::string& policy_override = "");
 
   /// Drop `run_id` from the visit list. Its queue must already be empty
   /// (the run finished or was cancelled).
@@ -58,18 +67,21 @@ class AdmissionGate : public std::enable_shared_from_this<AdmissionGate> {
   void cancel_run(const std::string& run_id);
 
   /// Route one submission from `run_id`: launches immediately when capacity
-  /// allows and nothing is queued, else queues for a WRR grant.
+  /// allows and nothing is queued, else queues for a WRR grant. The policy
+  /// hints in `options` ride through to the backend at launch.
   void execute(const std::string& run_id, std::shared_ptr<services::Service> svc,
-               std::vector<services::Inputs> bindings,
+               std::vector<services::Inputs> bindings, enactor::ExecOptions options,
                enactor::ExecutionBackend::Callback on_complete);
 
   std::size_t inflight() const { return inflight_; }
   std::size_t queued() const { return total_queued_; }
 
   /// Observer invoked at each grant with the backend-time the submission
-  /// spent queued in the gate (0 for immediate launches) — feeds the
-  /// service's admission-wait histogram.
-  void set_grant_observer(std::function<void(double wait_seconds)> observer) {
+  /// spent queued in the gate (0 for immediate launches) and the granting
+  /// run's effective AdmissionPolicy name — feeds the service's
+  /// admission-wait histogram and the policy decision counters.
+  void set_grant_observer(
+      std::function<void(double wait_seconds, const std::string& policy)> observer) {
     on_grant_ = std::move(observer);
   }
 
@@ -77,14 +89,20 @@ class AdmissionGate : public std::enable_shared_from_this<AdmissionGate> {
   struct Pending {
     std::shared_ptr<services::Service> service;
     std::vector<services::Inputs> bindings;
+    enactor::ExecOptions options;
     enactor::ExecutionBackend::Callback on_complete;
     double enqueued_at = 0.0;
+    /// Effective AdmissionPolicy name of the submitting run (grant label).
+    std::string policy;
   };
   struct RunQueue {
     std::size_t weight = 1;
     bool cancelled = false;
+    std::string policy = policy::kDefaultAdmission;
     std::deque<Pending> queue;
   };
+
+  policy::AdmissionPolicy& policy_for(const std::string& name);
 
   bool has_capacity() const {
     return config_.max_inflight == 0 || inflight_ < config_.max_inflight;
@@ -102,7 +120,8 @@ class AdmissionGate : public std::enable_shared_from_this<AdmissionGate> {
   std::size_t grants_this_visit_ = 0;
   std::size_t inflight_ = 0;
   std::size_t total_queued_ = 0;
-  std::function<void(double)> on_grant_;
+  std::map<std::string, std::unique_ptr<policy::AdmissionPolicy>> policies_;
+  std::function<void(double, const std::string&)> on_grant_;
 };
 
 }  // namespace moteur::service

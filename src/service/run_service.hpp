@@ -114,6 +114,10 @@ struct RunServiceConfig {
     /// Concurrent backend executions across all active runs (the admission
     /// gates' cap); 0 = unbounded.
     std::size_t max_inflight = 8;
+    /// Default AdmissionPolicy name (PolicyRegistry) mapping requested run
+    /// weights onto WRR shares; runs may override via their
+    /// EnactmentPolicy::admission. `weighted` is the historical behavior.
+    std::string policy = "weighted";
   };
 
   /// Enactment-core sharding: how many engine shards drive the backend and
@@ -154,29 +158,6 @@ struct RunServiceConfig {
   Sharding sharding;
   Defaults defaults;
   Telemetry telemetry;
-
-  // Deprecated flat-field aliases, kept for one release. New code (and all
-  // in-repo code — tier1.sh enforces it) uses the nested members.
-  [[deprecated("use admission.max_active")]] std::size_t& max_active_runs() {
-    return admission.max_active;
-  }
-  [[deprecated("use admission.max_active")]] const std::size_t& max_active_runs() const {
-    return admission.max_active;
-  }
-  [[deprecated("use admission.max_inflight")]] std::size_t& max_inflight_submissions() {
-    return admission.max_inflight;
-  }
-  [[deprecated("use admission.max_inflight")]] const std::size_t& max_inflight_submissions()
-      const {
-    return admission.max_inflight;
-  }
-  [[deprecated("use defaults.policy")]] enactor::EnactmentPolicy& default_policy() {
-    return defaults.policy;
-  }
-  [[deprecated("use defaults.policy")]] const enactor::EnactmentPolicy& default_policy()
-      const {
-    return defaults.policy;
-  }
 };
 
 /// Per-shard enactment tallies, exposed for benchmarks and the tier-1 scale

@@ -27,7 +27,14 @@ class GatedBackend final : public enactor::ExecutionBackend {
 
   void execute(std::shared_ptr<services::Service> svc,
                std::vector<services::Inputs> bindings, Callback on_complete) override {
-    gate_->execute(run_id_, std::move(svc), std::move(bindings), std::move(on_complete));
+    gate_->execute(run_id_, std::move(svc), std::move(bindings), {},
+                   std::move(on_complete));
+  }
+  void execute(std::shared_ptr<services::Service> svc,
+               std::vector<services::Inputs> bindings, enactor::ExecOptions options,
+               Callback on_complete) override {
+    gate_->execute(run_id_, std::move(svc), std::move(bindings), std::move(options),
+                   std::move(on_complete));
   }
   double now() const override { return inner_.now(); }
   TimerId schedule(double delay_seconds, std::function<void()> fn) override {
@@ -170,11 +177,17 @@ EngineShard::EngineShard(std::size_t index, ServiceCore& core,
   // 0 stays 0 (unbounded).
   gate_config.max_inflight =
       total_inflight == 0 ? 0 : std::max<std::size_t>(1, total_inflight / std::max<std::size_t>(1, shards));
+  gate_config.policy = core_.config.admission.policy;
   gate_ = std::make_shared<AdmissionGate>(backend(), gate_config);
-  gate_->set_grant_observer([this](double waited) {
+  gate_->set_grant_observer([this](double waited, const std::string& policy_name) {
     if (core_.recorder == nullptr) return;
     std::lock_guard<std::mutex> lock(core_.obs_mu);
     if (core_.gate_wait != nullptr) core_.gate_wait->observe(waited);
+    core_.recorder->metrics()
+        .counter("moteur_policy_decisions_total",
+                 "Policy decisions by policy name and decision kind",
+                 {{"policy", policy_name}, {"kind", "admission"}})
+        .inc();
   });
   batch_.reserve(obs_batch_);
 }
@@ -356,7 +369,7 @@ bool EngineShard::admit(const RunRecordPtr& rec) {
     std::lock_guard<std::mutex> lock(rec->mu);
     rec->admission_wait = waited;
   }
-  gate_->register_run(rec->id, rec->request.weight);
+  gate_->register_run(rec->id, rec->request.weight, policy.admission);
   rec->gated = std::make_unique<GatedBackend>(backend(), gate_, rec->id);
 
   std::vector<enactor::EventSubscriber> subs;

@@ -40,6 +40,22 @@ std::size_t parse_positive_count(const std::string& text, const std::string& fla
   return value;
 }
 
+std::size_t parse_count(const std::string& text, const std::string& flag) {
+  std::size_t value = 0;
+  if (!to_count(text, value)) {
+    throw ParseError(flag + " must be a non-negative integer (got '" + text + "')");
+  }
+  return value;
+}
+
+double parse_nonnegative_real(const std::string& text, const std::string& flag) {
+  double value = 0.0;
+  if (!to_double(text, value) || value < 0.0) {
+    throw ParseError(flag + " must be a non-negative number (got '" + text + "')");
+  }
+  return value;
+}
+
 double parse_probability(const std::string& text, const std::string& flag) {
   double value = 0.0;
   if (!to_double(text, value) || value < 0.0 || value > 1.0) {

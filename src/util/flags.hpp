@@ -23,6 +23,12 @@ double parse_positive_seconds(const std::string& text, const std::string& flag);
 /// Seconds >= 0 (--telemetry-linger, outage starts).
 double parse_nonnegative_seconds(const std::string& text, const std::string& flag);
 
+/// Integer >= 0 (--max-inflight, where 0 means unbounded).
+std::size_t parse_count(const std::string& text, const std::string& flag);
+
+/// Real number >= 0 (--retry-timeout, where 0 disables the multiplier).
+double parse_nonnegative_real(const std::string& text, const std::string& flag);
+
 /// One scheduled storage-element downtime window from --se-outage.
 struct SeOutageSpec {
   std::string storage_element;

@@ -37,6 +37,7 @@
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
+#include "policy/registry.hpp"
 #include "service/run_service.hpp"
 #include "model/dag.hpp"
 #include "model/makespan.hpp"
@@ -67,6 +68,10 @@ using namespace moteur;
       "             [--failure-policy failfast|continue] [--failure-report OUT.json]\n"
       "             [--breaker-window N] [--breaker-threshold N] [--breaker-cooldown S]\n"
       "             [--cache] [--data-aware] [--cache-stats-out STATS.json]\n"
+      "             [--matchmaking queue-rank|data-gravity|locality-first|k-choices]\n"
+      "             [--placement rematch|avoid-previous|spread]\n"
+      "             [--replica-policy close-se|broadcast]\n"
+      "             [--admission-policy weighted|round-robin]\n"
       "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n"
       "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
       "             [--metrics-out METRICS.prom] [--obs-summary]\n"
@@ -163,10 +168,12 @@ enactor::RunManifest manifest_from_args(const Args& args) {
     manifest.policy.retry.max_attempts = parse_positive_count(*retries, "--retries");
   }
   if (const auto multiplier = args.get("retry-timeout")) {
-    manifest.policy.retry.timeout_multiplier = std::stod(*multiplier);
+    manifest.policy.retry.timeout_multiplier =
+        parse_nonnegative_real(*multiplier, "--retry-timeout");
   }
   if (const auto backoff = args.get("retry-backoff")) {
-    manifest.policy.retry.backoff_initial_seconds = std::stod(*backoff);
+    manifest.policy.retry.backoff_initial_seconds =
+        parse_nonnegative_seconds(*backoff, "--retry-backoff");
   }
   if (const auto failure = args.get("failure-policy")) {
     manifest.policy.failure_policy = enactor::parse_failure_policy(*failure);
@@ -174,20 +181,37 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   // Any breaker knob switches the circuit breakers on.
   if (const auto window = args.get("breaker-window")) {
     manifest.policy.breaker.enabled = true;
-    manifest.policy.breaker.window = static_cast<std::size_t>(std::stoul(*window));
+    manifest.policy.breaker.window = parse_positive_count(*window, "--breaker-window");
   }
   if (const auto threshold = args.get("breaker-threshold")) {
     manifest.policy.breaker.enabled = true;
-    manifest.policy.breaker.threshold = static_cast<std::size_t>(std::stoul(*threshold));
+    manifest.policy.breaker.threshold =
+        parse_positive_count(*threshold, "--breaker-threshold");
   }
   if (const auto cooldown = args.get("breaker-cooldown")) {
     manifest.policy.breaker.enabled = true;
-    manifest.policy.breaker.cooldown_seconds = std::stod(*cooldown);
+    manifest.policy.breaker.cooldown_seconds =
+        parse_positive_seconds(*cooldown, "--breaker-cooldown");
   }
   if (args.has("breaker")) manifest.policy.breaker.enabled = true;
   // Data plane: memoize invocations / rank CEs by stage-in cost.
   if (args.has("cache")) manifest.policy.cache = true;
   if (args.has("data-aware")) manifest.policy.data_aware = true;
+  // Pluggable decision policies; names are validated against the registry
+  // here so a typo fails before the grid is even built.
+  const policy::PolicyRegistry& policies = policy::PolicyRegistry::instance();
+  if (const auto name = args.get("matchmaking")) {
+    manifest.policy.matchmaking = policies.check_matchmaking(*name, "--matchmaking");
+  }
+  if (const auto name = args.get("placement")) {
+    manifest.policy.placement = policies.check_placement(*name, "--placement");
+  }
+  if (const auto name = args.get("replica-policy")) {
+    manifest.policy.replica_policy = policies.check_replica(*name, "--replica-policy");
+  }
+  if (const auto name = args.get("admission-policy")) {
+    manifest.policy.admission = policies.check_admission(*name, "--admission-policy");
+  }
   // Data-plane fault tolerance: lineage recovery is on by default (it is only
   // reachable under SE fault injection); --no-recovery disables it for
   // recovery-off baselines.
@@ -313,10 +337,22 @@ int cmd_run_multi(const Args& args) {
                               grid_config.replica_corruption_probability > 0.0 ||
                               !grid_config.default_se_outages.empty() ||
                               args.has("se-outage");
+  // The first manifest decides the grid's own policy knobs (replica
+  // placement is a grid-wide concern); matchmaking stays per-run through
+  // JobRequest, so here it only decides whether the data plane comes up.
+  if (!manifests.front().policy.matchmaking.empty()) {
+    grid_config.matchmaking_policy = manifests.front().policy.matchmaking;
+  }
+  if (!manifests.front().policy.replica_policy.empty()) {
+    grid_config.replica_policy = manifests.front().policy.replica_policy;
+  }
+  const policy::PolicyRegistry& policies = policy::PolicyRegistry::instance();
   bool data_plane = storage_faults;
   for (auto& manifest : manifests) {
     if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
-    data_plane = data_plane || manifest.policy.cache || manifest.policy.data_aware;
+    data_plane = data_plane || manifest.policy.cache || manifest.policy.data_aware ||
+                 (!manifest.policy.matchmaking.empty() &&
+                  policies.matchmaking_wants_stage_in(manifest.policy.matchmaking));
     if (args.has("no-recovery")) manifest.policy.lineage_recovery = false;
   }
   grid::Grid grid(simulator, grid_config);
@@ -328,10 +364,14 @@ int cmd_run_multi(const Args& args) {
 
   service::RunServiceConfig config;
   if (const auto n = args.get("max-active")) {
-    config.admission.max_active = static_cast<std::size_t>(std::stoul(*n));
+    config.admission.max_active = parse_positive_count(*n, "--max-active");
   }
   if (const auto n = args.get("max-inflight")) {
-    config.admission.max_inflight = static_cast<std::size_t>(std::stoul(*n));
+    // 0 is meaningful here: an unbounded gate.
+    config.admission.max_inflight = parse_count(*n, "--max-inflight");
+  }
+  if (!manifests.front().policy.admission.empty()) {
+    config.admission.policy = manifests.front().policy.admission;
   }
   // The first manifest decides the sharding, like the grid; explicit flags win.
   config.sharding.shards = manifests.front().shards;
@@ -504,6 +544,18 @@ int cmd_run(const Args& args) {
   // Fault-injection knobs: surface failures to the enactor's retry policy.
   apply_fault_flags(args, grid_config);
   if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
+  if (!manifest.policy.matchmaking.empty()) {
+    grid_config.matchmaking_policy = manifest.policy.matchmaking;
+  }
+  if (!manifest.policy.replica_policy.empty()) {
+    grid_config.replica_policy = manifest.policy.replica_policy;
+  }
+  // A stage-in-aware matchmaking policy needs the replica catalog attached,
+  // exactly like --data-aware.
+  const bool stage_in_matchmaking =
+      !manifest.policy.matchmaking.empty() &&
+      policy::PolicyRegistry::instance().matchmaking_wants_stage_in(
+          manifest.policy.matchmaking);
   grid::Grid grid(simulator, grid_config);
   enactor::SimGridBackend backend(grid);
   // Either data-plane feature needs the replica catalog: the cache records
@@ -513,8 +565,8 @@ int cmd_run(const Args& args) {
                               grid_config.replica_corruption_probability > 0.0 ||
                               !grid_config.default_se_outages.empty() ||
                               args.has("se-outage");
-  const bool data_plane =
-      manifest.policy.cache || manifest.policy.data_aware || storage_faults;
+  const bool data_plane = manifest.policy.cache || manifest.policy.data_aware ||
+                          storage_faults || stage_in_matchmaking;
   data::ReplicaCatalog catalog;
   if (data_plane) backend.set_catalog(&catalog);
   enactor::Enactor moteur(backend, registry, manifest.policy);

@@ -321,24 +321,71 @@ fi
 echo "scale smoke OK"
 
 # The flat RunServiceConfig fields were replaced by the nested
-# admission/sharding/defaults groups; the deprecated accessor aliases exist
-# only for out-of-tree callers. Nothing in this repo may use them (the
-# definitions in run_service.hpp and the issue text are the only mentions).
+# admission/sharding/defaults groups; the deprecated accessor aliases have
+# been deleted outright, so nothing in the repo may mention them at all.
 echo "== deprecated-alias guard: no in-repo use of flat RunServiceConfig fields =="
 if grep -rnE 'max_active_runs|max_inflight_submissions|default_policy' \
     --include='*.cpp' --include='*.hpp' --include='*.md' \
     --exclude-dir=build --exclude-dir=build-tsan --exclude-dir=build-asan \
-    src tools tests bench docs examples | grep -v 'src/service/run_service.hpp'; then
+    src tools tests bench docs examples; then
   echo "deprecated RunServiceConfig aliases used in-repo (see matches above)" >&2
   exit 1
 fi
 echo "deprecated-alias guard OK"
 
+# Policy smoke: every built-in matchmaking policy must enact the Bronze
+# Standard cleanly; the default queue-rank timeline must stay byte-identical
+# to the pre-policy-engine golden; the randomized k-choices policy must be
+# seed-stable; the decision counters must land in the metrics snapshot; and
+# unknown policy names must be rejected before the grid is built.
+echo "== policy smoke: pluggable matchmaking on the Bronze Standard =="
+for policy in queue-rank data-gravity locality-first k-choices; do
+  build/tools/moteur_cli run \
+    --manifest examples/data/bronze_run.xml \
+    --services examples/data/bronze_services.xml \
+    --matchmaking "$policy" --csv "$obs_dir/pol_$policy.csv" >/dev/null || {
+    echo "matchmaking policy '$policy' failed to enact the Bronze Standard" >&2
+    exit 1
+  }
+done
+cmp -s tests/golden/bronze_timeline.csv "$obs_dir/pol_queue-rank.csv" || {
+  echo "queue-rank timeline diverged from the pre-policy-engine golden" >&2
+  exit 1
+}
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --matchmaking k-choices --csv "$obs_dir/pol_k2.csv" >/dev/null
+cmp -s "$obs_dir/pol_k-choices.csv" "$obs_dir/pol_k2.csv" || {
+  echo "k-choices produced different timelines across same-seed runs" >&2
+  exit 1
+}
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --matchmaking data-gravity --admission-policy round-robin --runs 2 \
+  --metrics-out "$obs_dir/pol_metrics.prom" >/dev/null
+for kind in matchmaking admission; do
+  grep -q "^moteur_policy_decisions_total{.*kind=\"$kind\"" \
+      "$obs_dir/pol_metrics.prom" || {
+    echo "metrics snapshot misses moteur_policy_decisions_total kind=$kind" >&2
+    exit 1
+  }
+done
+if build/tools/moteur_cli run \
+    --manifest examples/data/bronze_run.xml \
+    --services examples/data/bronze_services.xml \
+    --matchmaking no-such-policy >/dev/null 2>&1; then
+  echo "--matchmaking no-such-policy was accepted" >&2
+  exit 1
+fi
+echo "policy smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry/run-service tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress \
-    test_retry test_run_service test_shard test_telemetry moteur_cli
+    test_retry test_run_service test_shard test_telemetry test_policy moteur_cli
   (cd build-tsan && ctest --output-on-failure -L enactor)
   echo "== TSan multi-tenant smoke: concurrent runs through the RunService =="
   build-tsan/tools/moteur_cli run \
