@@ -19,10 +19,13 @@
 //   bench_scale [--runs N] [--items M] [--stages S] [--threads T]
 //               [--max-active A] [--shards 1,2,4] [--out BENCH_scale.json]
 //               [--assert-speedup]
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +38,25 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "workflow/graph.hpp"
+
+// Global heap-allocation counter. The enactment core is supposed to stay off
+// the allocator on its hot paths (dispatch, completion, closure passes), so the
+// bench reports allocations per invocation alongside throughput — a regression
+// here shows up even when wall time hides behind thread scheduling noise.
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -57,6 +79,8 @@ struct Scenario {
   double seconds = 0.0;
   double runs_per_sec = 0.0;
   std::uint64_t handle_invocations = 0;  // summed over run handles
+  std::uint64_t allocations = 0;         // heap allocations in the timed region
+  double allocs_per_invocation = 0.0;
   double p99_admission_wait = 0.0;
   std::vector<service::ShardStats> shard_stats;
 };
@@ -123,8 +147,10 @@ Scenario run_scenario(const Options& opt, std::size_t shards) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   auto handles = runs.submit_all(std::move(requests));
   runs.wait_idle();
+  const std::uint64_t allocs_after = g_alloc_count.load(std::memory_order_relaxed);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
@@ -133,6 +159,7 @@ Scenario run_scenario(const Options& opt, std::size_t shards) {
   s.shards_effective = runs.shards();
   s.seconds = seconds;
   s.runs_per_sec = seconds > 0.0 ? static_cast<double>(opt.runs) / seconds : 0.0;
+  s.allocations = allocs_after - allocs_before;
   for (const auto& handle : handles) {
     const enactor::EnactmentResult* result = handle.try_result();
     if (result == nullptr) {
@@ -140,6 +167,10 @@ Scenario run_scenario(const Options& opt, std::size_t shards) {
       std::exit(1);
     }
     s.handle_invocations += result->invocations();
+  }
+  if (s.handle_invocations > 0) {
+    s.allocs_per_invocation =
+        static_cast<double>(s.allocations) / static_cast<double>(s.handle_invocations);
   }
   s.shard_stats = runs.shard_stats();
   std::vector<double> waits;
@@ -186,6 +217,8 @@ void write_json(const Options& opt, const std::vector<Scenario>& scenarios) {
     out << (i == 0 ? "\n" : ",\n") << "    {\"shards\": " << s.shards_effective
         << ", \"seconds\": " << s.seconds << ", \"runs_per_sec\": " << s.runs_per_sec
         << ", \"invocations\": " << s.handle_invocations
+        << ", \"allocations\": " << s.allocations
+        << ", \"allocs_per_invocation\": " << s.allocs_per_invocation
         << ", \"p99_admission_wait_seconds\": " << s.p99_admission_wait
         << ",\n     \"shards_detail\": [";
     for (std::size_t k = 0; k < s.shard_stats.size(); ++k) {
@@ -246,9 +279,11 @@ int main(int argc, char** argv) {
     Scenario s = run_scenario(opt, shards);
     ok &= counters_consistent(opt, s);
     std::printf(
-        "shards %zu: %8.2f s  %9.1f runs/s  %10llu invocations  p99 wait %.3f s\n",
+        "shards %zu: %8.2f s  %9.1f runs/s  %10llu invocations  %6.1f allocs/inv  "
+        "p99 wait %.3f s\n",
         s.shards_effective, s.seconds, s.runs_per_sec,
-        static_cast<unsigned long long>(s.handle_invocations), s.p99_admission_wait);
+        static_cast<unsigned long long>(s.handle_invocations), s.allocs_per_invocation,
+        s.p99_admission_wait);
     scenarios.push_back(std::move(s));
   }
 

@@ -21,6 +21,7 @@ class CeHealth;
 
 namespace moteur::obs {
 class MetricsRegistry;
+struct RunEvent;
 }  // namespace moteur::obs
 
 namespace moteur::enactor {
@@ -140,6 +141,15 @@ class ExecutionBackend {
   /// within drive(), so the registry needs no locking. Default: record
   /// nothing.
   virtual void set_metrics(obs::MetricsRegistry* metrics) { (void)metrics; }
+
+  /// Optional sink for backend-originated observability events (SE→SE
+  /// transfer start/completion). These are service-scope events (empty
+  /// run_id): a transfer can serve invocations of many concurrent runs, so
+  /// they cannot be attributed to one. Delivered from within drive();
+  /// nullptr (the default) detaches. Default: drop them.
+  virtual void set_event_sink(std::function<void(const obs::RunEvent&)> sink) {
+    (void)sink;
+  }
 
   /// Optional per-CE health ledger with circuit breakers: backends that can
   /// route work across sites consult it to steer submissions away from open

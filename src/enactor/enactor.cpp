@@ -76,6 +76,13 @@ EnactmentResult Enactor::run(const RunRequest& request) {
         [recorder = recorder_](const obs::RunEvent& e) { recorder->on_event(e); });
   }
 
+  // Service-scope backend events (SE→SE transfers) feed the same stream as
+  // run events for the duration of this run; detached before returning.
+  auto sink_subscribers = std::make_shared<std::vector<EventSubscriber>>(subscribers);
+  backend_.set_event_sink([sink_subscribers](const obs::RunEvent& e) {
+    for (const auto& subscriber : *sink_subscribers) subscriber(e);
+  });
+
   const EnactmentPolicy& effective = request.policy ? *request.policy : policy_;
   Engine::Options options;
   options.run_id = request.name.empty() ? request.workflow.name() : request.name;
@@ -94,14 +101,20 @@ EnactmentResult Enactor::run(const RunRequest& request) {
       request.workflow, request.inputs, std::move(options));
   engine->start();
 
-  while (!engine->finished()) {
-    const bool reached = backend_.drive([&engine] { return engine->finished(); });
-    if (reached) break;
-    if (!engine->try_unstall() && !engine->finished()) {
-      throw EnactmentError("workflow deadlocked; unfinished processors: " +
-                           engine->stuck_processors());
+  try {
+    while (!engine->finished()) {
+      const bool reached = backend_.drive([&engine] { return engine->finished(); });
+      if (reached) break;
+      if (!engine->try_unstall() && !engine->finished()) {
+        throw EnactmentError("workflow deadlocked; unfinished processors: " +
+                             engine->stuck_processors());
+      }
     }
+  } catch (...) {
+    backend_.set_event_sink(nullptr);
+    throw;
   }
+  backend_.set_event_sink(nullptr);
 
   EnactmentResult result = engine->finish();
   MOTEUR_LOG(kInfo, "enactor") << "run '" << request.workflow.name() << "' policy="

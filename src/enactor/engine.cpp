@@ -95,8 +95,9 @@ void Engine::build_states() {
       }
     }
   }
+  std::map<std::string, std::set<std::string>> stage_predecessors;
   for (const auto& proc : workflow_.processors()) {
-    auto& waits = stage_predecessors_[proc.name];
+    auto& waits = stage_predecessors[proc.name];
     for (const Link* link : workflow_.links_into(proc.name)) {
       if (link->feedback) continue;
       const std::string& pred = link->from_processor;
@@ -133,6 +134,38 @@ void Engine::build_states() {
     }
     states_.emplace(proc.name, std::move(state));
   }
+
+  // Resolve the hot-path caches now that every PState has its final address
+  // (std::map nodes are stable): outlets, stage/coordination waits, per-port
+  // inlets with producer pointers, and the link -> consumer index. After
+  // this, the per-event paths never resolve a processor name again.
+  topo_states_.reserve(topo_order_.size());
+  for (const auto& name : topo_order_) topo_states_.push_back(&states_.at(name));
+  for (auto& [name, state] : states_) {
+    state.outlets = workflow_.links_out_of(name);
+    for (const Link* link : state.outlets) {
+      link_consumer_.emplace(link, &states_.at(link->to_processor));
+    }
+    for (const auto& pred : stage_predecessors.at(name)) {
+      state.stage_preds.push_back(&states_.at(pred));
+    }
+    for (const auto& constraint : workflow_.coordination_constraints()) {
+      if (constraint.after == name) {
+        state.coord_waits.push_back(&states_.at(constraint.before));
+      }
+    }
+    const auto& ports = state.proc->kind == ProcessorKind::kSink
+                            ? std::vector<std::string>{"in"}
+                            : state.proc->input_ports;
+    for (const auto& port : ports) {
+      std::vector<PState::Inlet> inlets;
+      for (const Link* link : workflow_.links_into_port(name, port)) {
+        inlets.push_back(PState::Inlet{
+            link, link->feedback ? nullptr : &states_.at(link->from_processor)});
+      }
+      state.inlets.emplace_back(port, std::move(inlets));
+    }
+  }
 }
 
 void Engine::check_binding(const PState& state) const {
@@ -159,7 +192,7 @@ void Engine::emit_sources() {
     MOTEUR_REQUIRE(inputs_.has_input(source->name), EnactmentError,
                    "input data set provides no items for source '" + source->name + "'");
     const auto& items = inputs_.items(source->name);
-    const auto outlets = workflow_.links_out_of(source->name);
+    const std::vector<const Link*>& outlets = state_of(source->name).outlets;
     for (std::size_t j = 0; j < items.size(); ++j) {
       std::any payload =
           resolver_ ? resolver_(source->name, j, items[j]) : std::any(items[j]);
@@ -180,7 +213,7 @@ void Engine::emit_sources() {
 }
 
 void Engine::deliver(const Link& link, data::Token token) {
-  PState& consumer = state_of(link.to_processor);
+  PState& consumer = *link_consumer_.at(&link);
   if (link.feedback) {
     // A token crossing a feedback link opens a new loop iteration: extend
     // its index with the per-link iteration counter so it cannot collide
@@ -277,7 +310,7 @@ bool Engine::try_serve_cached(PState& state, const IterationBuffer::Tuple& tuple
     emit(event);
   }
 
-  const auto outlets = workflow_.links_out_of(state.proc->name);
+  const std::vector<const Link*>& outlets = state.outlets;
   for (const auto& out : hit->outputs) {
     if (!state.proc->has_output_port(out.port)) continue;
     if (out.ref != nullptr && recovery_enabled()) record_lineage(state, tuple, *out.ref);
@@ -310,15 +343,12 @@ bool Engine::can_fire(const PState& state) const {
     // Stage synchronization: every data predecessor (outside this
     // processor's own loop) must be entirely done before it may process
     // anything.
-    for (const auto& pred : stage_predecessors_.at(state.proc->name)) {
-      if (!states_.at(pred).finished) return false;
+    for (const PState* pred : state.stage_preds) {
+      if (!pred->finished) return false;
     }
   }
-  for (const auto& constraint : workflow_.coordination_constraints()) {
-    if (constraint.after == state.proc->name &&
-        !states_.at(constraint.before).finished) {
-      return false;
-    }
+  for (const PState* before : state.coord_waits) {
+    if (!before->finished) return false;
   }
   return true;
 }
@@ -350,8 +380,8 @@ std::size_t Engine::target_batch(const PState& state) const {
 
 bool Engine::dispatch_pass() {
   bool progress = false;
-  for (const auto& name : topo_order_) {
-    PState& state = state_of(name);
+  for (PState* state_ptr : topo_states_) {
+    PState& state = *state_ptr;
     if (state.proc->kind != ProcessorKind::kService || state.proc->synchronization ||
         state.finished) {
       continue;
@@ -533,11 +563,14 @@ bool Engine::attempts_left(const Submission& sub) const {
 
 double Engine::median_latency() const {
   if (latency_samples_.empty()) return 0.0;
-  std::vector<double> samples = latency_samples_;
-  const std::size_t mid = samples.size() / 2;
-  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
-                   samples.end());
-  return samples[mid];
+  // nth_element reorders, so work on a scratch copy — reused across calls so
+  // the per-watchdog median stops allocating once its capacity settles.
+  median_scratch_.assign(latency_samples_.begin(), latency_samples_.end());
+  const std::size_t mid = median_scratch_.size() / 2;
+  std::nth_element(median_scratch_.begin(),
+                   median_scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   median_scratch_.end());
+  return median_scratch_[mid];
 }
 
 void Engine::arm_watchdog(const std::shared_ptr<Submission>& sub) {
@@ -784,7 +817,7 @@ void Engine::poison_outputs(PState& state, const IterationBuffer::Tuple& tuple,
   for (const auto& port : state.proc->output_ports) {
     const data::Token token =
         data::Token::poisoned(state.proc->name, port, tuple.tokens, tuple.index, error);
-    for (const Link* link : workflow_.links_out_of(state.proc->name)) {
+    for (const Link* link : state.outlets) {
       if (link->from_port != port) continue;
       // Poison stops at feedback links: recirculating it would spin the loop
       // on error markers forever.
@@ -960,7 +993,7 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
     }
     const bool digesting = cacheable(state);
     const std::uint64_t service_digest = digesting ? state.service->content_digest() : 0;
-    const auto outlets = workflow_.links_out_of(state.proc->name);
+    const std::vector<const Link*>& outlets = state.outlets;
     for (std::size_t i = 0; i < sub->tuples.size(); ++i) {
       const auto& tuple = sub->tuples[i];
       // Content chain: output digest = H(service, port, (input port, input
@@ -1078,8 +1111,8 @@ void Engine::on_attempt_complete(const std::shared_ptr<Submission>& sub,
 
 bool Engine::closure_pass() {
   bool progress = false;
-  for (const auto& name : topo_order_) {
-    PState& state = state_of(name);
+  for (PState* state_ptr : topo_states_) {
+    PState& state = *state_ptr;
     if (state.finished) continue;
     const Processor& proc = *state.proc;
     if (proc.kind == ProcessorKind::kSource) continue;  // finished at emit
@@ -1090,16 +1123,13 @@ bool Engine::closure_pass() {
 
     // Close input ports whose feeders are all done. Ports with feedback
     // inlets are only closed by try_feedback_closure().
-    const auto& ports = proc.kind == ProcessorKind::kSink
-                            ? std::vector<std::string>{"in"}
-                            : proc.input_ports;
-    for (const auto& port : ports) {
+    for (const auto& [port, inlets] : state.inlets) {
       const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
                                                : state.buffer->is_closed(port);
       if (already_closed) continue;
       bool closable = true;
-      for (const Link* link : workflow_.links_into_port(proc.name, port)) {
-        if (link->feedback || !states_.at(link->from_processor).finished) {
+      for (const PState::Inlet& inlet : inlets) {
+        if (inlet.producer == nullptr || !inlet.producer->finished) {
           closable = false;
           break;
         }
@@ -1164,20 +1194,20 @@ bool Engine::try_feedback_closure() {
     if (state.in_flight != 0 || !state.ready.empty()) return false;
   }
   bool progress = false;
-  for (const auto& name : topo_order_) {
-    PState& state = state_of(name);
+  for (PState* state_ptr : topo_states_) {
+    PState& state = *state_ptr;
     if (state.finished || state.proc->kind != ProcessorKind::kService) continue;
-    for (const auto& port : state.proc->input_ports) {
+    for (const auto& [port, inlets] : state.inlets) {
       const bool is_collector = state.proc->synchronization;
       const bool already_closed = is_collector ? state.collected_closed.count(port) != 0
                                                : state.buffer->is_closed(port);
       if (already_closed) continue;
       bool has_feedback = false;
       bool rest_closed = true;
-      for (const Link* link : workflow_.links_into_port(state.proc->name, port)) {
-        if (link->feedback) {
+      for (const PState::Inlet& inlet : inlets) {
+        if (inlet.producer == nullptr) {
           has_feedback = true;
-        } else if (!states_.at(link->from_processor).finished) {
+        } else if (!inlet.producer->finished) {
           rest_closed = false;
         }
       }

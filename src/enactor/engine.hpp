@@ -7,6 +7,8 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "data/invocation_cache.hpp"
@@ -98,6 +100,21 @@ class Engine : public std::enable_shared_from_this<Engine> {
     std::size_t fired = 0;
     bool finished = false;
     bool sync_fired = false;
+
+    /// One non-feedback inlet of an input port, with its producer resolved
+    /// to a direct state pointer (nullptr marks a feedback inlet).
+    struct Inlet {
+      const workflow::Link* link = nullptr;
+      const PState* producer = nullptr;
+    };
+
+    // Hot-path caches, built once by build_states(): the dispatch/closure
+    // passes and per-completion delivery run per event, so they must not
+    // re-resolve names through states_ or rebuild link vectors per call.
+    std::vector<const workflow::Link*> outlets;       // links_out_of(proc)
+    std::vector<const PState*> stage_preds;           // SP-off barrier waits
+    std::vector<const PState*> coord_waits;           // coordination constraints
+    std::vector<std::pair<std::string, std::vector<Inlet>>> inlets;  // per port
   };
 
   /// One logical unit of work handed to the backend: a (possibly batched)
@@ -253,12 +270,18 @@ class Engine : public std::enable_shared_from_this<Engine> {
 
   std::map<std::string, PState> states_;
   std::vector<std::string> topo_order_;
+  /// states_ entries in topological order — the per-pass iteration order,
+  /// resolved once so the passes never look names up again.
+  std::vector<PState*> topo_states_;
+  /// Link -> consuming state, so deliver() resolves per token without a
+  /// string map lookup. Keys are pointers into workflow_.links(), which is
+  /// stable after construction.
+  std::unordered_map<const workflow::Link*, PState*> link_consumer_;
   /// Iteration counters per feedback link (index extension, see deliver()).
   std::map<const workflow::Link*, std::size_t> feedback_counters_;
-  /// SP-off stage barrier: per processor, the data predecessors it must see
-  /// finished before firing. Members of the same loop are exempt (a cycle
-  /// cannot stage-synchronize on itself).
-  std::map<std::string, std::set<std::string>> stage_predecessors_;
+  /// Scratch buffer for median_latency(): reused so the per-watchdog median
+  /// never reallocates once the sample vector stops growing.
+  mutable std::vector<double> median_scratch_;
   /// Online estimate of the per-job middleware overhead (adaptive batching).
   RunningStats observed_overhead_;
   /// Latencies of successful submissions — the running-median base of the

@@ -9,15 +9,20 @@
 namespace moteur::enactor {
 
 grid::GridConfig RunManifest::make_grid_config() const {
-  if (grid_preset == "egee2006") return grid::GridConfig::egee2006(seed);
-  if (grid_preset == "cluster") {
-    return grid::GridConfig::dedicated_cluster(cluster_nodes, seed);
+  grid::GridConfig config;
+  if (grid_preset == "egee2006") {
+    config = grid::GridConfig::egee2006(seed);
+  } else if (grid_preset == "cluster") {
+    config = grid::GridConfig::dedicated_cluster(cluster_nodes, seed);
+  } else if (grid_preset == "constant") {
+    config = grid::GridConfig::constant(constant_overhead_seconds, 4096, seed);
+  } else {
+    throw ParseError("unknown grid preset '" + grid_preset +
+                     "' (expected egee2006 | cluster | constant)");
   }
-  if (grid_preset == "constant") {
-    return grid::GridConfig::constant(constant_overhead_seconds, 4096, seed);
-  }
-  throw ParseError("unknown grid preset '" + grid_preset +
-                   "' (expected egee2006 | cluster | constant)");
+  config.orchestrator_bandwidth_mbps = orchestrator_bandwidth_mbps;
+  if (!policy.replication.empty()) config.replication_policy = policy.replication;
+  return config;
 }
 
 void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
@@ -65,6 +70,9 @@ void write_policy(xml::Node& node, const EnactmentPolicy& policy) {
     node.set_attribute("replicaPolicy", policy.replica_policy);
   }
   if (!policy.admission.empty()) node.set_attribute("admission", policy.admission);
+  if (!policy.replication.empty()) {
+    node.set_attribute("replication", policy.replication);
+  }
 }
 
 EnactmentPolicy read_policy(const xml::Node& node) {
@@ -127,6 +135,10 @@ EnactmentPolicy read_policy(const xml::Node& node) {
     policy.admission =
         registry.check_admission(*admission, "policy admission attribute");
   }
+  if (const auto replication = node.attribute("replication")) {
+    policy.replication =
+        registry.check_replication(*replication, "policy replication attribute");
+  }
   if (const auto window = node.attribute("breakerWindow")) {
     policy.breaker.enabled = true;
     policy.breaker.window = static_cast<std::size_t>(std::stoul(*window));
@@ -160,6 +172,9 @@ std::string RunManifest::to_xml() const {
   if (grid_preset == "cluster") {
     grid_node.set_attribute("nodes", std::to_string(cluster_nodes));
   }
+  if (orchestrator_bandwidth_mbps > 0.0) {
+    grid_node.set_attribute("orchestratorBw", std::to_string(orchestrator_bandwidth_mbps));
+  }
 
   if (shards != 1 || pin_policy != "hash") {
     auto& service_node = root->add_child("service");
@@ -191,6 +206,11 @@ RunManifest RunManifest::from_xml(const std::string& text) {
     }
     if (const auto nodes = grid_node->attribute("nodes")) {
       manifest.cluster_nodes = static_cast<std::size_t>(std::stoul(*nodes));
+    }
+    if (const auto bw = grid_node->attribute("orchestratorBw")) {
+      manifest.orchestrator_bandwidth_mbps = std::stod(*bw);
+      MOTEUR_REQUIRE(manifest.orchestrator_bandwidth_mbps >= 0.0, ParseError,
+                     "orchestratorBw must be >= 0");
     }
   }
   if (const xml::Node* service_node = doc.root().child("service")) {

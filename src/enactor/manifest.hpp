@@ -27,6 +27,9 @@ struct RunManifest {
   std::uint64_t seed = 20060619;
   double constant_overhead_seconds = 600.0;  // preset "constant"
   std::size_t cluster_nodes = 64;            // preset "cluster"
+  /// Finite orchestrator/UI link capacity every centralized stage shares
+  /// (<grid orchestratorBw="..."/>); 0 keeps the link unlimited (bypassed).
+  double orchestrator_bandwidth_mbps = 0.0;
 
   /// Enactment-core sharding for services replaying this manifest
   /// (<service shards=".." pinPolicy="hash|least-loaded"/>). Kept as plain

@@ -127,6 +127,12 @@ struct EnactmentPolicy {
   std::string replica_policy;
   std::string admission;
 
+  /// Named ReplicationPolicy ("none", "push-to-consumer", "fanout-k"):
+  /// decides whether staging reads go SE→SE instead of through the
+  /// orchestrator, and which SE→SE transfers the grid triggers. Consumed by
+  /// whoever builds the grid backend; empty = the grid default ("none").
+  std::string replication;
+
   /// Lineage recovery: when a submission fails with kDataLost (no replica
   /// of a required input survives), walk the recorded lineage and re-fire
   /// the producer invocation(s) to regenerate the file, then resubmit the

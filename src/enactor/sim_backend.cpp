@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataref.hpp"
+#include "obs/event.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -82,8 +83,10 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
   }
   if (refs_complete) {
     for (const auto& [lfn, megabytes] : pending_sources) {
+      // Pinned: workflow sources are the lineage roots — pin-aware eviction
+      // policies must never drop the last authoritative copy.
       catalog_->register_replica(lfn, grid_.close_storage_name(std::string()),
-                                 megabytes);
+                                 megabytes, /*pinned=*/true);
     }
   } else {
     request.input_refs.clear();
@@ -161,6 +164,11 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
               for (const std::string& se : targets) {
                 catalog_->register_replica(lfn, se, mb_per_output);
               }
+              // Background replication: the ReplicationPolicy may fan the
+              // fresh output out to further SEs via SE→SE transfers.
+              grid_.note_replica_registered(
+                  lfn, grid_.close_storage_name(record.computing_element),
+                  mb_per_output);
               value.ref = std::make_shared<const data::DataRef>(
                   data::DataRef{lfn, mb_per_output, digest});
             }
@@ -196,6 +204,30 @@ void SimGridBackend::execute(std::shared_ptr<services::Service> service,
                       std::to_string(record.attempts) + " attempts";
     }
     on_complete(std::move(outcome));
+  });
+}
+
+void SimGridBackend::set_event_sink(std::function<void(const obs::RunEvent&)> sink) {
+  sink_ = std::move(sink);
+  if (!sink_) {
+    grid_.set_transfer_listener(nullptr);
+    return;
+  }
+  grid_.set_transfer_listener([this](const grid::TransferEvent& transfer) {
+    if (!sink_) return;
+    obs::RunEvent event;
+    event.kind = transfer.phase == grid::TransferEvent::Phase::kStarted
+                     ? obs::RunEvent::Kind::kTransferStarted
+                     : obs::RunEvent::Kind::kTransferDone;
+    event.time = transfer.time;
+    event.logical_file = transfer.lfn;
+    event.from_se = transfer.from_se;
+    event.to_se = transfer.to_se;
+    event.megabytes = transfer.megabytes;
+    event.trigger = transfer.trigger;
+    event.end_time = transfer.time;
+    event.stage_in_seconds = transfer.elapsed_seconds;
+    sink_(event);
   });
 }
 

@@ -54,6 +54,10 @@ class SimGridBackend : public ExecutionBackend {
 
   std::size_t jobs_submitted() const { return jobs_submitted_; }
 
+  /// Translates the grid's SE→SE TransferEvents into service-scope
+  /// kTransferStarted/kTransferDone RunEvents (empty run_id) for `sink`.
+  void set_event_sink(std::function<void(const obs::RunEvent&)> sink) override;
+
   /// Attach (or detach, with nullptr) the replica catalog that turns the
   /// data plane on, forwarding it to the grid. With a catalog, jobs carry
   /// per-file input references (token DataRefs, or references fabricated
@@ -72,6 +76,7 @@ class SimGridBackend : public ExecutionBackend {
   grid::Grid& grid_;
   data::ReplicaCatalog* catalog_ = nullptr;  // not owned
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::function<void(const obs::RunEvent&)> sink_;
   std::size_t jobs_submitted_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t live_timers_ = 0;

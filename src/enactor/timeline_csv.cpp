@@ -26,7 +26,9 @@ std::string timeline_to_csv(const Timeline& timeline, bool data_plane_columns) {
   std::ostringstream os;
   os << "processor,data,submit_s,start_s,end_s,span_s,overhead_s,site,failed,attempt,"
         "superseded,status,skipped";
-  if (data_plane_columns) os << ",stagein_mb,stagein_remote_mb,stage_se";
+  if (data_plane_columns) {
+    os << ",stagein_mb,stagein_remote_mb,stage_se,bytes_ui_mb,bytes_peer_mb";
+  }
   os << '\n';
   auto traces = timeline.traces();
   std::sort(traces.begin(), traces.end(),
@@ -47,7 +49,9 @@ std::string timeline_to_csv(const Timeline& timeline, bool data_plane_columns) {
       os << ',' << (trace.job ? format_fixed(trace.job->staged_in_megabytes, 3) : std::string())
          << ','
          << (trace.job ? format_fixed(trace.job->remote_input_megabytes, 3) : std::string())
-         << ',' << csv_escape(trace.job ? trace.job->staging_element : std::string());
+         << ',' << csv_escape(trace.job ? trace.job->staging_element : std::string()) << ','
+         << (trace.job ? format_fixed(trace.job->bytes_via_ui, 3) : std::string()) << ','
+         << (trace.job ? format_fixed(trace.job->bytes_peer, 3) : std::string());
     }
     os << '\n';
   }

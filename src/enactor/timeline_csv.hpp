@@ -11,10 +11,12 @@ namespace moteur::enactor {
 /// overhead, computing element, failed flag. Fields containing commas or
 /// quotes are quoted per RFC 4180.
 ///
-/// `data_plane_columns` appends stagein_mb, stagein_remote_mb and stage_se
-/// (the per-job staging totals and the storage element staged through) —
-/// opt-in so the default export stays bit-identical to the pre-data-plane
-/// format. Cached rows carry no job and leave them empty.
+/// `data_plane_columns` appends stagein_mb, stagein_remote_mb, stage_se,
+/// bytes_ui_mb and bytes_peer_mb (the per-job staging totals, the storage
+/// element staged through, and the bytes routed through the orchestrator
+/// link vs pulled SE→SE) — opt-in so the default export stays bit-identical
+/// to the pre-data-plane format. Cached rows carry no job and leave them
+/// empty.
 std::string timeline_to_csv(const Timeline& timeline, bool data_plane_columns = false);
 
 }  // namespace moteur::enactor

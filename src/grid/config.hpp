@@ -61,6 +61,10 @@ struct StorageElementConfig {
   /// completes but the DataRef digest check fails, wasting the bytes);
   /// negative inherits GridConfig::replica_corruption_probability.
   double replica_corruption_probability = -1.0;
+  /// Replica capacity in megabytes; 0 = unbounded. When bounded, the
+  /// catalog consults the grid's eviction policy once registrations
+  /// overflow the capacity.
+  double capacity_mb = 0.0;
 };
 
 /// One computing-element site.
@@ -140,6 +144,24 @@ struct GridConfig {
   /// which copy stage-in probes first. `close-se` is the historical
   /// behavior (register and probe at the producing CE's close SE).
   std::string replica_policy = "close-se";
+
+  /// Orchestrator/UI link bandwidth in MB/s; every centralized stage-in or
+  /// stage-out byte round-trips through this single shared link and queues
+  /// FCFS behind concurrent stagings. 0 = unlimited (the link model is
+  /// bypassed entirely, bit-identical to the pre-decentralization path).
+  double orchestrator_bandwidth_mbps = 0.0;
+  /// ReplicationPolicy name (PolicyRegistry) governing SE→SE third-party
+  /// transfers. `none` keeps every remote byte on the orchestrator path;
+  /// `push-to-consumer` and `fanout-k` route reads peer-to-peer and start
+  /// proactive transfers at match / registration time.
+  std::string replication_policy = "none";
+  /// EvictionPolicy name (PolicyRegistry) consulted by the ReplicaCatalog
+  /// when a capacity-bounded SE overflows. `lru` evicts least-recently
+  /// used; `pin-sources` refuses to evict workflow source files.
+  std::string replica_eviction_policy = "lru";
+  /// Replica capacity of the implicit default SE ("se0") in megabytes;
+  /// 0 = unbounded. Named SEs carry StorageElementConfig::capacity_mb.
+  double default_se_capacity_mb = 0.0;
 
   /// Deterministic downtime windows for the implicit default SE ("se0");
   /// named SEs carry their own on StorageElementConfig::outages.

@@ -91,6 +91,13 @@ Grid::Grid(sim::Simulator& simulator, GridConfig config)
   broker_.set_default_matchmaking(config_.matchmaking_policy);
   replica_policy_ = policy::PolicyRegistry::instance().make_replica(
       config_.replica_policy.empty() ? policy::kDefaultReplica : config_.replica_policy);
+  replication_ = policy::PolicyRegistry::instance().make_replication(
+      config_.replication_policy.empty() ? policy::kDefaultReplication
+                                         : config_.replication_policy);
+  decentralized_ = replication_->decentralized_reads();
+  if (config_.orchestrator_bandwidth_mbps > 0.0) {
+    ui_link_ = std::make_unique<sim::Resource>(simulator, 1);
+  }
   for (const auto& ce_config : config_.computing_elements) {
     auto close = storage_by_name_.find(ce_config.close_storage_element);
     close_storage_[ce_config.name] =
@@ -157,6 +164,11 @@ void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
             job->record.match_time = simulator_.now();
             job->record.state = JobState::kScheduled;
             job->record.computing_element = ce.name();
+            if (replication_->push_on_match()) {
+              // Start copying missing inputs toward the matched CE's close
+              // SE now, overlapping the transfer with the queueing delay.
+              maybe_push_for_match(job->request, ce.name());
+            }
             enter_site(job, ce);
           },
           std::move(stage_in),
@@ -168,6 +180,190 @@ void Grid::start_attempt(const std::shared_ptr<PendingJob>& job) {
 void Grid::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   broker_.set_metrics(metrics);
+}
+
+void Grid::set_catalog(data::ReplicaCatalog* catalog) {
+  catalog_ = catalog;
+  if (catalog_ == nullptr) return;
+  bool bounded = false;
+  if (config_.default_se_capacity_mb > 0.0) {
+    catalog_->set_se_capacity(storage_.name(), config_.default_se_capacity_mb);
+    bounded = true;
+  }
+  for (const auto& se_config : config_.storage_elements) {
+    if (se_config.capacity_mb > 0.0) {
+      catalog_->set_se_capacity(se_config.name, se_config.capacity_mb);
+      bounded = true;
+    }
+  }
+  if (bounded) {
+    catalog_->set_eviction_policy(policy::PolicyRegistry::instance().make_eviction(
+        config_.replica_eviction_policy.empty() ? policy::kDefaultEviction
+                                                : config_.replica_eviction_policy));
+  }
+}
+
+void Grid::emit_transfer(const TransferEvent& event) {
+  if (transfer_listener_) transfer_listener_(event);
+}
+
+void Grid::record_ui_bytes(double megabytes) {
+  if (megabytes <= 0.0) return;
+  stats_.ui_megabytes += megabytes;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("moteur_ui_bytes_total",
+                  "Megabytes staged through the orchestrator/UI link")
+        .inc(megabytes);
+  }
+}
+
+void Grid::ui_stage(double megabytes, std::function<void(double)> on_done) {
+  if (ui_link_ == nullptr || megabytes <= 0.0) {
+    // Unlimited link: no queueing, no extra event — the historical path.
+    on_done(0.0);
+    return;
+  }
+  const double start = simulator_.now();
+  ui_link_->acquire([this, megabytes, start, on_done = std::move(on_done)]() mutable {
+    const double seconds = megabytes / config_.orchestrator_bandwidth_mbps;
+    simulator_.schedule(
+        seconds, [this, seconds, start, on_done = std::move(on_done)] {
+          ui_link_->release();
+          ui_busy_seconds_ += seconds;
+          if (metrics_ != nullptr && simulator_.now() > 0.0) {
+            metrics_
+                ->gauge("moteur_ui_link_utilization",
+                        "Busy fraction of the finite orchestrator/UI link")
+                .set(ui_busy_seconds_ / simulator_.now());
+          }
+          on_done(simulator_.now() - start);
+        });
+  });
+}
+
+std::string Grid::cheapest_live_source(const std::string& lfn,
+                                       const std::string& to_se) {
+  if (catalog_ == nullptr) return {};
+  auto to_it = storage_by_name_.find(to_se);
+  if (to_it == storage_by_name_.end()) return {};
+  StorageElement& to = *to_it->second;
+  const double now = simulator_.now();
+  const double megabytes = catalog_->size_mb(lfn);
+  std::string best;
+  double best_cost = 0.0;
+  for (const std::string& candidate : catalog_->locate(lfn)) {
+    if (candidate == to_se) return {};  // already resident at the destination
+    auto it = storage_by_name_.find(candidate);
+    if (it == storage_by_name_.end()) continue;
+    if (!it->second->available_at(now)) continue;
+    const double cost = to.pairwise_seconds(*it->second, megabytes);
+    if (best.empty() || cost < best_cost) {  // ties keep registration order
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void Grid::start_transfer(const std::string& lfn, double megabytes,
+                          const std::string& from_se, const std::string& to_se,
+                          const std::string& trigger) {
+  if (catalog_ == nullptr || from_se == to_se) return;
+  if (storage_by_name_.count(from_se) == 0 || storage_by_name_.count(to_se) == 0) return;
+  if (catalog_->has(lfn, to_se)) return;
+  const std::string key = lfn + "|" + to_se;
+  if (!pending_transfers_.insert(key).second) return;  // already in flight
+  ++stats_.transfers_started;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("moteur_transfer_requests_total",
+                  "SE-to-SE third-party transfer requests by trigger",
+                  {{"trigger", trigger}})
+        .inc();
+  }
+  emit_transfer({TransferEvent::Phase::kStarted, simulator_.now(), lfn, from_se,
+                 to_se, megabytes, trigger, 0.0});
+  begin_transfer(lfn, megabytes, from_se, to_se, trigger);
+}
+
+void Grid::begin_transfer(const std::string& lfn, double megabytes,
+                          const std::string& from_se, const std::string& to_se,
+                          const std::string& trigger) {
+  const std::string key = lfn + "|" + to_se;
+  StorageElement& to = *storage_by_name_.at(to_se);
+  const double now = simulator_.now();
+  // The source replica may have vanished (loss, corruption, eviction) since
+  // the request was issued: re-pick the cheapest live copy, or abandon.
+  std::string source = from_se;
+  if (!catalog_->has(lfn, source) ||
+      !storage_by_name_.at(source)->available_at(now)) {
+    source = cheapest_live_source(lfn, to_se);
+    if (source.empty()) {
+      pending_transfers_.erase(key);
+      return;
+    }
+  }
+  StorageElement& from = *storage_by_name_.at(source);
+  const double ready = std::max(from.next_available(now), to.next_available(now));
+  if (ready > now) {
+    // An endpoint is inside an outage window: defer the start until both
+    // are reachable (deterministic — the schedule is config data).
+    simulator_.schedule(ready - now, [this, lfn, megabytes, from_se, to_se, trigger] {
+      begin_transfer(lfn, megabytes, from_se, to_se, trigger);
+    });
+    return;
+  }
+  to.transfer_from(from, megabytes, [this, lfn, megabytes, source, to_se, from_se,
+                                     trigger](double elapsed) {
+    StorageElement& dest = *storage_by_name_.at(to_se);
+    const double done_at = simulator_.now();
+    if (!dest.available_at(done_at)) {
+      // The destination dropped mid-transfer; the copy restarts when the
+      // outage window closes.
+      simulator_.schedule(dest.next_available(done_at) - done_at,
+                          [this, lfn, megabytes, from_se, to_se, trigger] {
+                            begin_transfer(lfn, megabytes, from_se, to_se, trigger);
+                          });
+      return;
+    }
+    pending_transfers_.erase(lfn + "|" + to_se);
+    catalog_->register_replica(lfn, to_se, megabytes);
+    ++stats_.transfers_completed;
+    stats_.transfer_megabytes += megabytes;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter("moteur_transfer_completed_total",
+                    "SE-to-SE third-party transfers completed")
+          .inc();
+      metrics_
+          ->counter("moteur_transfer_megabytes_total",
+                    "Megabytes moved by SE-to-SE third-party transfers")
+          .inc(megabytes);
+    }
+    emit_transfer({TransferEvent::Phase::kDone, done_at, lfn, source, to_se,
+                   megabytes, trigger, elapsed});
+  });
+}
+
+void Grid::maybe_push_for_match(const JobRequest& request, const std::string& ce_name) {
+  if (catalog_ == nullptr || request.input_refs.empty()) return;
+  const std::string target = close_storage_name(ce_name);
+  for (const auto& ref : request.input_refs) {
+    if (catalog_->has(ref.logical_name, target)) continue;
+    const std::string source = cheapest_live_source(ref.logical_name, target);
+    if (source.empty()) continue;
+    start_transfer(ref.logical_name, ref.megabytes, source, target, "match");
+  }
+}
+
+void Grid::note_replica_registered(const std::string& lfn, const std::string& se_name,
+                                   double megabytes) {
+  if (catalog_ == nullptr) return;
+  for (const std::string& target :
+       replication_->fanout_targets(se_name, storage_names_)) {
+    start_transfer(lfn, megabytes, se_name, target, "fanout");
+  }
 }
 
 std::vector<std::string> Grid::replica_targets(const std::string& ce_name) {
@@ -239,6 +435,7 @@ Grid::StageResolution Grid::resolve_stage_in(const JobRequest& request,
         res.effective_megabytes += ref.megabytes * config_.remote_transfer_penalty;
         res.remote_megabytes += ref.megabytes;
       }
+      catalog_->touch(ref.logical_name);
       continue;
     }
     // Candidate replicas in the ReplicaPolicy's preference order (default
@@ -248,6 +445,27 @@ Grid::StageResolution Grid::resolve_stage_in(const JobRequest& request,
     // is declared lost.
     std::vector<std::string> candidates = catalog_->locate(ref.logical_name);
     replica_policy_->probe_order(candidates, se_name);
+    if (decentralized_ && candidates.size() > 1) {
+      // Peer pulls probe the cheapest live copy first: order failover
+      // candidates by pairwise transfer cost onto the close SE (the local
+      // copy costs nothing and stays in front). Stable, so the replica
+      // policy's order still breaks exact cost ties.
+      auto dest_it = storage_by_name_.find(se_name);
+      if (dest_it != storage_by_name_.end()) {
+        StorageElement& dest = *dest_it->second;
+        const double megabytes = ref.megabytes;
+        auto cost_of = [&](const std::string& candidate) {
+          if (candidate == se_name) return 0.0;
+          auto it = storage_by_name_.find(candidate);
+          if (it == storage_by_name_.end()) return 1e300;
+          return dest.pairwise_seconds(*it->second, megabytes);
+        };
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](const std::string& a, const std::string& b) {
+                           return cost_of(a) < cost_of(b);
+                         });
+      }
+    }
     const double now = simulator_.now();
     bool staged = false;
     int skipped = 0;
@@ -287,6 +505,7 @@ Grid::StageResolution Grid::resolve_stage_in(const JobRequest& request,
       res.effective_megabytes += cost;
       if (remote) res.remote_megabytes += ref.megabytes;
       if (skipped > 0) ++res.failovers;
+      catalog_->touch(ref.logical_name);
       staged = true;
       break;
     }
@@ -399,40 +618,73 @@ void Grid::run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement&
     return;
   }
 
+  // Which bytes round-trip through the orchestrator: under a decentralized
+  // replication policy reads come off the SE fabric (remote ones as peer
+  // pulls), otherwise every staged byte crosses the UI link.
+  const bool peer_routed = decentralized_ && catalog_ != nullptr;
+  const double ui_in_mb = peer_routed ? 0.0 : resolution.effective_megabytes;
+  const double peer_in_mb = peer_routed ? resolution.remote_megabytes : 0.0;
+
   job->record.state = JobState::kTransferringIn;
-  se.transfer(resolution.effective_megabytes, [this, job, &ce, &se, resolution,
-                                               payload_seconds](double in_seconds) {
+  ui_stage(ui_in_mb, [this, job, &ce, &se, resolution, payload_seconds, ui_in_mb,
+                      peer_in_mb, peer_routed](double ui_in_seconds) {
     if (job->completed) {
       ce.release_slot();
       --job->in_flight_attempts;
       return;
     }
-    job->record.input_transfer_seconds += in_seconds;
-    job->record.staging_element = se.name();
-    job->record.staged_in_megabytes += resolution.effective_megabytes;
-    job->record.remote_input_megabytes += resolution.remote_megabytes;
-    job->record.state = JobState::kRunning;
-    job->record.run_start_time = simulator_.now();
-    simulator_.schedule(payload_seconds, [this, job, &ce, &se] {
+    se.transfer(resolution.effective_megabytes, [this, job, &ce, &se, resolution,
+                                                 payload_seconds, ui_in_mb, peer_in_mb,
+                                                 peer_routed,
+                                                 ui_in_seconds](double in_seconds) {
       if (job->completed) {
         ce.release_slot();
         --job->in_flight_attempts;
         return;
       }
-      job->record.run_end_time = simulator_.now();
-      job->record.state = JobState::kTransferringOut;
-      se.transfer(job->request.output_megabytes, [this, job, &ce](double out_seconds) {
-        ce.release_slot();
-        --job->in_flight_attempts;
-        if (job->completed) return;  // a racing clone won; discard this result
-        job->record.output_transfer_seconds += out_seconds;
-        // A still-racing clone's later match (or stage-in) may have
-        // overwritten the placement fields; reassert the winning attempt's
-        // CE so replica registration and completion consumers see where the
-        // job actually ran — not where a losing clone was matched.
-        job->record.computing_element = ce.name();
-        job->record.staging_element = close_storage(ce.name()).name();
-        finish(job, JobState::kDone);
+      job->record.input_transfer_seconds += in_seconds + ui_in_seconds;
+      job->record.ui_transfer_seconds += ui_in_seconds;
+      job->record.bytes_via_ui += ui_in_mb;
+      job->record.bytes_peer += peer_in_mb;
+      record_ui_bytes(ui_in_mb);
+      job->record.staging_element = se.name();
+      job->record.staged_in_megabytes += resolution.effective_megabytes;
+      job->record.remote_input_megabytes += resolution.remote_megabytes;
+      job->record.state = JobState::kRunning;
+      job->record.run_start_time = simulator_.now();
+      simulator_.schedule(payload_seconds, [this, job, &ce, &se, peer_routed] {
+        if (job->completed) {
+          ce.release_slot();
+          --job->in_flight_attempts;
+          return;
+        }
+        job->record.run_end_time = simulator_.now();
+        job->record.state = JobState::kTransferringOut;
+        se.transfer(job->request.output_megabytes, [this, job, &ce,
+                                                    peer_routed](double out_seconds) {
+          ce.release_slot();
+          --job->in_flight_attempts;
+          if (job->completed) return;  // a racing clone won; discard this result
+          job->record.output_transfer_seconds += out_seconds;
+          const double out_ui_mb = peer_routed ? 0.0 : job->request.output_megabytes;
+          // Centralized stage-out crosses the contended UI link after the SE
+          // write; the worker slot is already free while the result drains.
+          ui_stage(out_ui_mb, [this, job, &ce, out_ui_mb](double ui_out_seconds) {
+            if (job->completed) return;  // a racing clone finished meanwhile
+            job->record.output_transfer_seconds += ui_out_seconds;
+            job->record.ui_transfer_seconds += ui_out_seconds;
+            job->record.bytes_via_ui += out_ui_mb;
+            record_ui_bytes(out_ui_mb);
+            // A still-racing clone's later match (or stage-in) may have
+            // overwritten the placement fields; reassert the winning
+            // attempt's CE so replica registration and completion consumers
+            // see where the job actually ran — not where a losing clone was
+            // matched.
+            job->record.computing_element = ce.name();
+            job->record.staging_element = close_storage(ce.name()).name();
+            finish(job, JobState::kDone);
+          });
+        });
       });
     });
   });

@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,22 @@ class MetricsRegistry;
 }
 
 namespace moteur::grid {
+
+/// One third-party SE→SE transfer, surfaced to the installed listener at
+/// request time and on completion. Decentralized replication policies
+/// schedule these on the pairwise SE links; the orchestrator only issues
+/// the command (control stays central, data moves peer-to-peer).
+struct TransferEvent {
+  enum class Phase { kStarted, kDone };
+  Phase phase = Phase::kStarted;
+  double time = 0.0;
+  std::string lfn;
+  std::string from_se;
+  std::string to_se;
+  double megabytes = 0.0;
+  std::string trigger;           ///< "match" or "fanout"
+  double elapsed_seconds = 0.0;  ///< kDone only: link time excluding queueing
+};
 
 /// Facade over the simulated EGEE-like infrastructure. Callers (the service
 /// layer) submit JobRequests and get a completion callback with the full
@@ -58,8 +75,9 @@ class Grid {
   /// jobs register their inputs as fresh replicas there, and — with
   /// GridConfig::data_aware_matchmaking — the broker ranks CEs by estimated
   /// stage-in cost. Not owned. Without a catalog the grid behaves
-  /// bit-identically to the pre-data-plane code.
-  void set_catalog(data::ReplicaCatalog* catalog) { catalog_ = catalog; }
+  /// bit-identically to the pre-data-plane code. Attaching also installs
+  /// the configured SE capacities and eviction policy on the catalog.
+  void set_catalog(data::ReplicaCatalog* catalog);
   data::ReplicaCatalog* catalog() const { return catalog_; }
 
   /// Attach (or detach, with nullptr) the metrics registry receiving the
@@ -80,6 +98,32 @@ class Grid {
   /// priced from the catalog's replica locations (0 without a catalog).
   double stage_in_estimate_seconds(const JobRequest& request, const std::string& ce_name);
 
+  /// Observer for SE→SE transfers (started / completed). Not owned; called
+  /// from the drive thread.
+  void set_transfer_listener(std::function<void(const TransferEvent&)> listener) {
+    transfer_listener_ = std::move(listener);
+  }
+
+  /// Request an SE→SE third-party copy of `lfn` onto `to_se`. Deduplicated
+  /// against in-flight transfers and existing replicas; deferred while
+  /// either endpoint is inside an outage window. No-op without a catalog.
+  void start_transfer(const std::string& lfn, double megabytes,
+                      const std::string& from_se, const std::string& to_se,
+                      const std::string& trigger);
+
+  /// Hook for the execution backend: a fresh replica of `lfn` registered on
+  /// `se_name`. Feeds the ReplicationPolicy's background fanout.
+  void note_replica_registered(const std::string& lfn, const std::string& se_name,
+                               double megabytes);
+
+  /// Does the active ReplicationPolicy route remote reads SE→SE (peer
+  /// pulls) instead of through the orchestrator?
+  bool decentralized_reads() const { return decentralized_; }
+
+  /// Cumulative busy time of the finite orchestrator link (0 when the
+  /// bandwidth is unlimited and the link model is bypassed).
+  double ui_busy_seconds() const { return ui_busy_seconds_; }
+
   /// Records of all completed (done or failed) jobs, completion order.
   const std::vector<JobRecord>& completed_jobs() const { return completed_; }
 
@@ -92,6 +136,12 @@ class Grid {
     std::size_t replica_faults = 0;
     std::size_t replica_failovers = 0;
     std::size_t data_lost_jobs = 0;
+    /// SE→SE third-party transfer trace (decentralized replication).
+    std::size_t transfers_started = 0;
+    std::size_t transfers_completed = 0;
+    double transfer_megabytes = 0.0;
+    /// Megabytes that round-tripped through the orchestrator/UI link.
+    double ui_megabytes = 0.0;
     RunningStats overhead_seconds;
     RunningStats total_seconds;
   };
@@ -132,6 +182,22 @@ class Grid {
   void run_in_slot(const std::shared_ptr<PendingJob>& job, ComputingElement& ce);
   void finish(const std::shared_ptr<PendingJob>& job, JobState final_state);
 
+  /// Move `megabytes` across the finite orchestrator link, FCFS behind
+  /// concurrent stagings; `on_done(elapsed)` gets queueing + transfer time.
+  /// With an unlimited link (or zero bytes) `on_done(0)` runs synchronously
+  /// so the event sequence stays bit-identical to the unmodeled path.
+  void ui_stage(double megabytes, std::function<void(double)> on_done);
+  void record_ui_bytes(double megabytes);
+  void emit_transfer(const TransferEvent& event);
+  /// Live replica of `lfn` cheapest to copy onto `to_se` (pairwise cost,
+  /// registration order breaking ties); empty when none survives or the
+  /// destination already holds one.
+  std::string cheapest_live_source(const std::string& lfn, const std::string& to_se);
+  void begin_transfer(const std::string& lfn, double megabytes,
+                      const std::string& from_se, const std::string& to_se,
+                      const std::string& trigger);
+  void maybe_push_for_match(const JobRequest& request, const std::string& ce_name);
+
   sim::Simulator& simulator_;
   GridConfig config_;
   Rng rng_;
@@ -154,6 +220,15 @@ class Grid {
   /// Every SE name in deterministic (map) order, for replica placement.
   std::vector<std::string> storage_names_;
   std::unique_ptr<policy::ReplicaPolicy> replica_policy_;
+  std::unique_ptr<policy::ReplicationPolicy> replication_;
+  bool decentralized_ = false;
+  /// The finite orchestrator/UI data link (null = unlimited bandwidth,
+  /// the historical free-staging behavior).
+  std::unique_ptr<sim::Resource> ui_link_;
+  double ui_busy_seconds_ = 0.0;
+  /// In-flight SE→SE transfers keyed "lfn|destination" for deduplication.
+  std::set<std::string> pending_transfers_;
+  std::function<void(const TransferEvent&)> transfer_listener_;
   obs::MetricsRegistry* metrics_ = nullptr;               // not owned
   data::ReplicaCatalog* catalog_ = nullptr;               // not owned
   std::unique_ptr<BackgroundLoad> background_;

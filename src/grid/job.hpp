@@ -77,6 +77,15 @@ struct JobRecord {
   double staged_in_megabytes = 0.0;
   double remote_input_megabytes = 0.0;
 
+  /// Data routing split: megabytes that round-tripped through the
+  /// orchestrator/UI link (centralized staging) vs megabytes pulled
+  /// SE→SE from a peer replica (decentralized replication policies).
+  double bytes_via_ui = 0.0;
+  double bytes_peer = 0.0;
+  /// Seconds spent waiting for and crossing the contended orchestrator
+  /// link (already included in the input/output transfer seconds).
+  double ui_transfer_seconds = 0.0;
+
   /// Storage-side fault trace (SE fault injection on): replicas that were
   /// lost/corrupt/unreachable while staging, how many inputs were served by
   /// a fallback replica, and — when every replica of an input was gone —

@@ -56,4 +56,26 @@ void StorageElement::transfer(double megabytes, std::function<void(double)> on_d
   });
 }
 
+double StorageElement::pairwise_seconds(const StorageElement& from,
+                                        double megabytes) const {
+  if (megabytes <= 0.0) return 0.0;
+  const double bandwidth = std::min(bandwidth_mb_per_s_, from.bandwidth_mb_per_s_);
+  return latency_seconds_ + from.latency_seconds_ + megabytes / bandwidth;
+}
+
+void StorageElement::transfer_from(const StorageElement& from, double megabytes,
+                                   std::function<void(double)> on_done) {
+  const double seconds = pairwise_seconds(from, megabytes);
+  if (seconds <= 0.0) {
+    simulator_.schedule(0.0, [on_done = std::move(on_done)] { on_done(0.0); });
+    return;
+  }
+  channels_.acquire([this, seconds, on_done = std::move(on_done)]() mutable {
+    simulator_.schedule(seconds, [this, seconds, on_done = std::move(on_done)] {
+      channels_.release();
+      on_done(seconds);
+    });
+  });
+}
+
 }  // namespace moteur::grid

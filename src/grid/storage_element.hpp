@@ -26,9 +26,20 @@ class StorageElement {
   /// Zero-size transfers complete via the simulator at the current time.
   void transfer(double megabytes, std::function<void(double)> on_done);
 
+  /// Third-party SE→SE cost: both endpoints' latencies plus the bytes over
+  /// the slower of the two links. Deterministic — no draws.
+  double pairwise_seconds(const StorageElement& from, double megabytes) const;
+
+  /// Move `megabytes` from `from` into this SE over the pairwise link,
+  /// queueing on this (destination) SE's channels. `on_done(elapsed)` fires
+  /// with the transfer duration excluding channel queueing.
+  void transfer_from(const StorageElement& from, double megabytes,
+                     std::function<void(double)> on_done);
+
   double nominal_seconds(double megabytes) const;
 
   double latency_seconds() const { return latency_seconds_; }
+  double bandwidth_mb_per_s() const { return bandwidth_mb_per_s_; }
 
   /// Install the deterministic downtime schedule (sorted by start; windows
   /// are assumed non-overlapping). Exposed to the broker and the grid's

@@ -37,6 +37,8 @@ struct RunEvent {
     kReplicaLost,          // no replica of a required input file survives
     kReplicaFailover,      // stage-in fell through to a surviving replica
     kReDerived,            // lineage recovery regenerated a lost file
+    kTransferStarted,      // SE→SE third-party transfer requested
+    kTransferDone,         // SE→SE third-party transfer landed a replica
   };
 
   Kind kind = Kind::kRunStarted;
@@ -71,6 +73,13 @@ struct RunEvent {
   // Data-plane fault payload (kReplicaLost / kReplicaFailover / kReDerived).
   std::string logical_file;  // the lfn lost, failed over, or re-derived
   std::size_t count = 0;     // failovers in the attempt (kReplicaFailover)
+
+  // SE→SE transfer payload (kTransferStarted / kTransferDone). These are
+  // service-scope events (empty run_id): a transfer can serve many runs.
+  std::string from_se;
+  std::string to_se;
+  double megabytes = 0.0;
+  std::string trigger;  // "match" (broker push) or "fanout" (background)
 
   // Running totals, mirrored into ProgressEvent for the legacy listener.
   std::size_t total_invocations = 0;

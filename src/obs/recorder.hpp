@@ -107,6 +107,9 @@ class RunRecorder {
   Counter* replica_lost_ = nullptr;
   Counter* replica_failovers_ = nullptr;
   Counter* rederived_ = nullptr;
+  Counter* transfers_started_ = nullptr;
+  Counter* transfers_done_ = nullptr;
+  Counter* transfer_megabytes_ = nullptr;
   Gauge* tuples_in_flight_ = nullptr;
   Gauge* makespan_ = nullptr;
   std::map<std::string, CeSeries> ce_series_;

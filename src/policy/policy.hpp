@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,58 @@ class ReplicaPolicy {
   /// order (first entry probed first, later entries are failover targets).
   virtual void probe_order(std::vector<std::string>& candidates,
                            const std::string& close_se) = 0;
+};
+
+/// Governs third-party SE→SE replication: whether remote reads are routed
+/// peer-to-peer instead of through the orchestrator, and which transfers
+/// the grid should start proactively.
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+  virtual const std::string& name() const = 0;
+
+  /// True when remote stage-ins flow SE→SE instead of round-tripping
+  /// through the orchestrator/UI link. `none` keeps the centralized
+  /// baseline (bit-identical to the pre-refactor data path).
+  virtual bool decentralized_reads() const { return false; }
+
+  /// True when the broker should push missing inputs toward the matched
+  /// CE's close SE at match time, overlapping replication with queueing.
+  virtual bool push_on_match() const { return false; }
+
+  /// SEs a freshly registered replica should be pushed to in the
+  /// background. `source_se` holds the new replica; `all_ses` lists every
+  /// SE in deterministic (registration) order.
+  virtual std::vector<std::string> fanout_targets(
+      const std::string& source_se, const std::vector<std::string>& all_ses) {
+    (void)source_se;
+    (void)all_ses;
+    return {};
+  }
+};
+
+/// One replica resident on a capacity-bounded SE, as seen by an eviction
+/// decision. `last_use` is the catalog's logical touch counter (higher =
+/// more recently used); `pinned` marks workflow source files.
+struct ReplicaResidency {
+  std::string lfn;
+  double size_mb = 0.0;
+  bool pinned = false;
+  std::uint64_t last_use = 0;
+};
+
+/// Picks which resident replicas a capacity-bounded SE should drop to make
+/// room for a new registration.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual const std::string& name() const = 0;
+
+  /// LFNs to evict, in eviction order, to free at least `need_mb`. May
+  /// return fewer (the catalog then over-commits rather than rejecting
+  /// the incoming replica). `resident` is in deterministic catalog order.
+  virtual std::vector<std::string> victims(
+      const std::vector<ReplicaResidency>& resident, double need_mb) = 0;
 };
 
 /// Maps a run's requested weight onto the effective weighted-round-robin

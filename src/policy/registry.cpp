@@ -245,6 +245,99 @@ class RoundRobinAdmission : public AdmissionPolicy {
 };
 
 // ---------------------------------------------------------------------------
+// Replication built-ins
+
+/// The centralized baseline: no SE→SE transfers, every remote byte
+/// round-trips through the orchestrator. Bit-identical to the
+/// pre-decentralization data path.
+class NoReplicationPolicy : public ReplicationPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = kDefaultReplication;
+};
+
+/// Route remote reads SE→SE and push missing inputs toward the matched
+/// CE's close SE as soon as the broker picks it, overlapping the transfer
+/// with the job's queueing delay.
+class PushToConsumerPolicy : public ReplicationPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  bool decentralized_reads() const override { return true; }
+  bool push_on_match() const override { return true; }
+
+ private:
+  std::string name_ = "push-to-consumer";
+};
+
+/// Route remote reads SE→SE and, whenever a fresh replica registers,
+/// push copies to the first k other SEs in deterministic order — blind
+/// pre-staging that trades transfer volume for read locality.
+class FanoutKPolicy : public ReplicationPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  bool decentralized_reads() const override { return true; }
+
+  std::vector<std::string> fanout_targets(
+      const std::string& source_se,
+      const std::vector<std::string>& all_ses) override {
+    std::vector<std::string> targets;
+    for (const std::string& se : all_ses) {
+      if (se == source_se) continue;
+      targets.push_back(se);
+      if (targets.size() == kFanout) break;
+    }
+    return targets;
+  }
+
+ private:
+  static constexpr std::size_t kFanout = 2;
+  std::string name_ = "fanout-k";
+};
+
+// ---------------------------------------------------------------------------
+// Eviction built-ins
+
+/// Drop least-recently-used replicas first (pinned or not) until the
+/// requested head-room is freed; exact last-use ties break on LFN so the
+/// victim order never depends on map iteration quirks.
+class LruEviction : public EvictionPolicy {
+ public:
+  explicit LruEviction(std::string name = kDefaultEviction, bool honor_pins = false)
+      : name_(std::move(name)), honor_pins_(honor_pins) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::string> victims(const std::vector<ReplicaResidency>& resident,
+                                   double need_mb) override {
+    std::vector<const ReplicaResidency*> order;
+    order.reserve(resident.size());
+    for (const ReplicaResidency& r : resident) {
+      if (honor_pins_ && r.pinned) continue;
+      order.push_back(&r);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const ReplicaResidency* a, const ReplicaResidency* b) {
+                if (a->last_use != b->last_use) return a->last_use < b->last_use;
+                return a->lfn < b->lfn;
+              });
+    std::vector<std::string> victims;
+    double freed = 0.0;
+    for (const ReplicaResidency* r : order) {
+      if (freed >= need_mb) break;
+      victims.push_back(r->lfn);
+      freed += r->size_mb;
+    }
+    return victims;
+  }
+
+ private:
+  std::string name_;
+  bool honor_pins_;
+};
+
+// ---------------------------------------------------------------------------
 
 std::string known(const std::vector<std::string>& names) {
   std::string out;
@@ -284,6 +377,18 @@ PolicyRegistry::PolicyRegistry() {
                      [] { return std::make_unique<WeightedAdmission>(); });
   register_admission("round-robin",
                      [] { return std::make_unique<RoundRobinAdmission>(); });
+
+  register_replication(kDefaultReplication,
+                       [] { return std::make_unique<NoReplicationPolicy>(); });
+  register_replication("push-to-consumer",
+                       [] { return std::make_unique<PushToConsumerPolicy>(); });
+  register_replication("fanout-k",
+                       [] { return std::make_unique<FanoutKPolicy>(); });
+
+  register_eviction(kDefaultEviction, [] { return std::make_unique<LruEviction>(); });
+  register_eviction("pin-sources", [] {
+    return std::make_unique<LruEviction>("pin-sources", /*honor_pins=*/true);
+  });
 }
 
 PolicyRegistry& PolicyRegistry::instance() {
@@ -309,6 +414,16 @@ void PolicyRegistry::register_replica(const std::string& name,
 void PolicyRegistry::register_admission(const std::string& name,
                                         AdmissionFactory factory) {
   admission_[name] = std::move(factory);
+}
+
+void PolicyRegistry::register_replication(const std::string& name,
+                                          ReplicationFactory factory) {
+  replication_[name] = std::move(factory);
+}
+
+void PolicyRegistry::register_eviction(const std::string& name,
+                                       EvictionFactory factory) {
+  eviction_[name] = std::move(factory);
 }
 
 std::unique_ptr<MatchmakingPolicy> PolicyRegistry::make_matchmaking(
@@ -347,6 +462,24 @@ std::unique_ptr<AdmissionPolicy> PolicyRegistry::make_admission(
   return it->second();
 }
 
+std::unique_ptr<ReplicationPolicy> PolicyRegistry::make_replication(
+    const std::string& name) const {
+  const auto it = replication_.find(name);
+  MOTEUR_REQUIRE(it != replication_.end(), ParseError,
+                 "unknown replication policy '" + name +
+                     "' (known: " + known(replication_names()) + ")");
+  return it->second();
+}
+
+std::unique_ptr<EvictionPolicy> PolicyRegistry::make_eviction(
+    const std::string& name) const {
+  const auto it = eviction_.find(name);
+  MOTEUR_REQUIRE(it != eviction_.end(), ParseError,
+                 "unknown eviction policy '" + name +
+                     "' (known: " + known(eviction_names()) + ")");
+  return it->second();
+}
+
 const std::string& PolicyRegistry::check_matchmaking(const std::string& name,
                                                      const std::string& flag) const {
   MOTEUR_REQUIRE(matchmaking_.count(name) != 0, ParseError,
@@ -379,9 +512,29 @@ const std::string& PolicyRegistry::check_admission(const std::string& name,
   return name;
 }
 
+const std::string& PolicyRegistry::check_replication(const std::string& name,
+                                                     const std::string& flag) const {
+  MOTEUR_REQUIRE(replication_.count(name) != 0, ParseError,
+                 flag + " names unknown replication policy '" + name +
+                     "' (known: " + known(replication_names()) + ")");
+  return name;
+}
+
+const std::string& PolicyRegistry::check_eviction(const std::string& name,
+                                                  const std::string& flag) const {
+  MOTEUR_REQUIRE(eviction_.count(name) != 0, ParseError,
+                 flag + " names unknown eviction policy '" + name +
+                     "' (known: " + known(eviction_names()) + ")");
+  return name;
+}
+
 bool PolicyRegistry::matchmaking_wants_stage_in(const std::string& name) const {
   const Rng probe(0);
   return make_matchmaking(name, probe)->wants_stage_in();
+}
+
+bool PolicyRegistry::replication_is_decentralized(const std::string& name) const {
+  return make_replication(name)->decentralized_reads();
 }
 
 std::vector<std::string> PolicyRegistry::matchmaking_names() const {
@@ -409,6 +562,20 @@ std::vector<std::string> PolicyRegistry::admission_names() const {
   std::vector<std::string> names;
   names.reserve(admission_.size());
   for (const auto& [name, factory] : admission_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::replication_names() const {
+  std::vector<std::string> names;
+  names.reserve(replication_.size());
+  for (const auto& [name, factory] : replication_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::eviction_names() const {
+  std::vector<std::string> names;
+  names.reserve(eviction_.size());
+  for (const auto& [name, factory] : eviction_) names.push_back(name);
   return names;
 }
 

@@ -201,6 +201,13 @@ RunService::RunService(enactor::ExecutionBackend& backend,
     : impl_(std::make_unique<Impl>(backend, registry, std::move(config))) {
   for (auto& shard : impl_->shards) shard->start();
   Impl& im = *impl_;
+  // Backend-originated service-scope events (SE→SE transfer start/done)
+  // join the service's event stream: subscribers first, then the recorder,
+  // under the same obs lock as run events. Detached in shutdown() once the
+  // shards are quiet.
+  im.core.backend.set_event_sink([&core = im.core](const obs::RunEvent& event) {
+    core.emit_service_event(event);
+  });
   const RunServiceConfig::Telemetry& telemetry = im.core.config.telemetry;
   if (telemetry.hub_enabled()) {
     obs::TelemetryHub::Config hub_config;
@@ -371,6 +378,9 @@ void RunService::shutdown() {
     std::lock_guard<std::mutex> lock(im.join_mu);
     for (auto& shard : im.shards) shard->join();
   }
+  // No shard drives the backend any more, so no transfer event can fire;
+  // drop the sink before the core (and its recorder) go away.
+  im.core.backend.set_event_sink(nullptr);
   // Shards are quiet: the hub's final frame sees the complete event stream.
   // Destroying it here keeps the telemetry() contract (valid until
   // shutdown) and releases the scrape socket with the service.

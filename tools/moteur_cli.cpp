@@ -72,6 +72,9 @@ using namespace moteur;
       "             [--placement rematch|avoid-previous|spread]\n"
       "             [--replica-policy close-se|broadcast]\n"
       "             [--admission-policy weighted|round-robin]\n"
+      "             [--replication-policy none|push-to-consumer|fanout-k]\n"
+      "             [--orchestrator-bw MBPS] [--se-capacity MB]\n"
+      "             [--eviction-policy lru|pin-sources]\n"
       "             [--provenance OUT.xml] [--csv OUT.csv] [--trace]\n"
       "             [--diagram COLSECONDS] [--trace-out TRACE.json]\n"
       "             [--metrics-out METRICS.prom] [--obs-summary]\n"
@@ -212,6 +215,16 @@ enactor::RunManifest manifest_from_args(const Args& args) {
   if (const auto name = args.get("admission-policy")) {
     manifest.policy.admission = policies.check_admission(*name, "--admission-policy");
   }
+  // Decentralized data flow: a named ReplicationPolicy routes staging SE→SE,
+  // and a finite orchestrator link makes centralized staging contend.
+  if (const auto name = args.get("replication-policy")) {
+    manifest.policy.replication =
+        policies.check_replication(*name, "--replication-policy");
+  }
+  if (const auto bw = args.get("orchestrator-bw")) {
+    manifest.orchestrator_bandwidth_mbps =
+        parse_nonnegative_real(*bw, "--orchestrator-bw");
+  }
   // Data-plane fault tolerance: lineage recovery is on by default (it is only
   // reachable under SE fault injection); --no-recovery disables it for
   // recovery-off baselines.
@@ -294,6 +307,15 @@ void apply_fault_flags(const Args& args, grid::GridConfig& config) {
       }
     }
   }
+  // Capacity-bounded storage: a finite default-SE budget makes the catalog
+  // evict, under the named EvictionPolicy.
+  if (const auto cap = args.get("se-capacity")) {
+    config.default_se_capacity_mb = parse_nonnegative_real(*cap, "--se-capacity");
+  }
+  if (const auto name = args.get("eviction-policy")) {
+    config.replica_eviction_policy =
+        policy::PolicyRegistry::instance().check_eviction(*name, "--eviction-policy");
+  }
 }
 
 /// "out.csv" -> "out.run3.csv"; extensionless paths get ".run3" appended.
@@ -347,12 +369,14 @@ int cmd_run_multi(const Args& args) {
     grid_config.replica_policy = manifests.front().policy.replica_policy;
   }
   const policy::PolicyRegistry& policies = policy::PolicyRegistry::instance();
-  bool data_plane = storage_faults;
+  bool data_plane = storage_faults || grid_config.default_se_capacity_mb > 0.0;
   for (auto& manifest : manifests) {
     if (manifest.policy.data_aware) grid_config.data_aware_matchmaking = true;
     data_plane = data_plane || manifest.policy.cache || manifest.policy.data_aware ||
                  (!manifest.policy.matchmaking.empty() &&
-                  policies.matchmaking_wants_stage_in(manifest.policy.matchmaking));
+                  policies.matchmaking_wants_stage_in(manifest.policy.matchmaking)) ||
+                 (!manifest.policy.replication.empty() &&
+                  manifest.policy.replication != policy::kDefaultReplication);
     if (args.has("no-recovery")) manifest.policy.lineage_recovery = false;
   }
   grid::Grid grid(simulator, grid_config);
@@ -565,8 +589,13 @@ int cmd_run(const Args& args) {
                               grid_config.replica_corruption_probability > 0.0 ||
                               !grid_config.default_se_outages.empty() ||
                               args.has("se-outage");
+  // A live replication policy needs per-file staging plans to route SE→SE,
+  // and capacity bounds need replicas to evict: both bring the catalog up.
+  const bool replication_on = !manifest.policy.replication.empty() &&
+                              manifest.policy.replication != policy::kDefaultReplication;
   const bool data_plane = manifest.policy.cache || manifest.policy.data_aware ||
-                          storage_faults || stage_in_matchmaking;
+                          storage_faults || stage_in_matchmaking || replication_on ||
+                          grid_config.default_se_capacity_mb > 0.0;
   data::ReplicaCatalog catalog;
   if (data_plane) backend.set_catalog(&catalog);
   enactor::Enactor moteur(backend, registry, manifest.policy);

@@ -381,11 +381,55 @@ if build/tools/moteur_cli run \
 fi
 echo "policy smoke OK"
 
+# Decentralized smoke: `--replication-policy none` must stay byte-identical
+# to the centralized golden; a finite orchestrator link must report its UI
+# traffic; the proxy-routed policy must move strictly fewer bytes through
+# the orchestrator (it leaves the UI counter at zero, i.e. absent); and
+# unknown replication policy names must be rejected up front.
+echo "== decentralized smoke: proxy-routed SE->SE vs centralized staging =="
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --replication-policy none --csv "$obs_dir/dec_none.csv" >/dev/null
+cmp -s tests/golden/bronze_timeline.csv "$obs_dir/dec_none.csv" || {
+  echo "--replication-policy none diverged from the centralized golden" >&2
+  exit 1
+}
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --orchestrator-bw 5 --metrics-out "$obs_dir/dec_central.prom" >/dev/null
+central_ui=$(awk '/^moteur_ui_bytes_total/ {print $2}' "$obs_dir/dec_central.prom")
+if ! awk -v v="${central_ui:-0}" 'BEGIN {exit !(v + 0 > 0)}'; then
+  echo "centralized run on a finite link reported no moteur_ui_bytes_total" >&2
+  exit 1
+fi
+build/tools/moteur_cli run \
+  --manifest examples/data/bronze_run.xml \
+  --services examples/data/bronze_services.xml \
+  --replication-policy push-to-consumer --orchestrator-bw 5 \
+  --metrics-out "$obs_dir/dec_peer.prom" >/dev/null
+peer_ui=$(awk '/^moteur_ui_bytes_total/ {print $2}' "$obs_dir/dec_peer.prom")
+if ! awk -v c="$central_ui" -v p="${peer_ui:-0}" 'BEGIN {exit !(p + 0 < c + 0)}'; then
+  echo "proxy-routed run did not move fewer bytes through the orchestrator" \
+       "(central $central_ui MB vs peer ${peer_ui:-0} MB)" >&2
+  exit 1
+fi
+if build/tools/moteur_cli run \
+    --manifest examples/data/bronze_run.xml \
+    --services examples/data/bronze_services.xml \
+    --replication-policy gossip >/dev/null 2>&1; then
+  echo "--replication-policy gossip was accepted" >&2
+  exit 1
+fi
+echo "decentralized smoke OK"
+
 if [ "${1:-}" = "--tsan" ]; then
   echo "== TSan stage: enactor/retry/run-service tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DMOTEUR_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target test_enactor test_enactor_edge test_progress \
-    test_retry test_run_service test_shard test_telemetry test_policy moteur_cli
+    test_retry test_run_service test_shard test_telemetry test_policy test_transfer \
+    moteur_cli
   (cd build-tsan && ctest --output-on-failure -L enactor)
   echo "== TSan multi-tenant smoke: concurrent runs through the RunService =="
   build-tsan/tools/moteur_cli run \
